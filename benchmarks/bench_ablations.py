@@ -1,0 +1,33 @@
+"""Design-choice ablations: coordination, coarsening, search."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import ablation
+from repro.bench.runner import BenchConfig
+
+
+def test_ablations(benchmark, results_dir):
+    cfg = BenchConfig(repetitions=1)
+    result = benchmark.pedantic(
+        ablation.run, args=(cfg,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    # The arithmetic mean is at worst marginally beaten by any other
+    # coordination strategy on average (the paper found it best).
+    for strat in ("min", "max", "ours", "theirs"):
+        assert s[f"coordination_{strat}_avg"] > 0.97
+    # Coarsening saves energy on the fine-grained FB workload.
+    coarse = {r["variant"]: r for r in result.rows if r["ablation"] == "coarsening"}
+    assert coarse["on"]["energy_j"] <= coarse["off"]["energy_j"] * 1.02
+    # Steepest descent matches exhaustive end-to-end energy within a
+    # few percent at a fraction of the evaluations.
+    sel = [r for r in result.rows if r["ablation"] == "selector"]
+    for wl in {r["workload"] for r in sel}:
+        st = next(r for r in sel if r["workload"] == wl and r["variant"] == "steepest")
+        ex = next(r for r in sel if r["workload"] == wl and r["variant"] == "exhaustive")
+        assert st["energy_j"] <= ex["energy_j"] * 1.10
+        assert st["evaluations"] < ex["evaluations"] * 0.5

@@ -1,0 +1,21 @@
+"""Section 4.3.3 — MPR degree study (overfitting claim)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import degree
+
+
+def test_degree_study(benchmark, results_dir):
+    result = benchmark.pedantic(degree.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    s = result.summary
+    # Degree 2 is clearly better than degree 1 on held-out kernels...
+    assert s["deg2_performance"] > s["deg1_performance"] + 0.02
+    assert s["deg2_cpu_power"] > s["deg1_cpu_power"] + 0.02
+    # ...while degree 3 doubles the parameters without a matching gain
+    # (the paper's overfitting observation).
+    assert s["deg3_performance"] < s["deg2_performance"] + 0.01
+    rows = {r["degree"]: r for r in result.rows}
+    assert rows[3]["params_per_config"] > 1.5 * rows[2]["params_per_config"]

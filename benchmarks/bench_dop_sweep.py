@@ -1,0 +1,25 @@
+"""dop sweep — JOSS vs GRWS across the DAG-parallelism spectrum."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import dop
+
+
+def test_dop_sweep(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        dop.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    # JOSS wins across the whole spectrum...
+    assert s["worst_ratio"] < 1.0
+    # ...and wins biggest in the serial regime the paper's motivation
+    # study uses (dop=1 leaves GRWS burning idle cores at max freq).
+    for wl in {r["workload"] for r in result.rows}:
+        pts = sorted(
+            (r for r in result.rows if r["workload"] == wl),
+            key=lambda r: r["dop"],
+        )
+        assert pts[0]["joss_vs_grws_energy"] < pts[-1]["joss_vs_grws_energy"]

@@ -1,0 +1,25 @@
+"""Figure 1 — motivation: four configuration-selection scenarios."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, results_dir):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    s = result.summary
+    # Counting memory energy changes the chosen config for the better.
+    assert s["MM_s2_vs_s1"] >= -0.01
+    assert s["MC_s2_vs_s1"] >= 0.0
+    # Joint four-knob selection is at least as good as orthogonal.
+    assert s["MM_s4_vs_s3"] >= -1e-9
+    assert s["MC_s4_vs_s3"] >= 0.0
+    by_key = {(r["benchmark"], r["scenario"][0]): r for r in result.rows}
+    for bench in ("MM", "MC"):
+        e = {k: by_key[(bench, k)]["total_energy_j"] for k in "1234"}
+        # Scenario ordering of the paper: joint <= orthogonal <= SotA.
+        assert e["4"] <= e["3"] + 1e-12 <= e["1"] + 1e-9
+        assert e["2"] <= e["1"] + 1e-12

@@ -1,0 +1,26 @@
+"""Figure 2 — energy/performance trade-off exploration."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import fig2
+
+
+def test_fig2_tradeoffs(benchmark, results_dir):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    s = result.summary
+    # Meaningful speedup headroom exists above the min-energy config
+    # (paper: 1.8x for MM, 1.9x for MC) at a real energy premium.
+    assert s["MM_max_speedup"] > 1.5
+    assert s["MC_max_speedup"] > 1.5
+    assert s["MM_max_premium"] > 0.05
+    assert s["MC_max_premium"] > 0.05
+    # The frontier is monotone: more speedup never costs less energy
+    # at the frontier points (per benchmark).
+    for bench in ("MM", "MC"):
+        pts = [r for r in result.rows if r["benchmark"] == bench and r["kind"] == "frontier"]
+        pts.sort(key=lambda r: r["speedup"])
+        premiums = [r["energy_premium"] for r in pts]
+        assert all(b >= a - 0.02 for a, b in zip(premiums, premiums[1:]))

@@ -1,0 +1,26 @@
+"""Figure 5 — synthetic-benchmark power profiles on A57 x 2."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import fig5
+
+
+def test_fig5_profiling(benchmark, results_dir):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    # Observation (a): CPU power is (nearly) insensitive to f_M —
+    # the basis for dropping f_M from Eq. 4.
+    assert result.summary["cpu_power_fm_sensitivity"] < 0.10
+    rows = result.rows
+    # Observation (b): memory power rises with f_M for memory-bound
+    # work at fixed f_C.
+    high = [r for r in rows if r["level"] == "high-MB" and r["f_c"] == 2.040]
+    high.sort(key=lambda r: r["f_m"])
+    mem = [r["mem_power_w"] for r in high]
+    assert mem == sorted(mem)
+    # And compute-heavy kernels draw more CPU power than memory-bound
+    # ones at the same setting.
+    low = [r for r in rows if r["level"] == "low-MB" and r["f_c"] == 2.040]
+    assert min(r["cpu_power_w"] for r in low) > max(r["cpu_power_w"] for r in high)

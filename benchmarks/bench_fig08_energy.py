@@ -1,0 +1,41 @@
+"""Figure 8 — total energy across schedulers and benchmarks.
+
+The headline experiment: paper averages vs GRWS are JOSS 40.7%,
+JOSS_NoMemDVFS 24.8%, STEER 19.5%, ERASE 16.3%, Aequitas 8.7%.  The
+reproduction asserts the *shape*: the ordering of schedulers, JOSS
+winning broadly, and memory DVFS delivering extra savings on top of
+JOSS_NoMemDVFS, which itself beats STEER (the paper's +5.2% claim).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import fig8
+
+
+def test_fig8_energy(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        fig8.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    # Who wins: JOSS saves the most on average, with the paper's
+    # ordering among the rest.
+    assert s["JOSS_avg_reduction"] > s["JOSS_NoMemDVFS_avg_reduction"]
+    assert s["JOSS_NoMemDVFS_avg_reduction"] > s["STEER_avg_reduction"]
+    assert s["STEER_avg_reduction"] > s["Aequitas_avg_reduction"]
+    assert s["ERASE_avg_reduction"] > s["Aequitas_avg_reduction"]
+    # Magnitudes: meaningful savings, in the band the simulator yields.
+    assert s["JOSS_avg_reduction"] > 0.15
+    assert s["JOSS_vs_STEER_extra"] > 0.05      # paper: 21.2% extra
+    assert s["memory_dvfs_extra"] > 0.02        # the memory-DVFS knob pays
+    # JOSS is the best scheduler on a clear majority of workloads.
+    wins = sum(
+        1
+        for r in result.rows
+        if r["JOSS"] <= min(r[s_] for s_ in
+                            ("ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS"))
+        and r["JOSS"] <= 1.0
+    )
+    assert wins >= len(result.rows) * 0.6

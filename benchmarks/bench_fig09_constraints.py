@@ -1,0 +1,26 @@
+"""Figure 9 — reducing energy under performance constraints."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import fig9
+
+
+def test_fig9_constraints(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        fig9.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    # Tighter constraints run faster on average...
+    assert s["JOSS_1.2x_avg_speedup"] > 1.0
+    assert s["JOSS_1.8x_avg_speedup"] >= s["JOSS_1.2x_avg_speedup"] - 0.05
+    assert s["JOSS_MAXP_avg_speedup"] >= s["JOSS_1.8x_avg_speedup"] - 0.05
+    # ...and cost more energy (paper: +6% / +13% / +32%).
+    assert s["JOSS_1.2x_avg_energy_premium"] < s["JOSS_MAXP_avg_energy_premium"]
+    assert s["JOSS_MAXP_avg_energy_premium"] > 0.1
+    # Memory-bound MC saturates: even MAXP cannot speed it up further
+    # than its bandwidth ceiling (paper section 7.2).
+    mc = next(r for r in result.rows if r["workload"] == "mc-4096")
+    assert mc["JOSS_MAXP_time"] >= mc["JOSS_1.8x_time"] - 0.05

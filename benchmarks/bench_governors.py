@@ -1,0 +1,36 @@
+"""Kernel-governor baselines vs JOSS (extension study)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import governors
+
+
+def test_governors(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        governors.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    by = {(r["workload"], r["scheduler"]): r for r in result.rows}
+    workloads = {r["workload"] for r in result.rows}
+    # (a) JOSS's energy beats or ties the best governor on average and
+    # never loses meaningfully on any workload.
+    assert s["joss_energy_vs_best_governor"] < 1.0
+    for wl in workloads:
+        govs = [
+            by[(wl, g)]["energy_norm"]
+            for g in ("gov-performance", "gov-ondemand", "gov-powersave")
+        ]
+        assert by[(wl, "JOSS")]["energy_norm"] <= min(govs) * 1.05
+        # powersave's energy comes at a multiple in execution time.
+        assert by[(wl, "gov-powersave")]["time_norm"] > 3.0
+    # (b) On EDP, MAXP crushes powersave and stays in
+    # gov-performance's neighbourhood.
+    for wl in workloads:
+        assert (
+            by[(wl, "JOSS_MAXP")]["edp_norm"]
+            < by[(wl, "gov-powersave")]["edp_norm"]
+        )
+    assert s["joss_maxp_edp_vs_performance"] < 2.0

@@ -1,0 +1,23 @@
+"""Task-granularity sweep."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import granularity
+
+
+def test_granularity(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        granularity.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    # JOSS wins at every grain — fine tasks included, where the
+    # coarsening path (paper section 5.3) keeps DVFS overhead at bay.
+    assert result.summary["worst_ratio"] < 1.0
+    assert result.summary["best_ratio"] < 0.85
+    for row in result.rows:
+        assert row["joss_vs_grws_energy"] < 1.0
+    # The grain axis actually varied the task count by >10x.
+    counts = [r["tasks"] for r in result.rows if r["benchmark"] == "mm"]
+    assert max(counts) > 10 * min(counts)

@@ -1,0 +1,25 @@
+"""Multi-programmed application mixes."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import multiprog
+
+
+def test_multiprog(benchmark, results_dir, bench_config):
+    result = benchmark.pedantic(
+        multiprog.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    s = result.summary
+    # JOSS handles conflicting per-application frequency demands best —
+    # its averaging coordination is exactly the mechanism under test.
+    assert s["JOSS_avg_reduction"] > s["STEER_avg_reduction"]
+    assert s["JOSS_avg_reduction"] > s["JOSS_NoMemDVFS_avg_reduction"]
+    assert s["JOSS_avg_reduction"] > 0.10
+    for row in result.rows:
+        assert row["JOSS"] < 1.0  # wins every mix
+        assert row["JOSS"] <= min(
+            row[x] for x in ("ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS")
+        ) + 0.02

@@ -1,0 +1,27 @@
+"""Section 5.1 — sampling-phase cost falls with kernel invocations."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import sampling
+
+
+def test_sec51_sampling(benchmark, results_dir):
+    result = benchmark.pedantic(sampling.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    # The sampling share shrinks as workloads scale toward the paper's
+    # invocation counts (paper: 0.8% at full size).
+    by_wl: dict[str, list[tuple[float, float]]] = {}
+    for r in result.rows:
+        by_wl.setdefault(r["workload"], []).append(
+            (r["scale"], r["fraction_of_task_time"])
+        )
+    shrinking = 0
+    for pts in by_wl.values():
+        pts.sort()
+        if pts[-1][1] < pts[0][1]:
+            shrinking += 1
+    assert shrinking >= len(by_wl) - 1
+    assert result.summary["largest_scale_avg_fraction"] < 0.25

@@ -1,0 +1,21 @@
+"""Section 7.4 — steepest descent vs exhaustive search, LUT storage."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import overhead
+from repro.models.tables import storage_entries
+
+
+def test_sec74_overhead(benchmark, results_dir):
+    result = benchmark.pedantic(overhead.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    s = result.summary
+    # Paper: ~70% fewer comparisons, >= 97% of the energy benefit kept.
+    assert s["avg_eval_reduction"] > 0.60
+    assert s["avg_energy_quality"] > 0.95
+    # The paper's storage formula for the TX2 grid.
+    assert storage_entries(2, 4, 12, 7) == 3 * 2 * 3 * 12 * 7
+    # Larger platforms widen the gap's absolute size.
+    assert storage_entries(8, 16, 16, 8) > storage_entries(2, 4, 12, 7)

@@ -1,0 +1,23 @@
+"""Table 1 — evaluated benchmark inventory."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.experiments import tab1
+
+
+def test_tab1_workloads(benchmark, results_dir):
+    result = benchmark.pedantic(tab1.run, rounds=1, iterations=1)
+    emit(result, results_dir)
+    rows = {r["name"]: r for r in result.rows}
+    assert len(rows) == 15
+    # SparseLU exposes the four paper kernels.
+    assert set(rows["slu"]["kernels"]) == {
+        "slu.lu0", "slu.fwd", "slu.bdiv", "slu.bmod"
+    }
+    # The synthetics honour their configured dop.
+    for wl in ("mm-256", "mc-4096", "st-512"):
+        assert abs(rows[wl]["dop"] - 4.0) < 0.5
+    # HD keeps the paper's inverse size/task-count relation.
+    assert rows["hd-small"]["tasks"] > rows["hd-big"]["tasks"] > rows["hd-huge"]["tasks"]

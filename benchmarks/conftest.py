@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one paper artefact, asserts its qualitative
+shape, saves the rendered table under ``benchmarks/results/`` and
+prints it (visible with ``pytest -s`` or on failure).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import BenchConfig
+from repro.models.training import profile_and_fit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """CI-sized settings: scale 1, 2 repetitions (the paper uses 10)."""
+    cfg = BenchConfig(scale=1.0, repetitions=2)
+    cfg.suite()  # warm the model-suite cache once for the whole session
+    return cfg
+
+
+def emit(result, results_dir: Path) -> None:
+    """Persist and print an ExperimentResult."""
+    path = result.save(results_dir)
+    print(f"\n[{result.name}] saved to {path}\n{result.text}")
+    if result.summary:
+        for k, v in result.summary.items():
+            print(f"  {k} = {v:.4g}")

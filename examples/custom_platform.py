@@ -1,0 +1,82 @@
+"""Bring your own platform: a three-cluster big.MID.little SoC.
+
+JOSS is not TX2-specific: any asymmetric multicore expressible as
+clusters + a memory DVFS domain works.  This example defines a
+three-cluster SoC (1 "prime" + 3 "big" + 4 "little" cores), profiles
+it, fits the models, and lets JOSS schedule a mixed workload — showing
+the per-kernel decisions adapt to the extra core type.
+
+Run:  python examples/custom_platform.py
+"""
+
+from repro.exec_model.kernels import KernelSpec
+from repro.hw.cluster import Cluster
+from repro.hw.core import CoreType
+from repro.hw.memory import MemorySystem
+from repro.hw.opp import OppTable
+from repro.hw.platform import Platform
+from repro.hw.power import PowerModel
+from repro.hw.voltage import VoltageCurve
+from repro.models.training import profile_and_fit
+from repro.runtime.dag import TaskGraph
+from repro.runtime.executor import Executor
+from repro.core.joss import JossScheduler
+
+CPU_FREQS = (0.5, 0.8, 1.1, 1.4, 1.7, 2.0, 2.3)
+MEM_FREQS = (0.5, 0.9, 1.3, 1.7, 2.1)
+
+PRIME = CoreType("prime", giga_ops_per_ghz=3.0, stream_bw_per_ghz=8.0,
+                 k_dyn=1.1, k_static=0.06, stall_activity=0.6)
+BIG = CoreType("big", giga_ops_per_ghz=1.8, stream_bw_per_ghz=6.0,
+               k_dyn=0.6, k_static=0.04, stall_activity=0.6)
+LITTLE = CoreType("little", giga_ops_per_ghz=0.8, stream_bw_per_ghz=4.0,
+                  k_dyn=0.25, k_static=0.02, stall_activity=0.65)
+
+
+def my_soc() -> Platform:
+    volt = VoltageCurve([(0.4, 0.75), (1.0, 0.78), (2.4, 1.05)])
+    mem_volt = VoltageCurve.linear(1.05, 0.05, 0.4, 2.2)
+    opps = OppTable(CPU_FREQS)
+    clusters = [
+        Cluster(0, PRIME, 1, opps, volt, core_id_base=0),
+        Cluster(1, BIG, 3, opps, volt, core_id_base=1),
+        Cluster(2, LITTLE, 4, opps, volt, core_id_base=4),
+    ]
+    memory = MemorySystem(OppTable(MEM_FREQS), mem_volt,
+                          bw_cap_per_ghz=14.0, stream_bw_per_ghz=8.0)
+    return Platform(clusters, memory, PowerModel(), name="my-soc")
+
+
+def mixed_workload() -> TaskGraph:
+    render = KernelSpec("render", w_comp=0.4, w_bytes=0.002,
+                        type_affinity={"prime": 1.4, "big": 1.2})
+    decode = KernelSpec("decode", w_comp=0.02, w_bytes=0.03)
+    ui = KernelSpec("ui", w_comp=0.01, w_bytes=0.001)
+    g = TaskGraph("phone-frame-pipeline")
+    prev = None
+    for _frame in range(40):
+        d = g.add_task(decode, deps=[prev] if prev else None)
+        r = g.add_task(render, deps=[d])
+        u1 = g.add_task(ui, deps=[d])
+        u2 = g.add_task(ui, deps=[d])
+        prev = g.add_task(ui, deps=[r, u1, u2])
+    return g
+
+
+def main() -> None:
+    suite = profile_and_fit(my_soc, seed=0)
+    print(f"profiled {suite.platform_name}: "
+          f"{sorted(suite.models)} resource configs\n")
+    ex = Executor(my_soc(), JossScheduler(suite), seed=7)
+    metrics = ex.run(mixed_workload())
+    print(metrics.summary())
+    print("\nJOSS decisions on the custom SoC:")
+    for kernel, decision in sorted(metrics.extras["decisions"].items()):
+        print(f"  {kernel:8s} -> {decision}")
+    print("\nCompute-heavy 'render' gravitates to the fast clusters; the "
+          "streaming 'decode' and tiny 'ui' kernels land where the "
+          "energy/performance balance is best for them.")
+
+
+if __name__ == "__main__":
+    main()

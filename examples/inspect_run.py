@@ -1,0 +1,52 @@
+"""Deep-dive into one scheduled run with the analysis tooling.
+
+Runs SparseLU under JOSS with tracing and energy attribution enabled,
+then prints:
+
+- the per-core execution timeline (who ran what, when);
+- the DVFS actuation history of each frequency domain;
+- per-kernel placement mixes (the paper's section 7.1 analysis);
+- the dynamic-energy breakdown per kernel plus the shared idle floor.
+
+Run:  python examples/inspect_run.py
+"""
+
+from repro.analysis import EnergyAttributor, energy_breakdown_report, placement_report
+from repro.analysis.timeline import Timeline
+from repro.core.joss import JossScheduler
+from repro.hw.platform import jetson_tx2
+from repro.models.training import profile_and_fit
+from repro.runtime.executor import Executor
+from repro.sim.trace import Tracer
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    tracer = Tracer(categories=["activity-start", "activity-end", "freq-change"])
+    ex = Executor(jetson_tx2(), JossScheduler(suite), seed=11, tracer=tracer)
+    attributor = EnergyAttributor(ex.engine)
+    metrics = ex.run(build_workload("slu", seed=3))
+
+    print(metrics.summary())
+    print(f"\nJOSS decisions: {metrics.extras['decisions']}")
+
+    print("\n--- execution timeline " + "-" * 40)
+    timeline = Timeline.from_tracer(tracer)
+    print(timeline.render_ascii(width=90))
+
+    print("\n--- placement mix " + "-" * 46)
+    print(placement_report(metrics))
+
+    print("\n--- energy breakdown " + "-" * 43)
+    print(energy_breakdown_report(attributor))
+    print(
+        f"\nBMOD's share of dynamic energy: "
+        f"{attributor.fraction_of('slu.bmod'):.0%} "
+        f"(it is ~{metrics.per_kernel['slu.bmod'].invocations} of "
+        f"{metrics.tasks_executed} tasks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

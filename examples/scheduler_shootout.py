@@ -1,0 +1,32 @@
+"""Scheduler shoot-out: regenerate a slice of the paper's Figure 8.
+
+Runs all five evaluated schedulers (plus JOSS without the memory-DVFS
+knob) on three representative workloads — compute-bound MM, memory-
+bound MC and the kernel-diverse SparseLU — and prints GRWS-normalised
+total energy, the paper's headline comparison.
+
+Run:  python examples/scheduler_shootout.py
+"""
+
+from repro.bench.runner import BenchConfig, run_averaged
+
+SCHEDULERS = ["GRWS", "ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS", "JOSS"]
+WORKLOADS = ["mm-256", "mc-4096", "slu"]
+
+
+def main() -> None:
+    cfg = BenchConfig(scale=1.0, repetitions=2)
+    print(f"{'workload':<10s}" + "".join(f"{s:>16s}" for s in SCHEDULERS))
+    for wl in WORKLOADS:
+        metrics = {s: run_averaged(wl, s, cfg) for s in SCHEDULERS}
+        base = metrics["GRWS"].total_energy
+        cells = "".join(
+            f"{metrics[s].total_energy / base:>16.3f}" for s in SCHEDULERS
+        )
+        print(f"{wl:<10s}{cells}")
+    print("\n(total energy normalised to GRWS; lower is better — JOSS "
+          "should win or tie everywhere, as in the paper's Figure 8)")
+
+
+if __name__ == "__main__":
+    main()

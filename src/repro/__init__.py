@@ -1,0 +1,27 @@
+"""JOSS reproduction: joint CPU-memory DVFS and task scheduling for energy efficiency.
+
+This package is a full-system reproduction of the ICPP 2023 paper
+*JOSS: Joint Exploration of CPU-Memory DVFS and Task Scheduling for
+Energy Efficiency* (Chen, Goel, Manivannan, Pericas).  Because the
+paper's evaluation platform (NVIDIA Jetson TX2) is not available here,
+the hardware substrate is a deterministic discrete-event simulation of
+an asymmetric multicore with cluster-level CPU DVFS, memory DVFS and
+power sensors (see DESIGN.md for the substitution argument).
+
+Top-level layout:
+
+- :mod:`repro.sim`        -- discrete-event simulation engine
+- :mod:`repro.hw`         -- platform model (clusters, memory, power, DVFS)
+- :mod:`repro.exec_model` -- ground-truth task timing / contention model
+- :mod:`repro.runtime`    -- task-parallel runtime (DAG, queues, stealing)
+- :mod:`repro.profiling`  -- synthetic benchmarks + platform profiler
+- :mod:`repro.models`     -- MPR performance / CPU power / memory power models
+- :mod:`repro.core`       -- the JOSS scheduler (the paper's contribution)
+- :mod:`repro.schedulers` -- baselines: GRWS, ERASE, Aequitas, STEER
+- :mod:`repro.workloads`  -- the ten Table-1 benchmarks as DAG generators
+- :mod:`repro.bench`      -- experiment harness regenerating every figure/table
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

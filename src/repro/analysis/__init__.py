@@ -1,0 +1,27 @@
+"""Post-hoc and in-flight analysis tooling.
+
+Reproduces the *analysis* the paper performs on its results (section
+7.1's BMOD walk-through): where each kernel's tasks executed, and how
+the measured rail energy splits across kernels and the idle floor.
+
+- :class:`~repro.analysis.attribution.EnergyAttributor` instruments a
+  run and attributes dynamic energy to kernels (the software analogue
+  of per-task RAPL attribution);
+- :mod:`repro.analysis.reports` renders placement and energy
+  breakdowns.
+"""
+
+from repro.analysis.attribution import EnergyAttributor
+from repro.analysis.comparison import RunComparison, compare_runs
+from repro.analysis.reports import energy_breakdown_report, placement_report
+from repro.analysis.timeline import Segment, Timeline
+
+__all__ = [
+    "EnergyAttributor",
+    "RunComparison",
+    "compare_runs",
+    "placement_report",
+    "energy_breakdown_report",
+    "Segment",
+    "Timeline",
+]

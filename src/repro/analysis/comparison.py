@@ -1,0 +1,107 @@
+"""Side-by-side comparison of two runs.
+
+Produces the "why did scheduler B beat scheduler A" view used
+throughout the paper's section 7.1 prose: headline metric deltas,
+per-kernel execution-time and queueing changes, and placement shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.report import format_table
+from repro.runtime.metrics import RunMetrics
+
+
+@dataclass
+class KernelDelta:
+    """Per-kernel change between two runs."""
+
+    kernel: str
+    mean_time_a: float
+    mean_time_b: float
+    mean_wait_a: float
+    mean_wait_b: float
+    placements_a: dict[str, int] = field(default_factory=dict)
+    placements_b: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def time_ratio(self) -> float:
+        return self.mean_time_b / self.mean_time_a if self.mean_time_a else float("nan")
+
+
+@dataclass
+class RunComparison:
+    """Structured delta between two runs of the same workload."""
+
+    a: RunMetrics
+    b: RunMetrics
+    kernel_deltas: list[KernelDelta]
+
+    @property
+    def energy_ratio(self) -> float:
+        return (
+            self.b.total_energy / self.a.total_energy
+            if self.a.total_energy
+            else float("nan")
+        )
+
+    @property
+    def time_ratio(self) -> float:
+        return self.b.makespan / self.a.makespan if self.a.makespan else float("nan")
+
+    def render(self) -> str:
+        head = format_table(
+            ["metric", self.a.scheduler, self.b.scheduler, "ratio"],
+            [
+                ["total energy (J)", self.a.total_energy, self.b.total_energy,
+                 self.energy_ratio],
+                ["cpu energy (J)", self.a.cpu_energy, self.b.cpu_energy,
+                 self.b.cpu_energy / self.a.cpu_energy if self.a.cpu_energy else 0.0],
+                ["mem energy (J)", self.a.mem_energy, self.b.mem_energy,
+                 self.b.mem_energy / self.a.mem_energy if self.a.mem_energy else 0.0],
+                ["makespan (s)", self.a.makespan, self.b.makespan, self.time_ratio],
+                ["steals", self.a.steals, self.b.steals, ""],
+                ["cluster DVFS transitions", self.a.cluster_freq_transitions,
+                 self.b.cluster_freq_transitions, ""],
+                ["memory DVFS transitions", self.a.memory_freq_transitions,
+                 self.b.memory_freq_transitions, ""],
+            ],
+        )
+        rows = []
+        for d in self.kernel_deltas:
+            rows.append(
+                [
+                    d.kernel,
+                    d.mean_time_a * 1e3,
+                    d.mean_time_b * 1e3,
+                    d.time_ratio,
+                    ", ".join(f"{k}:{v}" for k, v in sorted(d.placements_b.items())),
+                ]
+            )
+        kernels = format_table(
+            ["kernel", f"{self.a.scheduler} t (ms)", f"{self.b.scheduler} t (ms)",
+             "ratio", f"{self.b.scheduler} placements"],
+            rows,
+        )
+        return head + "\n\nPer-kernel:\n" + kernels
+
+
+def compare_runs(a: RunMetrics, b: RunMetrics) -> RunComparison:
+    """Compare two runs (ideally of the same workload)."""
+    deltas = []
+    for kernel in sorted(set(a.per_kernel) | set(b.per_kernel)):
+        ka = a.per_kernel.get(kernel)
+        kb = b.per_kernel.get(kernel)
+        deltas.append(
+            KernelDelta(
+                kernel=kernel,
+                mean_time_a=ka.mean_time if ka else 0.0,
+                mean_time_b=kb.mean_time if kb else 0.0,
+                mean_wait_a=ka.mean_wait if ka else 0.0,
+                mean_wait_b=kb.mean_wait if kb else 0.0,
+                placements_a=dict(ka.placements) if ka else {},
+                placements_b=dict(kb.placements) if kb else {},
+            )
+        )
+    return RunComparison(a=a, b=b, kernel_deltas=deltas)

@@ -1,0 +1,55 @@
+"""Rendered placement and energy-breakdown reports."""
+
+from __future__ import annotations
+
+from repro.analysis.attribution import EnergyAttributor
+from repro.bench.report import format_table
+from repro.runtime.metrics import RunMetrics
+
+
+def placement_fractions(metrics: RunMetrics, kernel: str) -> dict[str, float]:
+    """Fraction of a kernel's tasks executed per ``<cluster>x<nc>``
+    placement (the paper's "63% of BMOD tasks execute on Denver")."""
+    ks = metrics.per_kernel.get(kernel)
+    if ks is None or ks.invocations == 0:
+        return {}
+    return {
+        key: count / ks.invocations for key, count in sorted(ks.placements.items())
+    }
+
+
+def cluster_fraction(metrics: RunMetrics, kernel: str, cluster: str) -> float:
+    """Fraction of a kernel's tasks that ran on one cluster type."""
+    fracs = placement_fractions(metrics, kernel)
+    return sum(v for k, v in fracs.items() if k.startswith(cluster))
+
+
+def placement_report(metrics: RunMetrics) -> str:
+    rows = []
+    for kernel, ks in sorted(metrics.per_kernel.items()):
+        fr = placement_fractions(metrics, kernel)
+        rows.append(
+            [
+                kernel,
+                ks.invocations,
+                ks.mean_time * 1e3,
+                ", ".join(f"{k}:{v:.0%}" for k, v in fr.items()),
+            ]
+        )
+    return format_table(
+        ["kernel", "tasks", "mean time (ms)", "placements"], rows,
+        float_fmt="{:.3f}",
+    )
+
+
+def energy_breakdown_report(attributor: EnergyAttributor) -> str:
+    rows = []
+    for kernel, ke in sorted(
+        attributor.per_kernel.items(), key=lambda kv: -kv[1].total
+    ):
+        rows.append([kernel, ke.cpu, ke.mem, ke.total, ke.busy_time])
+    rows.append(["(idle floor)", "", "", attributor.idle_energy, ""])
+    return format_table(
+        ["kernel", "E_cpu_dyn (J)", "E_mem_dyn (J)", "E_total (J)", "busy (s)"],
+        rows,
+    )

@@ -1,0 +1,162 @@
+"""Execution timelines from trace records.
+
+Builds a per-core Gantt view of a traced run: which kernel ran on
+which core and when, plus DVFS actuation points.  Exports to a JSON
+structure (for external plotting) and renders a terminal ASCII chart —
+handy when debugging why a scheduler serialised work or thrashed a
+frequency domain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One execution interval of a kernel on a core."""
+
+    core: int
+    kernel: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FreqEvent:
+    """One applied DVFS transition on a domain."""
+
+    time: float
+    domain: str
+    freq: float
+
+
+class Timeline:
+    """Per-core execution segments reconstructed from a tracer."""
+
+    def __init__(
+        self,
+        segments: list[Segment],
+        makespan: float,
+        freq_events: list[FreqEvent] | None = None,
+    ) -> None:
+        self.segments = sorted(segments, key=lambda s: (s.core, s.start))
+        self.makespan = makespan
+        self.freq_events = sorted(
+            freq_events or [], key=lambda e: (e.domain, e.time)
+        )
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "Timeline":
+        """Pair activity-start / activity-end records per core; collect
+        DVFS actuations."""
+        open_per_core: dict[int, tuple[str, float]] = {}
+        segments: list[Segment] = []
+        freq_events: list[FreqEvent] = []
+        makespan = 0.0
+        for rec in tracer:
+            makespan = max(makespan, rec.time)
+            if rec.category == "activity-start":
+                open_per_core[rec.payload["core"]] = (
+                    rec.payload["kernel"], rec.time,
+                )
+            elif rec.category == "activity-end":
+                core = rec.payload["core"]
+                started = open_per_core.pop(core, None)
+                if started is not None:
+                    segments.append(
+                        Segment(core, started[0], started[1], rec.time)
+                    )
+            elif rec.category == "freq-change":
+                freq_events.append(
+                    FreqEvent(rec.time, rec.payload["domain"], rec.payload["freq"])
+                )
+        return cls(segments, makespan, freq_events)
+
+    def freq_series(self, domain: str) -> list[tuple[float, float]]:
+        """(time, freq) steps applied on one DVFS domain."""
+        return [
+            (e.time, e.freq) for e in self.freq_events if e.domain == domain
+        ]
+
+    def domains(self) -> list[str]:
+        return sorted({e.domain for e in self.freq_events})
+
+    def core_ids(self) -> list[int]:
+        return sorted({s.core for s in self.segments})
+
+    def busy_time(self, core: int) -> float:
+        return sum(s.duration for s in self.segments if s.core == core)
+
+    def utilisation(self, core: int) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_time(core) / self.makespan
+
+    def kernels(self) -> list[str]:
+        return sorted({s.kernel for s in self.segments})
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "makespan": self.makespan,
+                "segments": [asdict(s) for s in self.segments],
+                "freq_events": [asdict(e) for e in self.freq_events],
+            }
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    def render_ascii(self, width: int = 80) -> str:
+        """Terminal Gantt chart: one row per core, one glyph per slot.
+
+        Each kernel gets a stable single-character glyph; '.' is idle
+        and '*' marks slots where multiple short segments landed.
+        """
+        if not self.segments or self.makespan <= 0:
+            return "(empty timeline)"
+        glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        glyph_of = {
+            k: glyphs[i % len(glyphs)] for i, k in enumerate(self.kernels())
+        }
+        lines = []
+        for core in self.core_ids():
+            row = ["."] * width
+            seen: dict[int, set[str]] = {}
+            for seg in self.segments:
+                if seg.core != core:
+                    continue
+                lo = int(seg.start / self.makespan * (width - 1))
+                hi = max(lo, int(seg.end / self.makespan * (width - 1)))
+                for i in range(lo, hi + 1):
+                    seen.setdefault(i, set()).add(seg.kernel)
+            for i, ks in seen.items():
+                row[i] = glyph_of[next(iter(ks))] if len(ks) == 1 else "*"
+            util = self.utilisation(core)
+            lines.append(f"core {core}: |{''.join(row)}| {util:5.1%}")
+        legend = "  ".join(f"{g}={k}" for k, g in sorted(
+            glyph_of.items(), key=lambda kv: kv[1]
+        ))
+        lines.append(f"legend: {legend}")
+        for domain in self.domains():
+            steps = self.freq_series(domain)
+            shown = "  ".join(
+                f"{t * 1e3:.0f}ms->{f:.2f}GHz" for t, f in steps[:6]
+            )
+            more = f"  (+{len(steps) - 6} more)" if len(steps) > 6 else ""
+            lines.append(f"dvfs {domain}: {shown}{more}")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment module under :mod:`repro.bench.experiments` returns an
+:class:`~repro.bench.result.ExperimentResult` with structured rows and
+a formatted text table matching the paper's artefact:
+
+========  =====================================================
+fig1      Fig. 1 — motivation: four configuration-selection scenarios
+fig2      Fig. 2 — energy/performance trade-off frontier
+fig5      Fig. 5 — synthetic-benchmark power profiles on A57
+tab1      Table 1 — benchmark suite inventory
+fig8      Fig. 8 — total energy across schedulers and benchmarks
+fig9      Fig. 9 — energy/time under performance constraints
+fig10     Fig. 10 — model prediction accuracy distributions
+overhead  Section 7.4 — steepest descent vs exhaustive, LUT storage
+sampling  Section 5.1 — sampling-phase cost
+ablation  Design-choice ablations (coordination, coarsening, search)
+========  =====================================================
+"""
+
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_one, run_matrix
+
+__all__ = ["ExperimentResult", "BenchConfig", "run_one", "run_matrix"]

@@ -1,0 +1,44 @@
+"""Experiment implementations, one module per paper artefact."""
+
+from repro.bench.experiments import (  # noqa: F401 - re-exported modules
+    ablation,
+    degree,
+    dop,
+    fig1,
+    fig2,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    governors,
+    granularity,
+    multiprog,
+    overhead,
+    percore,
+    portability,
+    sampling,
+    sec71,
+    tab1,
+)
+
+#: Experiment name -> module with a ``run(...) -> ExperimentResult``.
+ALL = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig5": fig5,
+    "tab1": tab1,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "overhead": overhead,
+    "sampling": sampling,
+    "sec71": sec71,
+    "percore": percore,
+    "degree": degree,
+    "dop": dop,
+    "governors": governors,
+    "portability": portability,
+    "multiprog": multiprog,
+    "granularity": granularity,
+    "ablation": ablation,
+}

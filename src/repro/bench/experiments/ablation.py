@@ -1,0 +1,132 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+1. **Frequency coordination** (section 5.3): arithmetic mean vs min /
+   max / ours / theirs on workloads with concurrent DVFS conflicts —
+   the paper evaluated these and found the mean best.
+2. **Task coarsening** (section 5.3): on vs off for the fine-grained
+   Fibonacci workload.
+3. **Selection search**: steepest descent vs exhaustive, end-to-end
+   (does the pruning change the energy outcome?).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_averaged
+
+COORDINATION_WORKLOADS = ("dp", "slu", "st-512")
+STRATEGIES = ("mean", "min", "max", "ours", "theirs")
+
+
+def run(config: Optional[BenchConfig] = None) -> ExperimentResult:
+    cfg = config or BenchConfig(repetitions=2)
+    rows, sections = [], []
+
+    # 1. Coordination strategy.
+    coord_rows = []
+    per_strategy: dict[str, list[float]] = {s: [] for s in STRATEGIES}
+    for wl in COORDINATION_WORKLOADS:
+        cells = [wl]
+        energies = {}
+        for strat in STRATEGIES:
+            c = BenchConfig(
+                platform_factory=cfg.platform_factory,
+                scale=cfg.scale,
+                repetitions=cfg.repetitions,
+                seed=cfg.seed,
+                workload_seed=cfg.workload_seed,
+                scheduler_kwargs={"coordination": strat},
+            )
+            m = run_averaged(wl, "JOSS", c)
+            energies[strat] = m.total_energy
+        for strat in STRATEGIES:
+            norm = energies[strat] / energies["mean"]
+            cells.append(norm)
+            per_strategy[strat].append(norm)
+            rows.append(
+                {"ablation": "coordination", "workload": wl,
+                 "variant": strat, "energy_vs_mean": norm}
+            )
+        coord_rows.append(cells)
+    sections.append(
+        "Coordination heuristic (energy normalised to 'mean'):\n"
+        + format_table(["workload"] + list(STRATEGIES), coord_rows)
+    )
+
+    # 2. Coarsening on/off for fine-grained tasks.
+    coarse_rows = []
+    for enabled in (True, False):
+        from repro.core.coarsening import CoarseningPolicy
+
+        c = BenchConfig(
+            platform_factory=cfg.platform_factory,
+            scale=cfg.scale,
+            repetitions=cfg.repetitions,
+            seed=cfg.seed,
+            workload_seed=cfg.workload_seed,
+            scheduler_kwargs={"coarsening": CoarseningPolicy(enabled=enabled)},
+        )
+        m = run_averaged("fb", "JOSS", c)
+        coarse_rows.append(
+            ["on" if enabled else "off", m.total_energy, m.makespan * 1e3,
+             m.extras.get("coarsening_suppressed", 0)]
+        )
+        rows.append(
+            {"ablation": "coarsening", "workload": "fb",
+             "variant": "on" if enabled else "off",
+             "energy_j": m.total_energy, "makespan_s": m.makespan}
+        )
+    sections.append(
+        "Task coarsening on fine-grained FB:\n"
+        + format_table(
+            ["coarsening", "energy (J)", "time (ms)", "suppressed DVFS reqs"],
+            coarse_rows,
+        )
+    )
+
+    # 3. Selector: steepest vs exhaustive, end to end.
+    sel_rows = []
+    for wl in ("slu", "vg"):
+        cells = [wl]
+        for selector in ("steepest", "exhaustive"):
+            c = BenchConfig(
+                platform_factory=cfg.platform_factory,
+                scale=cfg.scale,
+                repetitions=cfg.repetitions,
+                seed=cfg.seed,
+                workload_seed=cfg.workload_seed,
+                scheduler_kwargs={"selector": selector},
+            )
+            m = run_averaged(wl, "JOSS", c)
+            cells += [m.total_energy, m.extras.get("selection_evaluations", 0)]
+            rows.append(
+                {"ablation": "selector", "workload": wl, "variant": selector,
+                 "energy_j": m.total_energy,
+                 "evaluations": m.extras.get("selection_evaluations", 0)}
+            )
+        sel_rows.append(cells)
+    sections.append(
+        "Selection search, end to end:\n"
+        + format_table(
+            ["workload", "steepest E (J)", "steepest evals",
+             "exhaustive E (J)", "exhaustive evals"],
+            sel_rows,
+        )
+    )
+
+    summary = {
+        f"coordination_{s}_avg": float(np.mean(per_strategy[s]))
+        for s in STRATEGIES
+    }
+    return ExperimentResult(
+        name="ablation",
+        title="Ablations: coordination heuristic, coarsening, selection search",
+        rows=rows,
+        text="\n\n".join(sections),
+        summary=summary,
+    )

@@ -1,0 +1,118 @@
+"""MPR degree study (paper section 4.3.3's overfitting note).
+
+The paper: "We also evaluated the effectiveness of enhancing the
+performance and power models with higher degree coefficients but
+observed that it resulted in model overfitting and increased
+computation overheads without further improvement in prediction
+accuracy."
+
+This experiment fits the full model suite at polynomial degrees 1, 2
+and 3 from the *same* profiling dataset and evaluates each on held-out
+workload kernels (never seen during training), reporting mean accuracy
+per model plus the parameter count (the computation-overhead proxy).
+Expected shape: degree 2 clearly beats degree 1; degree 3 adds
+parameters without a matching accuracy gain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.bench.oracle import ConfigurationExplorer
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.hw.platform import Platform, jetson_tx2
+from repro.models.mb import estimate_mb
+from repro.models.training import fit_models
+from repro.profiling.profiler import PlatformProfiler
+from repro.workloads.registry import build_workload
+
+DEGREES = (1, 2, 3)
+
+F_C_GRID = (0.499, 0.960, 1.420, 2.040)
+F_M_GRID = (0.408, 0.800, 1.331, 1.866)
+
+#: Workloads contributing held-out evaluation kernels.
+EVAL_WORKLOADS = ("slu", "mc-4096", "vg", "dp")
+
+
+def run(
+    platform_factory: Callable[[], Platform] = jetson_tx2,
+    seed: int = 0,
+    degrees: tuple[int, ...] = DEGREES,
+) -> ExperimentResult:
+    dataset = PlatformProfiler(platform_factory, seed=seed).run()
+    suites = {d: fit_models(dataset, degree=d) for d in degrees}
+    explorer = ConfigurationExplorer(platform_factory, seed=seed + 1)
+    kernels = {}
+    for wl in EVAL_WORKLOADS:
+        for k in build_workload(wl, scale=0.5).kernels():
+            kernels.setdefault(k.name, k)
+    acc: dict[tuple[int, str], list[float]] = {}
+    ref_suite = suites[degrees[0]]
+    for kernel in kernels.values():
+        for cl_name, n_cores in ref_suite.config_keys():
+            ref = explorer.measure(
+                kernel, cl_name, n_cores, ref_suite.f_c_ref, ref_suite.f_m_ref,
+                tasks=1,
+            )
+            samp = explorer.measure(
+                kernel, cl_name, n_cores, ref_suite.f_c_sample,
+                ref_suite.f_m_ref, tasks=1,
+            )
+            mb = estimate_mb(
+                ref.time, samp.time, ref_suite.f_c_ref, ref_suite.f_c_sample
+            )
+            for f_c in F_C_GRID:
+                for f_m in F_M_GRID:
+                    real = explorer.measure(
+                        kernel, cl_name, n_cores, f_c, f_m, tasks=1
+                    )
+                    for d, suite in suites.items():
+                        t = suite.predict_time(cl_name, n_cores, mb, ref.time, f_c, f_m)
+                        pc = suite.predict_cpu_power(cl_name, n_cores, mb, f_c)
+                        pm = suite.predict_mem_power(cl_name, n_cores, mb, f_c, f_m)
+                        idle = suite.idle
+                        acc.setdefault((d, "performance"), []).append(
+                            1 - abs(real.time - t) / real.time
+                        )
+                        acc.setdefault((d, "cpu_power"), []).append(
+                            1 - abs(real.cpu_power - (pc + idle.cpu_idle(f_c)))
+                            / real.cpu_power
+                        )
+                        acc.setdefault((d, "mem_power"), []).append(
+                            1 - abs(real.mem_power - (pm + idle.mem_idle(f_m)))
+                            / real.mem_power
+                        )
+    rows, table_rows = [], []
+    summary: dict[str, float] = {}
+    for d in degrees:
+        suite = suites[d]
+        some_cm = next(iter(suite.models.values()))
+        n_params = (
+            some_cm.performance._stall.n_params
+            + some_cm.cpu_power._reg.n_params
+            + some_cm.mem_power._reg.n_params
+        )
+        row = {"degree": d, "params_per_config": n_params}
+        cells = [d, n_params]
+        for model in ("performance", "cpu_power", "mem_power"):
+            mean = float(np.mean(acc[(d, model)]))
+            row[f"{model}_mean_acc"] = mean
+            cells.append(mean)
+            summary[f"deg{d}_{model}"] = mean
+        rows.append(row)
+        table_rows.append(cells)
+    text = format_table(
+        ["degree", "params/config", "perf acc", "cpu acc", "mem acc"],
+        table_rows,
+    )
+    return ExperimentResult(
+        name="degree",
+        title="Section 4.3.3: MPR degree study (held-out kernel accuracy)",
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

@@ -1,0 +1,63 @@
+"""DAG-parallelism sweep (the paper's dop dimension, section 7.1).
+
+The synthetics MM/MC/ST expose a configurable *dop* (task concurrency =
+tasks / critical path); the paper evaluates "different task granularity
+and task DAG parallelism settings ... a broad spectrum of task DAGs".
+This experiment sweeps dop for each synthetic and reports JOSS's energy
+vs GRWS across the spectrum — from the serial dop=1 case of the
+motivation study to dop > cores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_averaged
+
+WORKLOADS = ("mm-256", "mc-4096", "st-512")
+DOPS = (1, 2, 4, 8)
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = WORKLOADS,
+    dops: Sequence[int] = DOPS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    rows, table_rows = [], []
+    ratios = []
+    for wl in workloads:
+        cells = [wl]
+        for dop in dops:
+            grws = run_averaged(wl, "GRWS", cfg, dop=dop)
+            joss = run_averaged(wl, "JOSS", cfg, dop=dop)
+            ratio = joss.total_energy / grws.total_energy
+            ratios.append(ratio)
+            rows.append(
+                {
+                    "workload": wl,
+                    "dop": dop,
+                    "joss_vs_grws_energy": ratio,
+                    "joss_vs_grws_time": joss.makespan / grws.makespan,
+                }
+            )
+            cells.append(ratio)
+        table_rows.append(cells)
+    text = format_table(
+        ["workload"] + [f"dop={d}" for d in dops], table_rows
+    )
+    return ExperimentResult(
+        name="dop",
+        title="dop sweep: JOSS total energy normalised to GRWS",
+        rows=rows,
+        text=text,
+        summary={
+            "mean_ratio": float(np.mean(ratios)),
+            "worst_ratio": float(np.max(ratios)),
+            "best_ratio": float(np.min(ratios)),
+        },
+    )

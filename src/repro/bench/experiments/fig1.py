@@ -1,0 +1,105 @@
+"""Figure 1 — why memory energy and joint knobs matter (section 2).
+
+Reproduces the four configuration-selection scenarios on MM
+(compute-intensive) and MC (memory-intensive) at dop = 1:
+
+1. least **CPU** energy over ``<T_C, N_C, f_C>``, f_M pinned at max
+   (the state of the art, STEER);
+2. least **total** energy over the same three knobs, f_M pinned;
+3. scenario 1's ``<T_C, N_C, f_C>``, then f_M tuned orthogonally;
+4. least total energy over all four knobs jointly (JOSS's approach).
+
+Expected shape: E2 <= E1 (counting memory energy changes the chosen
+configuration), E4 <= E3 (joint beats orthogonal), with the gaps wider
+for MC than MM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.bench.oracle import ConfigurationExplorer, MeasuredPoint
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.hw.platform import Platform, jetson_tx2
+from repro.workloads.matmul import _KERNELS as MM_KERNELS
+from repro.workloads.memcopy import _KERNELS as MC_KERNELS
+
+#: The two motivation benchmarks (paper section 2).
+BENCHMARKS = {
+    "MM": MM_KERNELS[512],
+    "MC": MC_KERNELS[4096],
+}
+
+
+def _argmin(points, key, fm_max: Optional[float] = None, fixed3=None):
+    best = None
+    for (cl, nc, fc, fm), p in points.items():
+        if fm_max is not None and abs(fm - fm_max) > 1e-9:
+            continue
+        if fixed3 is not None and (cl, nc, fc) != fixed3:
+            continue
+        if best is None or key(p) < key(best):
+            best = p
+    assert best is not None
+    return best
+
+
+def run(
+    platform_factory: Callable[[], Platform] = jetson_tx2,
+    seed: int = 0,
+    tasks_per_point: int = 2,
+) -> ExperimentResult:
+    explorer = ConfigurationExplorer(platform_factory, seed=seed)
+    fm_max = explorer.platform.memory.opps.max
+    rows = []
+    table_rows = []
+    summary: dict[str, float] = {}
+    for bench_name, kernel in BENCHMARKS.items():
+        points = explorer.sweep(kernel, tasks=tasks_per_point)
+        s1 = _argmin(points, lambda p: p.cpu_energy, fm_max=fm_max)
+        s2 = _argmin(points, lambda p: p.total_energy, fm_max=fm_max)
+        s3 = _argmin(
+            points,
+            lambda p: p.total_energy,
+            fixed3=(s1.cluster, s1.n_cores, s1.f_c),
+        )
+        s4 = _argmin(points, lambda p: p.total_energy)
+        scenarios = {
+            "1 least-CPU-energy (state of the art)": s1,
+            "2 least-total-energy, 3 knobs": s2,
+            "3 scenario-1 + orthogonal f_M": s3,
+            "4 joint four knobs (JOSS)": s4,
+        }
+        for label, p in scenarios.items():
+            rows.append(
+                {
+                    "benchmark": bench_name,
+                    "scenario": label,
+                    "config": p.config_str(),
+                    "total_energy_j": p.total_energy,
+                    "normalized": p.total_energy / s1.total_energy,
+                }
+            )
+            table_rows.append(
+                [
+                    bench_name,
+                    label,
+                    p.config_str(),
+                    p.total_energy * 1e3,
+                    p.total_energy / s1.total_energy,
+                ]
+            )
+        summary[f"{bench_name}_s2_vs_s1"] = 1 - s2.total_energy / s1.total_energy
+        summary[f"{bench_name}_s4_vs_s3"] = 1 - s4.total_energy / s3.total_energy
+    text = format_table(
+        ["bench", "scenario", "config <T_C,N_C,f_C,f_M>", "E_total (mJ)", "norm"],
+        table_rows,
+    )
+    return ExperimentResult(
+        name="fig1",
+        title="Figure 1: total energy under four configuration-selection scenarios",
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

@@ -1,0 +1,118 @@
+"""Figure 10 — prediction accuracy of the three models (section 7.3).
+
+For every (workload kernel, ``<T_C, N_C>``, ``(f_C, f_M)``) point on a
+grid, compare model predictions against "real" values measured by
+running the kernel pinned at that configuration, using the paper's
+accuracy metric ``1 - |real - pred| / real``.  The paper reports mean
+(median) accuracies of 97% (98.3%) for performance, 90% (91.8%) for
+CPU power and 80% (84.6%) for memory power.
+
+MB and the reference time are obtained exactly as the runtime obtains
+them: two timed runs at the reference and sampling core frequencies
+(Eq. 3) — so the reported accuracy includes MB-estimation error, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.oracle import ConfigurationExplorer
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.hw.platform import Platform, jetson_tx2
+from repro.models.mb import estimate_mb
+from repro.models.suite import ModelSuite
+from repro.models.training import profile_and_fit
+from repro.workloads.registry import build_workload, workload_names
+
+F_C_GRID = (0.499, 0.960, 1.420, 2.040)
+F_M_GRID = (0.408, 0.800, 1.331, 1.866)
+
+
+def _accuracy(real: float, pred: float) -> float:
+    if real <= 0:
+        return float("nan")
+    return 1.0 - abs(real - pred) / real
+
+
+def run(
+    platform_factory: Callable[[], Platform] = jetson_tx2,
+    suite: Optional[ModelSuite] = None,
+    workloads: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    suite = suite or profile_and_fit(platform_factory, seed=seed)
+    explorer = ConfigurationExplorer(platform_factory, seed=seed)
+    platform = explorer.platform
+    wls = list(workloads) if workloads is not None else workload_names()
+    kernels: dict[str, object] = {}
+    for wl in wls:
+        for k in build_workload(wl, scale=0.5).kernels():
+            kernels.setdefault(k.name, k)
+    acc = {"performance": [], "cpu_power": [], "mem_power": []}
+    for kernel in kernels.values():
+        for cl_name, n_cores in suite.config_keys():
+            ref = explorer.measure(
+                kernel, cl_name, n_cores, suite.f_c_ref, suite.f_m_ref, tasks=2
+            )
+            samp = explorer.measure(
+                kernel, cl_name, n_cores, suite.f_c_sample, suite.f_m_ref, tasks=2
+            )
+            mb = estimate_mb(ref.time, samp.time, suite.f_c_ref, suite.f_c_sample)
+            idle = suite.idle
+            for f_c in F_C_GRID:
+                for f_m in F_M_GRID:
+                    real = explorer.measure(
+                        kernel, cl_name, n_cores, f_c, f_m, tasks=2
+                    )
+                    t_pred = suite.predict_time(
+                        cl_name, n_cores, mb, ref.time, f_c, f_m
+                    )
+                    p_cpu = suite.predict_cpu_power(cl_name, n_cores, mb, f_c)
+                    p_mem = suite.predict_mem_power(cl_name, n_cores, mb, f_c, f_m)
+                    acc["performance"].append(_accuracy(real.time, t_pred))
+                    # Whole-rail comparison: dynamic prediction + the
+                    # characterised idle floor, as the sensor measures.
+                    acc["cpu_power"].append(
+                        _accuracy(real.cpu_power, p_cpu + idle.cpu_idle(f_c))
+                    )
+                    acc["mem_power"].append(
+                        _accuracy(real.mem_power, p_mem + idle.mem_idle(f_m))
+                    )
+    rows, table_rows = [], []
+    summary: dict[str, float] = {}
+    paper = {
+        "performance": (0.97, 0.983),
+        "cpu_power": (0.90, 0.918),
+        "mem_power": (0.80, 0.846),
+    }
+    for model, vals in acc.items():
+        arr = np.asarray([v for v in vals if np.isfinite(v)])
+        mean, median, p10 = (
+            float(arr.mean()),
+            float(np.median(arr)),
+            float(np.percentile(arr, 10)),
+        )
+        rows.append(
+            {"model": model, "mean": mean, "median": median, "p10": p10,
+             "paper_mean": paper[model][0], "paper_median": paper[model][1]}
+        )
+        table_rows.append(
+            [model, mean, median, p10, paper[model][0], paper[model][1]]
+        )
+        summary[f"{model}_mean"] = mean
+        summary[f"{model}_median"] = median
+    text = format_table(
+        ["model", "mean acc", "median acc", "p10 acc", "paper mean", "paper median"],
+        table_rows,
+    )
+    return ExperimentResult(
+        name="fig10",
+        title="Figure 10: model prediction accuracy across all benchmarks",
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

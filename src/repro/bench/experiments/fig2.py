@@ -1,0 +1,85 @@
+"""Figure 2 — exploring energy/performance trade-offs (section 2.3).
+
+Starting from the configuration with the least total energy (the first
+bar of the paper's figure), raise core / memory frequency and report
+the speedup obtained and the energy premium paid, up to the fastest
+configuration.  The paper's datapoints: raising f_C from 1.11 to 1.57
+gives MM 1.4x (+10% energy) and MC 1.3x (+1%); maximum speedups are
+1.8x (+36%) and 1.9x (+30%).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.experiments.fig1 import BENCHMARKS
+from repro.bench.oracle import ConfigurationExplorer
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.hw.platform import Platform, jetson_tx2
+
+
+def run(
+    platform_factory: Callable[[], Platform] = jetson_tx2,
+    seed: int = 0,
+    tasks_per_point: int = 2,
+) -> ExperimentResult:
+    explorer = ConfigurationExplorer(platform_factory, seed=seed)
+    rows, table_rows = [], []
+    summary: dict[str, float] = {}
+    for bench_name, kernel in BENCHMARKS.items():
+        points = explorer.sweep(kernel, tasks=tasks_per_point)
+        base = min(points.values(), key=lambda p: p.total_energy)
+        # Frontier along rising core frequency on the base <T_C, N_C>,
+        # with f_M re-optimised for energy at each step (the trade-off
+        # curve the scheduler exposes to the user).
+        cluster = explorer.platform.cluster_by_type(base.cluster)
+        frontier = []
+        for f_c in cluster.opps:
+            if f_c < base.f_c:
+                continue
+            candidates = [
+                p
+                for (cl, nc, fc, fm), p in points.items()
+                if cl == base.cluster and nc == base.n_cores
+                and abs(fc - f_c) < 1e-9
+            ]
+            fastest_energy = min(
+                (p for p in candidates if p.time <= base.time / 1.0001 or f_c == base.f_c),
+                key=lambda p: p.total_energy,
+                default=min(candidates, key=lambda p: p.total_energy),
+            )
+            frontier.append(fastest_energy)
+        fastest = min(points.values(), key=lambda p: p.time)
+        for p in frontier + [fastest]:
+            speedup = base.time / p.time
+            premium = p.total_energy / base.total_energy - 1
+            label = "fastest overall" if p is fastest else "frontier"
+            rows.append(
+                {
+                    "benchmark": bench_name,
+                    "kind": label,
+                    "config": p.config_str(),
+                    "speedup": speedup,
+                    "energy_premium": premium,
+                }
+            )
+            table_rows.append(
+                [bench_name, label, p.config_str(), speedup, premium * 100]
+            )
+        summary[f"{bench_name}_max_speedup"] = base.time / fastest.time
+        summary[f"{bench_name}_max_premium"] = (
+            fastest.total_energy / base.total_energy - 1
+        )
+    text = format_table(
+        ["bench", "kind", "config", "speedup (x)", "energy premium (%)"],
+        table_rows,
+        float_fmt="{:.2f}",
+    )
+    return ExperimentResult(
+        name="fig2",
+        title="Figure 2: energy/performance trade-off exploration",
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

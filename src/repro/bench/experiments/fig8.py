@@ -1,0 +1,70 @@
+"""Figure 8 — total energy across schedulers and benchmarks (section 7.1).
+
+Runs GRWS, ERASE, Aequitas, STEER, JOSS and JOSS_NoMemDVFS over the
+full workload suite and reports absolute and GRWS-normalised total
+energy, plus the paper's headline averages:
+
+- JOSS saves the most on every benchmark;
+- paper averages vs GRWS: JOSS 40.7%, STEER 19.5%, ERASE 16.3%,
+  Aequitas 8.7%, JOSS_NoMemDVFS 24.8% (i.e. +5.2% over STEER even
+  without the memory knob).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_matrix
+from repro.workloads.registry import workload_names
+
+SCHEDULERS = ("GRWS", "ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS", "JOSS")
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    wls = list(workloads) if workloads is not None else workload_names()
+    matrix = run_matrix(wls, schedulers, cfg)
+    rows, table_rows = [], []
+    for wl in wls:
+        base = matrix[wl]["GRWS"].total_energy
+        row = {"workload": wl, "grws_energy_j": base}
+        cells = [wl]
+        for s in schedulers:
+            m = matrix[wl][s]
+            norm = m.total_energy / base if base > 0 else float("nan")
+            row[s] = norm
+            row[f"{s}_cpu_j"] = m.cpu_energy
+            row[f"{s}_mem_j"] = m.mem_energy
+            cells.append(norm)
+        rows.append(row)
+        table_rows.append(cells)
+    summary: dict[str, float] = {}
+    for s in schedulers:
+        if s == "GRWS":
+            continue
+        reductions = [1 - r[s] for r in rows]
+        summary[f"{s}_avg_reduction"] = float(np.mean(reductions))
+    if "JOSS" in schedulers and "STEER" in schedulers:
+        extra = [r["STEER"] - r["JOSS"] for r in rows]
+        summary["JOSS_vs_STEER_extra"] = float(np.mean(extra))
+    if "JOSS" in schedulers and "JOSS_NoMemDVFS" in schedulers:
+        extra = [r["JOSS_NoMemDVFS"] - r["JOSS"] for r in rows]
+        summary["memory_dvfs_extra"] = float(np.mean(extra))
+    text = format_table(
+        ["workload"] + [f"{s} (norm)" for s in schedulers], table_rows
+    )
+    return ExperimentResult(
+        name="fig8",
+        title="Figure 8: total energy, normalised to GRWS (lower is better)",
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

@@ -1,0 +1,73 @@
+"""Figure 9 — energy under performance constraints (section 7.2).
+
+Runs JOSS with speedup targets 1.2x / 1.4x / 1.8x and MAXP, normalised
+to unconstrained JOSS.  Paper headline: the three targets cost +6%,
++13% and +32% energy on average; memory-intensive benchmarks cannot
+reach 1.8x even at maximum frequencies (bounded by peak FLOPS /
+bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_averaged
+from repro.workloads.registry import workload_names
+
+VARIANTS = ("JOSS", "JOSS_1.2x", "JOSS_1.4x", "JOSS_1.8x", "JOSS_MAXP")
+
+#: Default subset balancing coverage and bench runtime.
+DEFAULT_WORKLOADS = (
+    "hd-big", "dp", "vg", "slu", "mm-256", "mc-4096", "st-512",
+)
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    variants: Sequence[str] = VARIANTS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    wls = workload_names() if list(workloads) == ["all"] else list(workloads)
+    rows, table_rows = [], []
+    speedups: dict[str, list[float]] = {v: [] for v in variants}
+    premiums: dict[str, list[float]] = {v: [] for v in variants}
+    for wl in wls:
+        base = run_averaged(wl, "JOSS", cfg)
+        row = {"workload": wl}
+        cells = [wl]
+        for v in variants:
+            m = base if v == "JOSS" else run_averaged(wl, v, cfg)
+            t_norm = m.makespan / base.makespan
+            e_norm = m.total_energy / base.total_energy
+            row[f"{v}_time"] = t_norm
+            row[f"{v}_energy"] = e_norm
+            cells += [t_norm, e_norm]
+            speedups[v].append(1.0 / t_norm if t_norm > 0 else float("nan"))
+            premiums[v].append(e_norm - 1.0)
+        rows.append(row)
+        table_rows.append(cells)
+    summary: dict[str, float] = {}
+    for v in variants:
+        if v == "JOSS":
+            continue
+        summary[f"{v}_avg_speedup"] = float(np.mean(speedups[v]))
+        summary[f"{v}_avg_energy_premium"] = float(np.mean(premiums[v]))
+    headers = ["workload"]
+    for v in variants:
+        headers += [f"{v} t", f"{v} E"]
+    text = format_table(headers, table_rows, float_fmt="{:.2f}")
+    return ExperimentResult(
+        name="fig9",
+        title=(
+            "Figure 9: execution time (t) and energy (E) under performance "
+            "constraints, normalised to unconstrained JOSS"
+        ),
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

@@ -1,0 +1,88 @@
+"""Kernel-governor baselines vs JOSS (extension study).
+
+Compares the classic cpufreq policies — performance, powersave,
+ondemand — against JOSS.  Governors see only core utilisation and
+bandwidth pressure; JOSS sees per-task characteristics, which is the
+paper's core thesis.
+
+Two comparisons matter: (a) on *energy*, JOSS beats or ties the best
+governor — notably powersave, which gets close on compute-heavy
+workloads only by crawling at the V/f floor and paying ~5-6x in
+execution time; (b) on the energy-delay product, JOSS's
+performance-seeking MAXP variant sits far below powersave and brackets
+gov-performance (winning where task-aware placement beats blind
+stealing, paying a modest sampling/confinement premium elsewhere).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_averaged
+
+SCHEDULERS = ("gov-performance", "gov-ondemand", "gov-powersave", "JOSS", "JOSS_MAXP")
+DEFAULT_WORKLOADS = ("slu", "mc-4096", "vg", "st-512")
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    rows, table_rows = [], []
+    edp_ratios = []
+    for wl in workloads:
+        metrics = {s: run_averaged(wl, s, cfg) for s in SCHEDULERS}
+        base = metrics["gov-performance"]
+        cells = [wl]
+        for s in SCHEDULERS:
+            m = metrics[s]
+            e_norm = m.total_energy / base.total_energy
+            t_norm = m.makespan / base.makespan
+            edp = e_norm * t_norm
+            rows.append(
+                {
+                    "workload": wl,
+                    "scheduler": s,
+                    "energy_norm": e_norm,
+                    "time_norm": t_norm,
+                    "edp_norm": edp,
+                }
+            )
+            cells += [e_norm, t_norm, edp]
+        table_rows.append(cells)
+        wl_rows = {r["scheduler"]: r for r in rows if r["workload"] == wl}
+        best_gov_energy = min(
+            wl_rows[s]["energy_norm"] for s in SCHEDULERS if s.startswith("gov-")
+        )
+        edp_ratios.append(
+            {
+                "joss_energy_vs_best_gov": wl_rows["JOSS"]["energy_norm"] / best_gov_energy,
+                "maxp_edp_vs_performance": wl_rows["JOSS_MAXP"]["edp_norm"],
+            }
+        )
+    headers = ["workload"]
+    for s in SCHEDULERS:
+        headers += [f"{s} E", "t", "EDP"]
+    text = format_table(headers, table_rows, float_fmt="{:.2f}")
+    return ExperimentResult(
+        name="governors",
+        title=(
+            "Kernel governors vs JOSS (normalised to gov-performance; "
+            "E = energy, t = time, EDP = energy-delay product)"
+        ),
+        rows=rows,
+        text=text,
+        summary={
+            "joss_energy_vs_best_governor": float(
+                np.mean([x["joss_energy_vs_best_gov"] for x in edp_ratios])
+            ),
+            "joss_maxp_edp_vs_performance": float(
+                np.mean([x["maxp_edp_vs_performance"] for x in edp_ratios])
+            ),
+        },
+    )

@@ -1,0 +1,96 @@
+"""Task-granularity sweep (extension study).
+
+The paper evaluates "different task granularity ... settings" via the
+two sizes of each synthetic (Fig. 8).  This experiment sweeps the axis
+continuously: the same *total* work, chopped into tasks of varying
+size (per-task work scaled by g, task count by 1/g).  Expectations:
+
+- coarse tasks amortise sampling and DVFS transitions: JOSS's full
+  advantage;
+- very fine tasks (sub-millisecond) push JOSS into its coarsening path
+  (section 5.3) — savings shrink but must not invert, since coarsening
+  suppresses per-task throttling rather than mis-throttling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.runtime.executor import Executor
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.matmul import _KERNELS as MM_KERNELS
+from repro.workloads.memcopy import _KERNELS as MC_KERNELS
+
+GRAINS = (0.1, 0.3, 1.0, 3.0)
+
+BASES = {
+    "mm": (MM_KERNELS[256], 120),
+    "mc": (MC_KERNELS[4096], 100),
+}
+
+
+def _graph(base: KernelSpec, base_count: int, grain: float, dop: int = 4) -> TaskGraph:
+    kernel = base.scaled(grain, name=f"{base.name}.g{grain:g}")
+    total = max(dop * 2, int(round(base_count / grain)))
+    chain_len = max(2, total // dop)
+    g = TaskGraph(f"{base.name}-g{grain:g}")
+    for _ in range(dop):
+        prev = None
+        for _ in range(chain_len):
+            prev = g.add_task(kernel, deps=[prev] if prev else None)
+    return g
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    grains: Sequence[float] = GRAINS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    rows, table_rows = [], []
+    for name, (base, base_count) in BASES.items():
+        cells = [name]
+        for grain in grains:
+            energies = {}
+            for s in ("GRWS", "JOSS"):
+                reps = []
+                for r in range(cfg.repetitions):
+                    suite = None if s == "GRWS" else cfg.suite()
+                    ex = Executor(
+                        cfg.platform_factory(), make_scheduler(s, suite),
+                        seed=cfg.seed + 1000 * r,
+                    )
+                    m = ex.run(_graph(base, base_count, grain))
+                    reps.append(m.total_energy)
+                energies[s] = float(np.mean(reps))
+            ratio = energies["JOSS"] / energies["GRWS"]
+            rows.append(
+                {
+                    "benchmark": name,
+                    "grain": grain,
+                    "tasks": len(_graph(base, base_count, grain)),
+                    "joss_vs_grws_energy": ratio,
+                }
+            )
+            cells.append(ratio)
+        table_rows.append(cells)
+    text = format_table(
+        ["benchmark"] + [f"grain x{g:g}" for g in grains], table_rows
+    )
+    ratios = [r["joss_vs_grws_energy"] for r in rows]
+    return ExperimentResult(
+        name="granularity",
+        title="Task-granularity sweep: JOSS energy normalised to GRWS",
+        rows=rows,
+        text=text,
+        summary={
+            "worst_ratio": float(np.max(ratios)),
+            "best_ratio": float(np.min(ratios)),
+        },
+    )

@@ -1,0 +1,125 @@
+"""Section 7.4 — overhead analysis.
+
+Two parts:
+
+1. **Search cost**: steepest-descent vs exhaustive configuration
+   selection over the same per-kernel tables — cost evaluations
+   performed and the energy quality of the chosen configuration.
+   Paper: steepest descent cuts timing overhead ~70% while retaining
+   ~97% of the energy benefit; the gap grows on larger platforms.
+2. **Look-up-table storage**: the ``3 * M * log2(N/M) * Nf_C * Nf_M``
+   per-kernel entry count, evaluated for the TX2 and larger synthetic
+   platforms.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.bench.oracle import ConfigurationExplorer
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.core.goals import MinTotalEnergy
+from repro.core.selection import exhaustive_select, steepest_descent_select
+from repro.hw.platform import Platform, jetson_tx2
+from repro.models.mb import estimate_mb
+from repro.models.suite import ModelSuite
+from repro.models.tables import storage_entries
+from repro.models.training import profile_and_fit
+from repro.profiling.synthetic import synthetic_kernels
+
+
+def _tables_for(suite: ModelSuite, explorer: ConfigurationExplorer, kernel):
+    platform = explorer.platform
+    tables = {}
+    for cl_name, n_cores in suite.config_keys():
+        ref = explorer.measure(
+            kernel, cl_name, n_cores, suite.f_c_ref, suite.f_m_ref, tasks=1
+        )
+        samp = explorer.measure(
+            kernel, cl_name, n_cores, suite.f_c_sample, suite.f_m_ref, tasks=1
+        )
+        mb = estimate_mb(ref.time, samp.time, suite.f_c_ref, suite.f_c_sample)
+        cluster = platform.cluster_by_type(cl_name)
+        tables[(cl_name, n_cores)] = suite.build_table(
+            cl_name, n_cores, mb, ref.time,
+            cluster.opps.as_array(), platform.memory.opps.as_array(),
+        )
+    return tables
+
+
+def run(
+    platform_factory: Callable[[], Platform] = jetson_tx2,
+    suite: Optional[ModelSuite] = None,
+    n_kernels: int = 9,
+    seed: int = 0,
+) -> ExperimentResult:
+    suite = suite or profile_and_fit(platform_factory, seed=seed)
+    explorer = ConfigurationExplorer(platform_factory, seed=seed + 1)
+    platform = explorer.platform
+    # Held-out kernels spanning the MB range (every 5th synthetic).
+    kernels = synthetic_kernels(platform, count=41, t_ref=0.004)[::41 // n_kernels]
+    goal_cost = lambda tab: tab.energy_grid(4.0)  # noqa: E731
+    rows, table_rows = [], []
+    eval_reductions, energy_ratios, time_ratios = [], [], []
+    for kernel in kernels:
+        tables = _tables_for(suite, explorer, kernel)
+        t0 = time.perf_counter()
+        ex = exhaustive_select(tables, goal_cost)
+        t_ex = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sd = steepest_descent_select(tables, goal_cost)
+        t_sd = time.perf_counter() - t0
+        same = (ex.cluster, ex.n_cores, ex.i_fc, ex.i_fm) == (
+            sd.cluster, sd.n_cores, sd.i_fc, sd.i_fm,
+        )
+        energy_ratio = ex.cost / sd.cost if sd.cost > 0 else float("nan")
+        eval_red = 1 - sd.evaluations / ex.evaluations
+        eval_reductions.append(eval_red)
+        energy_ratios.append(energy_ratio)
+        time_ratios.append(1 - t_sd / t_ex if t_ex > 0 else float("nan"))
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "exhaustive_evals": ex.evaluations,
+                "steepest_evals": sd.evaluations,
+                "eval_reduction": eval_red,
+                "same_config": same,
+                "energy_ratio": energy_ratio,
+            }
+        )
+        table_rows.append(
+            [kernel.name, ex.evaluations, sd.evaluations, eval_red * 100,
+             "yes" if same else "no", energy_ratio * 100]
+        )
+    storage_rows = []
+    for label, m, n_per, nfc, nfm in [
+        ("jetson-tx2", 2, 4, 12, 7),
+        ("4 clusters x 8 cores", 4, 8, 12, 7),
+        ("8 clusters x 16 cores", 8, 16, 16, 8),
+    ]:
+        storage_rows.append([label, storage_entries(m, n_per, nfc, nfm)])
+    text = (
+        format_table(
+            ["kernel", "exhaustive", "steepest", "evals saved (%)",
+             "same config", "energy quality (%)"],
+            table_rows,
+            float_fmt="{:.1f}",
+        )
+        + "\n\nPer-kernel look-up-table storage (entries, 3 tables):\n"
+        + format_table(["platform", "entries"], storage_rows)
+    )
+    return ExperimentResult(
+        name="overhead",
+        title="Section 7.4: steepest descent vs exhaustive search + LUT storage",
+        rows=rows,
+        text=text,
+        summary={
+            "avg_eval_reduction": float(np.mean(eval_reductions)),
+            "avg_energy_quality": float(np.mean(energy_ratios)),
+            "avg_wall_time_reduction": float(np.nanmean(time_ratios)),
+        },
+    )

@@ -1,0 +1,110 @@
+"""Extension study — what does cluster-level DVFS cost?
+
+The paper's platform groups cores into clusters sharing one frequency
+(cheaper silicon), which forces JOSS's frequency *coordination* between
+concurrent tasks (section 5.3).  This experiment quantifies that
+design constraint by comparing three JOSS setups:
+
+1. **clustered** — the paper's TX2 (cluster DVFS + moldable tasks);
+2. **clustered-nc1** — same platform, moldable execution disabled
+   (isolates the moldability benefit from the DVFS granularity);
+3. **per-core** — an idealised TX2 where every core is its own DVFS
+   domain (no coordination conflicts; no moldability by construction).
+
+Comparing (2) and (3) isolates the DVFS-granularity effect; (1) vs (2)
+shows what moldable execution contributes on the clustered design.
+
+Finding: on this platform model per-core DVFS does *not* pay for
+itself — every additional frequency domain carries its own uncore
+(PLL/regulator/interconnect) power, and with six domains instead of
+two that overhead outweighs the coordination conflicts it removes.
+This is the economic argument for core-clustered designs the paper's
+introduction cites ([27]), emerging from the model rather than being
+assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig
+from repro.core.joss import JossScheduler
+from repro.hw.platform import jetson_tx2, jetson_tx2_per_core
+from repro.models.suite import ModelSuite
+from repro.models.training import profile_and_fit
+from repro.runtime.executor import Executor
+from repro.workloads.registry import build_workload
+
+DEFAULT_WORKLOADS = ("mm-256", "mc-4096", "slu", "vg")
+
+
+def _nc1_suite(suite: ModelSuite) -> ModelSuite:
+    """Restrict a fitted suite to single-core configurations."""
+    models = {k: v for k, v in suite.models.items() if k[1] == 1}
+    return ModelSuite(
+        models,
+        suite.idle,
+        f_c_ref=suite.f_c_ref,
+        f_m_ref=suite.f_m_ref,
+        f_c_sample=suite.f_c_sample,
+        platform_name=suite.platform_name + " (nc=1)",
+    )
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    clustered_suite = profile_and_fit(jetson_tx2, seed=cfg.profile_seed)
+    percore_suite = profile_and_fit(jetson_tx2_per_core, seed=cfg.profile_seed)
+    setups = {
+        "clustered": (jetson_tx2, clustered_suite),
+        "clustered-nc1": (jetson_tx2, _nc1_suite(clustered_suite)),
+        "per-core": (jetson_tx2_per_core, percore_suite),
+    }
+    rows, table_rows = [], []
+    ratios_dvfs, ratios_mold = [], []
+    for wl in workloads:
+        cells = [wl]
+        energies = {}
+        for label, (factory, suite) in setups.items():
+            reps = []
+            for r in range(cfg.repetitions):
+                ex = Executor(
+                    factory(), JossScheduler(suite), seed=cfg.seed + 1000 * r
+                )
+                m = ex.run(build_workload(wl, scale=cfg.scale, seed=cfg.workload_seed))
+                reps.append(m)
+            energy = float(np.mean([m.total_energy for m in reps]))
+            makespan = float(np.mean([m.makespan for m in reps]))
+            energies[label] = energy
+            rows.append(
+                {"workload": wl, "setup": label,
+                 "total_energy_j": energy, "makespan_s": makespan}
+            )
+            cells += [energy, makespan * 1e3]
+        table_rows.append(cells)
+        ratios_dvfs.append(energies["per-core"] / energies["clustered-nc1"])
+        ratios_mold.append(energies["clustered"] / energies["clustered-nc1"])
+    text = format_table(
+        ["workload",
+         "clustered E (J)", "t (ms)",
+         "nc1 E (J)", "t (ms)",
+         "per-core E (J)", "t (ms)"],
+        table_rows,
+    )
+    return ExperimentResult(
+        name="percore",
+        title="Extension: per-core DVFS vs the paper's cluster-level DVFS",
+        rows=rows,
+        text=text,
+        summary={
+            "percore_vs_clustered_nc1": float(np.mean(ratios_dvfs)),
+            "moldable_benefit": float(np.mean(ratios_mold)),
+        },
+    )

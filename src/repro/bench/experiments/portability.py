@@ -1,0 +1,80 @@
+"""Portability study — the same framework on an ODROID-XU4 model.
+
+The paper argues its PMC-free models make JOSS portable across
+architectures (section 4).  This experiment re-runs the Figure-8
+scheduler line-up, unchanged, on a second platform: an ODROID-XU4
+model (A15x4 + A7x4) with *heterogeneous per-cluster OPP ladders* and
+*no memory DVFS knob* — the other common asymmetric board ([2] in the
+paper).
+
+Expected shape: the scheduler ordering carries over (JOSS lowest,
+GRWS highest), with JOSS degenerating gracefully to total-energy
+scheduling over <T_C, N_C, f_C> since the memory-frequency grid has a
+single column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig
+from repro.hw.platform import odroid_xu4
+from repro.models.training import profile_and_fit
+from repro.runtime.executor import Executor
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.registry import build_workload
+
+SCHEDULERS = ("GRWS", "ERASE", "Aequitas", "STEER", "JOSS")
+DEFAULT_WORKLOADS = ("hd-big", "dp", "vg", "slu", "mm-256", "mc-4096", "st-512")
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> ExperimentResult:
+    cfg = config or BenchConfig()
+    suite = profile_and_fit(odroid_xu4, seed=cfg.profile_seed)
+    rows, table_rows = [], []
+    for wl in workloads:
+        energies = {}
+        for s in SCHEDULERS:
+            reps = []
+            for r in range(cfg.repetitions):
+                sched = make_scheduler(
+                    s, None if s in ("GRWS", "Aequitas") else suite
+                )
+                ex = Executor(odroid_xu4(), sched, seed=cfg.seed + 1000 * r)
+                m = ex.run(
+                    build_workload(wl, scale=cfg.scale, seed=cfg.workload_seed)
+                )
+                reps.append(m.total_energy)
+            energies[s] = float(np.mean(reps))
+        base = energies["GRWS"]
+        row = {"workload": wl}
+        cells = [wl]
+        for s in SCHEDULERS:
+            row[s] = energies[s] / base
+            cells.append(energies[s] / base)
+        rows.append(row)
+        table_rows.append(cells)
+    summary = {}
+    for s in SCHEDULERS[1:]:
+        summary[f"{s}_avg_reduction"] = float(
+            np.mean([1 - r[s] for r in rows])
+        )
+    text = format_table(["workload"] + [f"{s} (norm)" for s in SCHEDULERS],
+                        table_rows)
+    return ExperimentResult(
+        name="portability",
+        title=(
+            "Portability: Figure-8 line-up on the ODROID-XU4 model "
+            "(heterogeneous ladders, no memory DVFS; norm. to GRWS)"
+        ),
+        rows=rows,
+        text=text,
+        summary=summary,
+    )

@@ -1,0 +1,73 @@
+"""Section 5.1 — cost of the online sampling phase.
+
+The paper reports JOSS spending 0.8% of total execution time in
+sampling, leaning on kernels being invoked very many times.  Our
+scaled-down graphs invoke kernels tens-to-hundreds of times, so the
+fraction is larger at scale 1; this experiment shows the fraction and
+how it falls as the workload scale (invocations per kernel) grows —
+extrapolating toward the paper's regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.bench.runner import BenchConfig, run_one
+
+DEFAULT_WORKLOADS = ("hd-small", "dp", "slu", "st-512")
+DEFAULT_SCALES = (1.0, 2.0, 4.0)
+
+
+def run(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    scales: Sequence[float] = DEFAULT_SCALES,
+) -> ExperimentResult:
+    base_cfg = config or BenchConfig(repetitions=1)
+    rows, table_rows = [], []
+    largest_scale_fracs = []
+    for wl in workloads:
+        for scale in scales:
+            cfg = BenchConfig(
+                platform_factory=base_cfg.platform_factory,
+                scale=scale,
+                repetitions=1,
+                seed=base_cfg.seed,
+                workload_seed=base_cfg.workload_seed,
+            )
+            m = run_one(wl, "JOSS", cfg)
+            busy = sum(ks.total_time for ks in m.per_kernel.values())
+            frac_busy = m.sampling_time / busy if busy > 0 else float("nan")
+            rows.append(
+                {
+                    "workload": wl,
+                    "scale": scale,
+                    "tasks": m.tasks_executed,
+                    "sampling_time_s": m.sampling_time,
+                    "fraction_of_task_time": frac_busy,
+                }
+            )
+            table_rows.append(
+                [wl, scale, m.tasks_executed, m.sampling_time * 1e3, frac_busy * 100]
+            )
+            if scale == max(scales):
+                largest_scale_fracs.append(frac_busy)
+    text = format_table(
+        ["workload", "scale", "tasks", "sampling time (ms)",
+         "sampling share of task time (%)"],
+        table_rows,
+        float_fmt="{:.2f}",
+    )
+    return ExperimentResult(
+        name="sampling",
+        title="Section 5.1: online sampling-phase cost vs workload scale",
+        rows=rows,
+        text=text,
+        summary={
+            "largest_scale_avg_fraction": float(np.nanmean(largest_scale_fracs)),
+        },
+    )

@@ -1,0 +1,39 @@
+"""Table 1 — the evaluated benchmark suite.
+
+Regenerates the suite inventory from the workload registry: kernels,
+task counts (scaled and paper-size), and DAG parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.bench.result import ExperimentResult
+from repro.workloads.registry import workload_table
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    rows = workload_table()
+    table_rows = [
+        [
+            r["name"],
+            r["abbr"],
+            ", ".join(r["kernels"]),
+            r["tasks"],
+            r["paper_tasks"],
+            r["dop"],
+            r["description"],
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        ["workload", "abbr", "kernels", "tasks", "paper tasks", "dop", "description"],
+        table_rows,
+        float_fmt="{:.2f}",
+    )
+    return ExperimentResult(
+        name="tab1",
+        title="Table 1: evaluated benchmarks (scaled reproduction)",
+        rows=rows,
+        text=text,
+        summary={"workloads": float(len(rows))},
+    )

@@ -1,0 +1,135 @@
+"""Pinned-configuration measurement (the paper's offline exploration).
+
+The motivation study (Figs. 1 and 2) and the model-accuracy study
+(Fig. 10) measure a benchmark at *fixed* knob settings, no scheduler
+involved: pin ``<T_C, N_C, f_C, f_M>``, run the kernel's tasks
+back-to-back (dop = 1) and read the power rails.  The
+:class:`ConfigurationExplorer` does exactly that against the simulated
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.exec_model.engine import ExecutionEngine
+from repro.exec_model.kernels import KernelSpec
+from repro.hw.platform import Platform
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """Averaged measurements of one kernel at one configuration."""
+
+    cluster: str
+    n_cores: int
+    f_c: float
+    f_m: float
+    #: Wall time per task (s).
+    time: float
+    #: Whole-rail average powers during execution (W).
+    cpu_power: float
+    mem_power: float
+    #: Per-task energies including the full idle floor (J) — the
+    #: benchmark-level energy of the paper's dop=1 studies.
+    cpu_energy: float
+    mem_energy: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.cpu_energy + self.mem_energy
+
+    def config_str(self) -> str:
+        return f"<{self.cluster}, {self.n_cores}, {self.f_c:.2f}, {self.f_m:.3f}>"
+
+
+class ConfigurationExplorer:
+    """Measures kernels at pinned configurations on one platform."""
+
+    def __init__(
+        self,
+        platform_factory: Callable[[], Platform],
+        seed: int = 0,
+        duration_noise_sigma: float = 0.0,
+    ) -> None:
+        self.platform = platform_factory()
+        self.sim = Simulator()
+        self.engine = ExecutionEngine(
+            self.sim,
+            self.platform,
+            RngStreams(seed),
+            duration_noise_sigma=duration_noise_sigma,
+        )
+        self._completions: list[float] = []
+        self.engine.on_complete = lambda act: self._completions.append(self.sim.now)
+
+    def measure(
+        self,
+        kernel: KernelSpec,
+        cluster_name: str,
+        n_cores: int,
+        f_c: float,
+        f_m: float,
+        tasks: int = 3,
+    ) -> MeasuredPoint:
+        """Run ``tasks`` back-to-back instances and average."""
+        if tasks < 1:
+            raise ConfigurationError("need at least one task")
+        cluster = self.platform.cluster_by_type(cluster_name)
+        if n_cores > cluster.n_cores:
+            raise ConfigurationError("n_cores exceeds cluster size")
+        # All clusters track f_c, matching the idle characterisation
+        # (the profiler does the same; only the target cluster works).
+        for cl in self.platform.clusters:
+            cl.set_freq(f_c)
+        self.platform.memory.set_freq(f_m)
+        acc = self.engine.accountant
+        t0 = self.sim.now
+        e_cpu0, e_mem0 = acc.energy("cpu"), acc.energy("mem")
+        for _ in range(tasks):
+            self._completions.clear()
+            for core in cluster.cores[:n_cores]:
+                self.engine.start_activity(kernel, core, n_cores_total=n_cores)
+            self.sim.run()
+        dt = self.sim.now - t0
+        e_cpu = acc.energy("cpu") - e_cpu0
+        e_mem = acc.energy("mem") - e_mem0
+        return MeasuredPoint(
+            cluster=cluster_name,
+            n_cores=n_cores,
+            f_c=f_c,
+            f_m=f_m,
+            time=dt / tasks,
+            cpu_power=e_cpu / dt,
+            mem_power=e_mem / dt,
+            cpu_energy=e_cpu / tasks,
+            mem_energy=e_mem / tasks,
+        )
+
+    def sweep(
+        self,
+        kernel: KernelSpec,
+        f_c_values: Optional[list[float]] = None,
+        f_m_values: Optional[list[float]] = None,
+        tasks: int = 3,
+    ) -> dict[tuple[str, int, float, float], MeasuredPoint]:
+        """Measure a kernel over all ``<T_C, N_C>`` x frequency combos."""
+        points: dict[tuple[str, int, float, float], MeasuredPoint] = {}
+        for cluster, n_cores in self.platform.resource_configs():
+            fcs = f_c_values if f_c_values is not None else list(cluster.opps)
+            fms = (
+                f_m_values
+                if f_m_values is not None
+                else list(self.platform.memory.opps)
+            )
+            for f_c in fcs:
+                for f_m in fms:
+                    p = self.measure(
+                        kernel, cluster.core_type.name, n_cores, f_c, f_m, tasks
+                    )
+                    points[(cluster.core_type.name, n_cores, f_c, f_m)] = p
+        return points

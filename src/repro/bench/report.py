@@ -1,0 +1,38 @@
+"""Plain-text table rendering for bench output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Fixed-width table; floats formatted, everything else ``str()``."""
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """ASCII bar of ``value`` relative to ``scale``."""
+    if scale <= 0:
+        return ""
+    n = max(0, min(width, int(round(width * value / scale))))
+    return char * n

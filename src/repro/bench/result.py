@@ -1,0 +1,31 @@
+"""Structured experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendered table for one reproduced paper artefact."""
+
+    name: str
+    title: str
+    rows: list[dict[str, Any]]
+    text: str
+    #: Headline scalars (e.g. average reductions) for assertions/docs.
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the rendered table (plus summary) to ``<name>.txt``."""
+        d = Path(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        path = d / f"{self.name}.txt"
+        lines = [self.title, "=" * len(self.title), "", self.text]
+        if self.summary:
+            lines += ["", "Summary:"]
+            lines += [f"  {k} = {v:.4g}" for k, v in self.summary.items()]
+        path.write_text("\n".join(lines) + "\n")
+        return path

@@ -1,0 +1,109 @@
+"""Run (workload, scheduler) combinations and collect metrics.
+
+Mirrors the paper's methodology (section 6.1): frequencies are pinned
+at maximum before each run, each experiment is repeated and the
+arithmetic average reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.platform import Platform, jetson_tx2
+from repro.models.suite import ModelSuite
+from repro.models.training import profile_and_fit
+from repro.runtime.executor import Executor
+from repro.runtime.metrics import RunMetrics
+from repro.schedulers.registry import make_scheduler, needs_suite
+from repro.workloads.registry import build_workload
+
+
+@dataclass
+class BenchConfig:
+    """Shared settings for one bench invocation."""
+
+    platform_factory: Callable[[], Platform] = jetson_tx2
+    #: Workload size multiplier (1.0 = CI-sized, larger = paper-ward).
+    scale: float = 1.0
+    #: Repetitions per (workload, scheduler); the paper uses 10.
+    repetitions: int = 2
+    seed: int = 11
+    workload_seed: int = 3
+    profile_seed: int = 0
+    scheduler_kwargs: dict = field(default_factory=dict)
+
+    def suite(self) -> ModelSuite:
+        """Fitted (cached) model suite for the platform."""
+        return profile_and_fit(self.platform_factory, seed=self.profile_seed)
+
+
+def run_one(
+    workload: str,
+    scheduler_name: str,
+    config: Optional[BenchConfig] = None,
+    repetition: int = 0,
+    **workload_overrides,
+) -> RunMetrics:
+    """One run of one scheduler on one workload."""
+    cfg = config or BenchConfig()
+    suite = cfg.suite() if needs_suite(scheduler_name) else None
+    sched = make_scheduler(scheduler_name, suite, **cfg.scheduler_kwargs)
+    graph = build_workload(
+        workload, scale=cfg.scale, seed=cfg.workload_seed, **workload_overrides
+    )
+    ex = Executor(
+        cfg.platform_factory(), sched, seed=cfg.seed + 1000 * repetition
+    )
+    return ex.run(graph)
+
+
+def run_averaged(
+    workload: str,
+    scheduler_name: str,
+    config: Optional[BenchConfig] = None,
+    **workload_overrides,
+) -> RunMetrics:
+    """Average metrics over ``config.repetitions`` runs (paper: 10)."""
+    cfg = config or BenchConfig()
+    runs = [
+        run_one(workload, scheduler_name, cfg, repetition=r, **workload_overrides)
+        for r in range(cfg.repetitions)
+    ]
+    avg = RunMetrics(scheduler=scheduler_name, workload=workload)
+    avg.makespan = float(np.mean([m.makespan for m in runs]))
+    avg.cpu_energy = float(np.mean([m.cpu_energy for m in runs]))
+    avg.mem_energy = float(np.mean([m.mem_energy for m in runs]))
+    avg.cpu_energy_exact = float(np.mean([m.cpu_energy_exact for m in runs]))
+    avg.mem_energy_exact = float(np.mean([m.mem_energy_exact for m in runs]))
+    avg.tasks_executed = runs[0].tasks_executed
+    avg.steals = int(np.mean([m.steals for m in runs]))
+    avg.cluster_freq_transitions = int(
+        np.mean([m.cluster_freq_transitions for m in runs])
+    )
+    avg.memory_freq_transitions = int(
+        np.mean([m.memory_freq_transitions for m in runs])
+    )
+    avg.sampling_time = float(np.mean([m.sampling_time for m in runs]))
+    avg.extras = runs[0].extras
+    # Per-kernel stats are structural (placements, invocations); the
+    # first repetition is representative.
+    avg.per_kernel = runs[0].per_kernel
+    return avg
+
+
+def run_matrix(
+    workloads: Sequence[str],
+    schedulers: Sequence[str],
+    config: Optional[BenchConfig] = None,
+) -> dict[str, dict[str, RunMetrics]]:
+    """``{workload: {scheduler: averaged metrics}}`` over the grid."""
+    cfg = config or BenchConfig()
+    out: dict[str, dict[str, RunMetrics]] = {}
+    for wl in workloads:
+        out[wl] = {}
+        for s in schedulers:
+            out[wl][s] = run_averaged(wl, s, cfg)
+    return out

@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+::
+
+    joss-repro list                         # workloads & schedulers
+    joss-repro run -w slu -s JOSS           # one run, print metrics
+    joss-repro run -w mm-256 -s GRWS STEER JOSS --scale 2
+    joss-repro experiment fig8              # regenerate a paper artefact
+    joss-repro experiment all -o results/   # everything
+    joss-repro profile                      # platform characterisation summary
+
+Also callable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.experiments import ALL as ALL_EXPERIMENTS
+from repro.bench.runner import BenchConfig, run_averaged
+from repro.schedulers.registry import scheduler_names
+from repro.version import __version__
+from repro.workloads.registry import workload_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("schedulers:")
+    for name in scheduler_names():
+        print(f"  {name}")
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = BenchConfig(
+        scale=args.scale, repetitions=args.repetitions, seed=args.seed
+    )
+    print(
+        f"platform=jetson-tx2 scale={args.scale} reps={args.repetitions} "
+        f"seed={args.seed}"
+    )
+    baseline = None
+    for sched in args.scheduler:
+        m = run_averaged(args.workload, sched, cfg)
+        line = m.summary()
+        if baseline is None:
+            baseline = m.total_energy
+        elif baseline > 0:
+            line += f" | vs first: {m.total_energy / baseline:.3f}x"
+        print(line)
+        if args.verbose and "decisions" in m.extras:
+            for k, d in sorted(m.extras["decisions"].items()):
+                print(f"    {k:24s} -> {d}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    cfg = BenchConfig(scale=args.scale, repetitions=args.repetitions)
+    rc = 0
+    for name in names:
+        mod = ALL_EXPERIMENTS.get(name)
+        if mod is None:
+            print(f"unknown experiment {name!r}; try one of {list(ALL_EXPERIMENTS)}")
+            return 2
+        kwargs = {}
+        if name in ("fig8", "fig9", "sampling", "ablation", "sec71",
+                    "percore", "dop", "governors", "portability", "multiprog", "granularity"):
+            kwargs["config"] = cfg
+        result = mod.run(**kwargs)
+        print(result.title)
+        print(result.text)
+        for k, v in result.summary.items():
+            print(f"  {k} = {v:.4g}")
+        if args.output:
+            path = result.save(args.output)
+            print(f"saved -> {path}")
+        print()
+    return rc
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import Timeline
+    from repro.bench.runner import BenchConfig
+    from repro.hw.platform import jetson_tx2
+    from repro.runtime.executor import Executor
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.trace import Tracer
+    from repro.workloads.registry import build_workload
+
+    from repro.schedulers.registry import needs_suite
+
+    cfg = BenchConfig(scale=args.scale, seed=args.seed)
+    suite = cfg.suite() if needs_suite(args.scheduler) else None
+    tracer = Tracer(categories=["activity-start", "activity-end", "freq-change"])
+    ex = Executor(
+        jetson_tx2(), make_scheduler(args.scheduler, suite),
+        seed=args.seed, tracer=tracer,
+    )
+    metrics = ex.run(build_workload(args.workload, scale=args.scale))
+    timeline = Timeline.from_tracer(tracer)
+    print(metrics.summary())
+    print()
+    print(timeline.render_ascii(width=args.width))
+    if args.output:
+        path = timeline.save(args.output)
+        print(f"\ntimeline JSON -> {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.hw.platform import jetson_tx2
+    from repro.models.training import fit_models, profile_and_fit
+    from repro.profiling.dataset import ProfilingDataset
+    from repro.profiling.profiler import PlatformProfiler
+
+    if args.dataset:
+        dataset = ProfilingDataset.load(args.dataset)
+        print(f"loaded dataset: {len(dataset)} records from {args.dataset}")
+        suite = fit_models(dataset)
+    elif args.save_dataset:
+        dataset = PlatformProfiler(jetson_tx2, seed=args.seed).run()
+        dataset.save(args.save_dataset)
+        print(f"profiling dataset saved -> {args.save_dataset} "
+              f"({len(dataset)} records)")
+        suite = fit_models(dataset)
+    else:
+        suite = profile_and_fit(jetson_tx2, seed=args.seed)
+    print(f"platform: {suite.platform_name}")
+    print(
+        f"reference f_C={suite.f_c_ref} GHz, f_M={suite.f_m_ref} GHz, "
+        f"sampling f_C'={suite.f_c_sample} GHz"
+    )
+    print("fitted <T_C, N_C> model sets:")
+    for (cl, nc), cm in sorted(suite.models.items()):
+        print(
+            f"  <{cl}, {nc}>: perf rmse={cm.performance.train_rmse:.4f} "
+            f"cpu rmse={cm.cpu_power.train_rmse:.4f} W "
+            f"mem rmse={cm.mem_power.train_rmse:.4f} W"
+        )
+    problems = suite.self_check()
+    if problems:
+        print("self-check problems:")
+        for pr in problems:
+            print(f"  ! {pr}")
+        return 1
+    print("self-check: OK")
+    if args.save_models:
+        from repro.models.io import save_suite
+
+        path = save_suite(suite, args.save_models)
+        print(f"fitted models saved -> {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_runs
+
+    cfg = BenchConfig(
+        scale=args.scale, repetitions=args.repetitions, seed=args.seed
+    )
+    a = run_averaged(args.workload, args.scheduler[0], cfg)
+    b = run_averaged(args.workload, args.scheduler[1], cfg)
+    cmp = compare_runs(a, b)
+    print(f"{args.workload}: {a.scheduler} vs {b.scheduler}\n")
+    print(cmp.render())
+    print(
+        f"\n{b.scheduler} uses {cmp.energy_ratio:.3f}x the energy and "
+        f"{cmp.time_ratio:.3f}x the time of {a.scheduler}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.bench.report import format_table
+    from repro.hw.platform import jetson_tx2
+    from repro.models.training import fit_models
+    from repro.models.validation import kfold_validate, residual_report
+    from repro.profiling.profiler import PlatformProfiler
+
+    dataset = PlatformProfiler(jetson_tx2, seed=args.seed).run()
+    print(f"profiling dataset: {len(dataset)} records, "
+          f"{len(dataset.kernel_names())} synthetic kernels")
+    report = kfold_validate(dataset, k=args.folds, seed=args.seed)
+    rows = [
+        [f.fold, f.performance, f.cpu_power, f.mem_power]
+        for f in report.folds
+    ]
+    print(f"\n{args.folds}-fold cross-validation (held-out kernel accuracy):")
+    print(format_table(["fold", "performance", "cpu power", "mem power"], rows))
+    for k, v in report.summary().items():
+        print(f"  {k} = {v:.4f}")
+    suite = fit_models(dataset)
+    print("\ntraining residuals (RMSE):")
+    res_rows = [
+        [f"<{s.cluster}, {s.n_cores}>", s.performance_rmse,
+         s.cpu_power_rmse, s.mem_power_rmse]
+        for s in residual_report(suite)
+    ]
+    print(format_table(
+        ["config", "perf (frac)", "cpu (W)", "mem (W)"], res_rows,
+        float_fmt="{:.4f}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="joss-repro",
+        description="JOSS (ICPP 2023) reproduction on a simulated Jetson TX2",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schedulers, experiments")
+
+    run_p = sub.add_parser("run", help="run scheduler(s) on a workload")
+    run_p.add_argument("-w", "--workload", required=True, choices=workload_names())
+    run_p.add_argument(
+        "-s", "--scheduler", nargs="+", required=True,
+        help=f"one or more of {scheduler_names()}",
+    )
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--repetitions", type=int, default=2)
+    run_p.add_argument("--seed", type=int, default=11)
+    run_p.add_argument("-v", "--verbose", action="store_true",
+                       help="print per-kernel configuration decisions")
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp_p.add_argument("name", help=f"one of {list(ALL_EXPERIMENTS)} or 'all'")
+    exp_p.add_argument("-o", "--output", default=None,
+                       help="directory to save rendered tables")
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--repetitions", type=int, default=2)
+
+    prof_p = sub.add_parser("profile", help="characterise the platform, fit models")
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--save-dataset", default=None,
+                        help="write the raw profiling dataset to this JSON path")
+    prof_p.add_argument("--dataset", default=None,
+                        help="fit from a previously saved dataset instead of profiling")
+    prof_p.add_argument("--save-models", default=None,
+                        help="write the fitted model suite to this JSON path")
+
+    trace_p = sub.add_parser(
+        "trace", help="run once and render a per-core execution timeline"
+    )
+    trace_p.add_argument("-w", "--workload", required=True, choices=workload_names())
+    trace_p.add_argument("-s", "--scheduler", default="JOSS")
+    trace_p.add_argument("--scale", type=float, default=1.0)
+    trace_p.add_argument("--seed", type=int, default=11)
+    trace_p.add_argument("--width", type=int, default=100)
+    trace_p.add_argument("-o", "--output", default=None,
+                         help="write the timeline as JSON to this path")
+
+    val_p = sub.add_parser(
+        "validate", help="cross-validate the fitted models (k-fold)"
+    )
+    val_p.add_argument("--folds", type=int, default=5)
+    val_p.add_argument("--seed", type=int, default=0)
+
+    cmp_p = sub.add_parser(
+        "compare", help="run two schedulers on a workload and diff them"
+    )
+    cmp_p.add_argument("-w", "--workload", required=True, choices=workload_names())
+    cmp_p.add_argument(
+        "-s", "--scheduler", nargs=2, required=True,
+        metavar=("BASELINE", "CANDIDATE"),
+    )
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+    cmp_p.add_argument("--repetitions", type=int, default=2)
+    cmp_p.add_argument("--seed", type=int, default=11)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "trace": _cmd_trace,
+        "experiment": _cmd_experiment,
+        "profile": _cmd_profile,
+        "validate": _cmd_validate,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

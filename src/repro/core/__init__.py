@@ -1,0 +1,55 @@
+"""JOSS — the paper's primary contribution (sections 3 and 5).
+
+The :class:`~repro.core.joss.JossScheduler` combines:
+
+- online two-frequency sampling per kernel to estimate MB without PMCs
+  (:mod:`repro.core.sampling`, paper section 5.1);
+- per-kernel prediction look-up tables built from the fitted model
+  suite (:mod:`repro.models`);
+- configuration selection for a trade-off goal via exhaustive search
+  or the steepest-descent pruning of Fig. 7
+  (:mod:`repro.core.selection`, :mod:`repro.core.goals`);
+- frequency coordination between concurrent tasks by averaging, and
+  proportional idle-power attribution (:mod:`repro.core.coordination`);
+- task coarsening for fine-grained tasks (:mod:`repro.core.coarsening`).
+
+Variants used in the evaluation: plain JOSS (min total energy),
+``JOSS_NoMemDVFS`` (memory knob unavailable), JOSS with a performance
+constraint, and MAXP.
+"""
+
+from repro.core.goals import (
+    MaxPerformance,
+    MaxPerformanceUnderPowerCap,
+    MinCpuEnergy,
+    MinTotalEnergy,
+    PerformanceConstraint,
+    TradeoffGoal,
+)
+from repro.core.selection import (
+    SelectionResult,
+    exhaustive_select,
+    steepest_descent_select,
+)
+from repro.core.sampling import SamplingPlanner
+from repro.core.coordination import FrequencyCoordinator
+from repro.core.coarsening import CoarseningPolicy
+from repro.core.adaptation import AdaptationPolicy
+from repro.core.joss import JossScheduler
+
+__all__ = [
+    "TradeoffGoal",
+    "MinTotalEnergy",
+    "MinCpuEnergy",
+    "PerformanceConstraint",
+    "MaxPerformance",
+    "MaxPerformanceUnderPowerCap",
+    "SelectionResult",
+    "exhaustive_select",
+    "steepest_descent_select",
+    "SamplingPlanner",
+    "FrequencyCoordinator",
+    "CoarseningPolicy",
+    "AdaptationPolicy",
+    "JossScheduler",
+]

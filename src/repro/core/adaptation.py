@@ -1,0 +1,95 @@
+"""Adaptive decision revalidation (extension beyond the paper).
+
+JOSS as published samples each kernel once and fixes its configuration
+for the rest of the run ("successive invocations of the same kernel use
+the identified configuration", section 5.2).  That is sound when kernel
+behaviour is stationary — but task working sets can drift (e.g. a
+solver converging, cache behaviour changing with matrix fill-in).
+
+This module adds a drift monitor: for every decided kernel it tracks an
+exponential moving average of the ratio between measured and predicted
+execution time; when the ratio leaves a tolerance band for a number of
+consecutive observations, the kernel's decision is invalidated and it
+re-enters the sampling pipeline.  The mechanism is disabled by default
+(pure paper behaviour) and enabled via
+``JossScheduler(adaptation=AdaptationPolicy(...))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelDriftState:
+    """Drift tracking for one decided kernel."""
+
+    ema_ratio: float = 1.0
+    violations: int = 0
+    observations: int = 0
+
+
+@dataclass
+class AdaptationPolicy:
+    """Configuration and state of the drift monitor.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled policy never invalidates decisions.
+    tolerance:
+        Allowed relative deviation of the measured/predicted time
+        ratio's EMA from 1.0 before an observation counts as a
+        violation (0.5 = 50%).
+    patience:
+        Consecutive violations required to invalidate a decision
+        (guards against one-off interference spikes).
+    alpha:
+        EMA smoothing factor for the ratio.
+    min_observations:
+        Observations before the monitor may trigger (the EMA needs to
+        warm up).
+    """
+
+    enabled: bool = True
+    tolerance: float = 0.5
+    patience: int = 5
+    alpha: float = 0.3
+    min_observations: int = 5
+    #: Number of decisions invalidated so far (diagnostic).
+    invalidations: int = field(default=0, init=False)
+    _kernels: dict[str, KernelDriftState] = field(default_factory=dict, init=False)
+
+    def observe(self, kernel_name: str, measured: float, predicted: float) -> bool:
+        """Record one completed task; returns True when the kernel's
+        decision should be invalidated (state resets for re-learning)."""
+        if not self.enabled or measured <= 0 or predicted <= 0:
+            return False
+        st = self._kernels.setdefault(kernel_name, KernelDriftState())
+        ratio = measured / predicted
+        st.ema_ratio = (1 - self.alpha) * st.ema_ratio + self.alpha * ratio
+        st.observations += 1
+        if st.observations < self.min_observations:
+            return False
+        # A violation needs both the smoothed AND the instantaneous
+        # ratio out of band: the EMA filters noise, the instantaneous
+        # check stops a single spike's EMA tail from counting as
+        # several violations.
+        ema_out = abs(st.ema_ratio - 1.0) > self.tolerance
+        inst_out = abs(ratio - 1.0) > self.tolerance
+        if ema_out and inst_out:
+            st.violations += 1
+        else:
+            st.violations = 0
+        if st.violations >= self.patience:
+            self.invalidations += 1
+            self._kernels.pop(kernel_name, None)
+            return True
+        return False
+
+    def state_of(self, kernel_name: str) -> KernelDriftState | None:
+        return self._kernels.get(kernel_name)
+
+    def reset(self) -> None:
+        self._kernels.clear()
+        self.invalidations = 0

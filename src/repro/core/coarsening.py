@@ -1,0 +1,70 @@
+"""Task coarsening for fine-grained tasks (paper section 5.3).
+
+DVFS transitions cost tens-to-hundreds of microseconds; throttling for
+a task that runs a few microseconds is counterproductive.  Following
+the STEER algorithm the paper adopts, fine-grained tasks keep their
+``<T_C, N_C>`` placement but the joint ``<f_C, f_M>`` request is only
+issued once enough queued work of the same kernel is visible on the
+selected core type to amortise the transition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.scheduler_api import RuntimeContext
+
+
+class CoarseningPolicy:
+    """Decides whether a task is fine-grained and whether its DVFS
+    request should fire now."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        fine_grained_threshold_s: float = 500e-6,
+        batch_size: int = 4,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        fine_grained_threshold_s:
+            Reference-time threshold below which a kernel counts as
+            fine-grained.
+        batch_size:
+            Number of same-kernel tasks that must be visible (running +
+            queued on the target cluster) before throttling for them.
+        """
+        self.enabled = enabled
+        self.threshold = float(fine_grained_threshold_s)
+        self.batch_size = int(batch_size)
+        #: Number of DVFS requests suppressed (diagnostic).
+        self.suppressed = 0
+
+    def is_fine_grained(self, reference_time: float) -> bool:
+        return self.enabled and reference_time < self.threshold
+
+    def should_throttle(
+        self,
+        ctx: "RuntimeContext",
+        cores: "Iterable[Core]",
+        kernel_name: str,
+        reference_time: float,
+    ) -> bool:
+        """True when the DVFS request for this task should be issued.
+
+        ``cores`` is the set whose queues to scan for batched work of
+        the same kernel — the selected core type's cores.
+        """
+        if not self.is_fine_grained(reference_time):
+            return True
+        visible = 1  # the task itself
+        for core in cores:
+            q = ctx.queues[core.core_id]
+            visible += sum(1 for name in q.peek_types() if name == kernel_name)
+        if visible >= self.batch_size:
+            return True
+        self.suppressed += 1
+        return False

@@ -1,0 +1,54 @@
+"""Frequency coordination on shared DVFS domains (paper section 5.3).
+
+Cluster and memory frequencies are shared by concurrently running
+tasks with potentially conflicting desires.  JOSS detects concurrency
+and balances demands with an *arithmetic mean* between the incoming
+task's desired frequency and the domain's current (target) frequency,
+snapped to the nearest OPP.  The paper evaluated min/max/weighted
+variants and found the mean best — all variants are implemented here
+for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.errors import ConfigurationError
+
+Strategy = Literal["mean", "min", "max", "ours", "theirs"]
+
+_STRATEGIES = ("mean", "min", "max", "ours", "theirs")
+
+
+class FrequencyCoordinator:
+    """Resolves a desired frequency against the current shared setting."""
+
+    def __init__(self, strategy: Strategy = "mean") -> None:
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown coordination strategy {strategy!r} "
+                f"(options: {_STRATEGIES})"
+            )
+        self.strategy = strategy
+
+    def resolve(
+        self, desired: float, current: float, others_running: bool
+    ) -> float:
+        """Frequency to request for a task wanting ``desired`` when the
+        domain currently targets ``current``.
+
+        With no other task running on the domain the desire wins
+        outright; otherwise the strategy arbitrates.  The caller snaps
+        the result to an OPP (the DVFS controller does this anyway).
+        """
+        if not others_running:
+            return desired
+        if self.strategy == "mean":
+            return 0.5 * (desired + current)
+        if self.strategy == "min":
+            return min(desired, current)
+        if self.strategy == "max":
+            return max(desired, current)
+        if self.strategy == "ours":
+            return desired
+        return current  # "theirs": leave the shared setting alone

@@ -1,0 +1,185 @@
+"""Energy/performance trade-off goals (paper section 5.2).
+
+A goal turns per-config prediction tables into a selection:
+
+- :class:`MinTotalEnergy` — scenario (1): least CPU+memory energy,
+  with idle power attributed across concurrent tasks;
+- :class:`MinCpuEnergy` — what STEER optimises (memory energy ignored);
+- :class:`PerformanceConstraint` — scenario (2), section 5.2.2: least
+  energy among configurations at least ``speedup`` x faster than the
+  min-energy configuration; falls back to the fastest configuration
+  when the constraint is unsatisfiable;
+- :class:`MaxPerformance` — MAXP: fastest configuration regardless of
+  energy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.core.selection import (
+    SelectionResult,
+    TableKey,
+    exhaustive_select,
+    steepest_descent_select,
+)
+from repro.errors import ModelError
+from repro.models.tables import PredictionTable
+
+Selector = Literal["exhaustive", "steepest"]
+
+#: Concurrency for idle-power attribution: a scalar applied to every
+#: table, or a per-``<T_C, N_C>`` mapping (a 4-core moldable config can
+#: run fewer tasks concurrently than four single-core ones, so it
+#: carries a larger idle share per task).
+Concurrency = float | Mapping[TableKey, float]
+
+
+def _conc_of(concurrency: Concurrency, key: TableKey) -> float:
+    if isinstance(concurrency, Mapping):
+        return float(concurrency.get(key, 1.0))
+    return float(concurrency)
+
+
+def _run(selector: Selector, tables, cost_fn) -> SelectionResult:
+    if selector == "exhaustive":
+        return exhaustive_select(tables, cost_fn)
+    if selector == "steepest":
+        return steepest_descent_select(tables, cost_fn)
+    raise ModelError(f"unknown selector {selector!r}")
+
+
+class TradeoffGoal(abc.ABC):
+    """Strategy object choosing a configuration from prediction tables."""
+
+    name: str = "goal"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        tables: Mapping[TableKey, PredictionTable],
+        selector: Selector = "steepest",
+        concurrency: float = 1.0,
+    ) -> SelectionResult:
+        """Pick the configuration satisfying this goal."""
+
+
+class MinTotalEnergy(TradeoffGoal):
+    """Least total (CPU + memory) energy — JOSS's default goal."""
+
+    name = "min-total-energy"
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        return _run(
+            selector,
+            tables,
+            lambda tab: tab.energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            ),
+        )
+
+
+class MinCpuEnergy(TradeoffGoal):
+    """Least CPU energy, memory rail ignored (STEER's objective)."""
+
+    name = "min-cpu-energy"
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        return _run(
+            selector,
+            tables,
+            lambda tab: tab.cpu_energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            ),
+        )
+
+
+class MaxPerformance(TradeoffGoal):
+    """Fastest configuration (the paper's MAXP datapoint)."""
+
+    name = "maxp"
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        return _run(selector, tables, lambda tab: tab.time)
+
+
+class MaxPerformanceUnderPowerCap(TradeoffGoal):
+    """Fastest configuration whose average power stays under a cap.
+
+    An *extension* beyond the paper's two scenarios, covering the
+    related-work setting the paper cites (Patki et al. [35]:
+    hardware overprovisioning under power constraints): per-task
+    average power = task energy / task time must not exceed
+    ``cap_watts``.  Falls back to the least-power configuration when
+    the cap is unsatisfiable.
+    """
+
+    def __init__(self, cap_watts: float) -> None:
+        if cap_watts <= 0:
+            raise ModelError("power cap must be positive")
+        self.cap_watts = float(cap_watts)
+        self.name = f"powercap-{cap_watts:g}W"
+
+    def _power_grid(self, tab: PredictionTable, concurrency) -> np.ndarray:
+        conc = _conc_of(concurrency, (tab.cluster, tab.n_cores))
+        return tab.energy_grid(conc) / tab.time
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        def capped_time(tab: PredictionTable) -> np.ndarray:
+            power = self._power_grid(tab, concurrency)
+            return np.where(power <= self.cap_watts, tab.time, np.inf)
+
+        try:
+            res = _run(selector, tables, capped_time)
+        except ModelError:
+            res = None
+        if res is not None and np.isfinite(res.cost):
+            return res
+        # Unsatisfiable: least average power (closest to compliance).
+        return _run(
+            selector, tables, lambda tab: self._power_grid(tab, concurrency)
+        )
+
+
+class PerformanceConstraint(TradeoffGoal):
+    """Least energy subject to ``time <= t_min_energy / speedup``.
+
+    The constraint is relative to the configuration that minimises
+    total energy (paper section 5.2.2).  If no configuration meets the
+    target, the fastest configuration is selected.
+    """
+
+    def __init__(self, speedup: float) -> None:
+        if speedup <= 0:
+            raise ModelError("speedup must be positive")
+        self.speedup = float(speedup)
+        self.name = f"perf-{speedup:g}x"
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        base = MinTotalEnergy().select(tables, selector, concurrency)
+        t0 = float(
+            tables[(base.cluster, base.n_cores)].time[base.i_fc, base.i_fm]
+        )
+        deadline = t0 / self.speedup
+        evals = base.evaluations
+
+        def constrained_cost(tab: PredictionTable) -> np.ndarray:
+            energy = tab.energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            )
+            return np.where(tab.time <= deadline, energy, np.inf)
+
+        try:
+            res = _run(selector, tables, constrained_cost)
+        except ModelError:
+            res = None
+        if res is None or not np.isfinite(res.cost):
+            # Unsatisfiable: fastest configuration (paper's fallback).
+            res = MaxPerformance().select(tables, selector, concurrency)
+        return SelectionResult(
+            res.cluster, res.n_cores, res.i_fc, res.i_fm, res.cost,
+            evals + res.evaluations,
+        )

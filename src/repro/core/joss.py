@@ -1,0 +1,328 @@
+"""The JOSS runtime scheduler (paper sections 3 and 5).
+
+Per-kernel pipeline:
+
+1. **Sampling** — early invocations are timed on every ``<T_C, N_C>``
+   at two core frequencies (section 5.1) to estimate MB via Eq. 3.
+2. **Prediction** — the fitted model suite fills the kernel's per-config
+   look-up tables of time / CPU power / memory power over the full
+   ``(f_C, f_M)`` OPP grids.
+3. **Selection** — the trade-off goal picks ``<T_C, N_C, f_C, f_M>``
+   via steepest descent (default) or exhaustive search (section 5.2),
+   splitting shared idle power across the instantaneous task
+   concurrency.
+4. **Execution** — successive invocations reuse the decision; DVFS
+   requests go through the frequency coordinator (arithmetic-mean
+   balancing on shared domains, section 5.3) and the task-coarsening
+   filter for fine-grained kernels.
+
+Variants: ``use_memory_dvfs=False`` pins f_M at its maximum (the
+JOSS_NoMemDVFS datapoint); goals other than minimum total energy give
+the performance-constrained and MAXP schedulers of section 7.2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.adaptation import AdaptationPolicy
+from repro.core.coarsening import CoarseningPolicy
+from repro.core.coordination import FrequencyCoordinator, Strategy
+from repro.core.goals import (
+    MaxPerformance,
+    MaxPerformanceUnderPowerCap,
+    MinTotalEnergy,
+    PerformanceConstraint,
+    Selector,
+    TradeoffGoal,
+)
+from repro.core.sampling import SamplingPlanner
+from repro.core.selection import SelectionResult
+from repro.errors import SchedulingError
+from repro.models.suite import ModelSuite
+from repro.models.tables import PredictionTable
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class JossScheduler(Scheduler):
+    """Joint scheduling and scaling over the four knobs."""
+
+    name = "JOSS"
+
+    def __init__(
+        self,
+        suite: ModelSuite,
+        goal: Optional[TradeoffGoal] = None,
+        selector: Selector = "steepest",
+        use_memory_dvfs: bool = True,
+        coordination: Strategy = "mean",
+        coarsening: Optional[CoarseningPolicy] = None,
+        adaptation: Optional[AdaptationPolicy] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.suite = suite
+        self.goal = goal if goal is not None else MinTotalEnergy()
+        self.selector: Selector = selector
+        self.use_memory_dvfs = use_memory_dvfs
+        self.coordinator = FrequencyCoordinator(coordination)
+        self.coarsening = coarsening if coarsening is not None else CoarseningPolicy()
+        #: Optional drift monitor (extension; None = paper behaviour).
+        self.adaptation = adaptation
+        if name is not None:
+            self.name = name
+        self.planner: Optional[SamplingPlanner] = None
+        #: Resolved per-kernel decisions: kernel -> (selection, f_c, f_m).
+        self.decisions: dict[str, tuple[SelectionResult, float, float]] = {}
+        #: Per-kernel prediction tables (kept for constraint queries).
+        self.tables: dict[str, dict[tuple[str, int], PredictionTable]] = {}
+        self._selection_evals = 0
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the paper's variants
+    # ------------------------------------------------------------------
+    @classmethod
+    def no_mem_dvfs(cls, suite: ModelSuite, **kw) -> "JossScheduler":
+        """JOSS with the memory knob unavailable (f_M pinned at max)."""
+        kw.setdefault("name", "JOSS_NoMemDVFS")
+        return cls(suite, use_memory_dvfs=False, **kw)
+
+    @classmethod
+    def with_speedup(cls, suite: ModelSuite, speedup: float, **kw) -> "JossScheduler":
+        """JOSS under a performance constraint (section 5.2.2)."""
+        kw.setdefault("name", f"JOSS_{speedup:g}x")
+        return cls(suite, goal=PerformanceConstraint(speedup), **kw)
+
+    @classmethod
+    def maxp(cls, suite: ModelSuite, **kw) -> "JossScheduler":
+        """JOSS maximising task performance (the MAXP datapoint)."""
+        kw.setdefault("name", "JOSS_MAXP")
+        return cls(suite, goal=MaxPerformance(), **kw)
+
+    @classmethod
+    def with_power_cap(cls, suite: ModelSuite, cap_watts: float, **kw) -> "JossScheduler":
+        """JOSS maximising performance under a per-task power cap
+        (extension; see :class:`MaxPerformanceUnderPowerCap`)."""
+        kw.setdefault("name", f"JOSS_cap{cap_watts:g}W")
+        return cls(suite, goal=MaxPerformanceUnderPowerCap(cap_watts), **kw)
+
+    # ------------------------------------------------------------------
+    # Scheduler lifecycle
+    # ------------------------------------------------------------------
+    def on_run_begin(self) -> None:
+        per_config = {
+            key: self.suite.ref_freqs(*key) for key in self.suite.config_keys()
+        }
+        self.planner = SamplingPlanner(
+            self.suite.config_keys(),
+            self.suite.f_c_ref,
+            self.suite.f_c_sample,
+            per_config=per_config,
+        )
+        self.decisions.clear()
+        self.tables.clear()
+        self._selection_evals = 0
+        if self.adaptation is not None:
+            self.adaptation.reset()
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None and self.planner is not None
+        kname = task.kernel.name
+        decided = self.decisions.get(kname)
+        if decided is not None:
+            sel, f_c, f_m = decided
+            cluster = self.ctx.platform.cluster_by_type(sel.cluster)
+            return Placement(
+                cluster=cluster,
+                n_cores=sel.n_cores,
+                f_c=f_c,
+                f_m=f_m if self.use_memory_dvfs else None,
+            )
+        # Sampling path: measure the next pending slot for this kernel.
+        slot = self.planner.next_slot(kname)
+        task.meta["sample_slot"] = slot
+        cluster = self.ctx.platform.cluster_by_type(slot.cluster)
+        return Placement(
+            cluster=cluster,
+            n_cores=slot.n_cores,
+            f_c=slot.f_c,
+            f_m=self.suite.f_m_ref,
+        )
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        assert self.ctx is not None
+        p = task.placement
+        if p is None:
+            return
+        slot = task.meta.get("sample_slot")
+        if slot is not None:
+            # Measurements need the requested frequencies verbatim — but
+            # a stale duplicate (its slot was filled by an earlier task
+            # while this one sat in a queue) must NOT drag the cluster
+            # back to the old sampling phase and pollute the in-flight
+            # measurements; it follows the current phase instead.
+            assert self.planner is not None
+            if slot in self.planner.state(task.kernel.name).results:
+                f_c = self.planner.phase(slot.cluster)
+            else:
+                f_c = slot.f_c
+            self.ctx.request_cluster_freq(core.cluster, f_c)
+            if p.f_m is not None:
+                self.ctx.request_memory_freq(p.f_m)
+            # Remember whether the cluster was already heading to the
+            # slot frequency; checked again at completion to reject
+            # measurements polluted by concurrent frequency fights.
+            ctl = self.ctx.cluster_dvfs[core.cluster.cluster_id]
+            task.meta["sample_fc_ok"] = abs(ctl.target_freq - slot.f_c) < 1e-9
+            return
+        decided = self.decisions.get(task.kernel.name)
+        if decided is None or p.f_c is None:
+            return
+        sel, f_c, f_m = decided
+        t_ref = self.planner.reference_time(task.kernel.name, sel.cluster, sel.n_cores)
+        same_type_cores = self.ctx.platform.cores_of_type(core.core_type.name)
+        if not self.coarsening.should_throttle(
+            self.ctx, same_type_cores, task.kernel.name, t_ref
+        ):
+            return
+        # Frequency coordination on the shared domains (section 5.3).
+        cpu_ctl = self.ctx.cluster_dvfs[core.cluster.cluster_id]
+        others_cluster = self.ctx.cluster_active_tasks(core.cluster) >= 1
+        self.ctx.request_cluster_freq(
+            core.cluster,
+            self.coordinator.resolve(f_c, cpu_ctl.target_freq, others_cluster),
+        )
+        if self.use_memory_dvfs:
+            others_mem = self.ctx.busy_core_count() >= 1
+            self.ctx.request_memory_freq(
+                self.coordinator.resolve(
+                    f_m, self.ctx.memory_dvfs.target_freq, others_mem
+                )
+            )
+
+    def on_task_complete(self, task: "Task") -> None:
+        assert self.planner is not None
+        slot = task.meta.pop("sample_slot", None)
+        if slot is None:
+            self._observe_drift(task)
+            return
+        kname = task.kernel.name
+        measured = task.exec_time if task.exec_time > 0 else task.duration
+        assert self.ctx is not None
+        cluster = self.ctx.platform.cluster_by_type(slot.cluster)
+        trusted = bool(task.meta.pop("sample_fc_ok", True)) and (
+            abs(cluster.freq - slot.f_c) < 1e-9
+        )
+        self.planner.record(kname, slot, measured, trusted=trusted)
+        if self.planner.resolved(kname) and kname not in self.decisions:
+            self._resolve_kernel(kname)
+
+    def on_run_end(self) -> None:
+        assert self.ctx is not None and self.planner is not None
+        m = self.ctx.metrics
+        if m is not None:
+            m.sampling_time = self.planner.total_sampling_time()
+            m.extras["selection_evaluations"] = self._selection_evals
+            m.extras["coarsening_suppressed"] = self.coarsening.suppressed
+            if self.adaptation is not None:
+                m.extras["adaptation_invalidations"] = self.adaptation.invalidations
+            m.extras["decisions"] = {
+                k: self._describe_decision(k) for k in self.decisions
+            }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _freq_grids(self, cluster_name: str) -> tuple[np.ndarray, np.ndarray]:
+        assert self.ctx is not None
+        cluster = self.ctx.platform.cluster_by_type(cluster_name)
+        f_c_grid = cluster.opps.as_array()
+        if self.use_memory_dvfs:
+            f_m_grid = self.ctx.platform.memory.opps.as_array()
+        else:
+            f_m_grid = np.asarray([self.suite.f_m_ref])
+        return f_c_grid, f_m_grid
+
+    def _resolve_kernel(self, kname: str) -> None:
+        """Build the kernel's look-up tables and select its config."""
+        assert self.ctx is not None and self.planner is not None
+        tables: dict[tuple[str, int], PredictionTable] = {}
+        for cl_name, n_cores in self.suite.config_keys():
+            mb = self.planner.mb(kname, cl_name, n_cores)
+            t_ref = self.planner.reference_time(kname, cl_name, n_cores)
+            f_c_grid, f_m_grid = self._freq_grids(cl_name)
+            tables[(cl_name, n_cores)] = self.suite.build_table(
+                cl_name, n_cores, mb, t_ref, f_c_grid, f_m_grid
+            )
+        concurrency = self._expected_concurrency()
+        sel = self.goal.select(tables, self.selector, concurrency=concurrency)
+        f_c, f_m = sel.freqs(tables)
+        self.tables[kname] = tables
+        self.decisions[kname] = (sel, f_c, f_m)
+        self._selection_evals += sel.evaluations
+
+    def _expected_concurrency(self) -> dict[tuple[str, int], float]:
+        """Per-``<T_C, N_C>`` task-concurrency estimate for idle-power
+        attribution (paper section 5.3).
+
+        The runtime's instantaneous busy-core count gives the current
+        parallelism; a configuration using ``n_cores`` cores caps how
+        many tasks can actually share the platform if it is chosen
+        (one 4-core moldable task occupies what four single-core tasks
+        would), so its per-task idle share is correspondingly larger.
+        """
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        observed = max(1, self.ctx.busy_core_count())
+        conc: dict[tuple[str, int], float] = {}
+        for cl_name, n_cores in self.suite.config_keys():
+            type_cores = len(platform.cores_of_type(cl_name))
+            other_cores = platform.n_cores - type_cores
+            capacity = other_cores + type_cores / n_cores
+            conc[(cl_name, n_cores)] = float(max(1.0, min(observed, capacity)))
+        return conc
+
+    def _observe_drift(self, task: "Task") -> None:
+        """Feed a decided kernel's measured time to the drift monitor
+        and re-enter sampling when the decision is invalidated."""
+        if self.adaptation is None:
+            return
+        kname = task.kernel.name
+        decided = self.decisions.get(kname)
+        tables = self.tables.get(kname)
+        if decided is None or tables is None:
+            return
+        sel, _f_c, _f_m = decided
+        predicted = float(
+            tables[(sel.cluster, sel.n_cores)].time[sel.i_fc, sel.i_fm]
+        )
+        measured = task.exec_time if task.exec_time > 0 else task.duration
+        if self.adaptation.observe(kname, measured, predicted):
+            assert self.planner is not None
+            self.decisions.pop(kname, None)
+            self.tables.pop(kname, None)
+            self.planner.forget_kernel(kname)
+
+    def _describe_decision(self, kname: str) -> str:
+        sel, f_c, f_m = self.decisions[kname]
+        fm_str = f"{f_m:.3f}" if self.use_memory_dvfs else "max"
+        return f"<{sel.cluster}, {sel.n_cores}, {f_c:.3f}, {fm_str}>"
+
+    def decision_for(self, kernel_name: str) -> Optional[str]:
+        """Paper-style description of the chosen config, if resolved."""
+        if kernel_name not in self.decisions:
+            return None
+        return self._describe_decision(kernel_name)
+
+    def require_decision(self, kernel_name: str) -> tuple[SelectionResult, float, float]:
+        d = self.decisions.get(kernel_name)
+        if d is None:
+            raise SchedulingError(f"kernel {kernel_name} not resolved yet")
+        return d

@@ -1,0 +1,234 @@
+"""Online runtime sampling (paper section 5.1).
+
+For every kernel, JOSS times a few early invocations on each
+``<T_C, N_C>`` configuration at two core frequencies (the model
+reference ``f_c_ref`` and the sampling frequency ``f_c_sample``), both
+at the reference memory frequency.  From each pair it computes the
+kernel's MB per configuration (Eq. 3) and the reference time feeding
+the prediction tables.  On platforms whose clusters have different OPP
+ladders (ODROID-XU4 style) the two frequencies are per-configuration.
+
+Ordering matters on cluster-shared DVFS domains: concurrent sampling
+tasks wanting *different* frequencies on the same cluster would corrupt
+each other's measurements.  The paper therefore samples all kernels at
+``f_C`` first and only then switches a cluster to ``f_C'`` —
+asynchronously per cluster (one cluster may advance while another is
+still in its first phase).  The planner reproduces exactly that: each
+cluster has a phase frequency, slots matching the phase are preferred,
+and a cluster advances once every known kernel has its reference slots
+on that cluster filled.
+
+Measurements use the *execution* time of the slowest partition (queue
+and partition-stagger delays excluded), which is what a real runtime
+timing its own task bodies observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+from repro.models.mb import estimate_mb
+
+#: (core type name, n_cores) — matches the model suite's config keys.
+ConfigKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SampleSlot:
+    """One required measurement: a config at a core frequency."""
+
+    cluster: str
+    n_cores: int
+    f_c: float
+
+
+@dataclass
+class KernelSamples:
+    """Sampling state of one kernel."""
+
+    slots: list[SampleSlot]
+    results: dict[SampleSlot, float] = field(default_factory=dict)
+    cursor: int = 0
+    #: Total simulated time spent executing sampling tasks.
+    sampling_time: float = 0.0
+
+    def pending(self) -> list[SampleSlot]:
+        return [s for s in self.slots if s not in self.results]
+
+    @property
+    def resolved(self) -> bool:
+        return len(self.results) == len(self.slots)
+
+
+class SamplingPlanner:
+    """Builds and tracks sampling plans for all kernels of a run."""
+
+    #: After this many rejected (frequency-polluted) measurements of a
+    #: slot, the next one is accepted anyway — bounds starvation when a
+    #: shared cluster frequency never settles.
+    MAX_REJECTIONS = 5
+
+    def __init__(
+        self,
+        config_keys: list[ConfigKey],
+        f_c_ref: float,
+        f_c_sample: float,
+        two_frequencies: bool = True,
+        per_config: Optional[Mapping[ConfigKey, tuple[float, float]]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        config_keys:
+            The ``<T_C, N_C>`` options of the platform (model suite keys).
+        f_c_ref, f_c_sample:
+            Suite-wide sampling frequencies, used for any config absent
+            from ``per_config``.
+        two_frequencies:
+            When False, sample only at the reference (ERASE-style
+            history sampling — no MB estimation possible).
+        per_config:
+            Optional per-``<T_C, N_C>`` (reference, sampling) override
+            for platforms with per-cluster OPP ladders.
+        """
+        self.config_keys = list(config_keys)
+        self.two_frequencies = two_frequencies
+        self._freqs: dict[ConfigKey, tuple[float, float]] = {}
+        for key in self.config_keys:
+            if per_config is not None and key in per_config:
+                self._freqs[key] = per_config[key]
+            else:
+                self._freqs[key] = (f_c_ref, f_c_sample)
+        self.f_c_ref = f_c_ref
+        self.f_c_sample = f_c_sample
+        self._kernels: dict[str, KernelSamples] = {}
+        self._rejections: dict[tuple[str, SampleSlot], int] = {}
+        # Per-cluster reference/sampling frequencies (all nc options of
+        # one cluster share its ladder) and the current phase.
+        self._cluster_ref: dict[str, float] = {}
+        self._cluster_sample: dict[str, float] = {}
+        for (cl, _nc), (ref, samp) in self._freqs.items():
+            self._cluster_ref[cl] = ref
+            self._cluster_sample[cl] = samp
+        self._phase: dict[str, float] = dict(self._cluster_ref)
+
+    def freqs_of(self, key: ConfigKey) -> tuple[float, float]:
+        return self._freqs[key]
+
+    def _plan(self) -> list[SampleSlot]:
+        slots = [
+            SampleSlot(cl, nc, self._freqs[(cl, nc)][0])
+            for cl, nc in self.config_keys
+        ]
+        if self.two_frequencies:
+            slots += [
+                SampleSlot(cl, nc, self._freqs[(cl, nc)][1])
+                for cl, nc in self.config_keys
+            ]
+        return slots
+
+    def state(self, kernel_name: str) -> KernelSamples:
+        ks = self._kernels.get(kernel_name)
+        if ks is None:
+            ks = self._kernels[kernel_name] = KernelSamples(self._plan())
+        return ks
+
+    def phase(self, cluster: str) -> float:
+        """The frequency this cluster's sampling currently targets."""
+        return self._phase[cluster]
+
+    def next_slot(self, kernel_name: str) -> SampleSlot:
+        """Next slot to measure for a kernel.
+
+        Prefers slots whose frequency matches their cluster's current
+        phase (no DVFS fighting between concurrent sampling tasks);
+        cycles through candidates so concurrent tasks of the same
+        kernel spread over different configs.
+        """
+        ks = self.state(kernel_name)
+        pending = ks.pending()
+        if not pending:  # resolved; caller should not ask, but be safe
+            return ks.slots[-1]
+        matching = [s for s in pending if self._phase[s.cluster] == s.f_c]
+        pool = matching or pending
+        slot = pool[ks.cursor % len(pool)]
+        ks.cursor += 1
+        return slot
+
+    def record(
+        self,
+        kernel_name: str,
+        slot: SampleSlot,
+        duration: float,
+        trusted: bool = True,
+    ) -> None:
+        """Store the first *trusted* measurement for a slot and advance
+        cluster phases when their reference pass completes.
+
+        ``trusted=False`` marks a measurement taken while the cluster
+        frequency did not match the slot (concurrent tasks fought over
+        the shared DVFS domain); it is discarded so a later invocation
+        can retry, up to :attr:`MAX_REJECTIONS` times.
+        """
+        ks = self.state(kernel_name)
+        ks.sampling_time += max(0.0, duration)
+        if slot in ks.results or duration <= 0:
+            return
+        if not trusted:
+            n = self._rejections.get((kernel_name, slot), 0) + 1
+            self._rejections[(kernel_name, slot)] = n
+            if n <= self.MAX_REJECTIONS:
+                return
+        ks.results[slot] = duration
+        self._maybe_advance(slot.cluster)
+
+    def _maybe_advance(self, cluster: str) -> None:
+        if not self.two_frequencies:
+            return
+        ref = self._cluster_ref[cluster]
+        if self._phase[cluster] != ref:
+            return
+        for ks in self._kernels.values():
+            for s in ks.slots:
+                if s.cluster == cluster and s.f_c == ref and s not in ks.results:
+                    return
+        self._phase[cluster] = self._cluster_sample[cluster]
+
+    def resolved(self, kernel_name: str) -> bool:
+        return self.state(kernel_name).resolved
+
+    def forget_kernel(self, kernel_name: str) -> None:
+        """Drop a kernel's sampling state so it is re-planned from
+        scratch (used by the adaptive drift monitor when a decision is
+        invalidated)."""
+        self._kernels.pop(kernel_name, None)
+        self._rejections = {
+            k: v for k, v in self._rejections.items() if k[0] != kernel_name
+        }
+
+    def total_sampling_time(self) -> float:
+        return sum(ks.sampling_time for ks in self._kernels.values())
+
+    def kernel_names(self) -> Iterator[str]:
+        return iter(self._kernels)
+
+    # ------------------------------------------------------------------
+    # Derived quantities once a kernel is resolved
+    # ------------------------------------------------------------------
+    def reference_time(self, kernel_name: str, cluster: str, n_cores: int) -> float:
+        ks = self.state(kernel_name)
+        ref, _ = self._freqs[(cluster, n_cores)]
+        return ks.results[SampleSlot(cluster, n_cores, ref)]
+
+    def mb(self, kernel_name: str, cluster: str, n_cores: int) -> float:
+        """MB estimate (Eq. 3) for one configuration.
+
+        With single-frequency sampling this is undefined; callers in
+        that mode (ERASE) must not ask.
+        """
+        ks = self.state(kernel_name)
+        ref, samp = self._freqs[(cluster, n_cores)]
+        t_ref = ks.results[SampleSlot(cluster, n_cores, ref)]
+        t_s = ks.results[SampleSlot(cluster, n_cores, samp)]
+        return estimate_mb(t_ref, t_s, ref, samp)

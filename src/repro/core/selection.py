@@ -1,0 +1,150 @@
+"""Configuration selection (paper section 5.2.1 and Fig. 7).
+
+Given the per-``<T_C, N_C>`` prediction tables of one kernel and a
+cost grid per table (energy, CPU energy, or time, depending on the
+goal), find the knob setting with the least cost:
+
+- :func:`exhaustive_select` scans every cell of every table;
+- :func:`steepest_descent_select` implements the paper's pruning:
+  (1) evaluate the four corner configurations of each table,
+  (2) pick the table winning the most corners,
+  (3) hill-descend from that table's best corner over immediate
+  neighbours until a local minimum.
+
+Both return a :class:`SelectionResult` carrying the number of cost
+evaluations performed, feeding the section 7.4 overhead comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.tables import PredictionTable
+
+#: Cost grids are (n_fc, n_fm); a goal turns a table into costs.
+CostFn = Callable[[PredictionTable], np.ndarray]
+
+#: Key identifying one table: (core type name, n_cores).
+TableKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Chosen configuration and search statistics."""
+
+    cluster: str
+    n_cores: int
+    i_fc: int
+    i_fm: int
+    cost: float
+    evaluations: int
+
+    def freqs(self, tables: Mapping[TableKey, PredictionTable]) -> tuple[float, float]:
+        tab = tables[(self.cluster, self.n_cores)]
+        return tab.freqs_at(self.i_fc, self.i_fm)
+
+
+def exhaustive_select(
+    tables: Mapping[TableKey, PredictionTable], cost_fn: CostFn
+) -> SelectionResult:
+    """Scan the full four-knob space for the least-cost configuration."""
+    if not tables:
+        raise ModelError("no prediction tables to select from")
+    best: SelectionResult | None = None
+    evals = 0
+    for (cluster, n_cores), tab in tables.items():
+        cost = np.asarray(cost_fn(tab), dtype=float)
+        evals += cost.size
+        i_flat = int(np.argmin(cost))
+        i_fc, i_fm = np.unravel_index(i_flat, cost.shape)
+        c = float(cost[i_fc, i_fm])
+        if best is None or c < best.cost:
+            best = SelectionResult(cluster, n_cores, int(i_fc), int(i_fm), c, 0)
+    assert best is not None
+    if not np.isfinite(best.cost):
+        raise ModelError("no feasible configuration (all costs infinite)")
+    return SelectionResult(
+        best.cluster, best.n_cores, best.i_fc, best.i_fm, best.cost, evals
+    )
+
+
+def steepest_descent_select(
+    tables: Mapping[TableKey, PredictionTable], cost_fn: CostFn
+) -> SelectionResult:
+    """The paper's three-step pruning search (Fig. 7)."""
+    if not tables:
+        raise ModelError("no prediction tables to select from")
+    evals = 0
+    # Step 1: four corner configurations of every <T_C, N_C> table.
+    # Corners are labelled logically (low/high per axis) because tables
+    # may have different grid shapes on platforms with per-cluster OPP
+    # ladders.
+    CORNERS = (("lo", "lo"), ("lo", "hi"), ("hi", "lo"), ("hi", "hi"))
+    corner_vals: dict[TableKey, dict[tuple[str, str], float]] = {}
+    corner_idx: dict[TableKey, dict[tuple[str, str], tuple[int, int]]] = {}
+    grids: dict[TableKey, np.ndarray] = {}
+    for key, tab in tables.items():
+        cost = np.asarray(cost_fn(tab), dtype=float)
+        grids[key] = cost
+        n_fc, n_fm = cost.shape
+        vals, idxs = {}, {}
+        for ci, cj in CORNERS:
+            i = 0 if ci == "lo" else n_fc - 1
+            j = 0 if cj == "lo" else n_fm - 1
+            vals[(ci, cj)] = float(cost[i, j])
+            idxs[(ci, cj)] = (i, j)
+            evals += 1
+        corner_vals[key] = vals
+        corner_idx[key] = idxs
+
+    # Step 2: the table with the most lowest-corner wins.
+    wins: dict[TableKey, int] = {k: 0 for k in tables}
+    for pos in CORNERS:
+        winner = min(corner_vals, key=lambda k: corner_vals[k][pos])
+        wins[winner] += 1
+    # Tie-break on the globally best corner value.
+    best_table = min(
+        tables, key=lambda k: (-wins[k], min(corner_vals[k].values()))
+    )
+    cost = grids[best_table]
+
+    # Step 3: hill-descend from that table's best corner.
+    best_corner = min(
+        corner_vals[best_table], key=lambda p: corner_vals[best_table][p]
+    )
+    i, j = corner_idx[best_table][best_corner]
+    current = cost[i, j]
+    if not np.isfinite(current):
+        # Constrained goals can make whole corners infeasible; fall back
+        # to the best finite cell of the chosen table, if any.
+        if np.isfinite(cost).any():
+            i, j = np.unravel_index(int(np.nanargmin(np.where(np.isfinite(cost), cost, np.inf))), cost.shape)
+            current = cost[i, j]
+            evals += cost.size
+        else:
+            raise ModelError("no feasible configuration in the selected table")
+    n_fc, n_fm = cost.shape
+    while True:
+        best_step = None
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                ni, nj = i + di, j + dj
+                if not (0 <= ni < n_fc and 0 <= nj < n_fm):
+                    continue
+                evals += 1
+                if cost[ni, nj] < current:
+                    if best_step is None or cost[ni, nj] < cost[best_step]:
+                        best_step = (ni, nj)
+        if best_step is None:
+            break
+        i, j = best_step
+        current = cost[i, j]
+    return SelectionResult(
+        best_table[0], best_table[1], int(i), int(j), float(current), evals
+    )

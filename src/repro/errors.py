@@ -1,0 +1,35 @@
+"""Exception hierarchy for the JOSS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single handler while still
+letting programming errors (TypeError, ValueError from misuse of stdlib)
+propagate untouched.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the discrete-event engine."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a platform / workload / scheduler is misconfigured."""
+
+
+class FrequencyError(ConfigurationError):
+    """Raised when a requested frequency is not an available OPP."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the runtime or a scheduler reaches an invalid state."""
+
+
+class ModelError(ReproError):
+    """Raised when model fitting or prediction cannot proceed."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload DAG cannot be constructed as requested."""

@@ -1,0 +1,25 @@
+"""Ground-truth execution behaviour of tasks on the simulated platform.
+
+This package is the "silicon": given a kernel's intrinsic work (compute
+operations + memory traffic), the core type, the number of cores, the
+current core/memory frequencies and the set of concurrently running
+tasks, it determines how long execution actually takes and how much
+power the rails actually draw.  The JOSS models in :mod:`repro.models`
+never see these equations — they learn approximations of them from
+profiling, exactly as the paper's models learn the TX2.
+"""
+
+from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.timing import GroundTruthTiming, TimingBreakdown
+from repro.exec_model.contention import ContentionModel
+from repro.exec_model.activity import Activity
+from repro.exec_model.engine import ExecutionEngine
+
+__all__ = [
+    "KernelSpec",
+    "GroundTruthTiming",
+    "TimingBreakdown",
+    "ContentionModel",
+    "Activity",
+    "ExecutionEngine",
+]

@@ -1,0 +1,87 @@
+"""A running task partition with progress tracking.
+
+Frequencies and contention change *while tasks run*; the engine models
+this by tracking each running partition's remaining work fraction and
+re-deriving its completion time whenever the global state changes.  A
+partition of a moldable task carries ``1/N_C`` of the task's work and —
+by construction of the partition timing (see
+:meth:`repro.exec_model.engine.ExecutionEngine._breakdown_for`) — takes
+the same wall time as the whole task would on ``N_C`` cores, so
+concurrent partitions finish together when started together.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.exec_model.kernels import KernelSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.sim.engine import Event
+
+
+class Activity:
+    """One partition of a task, executing on one core."""
+
+    __slots__ = (
+        "kernel",
+        "core",
+        "n_cores_total",
+        "noise",
+        "payload",
+        "frac_remaining",
+        "rate",
+        "mb_inst",
+        "bw_achieved",
+        "stall_until",
+        "last_update",
+        "started_at",
+        "completion_event",
+    )
+
+    def __init__(
+        self,
+        kernel: KernelSpec,
+        core: "Core",
+        n_cores_total: int,
+        noise: float,
+        payload: Any,
+        started_at: float,
+    ) -> None:
+        self.kernel = kernel
+        self.core = core
+        self.n_cores_total = int(n_cores_total)
+        #: Multiplicative duration noise drawn once per partition.
+        self.noise = float(noise)
+        #: Opaque handle (the runtime's task-partition object).
+        self.payload = payload
+        #: Fraction of the partition's work still to do, in [0, 1].
+        self.frac_remaining = 1.0
+        #: Progress rate (fraction per second) under the current state.
+        self.rate = 0.0
+        #: Instantaneous memory-boundness under the current state
+        #: (cached for power evaluation).
+        self.mb_inst = 0.0
+        #: Bandwidth this partition currently achieves (GB/s).
+        self.bw_achieved = 0.0
+        #: Progress is frozen until this simulated time (DVFS
+        #: transition stalls; 0 = not stalled).
+        self.stall_until = 0.0
+        self.last_update = started_at
+        self.started_at = started_at
+        self.completion_event: Optional["Event"] = None
+
+    def advance_to(self, now: float) -> None:
+        """Consume progress between ``last_update`` and ``now`` at the
+        previously cached rate."""
+        dt = now - self.last_update
+        if dt > 0 and self.rate > 0:
+            self.frac_remaining = max(0.0, self.frac_remaining - dt * self.rate)
+        self.last_update = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Activity({self.kernel.name} on core {self.core.core_id}, "
+            f"rem={self.frac_remaining:.3f})"
+        )

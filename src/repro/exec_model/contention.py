@@ -1,0 +1,44 @@
+"""Memory-bandwidth contention between concurrent tasks.
+
+When the aggregate bandwidth demand of all running activities exceeds
+the memory system's capacity at its current frequency, every stall
+phase stretches by the oversubscription ratio.  This is the mechanism
+behind two of the paper's observations: why concurrent memory-intensive
+tasks interfere, and why throttling ``f_M`` on a memory-bound mix hurts
+performance (capacity shrinks with frequency).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hw.memory import MemorySystem
+
+
+class ContentionModel:
+    """Global stall-stretch factor from aggregate bandwidth demand."""
+
+    def __init__(self, memory: MemorySystem) -> None:
+        self.memory = memory
+
+    def factor(self, demands_gbps: Iterable[float]) -> float:
+        """Contention factor >= 1 given per-activity uncontended
+        bandwidth demands (GB/s)."""
+        total = sum(demands_gbps)
+        cap = self.memory.bandwidth_capacity
+        if cap <= 0 or total <= cap:
+            return 1.0
+        return total / cap
+
+    def achieved_bandwidth(
+        self, demands_gbps: Iterable[float], factor: float | None = None
+    ) -> float:
+        """Aggregate bandwidth actually flowing, after contention.
+
+        With the uniform-stretch model, demand above capacity saturates
+        at capacity.
+        """
+        demands = list(demands_gbps)
+        total = sum(demands)
+        cap = self.memory.bandwidth_capacity
+        return min(total, cap) if cap > 0 else 0.0

@@ -1,0 +1,236 @@
+"""Execution engine: runs activities on cores under changing state.
+
+Responsibilities:
+
+- start/complete activities (task partitions) on cores;
+- re-time every running activity whenever a cluster frequency, the
+  memory frequency, or the set of running activities changes (the
+  contention factor is global, so any change can shift every deadline);
+- evaluate instantaneous rail power after every state change and feed
+  the exact :class:`~repro.hw.sensor.EnergyAccountant`;
+- expose a ``rail_powers`` read function for the sampled
+  :class:`~repro.hw.sensor.PowerSensor`.
+
+The re-timing step is the heart of the simulation: it is what makes
+DVFS interference between concurrent tasks (paper section 5.3) a real,
+measurable effect rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.exec_model.activity import Activity
+from repro.exec_model.contention import ContentionModel
+from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.timing import MIN_DURATION_S, GroundTruthTiming, TimingBreakdown
+from repro.hw.core import Core
+from repro.hw.platform import Platform
+from repro.hw.sensor import EnergyAccountant
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+#: Completion events run after DVFS applies (-10) at equal timestamps
+#: but before ordinary runtime events (0), so dependents woken by a
+#: completion see consistent core states.
+COMPLETION_PRIORITY = -5
+
+
+class ExecutionEngine:
+    """Owns all running activities and the power/energy bookkeeping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: Platform,
+        rng: RngStreams,
+        accountant: Optional[EnergyAccountant] = None,
+        tracer: Optional[Tracer] = None,
+        duration_noise_sigma: float = 0.02,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.timing = GroundTruthTiming(platform.memory)
+        self.contention = ContentionModel(platform.memory)
+        self.accountant = accountant if accountant is not None else EnergyAccountant()
+        self.tracer = tracer
+        self.duration_noise_sigma = float(duration_noise_sigma)
+        self._noise_rng = rng.stream("exec-noise")
+        self._activities: list[Activity] = []
+        #: Callback ``fn(activity)`` invoked when a partition finishes.
+        self.on_complete: Optional[Callable[[Activity], None]] = None
+        #: Callbacks invoked (no args) after every global re-timing —
+        #: i.e. whenever frequencies or the running set changed.  Used
+        #: by analysis instrumentation (energy attribution).
+        self.on_state_change: list[Callable[[], None]] = []
+        # Re-time on any frequency change.
+        for cl in platform.clusters:
+            cl.on_freq_change.append(lambda _cl: self._state_changed())
+        platform.memory.on_freq_change.append(lambda _m: self._state_changed())
+        # Initialise rail powers for the all-idle platform.
+        self.accountant.update(sim.now, self.rail_powers())
+
+    # ------------------------------------------------------------------
+    # Activity lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def activities(self) -> tuple[Activity, ...]:
+        return tuple(self._activities)
+
+    def busy_core_count(self) -> int:
+        """Instantaneous number of working cores (the paper's task
+        concurrency signal for idle-power attribution)."""
+        return len(self._activities)
+
+    def start_activity(
+        self,
+        kernel: KernelSpec,
+        core: Core,
+        n_cores_total: int = 1,
+        payload: Any = None,
+    ) -> Activity:
+        """Begin executing one partition of ``kernel`` on ``core``."""
+        if core.busy:
+            raise SchedulingError(f"core {core.core_id} is already busy")
+        noise = 1.0
+        if self.duration_noise_sigma > 0:
+            noise = float(
+                self._noise_rng.lognormal(mean=0.0, sigma=self.duration_noise_sigma)
+            )
+        act = Activity(kernel, core, n_cores_total, noise, payload, self.sim.now)
+        core.busy = True
+        core.current_activity = act
+        self._activities.append(act)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "activity-start", kernel=kernel.name, core=core.core_id
+            )
+        self._state_changed()
+        return act
+
+    def _complete(self, act: Activity) -> None:
+        if act not in self._activities:  # cancelled/stale event
+            return
+        act.advance_to(self.sim.now)
+        self._activities.remove(act)
+        act.core.busy = False
+        act.core.current_activity = None
+        act.completion_event = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now,
+                "activity-end",
+                kernel=act.kernel.name,
+                core=act.core.core_id,
+                elapsed=self.sim.now - act.started_at,
+            )
+        self._state_changed()
+        if self.on_complete is not None:
+            self.on_complete(act)
+
+    def abort_all(self) -> None:
+        """Cancel every running activity (used by tests/teardown)."""
+        for act in list(self._activities):
+            if act.completion_event is not None:
+                act.completion_event.cancel()
+            act.core.busy = False
+            act.core.current_activity = None
+        self._activities.clear()
+        self._state_changed()
+
+    # ------------------------------------------------------------------
+    # Re-timing
+    # ------------------------------------------------------------------
+    def _breakdown_for(self, act: Activity) -> TimingBreakdown:
+        """Partition timing: wall time equals the whole task's wall time
+        on ``n_cores_total`` cores; bandwidth demand is the per-core
+        share (traffic is conserved across partitions)."""
+        b = self.timing.breakdown(
+            act.kernel,
+            act.core.core_type,
+            act.n_cores_total,
+            act.core.freq,
+            self.platform.memory.freq,
+        )
+        return TimingBreakdown(
+            t_comp=b.t_comp, t_mem=b.t_mem, bw_demand=b.bw_demand / act.n_cores_total
+        )
+
+    def _state_changed(self) -> None:
+        """Advance progress, recompute contention, reschedule deadlines,
+        refresh rail power."""
+        now = self.sim.now
+        for act in self._activities:
+            act.advance_to(now)
+        breakdowns = [self._breakdown_for(a) for a in self._activities]
+        factor = self.contention.factor(b.bw_demand for b in breakdowns)
+        achieved_total = self.contention.achieved_bandwidth(
+            (b.bw_demand for b in breakdowns)
+        )
+        total_demand = sum(b.bw_demand for b in breakdowns)
+        for act, b in zip(self._activities, breakdowns):
+            duration_full = max(
+                (b.t_comp + b.t_mem * factor) * act.noise, MIN_DURATION_S
+            )
+            stall_left = max(0.0, act.stall_until - now)
+            act.rate = 0.0 if stall_left > 0 else 1.0 / duration_full
+            stretched = b.t_comp + b.t_mem * factor
+            act.mb_inst = (b.t_mem * factor) / stretched if stretched > 0 else 0.0
+            if total_demand > 0:
+                act.bw_achieved = achieved_total * (b.bw_demand / total_demand)
+            else:
+                act.bw_achieved = 0.0
+            remaining = stall_left + act.frac_remaining * duration_full
+            if act.completion_event is not None:
+                act.completion_event.cancel()
+            act.completion_event = self.sim.schedule(
+                remaining, self._complete, act, priority=COMPLETION_PRIORITY
+            )
+        self.accountant.update(now, self.rail_powers())
+        for fn in self.on_state_change:
+            fn()
+
+    def stall_activities(self, cores=None, duration: float = 0.0) -> None:
+        """Freeze progress of the given cores' activities (``None`` =
+        every running activity) for ``duration`` seconds — the
+        execution cost of a DVFS transition on a shared domain."""
+        if duration <= 0:
+            return
+        until = self.sim.now + duration
+        affected = False
+        core_set = set(cores) if cores is not None else None
+        for act in self._activities:
+            if core_set is None or act.core in core_set:
+                act.stall_until = max(act.stall_until, until)
+                affected = True
+        if affected:
+            # Re-time now (rates drop to zero) and again at stall end.
+            self._state_changed()
+            self.sim.schedule(duration, self._state_changed)
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def rail_powers(self) -> dict[str, float]:
+        """Instantaneous true power on the CPU and memory rails (W)."""
+        pm = self.platform.power_model
+        cpu = 0.0
+        for cl in self.platform.clusters:
+            loads: list[Optional[float]] = []
+            for core in cl.cores:
+                act = core.current_activity
+                loads.append(act.mb_inst if isinstance(act, Activity) else None)
+            cpu += pm.cluster_power(cl, loads)
+        achieved = sum(a.bw_achieved for a in self._activities)
+        mem = pm.memory_power(self.platform.memory, achieved)
+        return {"cpu": cpu, "mem": mem}
+
+    def finalize(self) -> None:
+        """Close the energy integration at the current time."""
+        if self._activities:
+            raise SimulationError(
+                f"finalize with {len(self._activities)} activities still running"
+            )
+        self.accountant.finalize(self.sim.now)

@@ -1,0 +1,74 @@
+"""Kernel specifications — intrinsic, platform-independent task work.
+
+A *kernel* in the paper's sense is a task type (e.g. SparseLU's LU0,
+FWD, BDIV, BMOD); every task is an invocation of some kernel.  The
+ground-truth characteristics here describe what the work *is*; how long
+it takes on a given configuration is derived by
+:class:`repro.exec_model.timing.GroundTruthTiming`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Intrinsic work of one task type.
+
+    Attributes
+    ----------
+    name:
+        Unique kernel name (scoped per workload, e.g. ``"slu.bmod"``).
+    w_comp:
+        Compute work per task, in giga-operations.
+    w_bytes:
+        Main-memory traffic per task, in GB (beyond-LLC traffic).
+    type_affinity:
+        Per-core-type multiplier on compute throughput.  A value of
+        1.7 for ``"denver"`` means this kernel extracts 1.7x the base
+        Denver ops/cycle advantage (ILP-rich code); memory-shuffling
+        kernels sit near 1.0.  Missing types default to 1.0.
+    parallel_efficiency:
+        Compute-scaling efficiency per core-count doubling for moldable
+        execution: ``speedup(nc) = nc * parallel_efficiency**log2(nc)``.
+    """
+
+    name: str
+    w_comp: float
+    w_bytes: float
+    type_affinity: Mapping[str, float] = field(default_factory=dict)
+    parallel_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.w_comp < 0 or self.w_bytes < 0:
+            raise ValueError(f"kernel {self.name}: work must be non-negative")
+        if self.w_comp == 0 and self.w_bytes == 0:
+            raise ValueError(f"kernel {self.name}: must have some work")
+        if not (0.0 < self.parallel_efficiency <= 1.0):
+            raise ValueError(f"kernel {self.name}: parallel_efficiency in (0,1]")
+        # Freeze the mapping so the spec is safely hashable/shareable.
+        object.__setattr__(self, "type_affinity", MappingProxyType(dict(self.type_affinity)))
+
+    def affinity(self, core_type_name: str) -> float:
+        """Compute-throughput multiplier for a core type."""
+        return float(self.type_affinity.get(core_type_name, 1.0))
+
+    def comp_scaling(self, n_cores: int) -> float:
+        """Effective parallel compute speedup for ``n_cores``."""
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        return n_cores * self.parallel_efficiency ** math.log2(n_cores)
+
+    def scaled(self, factor: float, name: str | None = None) -> "KernelSpec":
+        """A copy with work multiplied by ``factor`` (task granularity)."""
+        return KernelSpec(
+            name=name or self.name,
+            w_comp=self.w_comp * factor,
+            w_bytes=self.w_bytes * factor,
+            type_affinity=dict(self.type_affinity),
+            parallel_efficiency=self.parallel_efficiency,
+        )

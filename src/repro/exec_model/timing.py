@@ -1,0 +1,146 @@
+"""Ground-truth task timing.
+
+Execution time of a (partition of a) task decomposes into compute time
+and memory-stall time — the same decomposition the paper's performance
+model assumes (section 4.2) — but with richer physics the learned model
+must approximate:
+
+- compute time scales with core frequency, core type (via per-kernel
+  affinity) and moldable core count with sub-linear efficiency;
+- memory-stall time follows a harmonic two-port model: the achievable
+  stream bandwidth is limited both by the core-side issue rate
+  (proportional to ``f_C``) and by the memory-side service rate
+  (proportional to ``f_M``), so ``1/bw = 1/bw_core + 1/bw_mem``.  This
+  yields the paper's observation that core frequency has an *indirect*
+  effect on stall time (how often requests are issued) while memory
+  frequency has a direct one;
+- bandwidth contention between concurrent tasks stretches only the
+  stall component (handled by :mod:`repro.exec_model.contention`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.exec_model.kernels import KernelSpec
+from repro.hw.core import CoreType
+from repro.hw.memory import MemorySystem
+
+#: Floor on any duration so zero-work corner cases stay well-defined.
+MIN_DURATION_S = 1e-9
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Uncontended timing of one task (or partition) on a configuration."""
+
+    t_comp: float
+    t_mem: float
+    #: Average bandwidth the task would consume if run alone (GB/s).
+    bw_demand: float
+
+    @property
+    def total(self) -> float:
+        return self.t_comp + self.t_mem
+
+    @property
+    def memory_boundness(self) -> float:
+        """Ground-truth MB: fraction of time stalled on memory."""
+        tot = self.total
+        return self.t_mem / tot if tot > 0 else 0.0
+
+
+class GroundTruthTiming:
+    """Timing oracle for a memory system (core side is stateless)."""
+
+    def __init__(self, memory: MemorySystem) -> None:
+        self.memory = memory
+
+    def compute_time(
+        self, kernel: KernelSpec, core_type: CoreType, n_cores: int, f_c: float
+    ) -> float:
+        """Compute-phase time (s) of the whole task on ``n_cores``."""
+        if f_c <= 0:
+            raise ConfigurationError("core frequency must be positive")
+        rate = (
+            core_type.giga_ops_per_ghz
+            * kernel.affinity(core_type.name)
+            * f_c
+            * kernel.comp_scaling(n_cores)
+        )
+        return kernel.w_comp / rate if kernel.w_comp > 0 else 0.0
+
+    def single_stream_bandwidth(
+        self, core_type: CoreType, f_c: float, f_m: float
+    ) -> float:
+        """Uncontended bandwidth of one core's access stream (GB/s):
+        the harmonic combination of the core-side issue rate (grows
+        with ``f_c``) and the memory-side service rate (grows with
+        ``f_m``) — latencies add."""
+        if f_c <= 0 or f_m <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        bw_core = core_type.stream_bw_per_ghz * f_c
+        bw_mem = self.memory.stream_bw_per_ghz * f_m
+        return 1.0 / (1.0 / bw_core + 1.0 / bw_mem)
+
+    def memory_time(
+        self,
+        kernel: KernelSpec,
+        core_type: CoreType,
+        n_cores: int,
+        f_c: float,
+        f_m: float,
+    ) -> float:
+        """Uncontended memory-stall time (s) of the whole task.
+
+        Each of the ``n_cores`` partitions streams its share of the
+        traffic independently, so the wall time is the per-core share
+        over the single-stream bandwidth; *aggregate* bandwidth limits
+        are enforced globally by the contention model (the task's
+        demand counts toward the capacity at the current ``f_M``).
+        """
+        if kernel.w_bytes <= 0:
+            return 0.0
+        bw = self.single_stream_bandwidth(core_type, f_c, f_m)
+        return (kernel.w_bytes / n_cores) / bw
+
+    def breakdown(
+        self,
+        kernel: KernelSpec,
+        core_type: CoreType,
+        n_cores: int,
+        f_c: float,
+        f_m: float,
+    ) -> TimingBreakdown:
+        """Uncontended timing split for a full task."""
+        t_c = self.compute_time(kernel, core_type, n_cores, f_c)
+        t_m = self.memory_time(kernel, core_type, n_cores, f_c, f_m)
+        total = max(t_c + t_m, MIN_DURATION_S)
+        demand = kernel.w_bytes / total if kernel.w_bytes > 0 else 0.0
+        return TimingBreakdown(t_comp=t_c, t_mem=t_m, bw_demand=demand)
+
+    def duration(
+        self,
+        kernel: KernelSpec,
+        core_type: CoreType,
+        n_cores: int,
+        f_c: float,
+        f_m: float,
+        contention: float = 1.0,
+    ) -> float:
+        """Wall time (s) of the full task including a contention factor
+        applied to the stall component only."""
+        b = self.breakdown(kernel, core_type, n_cores, f_c, f_m)
+        return max(b.t_comp + b.t_mem * max(1.0, contention), MIN_DURATION_S)
+
+    def memory_boundness(
+        self,
+        kernel: KernelSpec,
+        core_type: CoreType,
+        n_cores: int,
+        f_c: float,
+        f_m: float,
+    ) -> float:
+        """Ground-truth MB at a configuration (for test oracles)."""
+        return self.breakdown(kernel, core_type, n_cores, f_c, f_m).memory_boundness

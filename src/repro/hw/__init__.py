@@ -1,0 +1,42 @@
+"""Hardware platform model.
+
+Models an asymmetric multicore in the style of the NVIDIA Jetson TX2:
+
+- two (or more) CPU *clusters*, each a DVFS domain — every core in a
+  cluster runs at the cluster frequency (the paper's "core-clustered"
+  design);
+- a *memory system* with its own DVFS domain (EMC/DRAM frequency);
+- per-domain voltage/frequency curves;
+- a ground-truth power model (the "physics" that JOSS's regression
+  models must learn from profiling);
+- DVFS controllers with transition latency;
+- power-rail energy accounting, both exact (piecewise integration) and
+  INA3221-style periodic sampling with measurement noise.
+"""
+
+from repro.hw.opp import OppTable
+from repro.hw.voltage import VoltageCurve
+from repro.hw.core import Core, CoreType
+from repro.hw.cluster import Cluster
+from repro.hw.memory import MemorySystem
+from repro.hw.power import PowerModel, PowerModelParams
+from repro.hw.dvfs import DvfsController
+from repro.hw.sensor import EnergyAccountant, PowerSensor
+from repro.hw.platform import Platform, jetson_tx2, symmetric_platform
+
+__all__ = [
+    "OppTable",
+    "VoltageCurve",
+    "Core",
+    "CoreType",
+    "Cluster",
+    "MemorySystem",
+    "PowerModel",
+    "PowerModelParams",
+    "DvfsController",
+    "EnergyAccountant",
+    "PowerSensor",
+    "Platform",
+    "jetson_tx2",
+    "symmetric_platform",
+]

@@ -1,0 +1,83 @@
+"""CPU clusters — the CPU-side DVFS domains.
+
+All cores in a cluster share one frequency (the paper's
+"core-clustered" design constraint, section 1): per-core DVFS is not
+available, which is exactly what makes frequency *coordination* between
+concurrently running tasks necessary (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FrequencyError
+from repro.hw.core import Core, CoreType
+from repro.hw.opp import OppTable
+from repro.hw.voltage import VoltageCurve
+
+
+class Cluster:
+    """A set of identical cores sharing a frequency/voltage domain."""
+
+    def __init__(
+        self,
+        cluster_id: int,
+        core_type: CoreType,
+        n_cores: int,
+        opps: OppTable,
+        voltage: VoltageCurve,
+        core_id_base: int = 0,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError("cluster needs at least one core")
+        self.cluster_id = cluster_id
+        self.core_type = core_type
+        self.opps = opps
+        self.voltage = voltage
+        self.cores = [Core(core_id_base + i, self) for i in range(n_cores)]
+        self._freq = opps.max
+        #: Callbacks invoked as ``fn(cluster)`` after a frequency change.
+        self.on_freq_change: list[Callable[["Cluster"], None]] = []
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def freq(self) -> float:
+        """Current cluster frequency (GHz)."""
+        return self._freq
+
+    @property
+    def volts(self) -> float:
+        return self.voltage.volts(self._freq)
+
+    def set_freq(self, f_ghz: float) -> None:
+        """Apply a new frequency (must be an exact OPP).
+
+        This is the *instantaneous* hardware action; transition latency
+        is modelled by :class:`repro.hw.dvfs.DvfsController`, which is
+        the only intended caller during simulation.
+        """
+        if f_ghz not in self.opps:
+            raise FrequencyError(
+                f"{f_ghz} GHz not an OPP of cluster {self.cluster_id} "
+                f"({self.core_type.name})"
+            )
+        if abs(f_ghz - self._freq) < 1e-12:
+            return
+        self._freq = self.opps.nearest(f_ghz)
+        for fn in self.on_freq_change:
+            fn(self)
+
+    def busy_cores(self) -> list[Core]:
+        return [c for c in self.cores if c.busy]
+
+    def idle_cores(self) -> list[Core]:
+        return [c for c in self.cores if not c.busy]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({self.cluster_id}, {self.core_type.name}x{self.n_cores}, "
+            f"f={self._freq}GHz)"
+        )

@@ -1,0 +1,88 @@
+"""Core types and cores.
+
+A :class:`CoreType` captures the microarchitectural parameters of one
+kind of core (the TX2 has two: the high-performance NVIDIA "Denver"
+and the efficiency ARM "A57").  A :class:`Core` is one instance inside
+a cluster; its execution state is owned by the runtime's worker layer,
+but a minimal busy/idle flag lives here because the power model and
+the idle-power attribution logic (paper section 5.3) need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hw.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """Microarchitectural parameters of one core flavour.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"denver"`` or ``"a57"``.
+    giga_ops_per_ghz:
+        Compute throughput per core per GHz (abstract giga-operations).
+        This is the *base* rate; individual kernels can scale it via
+        their per-type affinity factor (ILP-heavy kernels benefit more
+        from a wide OoO core).
+    stream_bw_per_ghz:
+        Single-core achievable memory bandwidth per GHz of *core*
+        frequency (GB/s per GHz) — models the issue-rate limit that
+        couples core frequency to memory stall time (paper section 4.2).
+    k_dyn:
+        Dynamic power coefficient: ``P_dyn = k_dyn * activity * V^2 * f``
+        (watts when V in volts and f in GHz).
+    k_static:
+        Leakage coefficient per online core: ``P_leak = k_static * V^2``.
+    stall_activity:
+        Activity factor while stalled on memory, relative to full
+        compute activity (a stalled core still clocks and burns power,
+        just less).
+    """
+
+    name: str
+    giga_ops_per_ghz: float
+    stream_bw_per_ghz: float
+    k_dyn: float
+    k_static: float
+    stall_activity: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.giga_ops_per_ghz <= 0 or self.stream_bw_per_ghz <= 0:
+            raise ValueError("throughput parameters must be positive")
+        if not (0.0 <= self.stall_activity <= 1.0):
+            raise ValueError("stall_activity must be in [0, 1]")
+
+
+@dataclass
+class Core:
+    """One physical core inside a cluster."""
+
+    core_id: int
+    cluster: "Cluster"
+    busy: bool = False
+    #: Opaque handle to whatever the core is currently executing
+    #: (an :class:`repro.exec_model.activity.Activity`); owned by the
+    #: execution engine, stored here for power evaluation.
+    current_activity: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def core_type(self) -> CoreType:
+        return self.cluster.core_type
+
+    @property
+    def freq(self) -> float:
+        """Current core frequency = cluster frequency (GHz)."""
+        return self.cluster.freq
+
+    def __hash__(self) -> int:
+        return self.core_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self.busy else "idle"
+        return f"Core({self.core_id}, {self.core_type.name}, {state})"

@@ -1,0 +1,108 @@
+"""DVFS controllers with transition latency.
+
+Frequency changes on real hardware are not free: the TX2's cluster PLL
+relock and the EMC frequency switch take tens to hundreds of
+microseconds.  A :class:`DvfsController` accepts *requests*, snaps them
+to the nearest OPP, and applies them after a configurable latency.  A
+newer request supersedes a pending one (last-writer-wins), which is how
+the paper's frequency-coordination averaging interacts with in-flight
+transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.sim.engine import Event, Simulator
+
+
+class _FreqDomain(Protocol):
+    """Anything with an OPP table and a settable frequency."""
+
+    @property
+    def freq(self) -> float: ...  # noqa: E704 - protocol stub
+
+    opps: object
+
+    def set_freq(self, f_ghz: float) -> None: ...  # noqa: E704
+
+
+class DvfsController:
+    """Latency-modelled frequency actuator for one domain."""
+
+    #: Event priority: frequency changes apply before same-time task
+    #: events so a task starting at t sees the post-transition frequency.
+    APPLY_PRIORITY = -10
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: _FreqDomain,
+        transition_latency_s: float,
+        name: str = "dvfs",
+        transition_stall_s: float = 0.0,
+    ) -> None:
+        """
+        ``transition_latency_s`` is the request-to-apply delay (PLL
+        relock / EMC retrain); ``transition_stall_s`` optionally models
+        the *execution stall* the switch inflicts on work using the
+        domain (real EMC switches briefly block all traffic — the cost
+        behind the paper's fine-grained-task coarsening).  Stalls are
+        delivered through :attr:`on_stall` callbacks; zero disables.
+        """
+        self.sim = sim
+        self.domain = domain
+        self.latency = float(transition_latency_s)
+        self.stall = float(transition_stall_s)
+        self.name = name
+        self.transitions = 0
+        self.requests = 0
+        self._pending: Optional[Event] = None
+        self._pending_freq: Optional[float] = None
+        #: Optional callbacks fired as ``fn(controller)`` after an apply.
+        self.on_applied: list[Callable[["DvfsController"], None]] = []
+        #: Callbacks fired as ``fn(controller, stall_seconds)`` when an
+        #: actual transition occurs and ``transition_stall_s > 0``.
+        self.on_stall: list[Callable[["DvfsController", float], None]] = []
+
+    @property
+    def target_freq(self) -> float:
+        """Frequency the domain is heading to (pending or current)."""
+        if self._pending_freq is not None:
+            return self._pending_freq
+        return self.domain.freq
+
+    def request(self, f_ghz: float) -> float:
+        """Request a frequency; returns the snapped OPP that will apply.
+
+        No-op (and no latency) if the snapped target equals the current
+        frequency and nothing else is pending.
+        """
+        snapped = self.domain.opps.nearest(f_ghz)
+        self.requests += 1
+        if self._pending is None and abs(snapped - self.domain.freq) < 1e-12:
+            return snapped
+        if self._pending_freq is not None and abs(snapped - self._pending_freq) < 1e-12:
+            return snapped
+        if self._pending is not None:
+            self._pending.cancel()
+        self._pending_freq = snapped
+        if self.latency <= 0.0:
+            self._apply(snapped)
+        else:
+            self._pending = self.sim.schedule(
+                self.latency, self._apply, snapped, priority=self.APPLY_PRIORITY
+            )
+        return snapped
+
+    def _apply(self, f_ghz: float) -> None:
+        self._pending = None
+        self._pending_freq = None
+        if abs(f_ghz - self.domain.freq) >= 1e-12:
+            self.transitions += 1
+            self.domain.set_freq(f_ghz)
+            if self.stall > 0:
+                for fn in self.on_stall:
+                    fn(self, self.stall)
+        for fn in self.on_applied:
+            fn(self)

@@ -1,0 +1,77 @@
+"""Memory system — the memory-side DVFS domain.
+
+Models the TX2's EMC/LPDDR4 subsystem: a frequency ladder for the
+memory controller + DRAM, a total bandwidth capacity proportional to
+memory frequency, and a per-stream service rate used by the ground
+truth timing model.  Bandwidth *contention* between concurrent tasks is
+computed by :mod:`repro.exec_model.contention` on top of the capacity
+exposed here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FrequencyError
+from repro.hw.opp import OppTable
+from repro.hw.voltage import VoltageCurve
+
+
+class MemorySystem:
+    """Shared memory subsystem with its own DVFS knob."""
+
+    def __init__(
+        self,
+        opps: OppTable,
+        voltage: VoltageCurve,
+        bw_cap_per_ghz: float = 12.0,
+        stream_bw_per_ghz: float = 7.5,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        bw_cap_per_ghz:
+            Total sustainable bandwidth per GHz of memory frequency
+            (GB/s per GHz); ~22 GB/s at the TX2's 1.866 GHz maximum.
+        stream_bw_per_ghz:
+            Maximum bandwidth a single access stream can extract per
+            GHz of memory frequency (latency-limited), GB/s per GHz.
+        """
+        self.opps = opps
+        self.voltage = voltage
+        self.bw_cap_per_ghz = float(bw_cap_per_ghz)
+        self.stream_bw_per_ghz = float(stream_bw_per_ghz)
+        self._freq = opps.max
+        #: Callbacks invoked as ``fn(memory)`` after a frequency change.
+        self.on_freq_change: list[Callable[["MemorySystem"], None]] = []
+
+    @property
+    def freq(self) -> float:
+        """Current memory frequency (GHz)."""
+        return self._freq
+
+    @property
+    def volts(self) -> float:
+        return self.voltage.volts(self._freq)
+
+    @property
+    def bandwidth_capacity(self) -> float:
+        """Total sustainable bandwidth at the current frequency (GB/s)."""
+        return self.bw_cap_per_ghz * self._freq
+
+    def stream_bandwidth(self) -> float:
+        """Per-stream (single task) bandwidth limit at current f (GB/s)."""
+        return self.stream_bw_per_ghz * self._freq
+
+    def set_freq(self, f_ghz: float) -> None:
+        """Apply a new memory frequency (exact OPP; see cluster note)."""
+        if f_ghz not in self.opps:
+            raise FrequencyError(f"{f_ghz} GHz not a memory OPP ({self.opps.freqs})")
+        if abs(f_ghz - self._freq) < 1e-12:
+            return
+        self._freq = self.opps.nearest(f_ghz)
+        for fn in self.on_freq_change:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemorySystem(f={self._freq}GHz, cap={self.bandwidth_capacity:.1f}GB/s)"

@@ -1,0 +1,90 @@
+"""Operating performance points (OPP) — the discrete frequency ladder.
+
+Frequencies are in GHz throughout the package.  An :class:`OppTable`
+is an immutable, ascending list of available frequencies with helpers
+used by DVFS controllers and by the steepest-descent configuration
+search (neighbour indexing on the frequency grid).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FrequencyError
+
+
+class OppTable:
+    """Immutable ascending table of available frequencies (GHz)."""
+
+    def __init__(self, freqs_ghz: Iterable[float]) -> None:
+        freqs = tuple(sorted(float(f) for f in freqs_ghz))
+        if not freqs:
+            raise FrequencyError("OPP table must contain at least one frequency")
+        if any(f <= 0 for f in freqs):
+            raise FrequencyError("frequencies must be positive")
+        if len(set(freqs)) != len(freqs):
+            raise FrequencyError("duplicate frequencies in OPP table")
+        self._freqs = freqs
+
+    @property
+    def freqs(self) -> tuple[float, ...]:
+        return self._freqs
+
+    @property
+    def min(self) -> float:
+        return self._freqs[0]
+
+    @property
+    def max(self) -> float:
+        return self._freqs[-1]
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+    def __iter__(self):
+        return iter(self._freqs)
+
+    def __contains__(self, f: float) -> bool:
+        return any(abs(f - g) < 1e-9 for g in self._freqs)
+
+    def index(self, f: float) -> int:
+        """Index of frequency ``f`` (exact OPP member, tolerant to fp)."""
+        for i, g in enumerate(self._freqs):
+            if abs(f - g) < 1e-9:
+                return i
+        raise FrequencyError(f"{f} GHz is not an available OPP (have {self._freqs})")
+
+    def at(self, i: int) -> float:
+        return self._freqs[i]
+
+    def nearest(self, f: float) -> float:
+        """Available OPP closest to an arbitrary target frequency.
+
+        Used to snap the averaging heuristic's arithmetic-mean request
+        (paper section 5.3) onto the hardware ladder.
+        """
+        arr = np.asarray(self._freqs)
+        return float(arr[int(np.argmin(np.abs(arr - f)))])
+
+    def neighbours(self, f: float) -> tuple[float, ...]:
+        """Immediately adjacent OPPs (one step down / up the ladder)."""
+        i = self.index(f)
+        out = []
+        if i > 0:
+            out.append(self._freqs[i - 1])
+        if i < len(self._freqs) - 1:
+            out.append(self._freqs[i + 1])
+        return tuple(out)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self._freqs, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OppTable({list(self._freqs)})"
+
+
+def make_opp(freqs_ghz: Sequence[float]) -> OppTable:
+    """Convenience constructor (kept for API symmetry)."""
+    return OppTable(freqs_ghz)

@@ -1,0 +1,284 @@
+"""Platform assembly and factories.
+
+A :class:`Platform` is a *stateful* collection of clusters plus the
+memory system and the ground-truth power model; frequencies mutate
+during a simulation run, so construct a fresh platform per run (the
+factories are cheap).
+
+``jetson_tx2()`` builds the paper's evaluation board: a dual-core
+high-performance "Denver" cluster and a quad-core "A57" cluster sharing
+one memory system, with the real TX2 frequency ladders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.cluster import Cluster
+from repro.hw.core import Core, CoreType
+from repro.hw.memory import MemorySystem
+from repro.hw.opp import OppTable
+from repro.hw.power import PowerModel, PowerModelParams
+from repro.hw.voltage import VoltageCurve
+
+#: Real Jetson TX2 CPU OPPs (GHz), identical for both clusters.
+TX2_CPU_FREQS: tuple[float, ...] = (
+    0.345, 0.499, 0.652, 0.806, 0.960, 1.110,
+    1.270, 1.420, 1.570, 1.730, 1.880, 2.040,
+)
+
+#: Real Jetson TX2 EMC/DRAM OPPs (GHz); 1.866 is the paper's "1.87".
+TX2_MEM_FREQS: tuple[float, ...] = (0.408, 0.665, 0.800, 1.062, 1.331, 1.600, 1.866)
+
+#: High-performance NVIDIA Denver core: wide out-of-order, roughly
+#: 2-3.4x the per-clock compute throughput of the A57 depending on the
+#: kernel's ILP, and a faster memory pipeline; substantially higher
+#: dynamic power.
+DENVER = CoreType(
+    name="denver",
+    giga_ops_per_ghz=2.2,
+    stream_bw_per_ghz=7.0,
+    k_dyn=0.80,
+    k_static=0.05,
+    stall_activity=0.60,
+)
+
+#: Efficiency ARM Cortex-A57 core.
+A57 = CoreType(
+    name="a57",
+    giga_ops_per_ghz=1.0,
+    stream_bw_per_ghz=5.0,
+    k_dyn=0.42,
+    k_static=0.025,
+    stall_activity=0.65,
+)
+
+
+class Platform:
+    """Clusters + memory + ground-truth power model."""
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        memory: MemorySystem,
+        power_model: PowerModel,
+        name: str = "platform",
+    ) -> None:
+        if not clusters:
+            raise ConfigurationError("platform needs at least one cluster")
+        self.clusters = list(clusters)
+        self.memory = memory
+        self.power_model = power_model
+        self.name = name
+        self.cores: list[Core] = [c for cl in self.clusters for c in cl.cores]
+        ids = [c.core_id for c in self.cores]
+        if ids != list(range(len(ids))):
+            raise ConfigurationError("core ids must be dense and ordered")
+        # Clusters sharing a core-type name form an equivalence class:
+        # the scheduler picks the *type*, the runtime may use any of its
+        # clusters (this is what makes per-core-DVFS platforms — many
+        # single-core clusters with the same type name — work).
+        self._by_type: dict[str, list[Cluster]] = {}
+        for cl in self.clusters:
+            self._by_type.setdefault(cl.core_type.name, []).append(cl)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def cluster_of(self, core: Core) -> Cluster:
+        return core.cluster
+
+    def cluster_by_type(self, type_name: str) -> Cluster:
+        """First cluster of a type (canonical representative)."""
+        return self.clusters_of_type(type_name)[0]
+
+    def clusters_of_type(self, type_name: str) -> list[Cluster]:
+        """All clusters whose core type carries this name."""
+        try:
+            return self._by_type[type_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no cluster of type {type_name!r} (have {sorted(self._by_type)})"
+            ) from None
+
+    def cores_of_type(self, type_name: str) -> list[Core]:
+        return [c for cl in self.clusters_of_type(type_name) for c in cl.cores]
+
+    def core_type_names(self) -> list[str]:
+        """Distinct core-type names, in cluster order."""
+        return list(self._by_type)
+
+    def allowed_core_counts(self, cluster: Cluster) -> list[int]:
+        """Power-of-two core counts usable for a moldable task on a
+        cluster — 1, 2, ..., up to the cluster size (paper section 7.4
+        counts ``log(N/M)`` options per cluster)."""
+        out = []
+        n = 1
+        while n <= cluster.n_cores:
+            out.append(n)
+            n *= 2
+        return out
+
+    def resource_configs(self) -> list[tuple[Cluster, int]]:
+        """All ``(cluster, n_cores)`` placement options (the paper's
+        ``<T_C, N_C>`` pairs), one per distinct core-type name —
+        equivalent clusters contribute a single entry."""
+        out = []
+        for clusters in self._by_type.values():
+            cl = clusters[0]
+            out.extend((cl, nc) for nc in self.allowed_core_counts(cl))
+        return out
+
+    def reset_frequencies(self) -> None:
+        """Pin every domain at its maximum (the paper's initial state)."""
+        for cl in self.clusters:
+            cl.set_freq(cl.opps.max)
+        self.memory.set_freq(self.memory.opps.max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{cl.core_type.name}x{cl.n_cores}" for cl in self.clusters
+        )
+        return f"Platform({self.name}: {parts})"
+
+
+#: CPU V/f curve with the low-frequency voltage floor real silicon has
+#: (TX2 CPU rails sit near 0.80 V below ~1 GHz, then scale to ~1.07 V).
+#: The floor is what puts the CPU *energy* optimum at a mid-ladder
+#: frequency (the paper's schedulers pick 1.11 GHz, not the minimum):
+#: below the knee, dynamic energy per op stops shrinking while idle
+#: energy keeps growing with runtime.
+_TX2_CPU_VOLTAGE = VoltageCurve([(0.3, 0.80), (1.0, 0.80), (2.1, 1.08)])
+
+
+def jetson_tx2(power_params: PowerModelParams | None = None) -> Platform:
+    """Fresh NVIDIA Jetson TX2 platform model."""
+    cpu_volt = _TX2_CPU_VOLTAGE
+    mem_volt = VoltageCurve.linear(1.05, 0.05, 0.4, 1.9)
+    cpu_opps = OppTable(TX2_CPU_FREQS)
+    denver = Cluster(0, DENVER, 2, cpu_opps, cpu_volt, core_id_base=0)
+    a57 = Cluster(1, A57, 4, cpu_opps, cpu_volt, core_id_base=2)
+    memory = MemorySystem(
+        OppTable(TX2_MEM_FREQS), mem_volt, bw_cap_per_ghz=12.0, stream_bw_per_ghz=7.5
+    )
+    return Platform(
+        [denver, a57], memory, PowerModel(power_params), name="jetson-tx2"
+    )
+
+
+def jetson_tx2_per_core(power_params: PowerModelParams | None = None) -> Platform:
+    """Idealised TX2 variant with **per-core DVFS**: every core is its
+    own single-core frequency domain.
+
+    The paper (section 1) notes that cores are grouped into clusters to
+    cut the design cost of per-core DVFS, which is what forces JOSS's
+    frequency *coordination*.  This factory removes that constraint so
+    the cost of cluster-level DVFS can be quantified (see the
+    ``percore`` experiment).  The single-core clusters keep the shared
+    type names ("denver"/"a57"), so schedulers place by type as usual
+    while every core's frequency is independently tunable; moldable
+    execution is unavailable by construction (1-core clusters).
+    """
+    cpu_volt = _TX2_CPU_VOLTAGE
+    mem_volt = VoltageCurve.linear(1.05, 0.05, 0.4, 1.9)
+    cpu_opps = OppTable(TX2_CPU_FREQS)
+    clusters = []
+    base = 0
+    for _ in range(2):
+        clusters.append(
+            Cluster(base, DENVER, 1, cpu_opps, cpu_volt, core_id_base=base)
+        )
+        base += 1
+    for _ in range(4):
+        clusters.append(
+            Cluster(base, A57, 1, cpu_opps, cpu_volt, core_id_base=base)
+        )
+        base += 1
+    memory = MemorySystem(
+        OppTable(TX2_MEM_FREQS), mem_volt, bw_cap_per_ghz=12.0, stream_bw_per_ghz=7.5
+    )
+    return Platform(
+        clusters, memory, PowerModel(power_params), name="jetson-tx2-per-core"
+    )
+
+
+#: ODROID-XU4 (Exynos 5422) OPPs: the big A15 and little A7 clusters
+#: have *different* frequency ladders, and the LPDDR3 memory has no
+#: DVFS knob at all — the board the paper cites as the other common
+#: asymmetric evaluation platform ([2] in the paper).
+XU4_A15_FREQS: tuple[float, ...] = (0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+XU4_A7_FREQS: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2, 1.4)
+XU4_MEM_FREQS: tuple[float, ...] = (0.825,)
+
+#: Cortex-A15: fast, notoriously power-hungry big core.
+A15 = CoreType(
+    name="a15",
+    giga_ops_per_ghz=1.7,
+    stream_bw_per_ghz=5.5,
+    k_dyn=0.95,
+    k_static=0.05,
+    stall_activity=0.60,
+)
+
+#: Cortex-A7: the little in-order companion core.
+A7 = CoreType(
+    name="a7",
+    giga_ops_per_ghz=0.6,
+    stream_bw_per_ghz=2.5,
+    k_dyn=0.16,
+    k_static=0.015,
+    stall_activity=0.70,
+)
+
+
+def odroid_xu4(power_params: PowerModelParams | None = None) -> Platform:
+    """Fresh ODROID-XU4 platform model: A15x4 + A7x4, heterogeneous
+    per-cluster OPP ladders, no memory DVFS.
+
+    On this board JOSS degenerates gracefully: the memory-frequency
+    grid has a single column, so JOSS behaves as JOSS_NoMemDVFS —
+    still accounting for memory *energy*, which the paper shows beats
+    CPU-energy-only scheduling even without the knob.
+    """
+    a15_volt = VoltageCurve([(0.6, 0.90), (1.0, 0.90), (2.1, 1.25)])
+    a7_volt = VoltageCurve([(0.5, 0.90), (0.9, 0.90), (1.5, 1.10)])
+    mem_volt = VoltageCurve.linear(1.2, 0.0, 0.5, 1.0)
+    a15 = Cluster(0, A15, 4, OppTable(XU4_A15_FREQS), a15_volt, core_id_base=0)
+    a7 = Cluster(1, A7, 4, OppTable(XU4_A7_FREQS), a7_volt, core_id_base=4)
+    memory = MemorySystem(
+        OppTable(XU4_MEM_FREQS), mem_volt, bw_cap_per_ghz=16.0,
+        stream_bw_per_ghz=8.0,
+    )
+    return Platform(
+        [a15, a7], memory, PowerModel(power_params), name="odroid-xu4"
+    )
+
+
+def symmetric_platform(
+    n_clusters: int = 2,
+    cores_per_cluster: int = 4,
+    core_type: CoreType = A57,
+    cpu_freqs: Iterable[float] = TX2_CPU_FREQS,
+    mem_freqs: Iterable[float] = TX2_MEM_FREQS,
+    power_params: PowerModelParams | None = None,
+) -> Platform:
+    """Symmetric multi-cluster platform (used for scaling/overhead
+    studies and for exercising schedulers without core asymmetry)."""
+    if n_clusters < 1 or cores_per_cluster < 1:
+        raise ConfigurationError("need at least one cluster and one core")
+    cpu_volt = VoltageCurve.linear(0.55, 0.25, 0.3, 2.1)
+    mem_volt = VoltageCurve.linear(1.05, 0.05, 0.4, 1.9)
+    opps = OppTable(cpu_freqs)
+    clusters = []
+    base = 0
+    for i in range(n_clusters):
+        clusters.append(
+            Cluster(i, core_type, cores_per_cluster, opps, cpu_volt, core_id_base=base)
+        )
+        base += cores_per_cluster
+    memory = MemorySystem(OppTable(mem_freqs), mem_volt)
+    return Platform(
+        clusters, memory, PowerModel(power_params), name=f"sym-{n_clusters}x{cores_per_cluster}"
+    )

@@ -1,0 +1,142 @@
+"""Ground-truth power model (the physics the MPR models must learn).
+
+The paper measures CPU and memory rail power with an INA3221 sensor;
+here the "silicon" itself is simulated.  The model is deliberately a
+bit richer than the regression forms JOSS fits (Eqs. 4 and 5 in the
+paper): CPU activity depends on the *instantaneous* memory-boundness
+of each running task, and memory power depends on achieved bandwidth —
+terms the learned models can only approximate.  That gap, plus sensor
+noise, is what produces the non-trivial accuracy distributions of
+Figure 10.
+
+All power values are watts; frequencies GHz; voltages volts;
+bandwidths GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hw.cluster import Cluster
+from repro.hw.core import CoreType
+from repro.hw.memory import MemorySystem
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Platform-wide power constants (see ``jetson_tx2`` for values).
+
+    Attributes
+    ----------
+    k_uncore:
+        Cluster uncore (interconnect, L2) coefficient: ``k * V^2 * f``.
+    k_idle_clock:
+        Residual clock-tree activity of an online-but-idle core,
+        relative to ``V^2 * f``.
+    mem_idle_base:
+        Memory background power independent of frequency (refresh).
+    mem_idle_per_ghz:
+        Memory background power per GHz of memory frequency (clocking).
+    mem_energy_per_gb:
+        Access energy per GB transferred, expressed as W per GB/s.
+    k_mem_ctrl:
+        Memory-controller dynamic coefficient: ``k * V^2 * f * util``.
+    """
+
+    k_uncore: float = 0.05
+    k_idle_clock: float = 0.008
+    mem_idle_base: float = 0.12
+    mem_idle_per_ghz: float = 0.35
+    mem_energy_per_gb: float = 0.045
+    k_mem_ctrl: float = 0.12
+
+
+class PowerModel:
+    """Evaluates instantaneous rail power from platform state.
+
+    The execution engine supplies, per busy core, the instantaneous
+    memory-boundness of the activity it runs (fraction of time stalled
+    under *current* frequencies), and the total achieved memory
+    bandwidth; everything else is read from the hardware objects.
+    """
+
+    def __init__(self, params: PowerModelParams | None = None) -> None:
+        self.params = params or PowerModelParams()
+
+    # ------------------------------------------------------------------
+    # CPU side
+    # ------------------------------------------------------------------
+    def core_dynamic_power(
+        self, core_type: CoreType, f_ghz: float, volts: float, mb_inst: float
+    ) -> float:
+        """Dynamic power of one busy core running a task with
+        instantaneous memory-boundness ``mb_inst`` in [0, 1]."""
+        activity = (1.0 - mb_inst) + mb_inst * core_type.stall_activity
+        return core_type.k_dyn * activity * volts * volts * f_ghz
+
+    def core_static_power(self, core_type: CoreType, volts: float) -> float:
+        """Leakage of one online core."""
+        return core_type.k_static * volts * volts
+
+    def core_idle_clock_power(
+        self, core_type: CoreType, f_ghz: float, volts: float
+    ) -> float:
+        """Residual clock power of an online-but-idle core."""
+        return self.params.k_idle_clock * volts * volts * f_ghz
+
+    def cluster_power(
+        self, cluster: Cluster, core_loads: Sequence[Optional[float]]
+    ) -> float:
+        """Total power of one cluster.
+
+        ``core_loads[i]`` is the instantaneous memory-boundness of the
+        task on core ``i`` (``None`` when the core is idle).
+        """
+        f = cluster.freq
+        v = cluster.volts
+        ct = cluster.core_type
+        p = self.params.k_uncore * v * v * f
+        for load in core_loads:
+            p += self.core_static_power(ct, v)
+            if load is None:
+                p += self.core_idle_clock_power(ct, f, v)
+            else:
+                p += self.core_dynamic_power(ct, f, v, load)
+        return p
+
+    def cpu_idle_power(self, cluster: Cluster, f_ghz: float | None = None) -> float:
+        """Cluster power when all cores are online but idle at ``f_ghz``.
+
+        This is the quantity the paper characterises during benchmarking
+        (section 4.3.3) and attributes proportionally across concurrent
+        tasks.
+        """
+        f = cluster.freq if f_ghz is None else f_ghz
+        v = cluster.voltage.volts(f)
+        ct = cluster.core_type
+        per_core = self.core_static_power(ct, v) + self.core_idle_clock_power(ct, f, v)
+        return self.params.k_uncore * v * v * f + cluster.n_cores * per_core
+
+    # ------------------------------------------------------------------
+    # Memory side
+    # ------------------------------------------------------------------
+    def memory_power(self, memory: MemorySystem, achieved_bw: float) -> float:
+        """Total memory-rail power at the current memory frequency with
+        ``achieved_bw`` GB/s of traffic in flight."""
+        p = self.memory_idle_power(memory)
+        v = memory.volts
+        util = 0.0
+        cap = memory.bandwidth_capacity
+        if cap > 0:
+            util = min(1.0, achieved_bw / cap)
+        p += self.params.mem_energy_per_gb * achieved_bw
+        p += self.params.k_mem_ctrl * v * v * memory.freq * util
+        return p
+
+    def memory_idle_power(
+        self, memory: MemorySystem, f_ghz: float | None = None
+    ) -> float:
+        """Memory background power (no traffic) at ``f_ghz``."""
+        f = memory.freq if f_ghz is None else f_ghz
+        return self.params.mem_idle_base + self.params.mem_idle_per_ghz * f

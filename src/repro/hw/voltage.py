@@ -1,0 +1,40 @@
+"""Voltage/frequency curves.
+
+The paper's power models deliberately avoid using voltage as an input
+because it is strongly correlated with frequency on the TX2 (section
+4.3.1).  The *ground truth* power model, however, is genuinely V^2*f —
+this module provides the V(f) mapping the simulated silicon obeys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class VoltageCurve:
+    """Piecewise-linear voltage as a function of frequency (GHz -> V)."""
+
+    def __init__(self, points: Iterable[tuple[float, float]]) -> None:
+        pts = sorted((float(f), float(v)) for f, v in points)
+        if len(pts) < 2:
+            raise ConfigurationError("voltage curve needs at least two points")
+        self._f = np.asarray([p[0] for p in pts])
+        self._v = np.asarray([p[1] for p in pts])
+        if np.any(np.diff(self._v) < 0):
+            raise ConfigurationError("voltage must be non-decreasing with frequency")
+
+    def volts(self, f_ghz: float) -> float:
+        """Interpolated supply voltage at ``f_ghz`` (clamped at the ends)."""
+        return float(np.interp(f_ghz, self._f, self._v))
+
+    @classmethod
+    def linear(cls, v0: float, slope: float, f_min: float, f_max: float) -> "VoltageCurve":
+        """Curve ``V = v0 + slope * f`` over ``[f_min, f_max]``."""
+        return cls([(f_min, v0 + slope * f_min), (f_max, v0 + slope * f_max)])
+
+    def table(self, freqs: Sequence[float]) -> list[tuple[float, float]]:
+        return [(f, self.volts(f)) for f in freqs]

@@ -1,0 +1,42 @@
+"""JOSS prediction models (paper section 4).
+
+Three multivariate-polynomial-regression (MPR) models per
+``<T_C, N_C>`` resource configuration, fitted from the synthetic
+profiling dataset:
+
+- performance model (Eqs. 1-3): execution time under joint
+  core/memory frequency scaling, driven by memory-boundness (MB);
+- CPU power model (Eq. 4): dynamic CPU power from (MB, f_C);
+- memory power model (Eq. 5): dynamic memory power from (MB, f_C, f_M);
+
+plus the idle-power characterisation (section 4.3.3) and the
+PMC-free MB estimator (Eq. 3) used at runtime.
+"""
+
+from repro.models.mpr import Poly2Regressor, PolynomialRegressor
+from repro.models.mb import estimate_mb
+from repro.models.performance import PerformanceModel
+from repro.models.cpu_power import CpuPowerModel
+from repro.models.memory_power import MemoryPowerModel
+from repro.models.idle import IdlePowerModel
+from repro.models.suite import ConfigModels, ModelSuite
+from repro.models.training import fit_models, profile_and_fit
+from repro.models.tables import PredictionTable
+from repro.models.io import load_suite, save_suite
+
+__all__ = [
+    "Poly2Regressor",
+    "PolynomialRegressor",
+    "estimate_mb",
+    "PerformanceModel",
+    "CpuPowerModel",
+    "MemoryPowerModel",
+    "IdlePowerModel",
+    "ConfigModels",
+    "ModelSuite",
+    "fit_models",
+    "profile_and_fit",
+    "PredictionTable",
+    "save_suite",
+    "load_suite",
+]

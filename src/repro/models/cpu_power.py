@@ -1,0 +1,38 @@
+"""CPU power model (paper section 4.3.1, Eq. 4).
+
+Dynamic CPU power is modelled as an MPR over ``(MB, f_C)`` only: the
+paper's profiling (Fig. 5a) shows memory frequency has negligible
+effect on CPU power, and voltage is omitted because it is strongly
+correlated with frequency on the platform.  One instance per
+``<T_C, N_C>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.mpr import PolynomialRegressor
+
+
+class CpuPowerModel:
+    """Predicts dynamic CPU power of a task from (MB, f_C)."""
+
+    def __init__(self, degree: int = 2) -> None:
+        self._reg = PolynomialRegressor(n_features=2, degree=degree)
+
+    def fit(self, mb: np.ndarray, f_c: np.ndarray, power: np.ndarray) -> "CpuPowerModel":
+        x = np.column_stack([np.asarray(mb, float), np.asarray(f_c, float)])
+        self._reg.fit(x, np.asarray(power, float))
+        return self
+
+    def predict(self, mb: float, f_c: float) -> float:
+        return max(0.0, self._reg.predict_one(mb, f_c))
+
+    def predict_grid(self, mb: float, f_c_grid: np.ndarray) -> np.ndarray:
+        f_c_grid = np.asarray(f_c_grid, float)
+        x = np.column_stack([np.full(f_c_grid.size, mb), f_c_grid])
+        return np.maximum(0.0, self._reg.predict(x))
+
+    @property
+    def train_rmse(self) -> float:
+        return self._reg.train_rmse

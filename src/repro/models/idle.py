@@ -1,0 +1,54 @@
+"""Idle power characterisation (paper section 4.3.3).
+
+Idle CPU and memory power are *measured* during benchmarking (cores
+online but not executing) at each frequency and the measured values are
+used directly as predictions.  Idle power is shared by all concurrently
+running tasks; the scheduler attributes it proportionally using the
+instantaneous task concurrency (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.profiling.dataset import IdleRecord
+
+
+class IdlePowerModel:
+    """Interpolated idle-power tables for the CPU and memory rails.
+
+    CPU idle power is (to first order) a function of core frequency
+    only, and memory idle power of memory frequency only; the
+    characterisation averages over the other dimension.
+    """
+
+    def __init__(self, records: Iterable[IdleRecord]) -> None:
+        records = list(records)
+        if not records:
+            raise ModelError("no idle records")
+        cpu: dict[float, list[float]] = {}
+        mem: dict[float, list[float]] = {}
+        for r in records:
+            cpu.setdefault(r.f_c, []).append(r.cpu_power)
+            mem.setdefault(r.f_m, []).append(r.mem_power)
+        self._fc = np.asarray(sorted(cpu))
+        self._cpu = np.asarray([float(np.mean(cpu[f])) for f in self._fc])
+        self._fm = np.asarray(sorted(mem))
+        self._mem = np.asarray([float(np.mean(mem[f])) for f in self._fm])
+
+    def cpu_idle(self, f_c: float) -> float:
+        """Idle CPU-rail power with clusters at ``f_c`` (W)."""
+        return float(np.interp(f_c, self._fc, self._cpu))
+
+    def mem_idle(self, f_m: float) -> float:
+        """Idle memory-rail power at ``f_m`` (W)."""
+        return float(np.interp(f_m, self._fm, self._mem))
+
+    def cpu_idle_grid(self, f_c_grid: np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(f_c_grid, float), self._fc, self._cpu)
+
+    def mem_idle_grid(self, f_m_grid: np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(f_m_grid, float), self._fm, self._mem)

@@ -1,0 +1,98 @@
+"""Model-suite serialisation.
+
+The paper's profiling and model fitting "just need to be done once for
+a specific platform (e.g. at install-time or boot-time)" — which means
+the fitted models are an on-disk artifact.  This module round-trips a
+:class:`~repro.models.suite.ModelSuite` through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.cpu_power import CpuPowerModel
+from repro.models.idle import IdlePowerModel
+from repro.models.memory_power import MemoryPowerModel
+from repro.models.mpr import PolynomialRegressor
+from repro.models.performance import PerformanceModel
+from repro.models.suite import ConfigModels, ModelSuite
+
+FORMAT_VERSION = 1
+
+
+def suite_to_dict(suite: ModelSuite) -> dict:
+    configs = {}
+    for (cluster, n_cores), cm in suite.models.items():
+        configs[f"{cluster}:{n_cores}"] = {
+            "performance": cm.performance._stall.get_state(),
+            "cpu_power": cm.cpu_power._reg.get_state(),
+            "mem_power": cm.mem_power._reg.get_state(),
+            "f_c_ref": cm.f_c_ref,
+            "f_c_sample": cm.f_c_sample,
+            "perf_f_c_ref": cm.performance.f_c_ref,
+        }
+    idle = suite.idle
+    return {
+        "version": FORMAT_VERSION,
+        "platform": suite.platform_name,
+        "f_c_ref": suite.f_c_ref,
+        "f_m_ref": suite.f_m_ref,
+        "f_c_sample": suite.f_c_sample,
+        "configs": configs,
+        "idle": {
+            "f_c": idle._fc.tolist(),
+            "cpu": idle._cpu.tolist(),
+            "f_m": idle._fm.tolist(),
+            "mem": idle._mem.tolist(),
+        },
+    }
+
+
+def suite_from_dict(data: dict) -> ModelSuite:
+    if data.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model-suite format {data.get('version')!r}"
+        )
+    f_c_ref = float(data["f_c_ref"])
+    f_m_ref = float(data["f_m_ref"])
+    models: dict[tuple[str, int], ConfigModels] = {}
+    for key, entry in data["configs"].items():
+        cluster, n_cores_s = key.rsplit(":", 1)
+        perf = PerformanceModel(float(entry.get("perf_f_c_ref", f_c_ref)), f_m_ref)
+        perf._stall = PolynomialRegressor.from_state(entry["performance"])
+        cpu = CpuPowerModel()
+        cpu._reg = PolynomialRegressor.from_state(entry["cpu_power"])
+        mem = MemoryPowerModel()
+        mem._reg = PolynomialRegressor.from_state(entry["mem_power"])
+        models[(cluster, int(n_cores_s))] = ConfigModels(
+            perf, cpu, mem,
+            f_c_ref=float(entry.get("f_c_ref", 0.0)),
+            f_c_sample=float(entry.get("f_c_sample", 0.0)),
+        )
+    idle = IdlePowerModel.__new__(IdlePowerModel)
+    idle._fc = np.asarray(data["idle"]["f_c"], dtype=float)
+    idle._cpu = np.asarray(data["idle"]["cpu"], dtype=float)
+    idle._fm = np.asarray(data["idle"]["f_m"], dtype=float)
+    idle._mem = np.asarray(data["idle"]["mem"], dtype=float)
+    return ModelSuite(
+        models,
+        idle,
+        f_c_ref=f_c_ref,
+        f_m_ref=f_m_ref,
+        f_c_sample=float(data["f_c_sample"]),
+        platform_name=data.get("platform", ""),
+    )
+
+
+def save_suite(suite: ModelSuite, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(suite_to_dict(suite)))
+    return path
+
+
+def load_suite(path: str | Path) -> ModelSuite:
+    return suite_from_dict(json.loads(Path(path).read_text()))

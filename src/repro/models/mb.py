@@ -1,0 +1,37 @@
+"""PMC-free memory-boundness estimation (paper Eq. 3).
+
+MB is the fraction of time the CPU is stalled on memory.  Instead of
+hardware counters (unavailable/portable-hostile, section 4), the paper
+samples a kernel's execution time at two core frequencies under a
+fixed memory frequency and solves the linear-compute-scaling model:
+
+    MB = (Time'/Time - f_C/f_C') / (1 - f_C/f_C')
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def estimate_mb(
+    time_ref: float, time_scaled: float, f_c_ref: float, f_c_scaled: float
+) -> float:
+    """Estimate MB from two timed runs of the same kernel.
+
+    Parameters
+    ----------
+    time_ref:
+        Measured time at ``f_c_ref``.
+    time_scaled:
+        Measured time at ``f_c_scaled``.
+
+    Returns the estimate clamped to [0, 1] (measurement noise can push
+    the raw value slightly outside).
+    """
+    if time_ref <= 0 or time_scaled <= 0:
+        raise ModelError("times must be positive")
+    if abs(f_c_ref - f_c_scaled) < 1e-12:
+        raise ModelError("the two sampling frequencies must differ")
+    ratio = f_c_ref / f_c_scaled
+    mb = (time_scaled / time_ref - ratio) / (1.0 - ratio)
+    return min(1.0, max(0.0, mb))

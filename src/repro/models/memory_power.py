@@ -1,0 +1,51 @@
+"""Memory power model (paper section 4.3.2, Eq. 5).
+
+Dynamic memory power depends on all three factors — MB, core frequency
+(issue rate) and memory frequency — so the MPR takes ``(MB, f_C, f_M)``.
+One instance per ``<T_C, N_C>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.mpr import PolynomialRegressor
+
+
+class MemoryPowerModel:
+    """Predicts dynamic memory power of a task from (MB, f_C, f_M)."""
+
+    def __init__(self, degree: int = 2) -> None:
+        self._reg = PolynomialRegressor(n_features=3, degree=degree)
+
+    def fit(
+        self,
+        mb: np.ndarray,
+        f_c: np.ndarray,
+        f_m: np.ndarray,
+        power: np.ndarray,
+    ) -> "MemoryPowerModel":
+        x = np.column_stack(
+            [np.asarray(mb, float), np.asarray(f_c, float), np.asarray(f_m, float)]
+        )
+        self._reg.fit(x, np.asarray(power, float))
+        return self
+
+    def predict(self, mb: float, f_c: float, f_m: float) -> float:
+        return max(0.0, self._reg.predict_one(mb, f_c, f_m))
+
+    def predict_grid(
+        self, mb: float, f_c_grid: np.ndarray, f_m_grid: np.ndarray
+    ) -> np.ndarray:
+        """(len(f_c_grid), len(f_m_grid)) grid of power predictions."""
+        fc2, fm2 = np.meshgrid(
+            np.asarray(f_c_grid, float), np.asarray(f_m_grid, float), indexing="ij"
+        )
+        x = np.column_stack(
+            [np.full(fc2.size, mb), fc2.ravel(), fm2.ravel()]
+        )
+        return np.maximum(0.0, self._reg.predict(x)).reshape(fc2.shape)
+
+    @property
+    def train_rmse(self) -> float:
+        return self._reg.train_rmse

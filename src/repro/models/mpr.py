@@ -1,0 +1,117 @@
+"""Multivariate polynomial regression (the paper's MPR).
+
+The paper's Eqs. 2, 4 and 5 all share the same functional form: linear
+terms, quadratic terms, pairwise interaction terms, plus an intercept —
+i.e. a full degree-2 polynomial.  The paper notes that higher-degree
+variants overfit without accuracy gains (section 4.3.3); degree 2 is
+therefore the production setting (:class:`Poly2Regressor`), and the
+generic :class:`PolynomialRegressor` exists to *reproduce* that
+overfitting study (see the ``degree`` experiment).
+
+Fitting is ordinary least squares via :func:`numpy.linalg.lstsq` on the
+expanded feature matrix — vectorised, no loops over samples.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class PolynomialRegressor:
+    """OLS on the full polynomial expansion of ``n_features`` inputs up
+    to ``degree`` (all monomials, intercept included)."""
+
+    def __init__(self, n_features: int, degree: int = 2) -> None:
+        if n_features < 1:
+            raise ModelError("need at least one feature")
+        if degree < 1:
+            raise ModelError("degree must be >= 1")
+        self.n_features = n_features
+        self.degree = degree
+        #: Monomials as index tuples, e.g. (0, 1) means x0*x1.
+        self._terms: list[tuple[int, ...]] = [()]
+        for d in range(1, degree + 1):
+            self._terms.extend(
+                combinations_with_replacement(range(n_features), d)
+            )
+        self.coef: np.ndarray | None = None
+        #: Residual RMS on the training set (diagnostic).
+        self.train_rmse: float = float("nan")
+
+    @property
+    def n_params(self) -> int:
+        return len(self._terms)
+
+    def expand(self, x: np.ndarray) -> np.ndarray:
+        """Feature expansion; ``x`` is (n_samples, n_features)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.n_features:
+            raise ModelError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        cols = []
+        for term in self._terms:
+            col = np.ones(len(x))
+            for idx in term:
+                col = col * x[:, idx]
+            cols.append(col)
+        return np.column_stack(cols)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PolynomialRegressor":
+        y = np.asarray(y, dtype=float)
+        phi = self.expand(x)
+        if len(y) < self.n_params:
+            raise ModelError(
+                f"{len(y)} samples cannot identify {self.n_params} parameters"
+            )
+        coef, _, _, _ = np.linalg.lstsq(phi, y, rcond=None)
+        self.coef = coef
+        resid = phi @ coef - y
+        self.train_rmse = float(np.sqrt(np.mean(resid**2)))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict for (n_samples, n_features); returns (n_samples,)."""
+        if self.coef is None:
+            raise ModelError("model is not fitted")
+        return self.expand(x) @ self.coef
+
+    def predict_one(self, *features: float) -> float:
+        return float(self.predict(np.asarray(features)[None, :])[0])
+
+    # ------------------------------------------------------------------
+    # Serialisation (install-time model artifacts)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        if self.coef is None:
+            raise ModelError("cannot serialise an unfitted model")
+        return {
+            "n_features": self.n_features,
+            "degree": self.degree,
+            "coef": self.coef.tolist(),
+            "train_rmse": self.train_rmse,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PolynomialRegressor":
+        reg = cls(int(state["n_features"]))
+        if int(state.get("degree", 2)) != reg.degree:
+            reg = PolynomialRegressor(
+                int(state["n_features"]), int(state["degree"])
+            )
+        reg.coef = np.asarray(state["coef"], dtype=float)
+        if reg.coef.shape != (reg.n_params,):
+            raise ModelError("coefficient vector has the wrong shape")
+        reg.train_rmse = float(state.get("train_rmse", float("nan")))
+        return reg
+
+
+class Poly2Regressor(PolynomialRegressor):
+    """The production degree-2 MPR (the paper's Eqs. 2/4/5 form)."""
+
+    def __init__(self, n_features: int) -> None:
+        super().__init__(n_features, degree=2)

@@ -1,0 +1,86 @@
+"""Performance model (paper section 4.2, Eqs. 1-2).
+
+Total time decomposes as ``Time = Time_comp + Time_stall``.  Compute
+time scales linearly with core frequency (Eq. 1); stall time is an MPR
+over ``(MB, f_C/f_C', f_M/f_M')`` expressed as a *fraction of the
+reference time* (Eq. 2).  One instance is fitted per ``<T_C, N_C>``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.mpr import PolynomialRegressor
+
+
+class PerformanceModel:
+    """Predicts task execution time under joint DVFS."""
+
+    def __init__(self, f_c_ref: float, f_m_ref: float, degree: int = 2) -> None:
+        #: Reference frequencies at which the input time is measured.
+        self.f_c_ref = f_c_ref
+        self.f_m_ref = f_m_ref
+        self._stall = PolynomialRegressor(n_features=3, degree=degree)
+
+    def fit(
+        self,
+        mb: np.ndarray,
+        time_ref: np.ndarray,
+        time_scaled: np.ndarray,
+        f_c: np.ndarray,
+        f_m: np.ndarray,
+    ) -> "PerformanceModel":
+        """Fit the stall regressor from profiled samples.
+
+        Each row is one (kernel, f_C', f_M') measurement of a kernel
+        whose reference time (at ``f_c_ref``, ``f_m_ref``) and MB
+        estimate are given.  The regression target is the stall
+        fraction: ``(Time' - Time'_comp) / Time``.
+        """
+        mb = np.asarray(mb, float)
+        time_ref = np.asarray(time_ref, float)
+        time_scaled = np.asarray(time_scaled, float)
+        rc = self.f_c_ref / np.asarray(f_c, float)
+        rm = self.f_m_ref / np.asarray(f_m, float)
+        comp_scaled = time_ref * (1.0 - mb) * rc  # Eq. 1
+        y = (time_scaled - comp_scaled) / time_ref
+        x = np.column_stack([mb, rc, rm])
+        self._stall.fit(x, y)
+        return self
+
+    def predict(
+        self, mb: float, time_ref: float, f_c: float, f_m: float
+    ) -> float:
+        """Execution time at ``(f_c, f_m)`` for a task whose time at the
+        reference frequencies is ``time_ref`` and whose MB is ``mb``."""
+        rc = self.f_c_ref / f_c
+        rm = self.f_m_ref / f_m
+        t_comp = time_ref * (1.0 - mb) * rc
+        t_stall = time_ref * self._stall.predict_one(mb, rc, rm)
+        return t_comp + max(0.0, t_stall)
+
+    def predict_grid(
+        self,
+        mb: float,
+        time_ref: float,
+        f_c_grid: np.ndarray,
+        f_m_grid: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised prediction over the full OPP grid.
+
+        Returns an array of shape ``(len(f_c_grid), len(f_m_grid))`` —
+        the per-kernel performance look-up table of section 5.1.
+        """
+        rc = self.f_c_ref / np.asarray(f_c_grid, float)
+        rm = self.f_m_ref / np.asarray(f_m_grid, float)
+        rc2, rm2 = np.meshgrid(rc, rm, indexing="ij")
+        x = np.column_stack(
+            [np.full(rc2.size, mb), rc2.ravel(), rm2.ravel()]
+        )
+        stall = np.maximum(0.0, self._stall.predict(x)).reshape(rc2.shape)
+        comp = time_ref * (1.0 - mb) * rc2
+        return comp + time_ref * stall
+
+    @property
+    def train_rmse(self) -> float:
+        return self._stall.train_rmse

@@ -1,0 +1,191 @@
+"""Model suite: everything JOSS's scheduler needs for predictions.
+
+Bundles the per-``<T_C, N_C>`` performance / CPU power / memory power
+models, the idle-power characterisation and the reference frequencies,
+and offers convenience predictors plus full-grid table builders
+(feeding the per-kernel look-up tables of paper section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.cpu_power import CpuPowerModel
+from repro.models.idle import IdlePowerModel
+from repro.models.memory_power import MemoryPowerModel
+from repro.models.performance import PerformanceModel
+from repro.models.tables import PredictionTable
+
+#: Key identifying one resource configuration: (core type name, n_cores).
+ConfigKey = tuple[str, int]
+
+
+@dataclass
+class ConfigModels:
+    """The three MPR models for one ``<T_C, N_C>``.
+
+    ``f_c_ref``/``f_c_sample`` are the two core frequencies at which
+    this configuration's kernels are timed for MB estimation (Eq. 3).
+    On homogeneous-ladder platforms (TX2: both clusters share the OPP
+    table) they equal the suite-wide values; on platforms with
+    per-cluster ladders (e.g. the ODROID XU4's A15 vs A7) each config
+    carries its own.  ``0.0`` means "use the suite-wide value"
+    (backwards compatibility for directly-constructed suites).
+    """
+
+    performance: PerformanceModel
+    cpu_power: CpuPowerModel
+    mem_power: MemoryPowerModel
+    f_c_ref: float = 0.0
+    f_c_sample: float = 0.0
+
+
+class ModelSuite:
+    """All fitted models for one platform."""
+
+    def __init__(
+        self,
+        models: Mapping[ConfigKey, ConfigModels],
+        idle: IdlePowerModel,
+        f_c_ref: float,
+        f_m_ref: float,
+        f_c_sample: float,
+        platform_name: str = "",
+    ) -> None:
+        if not models:
+            raise ModelError("empty model suite")
+        self.models = dict(models)
+        self.idle = idle
+        #: Reference frequencies of the performance model / sampling.
+        self.f_c_ref = f_c_ref
+        self.f_m_ref = f_m_ref
+        #: Second core frequency used for runtime MB sampling (Eq. 3).
+        self.f_c_sample = f_c_sample
+        self.platform_name = platform_name
+
+    def config(self, cluster: str, n_cores: int) -> ConfigModels:
+        try:
+            return self.models[(cluster, n_cores)]
+        except KeyError:
+            raise ModelError(
+                f"no models for <{cluster}, {n_cores}> "
+                f"(have {sorted(self.models)})"
+            ) from None
+
+    def config_keys(self) -> list[ConfigKey]:
+        return list(self.models)
+
+    def ref_freqs(self, cluster: str, n_cores: int) -> tuple[float, float]:
+        """The (reference, sampling) core frequencies of one config —
+        per-config where the platform has per-cluster ladders, else the
+        suite-wide values."""
+        cm = self.config(cluster, n_cores)
+        ref = cm.f_c_ref or self.f_c_ref
+        samp = cm.f_c_sample or self.f_c_sample
+        return ref, samp
+
+    # ------------------------------------------------------------------
+    # Point predictions
+    # ------------------------------------------------------------------
+    def predict_time(
+        self, cluster: str, n_cores: int, mb: float, time_ref: float,
+        f_c: float, f_m: float,
+    ) -> float:
+        return self.config(cluster, n_cores).performance.predict(
+            mb, time_ref, f_c, f_m
+        )
+
+    def predict_cpu_power(
+        self, cluster: str, n_cores: int, mb: float, f_c: float
+    ) -> float:
+        return self.config(cluster, n_cores).cpu_power.predict(mb, f_c)
+
+    def predict_mem_power(
+        self, cluster: str, n_cores: int, mb: float, f_c: float, f_m: float
+    ) -> float:
+        return self.config(cluster, n_cores).mem_power.predict(mb, f_c, f_m)
+
+    # ------------------------------------------------------------------
+    # Sanity checking (run after load / fit)
+    # ------------------------------------------------------------------
+    def self_check(self) -> list[str]:
+        """Cheap physical-plausibility probes of the fitted models.
+
+        Returns a list of human-readable problems (empty = healthy):
+        predictions must be positive, execution time must not *rise*
+        with core frequency for a compute-bound probe, and CPU power
+        must grow with frequency.  Run this after loading a serialized
+        suite or fitting on a new platform.
+        """
+        problems: list[str] = []
+        for (cluster, n_cores) in self.config_keys():
+            ref, _ = self.ref_freqs(cluster, n_cores)
+            lo = ref / 2
+            for mb in (0.05, 0.5, 0.95):
+                t_hi = self.predict_time(cluster, n_cores, mb, 0.01, ref, self.f_m_ref)
+                t_lo = self.predict_time(cluster, n_cores, mb, 0.01, lo, self.f_m_ref)
+                if t_hi <= 0 or t_lo <= 0:
+                    problems.append(
+                        f"<{cluster},{n_cores}> mb={mb}: non-positive time"
+                    )
+                elif mb < 0.3 and t_lo < t_hi:
+                    problems.append(
+                        f"<{cluster},{n_cores}> mb={mb}: faster at lower f_C"
+                    )
+                p_hi = self.predict_cpu_power(cluster, n_cores, mb, ref)
+                p_lo = self.predict_cpu_power(cluster, n_cores, mb, lo)
+                if p_hi < 0 or p_lo < 0:
+                    problems.append(
+                        f"<{cluster},{n_cores}> mb={mb}: negative CPU power"
+                    )
+                elif p_hi < p_lo:
+                    problems.append(
+                        f"<{cluster},{n_cores}> mb={mb}: CPU power falls with f_C"
+                    )
+                if self.predict_mem_power(
+                    cluster, n_cores, mb, ref, self.f_m_ref
+                ) < 0:
+                    problems.append(
+                        f"<{cluster},{n_cores}> mb={mb}: negative memory power"
+                    )
+        if self.idle.cpu_idle(self.f_c_ref) <= 0:
+            problems.append("idle CPU power non-positive")
+        if self.idle.mem_idle(self.f_m_ref) <= 0:
+            problems.append("idle memory power non-positive")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Full-grid tables (per-kernel LUTs, paper section 5.1)
+    # ------------------------------------------------------------------
+    def build_table(
+        self,
+        cluster: str,
+        n_cores: int,
+        mb: float,
+        time_ref: float,
+        f_c_grid: np.ndarray,
+        f_m_grid: np.ndarray,
+    ) -> PredictionTable:
+        cm = self.config(cluster, n_cores)
+        f_c_grid = np.asarray(f_c_grid, float)
+        f_m_grid = np.asarray(f_m_grid, float)
+        time = cm.performance.predict_grid(mb, time_ref, f_c_grid, f_m_grid)
+        cpu = cm.cpu_power.predict_grid(mb, f_c_grid)
+        mem = cm.mem_power.predict_grid(mb, f_c_grid, f_m_grid)
+        return PredictionTable(
+            cluster=cluster,
+            n_cores=n_cores,
+            mb=mb,
+            time_ref=time_ref,
+            f_c_grid=f_c_grid,
+            f_m_grid=f_m_grid,
+            time=time,
+            cpu_power=cpu[:, None] * np.ones_like(time),
+            mem_power=mem,
+            idle_cpu=self.idle.cpu_idle_grid(f_c_grid),
+            idle_mem=self.idle.mem_idle_grid(f_m_grid),
+        )

@@ -1,0 +1,70 @@
+"""Per-kernel prediction look-up tables (paper section 5.1 / 7.4).
+
+For each kernel and each ``<T_C, N_C>``, JOSS stores three tables over
+the ``(f_C, f_M)`` grid: predicted execution time, CPU power and memory
+power.  Energy estimates combine the three with the shared idle power
+attributed across concurrently running tasks:
+
+    E(f_C, f_M) = time * (P_cpu_dyn + P_mem_dyn
+                          + (P_cpu_idle(f_C) + P_mem_idle(f_M)) / concurrency)
+
+The storage-cost formula of section 7.4 is exposed as
+:func:`storage_entries`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PredictionTable:
+    """Time/power predictions for one (kernel, T_C, N_C) over the grid."""
+
+    cluster: str
+    n_cores: int
+    mb: float
+    time_ref: float
+    f_c_grid: np.ndarray          # (n_fc,)
+    f_m_grid: np.ndarray          # (n_fm,)
+    time: np.ndarray              # (n_fc, n_fm) seconds
+    cpu_power: np.ndarray         # (n_fc, n_fm) watts (dynamic)
+    mem_power: np.ndarray         # (n_fc, n_fm) watts (dynamic)
+    idle_cpu: np.ndarray          # (n_fc,) watts
+    idle_mem: np.ndarray          # (n_fm,) watts
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.time.shape  # type: ignore[return-value]
+
+    def energy_grid(self, concurrency: float = 1.0) -> np.ndarray:
+        """Estimated total task energy over the grid, with the idle
+        power split across ``concurrency`` concurrent tasks."""
+        conc = max(1.0, float(concurrency))
+        idle = self.idle_cpu[:, None] / conc + self.idle_mem[None, :] / conc
+        return self.time * (self.cpu_power + self.mem_power + idle)
+
+    def cpu_energy_grid(self, concurrency: float = 1.0) -> np.ndarray:
+        """CPU-only energy (what STEER optimises)."""
+        conc = max(1.0, float(concurrency))
+        return self.time * (self.cpu_power + self.idle_cpu[:, None] / conc)
+
+    def freqs_at(self, i_fc: int, i_fm: int) -> tuple[float, float]:
+        return float(self.f_c_grid[i_fc]), float(self.f_m_grid[i_fm])
+
+    def entries(self) -> int:
+        """Stored prediction entries in this table triple (3 grids)."""
+        return 3 * self.time.size
+
+
+def storage_entries(
+    n_clusters: int, cores_per_cluster: int, n_fc: int, n_fm: int
+) -> int:
+    """Paper section 7.4: per-kernel storage for the three look-up
+    tables: ``3 * M * log(N/M) * Nf_C * Nf_M`` (log base 2, counting
+    power-of-two core counts)."""
+    core_options = int(math.log2(cores_per_cluster)) + 1
+    return 3 * n_clusters * core_options * n_fc * n_fm

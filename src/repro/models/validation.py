@@ -1,0 +1,161 @@
+"""Model validation utilities.
+
+The paper validates its models by comparing predictions against
+measurements of the *evaluated benchmarks* (Fig. 10, reproduced by the
+``fig10`` experiment).  A production model pipeline also wants
+validation that needs no extra benchmarking: k-fold cross-validation
+over the synthetic training kernels (does the model generalise to task
+characteristics it never saw?) and per-configuration residual
+diagnostics on the training fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.mb import estimate_mb
+from repro.models.suite import ModelSuite
+from repro.models.training import fit_models
+from repro.profiling.dataset import ProfilingDataset
+
+
+@dataclass
+class FoldResult:
+    """Held-out accuracies of one fold."""
+
+    fold: int
+    held_out_kernels: list[str]
+    performance: float
+    cpu_power: float
+    mem_power: float
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate of a k-fold cross-validation."""
+
+    folds: list[FoldResult] = field(default_factory=list)
+
+    def mean(self, model: str) -> float:
+        vals = [getattr(f, model) for f in self.folds]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "performance_mean": self.mean("performance"),
+            "cpu_power_mean": self.mean("cpu_power"),
+            "mem_power_mean": self.mean("mem_power"),
+        }
+
+
+def _accuracy(real: float, pred: float) -> float:
+    if real <= 0:
+        return float("nan")
+    return 1.0 - abs(real - pred) / real
+
+
+def _evaluate_on(
+    suite: ModelSuite, dataset: ProfilingDataset, kernels: set[str]
+) -> tuple[float, float, float]:
+    """Mean accuracies of ``suite`` on the records of ``kernels``."""
+    accs: dict[str, list[float]] = {"perf": [], "cpu": [], "mem": []}
+    for cluster, n_cores in suite.config_keys():
+        recs = [
+            r for r in dataset.for_config(cluster, n_cores)
+            if r.kernel in kernels
+        ]
+        by_kernel: dict[str, list] = {}
+        for r in recs:
+            by_kernel.setdefault(r.kernel, []).append(r)
+        for kname, krecs in by_kernel.items():
+            ref = next(
+                (r for r in krecs
+                 if abs(r.f_c - suite.f_c_ref) < 1e-9
+                 and abs(r.f_m - suite.f_m_ref) < 1e-9),
+                None,
+            )
+            samp = next(
+                (r for r in krecs
+                 if abs(r.f_c - suite.f_c_sample) < 1e-9
+                 and abs(r.f_m - suite.f_m_ref) < 1e-9),
+                None,
+            )
+            if ref is None or samp is None:
+                continue
+            mb = estimate_mb(
+                ref.time, samp.time, suite.f_c_ref, suite.f_c_sample
+            )
+            for r in krecs:
+                t = suite.predict_time(cluster, n_cores, mb, ref.time, r.f_c, r.f_m)
+                accs["perf"].append(_accuracy(r.time, t))
+                # Relative accuracy is only meaningful above the
+                # noise floor: a compute kernel's ~0 W dynamic memory
+                # power would dominate the average with 100% errors of
+                # no physical consequence.
+                pc = suite.predict_cpu_power(cluster, n_cores, mb, r.f_c)
+                if r.cpu_power > 0.05:
+                    accs["cpu"].append(_accuracy(r.cpu_power, pc))
+                pm = suite.predict_mem_power(cluster, n_cores, mb, r.f_c, r.f_m)
+                if r.mem_power > 0.05:
+                    accs["mem"].append(_accuracy(r.mem_power, pm))
+    return tuple(
+        float(np.nanmean(accs[k])) if accs[k] else float("nan")
+        for k in ("perf", "cpu", "mem")
+    )
+
+
+def kfold_validate(
+    dataset: ProfilingDataset, k: int = 5, degree: int = 2, seed: int = 0
+) -> ValidationReport:
+    """k-fold cross-validation over the synthetic *kernels*.
+
+    Each fold holds out a contiguous slice of the compute:memory ratio
+    sweep, fits the full suite on the rest, and scores the held-out
+    kernels' measurements — generalisation across task characteristics.
+    """
+    kernels = dataset.kernel_names()
+    if len(kernels) < k:
+        raise ModelError(f"{len(kernels)} kernels cannot make {k} folds")
+    rng = np.random.default_rng(seed)
+    order = list(rng.permutation(len(kernels)))
+    report = ValidationReport()
+    for fold in range(k):
+        held_idx = set(order[fold::k])
+        held = {kernels[i] for i in held_idx}
+        train_ds = dataset.filter(lambda r: r.kernel not in held)
+        suite = fit_models(train_ds, degree=degree)
+        perf, cpu, mem = _evaluate_on(suite, dataset, held)
+        report.folds.append(
+            FoldResult(fold, sorted(held), perf, cpu, mem)
+        )
+    return report
+
+
+@dataclass(frozen=True)
+class ResidualStats:
+    """Training-fit residual RMS per model for one configuration."""
+
+    cluster: str
+    n_cores: int
+    performance_rmse: float
+    cpu_power_rmse: float
+    mem_power_rmse: float
+
+
+def residual_report(suite: ModelSuite) -> list[ResidualStats]:
+    """Per-``<T_C, N_C>`` training residuals of a fitted suite."""
+    out = []
+    for (cluster, n_cores), cm in sorted(suite.models.items()):
+        out.append(
+            ResidualStats(
+                cluster=cluster,
+                n_cores=n_cores,
+                performance_rmse=cm.performance.train_rmse,
+                cpu_power_rmse=cm.cpu_power.train_rmse,
+                mem_power_rmse=cm.mem_power.train_rmse,
+            )
+        )
+    return out

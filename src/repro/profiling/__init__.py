@@ -1,0 +1,20 @@
+"""Platform characterisation (paper section 4.1).
+
+Generates the 41 synthetic benchmarks sweeping the compute:memory-access
+ratio in 2.5% steps, executes them on the simulated platform across the
+four-knob configuration space, and collects execution time plus average
+CPU/memory rail power into a :class:`ProfilingDataset` from which the
+JOSS models are fitted.  Profiling happens once per platform
+(install-time in the paper); the dataset is serialisable and cached.
+"""
+
+from repro.profiling.synthetic import synthetic_kernels
+from repro.profiling.dataset import ProfileRecord, ProfilingDataset
+from repro.profiling.profiler import PlatformProfiler
+
+__all__ = [
+    "synthetic_kernels",
+    "ProfileRecord",
+    "ProfilingDataset",
+    "PlatformProfiler",
+]

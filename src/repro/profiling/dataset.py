@@ -1,0 +1,137 @@
+"""Profiling records and the dataset container.
+
+One :class:`ProfileRecord` captures a single (kernel, T_C, N_C, f_C,
+f_M) measurement: execution time and the average *dynamic* CPU and
+memory power during the run (rail average minus the idle baseline at
+the same frequencies — the decomposition the paper's section 4.3.3
+applies).  The dataset is a flat list with filtered views and JSON
+round-tripping for install-time caching.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class ProfileRecord:
+    """One profiled configuration of one synthetic benchmark."""
+
+    kernel: str
+    cluster: str        # core type name, e.g. "denver"
+    n_cores: int
+    f_c: float
+    f_m: float
+    time: float         # measured wall time (s)
+    cpu_power: float    # dynamic CPU power attributed to the task (W)
+    mem_power: float    # dynamic memory power attributed to the task (W)
+
+
+@dataclass(frozen=True)
+class IdleRecord:
+    """Idle rail power measured at one frequency setting."""
+
+    f_c: float
+    f_m: float
+    cpu_power: float
+    mem_power: float
+
+
+class ProfilingDataset:
+    """All measurements from one platform characterisation pass."""
+
+    def __init__(
+        self,
+        records: Iterable[ProfileRecord] = (),
+        idle: Iterable[IdleRecord] = (),
+        platform_name: str = "",
+    ) -> None:
+        self.records: list[ProfileRecord] = list(records)
+        self.idle: list[IdleRecord] = list(idle)
+        self.platform_name = platform_name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ProfileRecord]:
+        return iter(self.records)
+
+    def add(self, record: ProfileRecord) -> None:
+        self.records.append(record)
+
+    def add_idle(self, record: IdleRecord) -> None:
+        self.idle.append(record)
+
+    def filter(self, pred: Callable[[ProfileRecord], bool]) -> "ProfilingDataset":
+        out = ProfilingDataset(
+            (r for r in self.records if pred(r)),
+            self.idle,
+            self.platform_name,
+        )
+        return out
+
+    def for_config(self, cluster: str, n_cores: int) -> list[ProfileRecord]:
+        """Records of one ``<T_C, N_C>`` slice, all kernels and freqs."""
+        return [
+            r
+            for r in self.records
+            if r.cluster == cluster and r.n_cores == n_cores
+        ]
+
+    def configs(self) -> list[tuple[str, int]]:
+        """Distinct ``(cluster, n_cores)`` pairs present."""
+        seen: dict[tuple[str, int], None] = {}
+        for r in self.records:
+            seen.setdefault((r.cluster, r.n_cores), None)
+        return list(seen)
+
+    def kernel_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.kernel, None)
+        return list(seen)
+
+    def lookup(
+        self, kernel: str, cluster: str, n_cores: int, f_c: float, f_m: float
+    ) -> ProfileRecord | None:
+        for r in self.records:
+            if (
+                r.kernel == kernel
+                and r.cluster == cluster
+                and r.n_cores == n_cores
+                and abs(r.f_c - f_c) < 1e-9
+                and abs(r.f_m - f_m) < 1e-9
+            ):
+                return r
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialisation (install-time cache)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "platform": self.platform_name,
+                "records": [asdict(r) for r in self.records],
+                "idle": [asdict(r) for r in self.idle],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfilingDataset":
+        raw = json.loads(text)
+        return cls(
+            (ProfileRecord(**r) for r in raw["records"]),
+            (IdleRecord(**r) for r in raw["idle"]),
+            raw.get("platform", ""),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfilingDataset":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,201 @@
+"""Platform profiler: execute synthetics across the knob space.
+
+Reproduces the paper's training stage (Fig. 4): run every synthetic
+benchmark at a grid of ``<T_C, N_C, f_C, f_M>`` configurations on the
+(simulated) platform, measure execution time and average rail power,
+subtract the idle baseline, and collect everything in a
+:class:`ProfilingDataset`.
+
+The profiler drives the :class:`ExecutionEngine` directly (no task
+runtime needed: each measurement is one kernel run in isolation, which
+is exactly how the paper characterises the platform).  The training
+grid subsamples the frequency ladders by default — model quality is
+unaffected and characterisation time drops 4x; predictions are later
+evaluated on the *full* grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exec_model.engine import ExecutionEngine
+from repro.exec_model.kernels import KernelSpec
+from repro.hw.platform import Platform
+from repro.profiling.dataset import IdleRecord, ProfileRecord, ProfilingDataset
+from repro.profiling.synthetic import synthetic_kernels
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+#: Default training subsample: every other CPU OPP from the top.
+DEFAULT_CPU_TRAIN_STRIDE = 2
+#: Default training subsample for memory OPPs.
+DEFAULT_MEM_TRAIN_STRIDE = 2
+
+
+def _strided_from_top(freqs: Sequence[float], stride: int) -> list[float]:
+    """Pick every ``stride``-th frequency starting at the maximum, and
+    always include the minimum.  The maximum must be in the training
+    set (it is the runtime sampling reference) and the minimum keeps
+    predictions interpolating rather than extrapolating at the corner
+    configurations the steepest-descent search probes first."""
+    picked = set(freqs[::-1][::stride])
+    picked.add(freqs[0])
+    return sorted(picked)
+
+
+class PlatformProfiler:
+    """One-shot characterisation of a platform."""
+
+    def __init__(
+        self,
+        platform_factory: Callable[[], Platform],
+        seed: int = 0,
+        synthetic_count: int = 41,
+        t_ref: float = 0.010,
+        power_noise_sigma: float = 0.02,
+        duration_noise_sigma: float = 0.02,
+        cpu_train_freqs: Optional[Sequence[float]] = None,
+        mem_train_freqs: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.platform_factory = platform_factory
+        self.seed = seed
+        self.synthetic_count = synthetic_count
+        self.t_ref = t_ref
+        self.power_noise_sigma = power_noise_sigma
+        self.duration_noise_sigma = duration_noise_sigma
+        self.cpu_train_freqs = cpu_train_freqs
+        self.mem_train_freqs = mem_train_freqs
+
+    def run(self) -> ProfilingDataset:
+        """Execute the characterisation pass and return the dataset."""
+        platform = self.platform_factory()
+        sim = Simulator()
+        rng = RngStreams(self.seed)
+        engine = ExecutionEngine(
+            sim, platform, rng, duration_noise_sigma=self.duration_noise_sigma
+        )
+        noise = rng.stream("profile-power-noise")
+        kernels = synthetic_kernels(platform, self.synthetic_count, self.t_ref)
+        ds = ProfilingDataset(platform_name=platform.name)
+
+        mem_opps = platform.memory.opps
+        mem_train = list(
+            self.mem_train_freqs
+            if self.mem_train_freqs is not None
+            else _strided_from_top(mem_opps.freqs, DEFAULT_MEM_TRAIN_STRIDE)
+        )
+        for f in mem_train:
+            if f not in mem_opps:
+                raise ConfigurationError(f"training mem freq {f} not an OPP")
+        # Per-cluster CPU training grids: clusters may have different
+        # OPP ladders (e.g. ODROID XU4's A15 vs A7).
+        cpu_train_of: dict[int, list[float]] = {}
+        for cl in platform.clusters:
+            train = list(
+                self.cpu_train_freqs
+                if self.cpu_train_freqs is not None
+                else _strided_from_top(cl.opps.freqs, DEFAULT_CPU_TRAIN_STRIDE)
+            )
+            for f in train:
+                if f not in cl.opps:
+                    raise ConfigurationError(
+                        f"training CPU freq {f} not an OPP of cluster "
+                        f"{cl.cluster_id}"
+                    )
+            cpu_train_of[cl.cluster_id] = train
+
+        # ------------------------------------------------------------
+        # Idle characterisation over the FULL grid (cheap, no tasks).
+        # Other clusters snap to their nearest OPP of the swept value.
+        # ------------------------------------------------------------
+        idle_exact: dict[tuple[float, float], tuple[float, float]] = {}
+
+        def idle_at(f_c: float, f_m: float) -> tuple[float, float]:
+            key = (f_c, f_m)
+            if key not in idle_exact:
+                self._set_freqs(platform, f_c, f_m)
+                rails = engine.rail_powers()
+                idle_exact[key] = (rails["cpu"], rails["mem"])
+            return idle_exact[key]
+
+        for f_c in sorted({f for t in cpu_train_of.values() for f in t}
+                          | set(platform.clusters[0].opps)):
+            for f_m in mem_opps:
+                p_cpu, p_mem = idle_at(f_c, f_m)
+                ds.add_idle(
+                    IdleRecord(
+                        f_c=f_c,
+                        f_m=f_m,
+                        cpu_power=self._noisy(p_cpu, noise),
+                        mem_power=self._noisy(p_mem, noise),
+                    )
+                )
+
+        # ------------------------------------------------------------
+        # Kernel measurements on the training grid.
+        # ------------------------------------------------------------
+        completions: list[float] = []
+        engine.on_complete = lambda act: completions.append(sim.now)
+        for cluster, n_cores in platform.resource_configs():
+            for f_c in cpu_train_of[cluster.cluster_id]:
+                for f_m in mem_train:
+                    self._set_freqs(platform, f_c, f_m)
+                    p_idle_cpu, p_idle_mem = idle_at(f_c, f_m)
+                    for kernel in kernels:
+                        t, e_cpu, e_mem = self._measure(
+                            sim, engine, kernel, cluster.cores[:n_cores],
+                            n_cores, completions,
+                        )
+                        cpu_dyn = max(0.0, e_cpu / t - p_idle_cpu)
+                        mem_dyn = max(0.0, e_mem / t - p_idle_mem)
+                        ds.add(
+                            ProfileRecord(
+                                kernel=kernel.name,
+                                cluster=cluster.core_type.name,
+                                n_cores=n_cores,
+                                f_c=f_c,
+                                f_m=f_m,
+                                time=t,
+                                cpu_power=self._noisy(cpu_dyn, noise),
+                                mem_power=self._noisy(mem_dyn, noise),
+                            )
+                        )
+        return ds
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_freqs(platform: Platform, f_c: float, f_m: float) -> None:
+        for cl in platform.clusters:
+            # Snap per cluster: with heterogeneous ladders a sibling
+            # cluster tracks the swept value as closely as it can.
+            cl.set_freq(cl.opps.nearest(f_c))
+        platform.memory.set_freq(f_m)
+
+    def _noisy(self, value: float, rng) -> float:
+        if self.power_noise_sigma <= 0:
+            return value
+        return value * max(0.0, 1.0 + self.power_noise_sigma * rng.standard_normal())
+
+    def _measure(
+        self,
+        sim: Simulator,
+        engine: ExecutionEngine,
+        kernel: KernelSpec,
+        cores,
+        n_cores: int,
+        completions: list[float],
+    ) -> tuple[float, float, float]:
+        """Run one kernel on ``cores`` and return (time, E_cpu, E_mem)."""
+        acc = engine.accountant
+        start = sim.now
+        e_cpu0 = acc.energy("cpu")
+        e_mem0 = acc.energy("mem")
+        completions.clear()
+        for core in cores:
+            engine.start_activity(kernel, core, n_cores_total=n_cores)
+        sim.run()
+        t = max(completions) - start
+        if t <= 0:
+            raise ConfigurationError("degenerate measurement")
+        return t, acc.energy("cpu") - e_cpu0, acc.energy("mem") - e_mem0

@@ -1,0 +1,75 @@
+"""Synthetic benchmark generation (paper section 4.1).
+
+The paper's synthetic benchmarks are loops with a controllable ratio of
+computation to memory access, holding total execution time constant at
+a reference configuration: starting from 50%/50% the ratio moves in
+2.5% steps to produce 41 benchmarks spanning 0%..100% compute.
+
+Here a synthetic benchmark is a :class:`KernelSpec` whose compute work
+and memory traffic are calibrated so that, on the *reference
+configuration* (one core of the calibration cluster at maximum
+core/memory frequency), the compute phase takes ``ratio * t_ref``
+seconds and the memory phase ``(1 - ratio) * t_ref`` — the same
+procedure the paper uses empirically by tuning loop iteration counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.timing import GroundTruthTiming
+from repro.hw.platform import Platform
+
+#: Number of synthetic benchmarks in the paper's sweep.
+DEFAULT_COUNT = 41
+
+
+def synthetic_kernels(
+    platform: Platform,
+    count: int = DEFAULT_COUNT,
+    t_ref: float = 0.010,
+    calibration_cluster: int = 1,
+) -> list[KernelSpec]:
+    """Generate ``count`` kernels with compute fraction 0..1.
+
+    Parameters
+    ----------
+    platform:
+        Platform whose calibration cluster defines the reference rates.
+    count:
+        Number of ratio steps (41 reproduces the paper's 2.5% grid).
+    t_ref:
+        Target single-core execution time at the reference config (s).
+    calibration_cluster:
+        Index of the cluster used for calibration (default: the
+        efficiency cluster, mirroring the paper's A57 profiling plots).
+    """
+    if count < 2:
+        raise ConfigurationError("need at least two synthetic benchmarks")
+    if t_ref <= 0:
+        raise ConfigurationError("t_ref must be positive")
+    cluster = platform.clusters[calibration_cluster]
+    ct = cluster.core_type
+    f_c = cluster.opps.max
+    f_m = platform.memory.opps.max
+    timing = GroundTruthTiming(platform.memory)
+    # Reference rates for one core at max frequencies.
+    comp_rate = ct.giga_ops_per_ghz * f_c  # giga-ops per second
+    probe = KernelSpec("probe", w_comp=0.0, w_bytes=1.0)
+    bw_eff = 1.0 / timing.memory_time(probe, ct, 1, f_c, f_m)  # GB/s
+    kernels = []
+    for i in range(count):
+        ratio = i / (count - 1)  # compute fraction 0..1
+        w_comp = ratio * t_ref * comp_rate
+        w_bytes = (1.0 - ratio) * t_ref * bw_eff
+        # Zero-work kernels are rejected by KernelSpec; nudge the ends.
+        w_comp = max(w_comp, 1e-9)
+        w_bytes = max(w_bytes, 0.0)
+        kernels.append(
+            KernelSpec(
+                name=f"synth{i:02d}_c{int(round(ratio * 100)):03d}",
+                w_comp=w_comp,
+                w_bytes=w_bytes,
+            )
+        )
+    return kernels

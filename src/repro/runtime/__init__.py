@@ -1,0 +1,31 @@
+"""Task-parallel runtime (the XiTAO-like substrate).
+
+Implements the execution model the paper's schedulers plug into:
+a task DAG released dynamically as dependencies complete, per-core
+work queues with work stealing, moldable multi-core task execution
+(intra-task parallelism with partition join), and the executor that
+binds the runtime to the simulated platform, DVFS controllers and
+power/energy instrumentation.
+"""
+
+from repro.runtime.task import Task, TaskPartition, TaskState
+from repro.runtime.dag import TaskGraph
+from repro.runtime.placement import Placement
+from repro.runtime.queues import WorkQueue
+from repro.runtime.scheduler_api import RuntimeContext, Scheduler
+from repro.runtime.metrics import KernelStats, RunMetrics
+from repro.runtime.executor import Executor
+
+__all__ = [
+    "Task",
+    "TaskPartition",
+    "TaskState",
+    "TaskGraph",
+    "Placement",
+    "WorkQueue",
+    "RuntimeContext",
+    "Scheduler",
+    "KernelStats",
+    "RunMetrics",
+    "Executor",
+]

@@ -1,0 +1,115 @@
+"""Task DAG construction and dynamic release.
+
+Workloads build a :class:`TaskGraph` up front (tasks + dependency
+edges); during execution the graph releases tasks as their dependencies
+complete, which is how task-based runtimes expose dynamic parallelism.
+The *degree of parallelism* (``dop``) statistic matches the paper's
+definition: total tasks divided by the length of the longest path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import WorkloadError
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.task import Task, TaskState
+
+
+class TaskGraph:
+    """A DAG of tasks with dependency bookkeeping."""
+
+    def __init__(self, name: str = "dag") -> None:
+        self.name = name
+        self.tasks: list[Task] = []
+
+    @classmethod
+    def combine(cls, graphs: Sequence["TaskGraph"], name: str | None = None) -> "TaskGraph":
+        """Merge independent graphs into one (multi-programmed
+        co-scheduling: the applications share the platform but have no
+        cross-dependencies).  Tasks are re-created in order, so the
+        inputs stay reusable."""
+        if not graphs:
+            raise WorkloadError("combine needs at least one graph")
+        merged = cls(name or "+".join(g.name for g in graphs))
+        for g in graphs:
+            deps_of: dict[int, list[Task]] = {t.tid: [] for t in g.tasks}
+            for t in g.tasks:
+                for d in t.dependents:
+                    deps_of[d.tid].append(t)
+            mapping: dict[int, Task] = {}
+            for t in g.tasks:
+                deps = [mapping[p.tid] for p in deps_of[t.tid]]
+                mapping[t.tid] = merged.add_task(t.kernel, deps=deps)
+        return merged
+
+    def add_task(
+        self, kernel: KernelSpec, deps: Sequence[Task] | None = None
+    ) -> Task:
+        """Create a task depending on ``deps`` (must already be in the
+        graph, i.e. edges always point forward — guarantees acyclicity).
+        Duplicate dependencies are collapsed to one edge."""
+        t = Task(len(self.tasks), kernel)
+        self.tasks.append(t)
+        unique = {id(d): d for d in deps or ()}
+        for d in unique.values():
+            if d.tid >= t.tid:
+                raise WorkloadError("dependencies must precede the task")
+            d.dependents.append(t)
+            t.deps_remaining += 1
+        return t
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def roots(self) -> list[Task]:
+        """Tasks with no dependencies (initially ready)."""
+        return [t for t in self.tasks if t.deps_remaining == 0]
+
+    def kernels(self) -> list[KernelSpec]:
+        """Distinct kernels, in first-appearance order."""
+        seen: dict[str, KernelSpec] = {}
+        for t in self.tasks:
+            seen.setdefault(t.kernel.name, t.kernel)
+        return list(seen.values())
+
+    def kernel_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for t in self.tasks:
+            counts[t.kernel.name] = counts.get(t.kernel.name, 0) + 1
+        return counts
+
+    def critical_path_length(self) -> int:
+        """Number of tasks on the longest dependency chain."""
+        depth = [0] * len(self.tasks)
+        for t in self.tasks:  # tids are topologically ordered by construction
+            base = depth[t.tid] + 1
+            for d in t.dependents:
+                if base > depth[d.tid]:
+                    depth[d.tid] = base
+        return max((d + 1 for d in depth), default=0) if self.tasks else 0
+
+    def dop(self) -> float:
+        """DAG parallelism: total tasks / longest path (paper section 2)."""
+        cp = self.critical_path_length()
+        return len(self.tasks) / cp if cp else 0.0
+
+    def validate(self) -> None:
+        """Sanity checks used by tests and workload constructors."""
+        if not self.tasks:
+            raise WorkloadError(f"graph {self.name!r} is empty")
+        if not self.roots():
+            raise WorkloadError(f"graph {self.name!r} has no root tasks")
+
+    def all_done(self) -> bool:
+        return all(t.state is TaskState.DONE for t in self.tasks)
+
+    def release_dependents(self, task: Task, now: float) -> Iterable[Task]:
+        """Decrement dependents of a completed task; yield newly-ready ones."""
+        for d in task.dependents:
+            d.deps_remaining -= 1
+            if d.deps_remaining == 0:
+                d.mark_ready(now)
+                yield d
+            elif d.deps_remaining < 0:
+                raise WorkloadError(f"dependency underflow on task {d.tid}")

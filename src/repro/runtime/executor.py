@@ -1,0 +1,232 @@
+"""The executor: one complete run of a task DAG under a scheduler.
+
+Owns the simulator, the execution engine, per-core queues and workers,
+the DVFS controllers, and the power sensor; dispatches ready tasks via
+the scheduler's placements; collects :class:`RunMetrics` mirroring the
+paper's measurement methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.exec_model.engine import ExecutionEngine
+from repro.exec_model.activity import Activity
+from repro.hw.dvfs import DvfsController
+from repro.hw.platform import Platform
+from repro.hw.sensor import PowerSensor
+from repro.runtime.dag import TaskGraph
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.queues import WorkQueue
+from repro.runtime.scheduler_api import RuntimeContext, Scheduler
+from repro.runtime.task import Task, TaskPartition
+from repro.runtime.worker import Worker
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+#: Default DVFS transition latencies (seconds) — cluster PLL relock vs
+#: the costlier EMC/DRAM frequency switch.
+CPU_DVFS_LATENCY_S = 100e-6
+MEM_DVFS_LATENCY_S = 300e-6
+
+
+class Executor:
+    """Runs one task graph on one platform under one scheduler."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        scheduler: Scheduler,
+        seed: int = 0,
+        sensor_interval_s: float = 0.005,
+        sensor_noise_sigma: float = 0.02,
+        duration_noise_sigma: float = 0.02,
+        cpu_dvfs_latency_s: float = CPU_DVFS_LATENCY_S,
+        mem_dvfs_latency_s: float = MEM_DVFS_LATENCY_S,
+        cpu_dvfs_stall_s: float = 0.0,
+        mem_dvfs_stall_s: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.platform = platform
+        self.scheduler = scheduler
+        self.sim = Simulator()
+        self.rng = RngStreams(seed)
+        self.tracer = tracer
+        self.engine = ExecutionEngine(
+            self.sim,
+            platform,
+            self.rng,
+            tracer=tracer,
+            duration_noise_sigma=duration_noise_sigma,
+        )
+        self.engine.on_complete = self._on_partition_done
+        self.queues: dict[int, WorkQueue] = {
+            c.core_id: WorkQueue(c.core_id) for c in platform.cores
+        }
+        self.workers: dict[int, Worker] = {
+            c.core_id: Worker(self, c) for c in platform.cores
+        }
+        self.cluster_dvfs: dict[int, DvfsController] = {
+            cl.cluster_id: DvfsController(
+                self.sim, cl, cpu_dvfs_latency_s, name=f"cpu{cl.cluster_id}",
+                transition_stall_s=cpu_dvfs_stall_s,
+            )
+            for cl in platform.clusters
+        }
+        self.memory_dvfs = DvfsController(
+            self.sim, platform.memory, mem_dvfs_latency_s, name="emc",
+            transition_stall_s=mem_dvfs_stall_s,
+        )
+        # A cluster transition stalls that cluster's cores; an EMC
+        # transition stalls every in-flight activity (traffic blocked).
+        for cl in platform.clusters:
+            self.cluster_dvfs[cl.cluster_id].on_stall.append(
+                lambda _c, d, cores=tuple(cl.cores): self.engine.stall_activities(
+                    cores, d
+                )
+            )
+        self.memory_dvfs.on_stall.append(
+            lambda _c, d: self.engine.stall_activities(None, d)
+        )
+        if tracer is not None:
+            for ctl in [*self.cluster_dvfs.values(), self.memory_dvfs]:
+                ctl.on_applied.append(
+                    lambda c: tracer.emit(
+                        self.sim.now, "freq-change",
+                        domain=c.name, freq=c.domain.freq,
+                    )
+                )
+        self.sensor = PowerSensor(
+            self.sim,
+            self.engine.rail_powers,
+            interval_s=sensor_interval_s,
+            noise_sigma=sensor_noise_sigma,
+            rng=self.rng.stream("sensor"),
+        )
+        self.steal_rng = self.rng.stream("steal")
+        self.place_rng = self.rng.stream("placement")
+        self.metrics = RunMetrics(scheduler=scheduler.name)
+        self.graph: Optional[TaskGraph] = None
+        self._tasks_done = 0
+        self.ctx = RuntimeContext(
+            sim=self.sim,
+            platform=platform,
+            engine=self.engine,
+            queues=self.queues,
+            cluster_dvfs=self.cluster_dvfs,
+            memory_dvfs=self.memory_dvfs,
+            rng=self.rng,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph, max_events: Optional[int] = None) -> RunMetrics:
+        """Execute ``graph`` to completion; returns the metrics.
+
+        An executor is single-shot: platform frequencies, queues and
+        energy counters carry run state, so build a fresh executor (and
+        platform) per run.
+        """
+        if self.graph is not None:
+            raise SchedulingError(
+                "executor already ran a graph; create a fresh Executor "
+                "(and platform) per run"
+            )
+        graph.validate()
+        self.graph = graph
+        self.metrics.workload = graph.name
+        self.scheduler.bind(self.ctx)
+        self.scheduler.on_run_begin()
+        self.sensor.start()
+        for t in graph.roots():
+            t.mark_ready(self.sim.now)
+            self.dispatch(t)
+        self.sim.run(max_events=max_events)
+        if self._tasks_done != len(graph):
+            raise SchedulingError(
+                f"run stalled: {self._tasks_done}/{len(graph)} tasks finished "
+                f"(deadlock or max_events hit)"
+            )
+        self.engine.finalize()
+        self.scheduler.on_run_end()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Dispatch and completion plumbing
+    # ------------------------------------------------------------------
+    def dispatch(self, task: Task) -> None:
+        """Ask the scheduler for a placement and enqueue the task."""
+        placement = self.scheduler.place(task)
+        task.placement = placement
+        core = placement.home_core
+        if core is None:
+            # Any cluster of the chosen core *type* is eligible (on the
+            # TX2 there is exactly one; per-core-DVFS platforms have
+            # several equivalent single-core clusters).
+            cores = self.platform.cores_of_type(placement.core_type_name)
+            core = cores[int(self.place_rng.integers(len(cores)))]
+        self.queues[core.core_id].push(task)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "dispatch", task=task.tid, core=core.core_id
+            )
+        self.workers[core.core_id].wake()
+        # Idle same-scope workers may steal it immediately.
+        for other in self.scheduler.steal_candidates(core):
+            if not other.busy:
+                self.workers[other.core_id].wake()
+
+    def _on_partition_done(self, activity: Activity) -> None:
+        part = activity.payload
+        assert isinstance(part, TaskPartition)
+        task = part.task
+        task.exec_time = max(task.exec_time, self.sim.now - activity.started_at)
+        task.partitions_remaining -= 1
+        if task.partitions_remaining < 0:
+            raise SchedulingError(f"partition underflow on task {task.tid}")
+        if task.partitions_remaining == 0:
+            self._on_task_done(task)
+        # The freed core looks for new work regardless.
+        self.workers[activity.core.core_id].wake()
+
+    def _on_task_done(self, task: Task) -> None:
+        now = self.sim.now
+        task.mark_done(now)
+        self._tasks_done += 1
+        placement = task.placement
+        key = "?"
+        if placement is not None:
+            key = f"{placement.core_type_name}x{task.partitions_total}"
+        wait = task.start_time - task.ready_time
+        self.metrics.kernel_stats(task.kernel.name).record(
+            task.duration, key, wait=wait
+        )
+        self.metrics.tasks_executed += 1
+        self.scheduler.on_task_complete(task)
+        if self.tracer is not None:
+            self.tracer.emit(now, "task-done", task=task.tid, kernel=task.kernel.name)
+        assert self.graph is not None
+        for ready in self.graph.release_dependents(task, now):
+            self.dispatch(ready)
+        if self._tasks_done == len(self.graph):
+            self._finish(now)
+
+    def _finish(self, now: float) -> None:
+        """Snapshot metrics at the moment the last task completes."""
+        self.sensor.stop()
+        self.scheduler.on_workload_complete()
+        self.metrics.makespan = now
+        self.metrics.cpu_energy = self.sensor.energy("cpu")
+        self.metrics.mem_energy = self.sensor.energy("mem")
+        acc = self.engine.accountant
+        acc.finalize(now)
+        self.metrics.cpu_energy_exact = acc.energy("cpu")
+        self.metrics.mem_energy_exact = acc.energy("mem")
+        self.metrics.cluster_freq_transitions = sum(
+            ctl.transitions for ctl in self.cluster_dvfs.values()
+        )
+        self.metrics.memory_freq_transitions = self.memory_dvfs.transitions

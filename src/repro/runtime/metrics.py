@@ -1,0 +1,143 @@
+"""Run metrics: what the paper measures per benchmark execution.
+
+Mirrors the paper's methodology (section 6.1): energy is accumulated
+from 5 ms power-sensor samples over the whole execution; we addition-
+ally keep the exact integral as an oracle, plus scheduler-behaviour
+counters used in the analysis sections (placement mix, steals, DVFS
+transitions, sampling-phase share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel execution statistics."""
+
+    invocations: int = 0
+    total_time: float = 0.0
+    #: Total ready-to-start queueing delay (scheduling latency).
+    total_wait: float = 0.0
+    placements: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.invocations if self.invocations else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / self.invocations if self.invocations else 0.0
+
+    def record(
+        self, duration: float, placement_key: str, wait: float = 0.0
+    ) -> None:
+        self.invocations += 1
+        self.total_time += duration
+        self.total_wait += max(0.0, wait)
+        self.placements[placement_key] = self.placements.get(placement_key, 0) + 1
+
+
+@dataclass
+class RunMetrics:
+    """Results of one (workload, scheduler) execution."""
+
+    scheduler: str = ""
+    workload: str = ""
+    #: Wall time from t=0 to the last task completion (seconds).
+    makespan: float = 0.0
+    #: Sensor-sampled energies (the paper's methodology).
+    cpu_energy: float = 0.0
+    mem_energy: float = 0.0
+    #: Exact integrals (test oracle; close to the sampled values).
+    cpu_energy_exact: float = 0.0
+    mem_energy_exact: float = 0.0
+    tasks_executed: int = 0
+    steals: int = 0
+    cluster_freq_transitions: int = 0
+    memory_freq_transitions: int = 0
+    #: Simulated time spent in the JOSS/STEER sampling phase.
+    sampling_time: float = 0.0
+    #: Scheduler-reported model/selection bookkeeping (free-form).
+    extras: dict = field(default_factory=dict)
+    per_kernel: dict[str, KernelStats] = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        """Total (CPU + memory) sensor energy — the paper's headline metric."""
+        return self.cpu_energy + self.mem_energy
+
+    @property
+    def total_energy_exact(self) -> float:
+        return self.cpu_energy_exact + self.mem_energy_exact
+
+    @property
+    def sampling_fraction(self) -> float:
+        return self.sampling_time / self.makespan if self.makespan > 0 else 0.0
+
+    def kernel_stats(self, kernel_name: str) -> KernelStats:
+        ks = self.per_kernel.get(kernel_name)
+        if ks is None:
+            ks = self.per_kernel[kernel_name] = KernelStats()
+        return ks
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:>14s} | {self.scheduler:<16s} | "
+            f"time {self.makespan * 1e3:9.2f} ms | "
+            f"E_cpu {self.cpu_energy:8.3f} J | E_mem {self.mem_energy:8.3f} J | "
+            f"E_tot {self.total_energy:8.3f} J"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (results archiving)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict of everything measured."""
+        return {
+            "scheduler": self.scheduler,
+            "workload": self.workload,
+            "makespan": self.makespan,
+            "cpu_energy": self.cpu_energy,
+            "mem_energy": self.mem_energy,
+            "cpu_energy_exact": self.cpu_energy_exact,
+            "mem_energy_exact": self.mem_energy_exact,
+            "tasks_executed": self.tasks_executed,
+            "steals": self.steals,
+            "cluster_freq_transitions": self.cluster_freq_transitions,
+            "memory_freq_transitions": self.memory_freq_transitions,
+            "sampling_time": self.sampling_time,
+            "extras": {
+                k: v for k, v in self.extras.items()
+                if isinstance(v, (int, float, str, bool, list, dict))
+            },
+            "per_kernel": {
+                name: {
+                    "invocations": ks.invocations,
+                    "total_time": ks.total_time,
+                    "total_wait": ks.total_wait,
+                    "placements": dict(ks.placements),
+                }
+                for name, ks in self.per_kernel.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        m = cls(scheduler=data["scheduler"], workload=data["workload"])
+        for key in (
+            "makespan", "cpu_energy", "mem_energy", "cpu_energy_exact",
+            "mem_energy_exact", "tasks_executed", "steals",
+            "cluster_freq_transitions", "memory_freq_transitions",
+            "sampling_time",
+        ):
+            setattr(m, key, data[key])
+        m.extras = dict(data.get("extras", {}))
+        for name, ks in data.get("per_kernel", {}).items():
+            stats = m.kernel_stats(name)
+            stats.invocations = ks["invocations"]
+            stats.total_time = ks["total_time"]
+            stats.total_wait = ks.get("total_wait", 0.0)
+            stats.placements = dict(ks["placements"])
+        return m

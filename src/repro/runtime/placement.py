@@ -1,0 +1,52 @@
+"""Placement decisions — the scheduler's answer for one task.
+
+A placement fixes the paper's four knobs for a task: core type (via
+the target cluster), number of cores, and requested core / memory
+frequencies.  ``f_c``/``f_m`` of ``None`` mean "leave the knob alone"
+(how GRWS and ERASE behave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import Cluster
+    from repro.hw.core import Core
+
+
+@dataclass
+class Placement:
+    """Resource + DVFS choice for one task."""
+
+    cluster: "Cluster"
+    n_cores: int = 1
+    f_c: Optional[float] = None
+    f_m: Optional[float] = None
+    #: Pin the task to a specific home core (used by sampling); when
+    #: None the executor picks a random core of the cluster.
+    home_core: Optional["Core"] = None
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SchedulingError("n_cores must be >= 1")
+        if self.n_cores > self.cluster.n_cores:
+            raise SchedulingError(
+                f"n_cores={self.n_cores} exceeds cluster size "
+                f"{self.cluster.n_cores}"
+            )
+        if self.home_core is not None and self.home_core.cluster is not self.cluster:
+            raise SchedulingError("home core must belong to the target cluster")
+
+    @property
+    def core_type_name(self) -> str:
+        return self.cluster.core_type.name
+
+    def describe(self) -> str:
+        """Paper-style ``<T_C, N_C, f_C, f_M>`` string."""
+        fc = f"{self.f_c:.3f}" if self.f_c is not None else "-"
+        fm = f"{self.f_m:.3f}" if self.f_m is not None else "-"
+        return f"<{self.core_type_name}, {self.n_cores}, {fc}, {fm}>"

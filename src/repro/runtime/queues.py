@@ -1,0 +1,63 @@
+"""Per-core work queues.
+
+Owners pop from the front (FIFO among dispatched tasks); thieves steal
+from the back, the classic work-stealing discipline.  Partitions of a
+starting moldable task are pushed to the *front* of sibling queues so
+intra-task parallelism is not delayed behind queued whole tasks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Union
+
+from repro.runtime.task import Task, TaskPartition
+
+QueueItem = Union[Task, TaskPartition]
+
+
+class WorkQueue:
+    """Double-ended work queue bound to one core."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._q: deque[QueueItem] = deque()
+        self.pushes = 0
+        self.steals_suffered = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def push(self, item: QueueItem) -> None:
+        """Dispatch a task to this queue (back)."""
+        self._q.append(item)
+        self.pushes += 1
+
+    def push_front(self, item: QueueItem) -> None:
+        """Priority insert (sibling partitions of a started task)."""
+        self._q.appendleft(item)
+        self.pushes += 1
+
+    def pop_own(self) -> Optional[QueueItem]:
+        """Owner's pop (front)."""
+        return self._q.popleft() if self._q else None
+
+    def pop_steal(self) -> Optional[QueueItem]:
+        """Thief's pop (back)."""
+        if not self._q:
+            return None
+        self.steals_suffered += 1
+        return self._q.pop()
+
+    def peek_types(self) -> list[str]:
+        """Kernel names currently queued (used by task coarsening)."""
+        return [item.kernel.name for item in self._q]
+
+    def remove(self, item: QueueItem) -> bool:
+        """Remove a specific item (task coarsening pulls same-kernel
+        tasks out of sibling queues).  Returns True if found."""
+        try:
+            self._q.remove(item)
+            return True
+        except ValueError:
+            return False

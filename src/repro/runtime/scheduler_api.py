@@ -1,0 +1,146 @@
+"""The scheduler interface and the runtime context handed to schedulers.
+
+The runtime defines the contract; concrete schedulers (GRWS, ERASE,
+Aequitas, STEER, JOSS) live in :mod:`repro.schedulers` and
+:mod:`repro.core` and implement :class:`Scheduler`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec_model.engine import ExecutionEngine
+    from repro.hw.cluster import Cluster
+    from repro.hw.core import Core
+    from repro.hw.dvfs import DvfsController
+    from repro.hw.platform import Platform
+    from repro.runtime.metrics import RunMetrics
+    from repro.runtime.placement import Placement
+    from repro.runtime.queues import WorkQueue
+    from repro.runtime.task import Task
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngStreams
+
+
+class RuntimeContext:
+    """Everything a scheduler may observe and actuate.
+
+    Handed to the scheduler via :meth:`Scheduler.bind` before the run
+    starts.  Schedulers must go through the DVFS controllers (which
+    model transition latency) rather than poking domain frequencies.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        platform: "Platform",
+        engine: "ExecutionEngine",
+        queues: dict[int, "WorkQueue"],
+        cluster_dvfs: dict[int, "DvfsController"],
+        memory_dvfs: "DvfsController",
+        rng: "RngStreams",
+        metrics: "RunMetrics | None" = None,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.engine = engine
+        self.queues = queues
+        self.cluster_dvfs = cluster_dvfs
+        self.memory_dvfs = memory_dvfs
+        self.rng = rng
+        #: Run metrics the scheduler may annotate (sampling time, extras).
+        self.metrics = metrics
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def request_cluster_freq(self, cluster: "Cluster", f_ghz: float) -> float:
+        """Ask the cluster's DVFS controller for ``f_ghz`` (snapped)."""
+        return self.cluster_dvfs[cluster.cluster_id].request(f_ghz)
+
+    def request_memory_freq(self, f_ghz: float) -> float:
+        return self.memory_dvfs.request(f_ghz)
+
+    def busy_core_count(self) -> int:
+        """Instantaneous number of working cores (task concurrency)."""
+        return self.engine.busy_core_count()
+
+    def cluster_active_tasks(self, cluster: "Cluster") -> int:
+        """Number of busy cores in one cluster."""
+        return sum(1 for c in cluster.cores if c.busy)
+
+
+class Scheduler(abc.ABC):
+    """Contract every scheduler implements.
+
+    Lifecycle:
+
+    1. ``bind(ctx)`` — once, before the run.
+    2. ``on_run_begin()`` — simulated time 0.
+    3. ``place(task)`` — for every task when it becomes ready; returns
+       the :class:`~repro.runtime.placement.Placement`.
+    4. ``on_task_execute(task, core)`` — when a worker begins the task
+       (this is where DVFS requests and frequency coordination happen).
+    5. ``on_task_complete(task)`` — when the last partition finishes.
+    6. ``on_run_end()`` — after the last task.
+    """
+
+    #: Short name used in reports.
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[RuntimeContext] = None
+
+    def bind(self, ctx: RuntimeContext) -> None:
+        self.ctx = ctx
+
+    def on_run_begin(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    @abc.abstractmethod
+    def place(self, task: "Task") -> "Placement":
+        """Choose cluster / core count / frequency requests for a task."""
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        """A worker is about to run ``task`` on ``core``.  Default: if
+        the placement carries frequency requests, forward them through
+        the coordination policy (none here — raw requests)."""
+        assert self.ctx is not None
+        p = task.placement
+        if p is None:
+            return
+        if p.f_c is not None:
+            self.ctx.request_cluster_freq(p.cluster, p.f_c)
+        if p.f_m is not None:
+            self.ctx.request_memory_freq(p.f_m)
+
+    def on_task_complete(self, task: "Task") -> None:  # pragma: no cover
+        pass
+
+    def on_workload_complete(self) -> None:  # pragma: no cover
+        """The last task just finished (still inside the simulation).
+        Schedulers with self-rescheduling timers must cancel them here,
+        or the event loop never drains."""
+        pass
+
+    def on_run_end(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        """Cores this idle ``core`` may steal from.  Default: cores of
+        the same *type* (preserves the scheduler's core-type choice,
+        paper section 5.3); on per-core-DVFS platforms that spans the
+        equivalent single-core clusters."""
+        if self.ctx is not None:
+            return [
+                c
+                for c in self.ctx.platform.cores_of_type(core.core_type.name)
+                if c is not core
+            ]
+        return [c for c in core.cluster.cores if c is not core]
+
+    def describe(self) -> str:
+        return self.name

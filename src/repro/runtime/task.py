@@ -1,0 +1,106 @@
+"""Tasks and task partitions.
+
+A task is one invocation of a kernel.  Moldable execution (``N_C > 1``)
+splits a starting task into partitions, one per core; the partition
+that finishes last completes the task and wakes its dependents (paper
+section 5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SchedulingError
+from repro.exec_model.kernels import KernelSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.placement import Placement
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"      # dependencies not yet satisfied
+    READY = "ready"          # dispatched to a work queue
+    RUNNING = "running"      # at least one partition executing
+    DONE = "done"
+
+
+class Task:
+    """One node of the task DAG."""
+
+    __slots__ = (
+        "tid",
+        "kernel",
+        "state",
+        "deps_remaining",
+        "dependents",
+        "placement",
+        "partitions_total",
+        "partitions_remaining",
+        "ready_time",
+        "start_time",
+        "end_time",
+        "exec_time",
+        "meta",
+    )
+
+    def __init__(self, tid: int, kernel: KernelSpec) -> None:
+        self.tid = tid
+        self.kernel = kernel
+        self.state = TaskState.PENDING
+        self.deps_remaining = 0
+        self.dependents: list["Task"] = []
+        self.placement: Optional["Placement"] = None
+        self.partitions_total = 0
+        self.partitions_remaining = 0
+        self.ready_time: float = float("nan")
+        self.start_time: float = float("nan")
+        self.end_time: float = float("nan")
+        #: Longest single-partition *execution* time (queue wait and
+        #: partition stagger excluded) — what a runtime timing its task
+        #: bodies measures; used for sampling.
+        self.exec_time: float = 0.0
+        #: Scratch space for schedulers (e.g. sampling markers).
+        self.meta: dict = {}
+
+    @property
+    def duration(self) -> float:
+        """Measured wall time from first partition start to task end."""
+        return self.end_time - self.start_time
+
+    def mark_ready(self, now: float) -> None:
+        if self.state is not TaskState.PENDING or self.deps_remaining != 0:
+            raise SchedulingError(f"task {self.tid} cannot become ready")
+        self.state = TaskState.READY
+        self.ready_time = now
+
+    def mark_running(self, now: float) -> None:
+        if self.state is TaskState.READY:
+            self.state = TaskState.RUNNING
+            self.start_time = now
+
+    def mark_done(self, now: float) -> None:
+        if self.state is not TaskState.RUNNING:
+            raise SchedulingError(f"task {self.tid} finished without running")
+        self.state = TaskState.DONE
+        self.end_time = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.tid}, {self.kernel.name}, {self.state.value})"
+
+
+class TaskPartition:
+    """One core's share of a (possibly moldable) task."""
+
+    __slots__ = ("task", "index")
+
+    def __init__(self, task: Task, index: int) -> None:
+        self.task = task
+        self.index = index
+
+    @property
+    def kernel(self) -> KernelSpec:
+        return self.task.kernel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Partition({self.task.tid}.{self.index})"

@@ -1,0 +1,113 @@
+"""Per-core worker logic.
+
+Each core has a worker that, whenever it goes idle (or is woken by a
+dispatch), pops work from its own queue, falls back to stealing from
+the scheduler-approved victim set, and otherwise sleeps until the next
+wake.  Moldable tasks are partitioned at start: the initiating worker
+runs partition 0 and pushes the sibling partitions to the front of the
+queues of other cores in the same cluster (paper section 5.3 — cores
+finishing a partition continue fetching without waiting for siblings).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.queues import QueueItem
+from repro.runtime.task import Task, TaskPartition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.executor import Executor
+
+#: Worker fetches run after completions / dispatches at the same time.
+FETCH_PRIORITY = 10
+
+
+class Worker:
+    """State machine driving one core."""
+
+    def __init__(self, executor: "Executor", core: "Core") -> None:
+        self.executor = executor
+        self.core = core
+        self.queue = executor.queues[core.core_id]
+        self._fetch_scheduled = False
+
+    def wake(self) -> None:
+        """Schedule a fetch attempt if the core is idle and none is
+        already pending (coalesces thundering-herd wakes)."""
+        if self.core.busy or self._fetch_scheduled:
+            return
+        self._fetch_scheduled = True
+        self.executor.sim.schedule(0.0, self._fetch, priority=FETCH_PRIORITY)
+
+    def _fetch(self) -> None:
+        self._fetch_scheduled = False
+        if self.core.busy:
+            return
+        item: Optional[QueueItem] = self.queue.pop_own()
+        if item is None:
+            item = self._steal()
+        if item is None:
+            return  # sleep until next wake
+        if isinstance(item, TaskPartition):
+            self._start_partition(item)
+        else:
+            self._start_task(item)
+
+    def _steal(self) -> Optional[QueueItem]:
+        scheduler = self.executor.scheduler
+        candidates = list(scheduler.steal_candidates(self.core))
+        if not candidates:
+            return None
+        order = self.executor.steal_rng.permutation(len(candidates))
+        for idx in order:
+            victim = candidates[int(idx)]
+            item = self.executor.queues[victim.core_id].pop_steal()
+            if item is not None:
+                self.executor.metrics.steals += 1
+                if isinstance(item, Task):
+                    item.meta["stolen"] = True
+                return item
+        return None
+
+    # ------------------------------------------------------------------
+    def _start_task(self, task: Task) -> None:
+        """Begin a whole task on this core, partitioning if moldable."""
+        ex = self.executor
+        placement = task.placement
+        assert placement is not None, "dispatched task must carry a placement"
+        # The actual cluster is this core's cluster (a cross-cluster
+        # steal under GRWS runs the task where it was stolen to).
+        n_cores = min(placement.n_cores, self.core.cluster.n_cores)
+        task.partitions_total = n_cores
+        task.partitions_remaining = n_cores
+        task.mark_running(ex.sim.now)
+        ex.scheduler.on_task_execute(task, self.core)
+        if n_cores > 1:
+            siblings = self._choose_siblings(n_cores - 1)
+            for i, sib in enumerate(siblings):
+                part = TaskPartition(task, i + 1)
+                ex.queues[sib.core_id].push_front(part)
+                ex.workers[sib.core_id].wake()
+        ex.engine.start_activity(
+            task.kernel,
+            self.core,
+            n_cores_total=n_cores,
+            payload=TaskPartition(task, 0),
+        )
+
+    def _choose_siblings(self, count: int) -> list["Core"]:
+        """Pick ``count`` other cores of this cluster for partitions —
+        idle cores first, then shortest queue."""
+        others = [c for c in self.core.cluster.cores if c is not self.core]
+        others.sort(key=lambda c: (c.busy, len(self.executor.queues[c.core_id])))
+        return others[:count]
+
+    def _start_partition(self, part: TaskPartition) -> None:
+        self.executor.engine.start_activity(
+            part.kernel,
+            self.core,
+            n_cores_total=part.task.partitions_total,
+            payload=part,
+        )

@@ -1,0 +1,52 @@
+"""Baseline schedulers evaluated against JOSS (paper section 6.2).
+
+- :class:`~repro.schedulers.grws.GrwsScheduler` — greedy random work
+  stealing; no DVFS, single-core tasks, global stealing.
+- :class:`~repro.schedulers.erase.EraseScheduler` — online history
+  performance model + offline CPU power table; picks the
+  ``<T_C, N_C>`` minimising *CPU* energy; no DVFS throttling.
+- :class:`~repro.schedulers.aequitas.AequitasScheduler` — heuristic
+  per-core frequency desires (thieves slow down) applied to the
+  cluster in round-robin time slices; no memory DVFS, no moldability.
+- :class:`~repro.schedulers.steer.SteerScheduler` — model-based
+  ``<T_C, N_C, f_C>`` selection minimising CPU energy, memory
+  frequency pinned at max.
+
+The JOSS scheduler itself lives in :mod:`repro.core`.
+
+Submodules are imported lazily so that e.g. the runtime tests can use
+GRWS without paying for the model machinery the others pull in.
+"""
+
+from typing import TYPE_CHECKING
+
+_LAZY = {
+    "GrwsScheduler": "repro.schedulers.grws",
+    "EraseScheduler": "repro.schedulers.erase",
+    "AequitasScheduler": "repro.schedulers.aequitas",
+    "CataScheduler": "repro.schedulers.cata",
+    "SteerScheduler": "repro.schedulers.steer",
+    "GovernorScheduler": "repro.schedulers.governor",
+    "make_scheduler": "repro.schedulers.registry",
+    "scheduler_names": "repro.schedulers.registry",
+}
+
+__all__ = list(_LAZY)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.aequitas import AequitasScheduler
+    from repro.schedulers.cata import CataScheduler
+    from repro.schedulers.erase import EraseScheduler
+    from repro.schedulers.governor import GovernorScheduler
+    from repro.schedulers.grws import GrwsScheduler
+    from repro.schedulers.registry import make_scheduler, scheduler_names
+    from repro.schedulers.steer import SteerScheduler
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

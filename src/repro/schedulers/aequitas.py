@@ -1,0 +1,126 @@
+"""Aequitas (paper section 6.2, reference [38]).
+
+A heuristic, model-free energy manager extending HERMES: cores that
+*steal* work are thieves and want to run slower (they are ahead of the
+work supply); cores with deep queues want to run faster.  On
+core-clustered platforms per-core DVFS is unavailable, so each active
+core gets to impose its desired frequency on its whole cluster for a
+short time slice in round-robin order (the paper's 1 s interval,
+scaled here to simulated-run lengths).
+
+Aequitas does not leverage the memory DVFS knob or moldable execution,
+and places tasks like a random work-stealing runtime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class AequitasScheduler(Scheduler):
+    """Thief/victim + queue-depth heuristic cluster DVFS."""
+
+    name = "Aequitas"
+
+    def __init__(
+        self,
+        time_slice_s: float = 0.05,
+        queue_high_watermark: int = 2,
+        step: int = 1,
+        min_freq_index: int = 5,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        time_slice_s:
+            Round-robin interval at which the next active core applies
+            its desired frequency to its cluster (paper: 1 s on wall
+            clock; default scaled to the simulated runs).
+        queue_high_watermark:
+            Queue depth at which a core asks for maximum frequency.
+        step:
+            OPP ladder steps a thief descends per steal.
+        min_freq_index:
+            Floor of the descent (HERMES-style tempered slowdown —
+            thieves are *ahead*, not idle; index 5 is 1.11 GHz on the
+            TX2 ladder).
+        """
+        super().__init__()
+        self.time_slice = float(time_slice_s)
+        self.high_watermark = int(queue_high_watermark)
+        self.step = int(step)
+        self.min_freq_index = int(min_freq_index)
+        #: Desired OPP index per core id.
+        self._desired: dict[int, int] = {}
+        self._rr_position = 0
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    def on_run_begin(self) -> None:
+        assert self.ctx is not None
+        top = {}
+        for cl in self.ctx.platform.clusters:
+            for core in cl.cores:
+                top[core.core_id] = len(cl.opps) - 1
+        self._desired = top
+        self._rr_position = 0
+        self._timer = self.ctx.sim.schedule(self.time_slice, self._slice_tick)
+
+    def on_workload_complete(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def on_run_end(self) -> None:
+        self.on_workload_complete()
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        rng = self.ctx.rng.stream("aequitas-place")
+        core = platform.cores[int(rng.integers(platform.n_cores))]
+        return Placement(cluster=core.cluster, n_cores=1, home_core=core)
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        assert self.ctx is not None
+        return [c for c in self.ctx.platform.cores if c is not core]
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        """Update the executing core's desire from the thief/victim
+        relation and its queue depth (no immediate DVFS action — the
+        time-slice tick actuates)."""
+        assert self.ctx is not None
+        opps = core.cluster.opps
+        top = len(opps) - 1
+        floor = min(self.min_freq_index, top)
+        idx = self._desired.get(core.core_id, top)
+        if task.meta.pop("stolen", False):
+            idx = max(floor, idx - self.step)  # thief: slow down (bounded)
+        qlen = len(self.ctx.queues[core.core_id])
+        if qlen >= self.high_watermark:
+            idx = top  # backlog: full speed
+        self._desired[core.core_id] = max(floor, min(top, idx))
+
+    # ------------------------------------------------------------------
+    def _slice_tick(self) -> None:
+        """Let the next active core (round-robin) impose its desire on
+        its cluster for the coming slice."""
+        assert self.ctx is not None
+        cores = self.ctx.platform.cores
+        n = len(cores)
+        for offset in range(n):
+            core = cores[(self._rr_position + offset) % n]
+            if core.busy:
+                self._rr_position = (self._rr_position + offset + 1) % n
+                opps = core.cluster.opps
+                idx = self._desired.get(core.core_id, len(opps) - 1)
+                self.ctx.request_cluster_freq(core.cluster, opps.at(idx))
+                break
+        self._timer = self.ctx.sim.schedule(self.time_slice, self._slice_tick)

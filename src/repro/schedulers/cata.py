@@ -1,0 +1,137 @@
+"""CATA-style criticality-aware task acceleration (extension baseline).
+
+The paper's related work ([10], Castillo et al., IPDPS 2016) tunes
+frequency by *task criticality*: tasks on or near the DAG's critical
+path run fast (they gate the makespan), tasks off it run slow (their
+slack is free energy).  This baseline implements the idea on the
+cluster-DVFS platform:
+
+- criticality = the task's bottom level (longest dependency chain to a
+  sink), normalised by the *current horizon* — the largest bottom level
+  among recently released tasks.  As the execution frontier advances
+  the horizon shrinks with it, so the tail of the critical path stays
+  critical (a global-maximum normalisation would demote it);
+- critical tasks (normalised criticality >= ``threshold``) go to the
+  fastest cluster at maximum frequency;
+- non-critical tasks go to the most efficient cluster at a low
+  frequency, bounded by a simple power-budget check: when every
+  efficient-cluster core is busy, spill to the fast cluster rather
+  than queue (CATA's budget-aware acceleration, simplified).
+
+No memory DVFS, no moldable execution, no models — pure DAG structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import Cluster
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class CataScheduler(Scheduler):
+    """Criticality-aware acceleration on a clustered platform."""
+
+    name = "CATA"
+
+    def __init__(
+        self,
+        threshold: float = 0.7,
+        slow_freq_index: int = 4,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        threshold:
+            Normalised bottom-level above which a task counts as
+            critical.
+        slow_freq_index:
+            OPP index (from the bottom) used for non-critical tasks.
+        """
+        super().__init__()
+        self.threshold = float(threshold)
+        self.slow_freq_index = int(slow_freq_index)
+        self._bottom: dict[int, int] = {}
+        #: Sliding window of recently released tasks' bottom levels;
+        #: its maximum is the criticality horizon.
+        self._recent: deque[int] = deque(maxlen=16)
+        self.critical_tasks = 0
+        self.non_critical_tasks = 0
+
+    # ------------------------------------------------------------------
+    def on_run_begin(self) -> None:
+        self._bottom.clear()
+        self._recent.clear()
+        self.critical_tasks = 0
+        self.non_critical_tasks = 0
+
+    def _bottom_level(self, task: "Task") -> int:
+        """Longest chain from ``task`` to a sink (memoised DFS over the
+        statically known dependents)."""
+        cached = self._bottom.get(task.tid)
+        if cached is not None:
+            return cached
+        # Iterative DFS to survive deep chains (FB recursion depth).
+        stack = [(task, iter(task.dependents), 1)]
+        order: list[Task] = []
+        visiting: set[int] = set()
+        while stack:
+            t, it, _ = stack[-1]
+            if t.tid in self._bottom:
+                stack.pop()
+                continue
+            advanced = False
+            for d in it:
+                if d.tid not in self._bottom and d.tid not in visiting:
+                    visiting.add(d.tid)
+                    stack.append((d, iter(d.dependents), 1))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                level = 1 + max(
+                    (self._bottom[d.tid] for d in t.dependents), default=0
+                )
+                self._bottom[t.tid] = level
+                order.append(t)
+        return self._bottom[task.tid]
+
+    def _clusters_by_speed(self) -> tuple["Cluster", "Cluster"]:
+        assert self.ctx is not None
+        clusters = sorted(
+            self.ctx.platform.clusters,
+            key=lambda cl: cl.core_type.giga_ops_per_ghz,
+        )
+        return clusters[-1], clusters[0]  # (fastest, most efficient)
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None
+        fast, slow = self._clusters_by_speed()
+        level = self._bottom_level(task)
+        self._recent.append(level)
+        horizon = max(self._recent)
+        criticality = level / horizon
+        if criticality >= self.threshold:
+            self.critical_tasks += 1
+            return Placement(cluster=fast, n_cores=1, f_c=fast.opps.max)
+        self.non_critical_tasks += 1
+        # Budget-aware spill: a fully busy efficiency cluster means the
+        # task would queue; accelerate it instead.
+        if all(c.busy for c in self.ctx.platform.cores_of_type(slow.core_type.name)):
+            return Placement(cluster=fast, n_cores=1, f_c=fast.opps.max)
+        idx = min(self.slow_freq_index, len(slow.opps) - 1)
+        return Placement(cluster=slow, n_cores=1, f_c=slow.opps.at(idx))
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        assert self.ctx is not None
+        return [
+            c
+            for c in self.ctx.platform.cores_of_type(core.core_type.name)
+            if c is not core
+        ]

@@ -1,0 +1,136 @@
+"""ERASE (paper section 6.2, reference [11]).
+
+Energy-efficient task mapping *without* DVFS: ERASE samples each
+kernel's execution time once per ``<T_C, N_C>`` at the (fixed) maximum
+frequencies — an online history-based performance model — and combines
+it with an offline-characterised CPU power table to pick the
+``<T_C, N_C>`` with the least CPU energy.  Frequencies are never
+throttled, and memory energy is not considered.
+
+The offline power table is ERASE's "categorised CPU power model": the
+average dynamic CPU power per ``<T_C, N_C>`` over the synthetic
+profiling sweep (task-characteristic-agnostic, which is precisely the
+imprecision relative to STEER/JOSS the paper describes).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.sampling import SamplingPlanner
+from repro.models.suite import ModelSuite
+from repro.profiling.dataset import ProfilingDataset
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class EraseScheduler(Scheduler):
+    """CPU-energy-aware ``<T_C, N_C>`` mapping, no DVFS."""
+
+    name = "ERASE"
+
+    def __init__(
+        self,
+        suite: ModelSuite,
+        dataset: Optional[ProfilingDataset] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        suite:
+            Fitted model suite — ERASE only uses its CPU power models
+            (evaluated at the class-agnostic MB midpoint) and the idle
+            characterisation, mirroring its offline power table.
+        dataset:
+            Optional raw profiling dataset; when given, the power table
+            is the measured per-config average instead.
+        """
+        super().__init__()
+        self.suite = suite
+        self._power_table: dict[tuple[str, int], float] = {}
+        if dataset is not None and len(dataset):
+            f_c = max(r.f_c for r in dataset)
+            for key in dataset.configs():
+                recs = [
+                    r for r in dataset.for_config(*key)
+                    if abs(r.f_c - f_c) < 1e-9
+                ]
+                self._power_table[key] = float(np.mean([r.cpu_power for r in recs]))
+        else:
+            for cl_name, n_cores in suite.config_keys():
+                self._power_table[(cl_name, n_cores)] = suite.predict_cpu_power(
+                    cl_name, n_cores, mb=0.5, f_c=suite.f_c_ref
+                )
+        self.planner: Optional[SamplingPlanner] = None
+        self.decisions: dict[str, tuple[str, int]] = {}
+
+    def on_run_begin(self) -> None:
+        per_config = {
+            key: self.suite.ref_freqs(*key) for key in self.suite.config_keys()
+        }
+        self.planner = SamplingPlanner(
+            self.suite.config_keys(),
+            self.suite.f_c_ref,
+            self.suite.f_c_sample,
+            two_frequencies=False,  # history sampling at max freq only
+            per_config=per_config,
+        )
+        self.decisions.clear()
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None and self.planner is not None
+        kname = task.kernel.name
+        decided = self.decisions.get(kname)
+        if decided is not None:
+            cluster = self.ctx.platform.cluster_by_type(decided[0])
+            return Placement(cluster=cluster, n_cores=decided[1])
+        slot = self.planner.next_slot(kname)
+        task.meta["sample_slot"] = slot
+        cluster = self.ctx.platform.cluster_by_type(slot.cluster)
+        # No DVFS requests — ERASE runs at whatever the platform is at
+        # (the maximum, since nothing else throttles).
+        return Placement(cluster=cluster, n_cores=slot.n_cores)
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        return  # never touches DVFS
+
+    def on_task_complete(self, task: "Task") -> None:
+        assert self.planner is not None
+        slot = task.meta.pop("sample_slot", None)
+        if slot is None:
+            return
+        kname = task.kernel.name
+        measured = task.exec_time if task.exec_time > 0 else task.duration
+        self.planner.record(kname, slot, measured)
+        if self.planner.resolved(kname) and kname not in self.decisions:
+            self._resolve(kname)
+
+    def _resolve(self, kname: str) -> None:
+        """Least predicted CPU energy = sampled time x offline power,
+        including the idle share (concurrency-attributed)."""
+        assert self.ctx is not None and self.planner is not None
+        concurrency = max(1, self.ctx.busy_core_count())
+        idle = self.suite.idle.cpu_idle(self.suite.f_c_ref) / concurrency
+        best_key, best_energy = None, float("inf")
+        for key in self.suite.config_keys():
+            t = self.planner.reference_time(kname, *key)
+            energy = t * (self._power_table[key] + idle)
+            if energy < best_energy:
+                best_key, best_energy = key, energy
+        assert best_key is not None
+        self.decisions[kname] = best_key
+
+    def on_run_end(self) -> None:
+        assert self.ctx is not None and self.planner is not None
+        m = self.ctx.metrics
+        if m is not None:
+            m.sampling_time = self.planner.total_sampling_time()
+            m.extras["decisions"] = {
+                k: f"<{cl}, {nc}>" for k, (cl, nc) in self.decisions.items()
+            }

@@ -1,0 +1,126 @@
+"""Linux-cpufreq-governor baselines (extension beyond the paper).
+
+The paper configures the userspace governor and drives frequencies
+itself; real deployments often leave DVFS to the kernel's governor.
+These schedulers pair GRWS-style random work-stealing placement with
+the classic governor policies, providing the context baselines common
+in this literature:
+
+- ``performance`` — pin every domain at maximum (identical to GRWS,
+  exists for completeness/naming);
+- ``powersave`` — pin every domain at minimum;
+- ``ondemand`` — periodically sample each cluster's utilisation: jump
+  to maximum when utilisation exceeds ``up_threshold``, step down one
+  OPP when it falls below ``down_threshold`` (the kernel governor's
+  characteristic sawtooth).  Memory frequency follows total bandwidth
+  pressure with the same rule (as memory-freq governors like
+  devfreq/simple_ondemand do).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Literal, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+Policy = Literal["performance", "powersave", "ondemand"]
+
+
+class GovernorScheduler(Scheduler):
+    """Random work stealing + a kernel-style frequency governor."""
+
+    def __init__(
+        self,
+        policy: Policy = "ondemand",
+        period_s: float = 0.010,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+    ) -> None:
+        if policy not in ("performance", "powersave", "ondemand"):
+            raise ConfigurationError(f"unknown governor policy {policy!r}")
+        super().__init__()
+        self.policy = policy
+        self.name = f"gov-{policy}"
+        self.period = float(period_s)
+        self.up = float(up_threshold)
+        self.down = float(down_threshold)
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # Placement: plain random work stealing (GRWS semantics).
+    # ------------------------------------------------------------------
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        rng = self.ctx.rng.stream("governor-place")
+        core = platform.cores[int(rng.integers(platform.n_cores))]
+        return Placement(cluster=core.cluster, n_cores=1, home_core=core)
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        assert self.ctx is not None
+        return [c for c in self.ctx.platform.cores if c is not core]
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        return  # the governor, not the task, drives DVFS
+
+    # ------------------------------------------------------------------
+    # Governor loop
+    # ------------------------------------------------------------------
+    def on_run_begin(self) -> None:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        if self.policy == "performance":
+            for cl in platform.clusters:
+                self.ctx.request_cluster_freq(cl, cl.opps.max)
+            self.ctx.request_memory_freq(platform.memory.opps.max)
+        elif self.policy == "powersave":
+            for cl in platform.clusters:
+                self.ctx.request_cluster_freq(cl, cl.opps.min)
+            self.ctx.request_memory_freq(platform.memory.opps.min)
+        else:
+            self._timer = self.ctx.sim.schedule(self.period, self._tick)
+
+    def on_workload_complete(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def on_run_end(self) -> None:
+        self.on_workload_complete()
+
+    def _tick(self) -> None:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        for cl in platform.clusters:
+            # The kernel governor is per-CPU with the cluster taking the
+            # max of its cores' requests: one busy core is enough to
+            # demand full speed (instantaneous busy = 100% utilisation).
+            util = 1.0 if any(c.busy for c in cl.cores) else 0.0
+            current = self.ctx.cluster_dvfs[cl.cluster_id].target_freq
+            if util >= self.up:
+                self.ctx.request_cluster_freq(cl, cl.opps.max)
+            elif util <= self.down and current > cl.opps.min:
+                i = cl.opps.index(cl.opps.nearest(current))
+                self.ctx.request_cluster_freq(cl, cl.opps.at(max(0, i - 1)))
+        # Memory side: bandwidth-pressure driven (devfreq-style).
+        mem = platform.memory
+        demand = sum(a.bw_achieved for a in self.ctx.engine.activities)
+        cap = mem.bandwidth_capacity
+        pressure = demand / cap if cap > 0 else 0.0
+        current = self.ctx.memory_dvfs.target_freq
+        if pressure >= self.up:
+            self.ctx.request_memory_freq(mem.opps.max)
+        elif pressure <= self.down and current > mem.opps.min:
+            i = mem.opps.index(mem.opps.nearest(current))
+            self.ctx.request_memory_freq(mem.opps.at(max(0, i - 1)))
+        self._timer = self.ctx.sim.schedule(self.period, self._tick)
+
+
+def make_governor(policy: Policy, **kw) -> GovernorScheduler:
+    return GovernorScheduler(policy=policy, **kw)

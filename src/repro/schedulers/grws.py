@@ -1,0 +1,42 @@
+"""GRWS — greedy random work stealing (paper section 6.2, baseline).
+
+The widely used default of task runtimes (Cilk, TBB, OpenMP tasking):
+every ready task goes to the queue of a random core (any type), idle
+cores steal from any other core, every task runs on a single core, and
+no DVFS knob is ever touched — frequencies stay at the platform's
+initial maximum settings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class GrwsScheduler(Scheduler):
+    """Greedy random work stealing across all cores."""
+
+    name = "GRWS"
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        # Uniform over *cores* (not clusters) so a 4-core cluster
+        # receives proportionally more tasks, like real work stealing.
+        rng = self.ctx.rng.stream("grws-place")
+        core = platform.cores[int(rng.integers(platform.n_cores))]
+        return Placement(cluster=core.cluster, n_cores=1, home_core=core)
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        # GRWS never issues DVFS requests.
+        return
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        assert self.ctx is not None
+        return [c for c in self.ctx.platform.cores if c is not core]

@@ -1,0 +1,105 @@
+"""Scheduler registry: build any evaluated scheduler by name.
+
+The names match the paper's figures: GRWS, ERASE, Aequitas, STEER,
+JOSS, JOSS_NoMemDVFS, JOSS_1.2x / 1.4x / 1.8x, JOSS_MAXP.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.joss import JossScheduler
+from repro.errors import ConfigurationError
+from repro.models.suite import ModelSuite
+from repro.runtime.scheduler_api import Scheduler
+from repro.schedulers.aequitas import AequitasScheduler
+from repro.schedulers.cata import CataScheduler
+from repro.schedulers.erase import EraseScheduler
+from repro.schedulers.governor import GovernorScheduler
+from repro.schedulers.grws import GrwsScheduler
+from repro.schedulers.steer import SteerScheduler
+
+_SPEEDUP_RE = re.compile(r"^JOSS_(\d+(?:\.\d+)?)x$", re.IGNORECASE)
+_POWERCAP_RE = re.compile(r"^JOSS_cap(\d+(?:\.\d+)?)W$", re.IGNORECASE)
+
+
+def scheduler_names() -> list[str]:
+    """The scheduler line-up of the paper's Figure 8 plus the Figure 9
+    constrained variants."""
+    return [
+        "GRWS",
+        "ERASE",
+        "Aequitas",
+        "STEER",
+        "JOSS",
+        "JOSS_NoMemDVFS",
+        "JOSS_1.2x",
+        "JOSS_1.4x",
+        "JOSS_1.8x",
+        "JOSS_MAXP",
+        "CATA",
+        "gov-ondemand",
+        "gov-performance",
+        "gov-powersave",
+    ]
+
+
+def needs_suite(name: str) -> bool:
+    """Whether a scheduler name requires a fitted :class:`ModelSuite`.
+
+    The heuristic/structural schedulers (GRWS, Aequitas, CATA, the
+    cpufreq governors) run model-free; everything else is model-based.
+    """
+    lowered = name.strip().lower()
+    return lowered not in ("grws", "aequitas", "cata") and not lowered.startswith(
+        "gov-"
+    )
+
+
+def make_scheduler(
+    name: str, suite: Optional[ModelSuite] = None, **kw
+) -> Scheduler:
+    """Instantiate a scheduler by its paper name.
+
+    ``suite`` (the fitted model suite) is required for every
+    model-based scheduler (see :func:`needs_suite`).
+    """
+    canonical = name.strip()
+    lowered = canonical.lower()
+    if lowered == "grws":
+        return GrwsScheduler()
+    if lowered == "aequitas":
+        return AequitasScheduler(**kw)
+    if lowered.startswith("gov-"):
+        return GovernorScheduler(policy=lowered[4:], **kw)
+    if lowered == "cata":
+        return CataScheduler(**kw)
+    known_model_based = lowered in (
+        "erase", "steer", "joss", "joss_nomemdvfs", "joss_maxp"
+    ) or _SPEEDUP_RE.match(canonical) or _POWERCAP_RE.match(canonical)
+    if not known_model_based:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r} (known: {scheduler_names()})"
+        )
+    if suite is None:
+        raise ConfigurationError(f"scheduler {name!r} needs a fitted ModelSuite")
+    if lowered == "erase":
+        return EraseScheduler(suite, **kw)
+    if lowered == "steer":
+        return SteerScheduler(suite, **kw)
+    if lowered == "joss":
+        return JossScheduler(suite, **kw)
+    if lowered == "joss_nomemdvfs":
+        return JossScheduler.no_mem_dvfs(suite, **kw)
+    if lowered == "joss_maxp":
+        return JossScheduler.maxp(suite, **kw)
+    m = _SPEEDUP_RE.match(canonical)
+    if m:
+        return JossScheduler.with_speedup(suite, float(m.group(1)), **kw)
+    m = _POWERCAP_RE.match(canonical)
+    if m:
+        return JossScheduler.with_power_cap(suite, float(m.group(1)), **kw)
+    raise ConfigurationError(  # pragma: no cover - guarded above
+        f"unknown scheduler {name!r} (known: {scheduler_names()})"
+    )

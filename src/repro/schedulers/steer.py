@@ -1,0 +1,32 @@
+"""STEER (paper section 6.2, reference [12]).
+
+The strongest state-of-the-art baseline: model-based selection of
+``<T_C, N_C, f_C>`` minimising *CPU* energy.  STEER shares JOSS's
+sampling and modelling machinery (JOSS builds on it) but (a) optimises
+CPU energy only — memory energy is invisible to it — and (b) never
+touches the memory DVFS knob, leaving f_M at the platform maximum.
+This is exactly the configuration whose blind spot motivates JOSS
+(sections 2.1 and 7.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.goals import MinCpuEnergy
+from repro.core.joss import JossScheduler
+from repro.models.suite import ModelSuite
+
+
+class SteerScheduler(JossScheduler):
+    """CPU-energy-optimal ``<T_C, N_C, f_C>`` selection; f_M pinned."""
+
+    name = "STEER"
+
+    def __init__(self, suite: ModelSuite, **kw) -> None:
+        kw.setdefault("selector", "steepest")
+        super().__init__(
+            suite,
+            goal=MinCpuEnergy(),
+            use_memory_dvfs=False,
+            name=kw.pop("name", "STEER"),
+            **kw,
+        )

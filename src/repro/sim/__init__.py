@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event-driven kernel: an event heap keyed by
+``(time, priority, sequence)``, cancellable event handles, and seeded
+random-number streams.  Everything above (hardware, runtime,
+schedulers) is built as callbacks scheduled on a :class:`Simulator`.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["Event", "Simulator", "RngStreams", "TraceRecord", "Tracer"]

@@ -1,0 +1,168 @@
+"""Event heap and simulation clock.
+
+The engine is intentionally minimal: callbacks scheduled at absolute or
+relative simulated times, executed in deterministic order.  Ties at the
+same timestamp break first on an integer ``priority`` (lower runs
+earlier) and then on insertion order, which makes whole-system runs
+bit-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be
+    cancelled.  A cancelled event stays in the heap as a tombstone and
+    is skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it will not fire.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, prio={self.priority}, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "hello at t=1")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (tombstones excluded)."""
+        return self._events_fired
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; zero-delay events run after the
+        current callback returns, in priority/insertion order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        ev = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        self._drop_tombstones()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_tombstones(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if none remain."""
+        self._drop_tombstones()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        self._events_fired += 1
+        ev.callback(*ev.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap is empty, ``until`` is reached, or
+        ``max_events`` callbacks have fired.
+
+        When ``until`` is given and events remain beyond it, the clock
+        is advanced exactly to ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                self._drop_tombstones()
+                if not self._heap:
+                    break
+                nxt = self._heap[0].time
+                if until is not None and nxt > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events in the heap."""
+        return sum(1 for ev in self._heap if not ev.cancelled)

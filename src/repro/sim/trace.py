@@ -1,0 +1,57 @@
+"""Lightweight event tracing.
+
+The tracer records ``(time, category, payload)`` tuples.  It is used by
+tests to assert ordering properties (e.g. a task never starts before
+its dependencies complete) and by the bench harness to compute derived
+statistics such as time spent in the JOSS sampling phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only trace buffer with per-category filtering.
+
+    Tracing can be disabled wholesale (``enabled=False``) or narrowed to
+    a set of categories, in which case other records are dropped at the
+    emit site with negligible overhead.
+    """
+
+    def __init__(self, enabled: bool = True, categories: Iterable[str] | None = None) -> None:
+        self.enabled = enabled
+        self._categories = frozenset(categories) if categories is not None else None
+        self._records: list[TraceRecord] = []
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(time, category, payload))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(self, category: str | None = None) -> list[TraceRecord]:
+        """All records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,29 @@
+"""The paper's benchmark suite as task-DAG generators (Table 1).
+
+Ten benchmarks from the Edge and HPC domains — Heat Diffusion, Dot
+Product, Fibonacci, Darknet-VGG-16, Biomarker Infection, Alya,
+Sparse LU, Matrix Multiplication, Matrix Copy and Stencil — each built
+as a :class:`~repro.runtime.dag.TaskGraph` with kernels whose
+compute/memory characteristics follow the paper's descriptions.
+
+Task counts are scaled down from the paper's (hundreds of thousands of
+tasks are infeasible for a pure-Python DES in CI); the ``scale``
+parameter restores larger graphs, and DAG *shape*, kernel mix and
+``dop`` are preserved at any scale.
+"""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import (
+    build_workload,
+    get_workload,
+    workload_names,
+    workload_table,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "build_workload",
+    "get_workload",
+    "workload_names",
+    "workload_table",
+]

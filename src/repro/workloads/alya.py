@@ -1,0 +1,60 @@
+"""Alya (AL) — computational mechanics on a partitioned mesh.
+
+Alya solves complex PDEs with a mesh-partitioning parallelisation
+(Table 1: 200K CSR non-zeros, 47840 tasks).  The task structure per
+time step is: per-partition matrix assembly, then an iterative sparse
+solver (SpMV + dot-product reductions) with halo dependencies between
+neighbouring partitions.  SpMV on CSR is memory-bound; assembly mixes
+integer/index work with streaming.
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+ASSEMBLY = KernelSpec(
+    name="al.assembly",
+    w_comp=0.015,
+    w_bytes=0.0040,
+    type_affinity={"denver": 1.3},
+)
+
+SPMV = KernelSpec(
+    name="al.spmv",
+    w_comp=0.0030,
+    w_bytes=0.0075,  # CSR streaming
+)
+
+DOT = KernelSpec(
+    name="al.dot",
+    w_comp=0.0008,
+    w_bytes=0.0012,
+)
+
+
+def build(scale: float = 1.0, seed: int = 0) -> TaskGraph:
+    steps = scaled_count(4, scale**0.5, minimum=2)
+    partitions = scaled_count(8, scale**0.5, minimum=3)
+    solver_iters = scaled_count(6, scale**0.5, minimum=3)
+    g = TaskGraph("al")
+    barrier = None
+    for _ in range(steps):
+        assembly = [
+            g.add_task(ASSEMBLY, deps=[barrier] if barrier else None)
+            for _ in range(partitions)
+        ]
+        prev = assembly
+        for _ in range(solver_iters):
+            spmvs = []
+            for p in range(partitions):
+                deps = [
+                    prev[np_]
+                    for np_ in (p - 1, p, p + 1)
+                    if 0 <= np_ < partitions
+                ]
+                spmvs.append(g.add_task(SPMV, deps=deps))
+            barrier = g.add_task(DOT, deps=spmvs)  # global reduction
+            prev = [barrier] * partitions
+    return g

@@ -1,0 +1,42 @@
+"""Workload specification plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import WorkloadError
+from repro.runtime.dag import TaskGraph
+
+#: A builder takes (scale, seed) plus spec-specific defaults and
+#: returns a fresh task graph.
+Builder = Callable[..., TaskGraph]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One entry of the paper's Table 1."""
+
+    name: str                 # registry id, e.g. "mm-256"
+    abbr: str                 # paper abbreviation, e.g. "MM"
+    description: str
+    builder: Builder
+    #: Task count of the paper's full-size run (Table 1), for reporting.
+    paper_tasks: int
+    #: Extra keyword defaults forwarded to the builder.
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def build(self, scale: float = 1.0, seed: int = 0, **overrides) -> TaskGraph:
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        kw = dict(self.params)
+        kw.update(overrides)
+        graph = self.builder(scale=scale, seed=seed, **kw)
+        graph.validate()
+        return graph
+
+
+def scaled_count(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer structural parameter, keeping it at least
+    ``minimum``."""
+    return max(minimum, int(round(base * scale)))

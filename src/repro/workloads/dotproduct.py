@@ -1,0 +1,40 @@
+"""Dot Product (DP) — blocked vector dot product, 100 iterations.
+
+Each iteration computes per-block partial sums (``dp.block``, pure
+streaming of two vectors, memory-bound) followed by a small reduction
+(``dp.reduce``); the next iteration waits on the reduction (Table 1:
+VectorSize 6400000, BlockSize 32000 -> 200 blocks x 100 iterations +
+reductions = 20200 tasks).
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+BLOCK = KernelSpec(
+    name="dp.block",
+    w_comp=0.0015,
+    w_bytes=0.0085,  # two input vectors streamed once
+)
+
+REDUCE = KernelSpec(
+    name="dp.reduce",
+    w_comp=0.0012,
+    w_bytes=0.0001,
+)
+
+
+def build(scale: float = 1.0, seed: int = 0) -> TaskGraph:
+    iterations = scaled_count(25, scale, minimum=5)
+    blocks = scaled_count(12, scale**0.5, minimum=4)
+    g = TaskGraph("dp")
+    barrier = None
+    for _ in range(iterations):
+        parts = [
+            g.add_task(BLOCK, deps=[barrier] if barrier else None)
+            for _ in range(blocks)
+        ]
+        barrier = g.add_task(REDUCE, deps=parts)
+    return g

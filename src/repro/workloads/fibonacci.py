@@ -1,0 +1,69 @@
+"""Fibonacci (FB) — BOTS-style recursive task tree.
+
+``fib(n)`` spawns ``fib(n-1)`` and ``fib(n-2)`` down to a grain size,
+then a join task combines the children — a deep, *fine-grained* task
+tree (Table 1: term 55, grain 34; execution times per task in the
+microsecond range).  This is the workload that stresses the paper's
+task-coarsening path (section 5.3): per-task DVFS throttling would be
+pure overhead here.
+
+The DAG mirrors real recursion: a *spawn* task for ``fib(n)`` must run
+before its children exist (become ready), and the *join* waits on both
+children — so readiness unfolds top-down over time, exactly like a
+work-stealing runtime executing BOTS fib (leaves are not all ready at
+t=0, which matters for online sampling).
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+
+#: Spawn: the body of fib(n) above the grain — checks, two spawns.
+SPAWN = KernelSpec(
+    name="fb.spawn",
+    w_comp=0.0001,
+    w_bytes=0.0,
+    type_affinity={"denver": 1.6},
+)
+
+#: Leaf computation: sequential fib below the grain — a fine-grained,
+#: purely compute-bound kernel (fits in cache).
+LEAF = KernelSpec(
+    name="fb.leaf",
+    w_comp=0.0006,
+    w_bytes=0.0,
+    type_affinity={"denver": 1.6},
+)
+
+#: Join: adds two child results; tiny.
+JOIN = KernelSpec(
+    name="fb.join",
+    w_comp=0.0001,
+    w_bytes=0.0,
+    type_affinity={"denver": 1.6},
+)
+
+
+def build(scale: float = 1.0, seed: int = 0, term: int | None = None) -> TaskGraph:
+    """Build the fib call tree.
+
+    ``term`` defaults to a scale-derived depth; the graph grows like
+    the Fibonacci numbers themselves, so the default is conservative.
+    """
+    if term is None:
+        term = 15 + int(round(3 * (scale - 1)))
+    term = max(4, term)
+    grain = 2  # below this, the recursion is a single leaf task
+    g = TaskGraph("fb")
+
+    def rec(n: int, parent):
+        if n <= grain:
+            return g.add_task(LEAF, deps=[parent] if parent else None)
+        spawn = g.add_task(SPAWN, deps=[parent] if parent else None)
+        a = rec(n - 1, spawn)
+        b = rec(n - 2, spawn)
+        return g.add_task(JOIN, deps=[a, b])
+
+    rec(term, None)
+    return g

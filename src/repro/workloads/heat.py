@@ -1,0 +1,72 @@
+"""Heat Diffusion (HD) — iterative Jacobi stencil on a 2D grid.
+
+Two kernels per iteration (Table 1): ``copy`` (streaming the updated
+grid back, memory-bound) and ``jacobi`` (the 5-point update, mixed).
+The grid is tiled into a 2D block grid; a jacobi block depends on its
+own and its four von-Neumann neighbours' copy blocks of the previous
+iteration (halo exchange), and a copy block depends on its jacobi
+block — the classic stencil wavefront structure.
+
+The paper evaluates three problem sizes with an inverse relation
+between resolution and task count (small=2048 runs 320k tiny tasks,
+huge=16384 runs 16k large tasks): higher resolution means larger
+blocks, fewer iterations to evaluate.
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+#: Per-size (block work multiplier, iterations base, block-grid side).
+_SIZES = {
+    "small": (0.25, 14, 3),
+    "big": (2.0, 7, 2),
+    "huge": (8.0, 4, 2),
+}
+
+
+def _kernels(size: str) -> tuple[KernelSpec, KernelSpec]:
+    mult, _, _ = _SIZES[size]
+    jacobi = KernelSpec(
+        name=f"hd.jacobi.{size}",
+        w_comp=0.020 * mult,
+        w_bytes=0.0020 * mult,
+        type_affinity={"denver": 1.3},
+    )
+    copy = KernelSpec(
+        name=f"hd.copy.{size}",
+        w_comp=0.0008 * mult,
+        w_bytes=0.0040 * mult,
+    )
+    return jacobi, copy
+
+
+def build(scale: float = 1.0, seed: int = 0, size: str = "small") -> TaskGraph:
+    """Build the HD task graph for one problem size."""
+    if size not in _SIZES:
+        raise ValueError(f"unknown HD size {size!r} (options: {sorted(_SIZES)})")
+    _, iters_base, side_base = _SIZES[size]
+    iterations = scaled_count(iters_base, scale, minimum=3)
+    side = scaled_count(side_base, scale**0.25, minimum=2)
+    jacobi, copy = _kernels(size)
+    g = TaskGraph(f"hd-{size}")
+    prev_copies: dict[tuple[int, int], object] = {}
+    for _ in range(iterations):
+        jacobis = {}
+        for bx in range(side):
+            for by in range(side):
+                deps = []
+                for nx, ny in (
+                    (bx, by), (bx - 1, by), (bx + 1, by),
+                    (bx, by - 1), (bx, by + 1),
+                ):
+                    t = prev_copies.get((nx, ny))
+                    if t is not None:
+                        deps.append(t)
+                jacobis[(bx, by)] = g.add_task(jacobi, deps=deps)
+        prev_copies = {
+            pos: g.add_task(copy, deps=[jt]) for pos, jt in jacobis.items()
+        }
+    return g

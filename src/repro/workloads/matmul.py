@@ -1,0 +1,49 @@
+"""Matrix Multiplication (MM) — compute-intensive synthetic (Table 1).
+
+Each task computes a tiled ``A x B = C`` GEMM.  The DAG parallelism
+``dop`` is configurable (paper section 2 uses dop=1): the graph is
+``dop`` independent chains, giving exactly ``tasks/critical-path =
+dop``.  Two tile sizes are evaluated (256 and 512), trading task count
+against granularity.
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+#: Per-size kernels: 2*N^3 flops, 3*N^2 doubles of (partly cached) traffic.
+_KERNELS = {
+    256: KernelSpec(
+        name="mm.256",
+        w_comp=0.034,
+        w_bytes=0.0008,
+        type_affinity={"denver": 1.5},
+    ),
+    512: KernelSpec(
+        name="mm.512",
+        w_comp=0.27,
+        w_bytes=0.0032,
+        type_affinity={"denver": 1.5},
+    ),
+}
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, size: int = 256, dop: int = 4
+) -> TaskGraph:
+    if size not in _KERNELS:
+        raise ValueError(f"unknown MM size {size} (options: {sorted(_KERNELS)})")
+    if dop < 1:
+        raise ValueError("dop must be >= 1")
+    kernel = _KERNELS[size]
+    base_tasks = 120 if size == 256 else 40
+    total = scaled_count(base_tasks, scale, minimum=dop * 2)
+    chain_len = max(2, total // dop)
+    g = TaskGraph(f"mm-{size}")
+    for _ in range(dop):
+        prev = None
+        for _ in range(chain_len):
+            prev = g.add_task(kernel, deps=[prev] if prev else None)
+    return g

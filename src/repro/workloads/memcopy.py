@@ -1,0 +1,44 @@
+"""Matrix Copy (MC) — memory-intensive synthetic (Table 1).
+
+Each task reads and writes a large matrix, producing pure streaming
+traffic to main memory.  Like MM, the DAG is ``dop`` independent
+chains; two matrix sizes (4096 and 8192) set the per-task traffic.
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+_KERNELS = {
+    4096: KernelSpec(
+        name="mc.4096",
+        w_comp=0.0015,
+        w_bytes=0.030,
+    ),
+    8192: KernelSpec(
+        name="mc.8192",
+        w_comp=0.0030,
+        w_bytes=0.060,
+    ),
+}
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, size: int = 4096, dop: int = 4
+) -> TaskGraph:
+    if size not in _KERNELS:
+        raise ValueError(f"unknown MC size {size} (options: {sorted(_KERNELS)})")
+    if dop < 1:
+        raise ValueError("dop must be >= 1")
+    kernel = _KERNELS[size]
+    base_tasks = 100 if size == 4096 else 50
+    total = scaled_count(base_tasks, scale, minimum=dop * 2)
+    chain_len = max(2, total // dop)
+    g = TaskGraph(f"mc-{size}")
+    for _ in range(dop):
+        prev = None
+        for _ in range(chain_len):
+            prev = g.add_task(kernel, deps=[prev] if prev else None)
+    return g

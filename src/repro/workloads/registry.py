@@ -1,0 +1,132 @@
+"""Workload registry — the evaluation line-up of the paper's Figure 8.
+
+Fifteen workload configurations: three HD sizes, DP, FB, VG, BI, AL,
+SLU, and the dop-configurable synthetics MM (256/512), MC (4096/8192)
+and ST (512/2048).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.runtime.dag import TaskGraph
+from repro.workloads import (
+    alya,
+    biomarker,
+    dotproduct,
+    fibonacci,
+    heat,
+    matmul,
+    memcopy,
+    sparselu,
+    stencil,
+    vgg,
+)
+from repro.workloads.base import WorkloadSpec
+
+_SPECS: dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    if spec.name in _SPECS:
+        raise WorkloadError(f"duplicate workload {spec.name}")
+    _SPECS[spec.name] = spec
+
+
+_register(WorkloadSpec(
+    "hd-small", "HD", "Heat diffusion, 2048 grid (many tiny tasks)",
+    heat.build, paper_tasks=320032, params={"size": "small"},
+))
+_register(WorkloadSpec(
+    "hd-big", "HD", "Heat diffusion, 8192 grid",
+    heat.build, paper_tasks=32032, params={"size": "big"},
+))
+_register(WorkloadSpec(
+    "hd-huge", "HD", "Heat diffusion, 16384 grid (few large tasks)",
+    heat.build, paper_tasks=16032, params={"size": "huge"},
+))
+_register(WorkloadSpec(
+    "dp", "DP", "Blocked dot product, 100 iterations",
+    dotproduct.build, paper_tasks=20200,
+))
+_register(WorkloadSpec(
+    "fb", "FB", "Recursive Fibonacci (fine-grained tasks)",
+    fibonacci.build, paper_tasks=57314,
+))
+_register(WorkloadSpec(
+    "vg", "VG", "Darknet VGG-16 fork-join CNN, 10 iterations",
+    vgg.build, paper_tasks=5090,
+))
+_register(WorkloadSpec(
+    "bi", "BI", "Biomarker infection combinatorics",
+    biomarker.build, paper_tasks=6217,
+))
+_register(WorkloadSpec(
+    "al", "AL", "Alya computational mechanics (mesh partitioning)",
+    alya.build, paper_tasks=47840,
+))
+_register(WorkloadSpec(
+    "slu", "SLU", "Sparse LU factorisation (LU0/FWD/BDIV/BMOD)",
+    sparselu.build, paper_tasks=11472,
+))
+_register(WorkloadSpec(
+    "mm-256", "MM", "Matrix multiply, 256 tiles (compute-bound)",
+    matmul.build, paper_tasks=10000, params={"size": 256},
+))
+_register(WorkloadSpec(
+    "mm-512", "MM", "Matrix multiply, 512 tiles",
+    matmul.build, paper_tasks=2000, params={"size": 512},
+))
+_register(WorkloadSpec(
+    "mc-4096", "MC", "Matrix copy, 4096 (memory-bound streaming)",
+    memcopy.build, paper_tasks=20000, params={"size": 4096},
+))
+_register(WorkloadSpec(
+    "mc-8192", "MC", "Matrix copy, 8192",
+    memcopy.build, paper_tasks=10000, params={"size": 8192},
+))
+_register(WorkloadSpec(
+    "st-512", "ST", "Stencil sweeps, 512 grid",
+    stencil.build, paper_tasks=50000, params={"size": 512},
+))
+_register(WorkloadSpec(
+    "st-2048", "ST", "Stencil sweeps, 2048 grid",
+    stencil.build, paper_tasks=50000, params={"size": 2048},
+))
+
+
+def workload_names() -> list[str]:
+    return list(_SPECS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r} (known: {workload_names()})"
+        ) from None
+
+
+def build_workload(
+    name: str, scale: float = 1.0, seed: int = 0, **overrides
+) -> TaskGraph:
+    return get_workload(name).build(scale=scale, seed=seed, **overrides)
+
+
+def workload_table() -> list[dict]:
+    """Rows for the Table 1 reproduction bench."""
+    rows = []
+    for spec in _SPECS.values():
+        g = spec.build(scale=1.0)
+        rows.append(
+            {
+                "name": spec.name,
+                "abbr": spec.abbr,
+                "description": spec.description,
+                "kernels": [k.name for k in g.kernels()],
+                "tasks": len(g),
+                "paper_tasks": spec.paper_tasks,
+                "dop": round(g.dop(), 2),
+            }
+        )
+    return rows

@@ -1,0 +1,53 @@
+"""Stencil (ST) — neighbour-update synthetic (Table 1).
+
+Each task repeatedly updates points on a multi-dimensional grid from
+neighbouring values: a mix of compute and strided memory access between
+MM and MC in intensity.  The DAG is ``dop`` chains with cross-chain
+neighbour dependencies every sweep (wavefront coupling); two grid
+sizes (512 and 2048).
+"""
+
+from __future__ import annotations
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+_KERNELS = {
+    512: KernelSpec(
+        name="st.512",
+        w_comp=0.008,
+        w_bytes=0.0045,
+        type_affinity={"denver": 1.3},
+    ),
+    2048: KernelSpec(
+        name="st.2048",
+        w_comp=0.030,
+        w_bytes=0.018,
+        type_affinity={"denver": 1.3},
+    ),
+}
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, size: int = 512, dop: int = 4
+) -> TaskGraph:
+    if size not in _KERNELS:
+        raise ValueError(f"unknown ST size {size} (options: {sorted(_KERNELS)})")
+    if dop < 1:
+        raise ValueError("dop must be >= 1")
+    kernel = _KERNELS[size]
+    sweeps = scaled_count(25, scale, minimum=5)
+    g = TaskGraph(f"st-{size}")
+    prev = [None] * dop
+    for _ in range(sweeps):
+        cur = []
+        for c in range(dop):
+            deps = [
+                prev[n]
+                for n in (c - 1, c, c + 1)
+                if 0 <= n < dop and prev[n] is not None
+            ]
+            cur.append(g.add_task(kernel, deps=deps))
+        prev = cur
+    return g

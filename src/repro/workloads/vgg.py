@@ -1,0 +1,132 @@
+"""Darknet-VGG-16 (VG) — the real 16-layer CNN as a fork-join DAG.
+
+Table 1: a 768x576 RGB input, blocksize 64, 10 iterations, 5090 tasks.
+The per-layer work here is derived from the actual VGG-16 architecture
+(Simonyan & Zisserman [43]): thirteen 3x3 convolutions in five groups
+separated by 2x2 max-pools, then three fully-connected layers.  For
+each layer we compute FLOPs (2 * H*W * Cin * Cout * 9 for convs) and
+the dominant memory traffic (activations for the big early convs,
+weight matrices for the FC tail), then normalise the totals to
+simulation-scale task granularities while preserving the *relative*
+shape: early layers are huge and compute-bound, the FC tail is small
+and memory-bound (weights stream from DRAM once per image).
+
+Layers of one group share a kernel (their blocks have near-identical
+arithmetic intensity), giving five conv kernels + one FC kernel — each
+invoked every iteration so the samplers resolve quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec_model.kernels import KernelSpec
+from repro.runtime.dag import TaskGraph
+from repro.workloads.base import scaled_count
+
+#: Input resolution of the paper's Darknet run.
+INPUT_H, INPUT_W = 576, 768
+
+#: VGG-16 conv groups: (group name, n_layers, C_in of first, C_out).
+_CONV_GROUPS = [
+    ("g1", 2, 3, 64),
+    ("g2", 2, 64, 128),
+    ("g3", 3, 128, 256),
+    ("g4", 3, 256, 512),
+    ("g5", 3, 512, 512),
+]
+
+#: FC tail: (C_in, C_out); the first flattens the pooled feature map.
+_FC_LAYERS = [(512 * (INPUT_H // 32) * (INPUT_W // 32), 4096),
+              (4096, 4096), (4096, 1000)]
+
+#: Calibration: total compute work per network pass at scale 1, in
+#: giga-ops of the simulated platform (real VGG-16 at this input is
+#: ~270 GFLOP; the simulator runs a proportionally scaled instance).
+TOTAL_COMP_BUDGET = 6.0
+#: And total beyond-LLC traffic per pass (GB, scaled likewise).
+TOTAL_BYTES_BUDGET = 0.12
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Derived work of one VGG-16 layer group."""
+
+    name: str
+    flops: float          # raw FLOPs of the whole group
+    traffic: float        # raw bytes of the whole group
+    blocks: int           # fork width per layer (Table 1 blocksize 64)
+    n_layers: int
+
+
+def layer_profiles(block_size: int = 64) -> list[LayerProfile]:
+    """Per-group FLOPs/traffic from the real architecture."""
+    profiles = []
+    h, w = INPUT_H, INPUT_W
+    for name, n_layers, c_in, c_out in _CONV_GROUPS:
+        flops = 0.0
+        traffic = 0.0
+        cin = c_in
+        for _ in range(n_layers):
+            flops += 2.0 * h * w * cin * c_out * 9
+            # Activations in+out (4 B floats) dominate conv traffic.
+            traffic += 4.0 * h * w * (cin + c_out)
+            cin = c_out
+        blocks = max(2, (h * w) // (block_size * block_size * 8))
+        profiles.append(LayerProfile(name, flops, traffic, blocks, n_layers))
+        h, w = h // 2, w // 2  # max-pool between groups
+    fc_flops = sum(2.0 * ci * co for ci, co in _FC_LAYERS)
+    fc_traffic = sum(4.0 * ci * co for ci, co in _FC_LAYERS)  # weights
+    profiles.append(
+        LayerProfile("fc", fc_flops, fc_traffic, blocks=2, n_layers=len(_FC_LAYERS))
+    )
+    return profiles
+
+
+def _kernels(block_size: int = 64) -> dict[str, tuple[KernelSpec, LayerProfile]]:
+    profiles = layer_profiles(block_size)
+    total_flops = sum(p.flops for p in profiles)
+    total_traffic = sum(p.traffic for p in profiles)
+    out = {}
+    for p in profiles:
+        comp_share = p.flops / total_flops * TOTAL_COMP_BUDGET
+        bytes_share = p.traffic / total_traffic * TOTAL_BYTES_BUDGET
+        tasks_per_pass = p.blocks * p.n_layers
+        affinity = {"denver": 1.6} if p.name != "fc" else {}
+        out[p.name] = (
+            KernelSpec(
+                name=f"vg.{p.name}",
+                w_comp=comp_share / tasks_per_pass,
+                w_bytes=bytes_share / tasks_per_pass,
+                type_affinity=affinity,
+            ),
+            p,
+        )
+    return out
+
+
+JOIN = KernelSpec(name="vg.join", w_comp=0.0004, w_bytes=0.0)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, iterations: int | None = None,
+    block_size: int = 64,
+) -> TaskGraph:
+    if iterations is None:
+        # At least 4 iterations so every kernel is invoked often enough
+        # for the model-based schedulers' sampling plans.
+        iterations = scaled_count(4, scale, minimum=4)
+    kernels = _kernels(block_size)
+    width_scale = max(0.25, scale**0.5)
+    g = TaskGraph("vg")
+    barrier = None
+    for _ in range(iterations):
+        for name, (kernel, profile) in kernels.items():
+            for _layer in range(profile.n_layers):
+                width = max(1, int(round(profile.blocks * width_scale)))
+                tasks = [
+                    g.add_task(kernel, deps=[barrier] if barrier else None)
+                    for _ in range(width)
+                ]
+                barrier = g.add_task(JOIN, deps=tasks)
+    return g

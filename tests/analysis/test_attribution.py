@@ -1,0 +1,88 @@
+"""Tests for energy attribution and analysis reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import EnergyAttributor, energy_breakdown_report, placement_report
+from repro.analysis.reports import cluster_fraction, placement_fractions
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, TaskGraph
+from repro.schedulers import GrwsScheduler
+
+COMPUTE = KernelSpec("compute", w_comp=0.3, w_bytes=0.002)
+MEMORY = KernelSpec("memory", w_comp=0.01, w_bytes=0.05)
+
+
+def run_with_attribution(graph, seed=3):
+    ex = Executor(jetson_tx2(), GrwsScheduler(), seed=seed)
+    att = EnergyAttributor(ex.engine)
+    metrics = ex.run(graph)
+    return ex, att, metrics
+
+
+def mixed(n=30):
+    g = TaskGraph("mixed")
+    prev = None
+    for i in range(n):
+        a = g.add_task(COMPUTE, deps=[prev] if prev else None)
+        b = g.add_task(MEMORY, deps=[prev] if prev else None)
+        prev = g.add_task(COMPUTE, deps=[a, b])
+    return g
+
+
+class TestAttribution:
+    def test_energy_conservation(self):
+        """Attributed dynamic energy + idle floor equals the measured
+        rail energy (exact accounting)."""
+        ex, att, m = run_with_attribution(mixed())
+        total_attributed = att.total_dynamic() + att.idle_energy
+        assert total_attributed == pytest.approx(m.total_energy_exact, rel=1e-6)
+
+    def test_compute_kernel_draws_cpu_memory_kernel_draws_mem(self):
+        _, att, _ = run_with_attribution(mixed())
+        comp = att.per_kernel["compute"]
+        mem = att.per_kernel["memory"]
+        assert comp.cpu / max(comp.mem, 1e-12) > mem.cpu / max(mem.mem, 1e-12)
+        assert mem.mem > comp.mem * 0.5
+
+    def test_busy_time_positive(self):
+        _, att, m = run_with_attribution(mixed())
+        for ke in att.per_kernel.values():
+            assert ke.busy_time > 0
+        total_busy = sum(ke.busy_time for ke in att.per_kernel.values())
+        kernel_time = sum(ks.total_time for ks in m.per_kernel.values())
+        assert total_busy == pytest.approx(kernel_time, rel=0.25)
+
+    def test_fraction_of(self):
+        _, att, _ = run_with_attribution(mixed())
+        fracs = [att.fraction_of(k) for k in ("compute", "memory")]
+        assert sum(fracs) == pytest.approx(1.0)
+        assert att.fraction_of("missing") == 0.0
+
+
+class TestReports:
+    def test_placement_fractions_sum_to_one(self):
+        _, _, m = run_with_attribution(mixed())
+        fr = placement_fractions(m, "compute")
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_cluster_fraction(self):
+        _, _, m = run_with_attribution(mixed())
+        d = cluster_fraction(m, "compute", "denver")
+        a = cluster_fraction(m, "compute", "a57")
+        assert d + a == pytest.approx(1.0)
+        assert 0 < d < 1  # GRWS spreads across clusters
+
+    def test_missing_kernel_empty(self):
+        _, _, m = run_with_attribution(mixed())
+        assert placement_fractions(m, "nope") == {}
+        assert cluster_fraction(m, "nope", "denver") == 0.0
+
+    def test_report_rendering(self):
+        _, att, m = run_with_attribution(mixed())
+        pr = placement_report(m)
+        assert "compute" in pr and "placements" in pr
+        er = energy_breakdown_report(att)
+        assert "(idle floor)" in er

@@ -1,0 +1,52 @@
+"""Tests for the run-comparison tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_runs
+from repro.bench.runner import BenchConfig, run_one
+from repro.runtime.metrics import RunMetrics
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    cfg = BenchConfig(repetitions=1)
+    a = run_one("slu", "GRWS", cfg)
+    b = run_one("slu", "JOSS", cfg)
+    return a, b
+
+
+class TestComparison:
+    def test_headline_ratios(self, two_runs):
+        a, b = two_runs
+        cmp = compare_runs(a, b)
+        assert cmp.energy_ratio == pytest.approx(b.total_energy / a.total_energy)
+        assert cmp.time_ratio == pytest.approx(b.makespan / a.makespan)
+
+    def test_kernel_deltas_cover_union(self, two_runs):
+        a, b = two_runs
+        cmp = compare_runs(a, b)
+        names = {d.kernel for d in cmp.kernel_deltas}
+        assert names == set(a.per_kernel) | set(b.per_kernel)
+
+    def test_render_contains_sections(self, two_runs):
+        a, b = two_runs
+        text = compare_runs(a, b).render()
+        assert "total energy" in text
+        assert "Per-kernel" in text
+        assert "slu.bmod" in text
+        assert "GRWS" in text and "JOSS" in text
+
+    def test_missing_kernel_handled(self):
+        a = RunMetrics(scheduler="A")
+        a.cpu_energy = a.mem_energy = 1.0
+        a.makespan = 1.0
+        a.kernel_stats("only-in-a").record(0.5, "a57x1")
+        b = RunMetrics(scheduler="B")
+        b.cpu_energy = b.mem_energy = 1.0
+        b.makespan = 1.0
+        cmp = compare_runs(a, b)
+        d = cmp.kernel_deltas[0]
+        assert d.mean_time_b == 0.0
+        cmp.render()  # must not raise

@@ -1,0 +1,70 @@
+"""Tests for DVFS actuation tracing in timelines."""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import FreqEvent, Timeline
+from repro.core import JossScheduler
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor
+from repro.sim.trace import Tracer
+from repro.workloads import build_workload
+
+
+def test_freq_events_recorded_for_joss_run():
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    tracer = Tracer(categories=["activity-start", "activity-end", "freq-change"])
+    ex = Executor(jetson_tx2(), JossScheduler(suite), seed=7, tracer=tracer)
+    m = ex.run(build_workload("mm-256", seed=2))
+    tl = Timeline.from_tracer(tracer)
+    assert tl.freq_events, "JOSS must actuate DVFS at least once"
+    # The recorded transition counts match the controllers' counters.
+    cpu_changes = [e for e in tl.freq_events if e.domain.startswith("cpu")]
+    assert len(cpu_changes) == m.cluster_freq_transitions
+    mem_changes = [e for e in tl.freq_events if e.domain == "emc"]
+    assert len(mem_changes) == m.memory_freq_transitions
+    # Frequencies are valid OPPs of their domain.
+    plat = jetson_tx2()
+    for e in cpu_changes:
+        assert e.freq in plat.clusters[0].opps
+    for e in mem_changes:
+        assert e.freq in plat.memory.opps
+    # Rendering mentions the DVFS tracks.
+    art = tl.render_ascii(width=40)
+    assert "dvfs" in art
+
+
+def test_freq_series_filters_by_domain():
+    tl = Timeline(
+        [],
+        makespan=1.0,
+        freq_events=[
+            FreqEvent(0.1, "cpu0", 1.11),
+            FreqEvent(0.2, "emc", 0.8),
+            FreqEvent(0.3, "cpu0", 2.04),
+        ],
+    )
+    assert tl.domains() == ["cpu0", "emc"]
+    assert tl.freq_series("cpu0") == [(0.1, 1.11), (0.3, 2.04)]
+    assert tl.freq_series("nope") == []
+
+
+def test_grws_run_has_no_freq_events():
+    from repro.schedulers import GrwsScheduler
+
+    tracer = Tracer(categories=["freq-change"])
+    ex = Executor(jetson_tx2(), GrwsScheduler(), seed=7, tracer=tracer)
+    ex.run(build_workload("mm-256", seed=2))
+    assert len(tracer) == 0
+
+
+def test_executor_single_shot():
+    import pytest
+
+    from repro.errors import SchedulingError
+    from repro.schedulers import GrwsScheduler
+
+    ex = Executor(jetson_tx2(), GrwsScheduler(), seed=1)
+    ex.run(build_workload("mm-256", seed=2))
+    with pytest.raises(SchedulingError):
+        ex.run(build_workload("mm-256", seed=2))

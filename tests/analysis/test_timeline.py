@@ -1,0 +1,98 @@
+"""Tests for the execution timeline tool."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.timeline import Segment, Timeline
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, TaskGraph
+from repro.schedulers import GrwsScheduler
+from repro.sim.trace import Tracer
+
+K = KernelSpec("work", w_comp=0.2, w_bytes=0.01)
+
+
+def traced_run(n=12):
+    tracer = Tracer(categories=["activity-start", "activity-end"])
+    g = TaskGraph("t")
+    prev = None
+    for _ in range(n):
+        prev = g.add_task(K, deps=[prev] if prev else None)
+        g.add_task(K, deps=[prev])
+    ex = Executor(jetson_tx2(), GrwsScheduler(), seed=2, tracer=tracer)
+    m = ex.run(g)
+    return Timeline.from_tracer(tracer), m
+
+
+class TestTimeline:
+    def test_segments_cover_all_tasks(self):
+        tl, m = traced_run()
+        assert len(tl.segments) == m.tasks_executed  # nc=1: one segment/task
+
+    def test_segments_well_formed(self):
+        tl, _ = traced_run()
+        for s in tl.segments:
+            assert s.end >= s.start >= 0
+            assert s.duration > 0
+            assert s.kernel == "work"
+
+    def test_no_overlap_per_core(self):
+        tl, _ = traced_run()
+        for core in tl.core_ids():
+            segs = sorted(
+                (s for s in tl.segments if s.core == core),
+                key=lambda s: s.start,
+            )
+            for a, b in zip(segs, segs[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_busy_time_le_makespan(self):
+        tl, m = traced_run()
+        for core in tl.core_ids():
+            assert tl.busy_time(core) <= tl.makespan + 1e-9
+            assert 0.0 <= tl.utilisation(core) <= 1.0
+        assert tl.makespan == pytest.approx(m.makespan, rel=1e-6)
+
+    def test_json_roundtrip(self, tmp_path):
+        tl, _ = traced_run()
+        path = tl.save(tmp_path / "tl.json")
+        data = json.loads(path.read_text())
+        assert data["makespan"] == tl.makespan
+        assert len(data["segments"]) == len(tl.segments)
+
+    def test_ascii_render(self):
+        tl, _ = traced_run()
+        art = tl.render_ascii(width=40)
+        assert "core 0" in art
+        assert "legend" in art
+        assert "a=work" in art
+
+    def test_empty_timeline(self):
+        assert Timeline([], 0.0).render_ascii() == "(empty timeline)"
+
+    def test_manual_segments(self):
+        tl = Timeline(
+            [Segment(0, "x", 0.0, 1.0), Segment(0, "y", 1.0, 2.0)],
+            makespan=2.0,
+        )
+        assert tl.kernels() == ["x", "y"]
+        assert tl.busy_time(0) == pytest.approx(2.0)
+        assert tl.utilisation(0) == pytest.approx(1.0)
+
+
+def test_cli_trace(capsys, tmp_path):
+    from repro.cli import main
+
+    out_path = tmp_path / "timeline.json"
+    rc = main(
+        ["trace", "-w", "mm-256", "-s", "GRWS", "--width", "50",
+         "-o", str(out_path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "core 0" in out
+    assert out_path.exists()

@@ -1,0 +1,81 @@
+"""Unit tests for experiment-module internals (fast, reduced inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig1, fig2, fig5, overhead
+from repro.bench.oracle import ConfigurationExplorer
+from repro.hw import jetson_tx2
+
+
+class TestFig1Internals:
+    @pytest.fixture(scope="class")
+    def points(self):
+        explorer = ConfigurationExplorer(jetson_tx2, seed=0)
+        return explorer.sweep(
+            fig1.BENCHMARKS["MC"],
+            f_c_values=[0.806, 1.570, 2.040],
+            f_m_values=[0.408, 1.866],
+            tasks=1,
+        )
+
+    def test_argmin_full_space(self, points):
+        best = fig1._argmin(points, lambda p: p.total_energy)
+        assert all(
+            best.total_energy <= p.total_energy for p in points.values()
+        )
+
+    def test_argmin_fm_restricted(self, points):
+        best = fig1._argmin(points, lambda p: p.cpu_energy, fm_max=1.866)
+        assert best.f_m == 1.866
+
+    def test_argmin_fixed_three_knobs(self, points):
+        any_pt = next(iter(points.values()))
+        fixed = (any_pt.cluster, any_pt.n_cores, any_pt.f_c)
+        best = fig1._argmin(points, lambda p: p.total_energy, fixed3=fixed)
+        assert (best.cluster, best.n_cores, best.f_c) == fixed
+
+    def test_benchmarks_are_mm_and_mc(self):
+        assert set(fig1.BENCHMARKS) == {"MM", "MC"}
+        assert fig1.BENCHMARKS["MM"].w_comp > fig1.BENCHMARKS["MC"].w_comp
+
+
+class TestFig2Frontier:
+    def test_reduced_run_has_monotone_frontier(self):
+        r = fig2.run(tasks_per_point=1)
+        for bench in ("MM", "MC"):
+            pts = [
+                row for row in r.rows
+                if row["benchmark"] == bench and row["kind"] == "frontier"
+            ]
+            speeds = [p["speedup"] for p in pts]
+            assert speeds == sorted(speeds)
+            assert speeds[0] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFig5Levels:
+    def test_three_mb_levels_ordered(self):
+        r = fig5.run()
+        # high-MB kernels draw less CPU power than low-MB at max f_C.
+        def cpu_at(level):
+            return max(
+                row["cpu_power_w"] for row in r.rows
+                if row["level"] == level and row["f_c"] == 2.040
+            )
+
+        assert cpu_at("low-MB") > cpu_at("mid-MB") > cpu_at("high-MB")
+
+
+class TestOverheadInternals:
+    def test_tables_for_builds_full_grids(self):
+        from repro.models import profile_and_fit
+        from repro.profiling import synthetic_kernels
+
+        suite = profile_and_fit(jetson_tx2, seed=0)
+        explorer = ConfigurationExplorer(jetson_tx2, seed=1)
+        kernel = synthetic_kernels(jetson_tx2(), count=5, t_ref=0.004)[2]
+        tables = overhead._tables_for(suite, explorer, kernel)
+        assert set(tables) == set(suite.config_keys())
+        for tab in tables.values():
+            assert tab.shape == (12, 7)

@@ -1,0 +1,55 @@
+"""Smoke tests for the experiment modules (reduced sizes).
+
+The full artefact regenerations (with shape assertions) live in
+``benchmarks/``; here we check that every experiment runs, returns
+well-formed rows and persists cleanly, using cut-down inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ALL, fig8, fig9, sampling, tab1
+from repro.bench.runner import BenchConfig
+
+
+def test_registry_complete():
+    assert set(ALL) == {
+        "fig1", "fig2", "fig5", "tab1", "fig8", "fig9", "fig10",
+        "overhead", "sampling", "sec71", "percore", "degree", "dop",
+        "governors", "portability", "multiprog", "granularity",
+        "ablation",
+    }
+    for mod in ALL.values():
+        assert hasattr(mod, "run")
+
+
+def test_tab1_runs_and_saves(tmp_path):
+    r = tab1.run()
+    assert len(r.rows) == 15
+    assert (tmp_path / "tab1.txt") == r.save(tmp_path)
+
+
+def test_fig8_reduced():
+    cfg = BenchConfig(repetitions=1)
+    r = fig8.run(cfg, workloads=["mm-256", "mc-4096"],
+                 schedulers=("GRWS", "STEER", "JOSS"))
+    assert {row["workload"] for row in r.rows} == {"mm-256", "mc-4096"}
+    assert "JOSS_avg_reduction" in r.summary
+    for row in r.rows:
+        assert row["GRWS"] == pytest.approx(1.0)
+
+
+def test_fig9_reduced():
+    cfg = BenchConfig(repetitions=1)
+    r = fig9.run(cfg, workloads=["mm-256"], variants=("JOSS", "JOSS_MAXP"))
+    row = r.rows[0]
+    assert row["JOSS_time"] == pytest.approx(1.0)
+    assert row["JOSS_MAXP_time"] <= 1.05
+
+
+def test_sampling_reduced():
+    cfg = BenchConfig(repetitions=1)
+    r = sampling.run(cfg, workloads=["dp"], scales=[1.0, 2.0])
+    assert len(r.rows) == 2
+    assert all(row["sampling_time_s"] > 0 for row in r.rows)

@@ -1,0 +1,80 @@
+"""Tests for the configuration explorer and the bench runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.oracle import ConfigurationExplorer
+from repro.bench.runner import BenchConfig, run_averaged, run_matrix, run_one
+from repro.errors import ConfigurationError
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+
+KERNEL = KernelSpec("probe", w_comp=0.1, w_bytes=0.01)
+
+
+class TestExplorer:
+    def test_measure_basics(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        p = ex.measure(KERNEL, "a57", 1, 2.04, 1.866, tasks=2)
+        assert p.time > 0
+        assert p.cpu_power > 0 and p.mem_power > 0
+        assert p.total_energy == pytest.approx(p.cpu_energy + p.mem_energy)
+
+    def test_lower_freq_slower(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        fast = ex.measure(KERNEL, "a57", 1, 2.04, 1.866)
+        slow = ex.measure(KERNEL, "a57", 1, 0.499, 1.866)
+        assert slow.time > fast.time
+
+    def test_moldable_measurement_faster(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        one = ex.measure(KERNEL, "a57", 1, 2.04, 1.866)
+        four = ex.measure(KERNEL, "a57", 4, 2.04, 1.866)
+        assert four.time < one.time
+
+    def test_invalid_args_rejected(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        with pytest.raises(ConfigurationError):
+            ex.measure(KERNEL, "a57", 8, 2.04, 1.866)
+        with pytest.raises(ConfigurationError):
+            ex.measure(KERNEL, "a57", 1, 2.04, 1.866, tasks=0)
+
+    def test_sweep_covers_resource_configs(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        pts = ex.sweep(KERNEL, f_c_values=[2.04], f_m_values=[1.866], tasks=1)
+        assert len(pts) == 5  # denver x{1,2}, a57 x{1,2,4}
+
+    def test_config_str(self):
+        ex = ConfigurationExplorer(jetson_tx2, seed=0)
+        p = ex.measure(KERNEL, "denver", 2, 1.11, 0.8)
+        assert p.config_str() == "<denver, 2, 1.11, 0.800>"
+
+
+class TestRunner:
+    def test_run_one(self):
+        m = run_one("mm-256", "GRWS", BenchConfig(repetitions=1))
+        assert m.tasks_executed > 0
+        assert m.total_energy > 0
+
+    def test_run_averaged_repetitions_differ_then_average(self):
+        cfg = BenchConfig(repetitions=3)
+        m1 = run_one("mm-256", "GRWS", cfg, repetition=0)
+        m2 = run_one("mm-256", "GRWS", cfg, repetition=1)
+        assert m1.total_energy != m2.total_energy  # different seeds
+        avg = run_averaged("mm-256", "GRWS", cfg)
+        assert min(m1.total_energy, m2.total_energy) * 0.8 < avg.total_energy
+
+    def test_run_matrix_shape(self):
+        cfg = BenchConfig(repetitions=1)
+        out = run_matrix(["mm-256"], ["GRWS", "Aequitas"], cfg)
+        assert set(out) == {"mm-256"}
+        assert set(out["mm-256"]) == {"GRWS", "Aequitas"}
+
+    def test_workload_overrides_forwarded(self):
+        m = run_one("mm-256", "GRWS", BenchConfig(repetitions=1), dop=1)
+        assert m.tasks_executed > 0
+
+    def test_suite_cached_across_calls(self):
+        cfg = BenchConfig()
+        assert cfg.suite() is cfg.suite()

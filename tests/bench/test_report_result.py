@@ -1,0 +1,56 @@
+"""Tests for table rendering and result persistence."""
+
+from __future__ import annotations
+
+from repro.bench.report import bar, format_table
+from repro.bench.result import ExperimentResult
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert "2.000" in text
+        assert len(lines) == 4
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["h"], [["a-very-long-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) == len(row)
+
+
+class TestBar:
+    def test_proportions(self):
+        assert bar(5, 10, width=10) == "#####"
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(0, 10) == ""
+
+    def test_clamped(self):
+        assert bar(20, 10, width=10) == "#" * 10
+        assert bar(5, 0) == ""
+
+
+class TestExperimentResult:
+    def test_save_roundtrip(self, tmp_path):
+        r = ExperimentResult(
+            name="demo",
+            title="Demo artefact",
+            rows=[{"a": 1}],
+            text="a  b\n1  2",
+            summary={"metric": 0.5},
+        )
+        path = r.save(tmp_path)
+        content = path.read_text()
+        assert "Demo artefact" in content
+        assert "metric = 0.5" in content
+        assert path.name == "demo.txt"

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.hw.platform import Platform
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tx2() -> Platform:
+    """Fresh Jetson TX2 platform model (frequencies at max)."""
+    return jetson_tx2()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(seed=1234)

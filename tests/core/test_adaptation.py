@@ -1,0 +1,103 @@
+"""Tests for the adaptive drift monitor (extension feature)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JossScheduler
+from repro.core.adaptation import AdaptationPolicy
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskGraph
+
+
+class TestPolicyUnit:
+    def test_stationary_kernel_never_invalidates(self):
+        pol = AdaptationPolicy(tolerance=0.3, patience=3)
+        for _ in range(100):
+            assert not pol.observe("k", measured=1.02, predicted=1.0)
+        assert pol.invalidations == 0
+
+    def test_sustained_drift_invalidates_after_patience(self):
+        pol = AdaptationPolicy(tolerance=0.3, patience=3, min_observations=2)
+        fired = [pol.observe("k", measured=3.0, predicted=1.0) for _ in range(20)]
+        assert any(fired)
+        # Sustained drift keeps re-firing after each reset.
+        assert pol.invalidations >= 1
+        # State was reset on the last firing or is relearning.
+        last_fire = max(i for i, f in enumerate(fired) if f)
+        if last_fire == len(fired) - 1:
+            assert pol.state_of("k") is None
+
+    def test_single_spike_tolerated(self):
+        pol = AdaptationPolicy(tolerance=0.5, patience=3, min_observations=1)
+        for _ in range(10):
+            pol.observe("k", 1.0, 1.0)
+        assert not pol.observe("k", 5.0, 1.0)  # one bad task
+        for _ in range(5):
+            assert not pol.observe("k", 1.0, 1.0)
+        assert pol.invalidations == 0
+
+    def test_disabled_policy_inert(self):
+        pol = AdaptationPolicy(enabled=False, patience=1, min_observations=0)
+        for _ in range(50):
+            assert not pol.observe("k", 100.0, 1.0)
+
+    def test_invalid_inputs_ignored(self):
+        pol = AdaptationPolicy()
+        assert not pol.observe("k", 0.0, 1.0)
+        assert not pol.observe("k", 1.0, 0.0)
+
+    def test_reset(self):
+        pol = AdaptationPolicy(patience=1, min_observations=1, tolerance=0.1)
+        for _ in range(5):
+            pol.observe("k", 3.0, 1.0)
+        pol.reset()
+        assert pol.invalidations == 0
+        assert pol.state_of("k") is None
+
+
+class TestSchedulerIntegration:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return profile_and_fit(jetson_tx2, seed=0)
+
+    def _graph(self, n=120):
+        k = KernelSpec("ad.k", w_comp=0.08, w_bytes=0.004)
+        g = TaskGraph("adapt")
+        prev = None
+        for _ in range(n // 4):
+            layer = [g.add_task(k, deps=[prev] if prev else None) for _ in range(3)]
+            prev = g.add_task(k, deps=layer)
+        return g
+
+    def test_run_completes_with_adaptation_enabled(self, suite):
+        sched = JossScheduler(suite, adaptation=AdaptationPolicy())
+        m = Executor(jetson_tx2(), sched, seed=7).run(self._graph())
+        assert m.tasks_executed > 0
+        assert "adaptation_invalidations" in m.extras
+
+    def test_hair_trigger_policy_resamples_and_still_finishes(self, suite):
+        """A pathological policy (invalidate on ~any error) must not
+        deadlock: kernels bounce between sampling and decisions but the
+        run drains."""
+        pol = AdaptationPolicy(tolerance=0.005, patience=1, min_observations=1)
+        sched = JossScheduler(suite, adaptation=pol)
+        m = Executor(jetson_tx2(), sched, seed=7).run(self._graph())
+        assert m.tasks_executed > 0
+        assert m.extras["adaptation_invalidations"] >= 1
+
+    def test_default_is_paper_behaviour(self, suite):
+        """No adaptation configured: byte-identical to the published
+        algorithm's results."""
+        base = Executor(
+            jetson_tx2(), JossScheduler(suite), seed=7
+        ).run(self._graph())
+        off = Executor(
+            jetson_tx2(),
+            JossScheduler(suite, adaptation=AdaptationPolicy(enabled=False)),
+            seed=7,
+        ).run(self._graph())
+        assert base.total_energy == off.total_energy
+        assert base.makespan == off.makespan

@@ -1,0 +1,81 @@
+"""Tests for frequency coordination and task coarsening."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coarsening import CoarseningPolicy
+from repro.core.coordination import FrequencyCoordinator
+from repro.errors import ConfigurationError
+
+
+class TestCoordinator:
+    def test_alone_gets_desired(self):
+        c = FrequencyCoordinator("mean")
+        assert c.resolve(1.11, 2.04, others_running=False) == 1.11
+
+    def test_mean_balances(self):
+        c = FrequencyCoordinator("mean")
+        assert c.resolve(1.0, 2.0, True) == pytest.approx(1.5)
+
+    def test_min_max_ours_theirs(self):
+        assert FrequencyCoordinator("min").resolve(1.0, 2.0, True) == 1.0
+        assert FrequencyCoordinator("max").resolve(1.0, 2.0, True) == 2.0
+        assert FrequencyCoordinator("ours").resolve(1.0, 2.0, True) == 1.0
+        assert FrequencyCoordinator("theirs").resolve(1.0, 2.0, True) == 2.0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyCoordinator("median")  # type: ignore[arg-type]
+
+    @given(
+        desired=st.floats(0.3, 2.1),
+        current=st.floats(0.3, 2.1),
+    )
+    def test_property_mean_between_inputs(self, desired, current):
+        got = FrequencyCoordinator("mean").resolve(desired, current, True)
+        assert min(desired, current) - 1e-12 <= got <= max(desired, current) + 1e-12
+
+
+class _FakeQueue:
+    def __init__(self, names):
+        self._names = names
+
+    def peek_types(self):
+        return self._names
+
+
+class _FakeCtx:
+    def __init__(self, queue_names):
+        self.queues = {i: _FakeQueue(n) for i, n in enumerate(queue_names)}
+
+
+class TestCoarsening:
+    def test_coarse_task_always_throttles(self, tx2):
+        pol = CoarseningPolicy(fine_grained_threshold_s=1e-4)
+        ctx = _FakeCtx([[], [], [], [], [], []])
+        assert pol.should_throttle(ctx, tx2.clusters[1].cores, "k", reference_time=1.0)
+        assert pol.suppressed == 0
+
+    def test_fine_task_suppressed_when_alone(self, tx2):
+        pol = CoarseningPolicy(fine_grained_threshold_s=1e-3, batch_size=4)
+        ctx = _FakeCtx([[], [], [], [], [], []])
+        assert not pol.should_throttle(ctx, tx2.clusters[1].cores, "k", 1e-5)
+        assert pol.suppressed == 1
+
+    def test_fine_task_throttles_with_batch(self, tx2):
+        pol = CoarseningPolicy(fine_grained_threshold_s=1e-3, batch_size=3)
+        # Cluster 1 (a57) owns cores 2..5; queues hold same-kernel tasks.
+        ctx = _FakeCtx([[], [], ["k"], ["k", "other"], [], []])
+        assert pol.should_throttle(ctx, tx2.clusters[1].cores, "k", 1e-5)
+
+    def test_other_kernels_do_not_count(self, tx2):
+        pol = CoarseningPolicy(fine_grained_threshold_s=1e-3, batch_size=3)
+        ctx = _FakeCtx([[], [], ["x"], ["y"], ["z"], []])
+        assert not pol.should_throttle(ctx, tx2.clusters[1].cores, "k", 1e-5)
+
+    def test_disabled_policy_never_fine(self):
+        pol = CoarseningPolicy(enabled=False)
+        assert not pol.is_fine_grained(1e-9)

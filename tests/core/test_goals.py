@@ -1,0 +1,116 @@
+"""Tests for the trade-off goals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.goals import (
+    MaxPerformance,
+    MinCpuEnergy,
+    MinTotalEnergy,
+    PerformanceConstraint,
+)
+from repro.errors import ModelError
+from repro.models.tables import PredictionTable
+
+
+def table(cluster, n_cores, time, cpu, mem, idle_cpu=0.5, idle_mem=0.2):
+    time = np.asarray(time, float)
+    return PredictionTable(
+        cluster=cluster,
+        n_cores=n_cores,
+        mb=0.3,
+        time_ref=1.0,
+        f_c_grid=np.linspace(0.5, 2.0, time.shape[0]),
+        f_m_grid=np.linspace(0.4, 1.8, time.shape[1]),
+        time=time,
+        cpu_power=np.asarray(cpu, float) * np.ones_like(time),
+        mem_power=np.asarray(mem, float) * np.ones_like(time),
+        idle_cpu=np.full(time.shape[0], idle_cpu),
+        idle_mem=np.full(time.shape[1], idle_mem),
+    )
+
+
+@pytest.fixture
+def tables():
+    # "fast": 1s at 3W; "slow": 2s at 1W -> slow wins energy, fast wins time.
+    fast = table("fast", 1, np.full((3, 3), 1.0), cpu=3.0, mem=0.0)
+    slow = table("slow", 1, np.full((3, 3), 2.0), cpu=1.0, mem=0.0)
+    return {("fast", 1): fast, ("slow", 1): slow}
+
+
+class TestMinTotalEnergy:
+    def test_picks_lower_energy_config(self, tables):
+        r = MinTotalEnergy().select(tables, "exhaustive")
+        assert r.cluster == "slow"
+
+    def test_concurrency_mapping_shifts_choice(self, tables):
+        # Give the slow config the full idle burden and the fast one a
+        # big sharing factor: fast becomes cheaper.
+        # slow: 2*(1+0.7/1)=3.4 ; fast: 1*(3+0.7/100)=3.007
+        conc = {("slow", 1): 1.0, ("fast", 1): 100.0}
+        r = MinTotalEnergy().select(tables, "exhaustive", concurrency=conc)
+        assert r.cluster == "fast"
+
+    def test_scalar_concurrency_still_accepted(self, tables):
+        r = MinTotalEnergy().select(tables, "exhaustive", concurrency=4.0)
+        assert r.cluster == "slow"
+
+
+class TestMinCpuEnergy:
+    def test_ignores_memory_power(self):
+        # Same CPU profile; cheap config has huge memory power.
+        a = table("a", 1, np.full((2, 2), 1.0), cpu=1.0, mem=50.0)
+        b = table("b", 1, np.full((2, 2), 1.0), cpu=1.2, mem=0.0)
+        r = MinCpuEnergy().select({("a", 1): a, ("b", 1): b}, "exhaustive")
+        assert r.cluster == "a"  # blind to the memory rail, like STEER
+
+    def test_total_energy_sees_it(self):
+        a = table("a", 1, np.full((2, 2), 1.0), cpu=1.0, mem=50.0)
+        b = table("b", 1, np.full((2, 2), 1.0), cpu=1.2, mem=0.0)
+        r = MinTotalEnergy().select({("a", 1): a, ("b", 1): b}, "exhaustive")
+        assert r.cluster == "b"
+
+
+class TestMaxPerformance:
+    def test_picks_fastest(self, tables):
+        r = MaxPerformance().select(tables, "exhaustive")
+        assert r.cluster == "fast"
+
+
+class TestPerformanceConstraint:
+    def test_satisfiable_constraint(self, tables):
+        # Min-energy is slow (t=2); 1.5x target needs t <= 1.33 -> fast.
+        r = PerformanceConstraint(1.5).select(tables, "exhaustive")
+        assert r.cluster == "fast"
+
+    def test_trivial_constraint_keeps_min_energy(self, tables):
+        r = PerformanceConstraint(1.0).select(tables, "exhaustive")
+        assert r.cluster == "slow"
+
+    def test_unsatisfiable_falls_back_to_fastest(self, tables):
+        r = PerformanceConstraint(10.0).select(tables, "exhaustive")
+        assert r.cluster == "fast"
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(ModelError):
+            PerformanceConstraint(0.0)
+
+    def test_steepest_variant_works(self, tables):
+        r = PerformanceConstraint(1.5).select(tables, "steepest")
+        assert r.cluster == "fast"
+
+    def test_among_feasible_picks_least_energy(self):
+        # Min-energy is the slow config (t=4); a 2x target admits both
+        # the mid (t=1.5) and fastest (t=1) configs -> pick mid, the
+        # cheaper of the feasible ones.
+        kw = dict(mem=0.0, idle_cpu=0.05, idle_mem=0.0)
+        cheap = table("cheap", 1, np.full((2, 2), 4.0), cpu=0.05, **kw)
+        mid = table("mid", 1, np.full((2, 2), 1.5), cpu=1.0, **kw)
+        fast = table("fastest", 1, np.full((2, 2), 1.0), cpu=5.0, **kw)
+        tables = {("cheap", 1): cheap, ("mid", 1): mid, ("fastest", 1): fast}
+        base = MinTotalEnergy().select(tables, "exhaustive")
+        assert base.cluster == "cheap"
+        r = PerformanceConstraint(2.0).select(tables, "exhaustive")
+        assert r.cluster == "mid"

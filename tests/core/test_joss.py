@@ -1,0 +1,139 @@
+"""End-to-end tests of the JOSS scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JossScheduler
+from repro.core.goals import MaxPerformance
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskGraph
+
+COMPUTE = KernelSpec("compute", w_comp=0.5, w_bytes=0.004, type_affinity={"denver": 1.5})
+MEMORY = KernelSpec("memory", w_comp=0.01, w_bytes=0.05)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def mixed_graph(n_waves=25, width=6):
+    g = TaskGraph("mixed")
+    prev = None
+    for _ in range(n_waves):
+        layer = [
+            g.add_task(COMPUTE if j % 2 else MEMORY, deps=[prev] if prev else None)
+            for j in range(width)
+        ]
+        prev = g.add_task(COMPUTE, deps=layer)
+    return g
+
+
+def run(sched, graph=None, seed=7):
+    ex = Executor(jetson_tx2(), sched, seed=seed)
+    return ex.run(graph if graph is not None else mixed_graph())
+
+
+class TestLifecycle:
+    def test_completes_and_resolves_kernels(self, suite):
+        sched = JossScheduler(suite)
+        m = run(sched)
+        assert m.tasks_executed == 25 * 7
+        assert set(sched.decisions) == {"compute", "memory"}
+        assert m.extras["selection_evaluations"] > 0
+
+    def test_decisions_have_four_knobs(self, suite):
+        sched = JossScheduler(suite)
+        run(sched)
+        for kname in ("compute", "memory"):
+            sel, f_c, f_m = sched.require_decision(kname)
+            cluster = jetson_tx2().cluster_by_type(sel.cluster)
+            assert f_c in cluster.opps
+            assert f_m in jetson_tx2().memory.opps
+
+    def test_compute_kernel_lands_on_denver(self, suite):
+        """The Denver-affine compute kernel should choose the Denver
+        cluster (the paper's BMOD behaviour)."""
+        sched = JossScheduler(suite)
+        run(sched)
+        sel, _, _ = sched.require_decision("compute")
+        assert sel.cluster == "denver"
+
+    def test_compute_kernel_drops_memory_frequency(self, suite):
+        """A compute-bound kernel has no use for a fast memory bus; JOSS
+        throttles f_M to save memory energy (section 7.1's BMOD story)."""
+        sched = JossScheduler(suite)
+        run(sched)
+        _, _, f_m = sched.require_decision("compute")
+        assert f_m < suite.f_m_ref
+
+    def test_sampling_time_recorded(self, suite):
+        m = run(JossScheduler(suite))
+        assert m.sampling_time > 0
+        assert m.sampling_fraction < 1.0
+
+    def test_unresolved_decision_raises(self, suite):
+        sched = JossScheduler(suite)
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            sched.require_decision("nope")
+
+
+class TestVariants:
+    def test_no_mem_dvfs_never_touches_memory(self, suite):
+        sched = JossScheduler.no_mem_dvfs(suite)
+        ex = Executor(jetson_tx2(), sched, seed=7)
+        ex.run(mixed_graph())
+        # Memory frequency stays at the platform maximum throughout.
+        assert ex.platform.memory.freq == ex.platform.memory.opps.max
+        assert ex.memory_dvfs.transitions == 0
+
+    def test_maxp_faster_than_default(self, suite):
+        m_energy = run(JossScheduler(suite), mixed_graph())
+        m_maxp = run(JossScheduler.maxp(suite), mixed_graph())
+        assert m_maxp.makespan < m_energy.makespan
+        assert m_maxp.total_energy > m_energy.total_energy * 0.9
+
+    def test_speedup_constraint_between(self, suite):
+        m_energy = run(JossScheduler(suite), mixed_graph())
+        m_14 = run(JossScheduler.with_speedup(suite, 1.4), mixed_graph())
+        m_maxp = run(JossScheduler.maxp(suite), mixed_graph())
+        assert m_maxp.makespan <= m_14.makespan * 1.1
+        assert m_14.makespan <= m_energy.makespan * 1.05
+
+    def test_variant_names(self, suite):
+        assert JossScheduler.no_mem_dvfs(suite).name == "JOSS_NoMemDVFS"
+        assert JossScheduler.with_speedup(suite, 1.2).name == "JOSS_1.2x"
+        assert JossScheduler.maxp(suite).name == "JOSS_MAXP"
+
+    def test_goal_override(self, suite):
+        sched = JossScheduler(suite, goal=MaxPerformance())
+        assert sched.goal.name == "maxp"
+
+
+class TestEnergyBehaviour:
+    def test_joss_beats_grws_on_mixed_workload(self, suite):
+        from repro.schedulers import GrwsScheduler
+
+        m_grws = run(GrwsScheduler(), mixed_graph())
+        m_joss = run(JossScheduler(suite), mixed_graph())
+        assert m_joss.total_energy < m_grws.total_energy
+
+    def test_deterministic(self, suite):
+        m1 = run(JossScheduler(suite), mixed_graph(), seed=3)
+        m2 = run(JossScheduler(suite), mixed_graph(), seed=3)
+        assert m1.total_energy == m2.total_energy
+        assert m1.makespan == m2.makespan
+
+    def test_exhaustive_selector_close_to_steepest(self, suite):
+        m_sd = run(JossScheduler(suite, selector="steepest"), mixed_graph())
+        m_ex = run(JossScheduler(suite, selector="exhaustive"), mixed_graph())
+        assert m_sd.total_energy <= m_ex.total_energy * 1.15
+        assert (
+            m_sd.extras["selection_evaluations"]
+            < m_ex.extras["selection_evaluations"]
+        )

@@ -1,0 +1,78 @@
+"""Tests for the power-cap extension goal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.goals import MaxPerformanceUnderPowerCap
+from repro.errors import ModelError
+from tests.core.test_goals import table
+
+
+@pytest.fixture
+def tables():
+    # fast: t=1 at ~5.7 W ; slow: t=2 at ~1.7 W (incl. idle 0.7).
+    fast = table("fast", 1, np.full((3, 3), 1.0), cpu=5.0, mem=0.0)
+    slow = table("slow", 1, np.full((3, 3), 2.0), cpu=1.0, mem=0.0)
+    return {("fast", 1): fast, ("slow", 1): slow}
+
+
+def test_loose_cap_picks_fastest(tables):
+    r = MaxPerformanceUnderPowerCap(10.0).select(tables, "exhaustive")
+    assert r.cluster == "fast"
+
+
+def test_tight_cap_forces_slow_config(tables):
+    r = MaxPerformanceUnderPowerCap(2.0).select(tables, "exhaustive")
+    assert r.cluster == "slow"
+
+
+def test_unsatisfiable_cap_minimises_power(tables):
+    r = MaxPerformanceUnderPowerCap(0.1).select(tables, "exhaustive")
+    assert r.cluster == "slow"  # least average power available
+
+
+def test_invalid_cap_rejected():
+    with pytest.raises(ModelError):
+        MaxPerformanceUnderPowerCap(0.0)
+
+
+def test_steepest_selector(tables):
+    r = MaxPerformanceUnderPowerCap(2.0).select(tables, "steepest")
+    assert r.cluster == "slow"
+
+
+def test_end_to_end_with_joss():
+    from repro.core import JossScheduler
+    from repro.hw import jetson_tx2
+    from repro.models import profile_and_fit
+    from repro.runtime import Executor
+    from repro.workloads import build_workload
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    loose = Executor(
+        jetson_tx2(), JossScheduler.with_power_cap(suite, 50.0), seed=7
+    ).run(build_workload("mm-256", seed=2))
+    tight = Executor(
+        jetson_tx2(), JossScheduler.with_power_cap(suite, 1.0), seed=7
+    ).run(build_workload("mm-256", seed=2))
+    # A tight per-task cap slows execution and lowers average power.
+    assert tight.makespan > loose.makespan
+    assert (
+        tight.total_energy / tight.makespan
+        < loose.total_energy / loose.makespan
+    )
+
+
+def test_registry_name():
+    from repro.errors import ConfigurationError
+    from repro.hw import jetson_tx2
+    from repro.models import profile_and_fit
+    from repro.schedulers import make_scheduler
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    s = make_scheduler("JOSS_cap3W", suite)
+    assert s.goal.cap_watts == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        make_scheduler("JOSS_capXW", suite)

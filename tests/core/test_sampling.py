@@ -1,0 +1,131 @@
+"""Tests for the online sampling planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sampling import SamplingPlanner, SampleSlot
+
+CONFIGS = [("denver", 1), ("denver", 2), ("a57", 1)]
+
+
+def make(two=True):
+    return SamplingPlanner(CONFIGS, f_c_ref=2.04, f_c_sample=1.11, two_frequencies=two)
+
+
+class TestPlanShape:
+    def test_two_frequency_plan_size(self):
+        p = make()
+        assert len(p.state("k").slots) == 2 * len(CONFIGS)
+
+    def test_single_frequency_plan(self):
+        p = make(two=False)
+        slots = p.state("k").slots
+        assert len(slots) == len(CONFIGS)
+        assert all(s.f_c == 2.04 for s in slots)
+
+    def test_reference_slots_first(self):
+        slots = make().state("k").slots
+        assert all(s.f_c == 2.04 for s in slots[: len(CONFIGS)])
+        assert all(s.f_c == 1.11 for s in slots[len(CONFIGS):])
+
+
+class TestPhases:
+    def test_initial_phase_is_reference(self):
+        p = make()
+        p.state("k")
+        assert p.phase("denver") == 2.04
+        assert p.phase("a57") == 2.04
+
+    def test_phase_advances_per_cluster(self):
+        p = make()
+        p.state("k")
+        # Fill denver's reference slots only.
+        p.record("k", SampleSlot("denver", 1, 2.04), 1.0)
+        p.record("k", SampleSlot("denver", 2, 2.04), 0.6)
+        assert p.phase("denver") == 1.11  # advanced asynchronously
+        assert p.phase("a57") == 2.04     # still sampling at reference
+
+    def test_phase_waits_for_all_kernels(self):
+        p = make()
+        p.state("k1")
+        p.state("k2")
+        p.record("k1", SampleSlot("denver", 1, 2.04), 1.0)
+        p.record("k1", SampleSlot("denver", 2, 2.04), 0.6)
+        assert p.phase("denver") == 2.04  # k2's denver refs missing
+        p.record("k2", SampleSlot("denver", 1, 2.04), 1.0)
+        p.record("k2", SampleSlot("denver", 2, 2.04), 0.6)
+        assert p.phase("denver") == 1.11
+
+    def test_next_slot_prefers_phase_matching(self):
+        p = make()
+        p.record("k", SampleSlot("denver", 1, 2.04), 1.0)
+        p.record("k", SampleSlot("denver", 2, 2.04), 0.6)
+        # denver advanced; pending mix of denver@1.11 and a57@2.04 —
+        # both match their cluster phases, none mismatches.
+        for _ in range(10):
+            s = p.next_slot("k")
+            assert p.phase(s.cluster) == s.f_c
+
+
+class TestRecording:
+    def test_first_measurement_wins(self):
+        p = make()
+        slot = SampleSlot("denver", 1, 2.04)
+        p.record("k", slot, 1.0)
+        p.record("k", slot, 99.0)
+        assert p.state("k").results[slot] == 1.0
+
+    def test_untrusted_discarded_until_limit(self):
+        p = make()
+        slot = SampleSlot("denver", 1, 2.04)
+        for _ in range(p.MAX_REJECTIONS):
+            p.record("k", slot, 1.0, trusted=False)
+        assert slot not in p.state("k").results
+        p.record("k", slot, 2.0, trusted=False)  # limit exceeded: accept
+        assert p.state("k").results[slot] == 2.0
+
+    def test_sampling_time_accumulates_even_when_discarded(self):
+        p = make()
+        slot = SampleSlot("denver", 1, 2.04)
+        p.record("k", slot, 1.0, trusted=False)
+        p.record("k", slot, 1.0)
+        assert p.state("k").sampling_time == pytest.approx(2.0)
+        assert p.total_sampling_time() == pytest.approx(2.0)
+
+    def test_resolution(self):
+        p = make()
+        for cl, nc in CONFIGS:
+            p.record("k", SampleSlot(cl, nc, 2.04), 1.0)
+        assert not p.resolved("k")
+        for cl, nc in CONFIGS:
+            p.record("k", SampleSlot(cl, nc, 1.11), 1.6)
+        assert p.resolved("k")
+
+    def test_zero_duration_ignored(self):
+        p = make()
+        slot = SampleSlot("denver", 1, 2.04)
+        p.record("k", slot, 0.0)
+        assert slot not in p.state("k").results
+
+
+class TestDerived:
+    def test_reference_time_and_mb(self):
+        p = make()
+        # Pure compute: halving frequency (2.04 -> 1.11 is 1.838x)
+        # scales time by 1.838 => MB = 0.
+        p.record("k", SampleSlot("denver", 1, 2.04), 1.0)
+        p.record("k", SampleSlot("denver", 1, 1.11), 2.04 / 1.11)
+        assert p.reference_time("k", "denver", 1) == 1.0
+        assert p.mb("k", "denver", 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mb_memory_bound(self):
+        p = make()
+        p.record("k", SampleSlot("a57", 1, 2.04), 1.0)
+        p.record("k", SampleSlot("a57", 1, 1.11), 1.0)  # time unchanged
+        assert p.mb("k", "a57", 1) == pytest.approx(1.0)
+
+    def test_next_slot_cycles_through_pending(self):
+        p = make()
+        seen = {p.next_slot("k") for _ in range(len(CONFIGS))}
+        assert len(seen) == len(CONFIGS)  # spread across configs

@@ -1,0 +1,140 @@
+"""Tests for configuration selection (exhaustive + steepest descent)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import exhaustive_select, steepest_descent_select
+from repro.errors import ModelError
+from repro.models.tables import PredictionTable
+
+
+def make_table(cluster, n_cores, cost_grid, n_fc=None, n_fm=None):
+    """PredictionTable whose energy_grid(1) equals ``cost_grid``."""
+    cost = np.asarray(cost_grid, dtype=float)
+    n_fc, n_fm = cost.shape
+    ones = np.ones_like(cost)
+    return PredictionTable(
+        cluster=cluster,
+        n_cores=n_cores,
+        mb=0.5,
+        time_ref=1.0,
+        f_c_grid=np.linspace(0.5, 2.0, n_fc),
+        f_m_grid=np.linspace(0.4, 1.8, n_fm),
+        time=ones,
+        cpu_power=cost - 1.0,  # energy = time*(cpu+mem+idle) = cost
+        mem_power=np.zeros_like(cost),
+        idle_cpu=np.ones(n_fc),
+        idle_mem=np.zeros(n_fm),
+    )
+
+
+def cost_fn(tab):
+    return tab.energy_grid(1.0)
+
+
+class TestExhaustive:
+    def test_finds_global_minimum(self):
+        grid = np.full((4, 3), 5.0)
+        grid[2, 1] = 1.0
+        tables = {("a57", 1): make_table("a57", 1, grid)}
+        r = exhaustive_select(tables, cost_fn)
+        assert (r.i_fc, r.i_fm) == (2, 1)
+        assert r.cost == pytest.approx(1.0)
+        assert r.evaluations == 12
+
+    def test_across_tables(self):
+        t1 = make_table("a57", 1, np.full((3, 3), 4.0))
+        g2 = np.full((3, 3), 6.0)
+        g2[0, 0] = 2.0
+        t2 = make_table("denver", 2, g2)
+        r = exhaustive_select({("a57", 1): t1, ("denver", 2): t2}, cost_fn)
+        assert (r.cluster, r.n_cores) == ("denver", 2)
+        assert r.evaluations == 18
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ModelError):
+            exhaustive_select({}, cost_fn)
+
+    def test_freqs_lookup(self):
+        grid = np.full((3, 3), 2.0)
+        grid[0, 2] = 1.0
+        tables = {("a57", 4): make_table("a57", 4, grid)}
+        r = exhaustive_select(tables, cost_fn)
+        f_c, f_m = r.freqs(tables)
+        assert f_c == pytest.approx(0.5)
+        assert f_m == pytest.approx(1.8)
+
+
+class TestSteepestDescent:
+    def test_matches_exhaustive_on_convex_grid(self):
+        # A smooth bowl: hill descent must find the bottom.
+        fc = np.linspace(-1, 1, 12)
+        fm = np.linspace(-1, 1, 7)
+        grid = (fc[:, None] - 0.3) ** 2 + (fm[None, :] + 0.2) ** 2 + 1.0
+        tables = {("a57", 1): make_table("a57", 1, grid)}
+        ex = exhaustive_select(tables, cost_fn)
+        sd = steepest_descent_select(tables, cost_fn)
+        assert (sd.i_fc, sd.i_fm) == (ex.i_fc, ex.i_fm)
+        assert sd.evaluations < ex.evaluations
+
+    def test_far_fewer_evaluations(self):
+        tables = {}
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            base = rng.uniform(1, 2, size=(12, 7))
+            # Smooth it so descent works (cumulative structure).
+            grid = base + np.add.outer(np.arange(12) * 0.1, np.arange(7) * 0.1)
+            tables[("c", i + 1)] = make_table("c", i + 1, grid)
+        ex = exhaustive_select(tables, cost_fn)
+        sd = steepest_descent_select(tables, cost_fn)
+        assert sd.evaluations < 0.4 * ex.evaluations
+
+    def test_corner_seeding_picks_winning_table(self):
+        # Table A dominates at every corner.
+        a = np.full((4, 4), 1.0)
+        b = np.full((4, 4), 3.0)
+        tables = {("a", 1): make_table("a", 1, a), ("b", 1): make_table("b", 1, b)}
+        sd = steepest_descent_select(tables, cost_fn)
+        assert sd.cluster == "a"
+
+    def test_single_cell_grid(self):
+        tables = {("a57", 1): make_table("a57", 1, [[2.0]])}
+        sd = steepest_descent_select(tables, cost_fn)
+        assert (sd.i_fc, sd.i_fm) == (0, 0)
+        assert sd.cost == pytest.approx(2.0)
+
+    def test_single_column_grid_no_mem_dvfs(self):
+        grid = np.asarray([[5.0], [3.0], [4.0], [6.0]])
+        tables = {("a57", 1): make_table("a57", 1, grid)}
+        sd = steepest_descent_select(tables, cost_fn)
+        assert (sd.i_fc, sd.i_fm) == (1, 0)
+
+    def test_infinite_corners_fall_back_to_finite_cells(self):
+        grid = np.full((4, 4), np.inf)
+        grid[1, 2] = 1.5
+        tables = {("a57", 1): make_table("a57", 1, grid)}
+        sd = steepest_descent_select(tables, cost_fn)
+        assert sd.cost == pytest.approx(1.5)
+
+    def test_all_infinite_rejected(self):
+        tables = {("a57", 1): make_table("a57", 1, np.full((3, 3), np.inf))}
+        with pytest.raises(ModelError):
+            steepest_descent_select(tables, cost_fn)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cx=st.floats(-1, 1), cy=st.floats(-1, 1),
+        scale=st.floats(0.1, 5.0),
+    )
+    def test_property_descent_optimal_on_separable_bowls(self, cx, cy, scale):
+        fc = np.linspace(-1, 1, 9)
+        fm = np.linspace(-1, 1, 6)
+        grid = scale * ((fc[:, None] - cx) ** 2 + (fm[None, :] - cy) ** 2) + 1.0
+        tables = {("x", 1): make_table("x", 1, grid)}
+        ex = exhaustive_select(tables, cost_fn)
+        sd = steepest_descent_select(tables, cost_fn)
+        assert sd.cost == pytest.approx(ex.cost)

@@ -1,0 +1,53 @@
+"""Selection over tables with different grid shapes (per-cluster
+ladders, the ODROID-XU4 case) — regression tests for the logical-corner
+steepest descent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection import exhaustive_select, steepest_descent_select
+from tests.core.test_selection import cost_fn, make_table
+
+
+def hetero_tables(big_best=True):
+    """A 7x1 'big' table and a 5x1 'little' table (no memory DVFS)."""
+    big = np.linspace(2.0, 4.0, 7)[:, None]      # best at low index
+    little = np.linspace(3.0, 5.0, 5)[:, None]
+    if not big_best:
+        big, little = little + 2.0, big
+    return {
+        ("a15", 1): make_table("a15", 1, big),
+        ("a7", 1): make_table("a7", 1, little),
+    }
+
+
+def test_different_shapes_no_crash():
+    tables = hetero_tables()
+    sd = steepest_descent_select(tables, cost_fn)
+    ex = exhaustive_select(tables, cost_fn)
+    assert (sd.cluster, sd.i_fc, sd.i_fm) == (ex.cluster, ex.i_fc, ex.i_fm)
+
+
+def test_winner_can_be_smaller_table():
+    tables = hetero_tables(big_best=False)
+    sd = steepest_descent_select(tables, cost_fn)
+    assert sd.cluster == "a7"
+    assert sd.i_fc < 5
+
+
+def test_mixed_2d_and_column_tables():
+    """One cluster has a full (f_C, f_M) grid, another a single-column
+    grid — mixed shapes in one selection."""
+    rng = np.random.default_rng(3)
+    grid2d = 2.0 + np.add.outer(np.arange(6) * 0.2, np.arange(4) * 0.1)
+    col = 1.5 + np.arange(5)[:, None] * 0.3  # global optimum at (0, 0)
+    tables = {
+        ("big", 1): make_table("big", 1, grid2d),
+        ("little", 1): make_table("little", 1, col),
+    }
+    sd = steepest_descent_select(tables, cost_fn)
+    ex = exhaustive_select(tables, cost_fn)
+    assert sd.cluster == ex.cluster == "little"
+    assert sd.cost == pytest.approx(ex.cost)

@@ -1,0 +1,200 @@
+"""Tests for the execution engine: lifecycle, re-timing, energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.exec_model import ExecutionEngine, GroundTruthTiming, KernelSpec
+from repro.hw import jetson_tx2
+from repro.hw.dvfs import DvfsController
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+COMPUTE = KernelSpec("compute", w_comp=1.0, w_bytes=0.001)
+MEMORY = KernelSpec("memory", w_comp=0.02, w_bytes=0.08)
+
+
+def make_engine(noise=0.0):
+    tx2 = jetson_tx2()
+    sim = Simulator()
+    eng = ExecutionEngine(sim, tx2, RngStreams(7), duration_noise_sigma=noise)
+    return sim, tx2, eng
+
+
+class TestLifecycle:
+    def test_single_activity_duration_matches_timing(self):
+        sim, tx2, eng = make_engine()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        sim.run()
+        expected = GroundTruthTiming(tx2.memory).duration(
+            COMPUTE, tx2.clusters[0].core_type, 1, 2.04, 1.866
+        )
+        assert done[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_core_marked_busy_then_released(self):
+        sim, tx2, eng = make_engine()
+        core = tx2.cores[0]
+        eng.start_activity(COMPUTE, core)
+        assert core.busy
+        sim.run()
+        assert not core.busy
+        assert core.current_activity is None
+
+    def test_busy_core_rejects_second_activity(self):
+        sim, tx2, eng = make_engine()
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        with pytest.raises(SchedulingError):
+            eng.start_activity(COMPUTE, tx2.cores[0])
+
+    def test_on_complete_payload_roundtrip(self):
+        sim, tx2, eng = make_engine()
+        seen = []
+        eng.on_complete = lambda a: seen.append(a.payload)
+        eng.start_activity(COMPUTE, tx2.cores[0], payload="token")
+        sim.run()
+        assert seen == ["token"]
+
+    def test_finalize_with_running_activity_raises(self):
+        sim, tx2, eng = make_engine()
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        with pytest.raises(SimulationError):
+            eng.finalize()
+
+    def test_abort_all(self):
+        sim, tx2, eng = make_engine()
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        eng.abort_all()
+        assert eng.busy_core_count() == 0
+        sim.run()  # no stale completion fires
+        assert not tx2.cores[0].busy
+
+
+class TestRetiming:
+    def test_freq_drop_midway_stretches_tail(self):
+        """Halving frequency halfway through doubles the remaining time."""
+        sim, tx2, eng = make_engine()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        timing = GroundTruthTiming(tx2.memory)
+        full = timing.duration(COMPUTE, tx2.clusters[0].core_type, 1, 2.04, 1.866)
+        # Change frequency exactly halfway (instant DVFS for precision).
+        sim.schedule(full / 2, tx2.clusters[0].set_freq, 1.110)
+        sim.run()
+        tail = timing.duration(COMPUTE, tx2.clusters[0].core_type, 1, 1.110, 1.866)
+        assert done[0] == pytest.approx(full / 2 + tail / 2, rel=1e-6)
+
+    def test_memory_freq_change_affects_memory_bound_task(self):
+        sim, tx2, eng = make_engine()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(MEMORY, tx2.cores[2])
+        timing = GroundTruthTiming(tx2.memory)
+        full = timing.duration(MEMORY, tx2.clusters[1].core_type, 1, 2.04, 1.866)
+        sim.schedule(full / 2, tx2.memory.set_freq, 0.408)
+        sim.run()
+        assert done[0] > full * 1.2  # substantially stretched
+
+    def test_memory_freq_change_barely_affects_compute_task(self):
+        sim, tx2, eng = make_engine()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        timing = GroundTruthTiming(tx2.memory)
+        full = timing.duration(COMPUTE, tx2.clusters[0].core_type, 1, 2.04, 1.866)
+        sim.schedule(full / 2, tx2.memory.set_freq, 0.408)
+        sim.run()
+        assert done[0] == pytest.approx(full, rel=0.05)
+
+    def test_contention_stretches_concurrent_memory_tasks(self):
+        # Run 4 memory streams on A57 with memory clocked down so the
+        # aggregate demand exceeds capacity.
+        sim, tx2, eng = make_engine()
+        tx2.memory.set_freq(0.408)
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(MEMORY, tx2.cores[2])
+        solo_sim, solo_tx2, solo_eng = make_engine()
+        solo_tx2.memory.set_freq(0.408)
+        solo_done = []
+        solo_eng.on_complete = lambda a: solo_done.append(solo_sim.now)
+        solo_eng.start_activity(MEMORY, solo_tx2.cores[2])
+        solo_sim.run()
+        for cid in (3, 4, 5):
+            eng.start_activity(MEMORY, tx2.cores[cid])
+        sim.run()
+        assert max(done) > solo_done[0] * 1.05
+
+    def test_retime_preserves_progress_invariant(self):
+        """Multiple frequency changes: total completion equals the sum of
+        per-segment fractional progress."""
+        sim, tx2, eng = make_engine()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        timing = GroundTruthTiming(tx2.memory)
+        ct = tx2.clusters[0].core_type
+        d_hi = timing.duration(COMPUTE, ct, 1, 2.04, 1.866)
+        d_lo = timing.duration(COMPUTE, ct, 1, 0.345, 1.866)
+        t1 = d_hi * 0.25
+        sim.schedule(t1, tx2.clusters[0].set_freq, 0.345)
+        t2 = t1 + d_lo * 0.25
+        sim.schedule(t2, tx2.clusters[0].set_freq, 2.040)
+        sim.run()
+        # 25% at hi + 25% at lo + 50% at hi
+        assert done[0] == pytest.approx(t2 + 0.5 * d_hi, rel=1e-6)
+
+
+class TestEnergy:
+    def test_energy_accumulates_and_idle_floor(self):
+        sim, tx2, eng = make_engine()
+        eng.start_activity(COMPUTE, tx2.cores[0])
+        sim.run()
+        eng.finalize()
+        acc = eng.accountant
+        assert acc.energy("cpu") > 0
+        assert acc.energy("mem") > 0
+        # CPU rail should exceed the pure-idle baseline for the elapsed time.
+        pm = tx2.power_model
+        idle_p = sum(pm.cpu_idle_power(cl) for cl in tx2.clusters)
+        assert acc.energy("cpu") > idle_p * sim.now * 0.99
+
+    def test_lower_cpu_freq_lowers_cpu_energy_for_compute(self):
+        def run_at(freq):
+            sim, tx2, eng = make_engine()
+            tx2.clusters[0].set_freq(freq)
+            eng.start_activity(COMPUTE, tx2.cores[0])
+            sim.run()
+            eng.finalize()
+            return eng.accountant.energy("cpu")
+
+        # Dynamic V^2*f savings beat the longer runtime for CPU energy
+        # of a compute task between max and a mid frequency.
+        assert run_at(1.110) < run_at(2.040)
+
+    def test_noise_changes_duration_reproducibly(self):
+        def run(seed):
+            tx2 = jetson_tx2()
+            sim = Simulator()
+            eng = ExecutionEngine(
+                sim, tx2, RngStreams(seed), duration_noise_sigma=0.05
+            )
+            done = []
+            eng.on_complete = lambda a: done.append(sim.now)
+            eng.start_activity(COMPUTE, tx2.cores[0])
+            sim.run()
+            return done[0]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_rail_power_reflects_running_tasks(self):
+        sim, tx2, eng = make_engine()
+        idle = eng.rail_powers()
+        eng.start_activity(MEMORY, tx2.cores[2])
+        busy = eng.rail_powers()
+        assert busy["cpu"] > idle["cpu"]
+        assert busy["mem"] > idle["mem"]

@@ -1,0 +1,70 @@
+"""Tests for kernel specifications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exec_model import KernelSpec
+
+
+def test_basic_construction():
+    k = KernelSpec("k", w_comp=1.0, w_bytes=0.5, type_affinity={"denver": 1.5})
+    assert k.affinity("denver") == 1.5
+    assert k.affinity("a57") == 1.0  # default
+
+
+def test_negative_work_rejected():
+    with pytest.raises(ValueError):
+        KernelSpec("k", w_comp=-1.0, w_bytes=0.0)
+
+
+def test_zero_work_rejected():
+    with pytest.raises(ValueError):
+        KernelSpec("k", w_comp=0.0, w_bytes=0.0)
+
+
+def test_bad_efficiency_rejected():
+    with pytest.raises(ValueError):
+        KernelSpec("k", w_comp=1.0, w_bytes=0.0, parallel_efficiency=0.0)
+    with pytest.raises(ValueError):
+        KernelSpec("k", w_comp=1.0, w_bytes=0.0, parallel_efficiency=1.2)
+
+
+def test_comp_scaling_shape():
+    k = KernelSpec("k", w_comp=1.0, w_bytes=0.0, parallel_efficiency=0.9)
+    assert k.comp_scaling(1) == 1.0
+    assert k.comp_scaling(2) == pytest.approx(1.8)
+    assert k.comp_scaling(4) == pytest.approx(4 * 0.81)
+
+
+def test_perfect_efficiency_is_linear():
+    k = KernelSpec("k", w_comp=1.0, w_bytes=0.0, parallel_efficiency=1.0)
+    for n in (1, 2, 4, 8):
+        assert k.comp_scaling(n) == pytest.approx(n)
+
+
+def test_scaled_copy():
+    k = KernelSpec("k", w_comp=2.0, w_bytes=1.0)
+    s = k.scaled(0.5, name="k-half")
+    assert s.w_comp == 1.0 and s.w_bytes == 0.5 and s.name == "k-half"
+    assert k.w_comp == 2.0  # original untouched
+
+
+def test_affinity_mapping_readonly():
+    k = KernelSpec("k", w_comp=1.0, w_bytes=0.0, type_affinity={"denver": 2.0})
+    with pytest.raises(TypeError):
+        k.type_affinity["denver"] = 3.0  # type: ignore[index]
+
+
+@given(
+    n=st.sampled_from([1, 2, 4, 8, 16]),
+    eff=st.floats(min_value=0.5, max_value=1.0),
+)
+def test_property_scaling_monotone_and_bounded(n, eff):
+    k = KernelSpec("k", w_comp=1.0, w_bytes=0.0, parallel_efficiency=eff)
+    s = k.comp_scaling(n)
+    assert 1.0 <= s <= n + 1e-9
+    if n > 1:
+        assert s >= k.comp_scaling(n // 2) - 1e-9

@@ -1,0 +1,132 @@
+"""Tests for DVFS transition stalls (opt-in execution cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import ExecutionEngine, GroundTruthTiming, KernelSpec
+from repro.hw import jetson_tx2
+from repro.hw.dvfs import DvfsController
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+K = KernelSpec("st.k", w_comp=0.2, w_bytes=0.002)
+
+
+def make():
+    tx2 = jetson_tx2()
+    sim = Simulator()
+    eng = ExecutionEngine(sim, tx2, RngStreams(0), duration_noise_sigma=0.0)
+    return tx2, sim, eng
+
+
+class TestEngineStalls:
+    def test_stall_delays_completion_exactly(self):
+        tx2, sim, eng = make()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(K, tx2.cores[0])
+        base = GroundTruthTiming(tx2.memory).duration(
+            K, tx2.clusters[0].core_type, 1, 2.04, 1.866
+        )
+        sim.schedule(base / 2, eng.stall_activities, None, 0.010)
+        sim.run()
+        assert done[0] == pytest.approx(base + 0.010, rel=1e-9)
+
+    def test_stall_only_affects_selected_cores(self):
+        tx2, sim, eng = make()
+        done = {}
+        eng.on_complete = lambda a: done.setdefault(a.core.core_id, sim.now)
+        eng.start_activity(K, tx2.cores[0])  # denver
+        eng.start_activity(K, tx2.cores[2])  # a57
+        base_d = GroundTruthTiming(tx2.memory).duration(
+            K, tx2.clusters[0].core_type, 1, 2.04, 1.866
+        )
+        sim.schedule(
+            base_d / 4, eng.stall_activities, tuple(tx2.clusters[0].cores), 0.02
+        )
+        sim.run()
+        base_a = GroundTruthTiming(tx2.memory).duration(
+            K, tx2.clusters[1].core_type, 1, 2.04, 1.866
+        )
+        assert done[0] == pytest.approx(base_d + 0.02, rel=1e-6)
+        assert done[2] == pytest.approx(base_a, rel=1e-6)
+
+    def test_zero_stall_is_noop(self):
+        tx2, sim, eng = make()
+        eng.start_activity(K, tx2.cores[0])
+        eng.stall_activities(None, 0.0)
+        pending_before = sim.pending_count()
+        assert pending_before >= 1  # just the completion
+
+    def test_overlapping_stalls_take_max(self):
+        tx2, sim, eng = make()
+        done = []
+        eng.on_complete = lambda a: done.append(sim.now)
+        eng.start_activity(K, tx2.cores[0])
+        base = GroundTruthTiming(tx2.memory).duration(
+            K, tx2.clusters[0].core_type, 1, 2.04, 1.866
+        )
+        t0 = base / 4
+
+        def both():
+            eng.stall_activities(None, 0.010)
+            eng.stall_activities(None, 0.004)  # subsumed by the first
+
+        sim.schedule(t0, both)
+        sim.run()
+        assert done[0] == pytest.approx(base + 0.010, rel=1e-6)
+
+
+class TestControllerStalls:
+    def test_stall_callback_fires_on_real_transition(self, sim, tx2):
+        ctl = DvfsController(sim, tx2.clusters[0], 1e-4, transition_stall_s=5e-4)
+        stalls = []
+        ctl.on_stall.append(lambda c, d: stalls.append(d))
+        ctl.request(1.11)
+        sim.run()
+        assert stalls == [5e-4]
+
+    def test_no_stall_on_noop_request(self, sim, tx2):
+        ctl = DvfsController(sim, tx2.clusters[0], 1e-4, transition_stall_s=5e-4)
+        stalls = []
+        ctl.on_stall.append(lambda c, d: stalls.append(d))
+        ctl.request(2.04)  # already there
+        sim.run()
+        assert stalls == []
+
+    def test_executor_wiring_stretches_a_thrashing_run(self):
+        """A scheduler that flips the memory frequency on every task
+        pays the per-transition stall in wall time."""
+        from repro.runtime import Executor, Placement, Scheduler, TaskGraph
+
+        class Thrash(Scheduler):
+            name = "thrash"
+            _flip = False
+
+            def place(self, task):
+                cl = self.ctx.platform.clusters[0]
+                self._flip = not self._flip
+                return Placement(
+                    cluster=cl, n_cores=1,
+                    f_m=1.866 if self._flip else 0.408,
+                    home_core=cl.cores[0],
+                )
+
+        def run(stall):
+            g = TaskGraph("thrash")
+            prev = None
+            for _ in range(20):
+                prev = g.add_task(K, deps=[prev] if prev else None)
+            ex = Executor(
+                jetson_tx2(), Thrash(), seed=7, mem_dvfs_stall_s=stall,
+                duration_noise_sigma=0.0, sensor_noise_sigma=0.0,
+            )
+            return ex.run(g)
+
+        m_free = run(0.0)
+        m_costly = run(2e-3)
+        assert m_costly.memory_freq_transitions >= 19
+        # Each of the ~20 transitions stalls the running task ~2 ms.
+        extra = m_costly.makespan - m_free.makespan
+        assert extra > 15 * 2e-3

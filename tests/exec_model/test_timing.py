@@ -1,0 +1,151 @@
+"""Tests for the ground-truth timing model.
+
+These encode the qualitative physics the paper relies on:
+compute time scales with f_C, stall time scales with f_M (directly)
+and f_C (indirectly), Denver is faster than A57, moldable execution
+speeds tasks up sub-linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec_model import GroundTruthTiming, KernelSpec
+from repro.hw import jetson_tx2
+
+COMPUTE = KernelSpec("compute", w_comp=2.0, w_bytes=0.002, type_affinity={"denver": 1.5})
+MEMORY = KernelSpec("memory", w_comp=0.02, w_bytes=0.08)
+
+
+@pytest.fixture
+def timing(tx2):
+    return GroundTruthTiming(tx2.memory)
+
+
+@pytest.fixture
+def denver(tx2):
+    return tx2.clusters[0].core_type
+
+
+@pytest.fixture
+def a57(tx2):
+    return tx2.clusters[1].core_type
+
+
+class TestComputeTime:
+    def test_inverse_in_core_frequency(self, timing, denver):
+        t1 = timing.compute_time(COMPUTE, denver, 1, 1.02)
+        t2 = timing.compute_time(COMPUTE, denver, 1, 2.04)
+        assert t1 == pytest.approx(2 * t2)
+
+    def test_denver_faster_than_a57(self, timing, denver, a57):
+        td = timing.compute_time(COMPUTE, denver, 1, 2.04)
+        ta = timing.compute_time(COMPUTE, a57, 1, 2.04)
+        # base 2.2x plus affinity 1.5x => 3.3x, matching the paper's
+        # "Denver 3.4x faster on BMOD" ballpark
+        assert ta / td == pytest.approx(3.3, rel=0.01)
+
+    def test_moldable_speedup_sublinear(self, timing, a57):
+        t1 = timing.compute_time(COMPUTE, a57, 1, 2.04)
+        t4 = timing.compute_time(COMPUTE, a57, 4, 2.04)
+        assert t4 < t1
+        assert t1 / t4 < 4.0
+        assert t1 / t4 > 3.0
+
+
+class TestMemoryTime:
+    def test_decreases_with_memory_frequency(self, timing, a57):
+        slow = timing.memory_time(MEMORY, a57, 1, 2.04, 0.408)
+        fast = timing.memory_time(MEMORY, a57, 1, 2.04, 1.866)
+        assert fast < slow
+
+    def test_decreases_with_core_frequency_indirect_effect(self, timing, a57):
+        slow = timing.memory_time(MEMORY, a57, 1, 0.345, 1.866)
+        fast = timing.memory_time(MEMORY, a57, 1, 2.04, 1.866)
+        assert fast < slow
+
+    def test_zero_bytes_zero_time(self, timing, a57):
+        k = KernelSpec("pure", w_comp=1.0, w_bytes=0.0)
+        assert timing.memory_time(k, a57, 1, 2.04, 1.866) == 0.0
+
+
+class TestBreakdown:
+    def test_mb_in_unit_interval(self, timing, denver, a57):
+        for k in (COMPUTE, MEMORY):
+            for ct in (denver, a57):
+                mb = timing.breakdown(k, ct, 1, 2.04, 1.866).memory_boundness
+                assert 0.0 <= mb <= 1.0
+
+    def test_memory_kernel_more_bound_than_compute(self, timing, a57):
+        mb_mem = timing.breakdown(MEMORY, a57, 1, 2.04, 1.866).memory_boundness
+        mb_cmp = timing.breakdown(COMPUTE, a57, 1, 2.04, 1.866).memory_boundness
+        assert mb_mem > 0.5 > mb_cmp
+
+    def test_mb_rises_when_memory_slows(self, timing, a57):
+        hi = timing.breakdown(MEMORY, a57, 1, 2.04, 1.866).memory_boundness
+        lo = timing.breakdown(MEMORY, a57, 1, 2.04, 0.408).memory_boundness
+        assert lo > hi
+
+    def test_bw_demand_consistent(self, timing, a57):
+        b = timing.breakdown(MEMORY, a57, 1, 2.04, 1.866)
+        assert b.bw_demand == pytest.approx(MEMORY.w_bytes / b.total)
+
+    def test_duration_contention_stretches_stall_only(self, timing, a57):
+        base = timing.duration(MEMORY, a57, 1, 2.04, 1.866, contention=1.0)
+        double = timing.duration(MEMORY, a57, 1, 2.04, 1.866, contention=2.0)
+        b = timing.breakdown(MEMORY, a57, 1, 2.04, 1.866)
+        assert double - base == pytest.approx(b.t_mem)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        fc=st.sampled_from([0.345, 0.96, 1.57, 2.04]),
+        fm=st.sampled_from([0.408, 0.8, 1.331, 1.866]),
+        nc=st.sampled_from([1, 2, 4]),
+        wc=st.floats(min_value=1e-4, max_value=10.0),
+        wb=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_duration_positive_and_monotone_in_freq(self, fc, fm, nc, wc, wb):
+        tx2 = jetson_tx2()
+        timing = GroundTruthTiming(tx2.memory)
+        k = KernelSpec("p", w_comp=wc, w_bytes=wb)
+        ct = tx2.clusters[1].core_type
+        d = timing.duration(k, ct, nc, fc, fm)
+        assert d > 0
+        # Raising either frequency can never slow the task down.
+        assert timing.duration(k, ct, nc, 2.04, fm) <= d + 1e-12
+        assert timing.duration(k, ct, nc, fc, 1.866) <= d + 1e-12
+
+
+class TestContentionModel:
+    def test_no_contention_below_capacity(self, tx2):
+        from repro.exec_model import ContentionModel
+
+        cm = ContentionModel(tx2.memory)
+        assert cm.factor([1.0, 2.0]) == 1.0
+
+    def test_oversubscription_ratio(self, tx2):
+        from repro.exec_model import ContentionModel
+
+        cm = ContentionModel(tx2.memory)
+        cap = tx2.memory.bandwidth_capacity
+        assert cm.factor([cap, cap]) == pytest.approx(2.0)
+
+    def test_achieved_bw_saturates_at_capacity(self, tx2):
+        from repro.exec_model import ContentionModel
+
+        cm = ContentionModel(tx2.memory)
+        cap = tx2.memory.bandwidth_capacity
+        assert cm.achieved_bandwidth([cap / 4]) == pytest.approx(cap / 4)
+        assert cm.achieved_bandwidth([cap, cap]) == pytest.approx(cap)
+
+    def test_capacity_shrinks_with_memory_freq(self, tx2):
+        from repro.exec_model import ContentionModel
+
+        cm = ContentionModel(tx2.memory)
+        d = [10.0, 10.0]
+        f_hi = cm.factor(d)
+        tx2.memory.set_freq(0.408)
+        f_lo = cm.factor(d)
+        assert f_lo > f_hi

@@ -1,0 +1,76 @@
+"""Property-based tests for energy accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.sensor import EnergyAccountant, PowerSensor
+from repro.sim import Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=10.0),  # dt
+            st.floats(min_value=0.0, max_value=100.0),   # power
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_accountant_matches_manual_integral(steps):
+    """Piecewise-constant integration equals the hand-computed sum for
+    any sequence of power changes."""
+    acc = EnergyAccountant(rails=("cpu",))
+    t = 0.0
+    expected = 0.0
+    prev_power = 0.0
+    for dt, p in steps:
+        expected += prev_power * dt
+        t += dt
+        acc.update(t, {"cpu": p})
+        prev_power = p
+    assert acc.energy("cpu") == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    power=st.floats(min_value=0.1, max_value=50.0),
+    duration=st.floats(min_value=0.1, max_value=3.0),
+)
+def test_property_noiseless_sensor_converges_to_truth(power, duration):
+    """For constant power the sampled energy approaches P*t as samples
+    accumulate (error bounded by one sampling interval)."""
+    sim = Simulator()
+    sensor = PowerSensor(
+        sim, lambda: {"cpu": power}, interval_s=0.005, noise_sigma=0.0,
+        rails=("cpu",),
+    )
+    sensor.start()
+    sim.run(until=duration)
+    sensor.stop()
+    truth = power * duration
+    assert abs(sensor.energy("cpu") - truth) <= power * 0.005 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_property_sensor_noise_is_unbiased(seed):
+    """Multiplicative N(1, sigma) noise keeps long-run energy unbiased
+    within a loose statistical band."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    sensor = PowerSensor(
+        sim, lambda: {"cpu": 3.0}, interval_s=0.005, noise_sigma=0.05,
+        rng=rng, rails=("cpu",),
+    )
+    sensor.start()
+    sim.run(until=4.0)
+    sensor.stop()
+    truth = 3.0 * 4.0
+    # 800 samples, sigma 5% -> standard error ~0.18%; allow 5 sigma.
+    assert sensor.energy("cpu") == pytest.approx(truth, rel=0.01)

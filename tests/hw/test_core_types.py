@@ -1,0 +1,49 @@
+"""Tests for core-type validation and core state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.core import Core, CoreType
+from repro.hw.platform import A7, A15, A57, DENVER
+
+
+class TestCoreTypeValidation:
+    def test_positive_throughput_required(self):
+        with pytest.raises(ValueError):
+            CoreType("bad", giga_ops_per_ghz=0, stream_bw_per_ghz=1,
+                     k_dyn=1, k_static=0.1)
+        with pytest.raises(ValueError):
+            CoreType("bad", giga_ops_per_ghz=1, stream_bw_per_ghz=-1,
+                     k_dyn=1, k_static=0.1)
+
+    def test_stall_activity_bounds(self):
+        with pytest.raises(ValueError):
+            CoreType("bad", giga_ops_per_ghz=1, stream_bw_per_ghz=1,
+                     k_dyn=1, k_static=0.1, stall_activity=1.5)
+
+    def test_shipped_types_consistent(self):
+        # Big cores are faster and hungrier than their little partners.
+        assert DENVER.giga_ops_per_ghz > A57.giga_ops_per_ghz
+        assert DENVER.k_dyn > A57.k_dyn
+        assert A15.giga_ops_per_ghz > A7.giga_ops_per_ghz
+        assert A15.k_dyn > A7.k_dyn
+
+
+class TestCoreState:
+    def test_core_reflects_cluster(self, tx2):
+        core = tx2.clusters[0].cores[0]
+        assert core.core_type is tx2.clusters[0].core_type
+        tx2.clusters[0].set_freq(1.11)
+        assert core.freq == 1.11
+
+    def test_busy_idle_listing(self, tx2):
+        cl = tx2.clusters[1]
+        assert cl.busy_cores() == []
+        cl.cores[1].busy = True
+        assert cl.busy_cores() == [cl.cores[1]]
+        assert len(cl.idle_cores()) == 3
+
+    def test_hash_is_core_id(self, tx2):
+        assert hash(tx2.cores[3]) == 3
+        assert len({c for c in tx2.cores}) == 6

@@ -1,0 +1,73 @@
+"""Tests for the DVFS controller."""
+
+from __future__ import annotations
+
+from repro.hw.dvfs import DvfsController
+
+
+def make(sim, tx2, latency=100e-6):
+    return DvfsController(sim, tx2.clusters[0], latency, name="denver")
+
+
+def test_request_applies_after_latency(sim, tx2):
+    ctl = make(sim, tx2)
+    ctl.request(1.11)
+    assert tx2.clusters[0].freq == 2.04  # not yet applied
+    sim.run()
+    assert tx2.clusters[0].freq == 1.11
+    assert sim.now == 100e-6
+    assert ctl.transitions == 1
+
+
+def test_request_snaps_to_nearest_opp(sim, tx2):
+    ctl = make(sim, tx2)
+    got = ctl.request(1.15)
+    assert got == 1.11
+    sim.run()
+    assert tx2.clusters[0].freq == 1.11
+
+
+def test_same_freq_request_is_noop(sim, tx2):
+    ctl = make(sim, tx2)
+    ctl.request(2.04)
+    sim.run()
+    assert ctl.transitions == 0
+    assert sim.pending_count() == 0
+
+
+def test_newer_request_supersedes_pending(sim, tx2):
+    ctl = make(sim, tx2)
+    ctl.request(0.345)
+    ctl.request(1.57)  # before the first applied
+    sim.run()
+    assert tx2.clusters[0].freq == 1.57
+    assert ctl.transitions == 1
+
+
+def test_target_freq_reports_pending(sim, tx2):
+    ctl = make(sim, tx2)
+    assert ctl.target_freq == 2.04
+    ctl.request(1.11)
+    assert ctl.target_freq == 1.11
+
+
+def test_zero_latency_applies_immediately(sim, tx2):
+    ctl = make(sim, tx2, latency=0.0)
+    ctl.request(0.96)
+    assert tx2.clusters[0].freq == 0.96
+
+
+def test_on_applied_callbacks(sim, tx2):
+    ctl = make(sim, tx2)
+    seen = []
+    ctl.on_applied.append(lambda c: seen.append(c.domain.freq))
+    ctl.request(1.42)
+    sim.run()
+    assert seen == [1.42]
+
+
+def test_memory_domain_controller(sim, tx2):
+    ctl = DvfsController(sim, tx2.memory, 200e-6, name="emc")
+    ctl.request(0.8)
+    sim.run()
+    assert tx2.memory.freq == 0.8

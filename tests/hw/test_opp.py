@@ -1,0 +1,79 @@
+"""Tests for OPP tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FrequencyError
+from repro.hw.opp import OppTable
+
+
+def test_sorted_and_immutable():
+    t = OppTable([2.0, 1.0, 1.5])
+    assert t.freqs == (1.0, 1.5, 2.0)
+    assert t.min == 1.0 and t.max == 2.0
+
+
+def test_empty_rejected():
+    with pytest.raises(FrequencyError):
+        OppTable([])
+
+
+def test_nonpositive_rejected():
+    with pytest.raises(FrequencyError):
+        OppTable([1.0, 0.0])
+
+
+def test_duplicates_rejected():
+    with pytest.raises(FrequencyError):
+        OppTable([1.0, 1.0])
+
+
+def test_contains_tolerant_to_fp():
+    t = OppTable([1.11])
+    assert (1.11 + 1e-12) in t
+    assert 1.2 not in t
+
+
+def test_index_and_at_roundtrip():
+    t = OppTable([0.5, 1.0, 2.0])
+    for i, f in enumerate(t):
+        assert t.index(f) == i
+        assert t.at(i) == f
+
+
+def test_index_unknown_raises():
+    with pytest.raises(FrequencyError):
+        OppTable([1.0]).index(1.5)
+
+
+def test_nearest():
+    t = OppTable([0.5, 1.0, 2.0])
+    assert t.nearest(0.1) == 0.5
+    assert t.nearest(1.4) == 1.0
+    assert t.nearest(1.6) == 2.0
+    assert t.nearest(99.0) == 2.0
+
+
+def test_neighbours_interior_and_edges():
+    t = OppTable([0.5, 1.0, 2.0])
+    assert t.neighbours(1.0) == (0.5, 2.0)
+    assert t.neighbours(0.5) == (1.0,)
+    assert t.neighbours(2.0) == (1.0,)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    ),
+    st.floats(min_value=-5.0, max_value=15.0),
+)
+def test_property_nearest_minimizes_distance(freqs, target):
+    t = OppTable(freqs)
+    best = t.nearest(target)
+    assert all(abs(best - target) <= abs(f - target) + 1e-12 for f in t)

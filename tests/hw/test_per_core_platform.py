@@ -1,0 +1,86 @@
+"""Tests for the per-core-DVFS platform variant and type equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.hw.platform import jetson_tx2_per_core
+
+
+@pytest.fixture
+def percore():
+    return jetson_tx2_per_core()
+
+
+class TestTopology:
+    def test_six_single_core_clusters(self, percore):
+        assert len(percore.clusters) == 6
+        assert all(cl.n_cores == 1 for cl in percore.clusters)
+        assert percore.n_cores == 6
+
+    def test_type_names_shared(self, percore):
+        assert percore.core_type_names() == ["denver", "a57"]
+        assert len(percore.clusters_of_type("denver")) == 2
+        assert len(percore.clusters_of_type("a57")) == 4
+
+    def test_cores_of_type(self, percore):
+        assert len(percore.cores_of_type("denver")) == 2
+        assert len(percore.cores_of_type("a57")) == 4
+
+    def test_resource_configs_deduplicated(self, percore):
+        # One (type, nc=1) entry per type, not one per cluster.
+        configs = [(cl.core_type.name, nc) for cl, nc in percore.resource_configs()]
+        assert configs == [("denver", 1), ("a57", 1)]
+
+    def test_clustered_platform_unchanged(self, tx2):
+        assert len(tx2.resource_configs()) == 5
+        assert len(tx2.clusters_of_type("a57")) == 1
+
+
+class TestIndependentFrequencies:
+    def test_cores_tune_independently(self, percore):
+        a, b = percore.clusters_of_type("a57")[:2]
+        a.set_freq(0.345)
+        assert b.freq == b.opps.max
+
+
+class TestSchedulingOnPerCore:
+    def test_joss_runs_and_spreads_tasks(self):
+        from repro.core import JossScheduler
+        from repro.models import profile_and_fit
+        from repro.runtime import Executor
+        from repro.workloads import build_workload
+
+        suite = profile_and_fit(jetson_tx2_per_core, seed=0)
+        assert set(suite.config_keys()) == {("denver", 1), ("a57", 1)}
+        ex = Executor(jetson_tx2_per_core(), JossScheduler(suite), seed=5)
+        m = ex.run(build_workload("mm-256", seed=2))
+        assert m.tasks_executed > 0
+        # Tasks of the decided type spread across its equivalent cores
+        # (not pinned to the first cluster).
+        busiest = max(
+            ks.placements.values() for ks in m.per_kernel.values()
+        )
+        assert m.tasks_executed == sum(sum(ks.placements.values()) for ks in m.per_kernel.values())
+
+    def test_grws_steals_across_equivalent_clusters(self):
+        from repro.runtime import Executor
+        from repro.schedulers import GrwsScheduler
+        from repro.workloads import build_workload
+
+        ex = Executor(jetson_tx2_per_core(), GrwsScheduler(), seed=5)
+        m = ex.run(build_workload("mm-256", seed=2))
+        assert m.steals > 0
+
+    def test_kernel_affinity_applies(self, percore, tx2):
+        from repro.exec_model import GroundTruthTiming, KernelSpec
+
+        k = KernelSpec("k", w_comp=1.0, w_bytes=0.0, type_affinity={"denver": 1.5})
+        t_per = GroundTruthTiming(percore.memory).compute_time(
+            k, percore.clusters_of_type("denver")[0].core_type, 1, 2.04
+        )
+        t_clu = GroundTruthTiming(tx2.memory).compute_time(
+            k, tx2.cluster_by_type("denver").core_type, 1, 2.04
+        )
+        assert t_per == pytest.approx(t_clu)

@@ -1,0 +1,104 @@
+"""Tests for clusters, memory, voltage and platform factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.hw import jetson_tx2, symmetric_platform
+from repro.hw.platform import TX2_CPU_FREQS, TX2_MEM_FREQS
+from repro.hw.voltage import VoltageCurve
+
+
+class TestVoltage:
+    def test_interpolation_monotone(self):
+        v = VoltageCurve.linear(0.55, 0.25, 0.3, 2.1)
+        volts = [v.volts(f) for f in TX2_CPU_FREQS]
+        assert volts == sorted(volts)
+        assert volts[0] > 0.5
+
+    def test_clamped_outside_range(self):
+        v = VoltageCurve([(1.0, 0.8), (2.0, 1.0)])
+        assert v.volts(0.5) == 0.8
+        assert v.volts(3.0) == 1.0
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve([(1.0, 1.0), (2.0, 0.9)])
+
+
+class TestTx2Factory:
+    def test_topology(self, tx2):
+        assert tx2.n_cores == 6
+        names = tx2.core_type_names()
+        assert names == ["denver", "a57"]
+        assert tx2.clusters[0].n_cores == 2
+        assert tx2.clusters[1].n_cores == 4
+
+    def test_core_ids_dense(self, tx2):
+        assert [c.core_id for c in tx2.cores] == list(range(6))
+
+    def test_initial_frequencies_max(self, tx2):
+        assert tx2.clusters[0].freq == max(TX2_CPU_FREQS)
+        assert tx2.memory.freq == max(TX2_MEM_FREQS)
+
+    def test_allowed_core_counts(self, tx2):
+        assert tx2.allowed_core_counts(tx2.clusters[0]) == [1, 2]
+        assert tx2.allowed_core_counts(tx2.clusters[1]) == [1, 2, 4]
+
+    def test_resource_configs(self, tx2):
+        configs = tx2.resource_configs()
+        assert len(configs) == 5  # denver:{1,2}, a57:{1,2,4}
+
+    def test_cluster_by_type(self, tx2):
+        assert tx2.cluster_by_type("denver").core_type.name == "denver"
+        with pytest.raises(ConfigurationError):
+            tx2.cluster_by_type("m1")
+
+    def test_fresh_instances_independent(self):
+        a, b = jetson_tx2(), jetson_tx2()
+        a.clusters[0].set_freq(1.11)
+        assert b.clusters[0].freq == max(TX2_CPU_FREQS)
+
+
+class TestFrequencySetting:
+    def test_set_freq_valid(self, tx2):
+        tx2.clusters[0].set_freq(1.11)
+        assert tx2.clusters[0].freq == 1.11
+
+    def test_set_freq_invalid_raises(self, tx2):
+        with pytest.raises(FrequencyError):
+            tx2.clusters[0].set_freq(1.0)
+        with pytest.raises(FrequencyError):
+            tx2.memory.set_freq(0.5)
+
+    def test_freq_change_callback(self, tx2):
+        seen = []
+        tx2.clusters[0].on_freq_change.append(lambda cl: seen.append(cl.freq))
+        tx2.clusters[0].set_freq(1.11)
+        tx2.clusters[0].set_freq(1.11)  # no-op does not refire
+        assert seen == [1.11]
+
+    def test_memory_bandwidth_scales_with_freq(self, tx2):
+        hi = tx2.memory.bandwidth_capacity
+        tx2.memory.set_freq(0.8)
+        assert tx2.memory.bandwidth_capacity < hi
+
+    def test_reset_frequencies(self, tx2):
+        tx2.clusters[0].set_freq(0.345)
+        tx2.memory.set_freq(0.408)
+        tx2.reset_frequencies()
+        assert tx2.clusters[0].freq == max(TX2_CPU_FREQS)
+        assert tx2.memory.freq == max(TX2_MEM_FREQS)
+
+
+class TestSymmetricFactory:
+    def test_shape(self):
+        p = symmetric_platform(n_clusters=3, cores_per_cluster=4)
+        assert p.n_cores == 12
+        assert len(p.clusters) == 3
+        assert [c.core_id for c in p.cores] == list(range(12))
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            symmetric_platform(n_clusters=0)

@@ -1,0 +1,86 @@
+"""Tests for the ground-truth power model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw import jetson_tx2
+
+
+@pytest.fixture
+def pm(tx2):
+    return tx2.power_model
+
+
+class TestCpuPower:
+    def test_dynamic_power_increases_with_frequency(self, tx2, pm):
+        ct = tx2.clusters[0].core_type
+        v = tx2.clusters[0].voltage
+        p_lo = pm.core_dynamic_power(ct, 0.345, v.volts(0.345), mb_inst=0.0)
+        p_hi = pm.core_dynamic_power(ct, 2.04, v.volts(2.04), mb_inst=0.0)
+        assert p_hi > p_lo
+        # Superlinear in f because V rises with f.
+        assert p_hi / p_lo > 2.04 / 0.345
+
+    def test_stalled_core_draws_less(self, tx2, pm):
+        ct = tx2.clusters[0].core_type
+        v = tx2.clusters[0].volts
+        f = tx2.clusters[0].freq
+        busy = pm.core_dynamic_power(ct, f, v, mb_inst=0.0)
+        stalled = pm.core_dynamic_power(ct, f, v, mb_inst=1.0)
+        assert stalled < busy
+        assert stalled == pytest.approx(busy * ct.stall_activity)
+
+    def test_denver_hungrier_than_a57(self, tx2, pm):
+        d, a = tx2.clusters[0], tx2.clusters[1]
+        pd = pm.core_dynamic_power(d.core_type, 2.04, d.volts, 0.0)
+        pa = pm.core_dynamic_power(a.core_type, 2.04, a.volts, 0.0)
+        assert pd > pa
+
+    def test_cluster_power_counts_idle_cores(self, tx2, pm):
+        cl = tx2.clusters[1]
+        all_idle = pm.cluster_power(cl, [None] * 4)
+        one_busy = pm.cluster_power(cl, [0.0, None, None, None])
+        assert one_busy > all_idle > 0
+
+    def test_cpu_idle_power_matches_cluster_power_all_idle(self, tx2, pm):
+        cl = tx2.clusters[1]
+        assert pm.cpu_idle_power(cl) == pytest.approx(
+            pm.cluster_power(cl, [None] * cl.n_cores)
+        )
+
+    def test_idle_power_decreases_with_frequency(self, tx2, pm):
+        cl = tx2.clusters[0]
+        assert pm.cpu_idle_power(cl, 0.345) < pm.cpu_idle_power(cl, 2.04)
+
+    @given(mb=st.floats(min_value=0.0, max_value=1.0))
+    def test_property_dynamic_power_monotone_in_compute_intensity(self, mb):
+        tx2 = jetson_tx2()
+        pm = tx2.power_model
+        ct = tx2.clusters[0].core_type
+        v = tx2.clusters[0].volts
+        p = pm.core_dynamic_power(ct, 2.04, v, mb)
+        p_more_compute = pm.core_dynamic_power(ct, 2.04, v, mb * 0.5)
+        assert p_more_compute >= p
+
+
+class TestMemoryPower:
+    def test_idle_power_increases_with_frequency(self, tx2, pm):
+        lo = pm.memory_idle_power(tx2.memory, 0.408)
+        hi = pm.memory_idle_power(tx2.memory, 1.866)
+        assert hi > lo > 0
+
+    def test_power_increases_with_bandwidth(self, tx2, pm):
+        idle = pm.memory_power(tx2.memory, 0.0)
+        busy = pm.memory_power(tx2.memory, 20.0)
+        assert busy > idle
+        assert idle == pytest.approx(pm.memory_idle_power(tx2.memory))
+
+    def test_utilisation_term_saturates(self, tx2, pm):
+        cap = tx2.memory.bandwidth_capacity
+        at_cap = pm.memory_power(tx2.memory, cap)
+        over = pm.memory_power(tx2.memory, cap * 2)
+        # Only the per-GB term keeps growing; controller util is capped.
+        assert over - at_cap == pytest.approx(pm.params.mem_energy_per_gb * cap)

@@ -1,0 +1,90 @@
+"""Tests for energy accounting and the sampled power sensor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.sensor import EnergyAccountant, PowerSensor
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+
+
+class TestEnergyAccountant:
+    def test_piecewise_integration(self):
+        acc = EnergyAccountant()
+        acc.update(0.0, {"cpu": 2.0, "mem": 1.0})
+        acc.update(1.0, {"cpu": 4.0})
+        acc.update(3.0, {})
+        assert acc.energy("cpu") == pytest.approx(2.0 * 1.0 + 4.0 * 2.0)
+        assert acc.energy("mem") == pytest.approx(1.0 * 3.0)
+        assert acc.total_energy() == pytest.approx(13.0)
+
+    def test_finalize_integrates_tail(self):
+        acc = EnergyAccountant()
+        acc.update(0.0, {"cpu": 5.0})
+        acc.finalize(2.0)
+        assert acc.energy("cpu") == pytest.approx(10.0)
+
+    def test_time_backwards_rejected(self):
+        acc = EnergyAccountant()
+        acc.update(1.0, {"cpu": 1.0})
+        with pytest.raises(SimulationError):
+            acc.update(0.5, {"cpu": 1.0})
+
+    def test_unknown_rail_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyAccountant().update(0.0, {"gpu": 1.0})
+
+    def test_power_query(self):
+        acc = EnergyAccountant()
+        acc.update(0.0, {"cpu": 3.0})
+        assert acc.power("cpu") == 3.0
+
+
+class TestPowerSensor:
+    def test_noiseless_sensor_matches_constant_power(self):
+        sim = Simulator()
+        sensor = PowerSensor(
+            sim, lambda: {"cpu": 2.0, "mem": 0.5}, interval_s=0.005, noise_sigma=0.0
+        )
+        sensor.start()
+        sim.run(until=1.0)
+        sensor.stop()
+        # 200 samples x 2 W x 5 ms = 2 J
+        assert sensor.energy("cpu") == pytest.approx(2.0, rel=0.01)
+        assert sensor.energy("mem") == pytest.approx(0.5, rel=0.01)
+        assert sensor.samples in (199, 200)  # fp accumulation of 0.005 steps
+
+    def test_noisy_sensor_close_to_truth(self):
+        sim = Simulator()
+        rng = RngStreams(3).stream("sensor")
+        sensor = PowerSensor(
+            sim, lambda: {"cpu": 2.0}, interval_s=0.005, noise_sigma=0.05, rng=rng
+        )
+        sensor.start()
+        sim.run(until=5.0)
+        sensor.stop()
+        assert sensor.energy("cpu") == pytest.approx(10.0, rel=0.02)
+
+    def test_invalid_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PowerSensor(sim, lambda: {}, interval_s=0.0)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sensor = PowerSensor(sim, lambda: {"cpu": 1.0}, noise_sigma=0.0)
+        sensor.start()
+        sim.run(until=0.02)
+        sensor.stop()
+        sim.run()
+        assert sensor.samples <= 5
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        sensor = PowerSensor(sim, lambda: {"cpu": 1.0}, noise_sigma=0.0)
+        sensor.start()
+        sensor.start()
+        sim.run(until=0.0201)
+        assert sensor.samples == 4

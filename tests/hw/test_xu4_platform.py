@@ -1,0 +1,77 @@
+"""Tests for the ODROID-XU4 platform model (heterogeneous ladders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.platform import XU4_A7_FREQS, XU4_A15_FREQS, odroid_xu4
+from repro.models import profile_and_fit
+
+
+@pytest.fixture
+def xu4():
+    return odroid_xu4()
+
+
+class TestTopology:
+    def test_clusters(self, xu4):
+        assert xu4.core_type_names() == ["a15", "a7"]
+        assert xu4.n_cores == 8
+        assert xu4.clusters[0].n_cores == 4
+        assert xu4.clusters[1].n_cores == 4
+
+    def test_heterogeneous_ladders(self, xu4):
+        a15, a7 = xu4.clusters
+        assert a15.opps.max == 2.0
+        assert a7.opps.max == 1.4
+        assert set(a7.opps.freqs) != set(a15.opps.freqs)
+
+    def test_no_memory_dvfs(self, xu4):
+        assert len(xu4.memory.opps) == 1
+        assert xu4.memory.freq == 0.825
+
+    def test_resource_configs(self, xu4):
+        assert len(xu4.resource_configs()) == 6  # {1,2,4} per cluster
+
+    def test_a15_faster_but_hungrier(self, xu4):
+        a15, a7 = (cl.core_type for cl in xu4.clusters)
+        assert a15.giga_ops_per_ghz > 2 * a7.giga_ops_per_ghz
+        assert a15.k_dyn > 4 * a7.k_dyn
+
+
+class TestModelsOnXu4:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return profile_and_fit(odroid_xu4, seed=0)
+
+    def test_per_config_reference_frequencies(self, suite):
+        ref_a15, samp_a15 = suite.ref_freqs("a15", 1)
+        ref_a7, samp_a7 = suite.ref_freqs("a7", 1)
+        assert ref_a15 == max(XU4_A15_FREQS)
+        assert ref_a7 == max(XU4_A7_FREQS)
+        assert samp_a15 in XU4_A15_FREQS and samp_a15 < ref_a15
+        assert samp_a7 in XU4_A7_FREQS and samp_a7 < ref_a7
+
+    def test_predictions_sane_per_cluster(self, suite):
+        # Halving A7's frequency roughly doubles a compute task's time.
+        t_hi = suite.predict_time("a7", 1, 0.0, 0.01, 1.4, 0.825)
+        t_lo = suite.predict_time("a7", 1, 0.0, 0.01, 0.6, 0.825)
+        assert t_lo / t_hi == pytest.approx(1.4 / 0.6, rel=0.15)
+
+    def test_joss_runs_end_to_end(self, suite):
+        from repro.core import JossScheduler
+        from repro.runtime import Executor
+        from repro.workloads import build_workload
+
+        ex = Executor(odroid_xu4(), JossScheduler(suite), seed=5)
+        m = ex.run(build_workload("mm-256", seed=2))
+        assert m.tasks_executed > 0
+        # Single memory OPP: the knob never actuates.
+        assert m.memory_freq_transitions == 0
+
+    def test_suite_roundtrip_keeps_per_config_refs(self, suite, tmp_path):
+        from repro.models import load_suite, save_suite
+
+        loaded = load_suite(save_suite(suite, tmp_path / "xu4.json"))
+        assert loaded.ref_freqs("a7", 2) == suite.ref_freqs("a7", 2)
+        assert loaded.ref_freqs("a15", 4) == suite.ref_freqs("a15", 4)

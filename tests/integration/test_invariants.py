@@ -1,0 +1,159 @@
+"""Cross-module integration and property tests.
+
+System-level invariants that must hold for any workload under any
+scheduler: liveness (all tasks complete), dependency safety, exact
+accounting consistency, and determinism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskGraph, TaskState
+from repro.schedulers import make_scheduler
+
+KERNELS = [
+    KernelSpec("i.cmp", w_comp=0.15, w_bytes=0.001, type_affinity={"denver": 1.4}),
+    KernelSpec("i.mix", w_comp=0.03, w_bytes=0.008),
+    KernelSpec("i.mem", w_comp=0.004, w_bytes=0.02),
+]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def random_dag(rng: np.random.Generator, n_tasks: int) -> TaskGraph:
+    """Random layered DAG with random kernels and fan-in."""
+    g = TaskGraph("random")
+    for i in range(n_tasks):
+        kernel = KERNELS[int(rng.integers(len(KERNELS)))]
+        deps = []
+        if g.tasks:
+            fan_in = int(rng.integers(0, min(3, len(g.tasks)) + 1))
+            idx = rng.choice(len(g.tasks), size=fan_in, replace=False)
+            deps = [g.tasks[int(j)] for j in idx]
+        g.add_task(kernel, deps=deps)
+    return g
+
+
+SCHEDULER_NAMES = ["GRWS", "ERASE", "Aequitas", "STEER", "JOSS"]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_tasks=st.integers(min_value=5, max_value=60),
+    sched_idx=st.integers(min_value=0, max_value=len(SCHEDULER_NAMES) - 1),
+)
+def test_property_any_dag_any_scheduler_completes(suite, seed, n_tasks, sched_idx):
+    """Liveness + safety: every random DAG finishes under every
+    scheduler; dependencies are never violated; energy is positive and
+    exactly accounted."""
+    rng = np.random.default_rng(seed)
+    g = random_dag(rng, n_tasks)
+    name = SCHEDULER_NAMES[sched_idx]
+    sched = make_scheduler(name, None if name in ("GRWS", "Aequitas") else suite)
+    ex = Executor(jetson_tx2(), sched, seed=seed)
+    m = ex.run(g)
+    # Liveness.
+    assert m.tasks_executed == n_tasks
+    assert all(t.state is TaskState.DONE for t in g.tasks)
+    # Dependency safety.
+    for t in g.tasks:
+        for d in t.dependents:
+            assert d.start_time >= t.end_time - 1e-9
+    # Exact energy accounting: rails integrate over exactly [0, makespan].
+    assert m.cpu_energy_exact > 0 and m.mem_energy_exact > 0
+    idle_floor = sum(
+        ex.platform.power_model.cpu_idle_power(cl, cl.opps.min)
+        for cl in ex.platform.clusters
+    )
+    assert m.cpu_energy_exact >= idle_floor * m.makespan * 0.5
+
+
+class TestDeterminismAcrossSchedulers:
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_bitwise_repeatable(self, suite, name):
+        def once():
+            g = random_dag(np.random.default_rng(42), 30)
+            sched = make_scheduler(
+                name, None if name in ("GRWS", "Aequitas") else suite
+            )
+            return Executor(jetson_tx2(), sched, seed=9).run(g)
+
+        a, b = once(), once()
+        assert a.makespan == b.makespan
+        assert a.total_energy == b.total_energy
+        assert a.steals == b.steals
+
+
+class TestEnergyTimeConsistency:
+    def test_sensor_tracks_exact_for_every_scheduler(self, suite):
+        g_seed = 7
+        for name in SCHEDULER_NAMES:
+            g = random_dag(np.random.default_rng(g_seed), 40)
+            sched = make_scheduler(
+                name, None if name in ("GRWS", "Aequitas") else suite
+            )
+            m = Executor(jetson_tx2(), sched, seed=3).run(g)
+            if m.makespan > 0.05:  # enough sensor samples
+                assert m.total_energy == pytest.approx(
+                    m.total_energy_exact, rel=0.10
+                )
+
+    def test_makespan_at_least_critical_path(self, suite):
+        """The makespan can never beat the critical path at maximum
+        speed on the fastest core."""
+        from repro.exec_model import GroundTruthTiming
+
+        g = TaskGraph("chain")
+        prev = None
+        for _ in range(10):
+            prev = g.add_task(KERNELS[0], deps=[prev] if prev else None)
+        tx2 = jetson_tx2()
+        timing = GroundTruthTiming(tx2.memory)
+        fastest = min(
+            timing.duration(KERNELS[0], cl.core_type, cl.n_cores, 2.04, 1.866)
+            for cl in tx2.clusters
+        )
+        m = Executor(jetson_tx2(), make_scheduler("JOSS", suite), seed=1).run(g)
+        assert m.makespan >= 10 * fastest * 0.9
+
+
+class TestMoldableInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(nc=st.sampled_from([1, 2, 4]), seed=st.integers(0, 100))
+    def test_property_partition_join_counts(self, nc, seed):
+        """A moldable task completes exactly once, with partitions_total
+        equal to the requested width (capped by the cluster)."""
+        from repro.runtime import Placement, Scheduler
+
+        class Pin(Scheduler):
+            name = "pin"
+
+            def place(self, task):
+                return Placement(
+                    cluster=self.ctx.platform.clusters[1], n_cores=nc
+                )
+
+        g = TaskGraph("m")
+        for _ in range(6):
+            g.add_task(KERNELS[0])
+        ex = Executor(jetson_tx2(), Pin(), seed=seed)
+        m = ex.run(g)
+        assert m.tasks_executed == 6
+        for t in g.tasks:
+            assert t.partitions_total == nc
+            assert t.partitions_remaining == 0

@@ -1,0 +1,68 @@
+"""Integration invariants on the non-TX2 platforms.
+
+The same liveness/safety/determinism guarantees must hold on the
+per-core-DVFS TX2 variant and the ODROID-XU4 model, for every
+scheduler that supports them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.platform import jetson_tx2_per_core, odroid_xu4
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskState
+from repro.schedulers import make_scheduler
+from tests.integration.test_invariants import KERNELS, random_dag
+
+PLATFORMS = {
+    "per-core": jetson_tx2_per_core,
+    "xu4": odroid_xu4,
+}
+
+SCHEDULERS = ["GRWS", "Aequitas", "ERASE", "JOSS"]
+
+
+@pytest.fixture(scope="module")
+def suites():
+    return {name: profile_and_fit(f, seed=0) for name, f in PLATFORMS.items()}
+
+
+@pytest.mark.parametrize("platform_name", list(PLATFORMS))
+@pytest.mark.parametrize("sched_name", SCHEDULERS)
+def test_random_dags_complete(platform_name, sched_name, suites):
+    factory = PLATFORMS[platform_name]
+    suite = None if sched_name in ("GRWS", "Aequitas") else suites[platform_name]
+    for seed in (3, 17):
+        g = random_dag(np.random.default_rng(seed), 40)
+        sched = make_scheduler(sched_name, suite)
+        ex = Executor(factory(), sched, seed=seed)
+        m = ex.run(g)
+        assert m.tasks_executed == 40
+        assert all(t.state is TaskState.DONE for t in g.tasks)
+        for t in g.tasks:
+            for d in t.dependents:
+                assert d.start_time >= t.end_time - 1e-9
+
+
+@pytest.mark.parametrize("platform_name", list(PLATFORMS))
+def test_determinism(platform_name, suites):
+    factory = PLATFORMS[platform_name]
+
+    def once():
+        g = random_dag(np.random.default_rng(5), 30)
+        sched = make_scheduler("JOSS", suites[platform_name])
+        return Executor(factory(), sched, seed=9).run(g)
+
+    a, b = once(), once()
+    assert a.total_energy == b.total_energy
+    assert a.makespan == b.makespan
+
+
+def test_xu4_memory_knob_never_moves(suites):
+    g = random_dag(np.random.default_rng(2), 40)
+    ex = Executor(odroid_xu4(), make_scheduler("JOSS", suites["xu4"]), seed=2)
+    m = ex.run(g)
+    assert m.memory_freq_transitions == 0
+    assert ex.platform.memory.freq == 0.825

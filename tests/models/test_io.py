@@ -1,0 +1,73 @@
+"""Tests for model-suite serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hw import jetson_tx2
+from repro.models import fit_models, load_suite, save_suite
+from repro.models.io import suite_from_dict, suite_to_dict
+from repro.models.mpr import Poly2Regressor
+from repro.profiling import PlatformProfiler
+
+
+@pytest.fixture(scope="module")
+def suite():
+    prof = PlatformProfiler(jetson_tx2, seed=0, synthetic_count=11)
+    return fit_models(prof.run())
+
+
+class TestRegressorState:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(50, 2))
+        y = 1 + x[:, 0] + x[:, 1] ** 2
+        reg = Poly2Regressor(2).fit(x, y)
+        clone = Poly2Regressor.from_state(reg.get_state())
+        np.testing.assert_allclose(clone.predict(x), reg.predict(x))
+        assert clone.train_rmse == reg.train_rmse
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ModelError):
+            Poly2Regressor(2).get_state()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ModelError):
+            Poly2Regressor.from_state({"n_features": 2, "coef": [1.0, 2.0]})
+
+
+class TestSuiteRoundtrip:
+    def test_file_roundtrip_preserves_predictions(self, suite, tmp_path):
+        path = save_suite(suite, tmp_path / "suite.json")
+        loaded = load_suite(path)
+        assert loaded.platform_name == suite.platform_name
+        assert loaded.f_c_ref == suite.f_c_ref
+        assert loaded.f_c_sample == suite.f_c_sample
+        assert set(loaded.config_keys()) == set(suite.config_keys())
+        for cl, nc in suite.config_keys():
+            for mb in (0.05, 0.5, 0.95):
+                t1 = suite.predict_time(cl, nc, mb, 0.01, 1.11, 0.8)
+                t2 = loaded.predict_time(cl, nc, mb, 0.01, 1.11, 0.8)
+                assert t2 == pytest.approx(t1)
+                p1 = suite.predict_mem_power(cl, nc, mb, 1.11, 0.8)
+                p2 = loaded.predict_mem_power(cl, nc, mb, 1.11, 0.8)
+                assert p2 == pytest.approx(p1)
+        assert loaded.idle.cpu_idle(1.11) == pytest.approx(suite.idle.cpu_idle(1.11))
+
+    def test_loaded_suite_drives_scheduler(self, suite, tmp_path):
+        from repro.core import JossScheduler
+        from repro.runtime import Executor
+        from repro.workloads import build_workload
+
+        loaded = load_suite(save_suite(suite, tmp_path / "s.json"))
+        ex = Executor(jetson_tx2(), JossScheduler(loaded), seed=5)
+        m = ex.run(build_workload("mm-256", seed=2))
+        assert m.tasks_executed > 0
+
+    def test_version_check(self, suite):
+        d = suite_to_dict(suite)
+        d["version"] = 99
+        with pytest.raises(ModelError):
+            suite_from_dict(d)

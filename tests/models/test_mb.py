@@ -1,0 +1,53 @@
+"""Tests for the PMC-free MB estimator (paper Eq. 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.models import estimate_mb
+
+
+def test_pure_compute_gives_zero():
+    # Halving frequency doubles time => MB = 0.
+    assert estimate_mb(1.0, 2.0, 2.0, 1.0) == pytest.approx(0.0)
+
+
+def test_pure_memory_gives_one():
+    # Time unchanged by core frequency => MB = 1.
+    assert estimate_mb(1.0, 1.0, 2.0, 1.0) == pytest.approx(1.0)
+
+
+def test_half_and_half():
+    # time(f) = 0.5 + 0.5 * (2/1) = 1.5 at half frequency.
+    assert estimate_mb(1.0, 1.5, 2.0, 1.0) == pytest.approx(0.5)
+
+
+def test_clamped_to_unit_interval():
+    assert estimate_mb(1.0, 2.5, 2.0, 1.0) == 0.0   # super-linear slowdown
+    assert estimate_mb(1.0, 0.9, 2.0, 1.0) == 1.0   # speedup at lower freq
+
+
+def test_equal_frequencies_rejected():
+    with pytest.raises(ModelError):
+        estimate_mb(1.0, 1.0, 2.0, 2.0)
+
+
+def test_nonpositive_times_rejected():
+    with pytest.raises(ModelError):
+        estimate_mb(0.0, 1.0, 2.0, 1.0)
+
+
+@given(
+    mb=st.floats(0.0, 1.0),
+    f_ref=st.sampled_from([2.04, 1.57]),
+    f_new=st.sampled_from([0.345, 0.96, 1.11]),
+    t=st.floats(0.001, 10.0),
+)
+def test_property_roundtrip_under_model_assumptions(mb, f_ref, f_new, t):
+    """If times truly follow the Eq. 1 decomposition, Eq. 3 recovers MB."""
+    t_scaled = t * ((1 - mb) * (f_ref / f_new) + mb)
+    est = estimate_mb(t, t_scaled, f_ref, f_new)
+    assert est == pytest.approx(mb, abs=1e-9)

@@ -1,0 +1,73 @@
+"""Tests for the degree-2 MPR regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.models import Poly2Regressor
+
+
+def test_param_count():
+    assert Poly2Regressor(1).n_params == 3
+    assert Poly2Regressor(2).n_params == 6
+    assert Poly2Regressor(3).n_params == 10
+
+
+def test_recovers_exact_quadratic():
+    """A function inside the model class is recovered exactly."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-2, 2, size=(200, 3))
+
+    def f(x):
+        return 1.5 - 2.0 * x[:, 0] + 0.5 * x[:, 1] ** 2 + 3.0 * x[:, 0] * x[:, 2]
+
+    reg = Poly2Regressor(3).fit(x, f(x))
+    assert reg.train_rmse < 1e-9
+    x_test = rng.uniform(-2, 2, size=(50, 3))
+    np.testing.assert_allclose(reg.predict(x_test), f(x_test), atol=1e-8)
+
+
+def test_noisy_fit_near_truth():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0, 1, size=(500, 2))
+    y = 2.0 + x[:, 0] + x[:, 1] ** 2 + 0.01 * rng.standard_normal(500)
+    reg = Poly2Regressor(2).fit(x, y)
+    pred = reg.predict_one(0.5, 0.5)
+    assert pred == pytest.approx(2.0 + 0.5 + 0.25, abs=0.02)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(ModelError):
+        Poly2Regressor(2).predict(np.zeros((1, 2)))
+
+
+def test_underdetermined_rejected():
+    with pytest.raises(ModelError):
+        Poly2Regressor(3).fit(np.zeros((5, 3)), np.zeros(5))
+
+
+def test_wrong_feature_count_rejected():
+    reg = Poly2Regressor(2)
+    with pytest.raises(ModelError):
+        reg.expand(np.zeros((3, 4)))
+
+
+def test_zero_features_rejected():
+    with pytest.raises(ModelError):
+        Poly2Regressor(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.floats(-3, 3), b=st.floats(-3, 3), c=st.floats(-3, 3),
+)
+def test_property_quadratics_are_interpolated(a, b, c):
+    """Any 1-D quadratic is in the hypothesis space."""
+    x = np.linspace(-1, 1, 30)[:, None]
+    y = a + b * x[:, 0] + c * x[:, 0] ** 2
+    reg = Poly2Regressor(1).fit(x, y)
+    assert reg.train_rmse < 1e-6 * max(1.0, abs(a) + abs(b) + abs(c))

@@ -1,0 +1,59 @@
+"""Tests for the model-suite self-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.hw.platform import odroid_xu4
+from repro.models import profile_and_fit
+from repro.models.mpr import PolynomialRegressor
+
+
+def test_healthy_suites_pass():
+    assert profile_and_fit(jetson_tx2, seed=0).self_check() == []
+    assert profile_and_fit(odroid_xu4, seed=0).self_check() == []
+
+
+def test_corrupted_suite_flagged():
+    import copy
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    broken = copy.deepcopy(suite)
+    # Sabotage one CPU power model: force it to predict a falling curve.
+    cm = broken.config("denver", 1)
+    x = np.column_stack([np.linspace(0, 1, 30), np.linspace(0.3, 2.1, 30)])
+    y = 5.0 - 2.0 * x[:, 1]  # power falls with frequency
+    cm.cpu_power._reg = PolynomialRegressor(2).fit(x, y)
+    problems = broken.self_check()
+    assert any("CPU power falls" in p for p in problems)
+    # The original stays healthy (deepcopy isolated the sabotage).
+    assert suite.self_check() == []
+
+
+def test_loaded_suite_passes(tmp_path):
+    from repro.models import load_suite, save_suite
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    loaded = load_suite(save_suite(suite, tmp_path / "s.json"))
+    assert loaded.self_check() == []
+
+
+def test_cli_profile_persistence(tmp_path, capsys):
+    from repro.cli import main
+
+    ds_path = tmp_path / "ds.json"
+    models_path = tmp_path / "models.json"
+    rc = main(
+        ["profile", "--save-dataset", str(ds_path),
+         "--save-models", str(models_path)]
+    )
+    assert rc == 0
+    assert ds_path.exists() and models_path.exists()
+    out = capsys.readouterr().out
+    assert "self-check: OK" in out
+    # And fitting from the saved dataset works.
+    rc = main(["profile", "--dataset", str(ds_path)])
+    assert rc == 0
+    assert "loaded dataset" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Tests for model fitting and the fitted suite's predictive quality.
+
+A full (reduced-size) profile-and-fit runs once per module; accuracy
+assertions mirror the paper's Figure 10 expectations qualitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.exec_model import GroundTruthTiming, KernelSpec
+from repro.hw import jetson_tx2
+from repro.models import estimate_mb, fit_models, profile_and_fit
+from repro.models.tables import storage_entries
+from repro.profiling import PlatformProfiler
+
+
+@pytest.fixture(scope="module")
+def suite():
+    prof = PlatformProfiler(jetson_tx2, seed=0, synthetic_count=21)
+    return fit_models(prof.run())
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    tx2 = jetson_tx2()
+    return tx2, GroundTruthTiming(tx2.memory)
+
+
+def _mb_and_tref(timing, kernel, ct, nc, suite):
+    t_ref = timing.duration(kernel, ct, nc, suite.f_c_ref, suite.f_m_ref)
+    t_s = timing.duration(kernel, ct, nc, suite.f_c_sample, suite.f_m_ref)
+    return estimate_mb(t_ref, t_s, suite.f_c_ref, suite.f_c_sample), t_ref
+
+
+class TestSuiteStructure:
+    def test_all_configs_fitted(self, suite):
+        assert set(suite.config_keys()) == {
+            ("denver", 1), ("denver", 2), ("a57", 1), ("a57", 2), ("a57", 4)
+        }
+
+    def test_reference_frequencies(self, suite):
+        assert suite.f_c_ref == 2.04
+        assert suite.f_m_ref == 1.866
+        assert suite.f_c_sample < suite.f_c_ref
+
+    def test_unknown_config_raises(self, suite):
+        with pytest.raises(ModelError):
+            suite.config("m1", 1)
+
+    def test_empty_dataset_rejected(self):
+        from repro.profiling import ProfilingDataset
+
+        with pytest.raises(ModelError):
+            fit_models(ProfilingDataset())
+
+
+class TestPredictionAccuracy:
+    """Held-out kernels (not in the synthetic training set)."""
+
+    KERNELS = [
+        KernelSpec("cmp", w_comp=0.8, w_bytes=0.003, type_affinity={"denver": 1.4}),
+        KernelSpec("mix", w_comp=0.1, w_bytes=0.02),
+        KernelSpec("mem", w_comp=0.01, w_bytes=0.05),
+    ]
+
+    def test_time_predictions_within_10pct_mean(self, suite, oracle):
+        tx2, timing = oracle
+        errs = []
+        for k in self.KERNELS:
+            for cl_name, nc in suite.config_keys():
+                ct = tx2.cluster_by_type(cl_name).core_type
+                mb, t_ref = _mb_and_tref(timing, k, ct, nc, suite)
+                for fc in (0.652, 1.110, 1.570, 2.040):
+                    for fm in (0.408, 0.800, 1.331, 1.866):
+                        pred = suite.predict_time(cl_name, nc, mb, t_ref, fc, fm)
+                        true = timing.duration(k, ct, nc, fc, fm)
+                        errs.append(abs(pred - true) / true)
+        assert np.mean(errs) < 0.10  # paper: 97% mean accuracy
+
+    def test_time_prediction_at_reference_is_identity(self, suite, oracle):
+        tx2, timing = oracle
+        k = self.KERNELS[1]
+        ct = tx2.cluster_by_type("a57").core_type
+        mb, t_ref = _mb_and_tref(timing, k, ct, 1, suite)
+        pred = suite.predict_time("a57", 1, mb, t_ref, suite.f_c_ref, suite.f_m_ref)
+        assert pred == pytest.approx(t_ref, rel=0.05)
+
+    def test_cpu_power_monotone_in_freq(self, suite):
+        p_lo = suite.predict_cpu_power("denver", 1, 0.1, 0.652)
+        p_hi = suite.predict_cpu_power("denver", 1, 0.1, 2.040)
+        assert p_hi > p_lo
+
+    def test_mem_power_higher_for_memory_bound(self, suite):
+        lo = suite.predict_mem_power("a57", 1, 0.05, 2.04, 1.866)
+        hi = suite.predict_mem_power("a57", 1, 0.9, 2.04, 1.866)
+        assert hi > lo
+
+    def test_idle_powers_positive_and_monotone(self, suite):
+        assert suite.idle.cpu_idle(0.345) > 0
+        assert suite.idle.cpu_idle(2.04) > suite.idle.cpu_idle(0.345)
+        assert suite.idle.mem_idle(1.866) > suite.idle.mem_idle(0.408)
+
+
+class TestPredictionTable:
+    def test_build_table_shapes(self, suite, oracle):
+        tx2, timing = oracle
+        ct = tx2.cluster_by_type("a57").core_type
+        k = TestPredictionAccuracy.KERNELS[1]
+        mb, t_ref = _mb_and_tref(timing, k, ct, 2, suite)
+        fc = tx2.clusters[1].opps.as_array()
+        fm = tx2.memory.opps.as_array()
+        tab = suite.build_table("a57", 2, mb, t_ref, fc, fm)
+        assert tab.shape == (12, 7)
+        assert tab.energy_grid().shape == (12, 7)
+        assert np.all(tab.time > 0)
+        assert np.all(tab.energy_grid() > 0)
+
+    def test_energy_grid_concurrency_attribution(self, suite, oracle):
+        """Idle power split across more concurrent tasks lowers the
+        per-task energy estimate."""
+        tx2, timing = oracle
+        ct = tx2.cluster_by_type("a57").core_type
+        k = TestPredictionAccuracy.KERNELS[0]
+        mb, t_ref = _mb_and_tref(timing, k, ct, 1, suite)
+        fc = tx2.clusters[1].opps.as_array()
+        fm = tx2.memory.opps.as_array()
+        tab = suite.build_table("a57", 1, mb, t_ref, fc, fm)
+        solo = tab.energy_grid(concurrency=1)
+        shared = tab.energy_grid(concurrency=4)
+        assert np.all(shared < solo)
+
+    def test_cpu_energy_grid_excludes_memory(self, suite, oracle):
+        tx2, timing = oracle
+        ct = tx2.cluster_by_type("denver").core_type
+        k = TestPredictionAccuracy.KERNELS[0]
+        mb, t_ref = _mb_and_tref(timing, k, ct, 1, suite)
+        fc = tx2.clusters[0].opps.as_array()
+        fm = tx2.memory.opps.as_array()
+        tab = suite.build_table("denver", 1, mb, t_ref, fc, fm)
+        assert np.all(tab.cpu_energy_grid() < tab.energy_grid())
+
+    def test_storage_formula(self):
+        # Paper 7.4: 3 * M * log(N/M) * Nf_C * Nf_M
+        assert storage_entries(2, 4, 12, 7) == 3 * 2 * 3 * 12 * 7
+
+
+class TestCache:
+    def test_profile_and_fit_cached(self):
+        s1 = profile_and_fit(jetson_tx2, seed=0, synthetic_count=11)
+        s2 = profile_and_fit(jetson_tx2, seed=0, synthetic_count=11)
+        assert s1 is s2
+
+    def test_cache_respects_settings(self):
+        s1 = profile_and_fit(jetson_tx2, seed=0, synthetic_count=11)
+        s2 = profile_and_fit(jetson_tx2, seed=1, synthetic_count=11)
+        assert s1 is not s2

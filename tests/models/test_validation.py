@@ -1,0 +1,67 @@
+"""Tests for k-fold cross-validation and residual diagnostics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hw import jetson_tx2
+from repro.models import fit_models
+from repro.models.validation import kfold_validate, residual_report
+from repro.profiling import PlatformProfiler, ProfilingDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return PlatformProfiler(jetson_tx2, seed=0, synthetic_count=21).run()
+
+
+class TestKFold:
+    def test_generalisation_across_kernels(self, dataset):
+        report = kfold_validate(dataset, k=4)
+        assert len(report.folds) == 4
+        s = report.summary()
+        # Held-out synthetic kernels are interpolations of the ratio
+        # sweep: accuracy must stay high.
+        assert s["performance_mean"] > 0.90
+        assert s["cpu_power_mean"] > 0.80
+        assert s["mem_power_mean"] > 0.60
+
+    def test_folds_partition_kernels(self, dataset):
+        report = kfold_validate(dataset, k=3)
+        held = [k for f in report.folds for k in f.held_out_kernels]
+        assert sorted(held) == sorted(dataset.kernel_names())
+
+    def test_too_many_folds_rejected(self, dataset):
+        with pytest.raises(ModelError):
+            kfold_validate(dataset, k=1000)
+
+    def test_deterministic_given_seed(self, dataset):
+        a = kfold_validate(dataset, k=3, seed=4).summary()
+        b = kfold_validate(dataset, k=3, seed=4).summary()
+        assert a == b
+
+    def test_degree_parameter_forwarded(self, dataset):
+        deg1 = kfold_validate(dataset, k=3, degree=1).summary()
+        deg2 = kfold_validate(dataset, k=3, degree=2).summary()
+        assert deg2["performance_mean"] > deg1["performance_mean"]
+
+
+class TestResiduals:
+    def test_report_covers_all_configs(self, dataset):
+        suite = fit_models(dataset)
+        stats = residual_report(suite)
+        assert len(stats) == len(suite.models)
+        for st in stats:
+            assert math.isfinite(st.performance_rmse)
+            assert st.cpu_power_rmse >= 0
+            assert st.mem_power_rmse >= 0
+
+    def test_power_residuals_reasonable(self, dataset):
+        """Training residuals stay below typical rail powers (watts)."""
+        suite = fit_models(dataset)
+        for st in residual_report(suite):
+            assert st.cpu_power_rmse < 0.5
+            assert st.mem_power_rmse < 0.5

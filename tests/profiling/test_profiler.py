@@ -1,0 +1,105 @@
+"""Tests for the platform profiler and the dataset container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.profiling import PlatformProfiler, ProfilingDataset
+from repro.profiling.dataset import IdleRecord, ProfileRecord
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A reduced profiling pass (fast) shared across this module."""
+    prof = PlatformProfiler(
+        jetson_tx2,
+        seed=0,
+        synthetic_count=9,
+        cpu_train_freqs=[0.499, 1.110, 2.040],
+        mem_train_freqs=[0.408, 1.062, 1.866],
+    )
+    return prof.run()
+
+
+class TestProfiler:
+    def test_record_count(self, small_dataset):
+        # 9 kernels x 5 <T_C,N_C> configs x 3 f_C x 3 f_M
+        assert len(small_dataset) == 9 * 5 * 9
+
+    def test_idle_covers_full_grid(self, small_dataset):
+        assert len(small_dataset.idle) == 12 * 7
+
+    def test_configs_match_platform(self, small_dataset):
+        assert set(small_dataset.configs()) == {
+            ("denver", 1), ("denver", 2), ("a57", 1), ("a57", 2), ("a57", 4)
+        }
+
+    def test_times_positive_and_freq_sensitive(self, small_dataset):
+        ds = small_dataset
+        assert all(r.time > 0 for r in ds)
+        k = ds.kernel_names()[4]
+        slow = ds.lookup(k, "a57", 1, 0.499, 1.866)
+        fast = ds.lookup(k, "a57", 1, 2.040, 1.866)
+        assert slow.time > fast.time
+
+    def test_powers_nonnegative(self, small_dataset):
+        assert all(r.cpu_power >= 0 and r.mem_power >= 0 for r in small_dataset)
+
+    def test_memory_heavy_kernel_draws_more_memory_power(self, small_dataset):
+        ds = small_dataset
+        names = ds.kernel_names()
+        memk, cmpk = names[0], names[-1]  # ratio 0% and 100% compute
+        pm = ds.lookup(memk, "a57", 1, 2.040, 1.866).mem_power
+        pc = ds.lookup(cmpk, "a57", 1, 2.040, 1.866).mem_power
+        assert pm > pc
+
+    def test_compute_kernel_draws_more_cpu_power(self, small_dataset):
+        ds = small_dataset
+        names = ds.kernel_names()
+        memk, cmpk = names[0], names[-1]
+        assert (
+            ds.lookup(cmpk, "denver", 1, 2.040, 1.866).cpu_power
+            > ds.lookup(memk, "denver", 1, 2.040, 1.866).cpu_power
+        )
+
+    def test_invalid_training_freq_rejected(self):
+        from repro.errors import ConfigurationError
+
+        prof = PlatformProfiler(jetson_tx2, cpu_train_freqs=[1.0])
+        with pytest.raises(ConfigurationError):
+            prof.run()
+
+    def test_moldable_config_faster(self, small_dataset):
+        ds = small_dataset
+        k = ds.kernel_names()[-1]  # compute-bound scales well
+        t1 = ds.lookup(k, "a57", 1, 2.040, 1.866).time
+        t4 = ds.lookup(k, "a57", 4, 2.040, 1.866).time
+        assert t4 < t1 / 2
+
+
+class TestDatasetRoundtrip:
+    def test_json_roundtrip(self, small_dataset, tmp_path):
+        p = tmp_path / "ds.json"
+        small_dataset.save(p)
+        loaded = ProfilingDataset.load(p)
+        assert len(loaded) == len(small_dataset)
+        assert loaded.records[0] == small_dataset.records[0]
+        assert loaded.idle[0] == small_dataset.idle[0]
+        assert loaded.platform_name == small_dataset.platform_name
+
+    def test_filter(self):
+        ds = ProfilingDataset(
+            [
+                ProfileRecord("k", "a57", 1, 1.0, 1.0, 0.5, 1.0, 0.2),
+                ProfileRecord("k", "denver", 1, 1.0, 1.0, 0.2, 2.0, 0.2),
+            ],
+            [IdleRecord(1.0, 1.0, 0.5, 0.3)],
+        )
+        only = ds.filter(lambda r: r.cluster == "a57")
+        assert len(only) == 1
+        assert only.records[0].cluster == "a57"
+
+    def test_lookup_missing_returns_none(self):
+        ds = ProfilingDataset()
+        assert ds.lookup("x", "a57", 1, 1.0, 1.0) is None

@@ -1,0 +1,62 @@
+"""Tests for synthetic benchmark generation (paper section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec_model import GroundTruthTiming
+from repro.profiling import synthetic_kernels
+
+
+def test_default_count_is_41(tx2):
+    ks = synthetic_kernels(tx2)
+    assert len(ks) == 41
+
+
+def test_ratio_sweep_monotone(tx2):
+    """Compute work rises and memory traffic falls along the sweep."""
+    ks = synthetic_kernels(tx2)
+    comps = [k.w_comp for k in ks]
+    mems = [k.w_bytes for k in ks]
+    assert comps == sorted(comps)
+    assert mems == sorted(mems, reverse=True)
+    assert mems[-1] == 0.0
+
+
+def test_constant_reference_time(tx2):
+    """All synthetics run for ~t_ref on the calibration config, the
+    paper's 'total execution time constant' property."""
+    t_ref = 0.01
+    ks = synthetic_kernels(tx2, t_ref=t_ref)
+    timing = GroundTruthTiming(tx2.memory)
+    ct = tx2.clusters[1].core_type
+    for k in ks:
+        d = timing.duration(k, ct, 1, 2.04, 1.866)
+        assert d == pytest.approx(t_ref, rel=0.02)
+
+
+def test_mb_spans_zero_to_one(tx2):
+    ks = synthetic_kernels(tx2)
+    timing = GroundTruthTiming(tx2.memory)
+    ct = tx2.clusters[1].core_type
+    mbs = [timing.memory_boundness(k, ct, 1, 2.04, 1.866) for k in ks]
+    assert mbs[0] > 0.95   # pure memory
+    assert mbs[-1] < 0.05  # pure compute
+    assert mbs == sorted(mbs, reverse=True)
+
+
+def test_names_unique(tx2):
+    ks = synthetic_kernels(tx2)
+    assert len({k.name for k in ks}) == len(ks)
+
+
+def test_invalid_params_rejected(tx2):
+    with pytest.raises(ConfigurationError):
+        synthetic_kernels(tx2, count=1)
+    with pytest.raises(ConfigurationError):
+        synthetic_kernels(tx2, t_ref=0.0)
+
+
+def test_custom_count(tx2):
+    assert len(synthetic_kernels(tx2, count=11)) == 11

@@ -1,0 +1,68 @@
+"""Tests for multi-application DAG combination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, TaskGraph
+from repro.schedulers import GrwsScheduler
+from repro.workloads import build_workload
+
+K1 = KernelSpec("c.a", w_comp=0.05, w_bytes=0.001)
+K2 = KernelSpec("c.b", w_comp=0.01, w_bytes=0.01)
+
+
+def chain(kernel, n):
+    g = TaskGraph(kernel.name)
+    prev = None
+    for _ in range(n):
+        prev = g.add_task(kernel, deps=[prev] if prev else None)
+    return g
+
+
+class TestCombine:
+    def test_sizes_add_up(self):
+        merged = TaskGraph.combine([chain(K1, 5), chain(K2, 7)])
+        assert len(merged) == 12
+        assert merged.kernel_counts() == {"c.a": 5, "c.b": 7}
+
+    def test_structure_preserved(self):
+        merged = TaskGraph.combine([chain(K1, 5), chain(K2, 7)])
+        # Two independent chains: two roots, critical path = longest.
+        assert len(merged.roots()) == 2
+        assert merged.critical_path_length() == 7
+
+    def test_inputs_unmodified(self):
+        a = chain(K1, 4)
+        TaskGraph.combine([a, chain(K2, 3)])
+        assert len(a) == 4
+        assert all(t.deps_remaining in (0, 1) for t in a.tasks)
+
+    def test_name(self):
+        assert TaskGraph.combine([chain(K1, 2), chain(K2, 2)]).name == "c.a+c.b"
+        assert TaskGraph.combine([chain(K1, 2)], name="solo").name == "solo"
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskGraph.combine([])
+
+    def test_combined_workloads_execute(self):
+        merged = TaskGraph.combine(
+            [build_workload("mm-256", seed=1), build_workload("mc-4096", seed=2)]
+        )
+        ex = Executor(jetson_tx2(), GrwsScheduler(), seed=3)
+        m = ex.run(merged)
+        assert m.tasks_executed == len(merged)
+
+    def test_fan_structure_dependencies_preserved(self):
+        g = TaskGraph("fan")
+        root = g.add_task(K1)
+        mids = [g.add_task(K2, deps=[root]) for _ in range(3)]
+        g.add_task(K1, deps=mids)
+        merged = TaskGraph.combine([g, g])
+        assert len(merged) == 10
+        assert merged.critical_path_length() == 3
+        assert len(merged.roots()) == 2

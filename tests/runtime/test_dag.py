@@ -1,0 +1,103 @@
+"""Tests for task DAG construction and release semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.exec_model import KernelSpec
+from repro.runtime import TaskGraph, TaskState
+
+K = KernelSpec("k", w_comp=1.0, w_bytes=0.0)
+K2 = KernelSpec("k2", w_comp=1.0, w_bytes=0.1)
+
+
+def chain(n):
+    g = TaskGraph("chain")
+    prev = None
+    for _ in range(n):
+        prev = g.add_task(K, deps=[prev] if prev else None)
+    return g
+
+
+def test_roots_and_len():
+    g = TaskGraph()
+    a = g.add_task(K)
+    b = g.add_task(K, deps=[a])
+    g.add_task(K2, deps=[a, b])
+    assert len(g) == 3
+    assert g.roots() == [a]
+
+
+def test_backward_edge_rejected():
+    """Dependencies must already exist in the graph (forward edges only),
+    which structurally guarantees acyclicity."""
+    g = TaskGraph()
+    g.add_task(K)
+    other = TaskGraph()
+    for _ in range(5):
+        other.add_task(K)
+    future = other.tasks[-1]  # tid 4 >= the next tid g would assign (1)
+    with pytest.raises(WorkloadError):
+        g.add_task(K, deps=[future])
+
+
+def test_kernels_and_counts():
+    g = TaskGraph()
+    g.add_task(K)
+    g.add_task(K2)
+    g.add_task(K)
+    assert [k.name for k in g.kernels()] == ["k", "k2"]
+    assert g.kernel_counts() == {"k": 2, "k2": 1}
+
+
+def test_critical_path_chain():
+    assert chain(7).critical_path_length() == 7
+    assert chain(7).dop() == pytest.approx(1.0)
+
+
+def test_critical_path_fan():
+    g = TaskGraph()
+    root = g.add_task(K)
+    mids = [g.add_task(K, deps=[root]) for _ in range(8)]
+    g.add_task(K, deps=mids)
+    assert g.critical_path_length() == 3
+    assert g.dop() == pytest.approx(10 / 3)
+
+
+def test_validate_empty_raises():
+    with pytest.raises(WorkloadError):
+        TaskGraph().validate()
+
+
+def test_release_dependents():
+    g = TaskGraph()
+    a = g.add_task(K)
+    b = g.add_task(K, deps=[a])
+    c = g.add_task(K, deps=[a, b])
+    a.mark_ready(0.0)
+    a.mark_running(0.0)
+    a.mark_done(1.0)
+    ready = list(g.release_dependents(a, 1.0))
+    assert ready == [b]
+    assert c.deps_remaining == 1
+    b.mark_running(1.0)
+    b.mark_done(2.0)
+    assert list(g.release_dependents(b, 2.0)) == [c]
+    assert c.state is TaskState.READY
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=8))
+def test_property_dop_bounds(depth, width):
+    """dop is between 1 and total/critical-path by construction."""
+    g = TaskGraph()
+    prev = None
+    for _ in range(depth):
+        layer = [g.add_task(K, deps=[prev] if prev else None) for _ in range(width)]
+        prev = g.add_task(K, deps=layer)
+    dop = g.dop()
+    assert dop >= 1.0 - 1e-9
+    assert dop <= len(g)

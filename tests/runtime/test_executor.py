@@ -1,0 +1,154 @@
+"""End-to-end tests of the executor with simple schedulers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exec_model import GroundTruthTiming, KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, Placement, Scheduler, TaskGraph
+from repro.schedulers import GrwsScheduler
+
+COMPUTE = KernelSpec("compute", w_comp=0.3, w_bytes=0.002)
+MEMORY = KernelSpec("memory", w_comp=0.01, w_bytes=0.05)
+
+
+class PinnedScheduler(Scheduler):
+    """Test helper: every task gets the same fixed placement."""
+
+    name = "pinned"
+
+    def __init__(self, cluster_idx=0, n_cores=1, f_c=None, f_m=None):
+        super().__init__()
+        self.cluster_idx = cluster_idx
+        self.n_cores = n_cores
+        self.f_c = f_c
+        self.f_m = f_m
+
+    def place(self, task):
+        cl = self.ctx.platform.clusters[self.cluster_idx]
+        return Placement(cluster=cl, n_cores=self.n_cores, f_c=self.f_c, f_m=self.f_m)
+
+
+def fan(kernel=COMPUTE, width=8, depth=3):
+    g = TaskGraph("fan")
+    prev = None
+    for _ in range(depth):
+        layer = [g.add_task(kernel, deps=[prev] if prev else None) for _ in range(width)]
+        prev = g.add_task(kernel, deps=layer)
+    return g
+
+
+def run(graph, scheduler, seed=1, **kw):
+    ex = Executor(jetson_tx2(), scheduler, seed=seed, **kw)
+    return ex, ex.run(graph)
+
+
+class TestBasicExecution:
+    def test_all_tasks_complete(self):
+        ex, m = run(fan(), GrwsScheduler())
+        assert m.tasks_executed == len(ex.graph.tasks)
+        assert ex.graph.all_done()
+        assert m.makespan > 0
+
+    def test_dependencies_respected(self):
+        ex, m = run(fan(), GrwsScheduler())
+        for t in ex.graph.tasks:
+            for d in t.dependents:
+                assert d.start_time >= t.end_time - 1e-9
+
+    def test_deterministic_given_seed(self):
+        _, m1 = run(fan(), GrwsScheduler(), seed=5)
+        _, m2 = run(fan(), GrwsScheduler(), seed=5)
+        assert m1.makespan == m2.makespan
+        assert m1.total_energy == m2.total_energy
+
+    def test_different_seed_differs(self):
+        _, m1 = run(fan(), GrwsScheduler(), seed=5)
+        _, m2 = run(fan(), GrwsScheduler(), seed=6)
+        assert m1.makespan != m2.makespan
+
+    def test_sensor_energy_close_to_exact(self):
+        _, m = run(fan(width=10, depth=5), GrwsScheduler())
+        assert m.cpu_energy == pytest.approx(m.cpu_energy_exact, rel=0.05)
+        assert m.mem_energy == pytest.approx(m.mem_energy_exact, rel=0.05)
+
+    def test_kernel_stats_recorded(self):
+        ex, m = run(fan(), GrwsScheduler())
+        ks = m.per_kernel["compute"]
+        assert ks.invocations == m.tasks_executed
+        assert ks.mean_time > 0
+
+    def test_grws_uses_both_clusters(self):
+        _, m = run(fan(width=12, depth=4), GrwsScheduler())
+        keys = set(m.per_kernel["compute"].placements)
+        assert any(k.startswith("denver") for k in keys)
+        assert any(k.startswith("a57") for k in keys)
+
+    def test_stall_detection_raises_on_max_events(self):
+        from repro.errors import SchedulingError
+
+        g = fan(width=20, depth=5)
+        ex = Executor(jetson_tx2(), GrwsScheduler(), seed=1)
+        with pytest.raises(SchedulingError):
+            ex.run(g, max_events=5)
+
+
+class TestPinnedPlacement:
+    def test_single_cluster_only(self):
+        sched = PinnedScheduler(cluster_idx=1)
+        ex, m = run(fan(), sched)
+        keys = m.per_kernel["compute"].placements
+        assert all(k.startswith("a57") for k in keys)
+
+    def test_moldable_partitions_join(self):
+        """A 2-core moldable task on Denver must engage both cores and
+        finish in about half the single-core time."""
+        sched1 = PinnedScheduler(cluster_idx=0, n_cores=1)
+        g1 = TaskGraph("solo")
+        g1.add_task(COMPUTE)
+        _, m1 = run(g1, sched1, duration_noise_sigma=0.0)
+
+        sched2 = PinnedScheduler(cluster_idx=0, n_cores=2)
+        g2 = TaskGraph("mold")
+        g2.add_task(COMPUTE)
+        _, m2 = run(g2, sched2, duration_noise_sigma=0.0)
+        ratio = m1.makespan / m2.makespan
+        assert 1.7 < ratio <= 2.01
+
+    def test_moldable_placement_key(self):
+        sched = PinnedScheduler(cluster_idx=1, n_cores=4)
+        g = TaskGraph("m4")
+        g.add_task(COMPUTE)
+        _, m = run(g, sched)
+        assert m.per_kernel["compute"].placements == {"a57x4": 1}
+
+    def test_freq_request_applied_lowers_energy(self):
+        g = fan(COMPUTE, width=6, depth=3)
+        _, m_hi = run(g, PinnedScheduler(cluster_idx=0, f_c=2.04))
+        g2 = fan(COMPUTE, width=6, depth=3)
+        _, m_lo = run(g2, PinnedScheduler(cluster_idx=0, f_c=1.11))
+        assert m_lo.makespan > m_hi.makespan  # slower
+        assert m_lo.cpu_energy < m_hi.cpu_energy  # but cheaper on CPU rail
+        assert m_lo.cluster_freq_transitions >= 1
+
+    def test_memory_freq_request_applied(self):
+        g = fan(COMPUTE, width=6, depth=2)
+        ex, m = run(g, PinnedScheduler(cluster_idx=0, f_m=0.8))
+        assert m.memory_freq_transitions >= 1
+        assert ex.platform.memory.freq == 0.8
+
+
+class TestStealing:
+    def test_steals_happen_under_imbalance(self):
+        _, m = run(fan(width=16, depth=3), GrwsScheduler())
+        assert m.steals > 0
+
+    def test_pinned_no_cross_cluster_execution(self):
+        """Type-restricted stealing keeps tasks on the chosen cluster
+        even under load imbalance."""
+        sched = PinnedScheduler(cluster_idx=0)
+        _, m = run(fan(width=16, depth=3), sched)
+        assert set(m.per_kernel["compute"].placements) == {"denverx1"}

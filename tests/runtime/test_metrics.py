@@ -1,0 +1,81 @@
+"""Tests for run metrics and kernel statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, TaskGraph
+from repro.runtime.metrics import KernelStats, RunMetrics
+from repro.schedulers import GrwsScheduler
+
+K = KernelSpec("m.k", w_comp=0.1, w_bytes=0.002)
+
+
+class TestKernelStats:
+    def test_record_and_means(self):
+        ks = KernelStats()
+        ks.record(1.0, "a57x1", wait=0.2)
+        ks.record(3.0, "denverx1", wait=0.4)
+        assert ks.invocations == 2
+        assert ks.mean_time == pytest.approx(2.0)
+        assert ks.mean_wait == pytest.approx(0.3)
+        assert ks.placements == {"a57x1": 1, "denverx1": 1}
+
+    def test_empty_means_zero(self):
+        ks = KernelStats()
+        assert ks.mean_time == 0.0
+        assert ks.mean_wait == 0.0
+
+    def test_negative_wait_clamped(self):
+        ks = KernelStats()
+        ks.record(1.0, "x", wait=-0.5)
+        assert ks.total_wait == 0.0
+
+
+class TestRunMetrics:
+    def test_totals_and_fractions(self):
+        m = RunMetrics(scheduler="S", workload="W")
+        m.cpu_energy, m.mem_energy = 2.0, 1.0
+        m.makespan, m.sampling_time = 4.0, 1.0
+        assert m.total_energy == pytest.approx(3.0)
+        assert m.sampling_fraction == pytest.approx(0.25)
+
+    def test_zero_makespan_fraction(self):
+        assert RunMetrics().sampling_fraction == 0.0
+
+    def test_summary_renders(self):
+        m = RunMetrics(scheduler="JOSS", workload="slu")
+        m.makespan, m.cpu_energy, m.mem_energy = 1.0, 2.0, 0.5
+        s = m.summary()
+        assert "JOSS" in s and "slu" in s and "2.500" in s
+
+    def test_kernel_stats_autocreate(self):
+        m = RunMetrics()
+        ks = m.kernel_stats("k")
+        assert m.kernel_stats("k") is ks
+
+
+class TestWaitTimesEndToEnd:
+    def test_contended_queue_records_waits(self):
+        # 30 root tasks on 6 cores: most wait in queues before starting.
+        g = TaskGraph("wait")
+        for _ in range(30):
+            g.add_task(K)
+        ex = Executor(jetson_tx2(), GrwsScheduler(), seed=4)
+        m = ex.run(g)
+        ks = m.per_kernel["m.k"]
+        assert ks.total_wait > 0
+        assert ks.mean_wait < m.makespan
+
+    def test_serial_chain_waits_are_tiny(self):
+        g = TaskGraph("serial")
+        prev = None
+        for _ in range(10):
+            prev = g.add_task(K, deps=[prev] if prev else None)
+        ex = Executor(jetson_tx2(), GrwsScheduler(), seed=4)
+        m = ex.run(g)
+        ks = m.per_kernel["m.k"]
+        # A dependent is dispatched the instant its parent completes.
+        assert ks.mean_wait < ks.mean_time * 0.05

@@ -1,0 +1,58 @@
+"""Tests for run-metrics serialisation and the CLI compare command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import BenchConfig, run_averaged, run_one
+
+
+class TestMetricsRoundtrip:
+    def test_to_from_dict(self):
+        from repro.runtime.metrics import RunMetrics
+
+        m = run_one("mm-256", "GRWS", BenchConfig(repetitions=1))
+        data = json.loads(json.dumps(m.to_dict()))  # must be JSON-safe
+        back = RunMetrics.from_dict(data)
+        assert back.total_energy == pytest.approx(m.total_energy)
+        assert back.makespan == m.makespan
+        assert back.tasks_executed == m.tasks_executed
+        assert back.per_kernel["mm.256"].invocations == (
+            m.per_kernel["mm.256"].invocations
+        )
+        assert back.per_kernel["mm.256"].placements == (
+            m.per_kernel["mm.256"].placements
+        )
+
+    def test_joss_extras_survive(self):
+        from repro.runtime.metrics import RunMetrics
+
+        m = run_one("mm-256", "JOSS", BenchConfig(repetitions=1))
+        back = RunMetrics.from_dict(m.to_dict())
+        assert back.extras["decisions"] == m.extras["decisions"]
+        assert back.sampling_time == m.sampling_time
+
+
+class TestAveragedMetricsComplete:
+    def test_transitions_and_kernels_carried(self):
+        m = run_averaged("mm-256", "JOSS", BenchConfig(repetitions=2))
+        assert m.cluster_freq_transitions > 0
+        assert m.per_kernel  # per-kernel stats present
+        assert "mm.256" in m.per_kernel
+
+
+class TestCliCompare:
+    def test_compare_renders(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["compare", "-w", "mm-256", "-s", "GRWS", "JOSS",
+             "--repetitions", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GRWS vs JOSS" in out
+        assert "Per-kernel" in out
+        assert "the energy" in out

@@ -1,0 +1,117 @@
+"""Tests for work queues, tasks and placements."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Placement, TaskGraph, TaskState, WorkQueue
+from repro.runtime.task import Task, TaskPartition
+
+K = KernelSpec("k", w_comp=1.0, w_bytes=0.0)
+
+
+class TestWorkQueue:
+    def test_owner_fifo(self):
+        q = WorkQueue(0)
+        a, b = Task(0, K), Task(1, K)
+        q.push(a)
+        q.push(b)
+        assert q.pop_own() is a
+        assert q.pop_own() is b
+        assert q.pop_own() is None
+
+    def test_thief_takes_from_back(self):
+        q = WorkQueue(0)
+        a, b = Task(0, K), Task(1, K)
+        q.push(a)
+        q.push(b)
+        assert q.pop_steal() is b
+        assert q.steals_suffered == 1
+
+    def test_push_front_takes_priority(self):
+        q = WorkQueue(0)
+        a, b = Task(0, K), Task(1, K)
+        q.push(a)
+        q.push_front(b)
+        assert q.pop_own() is b
+
+    def test_peek_types_and_remove(self):
+        q = WorkQueue(0)
+        a = Task(0, K)
+        b = Task(1, KernelSpec("other", w_comp=1.0, w_bytes=0.0))
+        q.push(a)
+        q.push(b)
+        assert q.peek_types() == ["k", "other"]
+        assert q.remove(b)
+        assert not q.remove(b)
+        assert len(q) == 1
+
+    def test_steal_from_empty(self):
+        q = WorkQueue(0)
+        assert q.pop_steal() is None
+        assert q.steals_suffered == 0
+
+
+class TestTaskStates:
+    def test_lifecycle(self):
+        t = Task(0, K)
+        assert t.state is TaskState.PENDING
+        t.mark_ready(1.0)
+        t.mark_running(2.0)
+        t.mark_done(5.0)
+        assert t.duration == pytest.approx(3.0)
+
+    def test_ready_with_pending_deps_rejected(self):
+        t = Task(0, K)
+        t.deps_remaining = 1
+        with pytest.raises(SchedulingError):
+            t.mark_ready(0.0)
+
+    def test_done_without_running_rejected(self):
+        t = Task(0, K)
+        t.mark_ready(0.0)
+        with pytest.raises(SchedulingError):
+            t.mark_done(1.0)
+
+    def test_mark_running_idempotent_for_partitions(self):
+        """Second partition starting later must not reset start_time."""
+        t = Task(0, K)
+        t.mark_ready(0.0)
+        t.mark_running(1.0)
+        t.mark_running(2.0)
+        assert t.start_time == 1.0
+
+    def test_duration_nan_before_completion(self):
+        assert math.isnan(Task(0, K).duration)
+
+    def test_partition_proxies_kernel(self):
+        t = Task(0, K)
+        p = TaskPartition(t, 1)
+        assert p.kernel is K
+
+
+class TestPlacement:
+    def test_describe_format(self, tx2):
+        p = Placement(cluster=tx2.clusters[0], n_cores=2, f_c=1.11, f_m=0.8)
+        assert p.describe() == "<denver, 2, 1.110, 0.800>"
+
+    def test_unset_freqs_render_dash(self, tx2):
+        p = Placement(cluster=tx2.clusters[1])
+        assert p.describe() == "<a57, 1, -, ->"
+
+    def test_too_many_cores_rejected(self, tx2):
+        with pytest.raises(SchedulingError):
+            Placement(cluster=tx2.clusters[0], n_cores=3)
+
+    def test_zero_cores_rejected(self, tx2):
+        with pytest.raises(SchedulingError):
+            Placement(cluster=tx2.clusters[0], n_cores=0)
+
+    def test_foreign_home_core_rejected(self, tx2):
+        with pytest.raises(SchedulingError):
+            Placement(cluster=tx2.clusters[0], home_core=tx2.clusters[1].cores[0])

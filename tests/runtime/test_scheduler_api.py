@@ -1,0 +1,78 @@
+"""Tests for the scheduler contract and runtime context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, Placement, Scheduler, TaskGraph
+
+K = KernelSpec("api.k", w_comp=0.05, w_bytes=0.001)
+
+
+class MinimalScheduler(Scheduler):
+    """Implements only the mandatory method — defaults do the rest."""
+
+    name = "minimal"
+
+    def place(self, task):
+        return Placement(cluster=self.ctx.platform.clusters[1], f_c=1.11)
+
+
+class TestDefaults:
+    def test_minimal_scheduler_runs(self):
+        g = TaskGraph("api")
+        prev = None
+        for _ in range(8):
+            prev = g.add_task(K, deps=[prev] if prev else None)
+        ex = Executor(jetson_tx2(), MinimalScheduler(), seed=1)
+        m = ex.run(g)
+        assert m.tasks_executed == 8
+        # The default on_task_execute forwards placement freq requests.
+        assert ex.platform.clusters[1].freq == 1.11
+        assert m.cluster_freq_transitions >= 1
+
+    def test_default_steal_scope_is_same_type(self):
+        sched = MinimalScheduler()
+        ex = Executor(jetson_tx2(), sched, seed=1)
+        sched.bind(ex.ctx)
+        a57_core = ex.platform.cores[2]
+        victims = sched.steal_candidates(a57_core)
+        assert all(c.core_type.name == "a57" for c in victims)
+        assert a57_core not in victims
+
+    def test_unbound_scheduler_falls_back_to_cluster(self):
+        sched = MinimalScheduler()  # never bound
+        core = jetson_tx2().cores[2]
+        victims = sched.steal_candidates(core)
+        assert len(victims) == 3
+
+    def test_describe(self):
+        assert MinimalScheduler().describe() == "minimal"
+
+
+class TestRuntimeContext:
+    @pytest.fixture
+    def ex(self):
+        return Executor(jetson_tx2(), MinimalScheduler(), seed=1)
+
+    def test_now_tracks_sim(self, ex):
+        assert ex.ctx.now == ex.sim.now
+
+    def test_freq_requests_snap(self, ex):
+        got = ex.ctx.request_cluster_freq(ex.platform.clusters[0], 1.15)
+        assert got == 1.11
+        got_m = ex.ctx.request_memory_freq(0.81)
+        assert got_m == 0.800
+
+    def test_concurrency_helpers(self, ex):
+        assert ex.ctx.busy_core_count() == 0
+        assert ex.ctx.cluster_active_tasks(ex.platform.clusters[0]) == 0
+        ex.engine.start_activity(K, ex.platform.cores[0])
+        assert ex.ctx.busy_core_count() == 1
+        assert ex.ctx.cluster_active_tasks(ex.platform.clusters[0]) == 1
+        assert ex.ctx.cluster_active_tasks(ex.platform.clusters[1]) == 0
+
+    def test_metrics_attached(self, ex):
+        assert ex.ctx.metrics is ex.metrics

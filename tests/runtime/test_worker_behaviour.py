@@ -1,0 +1,134 @@
+"""Focused tests for worker/stealing/moldable mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, Placement, Scheduler, TaskGraph
+from repro.sim.trace import Tracer
+
+WORK = KernelSpec("w", w_comp=0.1, w_bytes=0.001)
+BIG = KernelSpec("big", w_comp=1.0, w_bytes=0.001)
+
+
+class HomePinned(Scheduler):
+    """Places every task on one specific core's queue."""
+
+    name = "home-pinned"
+
+    def __init__(self, core_id=0, n_cores=1, allow_steal=True):
+        super().__init__()
+        self.core_id = core_id
+        self.n_cores = n_cores
+        self.allow_steal = allow_steal
+
+    def place(self, task):
+        core = self.ctx.platform.cores[self.core_id]
+        return Placement(
+            cluster=core.cluster, n_cores=self.n_cores, home_core=core
+        )
+
+    def steal_candidates(self, core):
+        if not self.allow_steal:
+            return []
+        return super().steal_candidates(core)
+
+
+class TestStealing:
+    def test_same_type_steals_drain_a_hot_queue(self):
+        """Tasks homed on one a57 core spread over the a57 cluster."""
+        g = TaskGraph("hot")
+        for _ in range(20):
+            g.add_task(WORK)
+        sched = HomePinned(core_id=2)  # an a57 core
+        ex = Executor(jetson_tx2(), sched, seed=1)
+        m = ex.run(g)
+        assert m.steals > 0
+        # All work stayed on the a57 cluster (type-preserving steals).
+        assert set(m.per_kernel["w"].placements) == {"a57x1"}
+
+    def test_no_steal_policy_serialises(self):
+        g1 = TaskGraph("s1")
+        for _ in range(8):
+            g1.add_task(WORK)
+        ex1 = Executor(jetson_tx2(), HomePinned(core_id=2, allow_steal=False), seed=1)
+        m_serial = ex1.run(g1)
+        g2 = TaskGraph("s2")
+        for _ in range(8):
+            g2.add_task(WORK)
+        ex2 = Executor(jetson_tx2(), HomePinned(core_id=2, allow_steal=True), seed=1)
+        m_steal = ex2.run(g2)
+        assert m_serial.steals == 0
+        assert m_serial.makespan > m_steal.makespan * 2
+
+    def test_stolen_flag_set(self):
+        g = TaskGraph("flag")
+        tasks = [g.add_task(WORK) for _ in range(12)]
+        ex = Executor(jetson_tx2(), HomePinned(core_id=2), seed=1)
+        ex.run(g)
+        stolen = [t for t in tasks if t.meta.get("stolen")]
+        assert stolen  # at least one was taken by a peer
+
+
+class TestMoldableMechanics:
+    def test_partitions_spread_across_cluster(self):
+        """A 4-core moldable task occupies all four a57 cores at once."""
+        tracer = Tracer(categories=["activity-start"])
+        g = TaskGraph("mold")
+        g.add_task(BIG)
+        sched = HomePinned(core_id=2, n_cores=4)
+        ex = Executor(jetson_tx2(), sched, seed=1, tracer=tracer)
+        ex.run(g)
+        cores_used = {r.payload["core"] for r in tracer.records("activity-start")}
+        assert cores_used == {2, 3, 4, 5}
+
+    def test_partition_stagger_under_load(self):
+        """Moldable partitions can start staggered when peers are busy,
+        and the task still joins correctly."""
+        g = TaskGraph("stagger")
+        blockers = [g.add_task(BIG) for _ in range(3)]  # occupy peers
+        g.add_task(BIG)  # moldable arrives while peers busy
+        sched = HomePinned(core_id=2, n_cores=4)
+        ex = Executor(jetson_tx2(), sched, seed=1)
+        m = ex.run(g)
+        assert m.tasks_executed == 4
+        last = g.tasks[-1]
+        assert last.partitions_remaining == 0
+        # exec_time (longest partition) <= duration (with stagger).
+        assert last.exec_time <= last.duration + 1e-12
+
+    def test_moldable_clamped_to_cluster_size(self):
+        """Requesting more cores than the cluster has clamps safely."""
+
+        class OverAsk(Scheduler):
+            name = "over"
+
+            def place(self, task):
+                cl = self.ctx.platform.clusters[0]  # denver: 2 cores
+                return Placement(cluster=cl, n_cores=2)
+
+        g = TaskGraph("clamp")
+        g.add_task(BIG)
+        ex = Executor(jetson_tx2(), OverAsk(), seed=1)
+        ex.run(g)
+        assert g.tasks[0].partitions_total == 2
+
+
+class TestWakeCoalescing:
+    def test_no_pending_events_after_completion(self):
+        g = TaskGraph("drain")
+        for _ in range(10):
+            g.add_task(WORK)
+        ex = Executor(jetson_tx2(), HomePinned(core_id=2), seed=1)
+        ex.run(g)
+        assert ex.sim.pending_count() == 0
+
+    def test_idle_workers_survive_spurious_wakes(self):
+        g = TaskGraph("spurious")
+        a = g.add_task(WORK)
+        g.add_task(WORK, deps=[a])
+        ex = Executor(jetson_tx2(), HomePinned(core_id=0), seed=1)
+        m = ex.run(g)
+        assert m.tasks_executed == 2

@@ -1,0 +1,133 @@
+"""Tests for the baseline schedulers (GRWS, ERASE, Aequitas, STEER)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskGraph
+from repro.schedulers import (
+    AequitasScheduler,
+    EraseScheduler,
+    GrwsScheduler,
+    SteerScheduler,
+)
+
+COMPUTE = KernelSpec("compute", w_comp=0.5, w_bytes=0.004, type_affinity={"denver": 1.5})
+MEMORY = KernelSpec("memory", w_comp=0.01, w_bytes=0.05)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def mixed_graph(n_waves=20, width=6):
+    g = TaskGraph("mixed")
+    prev = None
+    for _ in range(n_waves):
+        layer = [
+            g.add_task(COMPUTE if j % 2 else MEMORY, deps=[prev] if prev else None)
+            for j in range(width)
+        ]
+        prev = g.add_task(COMPUTE, deps=layer)
+    return g
+
+
+def run(sched, seed=7):
+    ex = Executor(jetson_tx2(), sched, seed=seed)
+    return ex, ex.run(mixed_graph())
+
+
+class TestGrws:
+    def test_no_dvfs_no_moldability(self):
+        ex, m = run(GrwsScheduler())
+        assert m.cluster_freq_transitions == 0
+        assert m.memory_freq_transitions == 0
+        for ks in m.per_kernel.values():
+            assert all(key.endswith("x1") for key in ks.placements)
+
+    def test_steals_globally(self):
+        ex, m = run(GrwsScheduler())
+        keys = set()
+        for ks in m.per_kernel.values():
+            keys.update(ks.placements)
+        assert any(k.startswith("denver") for k in keys)
+        assert any(k.startswith("a57") for k in keys)
+
+
+class TestErase:
+    def test_no_dvfs_but_moldable(self, suite):
+        ex, m = run(EraseScheduler(suite))
+        assert m.cluster_freq_transitions == 0
+        assert m.memory_freq_transitions == 0
+        assert "decisions" in m.extras
+        assert set(m.extras["decisions"]) == {"compute", "memory"}
+
+    def test_compute_kernel_prefers_denver(self, suite):
+        """ERASE's CPU-energy estimate sends ILP-heavy work to Denver
+        (the paper's BMOD analysis)."""
+        sched = EraseScheduler(suite)
+        run(sched)
+        assert sched.decisions["compute"][0] == "denver"
+
+    def test_power_table_from_dataset(self, suite):
+        from repro.profiling import PlatformProfiler
+
+        ds = PlatformProfiler(
+            jetson_tx2, seed=0, synthetic_count=5,
+            cpu_train_freqs=[1.110, 2.040], mem_train_freqs=[1.866],
+        ).run()
+        sched = EraseScheduler(suite, dataset=ds)
+        assert set(sched._power_table) == set(suite.config_keys())
+        assert all(v > 0 for v in sched._power_table.values())
+
+    def test_saves_cpu_energy_vs_grws(self, suite):
+        _, m_grws = run(GrwsScheduler())
+        _, m_erase = run(EraseScheduler(suite))
+        assert m_erase.cpu_energy < m_grws.cpu_energy
+
+
+class TestAequitas:
+    def test_throttles_cluster_frequencies(self):
+        ex, m = run(AequitasScheduler(time_slice_s=0.02))
+        assert m.cluster_freq_transitions > 0
+        assert m.memory_freq_transitions == 0  # no memory knob
+
+    def test_no_moldability(self):
+        _, m = run(AequitasScheduler())
+        for ks in m.per_kernel.values():
+            assert all(key.endswith("x1") for key in ks.placements)
+
+    def test_timer_stops_with_workload(self):
+        ex, m = run(AequitasScheduler(time_slice_s=0.02))
+        # Simulation drained: no timer events left pending.
+        assert ex.sim.pending_count() == 0
+
+    def test_reduces_cpu_energy_vs_grws(self):
+        _, m_grws = run(GrwsScheduler())
+        _, m_aeq = run(AequitasScheduler())
+        assert m_aeq.cpu_energy < m_grws.cpu_energy
+
+
+class TestSteer:
+    def test_memory_knob_untouched(self, suite):
+        ex, m = run(SteerScheduler(suite))
+        assert ex.platform.memory.freq == ex.platform.memory.opps.max
+        assert m.memory_freq_transitions == 0
+
+    def test_throttles_cpu(self, suite):
+        _, m = run(SteerScheduler(suite))
+        assert m.cluster_freq_transitions > 0
+
+    def test_reduces_cpu_energy_but_joss_wins_total(self, suite):
+        from repro.core import JossScheduler
+
+        _, m_grws = run(GrwsScheduler())
+        _, m_steer = run(SteerScheduler(suite))
+        _, m_joss = run(JossScheduler(suite))
+        assert m_steer.cpu_energy < m_grws.cpu_energy
+        # The paper's core claim at workload level.
+        assert m_joss.total_energy < m_steer.total_energy

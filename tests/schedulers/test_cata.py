@@ -1,0 +1,81 @@
+"""Tests for the CATA-style criticality-aware baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import KernelSpec
+from repro.hw import jetson_tx2
+from repro.runtime import Executor, TaskGraph
+from repro.schedulers import make_scheduler
+from repro.schedulers.cata import CataScheduler
+
+K = KernelSpec("ct.k", w_comp=0.1, w_bytes=0.002)
+
+
+def chain_with_fluff(chain_len=12, fluff=3):
+    """One long chain (the critical path) plus short offshoots."""
+    g = TaskGraph("cp")
+    prev = None
+    for _ in range(chain_len):
+        prev = g.add_task(K, deps=[prev] if prev else None)
+        for _ in range(fluff):
+            g.add_task(K, deps=[prev])  # leaf offshoots: zero criticality
+    return g
+
+
+class TestCriticality:
+    def test_critical_chain_goes_fast(self):
+        sched = CataScheduler(threshold=0.5)
+        ex = Executor(jetson_tx2(), sched, seed=3)
+        m = ex.run(chain_with_fluff())
+        assert sched.critical_tasks > 0
+        assert sched.non_critical_tasks > 0
+        # Offshoot leaves vastly outnumber chain tasks.
+        assert sched.non_critical_tasks > sched.critical_tasks
+
+    def test_bottom_levels_correct(self):
+        g = TaskGraph("bl")
+        a = g.add_task(K)
+        b = g.add_task(K, deps=[a])
+        c = g.add_task(K, deps=[b])
+        leaf = g.add_task(K, deps=[a])
+        sched = CataScheduler()
+        sched.on_run_begin()
+        assert sched._bottom_level(c) == 1
+        assert sched._bottom_level(leaf) == 1
+        assert sched._bottom_level(b) == 2
+        assert sched._bottom_level(a) == 3
+
+    def test_deep_chain_no_recursion_error(self):
+        g = TaskGraph("deep")
+        prev = None
+        for _ in range(5000):
+            prev = g.add_task(K, deps=[prev] if prev else None)
+        sched = CataScheduler()
+        sched.on_run_begin()
+        assert sched._bottom_level(g.tasks[0]) == 5000
+
+    def test_never_throttles_memory(self):
+        ex = Executor(jetson_tx2(), CataScheduler(), seed=3)
+        m = ex.run(chain_with_fluff())
+        assert m.memory_freq_transitions == 0
+
+    def test_saves_energy_on_critical_path_workload(self):
+        """With abundant slack off the critical path, CATA beats GRWS."""
+        from repro.schedulers import GrwsScheduler
+
+        m_grws = Executor(jetson_tx2(), GrwsScheduler(), seed=3).run(
+            chain_with_fluff()
+        )
+        m_cata = Executor(jetson_tx2(), CataScheduler(), seed=3).run(
+            chain_with_fluff()
+        )
+        assert m_cata.total_energy < m_grws.total_energy
+        # ...without tanking the makespan (the chain still runs fast).
+        assert m_cata.makespan < m_grws.makespan * 1.8
+
+    def test_registry(self):
+        s = make_scheduler("CATA", threshold=0.9)
+        assert isinstance(s, CataScheduler)
+        assert s.threshold == pytest.approx(0.9)

@@ -1,0 +1,65 @@
+"""Tests for the scheduler registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.goals import MaxPerformance, MinCpuEnergy, PerformanceConstraint
+from repro.errors import ConfigurationError
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.schedulers import make_scheduler, scheduler_names
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def test_names_cover_paper_lineup():
+    names = scheduler_names()
+    for expected in ("GRWS", "ERASE", "Aequitas", "STEER", "JOSS",
+                     "JOSS_NoMemDVFS", "JOSS_MAXP"):
+        assert expected in names
+
+
+def test_simple_schedulers_need_no_suite():
+    assert make_scheduler("GRWS").name == "GRWS"
+    assert make_scheduler("Aequitas").name == "Aequitas"
+
+
+def test_model_based_require_suite():
+    with pytest.raises(ConfigurationError):
+        make_scheduler("JOSS")
+    with pytest.raises(ConfigurationError):
+        make_scheduler("STEER")
+
+
+def test_joss_variants(suite):
+    joss = make_scheduler("JOSS", suite)
+    assert joss.use_memory_dvfs
+    nomem = make_scheduler("JOSS_NoMemDVFS", suite)
+    assert not nomem.use_memory_dvfs
+    maxp = make_scheduler("JOSS_MAXP", suite)
+    assert isinstance(maxp.goal, MaxPerformance)
+    steer = make_scheduler("STEER", suite)
+    assert isinstance(steer.goal, MinCpuEnergy)
+    assert not steer.use_memory_dvfs
+
+
+def test_speedup_pattern(suite):
+    s = make_scheduler("JOSS_1.4x", suite)
+    assert isinstance(s.goal, PerformanceConstraint)
+    assert s.goal.speedup == pytest.approx(1.4)
+    s2 = make_scheduler("joss_2x", suite)
+    assert s2.goal.speedup == pytest.approx(2.0)
+
+
+def test_case_insensitive(suite):
+    assert make_scheduler("grws").name == "GRWS"
+    assert make_scheduler("Joss", suite).name == "JOSS"
+
+
+def test_unknown_rejected(suite):
+    with pytest.raises(ConfigurationError):
+        make_scheduler("CFS", suite)

@@ -1,0 +1,35 @@
+"""Tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import Tracer
+
+
+def test_emit_and_filter():
+    t = Tracer()
+    t.emit(0.0, "a", x=1)
+    t.emit(1.0, "b", y=2)
+    t.emit(2.0, "a", x=3)
+    assert len(t) == 3
+    assert [r.payload["x"] for r in t.records("a")] == [1, 3]
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.emit(0.0, "a")
+    assert len(t) == 0
+
+
+def test_category_whitelist():
+    t = Tracer(categories=["keep"])
+    t.emit(0.0, "keep")
+    t.emit(0.0, "drop")
+    assert len(t) == 1
+    assert t.records()[0].category == "keep"
+
+
+def test_clear():
+    t = Tracer()
+    t.emit(0.0, "a")
+    t.clear()
+    assert len(t) == 0

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "slu" in out
+    assert "JOSS" in out
+    assert "fig8" in out
+
+
+def test_version_exits():
+    with pytest.raises(SystemExit) as e:
+        main(["--version"])
+    assert e.value.code == 0
+
+
+def test_run_single(capsys):
+    assert main(["run", "-w", "mm-256", "-s", "GRWS", "--repetitions", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "mm-256" in out
+    assert "E_tot" in out
+
+
+def test_run_multiple_with_ratio(capsys):
+    rc = main(
+        ["run", "-w", "mm-256", "-s", "GRWS", "JOSS",
+         "--repetitions", "1", "-v"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "vs first" in out
+    assert "mm.256" in out  # verbose decision dump
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-w", "nope", "-s", "GRWS"])
+
+
+def test_experiment_tab1(capsys, tmp_path):
+    assert main(["experiment", "tab1", "-o", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert (tmp_path / "tab1.txt").exists()
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "nope"]) == 2
+
+
+def test_profile(capsys):
+    assert main(["profile"]) == 0
+    out = capsys.readouterr().out
+    assert "jetson-tx2" in out
+    assert "<denver, 2>" in out

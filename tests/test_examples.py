@@ -1,0 +1,40 @@
+"""The shipped examples must run end-to-end.
+
+They execute in-process (sharing the per-process model-suite cache, so
+the platform is profiled once for the whole module) with stdout
+captured; each must complete without raising.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "tradeoff_explorer", "custom_platform",
+            "scheduler_shootout", "inspect_run"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # it said something substantial
+
+
+def test_quickstart_reports_savings(capsys):
+    runpy.run_path(
+        str(Path(__file__).parent.parent / "examples" / "quickstart.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "JOSS saves" in out
+    assert "BMOD" in out

@@ -1,0 +1,45 @@
+"""Scale smoke tests: the DES must handle paper-ward task counts.
+
+Not a micro-benchmark — just a guarantee that a 10k-task graph runs to
+completion in reasonable wall time and bounded memory, so users can
+turn the ``scale`` knob toward the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.hw import jetson_tx2
+from repro.runtime import Executor
+from repro.schedulers import GrwsScheduler
+from repro.workloads import build_workload
+
+
+def test_ten_thousand_task_run_completes_quickly():
+    graph = build_workload("hd-small", scale=16.0, seed=1)
+    assert len(graph) > 8_000
+    ex = Executor(jetson_tx2(), GrwsScheduler(), seed=1)
+    t0 = time.perf_counter()
+    m = ex.run(graph)
+    elapsed = time.perf_counter() - t0
+    assert m.tasks_executed == len(graph)
+    assert elapsed < 60.0  # ~1k+ tasks/s of DES throughput
+    # Sanity: throughput metric for the record.
+    assert m.steals >= 0
+
+
+def test_model_based_scheduler_at_scale():
+    from repro.core import JossScheduler
+    from repro.models import profile_and_fit
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    graph = build_workload("dp", scale=8.0, seed=1)
+    assert len(graph) > 4_000
+    ex = Executor(jetson_tx2(), JossScheduler(suite), seed=1)
+    t0 = time.perf_counter()
+    m = ex.run(graph)
+    assert time.perf_counter() - t0 < 60.0
+    assert m.tasks_executed == len(graph)
+    # At this scale sampling is a small fraction of task time.
+    busy = sum(ks.total_time for ks in m.per_kernel.values())
+    assert m.sampling_time / busy < 0.05

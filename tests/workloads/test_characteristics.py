@@ -1,0 +1,117 @@
+"""Tests for per-workload kernel characteristics and DAG shapes —
+the Table 1 semantics the schedulers rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec_model import GroundTruthTiming
+from repro.hw import jetson_tx2
+from repro.workloads import build_workload
+from repro.workloads.fibonacci import LEAF
+from repro.workloads.matmul import _KERNELS as MM
+from repro.workloads.memcopy import _KERNELS as MC
+from repro.workloads.sparselu import BMOD
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return GroundTruthTiming(jetson_tx2().memory)
+
+
+@pytest.fixture(scope="module")
+def tx2m():
+    return jetson_tx2()
+
+
+class TestIntensities:
+    def test_mm_compute_bound(self, timing, tx2m):
+        mb = timing.memory_boundness(MM[256], tx2m.clusters[1].core_type, 1, 2.04, 1.866)
+        assert mb < 0.2
+
+    def test_mc_memory_bound(self, timing, tx2m):
+        mb = timing.memory_boundness(MC[4096], tx2m.clusters[1].core_type, 1, 2.04, 1.866)
+        assert mb > 0.6
+
+    def test_bmod_denver_advantage(self, timing, tx2m):
+        """Paper: a single Denver core runs BMOD ~3.4x faster than A57."""
+        td = timing.duration(BMOD, tx2m.clusters[0].core_type, 1, 2.04, 1.866)
+        ta = timing.duration(BMOD, tx2m.clusters[1].core_type, 1, 2.04, 1.866)
+        assert ta / td == pytest.approx(3.4, rel=0.05)
+
+    def test_fb_leaf_is_fine_grained(self, timing, tx2m):
+        t = timing.duration(LEAF, tx2m.clusters[1].core_type, 1, 2.04, 1.866)
+        assert t < 500e-6  # below the coarsening threshold
+
+
+class TestDagShapes:
+    def test_slu_bmod_dominates(self):
+        g = build_workload("slu", seed=3)
+        counts = g.kernel_counts()
+        total = sum(counts.values())
+        assert counts["slu.bmod"] / total > 0.7  # paper: 91% at full size
+
+    def test_slu_kernel_dependency_order(self):
+        """LU0 of step k precedes the FWD/BDIV/BMOD of step k."""
+        g = build_workload("slu", blocks=6, seed=0)
+        by_kernel = {}
+        for t in g.tasks:
+            by_kernel.setdefault(t.kernel.name, []).append(t)
+        first_bmod = by_kernel["slu.bmod"][0]
+        # Its dependencies include a BDIV and an FWD.
+        dep_kernels = set()
+        for t in g.tasks:
+            if first_bmod in t.dependents:
+                dep_kernels.add(t.kernel.name)
+        assert {"slu.fwd", "slu.bdiv"} <= dep_kernels
+
+    def test_hd_sizes_scale_granularity(self):
+        """Bigger HD problem -> fewer tasks with more work each."""
+        from repro.workloads.heat import _kernels
+
+        j_small, _ = _kernels("small")
+        j_huge, _ = _kernels("huge")
+        assert j_huge.w_comp > j_small.w_comp * 10
+
+    def test_fb_unfolds_dynamically(self):
+        """Not all leaves are ready at t=0 (spawn tasks gate them)."""
+        g = build_workload("fb", term=10)
+        roots = g.roots()
+        assert len(roots) == 1
+        assert roots[0].kernel.name == "fb.spawn"
+
+    def test_vg_layer_structure(self):
+        g = build_workload("vg")
+        counts = g.kernel_counts()
+        assert counts["vg.join"] >= 16  # one join per layer per iteration
+        # Five conv groups + FC tail, per the real VGG-16 architecture.
+        for name in ("vg.g1", "vg.g2", "vg.g3", "vg.g4", "vg.g5", "vg.fc"):
+            assert counts[name] >= 10  # enough invocations for sampling
+
+    def test_vg_layer_profiles_match_architecture(self):
+        from repro.workloads.vgg import layer_profiles
+
+        profiles = {p.name: p for p in layer_profiles()}
+        # 13 convolutions + 3 FC layers = VGG-16.
+        assert sum(p.n_layers for p in profiles.values()) == 16
+        # Mid groups carry the most compute (real VGG-16 FLOP shape)...
+        assert profiles["g3"].flops > profiles["g1"].flops
+        assert profiles["g3"].flops > profiles["g5"].flops
+        # ...while the FC tail is weight-traffic dominated.
+        assert profiles["fc"].traffic > profiles["g1"].traffic
+        assert profiles["fc"].flops < profiles["g5"].flops
+        # Spatial fork width shrinks with pooling.
+        assert profiles["g1"].blocks > profiles["g2"].blocks >= profiles["g3"].blocks
+
+    def test_dp_iteration_barriers(self):
+        g = build_workload("dp")
+        counts = g.kernel_counts()
+        # one reduce per iteration, blocks >> reduces
+        assert counts["dp.block"] > counts["dp.reduce"] * 5
+
+    def test_kernels_invoked_often_enough_for_sampling(self):
+        """Every kernel must support the 10-slot sampling plan."""
+        for name in ("slu", "vg", "bi", "dp", "al", "hd-small"):
+            g = build_workload(name, seed=3)
+            for kname, count in g.kernel_counts().items():
+                assert count >= 10, f"{name}:{kname} has only {count} tasks"

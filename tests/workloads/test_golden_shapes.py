@@ -1,0 +1,50 @@
+"""Golden structural stats for the workload suite.
+
+Pins the scale-1 task counts, kernel mixes and dop of every workload
+so accidental generator changes are caught (the bench tolerances are
+calibrated against these shapes).  Update deliberately when a workload
+is redesigned — and recalibrate EXPERIMENTS.md when you do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_workload
+
+#: (tasks, dop, dominant kernel) at scale=1, seed=3.
+GOLDEN = {
+    "hd-small": (252, 9.00, "hd.jacobi.small"),
+    "hd-big": (56, 4.00, "hd.jacobi.big"),
+    "hd-huge": (32, 4.00, "hd.jacobi.huge"),
+    "dp": (325, 6.50, "dp.block"),
+    "vg": (288, 2.25, "vg.g1"),
+    "al": (248, 4.77, "al.spmv"),
+    "mm-256": (120, 4.00, "mm.256"),
+    "mm-512": (40, 4.00, "mm.512"),
+    "mc-4096": (100, 4.00, "mc.4096"),
+    "mc-8192": (48, 4.00, "mc.8192"),
+    "st-512": (100, 4.00, "st.512"),
+    "st-2048": (100, 4.00, "st.2048"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_shape(name):
+    tasks, dop, dominant = GOLDEN[name]
+    g = build_workload(name, scale=1.0, seed=3)
+    assert len(g) == tasks
+    assert g.dop() == pytest.approx(dop, abs=0.01)
+    counts = g.kernel_counts()
+    assert max(counts, key=counts.get) == dominant
+
+
+def test_randomised_workloads_stay_in_band():
+    """BI and FB vary structurally (seeded), but within bands."""
+    bi = build_workload("bi", scale=1.0, seed=3)
+    assert 150 <= len(bi) <= 450
+    fb = build_workload("fb", scale=1.0, seed=3)
+    assert 1500 <= len(fb) <= 3500
+    slu = build_workload("slu", scale=1.0, seed=3)
+    assert 400 <= len(slu) <= 600
+    assert slu.kernel_counts()["slu.bmod"] / len(slu) > 0.7

@@ -1,0 +1,75 @@
+"""Tests for the workload registry and shared structural invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import build_workload, get_workload, workload_names, workload_table
+
+
+def test_fifteen_workloads():
+    assert len(workload_names()) == 15
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(WorkloadError):
+        get_workload("doom")
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(WorkloadError):
+        build_workload("dp", scale=0.0)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_structural_invariants(name):
+    g = build_workload(name, scale=1.0, seed=5)
+    g.validate()
+    assert len(g) > 10
+    assert g.dop() >= 1.0
+    # Dependencies are acyclic by construction; roots exist.
+    assert g.roots()
+    # Every kernel name is namespaced to its workload family.
+    for k in g.kernels():
+        assert "." in k.name
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_scale_grows_task_count(name):
+    small = len(build_workload(name, scale=1.0))
+    big = len(build_workload(name, scale=3.0))
+    assert big > small
+
+
+def test_workload_table_contents():
+    rows = {r["name"]: r for r in workload_table()}
+    assert rows["slu"]["abbr"] == "SLU"
+    assert rows["fb"]["paper_tasks"] == 57314
+    assert all(r["tasks"] > 0 and r["dop"] >= 1 for r in rows.values())
+
+
+def test_seed_changes_randomised_workloads():
+    a = len(build_workload("bi", seed=1))
+    b = len(build_workload("bi", seed=2))
+    assert a != b  # round widths are random
+
+
+def test_same_seed_reproducible():
+    a = build_workload("slu", seed=9)
+    b = build_workload("slu", seed=9)
+    assert len(a) == len(b)
+    assert a.kernel_counts() == b.kernel_counts()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dop=st.integers(min_value=1, max_value=6),
+    size=st.sampled_from([256, 512]),
+)
+def test_property_mm_dop_exact(dop, size):
+    """MM's chain construction hits the requested dop exactly."""
+    g = build_workload(f"mm-{size}", dop=dop)
+    assert g.dop() == pytest.approx(dop)
