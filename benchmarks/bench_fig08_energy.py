@@ -5,6 +5,10 @@ JOSS_NoMemDVFS 24.8%, STEER 19.5%, ERASE 16.3%, Aequitas 8.7%.  The
 reproduction asserts the *shape*: the ordering of schedulers, JOSS
 winning broadly, and memory DVFS delivering extra savings on top of
 JOSS_NoMemDVFS, which itself beats STEER (the paper's +5.2% claim).
+
+The run grid is declared as a :class:`repro.sweep.SweepSpec`, so at
+paper scale the same grid can be fanned out over worker processes and
+re-runs become cache hits (``joss-repro sweep``).
 """
 
 from __future__ import annotations
@@ -12,6 +16,16 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.bench.experiments import fig8
+from repro.workloads.registry import workload_names
+
+
+def test_fig8_grid_is_a_sweep_spec(bench_config):
+    spec = fig8.sweep_spec(bench_config)
+    assert len(spec) == (
+        len(workload_names()) * len(fig8.SCHEDULERS) * bench_config.repetitions
+    )
+    # Content-addressed: the same grid always hashes the same way.
+    assert spec.sweep_hash == fig8.sweep_spec(bench_config).sweep_hash
 
 
 def test_fig8_energy(benchmark, results_dir, bench_config):

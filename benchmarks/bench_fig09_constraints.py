@@ -1,10 +1,23 @@
-"""Figure 9 — reducing energy under performance constraints."""
+"""Figure 9 — reducing energy under performance constraints.
+
+The (workload x JOSS-variant) grid is declared as a
+:class:`repro.sweep.SweepSpec` and executed by the sweep engine.
+"""
 
 from __future__ import annotations
 
 from conftest import emit
 
 from repro.bench.experiments import fig9
+
+
+def test_fig9_grid_is_a_sweep_spec(bench_config):
+    spec = fig9.sweep_spec(bench_config)
+    assert len(spec) == (
+        len(fig9.DEFAULT_WORKLOADS) * len(fig9.VARIANTS)
+        * bench_config.repetitions
+    )
+    assert set(spec.schedulers) == set(fig9.VARIANTS)
 
 
 def test_fig9_constraints(benchmark, results_dir, bench_config):

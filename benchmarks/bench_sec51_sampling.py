@@ -1,4 +1,9 @@
-"""Section 5.1 — sampling-phase cost falls with kernel invocations."""
+"""Section 5.1 — sampling-phase cost falls with kernel invocations.
+
+The (workload x scale) grid is declared as a
+:class:`repro.sweep.SweepSpec` — this one exercises the multi-scale
+axis — and executed by the sweep engine.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,13 @@ import numpy as np
 from conftest import emit
 
 from repro.bench.experiments import sampling
+
+
+def test_sec51_grid_is_a_sweep_spec():
+    spec = sampling.sweep_spec()
+    assert len(spec) == len(sampling.DEFAULT_WORKLOADS) * len(sampling.DEFAULT_SCALES)
+    assert spec.scales == sampling.DEFAULT_SCALES
+    assert spec.repetitions == 1
 
 
 def test_sec51_sampling(benchmark, results_dir):

@@ -19,19 +19,36 @@ import numpy as np
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
 from repro.bench.runner import BenchConfig, run_matrix
+from repro.sweep.spec import SweepSpec
 from repro.workloads.registry import workload_names
 
 SCHEDULERS = ("GRWS", "ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS", "JOSS")
+
+
+def sweep_spec(
+    config: Optional[BenchConfig] = None,
+    workloads: Optional[Sequence[str]] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> SweepSpec:
+    """The figure's run grid, declared as data (cache-addressable)."""
+    cfg = config or BenchConfig()
+    wls = list(workloads) if workloads is not None else workload_names()
+    return SweepSpec.from_bench_config(cfg, wls, schedulers)
 
 
 def run(
     config: Optional[BenchConfig] = None,
     workloads: Optional[Sequence[str]] = None,
     schedulers: Sequence[str] = SCHEDULERS,
+    workers: int = 0,
+    cache=None,
+    progress=None,
 ) -> ExperimentResult:
     cfg = config or BenchConfig()
     wls = list(workloads) if workloads is not None else workload_names()
-    matrix = run_matrix(wls, schedulers, cfg)
+    matrix = run_matrix(
+        wls, schedulers, cfg, workers=workers, cache=cache, progress=progress
+    )
     rows, table_rows = [], []
     for wl in wls:
         base = matrix[wl]["GRWS"].total_energy

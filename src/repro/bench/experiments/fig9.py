@@ -15,7 +15,9 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 from repro.workloads.registry import workload_names
 
 VARIANTS = ("JOSS", "JOSS_1.2x", "JOSS_1.4x", "JOSS_1.8x", "JOSS_MAXP")
@@ -26,22 +28,44 @@ DEFAULT_WORKLOADS = (
 )
 
 
+def sweep_spec(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    variants: Sequence[str] = VARIANTS,
+) -> SweepSpec:
+    """The figure's run grid: every workload under every JOSS variant
+    (the unconstrained "JOSS" column doubles as the baseline)."""
+    cfg = config or BenchConfig()
+    wls = workload_names() if list(workloads) == ["all"] else list(workloads)
+    scheds = variants if "JOSS" in variants else ("JOSS", *variants)
+    return SweepSpec.from_bench_config(cfg, wls, scheds)
+
+
 def run(
     config: Optional[BenchConfig] = None,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     variants: Sequence[str] = VARIANTS,
+    workers: int = 0,
+    cache=None,
+    progress=None,
 ) -> ExperimentResult:
     cfg = config or BenchConfig()
-    wls = workload_names() if list(workloads) == ["all"] else list(workloads)
+    spec = sweep_spec(cfg, workloads, variants)
+    result = run_sweep(
+        spec, workers=workers, cache=cache, progress=progress
+    )
+    result.raise_on_failure()
+    averaged = result.averaged()
+    wls = list(spec.workloads)
     rows, table_rows = [], []
     speedups: dict[str, list[float]] = {v: [] for v in variants}
     premiums: dict[str, list[float]] = {v: [] for v in variants}
     for wl in wls:
-        base = run_averaged(wl, "JOSS", cfg)
+        base = averaged[(wl, "JOSS", cfg.scale)]
         row = {"workload": wl}
         cells = [wl]
         for v in variants:
-            m = base if v == "JOSS" else run_averaged(wl, v, cfg)
+            m = averaged[(wl, v, cfg.scale)]
             t_norm = m.makespan / base.makespan
             e_norm = m.total_energy / base.total_energy
             row[f"{v}_time"] = t_norm

@@ -16,30 +16,51 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_one
+from repro.bench.runner import BenchConfig
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 
 DEFAULT_WORKLOADS = ("hd-small", "dp", "slu", "st-512")
 DEFAULT_SCALES = (1.0, 2.0, 4.0)
+
+
+def sweep_spec(
+    config: Optional[BenchConfig] = None,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    scales: Sequence[float] = DEFAULT_SCALES,
+) -> SweepSpec:
+    """JOSS across the workload x scale grid, one repetition each (the
+    sampling share is structural, not noise-sensitive)."""
+    base_cfg = config or BenchConfig(repetitions=1)
+    return SweepSpec(
+        workloads=tuple(workloads),
+        schedulers=("JOSS",),
+        platform=base_cfg.platform_name(),
+        scales=tuple(scales),
+        repetitions=1,
+        seed=base_cfg.seed,
+        workload_seed=base_cfg.workload_seed,
+        profile_seed=base_cfg.profile_seed,
+    )
 
 
 def run(
     config: Optional[BenchConfig] = None,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     scales: Sequence[float] = DEFAULT_SCALES,
+    workers: int = 0,
+    cache=None,
+    progress=None,
 ) -> ExperimentResult:
-    base_cfg = config or BenchConfig(repetitions=1)
+    spec = sweep_spec(config, workloads, scales)
+    result = run_sweep(spec, workers=workers, cache=cache, progress=progress)
+    result.raise_on_failure()
+    averaged = result.averaged()
     rows, table_rows = [], []
     largest_scale_fracs = []
     for wl in workloads:
         for scale in scales:
-            cfg = BenchConfig(
-                platform_factory=base_cfg.platform_factory,
-                scale=scale,
-                repetitions=1,
-                seed=base_cfg.seed,
-                workload_seed=base_cfg.workload_seed,
-            )
-            m = run_one(wl, "JOSS", cfg)
+            m = averaged[(wl, "JOSS", float(scale))]
             busy = sum(ks.total_time for ks in m.per_kernel.values())
             frac_busy = m.sampling_time / busy if busy > 0 else float("nan")
             rows.append(

@@ -3,6 +3,14 @@
 Mirrors the paper's methodology (section 6.1): frequencies are pinned
 at maximum before each run, each experiment is repeated and the
 arithmetic average reported.
+
+Since the sweep subsystem landed, :func:`run_averaged` and
+:func:`run_matrix` are thin veneers over
+:func:`repro.sweep.engine.run_sweep`: the grid is declared as job
+specs and executed — serially in-process by default (deterministic,
+what the tests use), or fanned out over worker processes and/or backed
+by the on-disk result cache when the caller passes ``workers`` /
+``cache``.
 """
 
 from __future__ import annotations
@@ -10,13 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
-from repro.hw.platform import Platform, jetson_tx2
+from repro.hw.platform import PLATFORM_FACTORIES, Platform, jetson_tx2
 from repro.models.suite import ModelSuite
 from repro.models.training import profile_and_fit
 from repro.runtime.executor import Executor
-from repro.runtime.metrics import RunMetrics
+from repro.runtime.metrics import RunMetrics, average_run_metrics
 from repro.schedulers.registry import make_scheduler, needs_suite
 from repro.workloads.registry import build_workload
 
@@ -34,10 +40,36 @@ class BenchConfig:
     workload_seed: int = 3
     profile_seed: int = 0
     scheduler_kwargs: dict = field(default_factory=dict)
+    _suite_memo: Optional[ModelSuite] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _platform_name: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def suite(self) -> ModelSuite:
-        """Fitted (cached) model suite for the platform."""
-        return profile_and_fit(self.platform_factory, seed=self.profile_seed)
+        """Fitted (cached) model suite for the platform.
+
+        Memoised on the config instance, so repeated repetitions skip
+        even the global profile-and-fit cache lookup.
+        """
+        if self._suite_memo is None:
+            self._suite_memo = profile_and_fit(
+                self.platform_factory, seed=self.profile_seed
+            )
+        return self._suite_memo
+
+    def platform_name(self) -> str:
+        """Name of the platform this config builds (probed once)."""
+        if self._platform_name is None:
+            self._platform_name = self.platform_factory().name
+        return self._platform_name
+
+    def registered_platform(self) -> bool:
+        """Whether job specs built from this config can be resolved by
+        name in worker processes / the result cache."""
+        name = self.platform_name()
+        return PLATFORM_FACTORIES.get(name) is self.platform_factory
 
 
 def run_one(
@@ -66,31 +98,36 @@ def run_averaged(
     config: Optional[BenchConfig] = None,
     **workload_overrides,
 ) -> RunMetrics:
-    """Average metrics over ``config.repetitions`` runs (paper: 10)."""
+    """Average metrics over ``config.repetitions`` runs (paper: 10).
+
+    Delegates the repetitions to the sweep engine's serial in-process
+    path; seeds and averaging match the pre-sweep behaviour exactly.
+    """
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.spec import JobSpec
+
     cfg = config or BenchConfig()
-    runs = [
-        run_one(workload, scheduler_name, cfg, repetition=r, **workload_overrides)
+    jobs = [
+        JobSpec(
+            workload=workload,
+            scheduler=scheduler_name,
+            platform=cfg.platform_name(),
+            scale=cfg.scale,
+            seed=cfg.seed,
+            workload_seed=cfg.workload_seed,
+            profile_seed=cfg.profile_seed,
+            repetition=r,
+            scheduler_kwargs=cfg.scheduler_kwargs,
+            workload_overrides=workload_overrides,
+        )
         for r in range(cfg.repetitions)
     ]
-    avg = RunMetrics(scheduler=scheduler_name, workload=workload)
-    avg.makespan = float(np.mean([m.makespan for m in runs]))
-    avg.cpu_energy = float(np.mean([m.cpu_energy for m in runs]))
-    avg.mem_energy = float(np.mean([m.mem_energy for m in runs]))
-    avg.cpu_energy_exact = float(np.mean([m.cpu_energy_exact for m in runs]))
-    avg.mem_energy_exact = float(np.mean([m.mem_energy_exact for m in runs]))
-    avg.tasks_executed = runs[0].tasks_executed
-    avg.steals = int(np.mean([m.steals for m in runs]))
-    avg.cluster_freq_transitions = int(
-        np.mean([m.cluster_freq_transitions for m in runs])
-    )
-    avg.memory_freq_transitions = int(
-        np.mean([m.memory_freq_transitions for m in runs])
-    )
-    avg.sampling_time = float(np.mean([m.sampling_time for m in runs]))
-    avg.extras = runs[0].extras
-    # Per-kernel stats are structural (placements, invocations); the
-    # first repetition is representative.
-    avg.per_kernel = runs[0].per_kernel
+    factory = None if cfg.registered_platform() else cfg.platform_factory
+    result = run_sweep(jobs, workers=0, platform_factory=factory)
+    result.raise_on_failure()
+    avg = average_run_metrics(result.metrics())
+    avg.scheduler = scheduler_name
+    avg.workload = workload
     return avg
 
 
@@ -98,12 +135,42 @@ def run_matrix(
     workloads: Sequence[str],
     schedulers: Sequence[str],
     config: Optional[BenchConfig] = None,
+    *,
+    workers: int = 0,
+    cache=None,
+    progress=None,
 ) -> dict[str, dict[str, RunMetrics]]:
-    """``{workload: {scheduler: averaged metrics}}`` over the grid."""
+    """``{workload: {scheduler: averaged metrics}}`` over the grid.
+
+    Delegates to the sweep engine.  The default is the serial
+    in-process path; pass ``workers`` > 1 for a process-pool sweep and
+    a :class:`repro.sweep.ResultCache` as ``cache`` to make repeated
+    invocations of an unchanged grid pure cache hits.
+    """
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.spec import SweepSpec
+
     cfg = config or BenchConfig()
-    out: dict[str, dict[str, RunMetrics]] = {}
-    for wl in workloads:
-        out[wl] = {}
-        for s in schedulers:
-            out[wl][s] = run_averaged(wl, s, cfg)
-    return out
+    spec = SweepSpec.from_bench_config(cfg, workloads, schedulers)
+    factory = None
+    if not cfg.registered_platform():
+        # Custom factory (e.g. symmetric_platform closures): run in
+        # process, by direct callable; by-name resolution and content
+        # addressing would be unsound for it.
+        if workers and workers > 1:
+            raise ValueError(
+                f"platform {cfg.platform_name()!r} is not registered; "
+                "parallel sweeps need a registered platform factory"
+            )
+        cache = None
+        factory = cfg.platform_factory
+    result = run_sweep(
+        spec, workers=workers, cache=cache, progress=progress,
+        platform_factory=factory,
+    )
+    result.raise_on_failure()
+    averaged = result.averaged()
+    return {
+        wl: {s: averaged[(wl, s, cfg.scale)] for s in schedulers}
+        for wl in workloads
+    }

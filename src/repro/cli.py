@@ -8,6 +8,7 @@
     joss-repro experiment fig8              # regenerate a paper artefact
     joss-repro experiment all -o results/   # everything
     joss-repro profile                      # platform characterisation summary
+    joss-repro sweep -w fb dp -s GRWS JOSS --workers 4   # cached grid sweep
 
 Also callable as ``python -m repro ...``.
 """
@@ -86,6 +87,69 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return rc
 
 
+#: Default scheduler line-up for ``sweep`` (the Figure 8 headline trio).
+_SWEEP_DEFAULT_SCHEDULERS = ("GRWS", "STEER", "JOSS")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sweep import ResultCache, SweepSpec, console_progress, run_sweep
+
+    spec = SweepSpec(
+        workloads=tuple(args.workload) if args.workload else tuple(workload_names()),
+        schedulers=tuple(args.scheduler),
+        platform=args.platform,
+        scales=tuple(args.scale),
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(f"sweep: {spec.describe()}  [grid {spec.sweep_hash[:12]}]")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None:
+        print(f"cache: {cache.root}")
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=None if args.quiet else console_progress(),
+    )
+    print()
+    for (wl, sched, scale), m in sorted(result.averaged().items()):
+        line = m.summary()
+        if len(spec.scales) > 1:
+            line += f" | scale {scale:g}"
+        print(line)
+    for f in result.failures:
+        print(f"FAILED [{f.kind}] {f.job.label()} after {f.attempts} "
+              f"attempt(s): {f.error}")
+    print()
+    for line in result.telemetry.summary_lines():
+        print(line)
+    if args.output:
+        payload = {
+            "spec": [j.to_dict() for j in spec],
+            "telemetry": vars(result.telemetry),
+            "results": [
+                {"job": o.job.to_dict(), "cached": o.cached,
+                 "metrics": o.metrics.to_dict()}
+                for o in result.outcomes
+            ],
+            "failures": [
+                {"job": f.job.to_dict(), "kind": f.kind, "error": f.error,
+                 "attempts": f.attempts}
+                for f in result.failures
+            ],
+        }
+        from pathlib import Path
+
+        Path(args.output).write_text(_json.dumps(payload, indent=1))
+        print(f"results JSON -> {args.output}")
+    return 1 if result.failures else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import Timeline
     from repro.bench.runner import BenchConfig
@@ -112,6 +176,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.output:
         path = timeline.save(args.output)
         print(f"\ntimeline JSON -> {path}")
+    if args.chrome:
+        path = tracer.save_chrome_trace(args.chrome)
+        print(f"\nChrome trace -> {path} "
+              f"(open in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -259,6 +327,44 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--width", type=int, default=100)
     trace_p.add_argument("-o", "--output", default=None,
                          help="write the timeline as JSON to this path")
+    trace_p.add_argument("--chrome", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON (Perfetto / "
+                              "chrome://tracing) to this path")
+
+    from repro.hw.platform import platform_names
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (workload x scheduler x scale) grid, parallel + cached",
+    )
+    sweep_p.add_argument(
+        "-w", "--workload", nargs="+", default=None, choices=workload_names(),
+        help="workloads to sweep (default: all)",
+    )
+    sweep_p.add_argument(
+        "-s", "--scheduler", nargs="+", default=list(_SWEEP_DEFAULT_SCHEDULERS),
+        help=f"schedulers to sweep (default: {list(_SWEEP_DEFAULT_SCHEDULERS)})",
+    )
+    sweep_p.add_argument("--platform", default="jetson-tx2",
+                         choices=platform_names())
+    sweep_p.add_argument("--scale", type=float, nargs="+", default=[1.0])
+    sweep_p.add_argument("--repetitions", type=int, default=2)
+    sweep_p.add_argument("--seed", type=int, default=11)
+    sweep_p.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0/1 = serial in-process)")
+    sweep_p.add_argument("--cache-dir", default=None,
+                         help="result-cache root (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="always execute; do not read or write the cache")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-time budget in seconds")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per failed job")
+    sweep_p.add_argument("-q", "--quiet", action="store_true",
+                         help="suppress per-job progress lines")
+    sweep_p.add_argument("-o", "--output", default=None,
+                         help="write per-job metrics JSON to this path")
 
     val_p = sub.add_parser(
         "validate", help="cross-validate the fitted models (k-fold)"
@@ -292,6 +398,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "validate": _cmd_validate,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

@@ -33,3 +33,7 @@ class ModelError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload DAG cannot be constructed as requested."""
+
+
+class SweepError(ReproError):
+    """Raised when a sweep cannot be specified, executed or cached."""

@@ -12,7 +12,7 @@ one memory system, with the real TX2 frequency ladders.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.hw.cluster import Cluster
@@ -282,3 +282,37 @@ def symmetric_platform(
     return Platform(
         clusters, memory, PowerModel(power_params), name=f"sym-{n_clusters}x{cores_per_cluster}"
     )
+
+
+# ----------------------------------------------------------------------
+# Factory registry (sweep jobs reference platforms by name)
+# ----------------------------------------------------------------------
+#: Named zero-argument factories.  Sweep job specs carry the *name* so
+#: they stay picklable/hashable; worker processes resolve it here.
+PLATFORM_FACTORIES: dict[str, "Callable[[], Platform]"] = {
+    "jetson-tx2": jetson_tx2,
+    "jetson-tx2-per-core": jetson_tx2_per_core,
+    "odroid-xu4": odroid_xu4,
+}
+
+
+def platform_names() -> list[str]:
+    """Registered platform factory names."""
+    return sorted(PLATFORM_FACTORIES)
+
+
+def platform_factory(name: str):
+    """Resolve a registered factory by name."""
+    try:
+        return PLATFORM_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r}; registered: {platform_names()}"
+        ) from None
+
+
+def register_platform_factory(name: str, factory, replace: bool = False) -> None:
+    """Register a custom zero-argument platform factory under ``name``."""
+    if name in PLATFORM_FACTORIES and not replace:
+        raise ConfigurationError(f"platform {name!r} is already registered")
+    PLATFORM_FACTORIES[name] = factory

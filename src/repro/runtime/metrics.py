@@ -10,6 +10,7 @@ transitions, sampling-phase share).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass
@@ -141,3 +142,46 @@ class RunMetrics:
             stats.total_wait = ks.get("total_wait", 0.0)
             stats.placements = dict(ks["placements"])
         return m
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def average_run_metrics(runs: Sequence[RunMetrics]) -> RunMetrics:
+    """Arithmetic mean over repetitions of the same (workload, scheduler).
+
+    Continuous quantities are averaged as floats; event counts (steals,
+    DVFS transitions) are averaged and *rounded to nearest* — truncation
+    would bias e.g. a 2/3 steal split down to 2.  Numeric ``extras``
+    fields present in every repetition are averaged too (all-int fields
+    round to nearest); anything else keeps repetition 0's value.
+    Per-kernel stats are structural (placements, invocations) and the
+    first repetition is representative.
+    """
+    if not runs:
+        raise ValueError("cannot average zero runs")
+    n = len(runs)
+    first = runs[0]
+    avg = RunMetrics(scheduler=first.scheduler, workload=first.workload)
+    for name in (
+        "makespan", "cpu_energy", "mem_energy",
+        "cpu_energy_exact", "mem_energy_exact", "sampling_time",
+    ):
+        setattr(avg, name, sum(getattr(m, name) for m in runs) / n)
+    avg.tasks_executed = first.tasks_executed
+    for name in ("steals", "cluster_freq_transitions", "memory_freq_transitions"):
+        setattr(avg, name, round(sum(getattr(m, name) for m in runs) / n))
+    extras: dict = {}
+    for key, value in first.extras.items():
+        values = [m.extras.get(key) for m in runs]
+        if _is_number(value) and all(_is_number(v) for v in values):
+            mean = sum(values) / n
+            extras[key] = round(mean) if all(
+                isinstance(v, int) for v in values
+            ) else mean
+        else:
+            extras[key] = value
+    avg.extras = extras
+    avg.per_kernel = first.per_kernel
+    return avg

@@ -1,0 +1,35 @@
+"""Parallel experiment orchestration with content-addressed caching.
+
+The sweep subsystem turns a paper figure's run grid into data
+(:class:`SweepSpec` / :class:`JobSpec`), executes it serially or over a
+process pool (:func:`run_sweep`), and memoises results on disk keyed by
+a canonical content hash (:class:`ResultCache`) so unchanged grids are
+pure cache hits.
+"""
+
+from repro.sweep.cache import CacheStats, ResultCache, default_cache_dir
+from repro.sweep.engine import (
+    JobFailure,
+    JobOutcome,
+    SweepResult,
+    execute_job,
+    run_sweep,
+)
+from repro.sweep.spec import SCHEMA_VERSION, JobSpec, SweepSpec
+from repro.sweep.telemetry import SweepTelemetry, console_progress
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "JobFailure",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "SweepResult",
+    "SweepSpec",
+    "SweepTelemetry",
+    "console_progress",
+    "default_cache_dir",
+    "execute_job",
+    "run_sweep",
+]

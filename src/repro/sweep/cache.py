@@ -1,0 +1,168 @@
+"""On-disk caches for sweeps.
+
+Two artifact kinds live under one cache root (default
+``~/.cache/repro/sweep``, overridable via ``$REPRO_CACHE_DIR`` or the
+``cache_dir`` argument):
+
+* **results/** — content-addressed job results: ``<hash[:2]>/<hash>.json``
+  holding the job spec, its execution time and the
+  ``RunMetrics.to_dict()`` payload.  The hash covers every run-relevant
+  input plus the sweep schema version, so a cache hit is only possible
+  when nothing that could change the outcome has changed.
+* **suites/** — fitted :class:`~repro.models.suite.ModelSuite`
+  snapshots (via :mod:`repro.models.io`), keyed by platform name and
+  profiling seed, so worker processes load models from disk instead of
+  re-profiling the platform each.
+
+Corrupted entries (truncated writes, schema drift, hand-edited JSON)
+are treated as misses: the offending file is removed and the sweep
+re-executes the job.  Writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.sweep.spec import SCHEMA_VERSION, JobSpec
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "sweep"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+
+class ResultCache:
+    """Content-addressed job-hash -> result-entry JSON store."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.results_dir = self.root / "results"
+        self.suites_dir = self.root / "suites"
+        self.stats = CacheStats()
+
+    # -- result entries -------------------------------------------------
+    def path_for(self, job_hash: str) -> Path:
+        return self.results_dir / job_hash[:2] / f"{job_hash}.json"
+
+    def get(self, job_hash: str) -> Optional[dict]:
+        """Entry dict for ``job_hash`` or ``None`` (miss / corrupted)."""
+        path = self.path_for(job_hash)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            entry = None
+        if not self._valid(entry):
+            # Corrupted or stale-schema: drop it and report a miss so
+            # the sweep transparently re-executes the job.
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry
+
+    @staticmethod
+    def _valid(entry: Any) -> bool:
+        return (
+            isinstance(entry, dict)
+            and entry.get("schema_version") == SCHEMA_VERSION
+            and isinstance(entry.get("metrics"), dict)
+            and isinstance(entry.get("elapsed"), (int, float))
+        )
+
+    def put(self, job: JobSpec, job_hash: str, metrics: dict, elapsed: float) -> Path:
+        entry = {
+            "schema_version": SCHEMA_VERSION,
+            "job": job.to_dict(),
+            "elapsed": elapsed,
+            "metrics": metrics,
+        }
+        path = self.path_for(job_hash)
+        _atomic_write_json(path, entry)
+        self.stats.writes += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Remove every cached result; returns the number removed."""
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # -- model-suite snapshots ------------------------------------------
+    def suite_path(self, platform: str, profile_seed: int) -> Path:
+        return self.suites_dir / f"{platform}-seed{profile_seed}-v{SCHEMA_VERSION}.json"
+
+    def ensure_suite(self, platform: str, profile_seed: int) -> Path:
+        """Write the fitted-suite snapshot if absent; return its path.
+
+        Profiling + fitting runs at most once per (platform, seed) per
+        cache: workers then share the JSON artifact — the paper's
+        "profile once per platform, at install time" workflow.
+        """
+        path = self.suite_path(platform, profile_seed)
+        if path.is_file():
+            return path
+        from repro.hw.platform import platform_factory
+        from repro.models.io import suite_to_dict
+        from repro.models.training import profile_and_fit
+
+        suite = profile_and_fit(platform_factory(platform), seed=profile_seed)
+        _atomic_write_json(path, suite_to_dict(suite))
+        return path
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

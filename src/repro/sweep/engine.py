@@ -1,0 +1,454 @@
+"""Sweep execution engine.
+
+Executes a :class:`~repro.sweep.spec.SweepSpec` (or an explicit job
+list) either serially in-process — the default, used by the test suite
+and the ported ``run_matrix`` — or fanned out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Both paths produce *identical* results for identical specs:
+
+* the worker resolves the platform by registered name and re-derives
+  the executor seed from the spec, exactly like the serial path;
+* model suites cross a JSON round-trip in both modes (in-memory for
+  serial, via the on-disk snapshot for workers) — JSON float
+  serialisation round-trips exactly, so predictions are bit-identical;
+* metrics are normalised through ``RunMetrics.to_dict`` -> JSON ->
+  ``from_dict`` in both modes, so cached, serial and parallel results
+  are indistinguishable.
+
+Failures never crash a sweep: each job gets ``retries`` extra attempts
+with linear backoff, and jobs that still fail (or exceed ``timeout``)
+are reported as structured :class:`JobFailure` records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from repro.errors import SweepError
+from repro.runtime.metrics import RunMetrics, average_run_metrics
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import JobSpec, SweepSpec
+from repro.sweep.telemetry import ProgressHook, SweepTelemetry
+
+#: How often the parallel loop wakes up to check per-job timeouts.
+_POLL_S = 0.05
+
+
+# ----------------------------------------------------------------------
+# Job execution (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+_SUITE_MEMO: dict = {}
+
+
+def _suite_from_snapshot(path: str):
+    """Load a fitted suite snapshot, memoised per process."""
+    from repro.models.io import load_suite
+
+    suite = _SUITE_MEMO.get(path)
+    if suite is None:
+        suite = _SUITE_MEMO[path] = load_suite(path)
+    return suite
+
+
+def _suite_in_process(platform: str, profile_seed: int):
+    """Fit (once) and JSON-round-trip a suite without touching disk."""
+    from repro.hw.platform import platform_factory
+    from repro.models.io import suite_from_dict, suite_to_dict
+    from repro.models.training import profile_and_fit
+
+    key = (platform, profile_seed)
+    suite = _SUITE_MEMO.get(key)
+    if suite is None:
+        fitted = profile_and_fit(platform_factory(platform), seed=profile_seed)
+        suite = _SUITE_MEMO[key] = suite_from_dict(
+            json.loads(json.dumps(suite_to_dict(fitted)))
+        )
+    return suite
+
+
+def execute_job(
+    spec: JobSpec,
+    suite=None,
+    platform_factory: Optional[Callable] = None,
+) -> dict:
+    """Run one job; returns the JSON-normalised ``RunMetrics`` dict."""
+    from repro.hw.platform import platform_factory as resolve_platform
+    from repro.runtime.executor import Executor
+    from repro.schedulers.registry import make_scheduler, needs_suite
+    from repro.workloads.registry import build_workload
+
+    factory = platform_factory or resolve_platform(spec.platform)
+    if suite is None and needs_suite(spec.scheduler):
+        suite = _suite_in_process(spec.platform, spec.profile_seed)
+    sched = make_scheduler(spec.scheduler, suite, **spec.scheduler_kwargs_dict())
+    graph = build_workload(
+        spec.workload,
+        scale=spec.scale,
+        seed=spec.workload_seed,
+        **spec.workload_overrides_dict(),
+    )
+    ex = Executor(factory(), sched, seed=spec.executor_seed)
+    metrics = ex.run(graph)
+    metrics.workload = spec.workload
+    # JSON round-trip so serial, parallel (pickled) and cached results
+    # are structurally identical (e.g. tuples in extras become lists).
+    return json.loads(json.dumps(metrics.to_dict()))
+
+
+def _pool_worker(spec_dict: dict, suite_path: Optional[str]) -> dict:
+    """Top-level (picklable) worker entry point."""
+    spec = JobSpec.from_dict(spec_dict)
+    suite = _suite_from_snapshot(suite_path) if suite_path else None
+    return execute_job(spec, suite=suite)
+
+
+# ----------------------------------------------------------------------
+# Outcome records
+# ----------------------------------------------------------------------
+@dataclass
+class JobOutcome:
+    """A job that produced metrics (freshly executed or cache hit)."""
+
+    job: JobSpec
+    job_hash: str
+    metrics: RunMetrics
+    cached: bool = False
+    elapsed: float = 0.0
+    attempts: int = 1
+
+
+@dataclass
+class JobFailure:
+    """A job that exhausted its attempts (or timed out)."""
+
+    job: JobSpec
+    job_hash: str
+    error: str
+    kind: str = "error"  # "error" | "timeout" | "broken-pool"
+    attempts: int = 1
+    elapsed: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in job-submission order."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    failures: list[JobFailure] = field(default_factory=list)
+    telemetry: SweepTelemetry = field(default_factory=SweepTelemetry)
+
+    def metrics(self) -> list[RunMetrics]:
+        return [o.metrics for o in self.outcomes]
+
+    def grouped(self) -> dict[tuple[str, str, float], list[RunMetrics]]:
+        """``(workload, scheduler, scale) -> [metrics by repetition]``."""
+        ordered = sorted(self.outcomes, key=lambda o: o.job.repetition)
+        out: dict[tuple[str, str, float], list[RunMetrics]] = {}
+        for o in ordered:
+            key = (o.job.workload, o.job.scheduler, o.job.scale)
+            out.setdefault(key, []).append(o.metrics)
+        return out
+
+    def averaged(self) -> dict[tuple[str, str, float], RunMetrics]:
+        """Repetition-averaged metrics per grid point."""
+        return {
+            key: average_run_metrics(runs)
+            for key, runs in self.grouped().items()
+        }
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise SweepError(
+                f"{len(self.failures)} job(s) failed; first: "
+                f"{first.job.label()} [{first.kind}] {first.error}"
+            )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def run_sweep(
+    jobs: Union[SweepSpec, Sequence[JobSpec]],
+    *,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.05,
+    progress: Optional[ProgressHook] = None,
+    platform_factory: Optional[Callable] = None,
+    worker_fn: Optional[Callable] = None,
+) -> SweepResult:
+    """Execute a sweep and return outcomes + failures + telemetry.
+
+    ``workers <= 1`` runs serially in-process (deterministic, no pool);
+    larger values fan jobs out over a process pool.  ``cache`` enables
+    the content-addressed result store: jobs whose hash is present are
+    not executed at all.  ``timeout`` bounds one job's execution
+    seconds; ``retries`` re-runs failed (not timed-out) jobs with
+    ``backoff * attempt`` sleeps in between.
+
+    ``platform_factory`` overrides by-name resolution for unregistered
+    platforms (serial mode only).  ``worker_fn(spec) -> metrics-dict``
+    substitutes the job body — used by tests to exercise the failure
+    machinery without a simulator in the loop.
+    """
+    job_list = list(jobs.jobs() if isinstance(jobs, SweepSpec) else jobs)
+    parallel = workers and workers > 1
+    if parallel and platform_factory is not None:
+        raise SweepError(
+            "platform_factory overrides are serial-only; register the "
+            "platform (repro.hw.platform.register_platform_factory) for "
+            "parallel sweeps"
+        )
+    result = SweepResult()
+    t = result.telemetry
+    t.total = len(job_list)
+    t.workers = max(1, int(workers) if workers else 1)
+    notify = progress or (lambda event, job, telemetry: None)
+
+    started = time.perf_counter()
+    pending: list[tuple[JobSpec, str]] = []
+    outcome_at: dict[str, Union[JobOutcome, JobFailure]] = {}
+    for job in job_list:
+        h = job.job_hash
+        t.queued += 1
+        notify("queued", job, t)
+        entry = cache.get(h) if cache is not None else None
+        if entry is not None:
+            t.cache_hits += 1
+            t.time_saved += float(entry["elapsed"])
+            outcome = JobOutcome(
+                job, h, RunMetrics.from_dict(entry["metrics"]),
+                cached=True, elapsed=0.0,
+            )
+            outcome_at[h] = outcome
+            notify("hit", job, t)
+        else:
+            pending.append((job, h))
+    if cache is not None:
+        t.cache_corrupted = cache.stats.corrupted
+
+    if pending:
+        if parallel:
+            _run_parallel(
+                pending, outcome_at, t, notify,
+                workers=int(workers), cache=cache, timeout=timeout,
+                retries=retries, backoff=backoff, worker_fn=worker_fn,
+            )
+        else:
+            _run_serial(
+                pending, outcome_at, t, notify,
+                cache=cache, timeout=timeout, retries=retries,
+                backoff=backoff, platform_factory=platform_factory,
+                worker_fn=worker_fn,
+            )
+
+    t.wall_time = time.perf_counter() - started
+    for job in job_list:
+        rec = outcome_at.get(job.job_hash)
+        if isinstance(rec, JobOutcome):
+            result.outcomes.append(rec)
+        elif isinstance(rec, JobFailure):
+            result.failures.append(rec)
+    return result
+
+
+def _record_success(
+    job: JobSpec, h: str, metrics_dict: dict, elapsed: float, attempts: int,
+    outcome_at, t: SweepTelemetry, cache: Optional[ResultCache],
+) -> JobOutcome:
+    if cache is not None:
+        cache.put(job, h, metrics_dict, elapsed)
+    outcome = JobOutcome(
+        job, h, RunMetrics.from_dict(metrics_dict),
+        cached=False, elapsed=elapsed, attempts=attempts,
+    )
+    outcome_at[h] = outcome
+    t.done += 1
+    t.exec_time += elapsed
+    return outcome
+
+
+def _run_serial(
+    pending, outcome_at, t: SweepTelemetry, notify,
+    *, cache, timeout, retries, backoff, platform_factory, worker_fn,
+) -> None:
+    body = worker_fn or (
+        lambda spec: execute_job(spec, platform_factory=platform_factory)
+    )
+    for job, h in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            notify("start", job, t)
+            t.running = 1
+            t0 = time.perf_counter()
+            try:
+                metrics_dict = body(job)
+                elapsed = time.perf_counter() - t0
+                error = None
+            except Exception as exc:  # noqa: BLE001 - contained per job
+                elapsed = time.perf_counter() - t0
+                error = f"{type(exc).__name__}: {exc}"
+            finally:
+                t.running = 0
+            if error is None and timeout is not None and elapsed > timeout:
+                # Serial mode cannot preempt a running simulation; the
+                # budget is enforced post-hoc and the job is *not*
+                # retried (it would only time out again).
+                outcome_at[h] = JobFailure(
+                    job, h, f"exceeded timeout of {timeout:g} s",
+                    kind="timeout", attempts=attempts, elapsed=elapsed,
+                )
+                t.failed += 1
+                notify("failed", job, t)
+                break
+            if error is None:
+                _record_success(
+                    job, h, metrics_dict, elapsed, attempts, outcome_at, t, cache
+                )
+                notify("done", job, t)
+                break
+            if attempts <= retries:
+                t.retries += 1
+                notify("retry", job, t)
+                if backoff > 0:
+                    time.sleep(backoff * attempts)
+                continue
+            outcome_at[h] = JobFailure(
+                job, h, error, kind="error", attempts=attempts, elapsed=elapsed
+            )
+            t.failed += 1
+            notify("failed", job, t)
+            break
+
+
+def _run_parallel(
+    pending, outcome_at, t: SweepTelemetry, notify,
+    *, workers, cache, timeout, retries, backoff, worker_fn,
+) -> None:
+    queue = deque((job, h, 1) for job, h in pending)
+    suite_paths = _prepare_suites(pending, cache)
+    in_flight: dict = {}
+
+    def submit(pool) -> None:
+        while queue and len(in_flight) < workers:
+            job, h, attempt = queue.popleft()
+            if worker_fn is not None:
+                fut = pool.submit(worker_fn, job)
+            else:
+                fut = pool.submit(
+                    _pool_worker, job.to_dict(),
+                    suite_paths.get((job.platform, job.profile_seed)),
+                )
+            in_flight[fut] = (job, h, attempt, time.perf_counter())
+            notify("start", job, t)
+            t.running = len(in_flight)
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        try:
+            submit(pool)
+            while in_flight:
+                done, _ = wait(
+                    in_flight, timeout=_POLL_S if timeout else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.perf_counter()
+                for fut in done:
+                    job, h, attempt, t0 = in_flight.pop(fut)
+                    elapsed = now - t0
+                    exc = fut.exception()
+                    if exc is None:
+                        _record_success(
+                            job, h, fut.result(), elapsed, attempt,
+                            outcome_at, t, cache,
+                        )
+                        notify("done", job, t)
+                    elif isinstance(exc, BrokenProcessPool):
+                        outcome_at[h] = JobFailure(
+                            job, h, f"process pool broke: {exc}",
+                            kind="broken-pool", attempts=attempt,
+                            elapsed=elapsed,
+                        )
+                        t.failed += 1
+                        notify("failed", job, t)
+                        raise exc
+                    elif attempt <= retries:
+                        t.retries += 1
+                        notify("retry", job, t)
+                        if backoff > 0:
+                            time.sleep(backoff * attempt)
+                        queue.append((job, h, attempt + 1))
+                    else:
+                        outcome_at[h] = JobFailure(
+                            job, h, f"{type(exc).__name__}: {exc}",
+                            kind="error", attempts=attempt, elapsed=elapsed,
+                        )
+                        t.failed += 1
+                        notify("failed", job, t)
+                if timeout is not None:
+                    for fut in [
+                        f for f, (_, _, _, t0) in in_flight.items()
+                        if now - t0 > timeout
+                    ]:
+                        job, h, attempt, t0 = in_flight.pop(fut)
+                        fut.cancel()  # the worker itself cannot be killed
+                        outcome_at[h] = JobFailure(
+                            job, h, f"exceeded timeout of {timeout:g} s",
+                            kind="timeout", attempts=attempt,
+                            elapsed=now - t0,
+                        )
+                        t.failed += 1
+                        notify("failed", job, t)
+                t.running = len(in_flight)
+                submit(pool)
+        except BrokenProcessPool as exc:
+            # The pool died (OOM-killed worker, interpreter crash):
+            # everything unresolved becomes a structured failure.
+            for fut, (job, h, attempt, t0) in in_flight.items():
+                outcome_at[h] = JobFailure(
+                    job, h, f"process pool broke: {exc}",
+                    kind="broken-pool", attempts=attempt,
+                    elapsed=time.perf_counter() - t0,
+                )
+                t.failed += 1
+                notify("failed", job, t)
+            for job, h, attempt in queue:
+                outcome_at[h] = JobFailure(
+                    job, h, f"process pool broke: {exc}",
+                    kind="broken-pool", attempts=attempt,
+                )
+                t.failed += 1
+                notify("failed", job, t)
+            in_flight.clear()
+            queue.clear()
+        t.running = 0
+
+
+def _prepare_suites(
+    pending: Sequence[tuple[JobSpec, str]], cache: Optional[ResultCache]
+) -> dict[tuple[str, int], str]:
+    """Write model-suite snapshots for every (platform, seed) that any
+    pending job needs, before forking workers."""
+    from repro.schedulers.registry import needs_suite
+
+    needed = {
+        (job.platform, job.profile_seed)
+        for job, _ in pending
+        if needs_suite(job.scheduler)
+    }
+    if not needed:
+        return {}
+    store = cache or ResultCache()
+    return {
+        key: str(store.ensure_suite(*key)) for key in sorted(needed)
+    }

@@ -1,0 +1,226 @@
+"""Declarative sweep specifications.
+
+A paper figure is a grid of ``(workload, scheduler, platform, scale,
+seed, repetition)`` runs.  :class:`JobSpec` describes exactly one such
+run *as data* — immutable, picklable, and content-hashable — and
+:class:`SweepSpec` describes a whole grid and enumerates it in a
+deterministic order.
+
+The canonical hash is what makes result caching safe: it covers every
+input that can change a run's outcome, plus :data:`SCHEMA_VERSION`,
+which must be bumped whenever simulator changes invalidate archived
+results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import SweepError
+
+#: Bump to invalidate every previously cached sweep result (include it
+#: in the job hash so stale entries simply stop matching).
+SCHEMA_VERSION = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert dicts/lists into sorted, hashable tuples."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    raise SweepError(f"value {value!r} is not sweep-serialisable")
+
+
+def thaw(value: Any) -> Any:
+    """Inverse of :func:`freeze` (pair-tuples become dicts again)."""
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(v, tuple) and len(v) == 2 and isinstance(v[0], str)
+            for v in value
+        ):
+            return {k: thaw(v) for k, v in value}
+        return [thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation run, described entirely as data.
+
+    ``scheduler_kwargs`` / ``workload_overrides`` accept plain dicts and
+    are canonicalised to sorted tuples on construction, so two specs
+    built from differently-ordered dicts hash identically.
+    """
+
+    workload: str
+    scheduler: str
+    platform: str = "jetson-tx2"
+    scale: float = 1.0
+    seed: int = 11
+    workload_seed: int = 3
+    profile_seed: int = 0
+    repetition: int = 0
+    scheduler_kwargs: Any = ()
+    workload_overrides: Any = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
+        object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
+
+    # -- canonical form -------------------------------------------------
+    def scheduler_kwargs_dict(self) -> dict:
+        out = thaw(self.scheduler_kwargs)
+        return out if isinstance(out, dict) else {}
+
+    def workload_overrides_dict(self) -> dict:
+        out = thaw(self.workload_overrides)
+        return out if isinstance(out, dict) else {}
+
+    @property
+    def executor_seed(self) -> int:
+        """Seed handed to the Executor (mirrors ``runner.run_one``)."""
+        return self.seed + 1000 * self.repetition
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "platform": self.platform,
+            "scale": self.scale,
+            "seed": self.seed,
+            "workload_seed": self.workload_seed,
+            "profile_seed": self.profile_seed,
+            "repetition": self.repetition,
+            "scheduler_kwargs": self.scheduler_kwargs_dict(),
+            "workload_overrides": self.workload_overrides_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def canonical_json(self) -> str:
+        payload = dict(self.to_dict(), schema_version=SCHEMA_VERSION)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def job_hash(self) -> str:
+        """Content hash over all run-relevant inputs + schema version."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def label(self) -> str:
+        bits = f"{self.workload}/{self.scheduler}"
+        if self.scale != 1.0:
+            bits += f"@x{self.scale:g}"
+        return f"{bits} rep{self.repetition}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full run grid: the cartesian product of the axes below.
+
+    Enumeration order (:meth:`jobs`) is deterministic — workload-major,
+    then scheduler, scale, repetition — so serial and parallel sweeps
+    agree on job identity and result ordering.
+    """
+
+    workloads: Sequence[str]
+    schedulers: Sequence[str]
+    platform: str = "jetson-tx2"
+    scales: Sequence[float] = (1.0,)
+    repetitions: int = 2
+    seed: int = 11
+    workload_seed: int = 3
+    profile_seed: int = 0
+    scheduler_kwargs: Any = ()
+    workload_overrides: Any = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(self, "scales", tuple(float(s) for s in self.scales))
+        object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
+        object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
+        if self.repetitions < 1:
+            raise SweepError("a sweep needs at least one repetition")
+        if not self.workloads or not self.schedulers:
+            raise SweepError("a sweep needs at least one workload and scheduler")
+
+    def __len__(self) -> int:
+        return (
+            len(self.workloads) * len(self.schedulers)
+            * len(self.scales) * self.repetitions
+        )
+
+    def jobs(self) -> list[JobSpec]:
+        return list(self)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        for wl in self.workloads:
+            for sched in self.schedulers:
+                for scale in self.scales:
+                    for rep in range(self.repetitions):
+                        yield JobSpec(
+                            workload=wl,
+                            scheduler=sched,
+                            platform=self.platform,
+                            scale=scale,
+                            seed=self.seed,
+                            workload_seed=self.workload_seed,
+                            profile_seed=self.profile_seed,
+                            repetition=rep,
+                            scheduler_kwargs=self.scheduler_kwargs,
+                            workload_overrides=self.workload_overrides,
+                        )
+
+    @property
+    def sweep_hash(self) -> str:
+        digest = hashlib.sha256()
+        for job in self:
+            digest.update(job.job_hash.encode())
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.workloads)} workloads x {len(self.schedulers)} "
+            f"schedulers x {len(self.scales)} scales x "
+            f"{self.repetitions} repetitions = {len(self)} jobs "
+            f"on {self.platform}"
+        )
+
+    @classmethod
+    def from_bench_config(
+        cls,
+        config,
+        workloads: Sequence[str],
+        schedulers: Sequence[str],
+        scales: Sequence[float] | None = None,
+        workload_overrides: Mapping[str, Any] | None = None,
+    ) -> "SweepSpec":
+        """Build a grid from a :class:`repro.bench.runner.BenchConfig`.
+
+        The config's ``platform_factory`` must build a platform whose
+        ``name`` is registered in ``repro.hw.platform.PLATFORM_FACTORIES``
+        (true for all stock factories).
+        """
+        return cls(
+            workloads=workloads,
+            schedulers=schedulers,
+            platform=config.platform_name(),
+            scales=(config.scale,) if scales is None else scales,
+            repetitions=config.repetitions,
+            seed=config.seed,
+            workload_seed=config.workload_seed,
+            profile_seed=config.profile_seed,
+            scheduler_kwargs=config.scheduler_kwargs,
+            workload_overrides=workload_overrides or {},
+        )

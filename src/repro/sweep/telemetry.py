@@ -1,0 +1,105 @@
+"""Sweep progress & telemetry.
+
+The engine drives a single mutable :class:`SweepTelemetry` and invokes
+an optional progress hook ``hook(event, job, telemetry)`` at every
+state transition.  Event names:
+
+``queued``   job admitted to the sweep
+``start``    job began executing (an attempt, incl. retries)
+``hit``      job satisfied from the result cache
+``done``     job finished executing successfully
+``retry``    attempt failed, job re-queued
+``failed``   job exhausted its attempts (or timed out)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+EVENTS = ("queued", "start", "hit", "done", "retry", "failed")
+
+
+class ProgressHook(Protocol):  # pragma: no cover - typing aid
+    def __call__(self, event: str, job, telemetry: "SweepTelemetry") -> None: ...
+
+
+@dataclass
+class SweepTelemetry:
+    """Counters + timings for one sweep invocation."""
+
+    total: int = 0
+    queued: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    retries: int = 0
+    cache_hits: int = 0
+    cache_corrupted: int = 0
+    workers: int = 1
+    #: Wall-clock duration of the whole sweep (seconds).
+    wall_time: float = 0.0
+    #: Sum of per-job execution times actually spent this sweep.
+    exec_time: float = 0.0
+    #: Sum of recorded execution times of cache-hit jobs — the
+    #: wall-time the cache saved compared to a cold re-run.
+    time_saved: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return self.done
+
+    @property
+    def completed(self) -> int:
+        return self.done + self.cache_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Estimated serial-cold wall time over actual wall time.
+
+        Combines parallelism (executed job-seconds landing on many
+        cores) and caching (job-seconds not spent at all).
+        """
+        if self.wall_time <= 0:
+            return 1.0
+        return (self.exec_time + self.time_saved) / self.wall_time
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"jobs: {self.total} total, {self.done} executed, "
+            f"{self.cache_hits} cache hits, {self.failed} failed"
+            + (f", {self.retries} retries" if self.retries else ""),
+            f"cache hit rate: {self.hit_rate * 100.0:.1f}%"
+            + (
+                f" ({self.cache_corrupted} corrupted entries recovered)"
+                if self.cache_corrupted else ""
+            ),
+            f"wall time: {self.wall_time:.2f} s with {self.workers} worker(s); "
+            f"simulated job time: {self.exec_time:.2f} s executed + "
+            f"{self.time_saved:.2f} s saved by the cache",
+            f"speedup vs serial cold run: {self.speedup:.2f}x",
+        ]
+        return lines
+
+    def render_summary(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+def console_progress(stream_write: Callable[[str], None] = print) -> ProgressHook:
+    """A progress hook that prints one line per state transition."""
+
+    def hook(event: str, job, telemetry: SweepTelemetry) -> None:
+        if event == "queued":
+            return
+        width = len(str(telemetry.total))
+        tag = {"hit": "cache-hit", "failed": "FAILED"}.get(event, event)
+        stream_write(
+            f"[{telemetry.completed + telemetry.failed:>{width}}/"
+            f"{telemetry.total}] {tag:<9s} {job.label()}"
+        )
+
+    return hook

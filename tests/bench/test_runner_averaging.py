@@ -1,0 +1,89 @@
+"""Averaging semantics and BenchConfig memoization."""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchConfig
+from repro.runtime.metrics import RunMetrics, average_run_metrics
+
+
+def _metrics(steals=0, transitions=0, extras=None, makespan=1.0) -> RunMetrics:
+    m = RunMetrics(scheduler="S", workload="W")
+    m.makespan = makespan
+    m.steals = steals
+    m.cluster_freq_transitions = transitions
+    m.memory_freq_transitions = transitions
+    m.extras = dict(extras or {})
+    return m
+
+
+def test_counts_round_to_nearest_not_truncate():
+    # Mean 2.67 must become 3; int(np.mean(...)) used to truncate to 2.
+    avg = average_run_metrics(
+        [_metrics(steals=2), _metrics(steals=3), _metrics(steals=3)]
+    )
+    assert avg.steals == 3
+
+
+def test_transition_counts_round_too():
+    avg = average_run_metrics(
+        [_metrics(transitions=1), _metrics(transitions=2), _metrics(transitions=2)]
+    )
+    assert avg.cluster_freq_transitions == 2
+    assert avg.memory_freq_transitions == 2
+
+
+def test_numeric_extras_are_averaged_across_repetitions():
+    runs = [
+        _metrics(extras={"selection_evaluations": 10, "ratio": 0.5, "tag": "a"}),
+        _metrics(extras={"selection_evaluations": 13, "ratio": 1.5, "tag": "b"}),
+    ]
+    avg = average_run_metrics(runs)
+    # All-int fields round to the nearest count; floats stay exact means.
+    assert avg.extras["selection_evaluations"] == 12  # mean 11.5 -> even 12
+    assert avg.extras["ratio"] == 1.0
+    # Non-numeric fields keep repetition 0's value (old behaviour).
+    assert avg.extras["tag"] == "a"
+
+
+def test_mixed_type_extras_keep_first_value():
+    runs = [_metrics(extras={"k": 1}), _metrics(extras={"k": "oops"})]
+    assert average_run_metrics(runs).extras["k"] == 1
+
+
+def test_float_fields_are_plain_means():
+    avg = average_run_metrics([_metrics(makespan=1.0), _metrics(makespan=3.0)])
+    assert avg.makespan == 2.0
+
+
+def test_bench_config_suite_is_memoized_per_instance(monkeypatch):
+    calls = []
+    import repro.bench.runner as runner_mod
+
+    real = runner_mod.profile_and_fit
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "profile_and_fit", counting)
+    cfg = BenchConfig()
+    first = cfg.suite()
+    assert cfg.suite() is first
+    assert len(calls) == 1  # docstring's "(cached)" now holds per instance
+
+
+def test_platform_name_probe_is_memoized():
+    probes = []
+    from repro.hw.platform import jetson_tx2
+
+    def counting_factory():
+        probes.append(1)
+        return jetson_tx2()
+
+    cfg = BenchConfig(platform_factory=counting_factory)
+    assert cfg.platform_name() == "jetson-tx2"
+    assert cfg.platform_name() == "jetson-tx2"
+    assert len(probes) == 1
+    # A custom factory is not the registered one for that name.
+    assert not cfg.registered_platform()
+    assert BenchConfig().registered_platform()

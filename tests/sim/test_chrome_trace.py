@@ -1,0 +1,68 @@
+"""Chrome trace-event export from the tracer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.trace import Tracer
+
+
+def _traced() -> Tracer:
+    tr = Tracer()
+    tr.emit(0.0, "activity-start", kernel="mm.block", core=0)
+    tr.emit(0.010, "activity-end", kernel="mm.block", core=0, elapsed=0.010)
+    tr.emit(0.002, "freq-change", domain="cpu0", freq=1.11)
+    tr.emit(0.004, "dispatch", task=7, core=1)
+    return tr
+
+
+def test_activity_pairs_become_complete_events():
+    trace = _traced().to_chrome_trace()
+    events = trace["traceEvents"]
+    x = [e for e in events if e["ph"] == "X"]
+    assert len(x) == 1
+    assert x[0]["name"] == "mm.block"
+    assert x[0]["tid"] == 0
+    assert x[0]["ts"] == 0.0
+    assert abs(x[0]["dur"] - 10_000.0) < 1e-6  # seconds -> microseconds
+
+
+def test_freq_changes_become_counters():
+    events = _traced().to_chrome_trace()["traceEvents"]
+    c = [e for e in events if e["ph"] == "C"]
+    assert c and c[0]["args"] == {"GHz": 1.11}
+    assert "cpu0" in c[0]["name"]
+
+
+def test_other_categories_become_instants():
+    events = _traced().to_chrome_trace()["traceEvents"]
+    inst = [e for e in events if e["ph"] == "i"]
+    assert inst and inst[0]["name"] == "dispatch"
+    assert inst[0]["args"] == {"task": 7, "core": 1}
+
+
+def test_unmatched_start_is_skipped_and_file_is_valid_json(tmp_path):
+    tr = Tracer()
+    tr.emit(0.0, "activity-start", kernel="k", core=0)  # never ends
+    path = tr.save_chrome_trace(tmp_path / "t.json")
+    data = json.loads(path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    assert not [e for e in data["traceEvents"] if e["ph"] == "X"]
+
+
+def test_real_run_produces_openable_trace(tmp_path):
+    from repro.hw import jetson_tx2
+    from repro.runtime.executor import Executor
+    from repro.schedulers.registry import make_scheduler
+    from repro.workloads.registry import build_workload
+
+    tracer = Tracer(categories=["activity-start", "activity-end", "freq-change"])
+    ex = Executor(jetson_tx2(), make_scheduler("GRWS", None), seed=1, tracer=tracer)
+    ex.run(build_workload("fb", scale=1.0))
+    trace = tracer.to_chrome_trace()
+    x = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(x) > 10
+    assert all(e["dur"] >= 0 for e in x)
+    # Track metadata names each core's lane.
+    names = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert any(e["args"].get("name") == "core 0" for e in names)

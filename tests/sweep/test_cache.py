@@ -1,0 +1,74 @@
+"""Result cache: hits, misses, invalidation, corruption recovery."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sweep.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.sweep.spec import SCHEMA_VERSION, JobSpec
+
+JOB = JobSpec("fb", "GRWS")
+METRICS = {"scheduler": "GRWS", "workload": "fb", "makespan": 0.5}
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    h = JOB.job_hash
+    assert cache.get(h) is None
+    cache.put(JOB, h, METRICS, elapsed=1.25)
+    entry = cache.get(h)
+    assert entry["metrics"] == METRICS
+    assert entry["elapsed"] == 1.25
+    assert entry["job"]["workload"] == "fb"
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert len(cache) == 1
+
+
+def test_spec_change_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.job_hash, METRICS, elapsed=0.1)
+    changed = JobSpec("fb", "GRWS", seed=99)
+    assert cache.get(changed.job_hash) is None
+
+
+def test_corrupted_entry_is_dropped_and_re_missed(tmp_path):
+    cache = ResultCache(tmp_path)
+    h = JOB.job_hash
+    cache.put(JOB, h, METRICS, elapsed=0.1)
+    cache.path_for(h).write_text("{ truncated…")
+    assert cache.get(h) is None
+    assert cache.stats.corrupted == 1
+    assert not cache.path_for(h).exists()  # removed for transparent re-run
+
+
+def test_wrong_schema_version_is_invalidated(tmp_path):
+    cache = ResultCache(tmp_path)
+    h = JOB.job_hash
+    cache.put(JOB, h, METRICS, elapsed=0.1)
+    entry = json.loads(cache.path_for(h).read_text())
+    entry["schema_version"] = SCHEMA_VERSION + 1
+    cache.path_for(h).write_text(json.dumps(entry))
+    assert cache.get(h) is None
+    assert cache.stats.corrupted == 1
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.job_hash, METRICS, elapsed=0.1)
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_default_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "alt"))
+    assert default_cache_dir() == tmp_path / "alt"
+    assert ResultCache().root == tmp_path / "alt"
+
+
+def test_suite_snapshot_written_once(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.ensure_suite("jetson-tx2", 0)
+    assert path.is_file()
+    stamp = path.stat().st_mtime_ns
+    assert cache.ensure_suite("jetson-tx2", 0) == path
+    assert path.stat().st_mtime_ns == stamp  # not re-profiled

@@ -1,0 +1,202 @@
+"""Sweep engine: caching, parallel/serial equivalence, failure paths."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep.cache import ResultCache
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import JobSpec, SweepSpec
+
+GRWS_ONLY = SweepSpec(["fb"], ["GRWS"], repetitions=1)
+
+
+def fake_metrics(job: JobSpec, makespan: float = 1.0) -> dict:
+    return {
+        "scheduler": job.scheduler,
+        "workload": job.workload,
+        "makespan": makespan,
+        "cpu_energy": 1.0,
+        "mem_energy": 0.5,
+        "cpu_energy_exact": 1.0,
+        "mem_energy_exact": 0.5,
+        "tasks_executed": 10,
+        "steals": 1,
+        "cluster_freq_transitions": 2,
+        "memory_freq_transitions": 1,
+        "sampling_time": 0.0,
+        "extras": {},
+        "per_kernel": {},
+    }
+
+
+# Top-level (picklable) worker bodies for process-pool tests ------------
+def _ok_worker(job: JobSpec) -> dict:
+    return fake_metrics(job)
+
+
+def _failing_worker(job: JobSpec) -> dict:
+    if job.workload == "dp":
+        raise RuntimeError("boom")
+    return fake_metrics(job)
+
+
+def _slow_worker(job: JobSpec) -> dict:
+    time.sleep(1.5)
+    return fake_metrics(job)
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+def test_cache_hit_skips_execution(tmp_path):
+    executed = []
+
+    def worker(job):
+        executed.append(job.job_hash)
+        return fake_metrics(job)
+
+    cold = run_sweep(GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=worker)
+    assert cold.telemetry.done == 1 and cold.telemetry.cache_hits == 0
+    warm = run_sweep(GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=worker)
+    assert warm.telemetry.done == 0 and warm.telemetry.cache_hits == 1
+    assert warm.telemetry.hit_rate == 1.0
+    assert warm.telemetry.time_saved > 0
+    assert len(executed) == 1  # second sweep never ran the job
+    assert warm.outcomes[0].cached
+    assert [m.to_dict() for m in warm.metrics()] == [
+        m.to_dict() for m in cold.metrics()
+    ]
+
+
+def test_spec_change_invalidates(tmp_path):
+    run_sweep(GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=_ok_worker)
+    changed = SweepSpec(["fb"], ["GRWS"], repetitions=1, seed=99)
+    again = run_sweep(changed, cache=ResultCache(tmp_path), worker_fn=_ok_worker)
+    assert again.telemetry.cache_hits == 0 and again.telemetry.done == 1
+
+
+def test_corrupted_entry_recovers_by_re_running(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(GRWS_ONLY, cache=cache, worker_fn=_ok_worker)
+    job = GRWS_ONLY.jobs()[0]
+    cache.path_for(job.job_hash).write_text("not json at all")
+    redo = run_sweep(GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=_ok_worker)
+    assert redo.telemetry.cache_hits == 0 and redo.telemetry.done == 1
+    assert redo.telemetry.cache_corrupted == 1
+    # ...and the re-run repaired the entry.
+    final = run_sweep(GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=_ok_worker)
+    assert final.telemetry.cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+def test_one_failing_job_does_not_crash_the_sweep():
+    spec = SweepSpec(["fb", "dp"], ["GRWS"], repetitions=1)
+    result = run_sweep(spec, worker_fn=_failing_worker, retries=0)
+    assert len(result.outcomes) == 1
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert failure.kind == "error"
+    assert "boom" in failure.error
+    assert failure.job.workload == "dp"
+    with pytest.raises(SweepError, match="boom"):
+        result.raise_on_failure()
+
+
+def test_retry_recovers_from_transient_failure():
+    attempts = []
+
+    def flaky(job):
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise IOError("transient")
+        return fake_metrics(job)
+
+    result = run_sweep(GRWS_ONLY, worker_fn=flaky, retries=2, backoff=0.0)
+    assert not result.failures
+    assert result.outcomes[0].attempts == 3
+    assert result.telemetry.retries == 2
+
+
+def test_retries_exhausted_becomes_structured_failure():
+    def always_fails(job):
+        raise IOError("still broken")
+
+    result = run_sweep(GRWS_ONLY, worker_fn=always_fails, retries=2, backoff=0.0)
+    assert not result.outcomes
+    assert result.failures[0].attempts == 3
+    assert result.telemetry.failed == 1
+
+
+def test_serial_timeout_is_a_structured_failure():
+    def slow(job):
+        time.sleep(0.3)
+        return fake_metrics(job)
+
+    result = run_sweep(GRWS_ONLY, worker_fn=slow, timeout=0.05, retries=3)
+    assert not result.outcomes
+    failure = result.failures[0]
+    assert failure.kind == "timeout"
+    assert failure.attempts == 1  # timeouts are not retried
+    assert "0.05" in failure.error
+
+
+# ----------------------------------------------------------------------
+# Parallel execution
+# ----------------------------------------------------------------------
+def test_parallel_timeout_and_survivors():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=2)
+    result = run_sweep(spec, workers=2, worker_fn=_slow_worker, timeout=0.3)
+    assert len(result.failures) == 2
+    assert all(f.kind == "timeout" for f in result.failures)
+
+
+def test_parallel_failure_is_contained():
+    spec = SweepSpec(["fb", "dp"], ["GRWS"], repetitions=1)
+    result = run_sweep(spec, workers=2, worker_fn=_failing_worker, retries=1)
+    assert len(result.outcomes) == 1
+    assert len(result.failures) == 1
+    assert result.failures[0].attempts == 2  # retried once in the pool
+
+
+def test_parallel_matches_serial_bit_for_bit(tmp_path):
+    # A fig8-style grid: multiple schedulers (one model-based, so the
+    # suite-snapshot path is exercised) over repeated runs.
+    spec = SweepSpec(["fb"], ["GRWS", "JOSS"], repetitions=2)
+    serial = run_sweep(spec)
+    parallel = run_sweep(spec, workers=4, cache=ResultCache(tmp_path))
+    assert not serial.failures and not parallel.failures
+    assert [m.to_dict() for m in parallel.metrics()] == [
+        m.to_dict() for m in serial.metrics()
+    ]
+    t = parallel.telemetry
+    assert t.workers == 4 and t.done == len(spec)
+    assert t.exec_time > 0 and t.wall_time > 0
+    assert "speedup" in t.render_summary()
+
+
+def test_platform_factory_override_is_serial_only():
+    from repro.hw.platform import symmetric_platform
+
+    with pytest.raises(SweepError, match="serial-only"):
+        run_sweep(GRWS_ONLY, workers=2, platform_factory=symmetric_platform)
+
+
+def test_progress_hook_sees_lifecycle(tmp_path):
+    events = []
+    run_sweep(
+        GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=_ok_worker,
+        progress=lambda ev, job, t: events.append(ev),
+    )
+    assert events == ["queued", "start", "done"]
+    events.clear()
+    run_sweep(
+        GRWS_ONLY, cache=ResultCache(tmp_path), worker_fn=_ok_worker,
+        progress=lambda ev, job, t: events.append(ev),
+    )
+    assert events == ["queued", "hit"]

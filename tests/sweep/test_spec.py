@@ -1,0 +1,102 @@
+"""JobSpec / SweepSpec: canonical hashing and grid enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchConfig
+from repro.errors import SweepError
+from repro.sweep.spec import SCHEMA_VERSION, JobSpec, SweepSpec, freeze, thaw
+
+
+def test_job_hash_is_stable_and_order_insensitive():
+    a = JobSpec("fb", "GRWS", scheduler_kwargs={"x": 1, "y": [1, 2]})
+    b = JobSpec("fb", "GRWS", scheduler_kwargs={"y": [1, 2], "x": 1})
+    assert a == b
+    assert a.job_hash == b.job_hash
+    assert len(a.job_hash) == 64
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"workload": "dp"},
+        {"scheduler": "JOSS"},
+        {"platform": "odroid-xu4"},
+        {"scale": 2.0},
+        {"seed": 12},
+        {"workload_seed": 4},
+        {"profile_seed": 1},
+        {"repetition": 1},
+        {"scheduler_kwargs": {"coordination": "max"}},
+        {"workload_overrides": {"dop": 4}},
+    ],
+)
+def test_any_spec_change_changes_the_hash(change):
+    base = JobSpec("fb", "GRWS")
+    changed = JobSpec(**{**base.to_dict(), **change})
+    assert changed.job_hash != base.job_hash
+
+
+def test_schema_version_is_part_of_the_hash():
+    # The canonical form embeds the schema version: bumping it must
+    # invalidate every previously cached result.
+    assert f'"schema_version":{SCHEMA_VERSION}' in JobSpec("fb", "GRWS").canonical_json()
+
+
+def test_round_trip_through_dict():
+    job = JobSpec(
+        "slu", "JOSS", scale=2.0, repetition=3,
+        scheduler_kwargs={"coordination": "mean"},
+        workload_overrides={"dop": 8},
+    )
+    again = JobSpec.from_dict(job.to_dict())
+    assert again == job
+    assert again.job_hash == job.job_hash
+    assert again.scheduler_kwargs_dict() == {"coordination": "mean"}
+    assert again.workload_overrides_dict() == {"dop": 8}
+
+
+def test_executor_seed_mirrors_runner():
+    assert JobSpec("fb", "GRWS", seed=11, repetition=2).executor_seed == 2011
+
+
+def test_freeze_thaw_round_trip():
+    value = {"b": [1, 2, {"c": True}], "a": None}
+    assert thaw(freeze(value)) == {"a": None, "b": [1, 2, {"c": True}]}
+    with pytest.raises(SweepError):
+        freeze({"bad": object()})
+
+
+def test_sweep_enumeration_order_and_size():
+    spec = SweepSpec(
+        ["fb", "dp"], ["GRWS", "JOSS"], scales=(1.0, 2.0), repetitions=2
+    )
+    jobs = spec.jobs()
+    assert len(jobs) == len(spec) == 2 * 2 * 2 * 2
+    # Workload-major deterministic order.
+    assert [j.workload for j in jobs[:8]] == ["fb"] * 8
+    assert jobs[0].scheduler == "GRWS" and jobs[0].scale == 1.0
+    assert [j.repetition for j in jobs[:2]] == [0, 1]
+    assert len({j.job_hash for j in jobs}) == len(jobs)
+    assert spec.sweep_hash == SweepSpec(
+        ["fb", "dp"], ["GRWS", "JOSS"], scales=(1.0, 2.0), repetitions=2
+    ).sweep_hash
+
+
+def test_sweep_validation():
+    with pytest.raises(SweepError):
+        SweepSpec([], ["GRWS"])
+    with pytest.raises(SweepError):
+        SweepSpec(["fb"], ["GRWS"], repetitions=0)
+
+
+def test_from_bench_config_matches_runner_settings():
+    cfg = BenchConfig(scale=1.5, repetitions=3, seed=7)
+    spec = SweepSpec.from_bench_config(cfg, ["fb"], ["GRWS"])
+    job = spec.jobs()[0]
+    assert spec.platform == "jetson-tx2"
+    assert job.scale == 1.5
+    assert job.seed == 7
+    assert spec.repetitions == 3
+    assert "1 workloads" in spec.describe()

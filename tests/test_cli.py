@@ -60,3 +60,50 @@ def test_profile(capsys):
     out = capsys.readouterr().out
     assert "jetson-tx2" in out
     assert "<denver, 2>" in out
+
+
+def test_trace_chrome_export(capsys, tmp_path):
+    chrome = tmp_path / "trace.json"
+    rc = main(
+        ["trace", "-w", "fb", "-s", "GRWS", "--chrome", str(chrome)]
+    )
+    assert rc == 0
+    assert "Chrome trace" in capsys.readouterr().out
+    import json
+
+    data = json.loads(chrome.read_text())
+    assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+
+def test_sweep_cold_then_cached(capsys, tmp_path):
+    args = [
+        "sweep", "-w", "fb", "-s", "GRWS", "--repetitions", "1",
+        "--cache-dir", str(tmp_path), "-q",
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "1 total, 1 executed, 0 cache hits" in cold
+    assert "E_tot" in cold
+    # Unchanged grid: pure cache hits, nothing re-executed.
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed, 1 cache hits" in warm
+    assert "cache hit rate: 100.0%" in warm
+    assert "speedup" in warm
+
+
+def test_sweep_no_cache_and_json_output(capsys, tmp_path):
+    out_json = tmp_path / "out.json"
+    rc = main(
+        ["sweep", "-w", "fb", "-s", "GRWS", "--repetitions", "1",
+         "--no-cache", "-o", str(out_json)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cache-hit" not in out
+    import json
+
+    payload = json.loads(out_json.read_text())
+    assert payload["results"][0]["job"]["workload"] == "fb"
+    assert payload["results"][0]["metrics"]["tasks_executed"] > 0
+    assert payload["telemetry"]["total"] == 1
