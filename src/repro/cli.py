@@ -9,6 +9,7 @@
     joss-repro experiment all -o results/   # everything
     joss-repro profile                      # platform characterisation summary
     joss-repro sweep -w fb dp -s GRWS JOSS --workers 4   # cached grid sweep
+    joss-repro faults -w fb -s JOSS         # fault injection + degradation report
 
 Also callable as ``python -m repro ...``.
 """
@@ -147,6 +148,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         Path(args.output).write_text(_json.dumps(payload, indent=1))
         print(f"results JSON -> {args.output}")
+    return 1 if result.failures else 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+    from pathlib import Path
+
+    from repro.faults import DegradationReport, builtin_campaigns
+    from repro.sweep import ResultCache, run_sweep
+    from repro.sweep.spec import JobSpec
+
+    scheduler_kwargs = {}
+    if args.scheduler.startswith("JOSS"):
+        # Enable the degradation machinery (repro.core.health) so the
+        # scheduler can absorb the injected faults instead of riding a
+        # broken decision to the end of the run.
+        scheduler_kwargs["health"] = True
+    baseline_spec = JobSpec(
+        workload=args.workload,
+        scheduler=args.scheduler,
+        scale=args.scale,
+        seed=args.seed,
+        scheduler_kwargs=scheduler_kwargs,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"fault-free baseline: {baseline_spec.label()}")
+    base_result = run_sweep([baseline_spec], cache=cache)
+    base_result.raise_on_failure()
+    baseline = base_result.outcomes[0].metrics
+    print(f"  {baseline.summary()}")
+
+    campaigns = builtin_campaigns(baseline.makespan, seed=args.campaign_seed)
+    if args.models:
+        unknown = sorted(set(args.models) - set(campaigns))
+        if unknown:
+            print(f"unknown fault model(s) {unknown}; "
+                  f"choose from {sorted(campaigns)}")
+            return 2
+        campaigns = {k: v for k, v in campaigns.items() if k in args.models}
+    jobs = [
+        replace(baseline_spec, faults=campaign)
+        for campaign in campaigns.values()
+    ]
+    print(f"running {len(jobs)} fault campaign(s)...")
+    result = run_sweep(jobs, cache=cache)
+    report = DegradationReport(args.workload, args.scheduler, baseline)
+    name_by_hash = {job.job_hash: name for job, name in zip(jobs, campaigns)}
+    for outcome in result.outcomes:
+        name = name_by_hash[outcome.job_hash]
+        report.add(name, campaigns[name].campaign_hash, outcome.metrics)
+    print()
+    print(report.render())
+    for f in result.failures:
+        print(f"FAILED [{f.kind}] {f.job.label()}: {f.error}")
+    if args.output:
+        Path(args.output).write_text(report.canonical_json())
+        print(f"\ndegradation report JSON -> {args.output}")
     return 1 if result.failures else 0
 
 
@@ -366,6 +424,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("-o", "--output", default=None,
                          help="write per-job metrics JSON to this path")
 
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign vs fault-free baseline "
+             "(degradation report)",
+    )
+    faults_p.add_argument("-w", "--workload", default="fb",
+                          choices=workload_names())
+    faults_p.add_argument("-s", "--scheduler", default="JOSS",
+                          help=f"one of {scheduler_names()}")
+    faults_p.add_argument(
+        "-m", "--models", nargs="+", default=None,
+        help="fault models to run (default: all built-ins; see "
+             "repro.faults.campaigns)",
+    )
+    faults_p.add_argument("--scale", type=float, default=1.0)
+    faults_p.add_argument("--seed", type=int, default=11)
+    faults_p.add_argument("--campaign-seed", type=int, default=0,
+                          help="seed of the fault RNG streams")
+    faults_p.add_argument("--cache-dir", default=None,
+                          help="result-cache root (shared with `sweep`)")
+    faults_p.add_argument("--no-cache", action="store_true")
+    faults_p.add_argument("-o", "--output", default=None,
+                          help="write the degradation report JSON here")
+
     val_p = sub.add_parser(
         "validate", help="cross-validate the fitted models (k-fold)"
     )
@@ -399,6 +481,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "faults": _cmd_faults,
     }
     try:
         return handlers[args.command](args)

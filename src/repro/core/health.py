@@ -1,0 +1,161 @@
+"""Scheduler health monitoring and graceful degradation (robustness
+extension beyond the paper).
+
+JOSS trusts two things the paper takes for granted: that its fitted
+models keep predicting reality and that the power sensor keeps
+reporting.  Under fault injection (:mod:`repro.faults`) either can
+fail.  The :class:`HealthMonitor` builds on the drift-EMA mechanism of
+:mod:`repro.core.adaptation` but reacts differently: instead of
+immediately re-sampling (which trusts the models to be right *next*
+time), a persistently mispredicted kernel falls back to the default
+governor's behaviour — maximum frequencies and load-balanced placement,
+the safe operating point every Linux board boots with — and only
+re-enters the sampling pipeline after a hold period of clean fallback
+invocations.  Sensor silence (no successful sample for a configurable
+number of intervals) degrades *all* kernels at once, since no
+energy-driven decision is trustworthy without measurements.
+
+The monitor is off by default (``JossScheduler(health=None)``), in
+which case scheduling is bit-identical to paper behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.adaptation import KernelDriftState
+
+
+@dataclass
+class HealthPolicy:
+    """Configuration of the degradation machinery.
+
+    Attributes
+    ----------
+    tolerance:
+        Relative deviation of the measured/predicted EMA from 1.0 that
+        counts as a violation.  Wider than the adaptation default: the
+        fallback is a blunter response than re-sampling, so it should
+        trigger on genuine misprediction, not drift.
+    patience:
+        Consecutive violations before a kernel degrades.
+    alpha:
+        EMA smoothing factor.
+    min_observations:
+        EMA warm-up before the monitor may trigger.
+    recovery_hold:
+        Completed fallback invocations of a degraded kernel before it
+        is allowed to re-enter sampling.
+    sensor_silence_intervals:
+        Sampling intervals without a successful sensor sample before
+        the scheduler degrades globally (0 disables silence detection).
+    """
+
+    tolerance: float = 1.0
+    patience: int = 3
+    alpha: float = 0.3
+    min_observations: int = 3
+    recovery_hold: int = 8
+    sensor_silence_intervals: float = 10.0
+
+    @classmethod
+    def coerce(
+        cls, value: "HealthPolicy | Mapping[str, Any] | bool | None"
+    ) -> "Optional[HealthPolicy]":
+        """Normalise the ``JossScheduler(health=...)`` argument.
+
+        Accepts a policy, a plain mapping (so a policy can ride inside
+        a JSON-serialisable :class:`~repro.sweep.spec.JobSpec`'s
+        ``scheduler_kwargs``), ``True`` (defaults) or ``None``/``False``
+        (disabled).
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls(**dict(value))
+        raise TypeError(f"cannot build a HealthPolicy from {value!r}")
+
+
+@dataclass
+class HealthMonitor:
+    """Per-kernel degradation state driven by one :class:`HealthPolicy`."""
+
+    policy: HealthPolicy
+    #: Kernels currently in fallback -> clean completions so far.
+    degraded: dict[str, int] = field(default_factory=dict, init=False)
+    #: Total degradation entries (per-kernel + global), diagnostic.
+    fallbacks: int = field(default=0, init=False)
+    recoveries: int = field(default=0, init=False)
+    _kernels: dict[str, KernelDriftState] = field(
+        default_factory=dict, init=False
+    )
+
+    def observe(self, kernel_name: str, measured: float, predicted: float) -> bool:
+        """Record one decided-mode completion; True => degrade now.
+
+        Same violation-band hysteresis as
+        :meth:`repro.core.adaptation.AdaptationPolicy.observe`: both the
+        EMA and the instantaneous ratio must be out of band.
+        """
+        if measured <= 0 or predicted <= 0:
+            return False
+        p = self.policy
+        st = self._kernels.setdefault(kernel_name, KernelDriftState())
+        ratio = measured / predicted
+        st.ema_ratio = (1 - p.alpha) * st.ema_ratio + p.alpha * ratio
+        st.observations += 1
+        if st.observations < p.min_observations:
+            return False
+        ema_out = abs(st.ema_ratio - 1.0) > p.tolerance
+        inst_out = abs(ratio - 1.0) > p.tolerance
+        if ema_out and inst_out:
+            st.violations += 1
+        else:
+            st.violations = 0
+        if st.violations >= p.patience:
+            self.degrade(kernel_name)
+            return True
+        return False
+
+    def degrade(self, kernel_name: str) -> None:
+        """Put one kernel into fallback (idempotent)."""
+        if kernel_name not in self.degraded:
+            self.degraded[kernel_name] = 0
+            self.fallbacks += 1
+        self._kernels.pop(kernel_name, None)
+
+    def is_degraded(self, kernel_name: str) -> bool:
+        return kernel_name in self.degraded
+
+    def note_fallback_completion(self, kernel_name: str) -> bool:
+        """Count one completed fallback invocation; True => the kernel
+        has served its hold period and may re-enter sampling."""
+        if kernel_name not in self.degraded:
+            return False
+        self.degraded[kernel_name] += 1
+        if self.degraded[kernel_name] >= self.policy.recovery_hold:
+            del self.degraded[kernel_name]
+            self.recoveries += 1
+            return True
+        return False
+
+    def sensor_silent(self, now: float, last_sample: float, interval: float) -> bool:
+        """Whether the sensor has been quiet long enough to distrust it."""
+        n = self.policy.sensor_silence_intervals
+        if n <= 0:
+            return False
+        return (now - last_sample) > n * interval
+
+    def state_of(self, kernel_name: str) -> KernelDriftState | None:
+        return self._kernels.get(kernel_name)
+
+    def reset(self) -> None:
+        self._kernels.clear()
+        self.degraded.clear()
+        self.fallbacks = 0
+        self.recoveries = 0

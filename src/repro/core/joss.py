@@ -38,6 +38,7 @@ from repro.core.goals import (
     Selector,
     TradeoffGoal,
 )
+from repro.core.health import HealthMonitor, HealthPolicy
 from repro.core.sampling import SamplingPlanner
 from repro.core.selection import SelectionResult
 from repro.errors import SchedulingError
@@ -65,6 +66,7 @@ class JossScheduler(Scheduler):
         coordination: Strategy = "mean",
         coarsening: Optional[CoarseningPolicy] = None,
         adaptation: Optional[AdaptationPolicy] = None,
+        health=None,
         name: Optional[str] = None,
     ) -> None:
         super().__init__()
@@ -76,6 +78,9 @@ class JossScheduler(Scheduler):
         self.coarsening = coarsening if coarsening is not None else CoarseningPolicy()
         #: Optional drift monitor (extension; None = paper behaviour).
         self.adaptation = adaptation
+        #: Optional degradation machinery (robustness extension; None =
+        #: paper behaviour).  Accepts HealthPolicy / mapping / True.
+        self.health = HealthPolicy.coerce(health)
         if name is not None:
             self.name = name
         self.planner: Optional[SamplingPlanner] = None
@@ -84,6 +89,10 @@ class JossScheduler(Scheduler):
         #: Per-kernel prediction tables (kept for constraint queries).
         self.tables: dict[str, dict[tuple[str, int], PredictionTable]] = {}
         self._selection_evals = 0
+        self._monitor: Optional[HealthMonitor] = None
+        self._global_degraded = False
+        self._degraded_since: Optional[float] = None
+        self._degraded_energy_mark = 0.0
 
     # ------------------------------------------------------------------
     # Convenience constructors for the paper's variants
@@ -131,10 +140,20 @@ class JossScheduler(Scheduler):
         self._selection_evals = 0
         if self.adaptation is not None:
             self.adaptation.reset()
+        self._monitor = (
+            HealthMonitor(self.health) if self.health is not None else None
+        )
+        self._global_degraded = False
+        self._degraded_since = None
+        self._degraded_energy_mark = 0.0
 
     def place(self, task: "Task") -> Placement:
         assert self.ctx is not None and self.planner is not None
         kname = task.kernel.name
+        if self._monitor is not None:
+            self._check_sensor_health()
+            if self._global_degraded or self._monitor.is_degraded(kname):
+                return self._fallback_place(task)
         decided = self.decisions.get(kname)
         if decided is not None:
             sel, f_c, f_m = decided
@@ -160,6 +179,12 @@ class JossScheduler(Scheduler):
         assert self.ctx is not None
         p = task.placement
         if p is None:
+            return
+        if task.meta.get("degraded"):
+            # Performance-governor safe defaults: pin the hosting
+            # cluster and the memory at their maxima — no model needed.
+            self.ctx.request_cluster_freq(core.cluster, core.cluster.opps.max)
+            self.ctx.request_memory_freq(self.ctx.platform.memory.opps.max)
             return
         slot = task.meta.get("sample_slot")
         if slot is not None:
@@ -209,6 +234,15 @@ class JossScheduler(Scheduler):
 
     def on_task_complete(self, task: "Task") -> None:
         assert self.planner is not None
+        if task.meta.pop("degraded", False):
+            if self._monitor is not None and self._monitor.note_fallback_completion(
+                task.kernel.name
+            ):
+                # Hold period served: the kernel re-enters sampling on
+                # its next invocation (decision and measurements were
+                # discarded when it degraded).
+                self._degradation_changed()
+            return
         slot = task.meta.pop("sample_slot", None)
         if slot is None:
             self._observe_drift(task)
@@ -236,6 +270,15 @@ class JossScheduler(Scheduler):
             m.extras["decisions"] = {
                 k: self._describe_decision(k) for k in self.decisions
             }
+        if self._monitor is not None:
+            if self._degraded_since is not None:
+                self._close_degraded_window(self.ctx.now)
+            if m is not None:
+                m.fallback_count = self._monitor.fallbacks
+                m.extras["health_recoveries"] = self._monitor.recoveries
+                m.extras["health_degraded_kernels"] = sorted(
+                    self._monitor.degraded
+                )
 
     # ------------------------------------------------------------------
     # Internals
@@ -290,9 +333,10 @@ class JossScheduler(Scheduler):
         return conc
 
     def _observe_drift(self, task: "Task") -> None:
-        """Feed a decided kernel's measured time to the drift monitor
-        and re-enter sampling when the decision is invalidated."""
-        if self.adaptation is None:
+        """Feed a decided kernel's measured time to the drift monitors:
+        adaptation re-enters sampling on divergence; the health monitor
+        degrades the kernel to governor fallback instead."""
+        if self.adaptation is None and self._monitor is None:
             return
         kname = task.kernel.name
         decided = self.decisions.get(kname)
@@ -304,11 +348,84 @@ class JossScheduler(Scheduler):
             tables[(sel.cluster, sel.n_cores)].time[sel.i_fc, sel.i_fm]
         )
         measured = task.exec_time if task.exec_time > 0 else task.duration
-        if self.adaptation.observe(kname, measured, predicted):
+        if self._monitor is not None and self._monitor.observe(
+            kname, measured, predicted
+        ):
             assert self.planner is not None
             self.decisions.pop(kname, None)
             self.tables.pop(kname, None)
             self.planner.forget_kernel(kname)
+            self._degradation_changed()
+            return
+        if self.adaptation is not None and self.adaptation.observe(
+            kname, measured, predicted
+        ):
+            assert self.planner is not None
+            self.decisions.pop(kname, None)
+            self.tables.pop(kname, None)
+            self.planner.forget_kernel(kname)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (robustness extension, see repro.core.health)
+    # ------------------------------------------------------------------
+    def _check_sensor_health(self) -> None:
+        """Enter/leave global degradation on sensor silence."""
+        assert self.ctx is not None and self._monitor is not None
+        sensor = getattr(self.ctx, "sensor", None)
+        if sensor is None:
+            return
+        silent = self._monitor.sensor_silent(
+            self.ctx.now, sensor.last_sample_time, sensor.interval
+        )
+        if silent and not self._global_degraded:
+            self._global_degraded = True
+            self._monitor.fallbacks += 1
+            self._degradation_changed()
+        elif not silent and self._global_degraded:
+            self._global_degraded = False
+            self._degradation_changed()
+
+    def _fallback_place(self, task: "Task") -> Placement:
+        """Default-governor placement: one core, load-balanced at
+        random over the whole platform, frequencies pinned at max when
+        the task starts (see :meth:`on_task_execute`)."""
+        assert self.ctx is not None
+        task.meta["degraded"] = True
+        cores = self.ctx.platform.cores
+        rng = self.ctx.rng.stream("degraded-place")
+        core = cores[int(rng.integers(len(cores)))]
+        return Placement(cluster=core.cluster, n_cores=1)
+
+    def _degradation_changed(self) -> None:
+        """Open or close the degraded-mode accounting window whenever
+        the set of degraded kernels (or the global flag) transitions
+        between empty and non-empty."""
+        assert self.ctx is not None and self._monitor is not None
+        now = self.ctx.now
+        active = self._global_degraded or bool(self._monitor.degraded)
+        if active and self._degraded_since is None:
+            acc = self.ctx.engine.accountant
+            acc.finalize(now)
+            self._degraded_since = now
+            self._degraded_energy_mark = acc.total_energy()
+            tracer = getattr(self.ctx, "tracer", None)
+            if tracer is not None:
+                tracer.emit(now, "degraded-enter", scheduler=self.name)
+        elif not active and self._degraded_since is not None:
+            self._close_degraded_window(now)
+
+    def _close_degraded_window(self, now: float) -> None:
+        assert self.ctx is not None
+        acc = self.ctx.engine.accountant
+        acc.finalize(now)
+        m = self.ctx.metrics
+        if m is not None:
+            m.degraded_time += now - self._degraded_since
+            m.degraded_energy += acc.total_energy() - self._degraded_energy_mark
+        tracer = getattr(self.ctx, "tracer", None)
+        if tracer is not None:
+            tracer.emit(now, "degraded-exit", scheduler=self.name)
+        self._degraded_since = None
 
     def _describe_decision(self, kname: str) -> str:
         sel, f_c, f_m = self.decisions[kname]

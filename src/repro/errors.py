@@ -37,3 +37,13 @@ class WorkloadError(ReproError):
 
 class SweepError(ReproError):
     """Raised when a sweep cannot be specified, executed or cached."""
+
+
+class FaultError(ReproError):
+    """Raised when a fault campaign is malformed or cannot be injected."""
+
+
+class DegradedModeError(SchedulingError):
+    """Raised when the runtime cannot satisfy a placement because the
+    platform has degraded past what graceful fallback can absorb (e.g.
+    every core of a required cluster is offline)."""

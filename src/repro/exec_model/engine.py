@@ -221,6 +221,8 @@ class ExecutionEngine:
             loads: list[Optional[float]] = []
             for core in cl.cores:
                 act = core.current_activity
+                if act is None and not core.online:
+                    continue  # hot-unplugged and drained: no leakage
                 loads.append(act.mb_inst if isinstance(act, Activity) else None)
             cpu += pm.cluster_power(cl, loads)
         achieved = sum(a.bw_achieved for a in self._activities)

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and degradation analysis.
+
+See :mod:`repro.faults.spec` for the fault vocabulary,
+:mod:`repro.faults.inject` for how faults attach to a live executor,
+:mod:`repro.faults.campaigns` for the built-in single-fault campaigns
+and :mod:`repro.faults.report` for baseline-relative degradation
+reports.  Graceful *reaction* to faults lives with the scheduler
+(:mod:`repro.core.health`).
+"""
+
+from repro.faults.campaigns import builtin_campaigns
+from repro.faults.inject import (
+    CoreFaultInjector,
+    DvfsTap,
+    FaultInjector,
+    PerturbedSuite,
+    SensorTap,
+)
+from repro.faults.report import DegradationReport, FaultModelResult, worst_case
+from repro.faults.spec import (
+    ALL_KINDS,
+    FAULT_SCHEMA_VERSION,
+    FaultCampaign,
+    FaultSpec,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "FAULT_SCHEMA_VERSION",
+    "FaultCampaign",
+    "FaultSpec",
+    "FaultInjector",
+    "SensorTap",
+    "DvfsTap",
+    "CoreFaultInjector",
+    "PerturbedSuite",
+    "builtin_campaigns",
+    "DegradationReport",
+    "FaultModelResult",
+    "worst_case",
+]

@@ -1,0 +1,62 @@
+"""Built-in single-fault campaigns for the ``repro faults`` CLI.
+
+Each campaign exercises one fault model at a severity that forces the
+degradation machinery to react without making the run unwinnable.
+Onset and duration scale with the expected fault-free makespan so the
+same campaigns stress both a 50 ms kernel burst and a multi-second
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultCampaign, FaultSpec
+
+
+def builtin_campaigns(
+    makespan_s: float, seed: int = 0
+) -> dict[str, FaultCampaign]:
+    """One campaign per built-in fault model, scaled to ``makespan_s``.
+
+    The window opens at 10% of the fault-free makespan (after sampling
+    has warmed up) and covers half the run — long enough that a
+    scheduler which cannot degrade would visibly suffer.
+    """
+    onset = 0.1 * makespan_s
+    span = 0.5 * makespan_s
+
+    def one(spec: FaultSpec, name: str) -> FaultCampaign:
+        return FaultCampaign(seed=seed, faults=(spec,), name=name)
+
+    return {
+        "sensor-dropout": one(
+            FaultSpec("sensor-dropout", onset=onset, duration=span,
+                      magnitude=0.8),
+            "sensor-dropout",
+        ),
+        "sensor-stuck": one(
+            FaultSpec("sensor-stuck", onset=onset, duration=span),
+            "sensor-stuck",
+        ),
+        "dvfs-stuck": one(
+            FaultSpec("dvfs-stuck", target="*", onset=onset, duration=span),
+            "dvfs-stuck",
+        ),
+        "dvfs-ignore": one(
+            FaultSpec("dvfs-ignore", target="*", onset=onset, duration=span,
+                      magnitude=0.5),
+            "dvfs-ignore",
+        ),
+        "core-unplug": one(
+            # Core 0 (the 2-core Denver cluster on the TX2) is where an
+            # unplug hurts: half the cluster's capacity disappears.
+            FaultSpec("core-unplug", target="0", onset=onset, duration=span),
+            "core-unplug",
+        ),
+        "model-bias": one(
+            # Open-ended: every table built after onset is mispredicted
+            # by a lognormal factor with sigma 0.8 — enough to trip the
+            # drift monitor on most kernels.
+            FaultSpec("model-bias", onset=0.0, magnitude=0.8),
+            "model-bias",
+        ),
+    }

@@ -1,0 +1,382 @@
+"""Fault injectors: wrap live components without touching happy paths.
+
+Each injector intercepts one seam the simulator already exposes —
+the sensor's ``read_fn``, a DVFS controller's ``request``, a core's
+``online`` flag, the scheduler's model suite — so fault-free runs
+execute *exactly* the original code (the :class:`FaultInjector` is not
+even constructed for an empty campaign, which is what makes zero-fault
+runs bit-identical to the baseline).
+
+All randomness comes from per-fault streams derived from the campaign
+seed (:meth:`repro.faults.spec.FaultCampaign.rng_for`), so a campaign
+replays bit-identically and the draws of one fault never depend on the
+presence of another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import FrequencyError
+from repro.faults.spec import (
+    CORE_KINDS,
+    DVFS_KINDS,
+    MODEL_KINDS,
+    SENSOR_KINDS,
+    FaultCampaign,
+    FaultSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.hw.dvfs import DvfsController
+    from repro.runtime.executor import Executor
+    from repro.sim.engine import Simulator
+
+#: Hot-(un)plug events run before same-time completions and DVFS
+#: applies so the toggled state is visible to everything at that time.
+PLUG_PRIORITY = -20
+
+
+class SensorTap:
+    """Wraps a :class:`~repro.hw.sensor.PowerSensor`'s ``read_fn``.
+
+    Active faults transform the true reading in campaign order:
+    dropout returns ``None`` (the sensor counts it), stuck replays the
+    last pre-fault reading, saturate clamps, bias applies gain+offset.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        read_fn: Callable[[], Optional[Mapping[str, float]]],
+        faults: list[tuple[FaultSpec, np.random.Generator]],
+    ) -> None:
+        self.sim = sim
+        self._read = read_fn
+        self.faults = faults
+        #: Last reading delivered while healthy (stuck-at source).
+        self._last: Optional[dict[str, float]] = None
+        #: Per-fault held reading for active stuck windows.
+        self._held: dict[int, dict[str, float]] = {}
+
+    def __call__(self) -> Optional[dict[str, float]]:
+        now = self.sim.now
+        raw = self._read()
+        powers = dict(raw) if raw is not None else None
+        for i, (spec, rng) in enumerate(self.faults):
+            if not spec.active(now):
+                self._held.pop(i, None)
+                continue
+            if spec.kind == "sensor-dropout":
+                if rng.random() < spec.magnitude:
+                    return None
+            elif powers is None:
+                continue
+            elif spec.kind == "sensor-stuck":
+                held = self._held.get(i)
+                if held is None:
+                    held = self._held[i] = dict(self._last or powers)
+                powers = dict(held)
+            elif spec.kind == "sensor-saturate":
+                powers = {r: min(p, spec.magnitude) for r, p in powers.items()}
+            elif spec.kind == "sensor-bias":
+                offset = float(spec.params_dict().get("offset", 0.0))
+                powers = {
+                    r: p * spec.magnitude + offset for r, p in powers.items()
+                }
+        stuck_active = any(
+            s.kind == "sensor-stuck" and s.active(now) for s, _ in self.faults
+        )
+        if powers is not None and not stuck_active:
+            self._last = dict(powers)
+        return powers
+
+
+class DvfsTap:
+    """Intercepts one controller's ``request`` (actuator faults).
+
+    Installed by assigning ``controller.request = tap.request`` — the
+    instance attribute shadows the class method, so uninstrumented
+    controllers are untouched.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        controller: "DvfsController",
+        faults: list[tuple[FaultSpec, np.random.Generator]],
+    ) -> None:
+        self.sim = sim
+        self.ctl = controller
+        self.faults = faults
+        self._orig_request = controller.request
+        self.ignored = 0
+        self.errors = 0
+        self.jittered = 0
+        controller.request = self.request  # type: ignore[method-assign]
+
+    def request(self, f_ghz: float) -> float:
+        now = self.sim.now
+        latency_scale = 1.0
+        for spec, rng in self.faults:
+            if not spec.active(now):
+                continue
+            if spec.kind == "dvfs-stuck":
+                self.ctl.requests += 1
+                self.ignored += 1
+                return self.ctl.domain.freq
+            if spec.kind == "dvfs-ignore":
+                if rng.random() < spec.magnitude:
+                    self.ctl.requests += 1
+                    self.ignored += 1
+                    return self.ctl.domain.freq
+            elif spec.kind == "dvfs-error":
+                if rng.random() < spec.magnitude:
+                    self.errors += 1
+                    err = FrequencyError(
+                        f"{self.ctl.name}: transient request failure "
+                        f"(injected {spec.label()})"
+                    )
+                    err.transient = True
+                    raise err
+            elif spec.kind == "dvfs-jitter":
+                latency_scale *= 1.0 + spec.magnitude * float(rng.random())
+                self.jittered += 1
+            elif spec.kind == "core-cap":
+                f_ghz = min(f_ghz, spec.magnitude)
+        if latency_scale == 1.0:
+            return self._orig_request(f_ghz)
+        saved = self.ctl.latency
+        self.ctl.latency = saved * latency_scale
+        try:
+            return self._orig_request(f_ghz)
+        finally:
+            self.ctl.latency = saved
+
+
+class CoreFaultInjector:
+    """Schedules hot-unplug / replug events for one core.
+
+    Unplug uses grace semantics: a running activity finishes (the
+    completion wakes the worker, which sees ``online == False`` and
+    sleeps), queued work is drained to online cores, and the offline
+    core stops leaking (the power model skips it).
+    """
+
+    def __init__(self, executor: "Executor", core: "Core", spec: FaultSpec) -> None:
+        self.ex = executor
+        self.core = core
+        self.spec = spec
+        self.unplugs = 0
+
+    def arm(self) -> None:
+        sim = self.ex.sim
+        sim.schedule(
+            max(0.0, self.spec.onset - sim.now), self._unplug,
+            priority=PLUG_PRIORITY,
+        )
+        if self.spec.duration > 0:
+            sim.schedule(
+                max(0.0, self.spec.end - sim.now), self._replug,
+                priority=PLUG_PRIORITY,
+            )
+
+    def _unplug(self) -> None:
+        if not self.core.online:
+            return
+        self.core.online = False
+        self.unplugs += 1
+        if self.ex.tracer is not None:
+            self.ex.tracer.emit(
+                self.ex.sim.now, "core-unplug", core=self.core.core_id
+            )
+        self._drain_queue()
+
+    def _replug(self) -> None:
+        if self.core.online:
+            return
+        self.core.online = True
+        if self.ex.tracer is not None:
+            self.ex.tracer.emit(
+                self.ex.sim.now, "core-replug", core=self.core.core_id
+            )
+        self.ex.workers[self.core.core_id].wake()
+
+    def _drain_queue(self) -> None:
+        """Move everything queued on the offline core to online cores.
+
+        Partitions stay in-cluster (they share the task's frequency
+        decision); whole tasks go to the least-loaded online core of
+        the same type.  Ties break on core id — deterministic.
+        """
+        from repro.runtime.task import TaskPartition
+
+        queue = self.ex.queues[self.core.core_id]
+        while True:
+            item = queue.pop_own()
+            if item is None:
+                return
+            if isinstance(item, TaskPartition):
+                candidates = [
+                    c for c in self.core.cluster.cores
+                    if c.online and c is not self.core
+                ]
+            else:
+                candidates = [
+                    c
+                    for c in self.ex.platform.cores_of_type(
+                        self.core.core_type.name
+                    )
+                    if c.online and c is not self.core
+                ]
+            if not candidates:
+                # Validation guarantees one online core per cluster, but
+                # be safe: requeue locally; the replug wake will run it.
+                queue.push(item)
+                return
+            candidates.sort(
+                key=lambda c: (len(self.ex.queues[c.core_id]), c.core_id)
+            )
+            dest = candidates[0]
+            if isinstance(item, TaskPartition):
+                self.ex.queues[dest.core_id].push_front(item)
+            else:
+                self.ex.queues[dest.core_id].push(item)
+            self.ex.workers[dest.core_id].wake()
+
+
+class PerturbedSuite:
+    """Model-misprediction proxy around a :class:`ModelSuite`.
+
+    Suites are memoised and shared across runs (see
+    ``repro.sweep.engine``), so the proxy never mutates the wrapped
+    suite: it scales the *time* grid of each freshly built prediction
+    table by ``exp(magnitude * N(0, 1))`` while a ``model-bias`` fault
+    is active.  Everything else delegates.
+    """
+
+    def __init__(
+        self,
+        suite,
+        sim: "Simulator",
+        faults: list[tuple[FaultSpec, np.random.Generator]],
+    ) -> None:
+        self._suite = suite
+        self._sim = sim
+        self._faults = faults
+
+    def __getattr__(self, name: str):
+        return getattr(self._suite, name)
+
+    def build_table(self, *args, **kwargs):
+        table = self._suite.build_table(*args, **kwargs)
+        now = self._sim.now
+        for spec, rng in self._faults:
+            if spec.active(now):
+                factor = float(np.exp(spec.magnitude * rng.standard_normal()))
+                table.time = table.time * factor
+        return table
+
+
+class FaultInjector:
+    """Installs a whole campaign onto a freshly built executor."""
+
+    def __init__(self, campaign: FaultCampaign, executor: "Executor") -> None:
+        campaign.validate_for(executor.platform)
+        self.campaign = campaign
+        self.ex = executor
+        self.sensor_tap: Optional[SensorTap] = None
+        self.dvfs_taps: dict[str, DvfsTap] = {}
+        self.core_injectors: list[CoreFaultInjector] = []
+        self.model_proxy: Optional[PerturbedSuite] = None
+
+    def install(self) -> None:
+        sensor_faults = [
+            (f, self.campaign.rng_for(i))
+            for i, f in self.campaign.by_kinds(SENSOR_KINDS)
+        ]
+        if sensor_faults:
+            self.sensor_tap = SensorTap(
+                self.ex.sim, self.ex.sensor.read_fn, sensor_faults
+            )
+            self.ex.sensor.read_fn = self.sensor_tap
+
+        dvfs_faults = self.campaign.by_kinds(DVFS_KINDS)
+        if dvfs_faults:
+            rngs = {i: self.campaign.rng_for(i) for i, _ in dvfs_faults}
+            controllers = {
+                ctl.name: ctl
+                for ctl in [
+                    *self.ex.cluster_dvfs.values(), self.ex.memory_dvfs,
+                ]
+            }
+            for name, ctl in controllers.items():
+                matching = [
+                    (f, rngs[i]) for i, f in dvfs_faults if f.matches(name)
+                ]
+                if matching:
+                    self.dvfs_taps[name] = DvfsTap(self.ex.sim, ctl, matching)
+            for i, f in dvfs_faults:
+                if f.target != "*" and f.target not in controllers:
+                    from repro.errors import FaultError
+
+                    raise FaultError(
+                        f"{f.label()}: no DVFS domain named {f.target!r} "
+                        f"(have {sorted(controllers)})"
+                    )
+            # core-cap forces the frequency down at onset, not just on
+            # the next request (thermal throttling is immediate).
+            for i, f in dvfs_faults:
+                if f.kind != "core-cap":
+                    continue
+                for name, ctl in controllers.items():
+                    if f.matches(name):
+                        self.ex.sim.schedule(
+                            max(0.0, f.onset - self.ex.sim.now),
+                            self._force_cap, ctl, f.magnitude,
+                            priority=PLUG_PRIORITY,
+                        )
+
+        cores_by_id = {c.core_id: c for c in self.ex.platform.cores}
+        for i, f in self.campaign.by_kinds(CORE_KINDS):
+            injector = CoreFaultInjector(self.ex, cores_by_id[int(f.target)], f)
+            injector.arm()
+            self.core_injectors.append(injector)
+
+        model_faults = [
+            (f, self.campaign.rng_for(i))
+            for i, f in self.campaign.by_kinds(MODEL_KINDS)
+        ]
+        if model_faults:
+            suite = getattr(self.ex.scheduler, "suite", None)
+            if suite is not None:
+                self.model_proxy = PerturbedSuite(
+                    suite, self.ex.sim, model_faults
+                )
+                self.ex.scheduler.suite = self.model_proxy
+
+    def _force_cap(self, ctl: "DvfsController", cap_ghz: float) -> None:
+        if ctl.target_freq > cap_ghz:
+            ctl.request(cap_ghz)  # goes through the tap, which clamps
+
+    def summary(self) -> dict:
+        """Injection counters for ``RunMetrics.extras`` (JSON-safe)."""
+        out: dict = {
+            "campaign": self.campaign.name or "campaign",
+            "campaign_hash": self.campaign.campaign_hash[:12],
+            "faults": len(self.campaign),
+        }
+        if self.sensor_tap is not None:
+            out["sensor_dropped"] = self.ex.sensor.dropped
+        if self.dvfs_taps:
+            out["dvfs_ignored"] = sum(t.ignored for t in self.dvfs_taps.values())
+            out["dvfs_errors"] = sum(t.errors for t in self.dvfs_taps.values())
+            out["dvfs_jittered"] = sum(
+                t.jittered for t in self.dvfs_taps.values()
+            )
+        if self.core_injectors:
+            out["core_unplugs"] = sum(c.unplugs for c in self.core_injectors)
+        return out

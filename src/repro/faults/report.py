@@ -1,0 +1,117 @@
+"""Degradation reports: faulted runs against the fault-free baseline.
+
+The report quantifies what each fault model *cost* — energy, makespan
+and decision churn deltas relative to the same (workload, scheduler,
+seed) run without faults — plus how the degradation machinery reacted
+(fallback count, time and energy spent degraded).  Serialisation is
+canonical (sorted keys, fixed separators) so identical campaigns
+produce byte-identical report JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runtime.metrics import RunMetrics
+
+
+def _ratio(value: float, base: float) -> float:
+    return value / base if base > 0 else 0.0
+
+
+@dataclass
+class FaultModelResult:
+    """One campaign's outcome vs the baseline."""
+
+    name: str
+    campaign_hash: str
+    metrics: RunMetrics
+    baseline: RunMetrics
+
+    @property
+    def energy_ratio(self) -> float:
+        return _ratio(self.metrics.total_energy, self.baseline.total_energy)
+
+    @property
+    def makespan_ratio(self) -> float:
+        return _ratio(self.metrics.makespan, self.baseline.makespan)
+
+    @property
+    def decision_churn(self) -> int:
+        """Extra DVFS transitions vs the baseline (decision churn)."""
+        faulted = (
+            self.metrics.cluster_freq_transitions
+            + self.metrics.memory_freq_transitions
+        )
+        base = (
+            self.baseline.cluster_freq_transitions
+            + self.baseline.memory_freq_transitions
+        )
+        return faulted - base
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "campaign_hash": self.campaign_hash,
+            "energy_ratio": self.energy_ratio,
+            "makespan_ratio": self.makespan_ratio,
+            "decision_churn": self.decision_churn,
+            "fallback_count": self.metrics.fallback_count,
+            "degraded_time": self.metrics.degraded_time,
+            "degraded_energy": self.metrics.degraded_energy,
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.name:>16s} | E {self.energy_ratio:6.3f}x | "
+            f"T {self.makespan_ratio:6.3f}x | "
+            f"churn {self.decision_churn:+4d} | "
+            f"fallbacks {self.metrics.fallback_count:3d} | "
+            f"degraded {self.metrics.degraded_time * 1e3:8.2f} ms"
+        )
+
+
+@dataclass
+class DegradationReport:
+    """All fault models of one ``repro faults`` invocation."""
+
+    workload: str
+    scheduler: str
+    baseline: RunMetrics
+    results: list[FaultModelResult] = field(default_factory=list)
+
+    def add(
+        self, name: str, campaign_hash: str, metrics: RunMetrics
+    ) -> FaultModelResult:
+        res = FaultModelResult(name, campaign_hash, metrics, self.baseline)
+        self.results.append(res)
+        return res
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scheduler": self.scheduler,
+            "baseline": self.baseline.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic serialisation (same campaign -> same bytes)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def render(self) -> str:
+        lines = [
+            f"degradation report: {self.workload} / {self.scheduler}",
+            f"baseline: {self.baseline.summary()}",
+            "",
+        ]
+        lines.extend(r.summary_line() for r in self.results)
+        return "\n".join(lines)
+
+
+def worst_case(results: Sequence[FaultModelResult]) -> FaultModelResult | None:
+    """The fault model with the largest energy blow-up."""
+    return max(results, key=lambda r: r.energy_ratio, default=None)

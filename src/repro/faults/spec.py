@@ -1,0 +1,244 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names one perturbation of the simulated platform
+*as data* — kind, target, onset, duration, magnitude — in the same
+frozen/canonical-JSON style as :mod:`repro.sweep.spec`, so campaigns
+are content-hashable and compose with the sweep result cache: a job
+spec carrying a campaign hashes differently from the fault-free job,
+and identical campaigns replay bit-identically.
+
+Built-in fault kinds
+--------------------
+
+Sensor (target: ``"*"`` — the one INA3221 stand-in):
+
+- ``sensor-dropout`` — each sample is lost with probability
+  ``magnitude`` (energy for that interval is never accumulated);
+- ``sensor-stuck`` — reads return the last pre-fault value for the
+  whole window (stuck-at-last-value);
+- ``sensor-saturate`` — rail readings clamp at ``magnitude`` watts;
+- ``sensor-bias`` — readings scale by ``magnitude`` (gain) plus
+  ``params["offset"]`` watts.
+
+DVFS actuator (target: controller name — ``"cpu0"``, ``"cpu1"``,
+``"emc"`` — or ``"*"``):
+
+- ``dvfs-ignore`` — each request is silently dropped with probability
+  ``magnitude``;
+- ``dvfs-stuck`` — the domain holds its current OPP; every request in
+  the window is ignored;
+- ``dvfs-jitter`` — transition latency stretches by a random factor in
+  ``[1, 1 + magnitude]`` per request;
+- ``dvfs-error`` — each request raises a transient
+  :class:`~repro.errors.FrequencyError` with probability ``magnitude``.
+
+Cores (target: core id as a string for unplug, controller name for
+capping):
+
+- ``core-unplug`` — the core goes offline for the window (running work
+  finishes; queued work is re-dispatched; no leakage while offline);
+- ``core-cap`` — thermal throttle: cluster requests are capped at
+  ``magnitude`` GHz and the current frequency is forced down at onset.
+
+Model (target: ``"*"``):
+
+- ``model-bias`` — every prediction table built during the window has
+  its time grid scaled by ``exp(magnitude * N(0,1))`` (multiplicative
+  misprediction), stressing selection and the drift monitor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.sweep.spec import freeze, thaw
+
+#: Bump when fault semantics change in a way that invalidates cached
+#: campaign results (folded into the campaign hash).
+FAULT_SCHEMA_VERSION = 1
+
+SENSOR_KINDS = ("sensor-dropout", "sensor-stuck", "sensor-saturate", "sensor-bias")
+DVFS_KINDS = ("dvfs-ignore", "dvfs-stuck", "dvfs-jitter", "dvfs-error", "core-cap")
+CORE_KINDS = ("core-unplug",)
+MODEL_KINDS = ("model-bias",)
+ALL_KINDS = SENSOR_KINDS + DVFS_KINDS + CORE_KINDS + MODEL_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what breaks, where, when, and how hard."""
+
+    kind: str
+    target: str = "*"
+    #: Simulated time the fault switches on (seconds).
+    onset: float = 0.0
+    #: Window length; ``0`` or negative means "until the end of run".
+    duration: float = 0.0
+    #: Kind-specific severity (probability, watts, GHz, or sigma).
+    magnitude: float = 0.0
+    #: Extra kind-specific parameters (canonicalised like sweep kwargs).
+    params: Any = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r} (known: {list(ALL_KINDS)})"
+            )
+        if self.onset < 0:
+            raise FaultError("fault onset must be >= 0")
+        object.__setattr__(self, "onset", float(self.onset))
+        object.__setattr__(self, "duration", float(self.duration))
+        object.__setattr__(self, "magnitude", float(self.magnitude))
+        object.__setattr__(self, "params", freeze(self.params or {}))
+
+    def params_dict(self) -> dict:
+        out = thaw(self.params)
+        return out if isinstance(out, dict) else {}
+
+    def active(self, now: float) -> bool:
+        """Whether the fault window covers simulated time ``now``."""
+        if now < self.onset:
+            return False
+        return self.duration <= 0 or now < self.onset + self.duration
+
+    @property
+    def end(self) -> float:
+        """Window end (``inf`` for open-ended faults)."""
+        return self.onset + self.duration if self.duration > 0 else float("inf")
+
+    def matches(self, target: str) -> bool:
+        return self.target == "*" or self.target == target
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "onset": self.onset,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def label(self) -> str:
+        tgt = "" if self.target == "*" else f"@{self.target}"
+        return f"{self.kind}{tgt}[{self.onset:g}s+{self.duration:g}s]"
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A seeded set of faults applied to one run.
+
+    Every fault draws from its own RNG stream derived from the campaign
+    seed and the fault's position, so identical campaigns replay
+    bit-identically and removing one fault never perturbs the draws of
+    another.
+    """
+
+    seed: int = 0
+    faults: Sequence[FaultSpec] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if not isinstance(f, FaultSpec):
+                raise FaultError(f"campaign faults must be FaultSpec, got {f!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def rng_for(self, index: int) -> np.random.Generator:
+        """Independent generator for the ``index``-th fault."""
+        seq = np.random.SeedSequence(entropy=int(self.seed), spawn_key=(index,))
+        return np.random.default_rng(seq)
+
+    def by_kinds(self, kinds: Sequence[str]) -> list[tuple[int, FaultSpec]]:
+        """(index, fault) pairs whose kind is in ``kinds``, in order."""
+        return [(i, f) for i, f in enumerate(self.faults) if f.kind in kinds]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultCampaign":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+            faults=tuple(
+                FaultSpec.from_dict(f) for f in data.get("faults", ())
+            ),
+        )
+
+    def canonical_json(self) -> str:
+        payload = dict(self.to_dict(), fault_schema_version=FAULT_SCHEMA_VERSION)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def campaign_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def describe(self) -> str:
+        label = self.name or "campaign"
+        return f"{label}: {len(self.faults)} fault(s), seed {self.seed}"
+
+    # ------------------------------------------------------------------
+    # Static validation (run before injection)
+    # ------------------------------------------------------------------
+    def validate_for(self, platform) -> None:
+        """Reject campaigns the runtime cannot gracefully absorb:
+        overlapping hot-unplugs must leave at least one online core in
+        every cluster (otherwise queued work strands and the run
+        deadlocks — that is a crash, not degradation)."""
+        unplugs = [f for f in self.faults if f.kind == "core-unplug"]
+        for f in unplugs:
+            try:
+                core_id = int(f.target)
+            except ValueError:
+                raise FaultError(
+                    f"core-unplug target must be a core id, got {f.target!r}"
+                ) from None
+            if not 0 <= core_id < platform.n_cores:
+                raise FaultError(
+                    f"core-unplug target {core_id} out of range "
+                    f"(platform has {platform.n_cores} cores)"
+                )
+        for cl in platform.clusters:
+            ids = {c.core_id for c in cl.cores}
+            covering = [f for f in unplugs if int(f.target) in ids]
+            if len({int(f.target) for f in covering}) < len(ids):
+                continue
+            # Every core targeted at least once: reject if any instant
+            # has all of them offline simultaneously.
+            edges = sorted({f.onset for f in covering})
+            for t in edges:
+                offline = {
+                    int(f.target) for f in covering if f.onset <= t < f.end
+                }
+                if offline >= ids:
+                    raise FaultError(
+                        f"campaign unplugs every core of cluster "
+                        f"{cl.cluster_id} at t={t:g}s; at least one core "
+                        f"per cluster must stay online"
+                    )

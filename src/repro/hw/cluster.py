@@ -76,6 +76,10 @@ class Cluster:
     def idle_cores(self) -> list[Core]:
         return [c for c in self.cores if not c.busy]
 
+    def online_cores(self) -> list[Core]:
+        """Cores currently accepting work (hot-plug aware)."""
+        return [c for c in self.cores if c.online]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Cluster({self.cluster_id}, {self.core_type.name}x{self.n_cores}, "

@@ -66,6 +66,12 @@ class Core:
     core_id: int
     cluster: "Cluster"
     busy: bool = False
+    #: Hot-plug state: an offline core accepts no new work, stops
+    #: leaking, and its worker sleeps until it is plugged back in.
+    #: Toggled only by fault injection (``repro.faults``); a running
+    #: activity is allowed to finish (grace semantics, like cpu-hotplug
+    #: migration on Linux).
+    online: bool = True
     #: Opaque handle to whatever the core is currently executing
     #: (an :class:`repro.exec_model.activity.Activity`); owned by the
     #: execution engine, stored here for power evaluation.

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Protocol
 
+from repro.errors import FrequencyError
 from repro.sim.engine import Event, Simulator
 
 
@@ -75,9 +76,15 @@ class DvfsController:
     def request(self, f_ghz: float) -> float:
         """Request a frequency; returns the snapped OPP that will apply.
 
+        Requests within (or within one ladder step of) the OPP range are
+        snapped to the nearest OPP; anything farther out raises
+        :class:`~repro.errors.FrequencyError` — silent snapping would
+        mask a mis-scaled caller (GHz/MHz confusion, corrupted table).
+
         No-op (and no latency) if the snapped target equals the current
         frequency and nothing else is pending.
         """
+        self._check_in_range(f_ghz)
         snapped = self.domain.opps.nearest(f_ghz)
         self.requests += 1
         if self._pending is None and abs(snapped - self.domain.freq) < 1e-12:
@@ -94,6 +101,20 @@ class DvfsController:
                 self.latency, self._apply, snapped, priority=self.APPLY_PRIORITY
             )
         return snapped
+
+    def _check_in_range(self, f_ghz: float) -> None:
+        """Reject targets more than one OPP step outside the ladder."""
+        opps = self.domain.opps
+        if len(opps) > 1:
+            step_lo = opps.at(1) - opps.at(0)
+            step_hi = opps.at(len(opps) - 1) - opps.at(len(opps) - 2)
+        else:  # single-OPP domain (e.g. XU4 memory): be lenient
+            step_lo = step_hi = opps.min
+        if f_ghz < opps.min - step_lo or f_ghz > opps.max + step_hi:
+            raise FrequencyError(
+                f"{self.name}: requested {f_ghz} GHz is more than one OPP "
+                f"step outside the ladder [{opps.min}, {opps.max}] GHz"
+            )
 
     def _apply(self, f_ghz: float) -> None:
         self._pending = None

@@ -14,12 +14,12 @@ Two mechanisms coexist:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 class EnergyAccountant:
@@ -66,12 +66,18 @@ class EnergyAccountant:
 
 
 class PowerSensor:
-    """Periodic power sampler with measurement noise (INA3221 stand-in)."""
+    """Periodic power sampler with measurement noise (INA3221 stand-in).
+
+    ``read_fn`` normally returns a rail->watts mapping; returning
+    ``None`` signals a *dropped* sample (a flaky I2C read — see
+    :mod:`repro.faults`): no energy is accumulated for that interval
+    and the drop is counted in :attr:`dropped`.
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        read_fn: Callable[[], Mapping[str, float]],
+        read_fn: Callable[[], Optional[Mapping[str, float]]],
         interval_s: float = 0.005,
         noise_sigma: float = 0.02,
         rng: np.random.Generator | None = None,
@@ -87,29 +93,65 @@ class PowerSensor:
         self.rails = rails
         self._energy = {r: 0.0 for r in rails}
         self.samples = 0
+        #: Samples lost to read failures (fault injection).
+        self.dropped = 0
+        #: Time of the most recent *successful* sample (or of start()).
+        self.last_sample_time = 0.0
         self._running = False
+        self._pending: Optional[Event] = None
+        #: Time up to which energy has been accounted (sample edge).
+        self._last_edge = 0.0
 
     def start(self) -> None:
         """Begin sampling; the first sample is taken one interval in."""
         if self._running:
             return
         self._running = True
-        self.sim.schedule(self.interval, self._sample)
+        self.last_sample_time = self.sim.now
+        self._last_edge = self.sim.now
+        self._pending = self.sim.schedule(self.interval, self._sample)
 
     def stop(self) -> None:
+        """Halt sampling.  Cancels the in-flight sample event so a later
+        ``start()`` cannot revive it alongside the freshly scheduled one
+        (which would double-count energy)."""
         self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def finalize(self, now: float) -> None:
+        """Account the partial tail interval ``[last sample, now]`` and
+        stop.  Without this, up to one interval of energy per run is
+        silently dropped (the paper's methodology integrates to the
+        final timestamp)."""
+        if self._running:
+            dt = now - self._last_edge
+            if dt > 0:
+                self._accumulate(dt)
+                self._last_edge = now
+        self.stop()
 
     def _sample(self) -> None:
+        self._pending = None
         if not self._running:
             return
+        self._accumulate(self.interval)
+        self._last_edge = self.sim.now
+        self._pending = self.sim.schedule(self.interval, self._sample)
+
+    def _accumulate(self, dt: float) -> None:
         true_powers = self.read_fn()
+        if true_powers is None:  # dropped sample: the interval is lost
+            self.dropped += 1
+            return
         for r in self.rails:
             p = float(true_powers.get(r, 0.0))
             if self.noise_sigma > 0:
                 p *= max(0.0, 1.0 + self.noise_sigma * self.rng.standard_normal())
-            self._energy[r] += p * self.interval
+            self._energy[r] += p * dt
         self.samples += 1
-        self.sim.schedule(self.interval, self._sample)
+        self.last_sample_time = self.sim.now
 
     def energy(self, rail: str) -> float:
         """Sampled energy on ``rail`` so far (joules)."""

@@ -48,6 +48,7 @@ class Executor:
         cpu_dvfs_stall_s: float = 0.0,
         mem_dvfs_stall_s: float = 0.0,
         tracer: Optional[Tracer] = None,
+        faults=None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -119,7 +120,18 @@ class Executor:
             memory_dvfs=self.memory_dvfs,
             rng=self.rng,
             metrics=self.metrics,
+            sensor=self.sensor,
+            tracer=tracer,
         )
+        # Fault injection attaches last so it wraps the final wiring; a
+        # None/empty campaign constructs nothing, keeping fault-free
+        # runs bit-identical to pre-fault-subsystem behaviour.
+        self.injector = None
+        if faults is not None and len(faults) > 0:
+            from repro.faults.inject import FaultInjector
+
+            self.injector = FaultInjector(faults, self)
+            self.injector.install()
 
     # ------------------------------------------------------------------
     # Run control
@@ -163,11 +175,21 @@ class Executor:
         placement = self.scheduler.place(task)
         task.placement = placement
         core = placement.home_core
+        if core is not None and not core.online:
+            core = None  # hot-unplugged since the scheduler chose it
         if core is None:
             # Any cluster of the chosen core *type* is eligible (on the
             # TX2 there is exactly one; per-core-DVFS platforms have
-            # several equivalent single-core clusters).
-            cores = self.platform.cores_of_type(placement.core_type_name)
+            # several equivalent single-core clusters).  Offline cores
+            # are skipped; with no faults injected the candidate list —
+            # and hence the RNG draw — is unchanged.
+            cores = [
+                c
+                for c in self.platform.cores_of_type(placement.core_type_name)
+                if c.online
+            ]
+            if not cores:
+                cores = self.platform.cores_of_type(placement.core_type_name)
             core = cores[int(self.place_rng.integers(len(cores)))]
         self.queues[core.core_id].push(task)
         if self.tracer is not None:
@@ -217,7 +239,7 @@ class Executor:
 
     def _finish(self, now: float) -> None:
         """Snapshot metrics at the moment the last task completes."""
-        self.sensor.stop()
+        self.sensor.finalize(now)
         self.scheduler.on_workload_complete()
         self.metrics.makespan = now
         self.metrics.cpu_energy = self.sensor.energy("cpu")
@@ -230,3 +252,5 @@ class Executor:
             ctl.transitions for ctl in self.cluster_dvfs.values()
         )
         self.metrics.memory_freq_transitions = self.memory_dvfs.transitions
+        if self.injector is not None:
+            self.metrics.extras["faults"] = self.injector.summary()

@@ -60,6 +60,12 @@ class RunMetrics:
     memory_freq_transitions: int = 0
     #: Simulated time spent in the JOSS/STEER sampling phase.
     sampling_time: float = 0.0
+    #: Degradation entries (health monitor fallbacks, repro.core.health).
+    fallback_count: int = 0
+    #: Simulated time with at least one kernel in degraded mode.
+    degraded_time: float = 0.0
+    #: Exact energy (J) attributed to degraded-mode windows.
+    degraded_energy: float = 0.0
     #: Scheduler-reported model/selection bookkeeping (free-form).
     extras: dict = field(default_factory=dict)
     per_kernel: dict[str, KernelStats] = field(default_factory=dict)
@@ -109,6 +115,9 @@ class RunMetrics:
             "cluster_freq_transitions": self.cluster_freq_transitions,
             "memory_freq_transitions": self.memory_freq_transitions,
             "sampling_time": self.sampling_time,
+            "fallback_count": self.fallback_count,
+            "degraded_time": self.degraded_time,
+            "degraded_energy": self.degraded_energy,
             "extras": {
                 k: v for k, v in self.extras.items()
                 if isinstance(v, (int, float, str, bool, list, dict))
@@ -134,6 +143,8 @@ class RunMetrics:
             "sampling_time",
         ):
             setattr(m, key, data[key])
+        for key in ("fallback_count", "degraded_time", "degraded_energy"):
+            setattr(m, key, data.get(key, 0))
         m.extras = dict(data.get("extras", {}))
         for name, ks in data.get("per_kernel", {}).items():
             stats = m.kernel_stats(name)
@@ -167,10 +178,14 @@ def average_run_metrics(runs: Sequence[RunMetrics]) -> RunMetrics:
     for name in (
         "makespan", "cpu_energy", "mem_energy",
         "cpu_energy_exact", "mem_energy_exact", "sampling_time",
+        "degraded_time", "degraded_energy",
     ):
         setattr(avg, name, sum(getattr(m, name) for m in runs) / n)
     avg.tasks_executed = first.tasks_executed
-    for name in ("steals", "cluster_freq_transitions", "memory_freq_transitions"):
+    for name in (
+        "steals", "cluster_freq_transitions", "memory_freq_transitions",
+        "fallback_count",
+    ):
         setattr(avg, name, round(sum(getattr(m, name) for m in runs) / n))
     extras: dict = {}
     for key, value in first.extras.items():

@@ -10,18 +10,22 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.errors import FrequencyError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec_model.engine import ExecutionEngine
     from repro.hw.cluster import Cluster
     from repro.hw.core import Core
     from repro.hw.dvfs import DvfsController
     from repro.hw.platform import Platform
+    from repro.hw.sensor import PowerSensor
     from repro.runtime.metrics import RunMetrics
     from repro.runtime.placement import Placement
     from repro.runtime.queues import WorkQueue
     from repro.runtime.task import Task
     from repro.sim.engine import Simulator
     from repro.sim.rng import RngStreams
+    from repro.sim.trace import Tracer
 
 
 class RuntimeContext:
@@ -42,6 +46,8 @@ class RuntimeContext:
         memory_dvfs: "DvfsController",
         rng: "RngStreams",
         metrics: "RunMetrics | None" = None,
+        sensor: "PowerSensor | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.sim = sim
         self.platform = platform
@@ -52,6 +58,10 @@ class RuntimeContext:
         self.rng = rng
         #: Run metrics the scheduler may annotate (sampling time, extras).
         self.metrics = metrics
+        #: The run's power sensor (health monitoring reads its liveness).
+        self.sensor = sensor
+        #: Optional tracer for scheduler-emitted events.
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -59,10 +69,26 @@ class RuntimeContext:
 
     def request_cluster_freq(self, cluster: "Cluster", f_ghz: float) -> float:
         """Ask the cluster's DVFS controller for ``f_ghz`` (snapped)."""
-        return self.cluster_dvfs[cluster.cluster_id].request(f_ghz)
+        return self._request(self.cluster_dvfs[cluster.cluster_id], f_ghz)
 
     def request_memory_freq(self, f_ghz: float) -> float:
-        return self.memory_dvfs.request(f_ghz)
+        return self._request(self.memory_dvfs, f_ghz)
+
+    def _request(self, ctl: "DvfsController", f_ghz: float) -> float:
+        """Forward a request, absorbing *transient* actuator failures
+        (fault injection): the scheduler keeps going at the current
+        frequency and the incident is counted.  Genuine out-of-range
+        errors (mis-scaled callers) still propagate."""
+        try:
+            return ctl.request(f_ghz)
+        except FrequencyError as exc:
+            if not getattr(exc, "transient", False):
+                raise
+            if self.metrics is not None:
+                self.metrics.extras["dvfs_transient_errors"] = (
+                    self.metrics.extras.get("dvfs_transient_errors", 0) + 1
+                )
+            return ctl.domain.freq
 
     def busy_core_count(self) -> int:
         """Instantaneous number of working cores (task concurrency)."""

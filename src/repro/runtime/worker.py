@@ -36,14 +36,14 @@ class Worker:
     def wake(self) -> None:
         """Schedule a fetch attempt if the core is idle and none is
         already pending (coalesces thundering-herd wakes)."""
-        if self.core.busy or self._fetch_scheduled:
+        if self.core.busy or not self.core.online or self._fetch_scheduled:
             return
         self._fetch_scheduled = True
         self.executor.sim.schedule(0.0, self._fetch, priority=FETCH_PRIORITY)
 
     def _fetch(self) -> None:
         self._fetch_scheduled = False
-        if self.core.busy:
+        if self.core.busy or not self.core.online:
             return
         item: Optional[QueueItem] = self.queue.pop_own()
         if item is None:
@@ -79,7 +79,10 @@ class Worker:
         assert placement is not None, "dispatched task must carry a placement"
         # The actual cluster is this core's cluster (a cross-cluster
         # steal under GRWS runs the task where it was stolen to).
-        n_cores = min(placement.n_cores, self.core.cluster.n_cores)
+        # Hot-unplugged cores cannot host sibling partitions, so a
+        # moldable task shrinks to what the cluster still offers.
+        online = len(self.core.cluster.online_cores())
+        n_cores = min(placement.n_cores, max(1, online))
         task.partitions_total = n_cores
         task.partitions_remaining = n_cores
         task.mark_running(ex.sim.now)
@@ -100,7 +103,10 @@ class Worker:
     def _choose_siblings(self, count: int) -> list["Core"]:
         """Pick ``count`` other cores of this cluster for partitions —
         idle cores first, then shortest queue."""
-        others = [c for c in self.core.cluster.cores if c is not self.core]
+        others = [
+            c for c in self.core.cluster.cores
+            if c is not self.core and c.online
+        ]
         others.sort(key=lambda c: (c.busy, len(self.executor.queues[c.core_id])))
         return others[:count]
 

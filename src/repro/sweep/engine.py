@@ -94,7 +94,10 @@ def execute_job(
         seed=spec.workload_seed,
         **spec.workload_overrides_dict(),
     )
-    ex = Executor(factory(), sched, seed=spec.executor_seed)
+    ex = Executor(
+        factory(), sched, seed=spec.executor_seed,
+        faults=spec.fault_campaign(),
+    )
     metrics = ex.run(graph)
     metrics.workload = spec.workload
     # JSON round-trip so serial, parallel (pickled) and cached results

@@ -23,7 +23,8 @@ from repro.errors import SweepError
 
 #: Bump to invalidate every previously cached sweep result (include it
 #: in the job hash so stale entries simply stop matching).
-SCHEMA_VERSION = 1
+#: v2: jobs carry an optional fault campaign (repro.faults).
+SCHEMA_VERSION = 2
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -70,10 +71,22 @@ class JobSpec:
     repetition: int = 0
     scheduler_kwargs: Any = ()
     workload_overrides: Any = ()
+    #: Optional fault campaign (a FaultCampaign, its dict form, or ()).
+    #: Canonicalised like the kwargs so faulted jobs hash differently
+    #: from fault-free ones and cache correctly.
+    faults: Any = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
         object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
+        faults = self.faults
+        if faults is not None and not isinstance(faults, _SCALARS + (tuple, list, Mapping)):
+            # Duck-typed FaultCampaign (avoid a hard import cycle).
+            to_dict = getattr(faults, "to_dict", None)
+            if to_dict is None:
+                raise SweepError(f"faults must be a campaign or mapping, got {faults!r}")
+            faults = to_dict()
+        object.__setattr__(self, "faults", freeze(faults or {}))
 
     # -- canonical form -------------------------------------------------
     def scheduler_kwargs_dict(self) -> dict:
@@ -83,6 +96,20 @@ class JobSpec:
     def workload_overrides_dict(self) -> dict:
         out = thaw(self.workload_overrides)
         return out if isinstance(out, dict) else {}
+
+    def faults_dict(self) -> dict:
+        out = thaw(self.faults)
+        return out if isinstance(out, dict) else {}
+
+    def fault_campaign(self):
+        """The job's :class:`~repro.faults.spec.FaultCampaign`, or
+        ``None`` when the job is fault-free."""
+        data = self.faults_dict()
+        if not data.get("faults"):
+            return None
+        from repro.faults.spec import FaultCampaign
+
+        return FaultCampaign.from_dict(data)
 
     @property
     def executor_seed(self) -> int:
@@ -101,6 +128,7 @@ class JobSpec:
             "repetition": self.repetition,
             "scheduler_kwargs": self.scheduler_kwargs_dict(),
             "workload_overrides": self.workload_overrides_dict(),
+            "faults": self.faults_dict(),
         }
 
     @classmethod
@@ -121,6 +149,9 @@ class JobSpec:
         bits = f"{self.workload}/{self.scheduler}"
         if self.scale != 1.0:
             bits += f"@x{self.scale:g}"
+        faults = self.faults_dict()
+        if faults.get("faults"):
+            bits += f"+{faults.get('name') or 'faults'}"
         return f"{bits} rep{self.repetition}"
 
 
@@ -143,6 +174,8 @@ class SweepSpec:
     profile_seed: int = 0
     scheduler_kwargs: Any = ()
     workload_overrides: Any = ()
+    #: Fault campaign applied to every job of the grid (see JobSpec).
+    faults: Any = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -150,6 +183,13 @@ class SweepSpec:
         object.__setattr__(self, "scales", tuple(float(s) for s in self.scales))
         object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
         object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
+        faults = self.faults
+        if faults is not None and not isinstance(faults, _SCALARS + (tuple, list, Mapping)):
+            to_dict = getattr(faults, "to_dict", None)
+            if to_dict is None:
+                raise SweepError(f"faults must be a campaign or mapping, got {faults!r}")
+            faults = to_dict()
+        object.__setattr__(self, "faults", freeze(faults or {}))
         if self.repetitions < 1:
             raise SweepError("a sweep needs at least one repetition")
         if not self.workloads or not self.schedulers:
@@ -180,6 +220,7 @@ class SweepSpec:
                             repetition=rep,
                             scheduler_kwargs=self.scheduler_kwargs,
                             workload_overrides=self.workload_overrides,
+                            faults=self.faults,
                         )
 
     @property

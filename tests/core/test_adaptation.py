@@ -49,6 +49,39 @@ class TestPolicyUnit:
         assert not pol.observe("k", 0.0, 1.0)
         assert not pol.observe("k", 1.0, 0.0)
 
+    def test_min_observations_warmup(self):
+        """The EMA must warm up: gross drift within the first
+        min_observations-1 completions never fires."""
+        pol = AdaptationPolicy(tolerance=0.1, patience=1, min_observations=5)
+        for _ in range(4):
+            assert not pol.observe("k", 10.0, 1.0)
+        assert pol.observe("k", 10.0, 1.0)  # fifth observation may fire
+
+    def test_hysteresis_needs_both_ema_and_instant_out_of_band(self):
+        """Violation-band hysteresis: after a drift episode pushes the
+        EMA out of band, in-band instantaneous observations must NOT
+        keep counting violations off the EMA's tail."""
+        pol = AdaptationPolicy(tolerance=0.5, patience=3, min_observations=1, alpha=0.9)
+        # Two strongly drifted observations: EMA ~3, violations = 2.
+        assert not pol.observe("k", 3.0, 1.0)
+        assert not pol.observe("k", 3.0, 1.0)
+        st = pol.state_of("k")
+        assert st is not None and st.violations == 2
+        # Instantaneous back in band while the EMA is still way out:
+        # the violation streak resets instead of reaching patience.
+        assert not pol.observe("k", 1.0, 1.0)
+        assert pol.state_of("k").violations == 0
+        assert pol.invalidations == 0
+
+    def test_violations_reset_when_ema_recovers(self):
+        pol = AdaptationPolicy(tolerance=0.5, patience=10, min_observations=1, alpha=0.5)
+        for _ in range(3):
+            pol.observe("k", 3.0, 1.0)
+        assert pol.state_of("k").violations > 0
+        for _ in range(10):
+            pol.observe("k", 1.0, 1.0)
+        assert pol.state_of("k").violations == 0
+
     def test_reset(self):
         pol = AdaptationPolicy(patience=1, min_observations=1, tolerance=0.1)
         for _ in range(5):
@@ -101,3 +134,27 @@ class TestSchedulerIntegration:
         ).run(self._graph())
         assert base.total_energy == off.total_energy
         assert base.makespan == off.makespan
+
+    def test_invalidation_re_enters_sampling(self, suite):
+        """After an invalidation the kernel goes back through the
+        sampling pipeline: strictly more placements take the sampling
+        path than in an undisturbed run.  (``sampling_time`` is no
+        oracle here — ``forget_kernel`` drops the previous pass's
+        accumulated time along with its measurements.)"""
+
+        class CountingJoss(JossScheduler):
+            sample_placements = 0
+
+            def place(self, task):
+                p = super().place(task)
+                if "sample_slot" in task.meta:
+                    self.sample_placements += 1
+                return p
+
+        base_sched = CountingJoss(suite)
+        Executor(jetson_tx2(), base_sched, seed=7).run(self._graph())
+        pol = AdaptationPolicy(tolerance=0.005, patience=1, min_observations=1)
+        sched = CountingJoss(suite, adaptation=pol)
+        m = Executor(jetson_tx2(), sched, seed=7).run(self._graph())
+        assert m.extras["adaptation_invalidations"] >= 1
+        assert sched.sample_placements > base_sched.sample_placements

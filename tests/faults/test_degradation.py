@@ -1,0 +1,193 @@
+"""Acceptance tests: survivability, graceful degradation, determinism.
+
+ISSUE criteria covered here: every built-in fault model completes a
+run with fallback transitions visible in RunMetrics and the Chrome
+trace; the same campaign replays bit-identically; a zero-fault
+campaign is bit-identical to the fault-free baseline; faulted jobs
+compose with the sweep cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import JossScheduler
+from repro.exec_model import KernelSpec
+from repro.faults import FaultCampaign, FaultSpec, builtin_campaigns
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor, TaskGraph
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def _graph(n=120):
+    k = KernelSpec("ft.k", w_comp=0.08, w_bytes=0.004)
+    g = TaskGraph("faults")
+    prev = None
+    for _ in range(n // 4):
+        layer = [g.add_task(k, deps=[prev] if prev else None) for _ in range(3)]
+        prev = g.add_task(k, deps=layer)
+    return g
+
+
+def _run(suite, *, health=True, faults=None, tracer=None, seed=7, **kw):
+    sched = JossScheduler(suite, health=health)
+    ex = Executor(jetson_tx2(), sched, seed=seed, faults=faults,
+                  tracer=tracer, **kw)
+    return ex.run(_graph())
+
+
+@pytest.fixture(scope="module")
+def baseline(suite):
+    return _run(suite, faults=None)
+
+
+class TestSurvivability:
+    @pytest.mark.parametrize("model", [
+        "sensor-dropout", "sensor-stuck", "dvfs-stuck", "dvfs-ignore",
+        "core-unplug", "model-bias",
+    ])
+    def test_every_builtin_model_completes(self, suite, baseline, model):
+        campaign = builtin_campaigns(baseline.makespan, seed=3)[model]
+        m = _run(suite, faults=campaign)
+        assert m.tasks_executed == baseline.tasks_executed
+        assert m.makespan > 0
+        assert m.total_energy > 0
+        summary = m.extras["faults"]
+        assert summary["campaign"] == model
+        assert summary["faults"] == 1
+
+    def test_core_unplug_visible_in_trace_and_counters(self, suite, baseline):
+        campaign = builtin_campaigns(baseline.makespan, seed=3)["core-unplug"]
+        tracer = Tracer()
+        m = _run(suite, faults=campaign, tracer=tracer)
+        assert m.extras["faults"]["core_unplugs"] == 1
+        assert len(tracer.records("core-unplug")) == 1
+        assert len(tracer.records("core-replug")) == 1
+        # The offline window never hosts an activity on the unplugged core.
+        unplug_t = tracer.records("core-unplug")[0].time
+        replug_t = tracer.records("core-replug")[0].time
+        for rec in tracer.records("activity-start"):
+            if rec.payload.get("core") == 0:
+                assert not (unplug_t <= rec.time < replug_t)
+
+
+class TestGracefulDegradation:
+    def test_sensor_silence_forces_global_fallback(self, suite):
+        """A totally dead sensor (100% dropout, open-ended) must push
+        the scheduler into governor fallback, visible in RunMetrics and
+        as instant events in the Chrome trace."""
+        campaign = FaultCampaign(
+            seed=1,
+            faults=(FaultSpec("sensor-dropout", onset=0.0, magnitude=1.0),),
+            name="dead-sensor",
+        )
+        tracer = Tracer()
+        m = _run(suite, faults=campaign, tracer=tracer,
+                 sensor_interval_s=0.001)
+        assert m.tasks_executed == 120
+        assert m.fallback_count >= 1
+        assert m.degraded_time > 0
+        assert m.degraded_energy > 0
+        assert len(tracer.records("degraded-enter")) >= 1
+        # on_run_end closes the still-open window with a degraded-exit.
+        assert len(tracer.records("degraded-exit")) == len(
+            tracer.records("degraded-enter")
+        )
+        names = {e["name"] for e in tracer.to_chrome_trace()["traceEvents"]}
+        assert "degraded-enter" in names
+        assert m.extras["faults"]["sensor_dropped"] > 0
+
+    def test_drift_degradation_recovers_and_resamples(self, suite):
+        """Hair-trigger health policy: natural noise trips the drift
+        monitor, the kernel serves its fallback hold, recovers, and
+        re-enters sampling — the run still drains."""
+        health = {"tolerance": 0.005, "patience": 1, "min_observations": 1,
+                  "recovery_hold": 3}
+        tracer = Tracer()
+        m = _run(suite, health=health, tracer=tracer)
+        assert m.tasks_executed == 120
+        assert m.fallback_count >= 1
+        assert m.degraded_time > 0
+        assert m.extras["health_recoveries"] >= 1
+        assert len(tracer.records("degraded-enter")) >= 1
+        assert len(tracer.records("degraded-exit")) >= 1
+
+    def test_healthy_run_reports_no_degradation(self, suite, baseline):
+        assert baseline.fallback_count == 0
+        assert baseline.degraded_time == 0.0
+        assert baseline.degraded_energy == 0.0
+        assert baseline.extras["health_recoveries"] == 0
+
+
+class TestDeterminism:
+    def test_same_campaign_replays_bit_identical(self, suite, baseline):
+        campaign = builtin_campaigns(baseline.makespan, seed=9)["dvfs-ignore"]
+
+        def once():
+            m = _run(suite, faults=campaign)
+            return json.dumps(m.to_dict(), sort_keys=True)
+
+        assert once() == once()
+
+    def test_zero_fault_campaign_is_bit_identical_to_no_faults(self, suite):
+        plain = _run(suite, faults=None)
+        empty = _run(suite, faults=FaultCampaign(seed=5))
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            empty.to_dict(), sort_keys=True
+        )
+
+    def test_health_monitoring_alone_is_paper_identical(self, suite):
+        """With no faults and the default (wide) policy the monitor only
+        watches — energy and makespan match the health=None run."""
+        off = _run(suite, health=None)
+        on = _run(suite, health=True)
+        assert on.total_energy == off.total_energy
+        assert on.makespan == off.makespan
+        assert on.tasks_executed == off.tasks_executed
+
+
+class TestSweepComposition:
+    def _campaign(self):
+        return FaultCampaign(
+            seed=2,
+            faults=(FaultSpec("dvfs-stuck", onset=0.001, duration=0.02),),
+            name="sweep-demo",
+        )
+
+    def test_faulted_job_hashes_differently(self):
+        from repro.sweep.spec import JobSpec
+
+        plain = JobSpec(workload="fb", scheduler="JOSS")
+        faulted = JobSpec(workload="fb", scheduler="JOSS",
+                          faults=self._campaign())
+        assert plain.job_hash != faulted.job_hash
+        assert plain.fault_campaign() is None
+        rebuilt = faulted.fault_campaign()
+        assert rebuilt == self._campaign()
+        assert rebuilt.campaign_hash == self._campaign().campaign_hash
+
+    def test_cache_round_trip_of_faulted_job(self, tmp_path):
+        from repro.sweep import ResultCache, run_sweep
+        from repro.sweep.spec import JobSpec
+
+        job = JobSpec(workload="fb", scheduler="JOSS",
+                      scheduler_kwargs={"health": True},
+                      faults=self._campaign())
+        cache = ResultCache(tmp_path)
+        first = run_sweep([job], cache=cache)
+        first.raise_on_failure()
+        assert not first.outcomes[0].cached
+        second = run_sweep([job], cache=cache)
+        second.raise_on_failure()
+        assert second.outcomes[0].cached
+        a = first.outcomes[0].metrics.to_dict()
+        b = second.outcomes[0].metrics.to_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -1,0 +1,178 @@
+"""Unit tests for the fault injectors (taps and proxies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FrequencyError
+from repro.faults import FaultCampaign, FaultSpec, PerturbedSuite, SensorTap
+from repro.faults.inject import DvfsTap
+from repro.hw.dvfs import DvfsController
+
+
+class FakeSim:
+    """Just enough simulator for the taps (they only read ``now``)."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def _rng(campaign_seed=0, index=0):
+    return FaultCampaign(seed=campaign_seed).rng_for(index)
+
+
+class TestSensorTap:
+    def test_inactive_fault_passes_through(self):
+        spec = FaultSpec("sensor-dropout", onset=5.0, duration=1.0,
+                         magnitude=1.0)
+        tap = SensorTap(FakeSim(0.0), lambda: {"cpu": 2.0}, [(spec, _rng())])
+        assert tap() == {"cpu": 2.0}
+
+    def test_dropout_returns_none(self):
+        spec = FaultSpec("sensor-dropout", magnitude=1.0)  # always drop
+        tap = SensorTap(FakeSim(), lambda: {"cpu": 2.0}, [(spec, _rng())])
+        assert tap() is None
+
+    def test_dropout_is_seed_deterministic(self):
+        spec = FaultSpec("sensor-dropout", magnitude=0.5)
+
+        def run():
+            tap = SensorTap(FakeSim(), lambda: {"cpu": 2.0}, [(spec, _rng())])
+            return [tap() is None for _ in range(50)]
+
+        assert run() == run()
+
+    def test_stuck_holds_pre_fault_value(self):
+        spec = FaultSpec("sensor-stuck", onset=1.0, duration=2.0)
+        sim = FakeSim(0.0)
+        readings = {"cpu": 1.0}
+        tap = SensorTap(sim, lambda: dict(readings), [(spec, _rng())])
+        assert tap() == {"cpu": 1.0}  # healthy: records last value
+        sim.now = 1.5
+        readings["cpu"] = 9.0  # truth changes inside the window...
+        assert tap() == {"cpu": 1.0}  # ...but the sensor reads stale
+        sim.now = 3.5
+        assert tap() == {"cpu": 9.0}  # window over: live again
+
+    def test_saturate_clamps(self):
+        spec = FaultSpec("sensor-saturate", magnitude=1.5)
+        tap = SensorTap(FakeSim(), lambda: {"cpu": 4.0, "mem": 1.0},
+                        [(spec, _rng())])
+        assert tap() == {"cpu": 1.5, "mem": 1.0}
+
+    def test_bias_gain_and_offset(self):
+        spec = FaultSpec("sensor-bias", magnitude=2.0,
+                         params={"offset": 0.5})
+        tap = SensorTap(FakeSim(), lambda: {"cpu": 1.0}, [(spec, _rng())])
+        assert tap() == {"cpu": 2.5}
+
+
+class TestDvfsTap:
+    def _tap(self, sim, tx2, spec, latency=100e-6):
+        ctl = DvfsController(sim, tx2.clusters[0], latency, name="cpu0")
+        tap = DvfsTap(sim, ctl, [(spec, _rng())])
+        return ctl, tap
+
+    def test_stuck_ignores_requests(self, sim, tx2):
+        ctl, tap = self._tap(sim, tx2, FaultSpec("dvfs-stuck"))
+        got = ctl.request(1.11)
+        sim.run()
+        assert got == 2.04  # the current frequency, unchanged
+        assert tx2.clusters[0].freq == 2.04
+        assert ctl.transitions == 0
+        assert ctl.requests == 1  # still counted as a request
+        assert tap.ignored == 1
+
+    def test_ignore_probability_zero_passes_through(self, sim, tx2):
+        ctl, tap = self._tap(
+            sim, tx2, FaultSpec("dvfs-ignore", magnitude=0.0)
+        )
+        ctl.request(1.11)
+        sim.run()
+        assert tx2.clusters[0].freq == 1.11
+        assert tap.ignored == 0
+
+    def test_error_raises_transient_frequency_error(self, sim, tx2):
+        ctl, tap = self._tap(
+            sim, tx2, FaultSpec("dvfs-error", magnitude=1.0)
+        )
+        with pytest.raises(FrequencyError) as exc:
+            ctl.request(1.11)
+        assert getattr(exc.value, "transient", False)
+        assert tap.errors == 1
+
+    def test_jitter_stretches_latency_and_restores(self, sim, tx2):
+        ctl, tap = self._tap(
+            sim, tx2, FaultSpec("dvfs-jitter", magnitude=2.0),
+            latency=100e-6,
+        )
+        ctl.request(1.11)
+        sim.run()
+        assert ctl.latency == 100e-6  # restored after the request
+        assert sim.now > 100e-6  # the transition took longer
+        assert tx2.clusters[0].freq == 1.11
+        assert tap.jittered == 1
+
+    def test_core_cap_clamps_requests(self, sim, tx2):
+        ctl, _ = self._tap(
+            sim, tx2, FaultSpec("core-cap", magnitude=1.0), latency=0.0
+        )
+        ctl.request(2.04)
+        assert tx2.clusters[0].freq <= 1.0
+
+    def test_window_over_restores_normal_behaviour(self, sim, tx2):
+        spec = FaultSpec("dvfs-stuck", onset=0.0, duration=1e-9)
+        ctl, _ = self._tap(sim, tx2, spec, latency=0.0)
+        sim.schedule(1.0, lambda: ctl.request(1.11))
+        sim.run()
+        assert tx2.clusters[0].freq == 1.11
+
+
+class TestPerturbedSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.hw import jetson_tx2
+        from repro.models import profile_and_fit
+
+        return profile_and_fit(jetson_tx2, seed=0)
+
+    def _grids(self, suite):
+        return np.asarray([0.5, 1.0, 2.0]), np.asarray([0.5, 1.8])
+
+    def test_inactive_fault_leaves_tables_alone(self, suite):
+        spec = FaultSpec("model-bias", onset=5.0, magnitude=1.0)
+        proxy = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        cl, nc = suite.config_keys()[0]
+        f_c, f_m = self._grids(suite)
+        a = suite.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        b = proxy.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        np.testing.assert_array_equal(a.time, b.time)
+
+    def test_active_fault_scales_time_grid(self, suite):
+        spec = FaultSpec("model-bias", magnitude=1.0)
+        proxy = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        cl, nc = suite.config_keys()[0]
+        f_c, f_m = self._grids(suite)
+        clean = suite.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        bent = proxy.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        ratio = bent.time / clean.time
+        assert np.allclose(ratio, ratio.flat[0])  # one factor per table
+        assert ratio.flat[0] != pytest.approx(1.0)
+        # Powers untouched: only the performance model is mispredicted.
+        np.testing.assert_array_equal(clean.cpu_power, bent.cpu_power)
+
+    def test_wrapped_suite_never_mutated(self, suite):
+        spec = FaultSpec("model-bias", magnitude=1.0)
+        proxy = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        cl, nc = suite.config_keys()[0]
+        f_c, f_m = self._grids(suite)
+        before = suite.build_table(cl, nc, 0.5, 0.01, f_c, f_m).time.copy()
+        proxy.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        after = suite.build_table(cl, nc, 0.5, 0.01, f_c, f_m).time
+        np.testing.assert_array_equal(before, after)
+
+    def test_delegates_everything_else(self, suite):
+        proxy = PerturbedSuite(suite, FakeSim(), [])
+        assert proxy.f_c_ref == suite.f_c_ref
+        assert proxy.config_keys() == suite.config_keys()

@@ -1,0 +1,130 @@
+"""Tests for fault specifications and campaign hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultCampaign, FaultSpec
+from repro.hw import jetson_tx2
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec("sensor-explode")
+
+    def test_negative_onset_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec("sensor-dropout", onset=-1.0)
+
+    def test_window_semantics(self):
+        f = FaultSpec("sensor-dropout", onset=1.0, duration=2.0)
+        assert not f.active(0.5)
+        assert f.active(1.0)
+        assert f.active(2.9)
+        assert not f.active(3.0)
+        assert f.end == 3.0
+
+    def test_open_ended_window(self):
+        f = FaultSpec("model-bias", onset=1.0, duration=0.0)
+        assert f.active(1e9)
+        assert f.end == float("inf")
+
+    def test_target_matching(self):
+        assert FaultSpec("dvfs-stuck", target="*").matches("cpu0")
+        assert FaultSpec("dvfs-stuck", target="cpu0").matches("cpu0")
+        assert not FaultSpec("dvfs-stuck", target="cpu0").matches("emc")
+
+    def test_dict_round_trip(self):
+        f = FaultSpec(
+            "sensor-bias", onset=0.5, duration=1.0, magnitude=1.2,
+            params={"offset": 0.3},
+        )
+        assert FaultSpec.from_dict(f.to_dict()) == f
+
+    def test_params_canonicalised(self):
+        a = FaultSpec("sensor-bias", params={"a": 1, "b": 2})
+        b = FaultSpec("sensor-bias", params={"b": 2, "a": 1})
+        assert a == b
+
+
+class TestFaultCampaign:
+    def _campaign(self, seed=7):
+        return FaultCampaign(
+            seed=seed,
+            faults=(
+                FaultSpec("sensor-dropout", onset=0.1, duration=0.5,
+                          magnitude=0.5),
+                FaultSpec("dvfs-stuck", target="cpu1", onset=0.2,
+                          duration=0.3),
+            ),
+            name="demo",
+        )
+
+    def test_hash_is_stable_and_content_addressed(self):
+        assert self._campaign().campaign_hash == self._campaign().campaign_hash
+        assert (
+            self._campaign(seed=7).campaign_hash
+            != self._campaign(seed=8).campaign_hash
+        )
+
+    def test_dict_round_trip_preserves_hash(self):
+        c = self._campaign()
+        again = FaultCampaign.from_dict(c.to_dict())
+        assert again == c
+        assert again.campaign_hash == c.campaign_hash
+
+    def test_rng_streams_independent_and_reproducible(self):
+        c = self._campaign()
+        a1 = c.rng_for(0).random(8)
+        a2 = c.rng_for(0).random(8)
+        b = c.rng_for(1).random(8)
+        np.testing.assert_array_equal(a1, a2)
+        assert not np.array_equal(a1, b)
+
+    def test_non_faultspec_rejected(self):
+        with pytest.raises(FaultError):
+            FaultCampaign(faults=({"kind": "sensor-dropout"},))
+
+    def test_empty_campaign(self):
+        c = FaultCampaign()
+        assert c.empty
+        assert len(c) == 0
+
+
+class TestValidation:
+    def test_unplug_bad_target(self):
+        c = FaultCampaign(faults=(FaultSpec("core-unplug", target="denver"),))
+        with pytest.raises(FaultError):
+            c.validate_for(jetson_tx2())
+
+    def test_unplug_out_of_range(self):
+        c = FaultCampaign(faults=(FaultSpec("core-unplug", target="99"),))
+        with pytest.raises(FaultError):
+            c.validate_for(jetson_tx2())
+
+    def test_whole_cluster_unplug_rejected(self):
+        # TX2 cluster 0 = cores 0 and 1 (Denver): overlapping unplugs
+        # covering both would strand queued work.
+        c = FaultCampaign(faults=(
+            FaultSpec("core-unplug", target="0", onset=0.0, duration=1.0),
+            FaultSpec("core-unplug", target="1", onset=0.5, duration=1.0),
+        ))
+        with pytest.raises(FaultError):
+            c.validate_for(jetson_tx2())
+
+    def test_staggered_unplugs_allowed(self):
+        # Same cores, but the windows never overlap: always one online.
+        c = FaultCampaign(faults=(
+            FaultSpec("core-unplug", target="0", onset=0.0, duration=0.4),
+            FaultSpec("core-unplug", target="1", onset=0.5, duration=0.4),
+        ))
+        c.validate_for(jetson_tx2())  # does not raise
+
+    def test_partial_cluster_unplug_allowed(self):
+        c = FaultCampaign(faults=(
+            FaultSpec("core-unplug", target="2", onset=0.0, duration=0.0),
+        ))
+        c.validate_for(jetson_tx2())

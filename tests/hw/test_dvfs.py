@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro.errors import FrequencyError
 from repro.hw.dvfs import DvfsController
 
 
@@ -71,3 +74,47 @@ def test_memory_domain_controller(sim, tx2):
     ctl.request(0.8)
     sim.run()
     assert tx2.memory.freq == 0.8
+
+
+def test_far_out_of_range_request_raises(sim, tx2):
+    """Targets more than one OPP step outside the ladder indicate a
+    mis-scaled caller (GHz/MHz confusion) and must not silently snap."""
+    ctl = make(sim, tx2)
+    with pytest.raises(FrequencyError):
+        ctl.request(2040.0)  # MHz passed where GHz expected
+    with pytest.raises(FrequencyError):
+        ctl.request(-1.0)
+    assert ctl.requests == 0
+
+
+def test_slightly_out_of_range_request_still_snaps(sim, tx2):
+    ctl = make(sim, tx2)
+    opps = tx2.clusters[0].opps
+    got = ctl.request(opps.max + 0.01)  # within one step: snap, don't raise
+    assert got == opps.max
+
+
+def test_single_opp_domain_is_lenient(sim):
+    from repro.hw.platform import odroid_xu4
+
+    xu4 = odroid_xu4()
+    assert len(xu4.memory.opps) == 1
+    ctl = DvfsController(sim, xu4.memory, 0.0, name="emc")
+    assert ctl.request(0.5) == xu4.memory.opps.max
+
+
+def test_same_timestamp_requests_last_writer_wins(sim, tx2):
+    """Two requests at the same simulated instant: the later call wins
+    and exactly one transition is applied (the first apply event is
+    cancelled, not left to fire alongside the second)."""
+    ctl = make(sim, tx2)
+    ctl.request(0.345)
+    ctl.request(1.57)
+    ctl.request(0.96)  # all at t=0
+    applied = []
+    ctl.on_applied.append(lambda c: applied.append(c.domain.freq))
+    sim.run()
+    assert tx2.clusters[0].freq == 0.96
+    assert ctl.transitions == 1
+    assert applied == [0.96]
+    assert ctl.requests == 3

@@ -88,3 +88,62 @@ class TestPowerSensor:
         sensor.start()
         sim.run(until=0.0201)
         assert sensor.samples == 4
+
+    def test_stop_restart_does_not_double_chain(self):
+        """Regression: stop() used to leave the pending _sample event
+        alive; a restart then ran two interleaved sampling chains and
+        double-counted energy."""
+        sim = Simulator()
+        sensor = PowerSensor(
+            sim, lambda: {"cpu": 2.0}, interval_s=0.005, noise_sigma=0.0
+        )
+        sensor.start()
+        sim.run(until=0.0101)  # a few samples in, one pending
+        sensor.stop()
+        sensor.start()
+        sim.run(until=1.0)
+        sensor.stop()
+        # One chain's worth of samples: ~200 over 1 s at 5 ms, not ~400.
+        assert sensor.samples <= 201
+        assert sensor.energy("cpu") == pytest.approx(2.0, rel=0.02)
+
+    def test_finalize_accounts_partial_tail(self):
+        sim = Simulator()
+        sensor = PowerSensor(
+            sim, lambda: {"cpu": 2.0}, interval_s=0.005, noise_sigma=0.0
+        )
+        sensor.start()
+        sim.run(until=0.0125)  # 2 full samples + a 2.5 ms tail
+        sensor.finalize(sim.now)
+        assert sensor.energy("cpu") == pytest.approx(2.0 * 0.0125)
+        sim.run()
+        assert sensor.energy("cpu") == pytest.approx(2.0 * 0.0125)  # stopped
+
+    def test_finalize_when_stopped_is_noop(self):
+        sim = Simulator()
+        sensor = PowerSensor(sim, lambda: {"cpu": 2.0}, noise_sigma=0.0)
+        sensor.finalize(1.0)
+        assert sensor.energy("cpu") == 0.0
+
+    def test_none_reading_counts_as_dropped_sample(self):
+        sim = Simulator()
+        readings = iter([{"cpu": 2.0}, None, {"cpu": 2.0}, None])
+        sensor = PowerSensor(
+            sim, lambda: next(readings), interval_s=0.005, noise_sigma=0.0
+        )
+        sensor.start()
+        sim.run(until=0.0201)
+        assert sensor.samples == 2
+        assert sensor.dropped == 2
+        # Dropped intervals accumulate no energy.
+        assert sensor.energy("cpu") == pytest.approx(2.0 * 0.005 * 2)
+
+    def test_last_sample_time_tracks_successes_only(self):
+        sim = Simulator()
+        readings = iter([{"cpu": 1.0}] + [None] * 100)
+        sensor = PowerSensor(
+            sim, lambda: next(readings), interval_s=0.005, noise_sigma=0.0
+        )
+        sensor.start()
+        sim.run(until=0.1)
+        assert sensor.last_sample_time == pytest.approx(0.005)
