@@ -208,6 +208,51 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        PerfReport,
+        gate_against_baseline,
+        git_rev,
+        run_benchmarks,
+    )
+
+    mode = "quick" if args.quick else "full"
+    print(f"repro perf ({mode} mode)")
+    records = run_benchmarks(
+        quick=args.quick,
+        benchmarks=args.benchmark,
+        progress=lambda name: print(f"  running {name} ..."),
+    )
+    report = PerfReport(
+        benchmarks=records,
+        rev=git_rev(),
+        timestamp=PerfReport.now_iso(),
+        quick=args.quick,
+    )
+    baseline = None
+    if args.baseline:
+        baseline = PerfReport.load(args.baseline)
+        report.compare_to(baseline, path=args.baseline)
+    print()
+    print(report.render())
+    path = report.save(args.output)
+    print(f"\nperf report JSON -> {path}")
+    if baseline is not None and args.gate:
+        results = gate_against_baseline(
+            report, baseline, max_regression=args.max_regression
+        )
+        print()
+        failed = False
+        for res in results:
+            print(f"gate: {res.describe()}")
+            failed = failed or not res.passed
+        if failed:
+            print("perf gate FAILED", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import Timeline
     from repro.bench.runner import BenchConfig
@@ -448,6 +493,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("-o", "--output", default=None,
                           help="write the degradation report JSON here")
 
+    perf_p = sub.add_parser(
+        "perf",
+        help="run the hot-path microbenchmarks, emit BENCH_hotpath.json",
+    )
+    perf_p.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke mode)")
+    perf_p.add_argument(
+        "-b", "--benchmark", nargs="+", default=None,
+        help="subset of benchmarks to run (default: all; see repro.perf)",
+    )
+    perf_p.add_argument("-o", "--output", default="BENCH_hotpath.json",
+                        help="where to write the perf report JSON")
+    perf_p.add_argument("--baseline", default=None,
+                        help="recorded baseline report to compute speedups "
+                             "against (and to gate on with --gate)")
+    perf_p.add_argument("--gate", action="store_true",
+                        help="fail (exit 1) if a gated benchmark regressed "
+                             "beyond --max-regression vs --baseline")
+    perf_p.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional regression for --gate "
+                             "(default 0.30)")
+
     val_p = sub.add_parser(
         "validate", help="cross-validate the fitted models (k-fold)"
     )
@@ -482,6 +549,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

@@ -296,14 +296,19 @@ class JossScheduler(Scheduler):
     def _resolve_kernel(self, kname: str) -> None:
         """Build the kernel's look-up tables and select its config."""
         assert self.ctx is not None and self.planner is not None
-        tables: dict[tuple[str, int], PredictionTable] = {}
+        params: dict[tuple[str, int], tuple[float, float]] = {}
+        grids: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         for cl_name, n_cores in self.suite.config_keys():
             mb = self.planner.mb(kname, cl_name, n_cores)
             t_ref = self.planner.reference_time(kname, cl_name, n_cores)
-            f_c_grid, f_m_grid = self._freq_grids(cl_name)
-            tables[(cl_name, n_cores)] = self.suite.build_table(
-                cl_name, n_cores, mb, t_ref, f_c_grid, f_m_grid
-            )
+            if cl_name not in grids:
+                grids[cl_name] = self._freq_grids(cl_name)
+            params[(cl_name, n_cores)] = (mb, t_ref)
+        # One batched call shares each cluster's OPP mesh across its
+        # <T_C, N_C> configs (dict order == config_keys order).
+        tables: dict[tuple[str, int], PredictionTable] = self.suite.build_tables(
+            params, grids
+        )
         concurrency = self._expected_concurrency()
         sel = self.goal.select(tables, self.selector, concurrency=concurrency)
         f_c, f_m = sel.freqs(tables)

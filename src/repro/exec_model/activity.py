@@ -38,6 +38,8 @@ class Activity:
         "last_update",
         "started_at",
         "completion_event",
+        "bd_key",
+        "bd",
     )
 
     def __init__(
@@ -71,6 +73,11 @@ class Activity:
         self.last_update = started_at
         self.started_at = started_at
         self.completion_event: Optional["Event"] = None
+        #: Engine-owned breakdown memo: kernel, core and partition count
+        #: are fixed for the activity's lifetime, so the partition
+        #: timing depends only on ``(f_C, f_M)``.
+        self.bd_key: Optional[tuple] = None
+        self.bd: Any = None
 
     def advance_to(self, now: float) -> None:
         """Consume progress between ``last_update`` and ``now`` at the

@@ -24,11 +24,16 @@ class ContentionModel:
     def factor(self, demands_gbps: Iterable[float]) -> float:
         """Contention factor >= 1 given per-activity uncontended
         bandwidth demands (GB/s)."""
-        total = sum(demands_gbps)
+        return self.factor_from_total(sum(demands_gbps))
+
+    def factor_from_total(self, total_gbps: float) -> float:
+        """:meth:`factor` from a pre-summed aggregate demand, so the
+        hot loop sums the demands once for factor, achieved bandwidth
+        and per-activity shares."""
         cap = self.memory.bandwidth_capacity
-        if cap <= 0 or total <= cap:
+        if cap <= 0 or total_gbps <= cap:
             return 1.0
-        return total / cap
+        return total_gbps / cap
 
     def achieved_bandwidth(
         self, demands_gbps: Iterable[float], factor: float | None = None
@@ -38,7 +43,9 @@ class ContentionModel:
         With the uniform-stretch model, demand above capacity saturates
         at capacity.
         """
-        demands = list(demands_gbps)
-        total = sum(demands)
+        return self.achieved_from_total(sum(demands_gbps))
+
+    def achieved_from_total(self, total_gbps: float) -> float:
+        """:meth:`achieved_bandwidth` from a pre-summed demand."""
         cap = self.memory.bandwidth_capacity
-        return min(total, cap) if cap > 0 else 0.0
+        return min(total_gbps, cap) if cap > 0 else 0.0

@@ -37,6 +37,9 @@ from repro.sim.trace import Tracer
 #: completion see consistent core states.
 COMPLETION_PRIORITY = -5
 
+#: Sentinel for "integrate energy up to now, change no rail" updates.
+_NO_POWERS: dict = {}
+
 
 class ExecutionEngine:
     """Owns all running activities and the power/energy bookkeeping."""
@@ -49,16 +52,44 @@ class ExecutionEngine:
         accountant: Optional[EnergyAccountant] = None,
         tracer: Optional[Tracer] = None,
         duration_noise_sigma: float = 0.02,
+        cache_size: int = 8192,
     ) -> None:
         self.sim = sim
         self.platform = platform
-        self.timing = GroundTruthTiming(platform.memory)
+        self.timing = GroundTruthTiming(platform.memory, cache_size=cache_size)
         self.contention = ContentionModel(platform.memory)
         self.accountant = accountant if accountant is not None else EnergyAccountant()
+        self._std_rails = self.accountant.rails == ("cpu", "mem")
         self.tracer = tracer
         self.duration_noise_sigma = float(duration_noise_sigma)
         self._noise_rng = rng.stream("exec-noise")
+        # Duration noise is drawn in blocks: a vectorised lognormal
+        # consumes the bitstream exactly like repeated scalar draws, so
+        # the per-activity values are bit-identical — the engine is the
+        # stream's only consumer, making the read-ahead invisible.
+        self._noise_buf: Any = None
+        self._noise_i = 0
         self._activities: list[Activity] = []
+        # Hot-path caches (``cache_size=0`` disables every one; cached
+        # values are always bit-identical to what recomputation would
+        # produce, which the determinism tests pin down).  See
+        # docs/architecture.md, "Performance".
+        self._cache_size = int(cache_size)
+        #: With caches on, a state change only *marks* the engine dirty;
+        #: the full re-timing pass runs lazily (before the clock can
+        #:  advance, any completion event fires, or rail power is read) —
+        #: collapsing the redundant passes of same-timestamp start
+        #: bursts into one.  See ``_flush_if_needed``.
+        self._defer = self._cache_size > 0
+        #: Partition-share breakdowns keyed like the timing memo.
+        self._part_cache: dict = {}
+        #: Per-cluster power: cluster_id -> ((freq, loads), watts).
+        self._cluster_power_cache: dict = {}
+        #: Memory-rail power: ((freq, achieved_bw), watts).
+        self._mem_power_cache: Optional[tuple] = None
+        #: Re-timing input signature of the last full pass (skip
+        #: duplicate passes at the same instant with identical state).
+        self._retime_sig: Optional[tuple] = None
         #: Callback ``fn(activity)`` invoked when a partition finishes.
         self.on_complete: Optional[Callable[[Activity], None]] = None
         #: Callbacks invoked (no args) after every global re-timing —
@@ -77,6 +108,8 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     @property
     def activities(self) -> tuple[Activity, ...]:
+        if self.sim.flush_fn is not None:  # deferred re-timing pending
+            self._retime()
         return tuple(self._activities)
 
     def busy_core_count(self) -> int:
@@ -96,9 +129,14 @@ class ExecutionEngine:
             raise SchedulingError(f"core {core.core_id} is already busy")
         noise = 1.0
         if self.duration_noise_sigma > 0:
-            noise = float(
-                self._noise_rng.lognormal(mean=0.0, sigma=self.duration_noise_sigma)
-            )
+            buf = self._noise_buf
+            if buf is None or self._noise_i >= len(buf):
+                buf = self._noise_buf = self._noise_rng.lognormal(
+                    mean=0.0, sigma=self.duration_noise_sigma, size=256
+                )
+                self._noise_i = 0
+            noise = float(buf[self._noise_i])
+            self._noise_i += 1
         act = Activity(kernel, core, n_cores_total, noise, payload, self.sim.now)
         core.busy = True
         core.current_activity = act
@@ -147,37 +185,166 @@ class ExecutionEngine:
         """Partition timing: wall time equals the whole task's wall time
         on ``n_cores_total`` cores; bandwidth demand is the per-core
         share (traffic is conserved across partitions)."""
-        b = self.timing.breakdown(
-            act.kernel,
-            act.core.core_type,
-            act.n_cores_total,
-            act.core.freq,
-            self.platform.memory.freq,
-        )
-        return TimingBreakdown(
+        kernel = act.kernel
+        core_type = act.core.core_type
+        f_c = act.core.freq
+        f_m = self.platform.memory.freq
+        cache = self._part_cache
+        key = (id(kernel), id(core_type), act.n_cores_total, f_c, f_m)
+        hit = cache.get(key)
+        if hit is not None and hit[0] is kernel:
+            return hit[1]
+        b = self.timing.breakdown(kernel, core_type, act.n_cores_total, f_c, f_m)
+        part = TimingBreakdown(
             t_comp=b.t_comp, t_mem=b.t_mem, bw_demand=b.bw_demand / act.n_cores_total
         )
+        if self._cache_size > 0:
+            if len(cache) >= self._cache_size:  # FIFO eviction
+                cache.pop(next(iter(cache)))
+            cache[key] = (kernel, part)
+        return part
 
     def _state_changed(self) -> None:
+        """The running set, a frequency or a stall deadline changed.
+
+        With caches disabled this re-times everything immediately (the
+        seed behaviour).  Otherwise the pass is deferred: bursts of
+        same-timestamp changes (a moldable task's partitions start via
+        separate equal-time events) each re-time the whole running set,
+        and every pass but the last is invisible — its completion events
+        are cancelled by the next pass, its power refresh happens at
+        ``dt == 0``.  Deferral runs only the last one.  The energy
+        integral up to ``now`` is closed here (exactly as the first
+        eager pass would) so mid-burst accountant reads stay exact.
+        """
+        if not self._defer:
+            self._retime()
+            return
+        now = self.sim._now
+        acc = self.accountant
+        if acc._last_t < now:
+            acc.integrate_to(now)
+        self.sim.flush_fn = self._flush_if_needed
+
+    def _flush_if_needed(
+        self, head_time: Optional[float], head_priority: int
+    ) -> bool:
+        """``Simulator.flush_fn``: run the deferred re-timing pass unless
+        the head event provably pops first in the eager schedule too.
+
+        Deferring past the head is sound only when the head fires at the
+        current instant AND no event the pass would (re)schedule could
+        beat it: completion events are the only priority-(-5) events, so
+        a lower-priority head (DVFS apply) always wins, an equal-priority
+        head is a stale completion the pass must cancel first, and a
+        higher-priority head (runtime/fetch events) wins unless a
+        re-timed completion lands at ``now`` itself — excluded by the
+        remaining-time lower bound ``frac * MIN_DURATION_S``.
+        """
+        now = self.sim._now
+        if head_time is not None and head_time == now:
+            if head_priority < COMPLETION_PRIORITY:
+                return False
+            if head_priority > COMPLETION_PRIORITY:
+                md = MIN_DURATION_S
+                for act in self._activities:
+                    frac = act.frac_remaining
+                    dt = now - act.last_update
+                    if dt > 0 and act.rate > 0:
+                        frac = frac - dt * act.rate
+                        if frac < 0.0:
+                            frac = 0.0
+                    if not (now + frac * md > now):
+                        break
+                else:
+                    return False
+        self._retime()
+        return True
+
+    def _retime(self) -> None:
         """Advance progress, recompute contention, reschedule deadlines,
         refresh rail power."""
-        now = self.sim.now
-        for act in self._activities:
-            act.advance_to(now)
-        breakdowns = [self._breakdown_for(a) for a in self._activities]
-        factor = self.contention.factor(b.bw_demand for b in breakdowns)
-        achieved_total = self.contention.achieved_bandwidth(
-            (b.bw_demand for b in breakdowns)
+        self.sim.flush_fn = None
+        now = self.sim._now
+        activities = self._activities
+        mem_freq = self.platform.memory._freq
+        caching = self._cache_size > 0
+        # Everything the re-timing below reads, beyond per-activity
+        # constants: the clock, both frequency domains, the running set
+        # and each activity's stall deadline.  If none of it moved
+        # since the last full pass, the recomputed rates, deadlines and
+        # already-scheduled completion events are all still exact —
+        # only the power/energy refresh and instrumentation run.  (Only
+        # completion events live at their tie-break priority, so
+        # keeping the existing ones preserves event order.)
+        sig = (
+            now,
+            mem_freq,
+            tuple(
+                [(id(a), a.core.cluster._freq, a.stall_until) for a in activities]
+            ),
         )
-        total_demand = sum(b.bw_demand for b in breakdowns)
-        for act, b in zip(self._activities, breakdowns):
-            duration_full = max(
-                (b.t_comp + b.t_mem * factor) * act.noise, MIN_DURATION_S
-            )
-            stall_left = max(0.0, act.stall_until - now)
-            act.rate = 0.0 if stall_left > 0 else 1.0 / duration_full
-            stretched = b.t_comp + b.t_mem * factor
-            act.mb_inst = (b.t_mem * factor) / stretched if stretched > 0 else 0.0
+        if caching and sig == self._retime_sig:
+            cpu, mem = self._rail_powers_pair()
+            self._acc_update(now, cpu, mem)
+            for fn in self.on_state_change:
+                fn()
+            return
+        # Fused per-activity pass: progress advance (mirrors
+        # Activity.advance_to) plus partition breakdown, memoised on the
+        # activity itself — kernel, core type and partition count are
+        # fixed for its lifetime, so the breakdown depends only on the
+        # ``(f_C, f_M)`` pair (same values _breakdown_for would return).
+        timing_breakdown = self.timing.breakdown
+        breakdowns = []
+        append = breakdowns.append
+        total_demand = 0.0
+        for act in activities:
+            dt = now - act.last_update
+            if dt > 0 and act.rate > 0:
+                frac = act.frac_remaining - dt * act.rate
+                act.frac_remaining = frac if frac > 0.0 else 0.0
+            act.last_update = now
+            key = (act.core.cluster._freq, mem_freq)
+            if key == act.bd_key:
+                b = act.bd
+            else:
+                full = timing_breakdown(
+                    act.kernel, act.core.core_type, act.n_cores_total, key[0], mem_freq
+                )
+                b = TimingBreakdown(
+                    t_comp=full.t_comp,
+                    t_mem=full.t_mem,
+                    bw_demand=full.bw_demand / act.n_cores_total,
+                )
+                if caching:
+                    act.bd_key = key
+                    act.bd = b
+            append(b)
+            total_demand += b.bw_demand
+        # Contention, inlined from ContentionModel.factor_from_total /
+        # achieved_from_total (cap == memory.bandwidth_capacity).
+        cap = self.platform.memory.bw_cap_per_ghz * mem_freq
+        if cap <= 0 or total_demand <= cap:
+            factor = 1.0
+        else:
+            factor = total_demand / cap
+        achieved_total = min(total_demand, cap) if cap > 0 else 0.0
+        schedule = self.sim.schedule
+        md = MIN_DURATION_S
+        for act, b in zip(activities, breakdowns):
+            stretched_mem = b.t_mem * factor
+            stretched = b.t_comp + stretched_mem
+            duration_full = stretched * act.noise
+            if duration_full < md:
+                duration_full = md
+            stall_left = act.stall_until - now
+            if stall_left > 0.0:
+                act.rate = 0.0
+            else:
+                stall_left = 0.0
+                act.rate = 1.0 / duration_full
+            act.mb_inst = stretched_mem / stretched if stretched > 0 else 0.0
             if total_demand > 0:
                 act.bw_achieved = achieved_total * (b.bw_demand / total_demand)
             else:
@@ -185,10 +352,12 @@ class ExecutionEngine:
             remaining = stall_left + act.frac_remaining * duration_full
             if act.completion_event is not None:
                 act.completion_event.cancel()
-            act.completion_event = self.sim.schedule(
+            act.completion_event = schedule(
                 remaining, self._complete, act, priority=COMPLETION_PRIORITY
             )
-        self.accountant.update(now, self.rail_powers())
+        self._retime_sig = sig
+        cpu, mem = self._rail_powers_pair()
+        self._acc_update(now, cpu, mem)
         for fn in self.on_state_change:
             fn()
 
@@ -214,23 +383,70 @@ class ExecutionEngine:
     # Power
     # ------------------------------------------------------------------
     def rail_powers(self) -> dict[str, float]:
-        """Instantaneous true power on the CPU and memory rails (W)."""
+        """Instantaneous true power on the CPU and memory rails (W).
+
+        Per-cluster power is cached against ``(freq, loads)`` — the
+        full input of ``cluster_power`` — so unchanged clusters cost a
+        key comparison instead of a model evaluation.  Keys are
+        self-validating: state that bypasses the freq-change callbacks
+        (e.g. fault-injected core hot-unplug flipping ``online``)
+        changes the loads tuple and simply misses.
+        """
+        if self.sim.flush_fn is not None:  # deferred re-timing pending
+            self._retime()
+        cpu, mem = self._rail_powers_pair()
+        return {"cpu": cpu, "mem": mem}
+
+    def _acc_update(self, now: float, cpu: float, mem: float) -> None:
+        """Feed the accountant without building a rail mapping (falls
+        back to the generic path for custom rail sets)."""
+        if self._std_rails:
+            self.accountant.update_pair(now, cpu, mem)
+        else:
+            self.accountant.update(now, {"cpu": cpu, "mem": mem})
+
+    def _rail_powers_pair(self) -> tuple[float, float]:
+        """(cpu_watts, mem_watts) with no flush and no dict — the
+        internal form behind :meth:`rail_powers`."""
         pm = self.platform.power_model
+        caching = self._cache_size > 0
+        cluster_cache = self._cluster_power_cache
         cpu = 0.0
         for cl in self.platform.clusters:
-            loads: list[Optional[float]] = []
-            for core in cl.cores:
-                act = core.current_activity
-                if act is None and not core.online:
-                    continue  # hot-unplugged and drained: no leakage
-                loads.append(act.mb_inst if isinstance(act, Activity) else None)
-            cpu += pm.cluster_power(cl, loads)
-        achieved = sum(a.bw_achieved for a in self._activities)
-        mem = pm.memory_power(self.platform.memory, achieved)
-        return {"cpu": cpu, "mem": mem}
+            # Hot-unplugged *and* drained cores contribute nothing (no
+            # leakage); an offline core still finishing its activity
+            # keeps burning power (grace semantics).
+            loads: list[Optional[float]] = [
+                act.mb_inst if act is not None else None
+                for core in cl.cores
+                if (act := core.current_activity) is not None or core.online
+            ]
+            key = (cl._freq, tuple(loads))
+            hit = cluster_cache.get(cl.cluster_id)
+            if hit is not None and hit[0] == key:
+                cpu += hit[1]
+                continue
+            p = pm.cluster_power(cl, loads)
+            if caching:
+                cluster_cache[cl.cluster_id] = (key, p)
+            cpu += p
+        achieved = 0.0
+        for a in self._activities:
+            achieved += a.bw_achieved
+        mkey = (self.platform.memory._freq, achieved)
+        mhit = self._mem_power_cache
+        if mhit is not None and mhit[0] == mkey:
+            mem = mhit[1]
+        else:
+            mem = pm.memory_power(self.platform.memory, achieved)
+            if caching:
+                self._mem_power_cache = (mkey, mem)
+        return cpu, mem
 
     def finalize(self) -> None:
         """Close the energy integration at the current time."""
+        if self.sim.flush_fn is not None:  # deferred re-timing pending
+            self._retime()
         if self._activities:
             raise SimulationError(
                 f"finalize with {len(self._activities)} activities still running"

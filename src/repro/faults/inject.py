@@ -278,7 +278,26 @@ class PerturbedSuite:
             if spec.active(now):
                 factor = float(np.exp(spec.magnitude * rng.standard_normal()))
                 table.time = table.time * factor
+                table._energy_memo.clear()  # time changed under the memo
         return table
+
+    def build_tables(self, params, grids):
+        """Batched table build (see :meth:`ModelSuite.build_tables`).
+
+        Must be intercepted explicitly: ``__getattr__`` would delegate
+        straight to the clean suite and silently skip the per-table
+        fault scaling.  Routes every table through this proxy's
+        :meth:`build_table` so each one draws its own perturbation, in
+        the same per-config order as the unbatched path.
+        """
+        out = {}
+        for key, (mb, time_ref) in params.items():
+            cluster, n_cores = key
+            f_c_grid, f_m_grid = grids[cluster]
+            out[key] = self.build_table(
+                cluster, n_cores, mb, time_ref, f_c_grid, f_m_grid
+            )
+        return out
 
 
 class FaultInjector:

@@ -36,6 +36,7 @@ class Cluster:
         self.voltage = voltage
         self.cores = [Core(core_id_base + i, self) for i in range(n_cores)]
         self._freq = opps.max
+        self._volts = voltage.volts(self._freq)
         #: Callbacks invoked as ``fn(cluster)`` after a frequency change.
         self.on_freq_change: list[Callable[["Cluster"], None]] = []
 
@@ -50,7 +51,9 @@ class Cluster:
 
     @property
     def volts(self) -> float:
-        return self.voltage.volts(self._freq)
+        """Supply voltage at the current frequency (cached at set_freq
+        — this is read on every power evaluation)."""
+        return self._volts
 
     def set_freq(self, f_ghz: float) -> None:
         """Apply a new frequency (must be an exact OPP).
@@ -67,6 +70,7 @@ class Cluster:
         if abs(f_ghz - self._freq) < 1e-12:
             return
         self._freq = self.opps.nearest(f_ghz)
+        self._volts = self.voltage.volts(self._freq)
         for fn in self.on_freq_change:
             fn(self)
 

@@ -84,7 +84,10 @@ class Core:
     @property
     def freq(self) -> float:
         """Current core frequency = cluster frequency (GHz)."""
-        return self.cluster.freq
+        # Reads the cluster's backing field directly: this property is
+        # on the engine's re-timing hot path and the extra property hop
+        # through Cluster.freq is measurable.
+        return self.cluster._freq
 
     def __hash__(self) -> int:
         return self.core_id

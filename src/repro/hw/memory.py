@@ -42,6 +42,7 @@ class MemorySystem:
         self.bw_cap_per_ghz = float(bw_cap_per_ghz)
         self.stream_bw_per_ghz = float(stream_bw_per_ghz)
         self._freq = opps.max
+        self._volts = voltage.volts(self._freq)
         #: Callbacks invoked as ``fn(memory)`` after a frequency change.
         self.on_freq_change: list[Callable[["MemorySystem"], None]] = []
 
@@ -52,7 +53,9 @@ class MemorySystem:
 
     @property
     def volts(self) -> float:
-        return self.voltage.volts(self._freq)
+        """Supply voltage at the current frequency (cached at set_freq
+        — this is read on every power evaluation)."""
+        return self._volts
 
     @property
     def bandwidth_capacity(self) -> float:
@@ -70,6 +73,7 @@ class MemorySystem:
         if abs(f_ghz - self._freq) < 1e-12:
             return
         self._freq = self.opps.nearest(f_ghz)
+        self._volts = self.voltage.volts(self._freq)
         for fn in self.on_freq_change:
             fn(self)
 

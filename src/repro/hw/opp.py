@@ -27,6 +27,10 @@ class OppTable:
         if len(set(freqs)) != len(freqs):
             raise FrequencyError("duplicate frequencies in OPP table")
         self._freqs = freqs
+        # Snap results memoised per requested frequency: DVFS governors
+        # and schedulers snap the same handful of targets over and over
+        # (the table is immutable, so entries never invalidate).
+        self._nearest: dict[float, float] = {}
 
     @property
     def freqs(self) -> tuple[float, ...]:
@@ -65,8 +69,13 @@ class OppTable:
         Used to snap the averaging heuristic's arithmetic-mean request
         (paper section 5.3) onto the hardware ladder.
         """
+        hit = self._nearest.get(f)
+        if hit is not None:
+            return hit
         arr = np.asarray(self._freqs)
-        return float(arr[int(np.argmin(np.abs(arr - f)))])
+        snapped = float(arr[int(np.argmin(np.abs(arr - f)))])
+        self._nearest[f] = snapped
+        return snapped
 
     def neighbours(self, f: float) -> tuple[float, ...]:
         """Immediately adjacent OPPs (one step down / up the ladder)."""

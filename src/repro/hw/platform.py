@@ -82,6 +82,13 @@ class Platform:
         self._by_type: dict[str, list[Cluster]] = {}
         for cl in self.clusters:
             self._by_type.setdefault(cl.core_type.name, []).append(cl)
+        # Topology is fixed after construction (hot-unplug flips the
+        # ``online`` flag, never the core lists), so the per-type core
+        # lists are built once; callers treat them as read-only.
+        self._cores_by_type: dict[str, list[Core]] = {
+            name: [c for cl in cls_ for c in cl.cores]
+            for name, cls_ in self._by_type.items()
+        }
 
     @property
     def n_cores(self) -> int:
@@ -104,7 +111,13 @@ class Platform:
             ) from None
 
     def cores_of_type(self, type_name: str) -> list[Core]:
-        return [c for cl in self.clusters_of_type(type_name) for c in cl.cores]
+        """Cores of the named type (precomputed; do not mutate)."""
+        try:
+            return self._cores_by_type[type_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no cluster of type {type_name!r} (have {sorted(self._by_type)})"
+            ) from None
 
     def core_type_names(self) -> list[str]:
         """Distinct core-type names, in cluster order."""

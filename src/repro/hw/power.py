@@ -92,17 +92,25 @@ class PowerModel:
 
         ``core_loads[i]`` is the instantaneous memory-boundness of the
         task on core ``i`` (``None`` when the core is idle).
+
+        The per-core helpers above are inlined here (this is evaluated
+        after every engine state change); the arithmetic — including
+        left-to-right operand order — matches them exactly.
         """
         f = cluster.freq
         v = cluster.volts
         ct = cluster.core_type
+        k_static = ct.k_static
+        k_dyn = ct.k_dyn
+        stall = ct.stall_activity
+        k_idle_clock = self.params.k_idle_clock
         p = self.params.k_uncore * v * v * f
         for load in core_loads:
-            p += self.core_static_power(ct, v)
+            p += k_static * v * v
             if load is None:
-                p += self.core_idle_clock_power(ct, f, v)
+                p += k_idle_clock * v * v * f
             else:
-                p += self.core_dynamic_power(ct, f, v, load)
+                p += k_dyn * ((1.0 - load) + load * stall) * v * v * f
         return p
 
     def cpu_idle_power(self, cluster: Cluster, f_ghz: float | None = None) -> float:
@@ -123,15 +131,22 @@ class PowerModel:
     # ------------------------------------------------------------------
     def memory_power(self, memory: MemorySystem, achieved_bw: float) -> float:
         """Total memory-rail power at the current memory frequency with
-        ``achieved_bw`` GB/s of traffic in flight."""
-        p = self.memory_idle_power(memory)
+        ``achieved_bw`` GB/s of traffic in flight.
+
+        ``memory_idle_power`` and ``bandwidth_capacity`` are inlined
+        (evaluated after most engine state changes); the arithmetic
+        matches them exactly.
+        """
+        params = self.params
+        f = memory.freq
+        p = params.mem_idle_base + params.mem_idle_per_ghz * f
         v = memory.volts
         util = 0.0
-        cap = memory.bandwidth_capacity
+        cap = memory.bw_cap_per_ghz * f
         if cap > 0:
             util = min(1.0, achieved_bw / cap)
-        p += self.params.mem_energy_per_gb * achieved_bw
-        p += self.params.k_mem_ctrl * v * v * memory.freq * util
+        p += params.mem_energy_per_gb * achieved_bw
+        p += params.k_mem_ctrl * v * v * f * util
         return p
 
     def memory_idle_power(

@@ -50,9 +50,47 @@ class EnergyAccountant:
                 raise SimulationError(f"unknown power rail {r!r}")
             self._power[r] = float(p)
 
+    def update_pair(self, now: float, cpu: float, mem: float) -> None:
+        """Fast path of :meth:`update` for the standard ``("cpu",
+        "mem")`` rail pair — identical arithmetic and integration order,
+        no per-call mapping allocation.  Callers must only use it when
+        the accountant was built with exactly those rails (the execution
+        engine checks once at construction)."""
+        last = self._last_t
+        if now < last - 1e-12:
+            raise SimulationError(
+                f"energy accountant time went backwards ({now} < {last})"
+            )
+        dt = now - last
+        power = self._power
+        if dt > 0:
+            energy = self._energy
+            energy["cpu"] += power["cpu"] * dt
+            energy["mem"] += power["mem"] * dt
+        self._last_t = now
+        power["cpu"] = cpu
+        power["mem"] = mem
+
+    def integrate_to(self, now: float) -> None:
+        """Integrate the current powers up to ``now`` without changing
+        any rail — :meth:`update` with an empty mapping, minus the
+        per-call mapping iteration."""
+        last = self._last_t
+        if now < last - 1e-12:
+            raise SimulationError(
+                f"energy accountant time went backwards ({now} < {last})"
+            )
+        dt = now - last
+        if dt > 0:
+            power = self._power
+            energy = self._energy
+            for r in self.rails:
+                energy[r] += power[r] * dt
+        self._last_t = now
+
     def finalize(self, now: float) -> None:
         """Integrate up to ``now`` without changing rail powers."""
-        self.update(now, {})
+        self.integrate_to(now)
 
     def power(self, rail: str) -> float:
         return self._power[rail]

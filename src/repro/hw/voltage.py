@@ -26,10 +26,19 @@ class VoltageCurve:
         self._v = np.asarray([p[1] for p in pts])
         if np.any(np.diff(self._v) < 0):
             raise ConfigurationError("voltage must be non-decreasing with frequency")
+        # V(f) is pure and queried at a handful of OPP frequencies on
+        # every power evaluation; memoise the interpolation (bounded —
+        # sweeps over arbitrary frequencies must not grow it forever).
+        self._memo: dict[float, float] = {}
 
     def volts(self, f_ghz: float) -> float:
         """Interpolated supply voltage at ``f_ghz`` (clamped at the ends)."""
-        return float(np.interp(f_ghz, self._f, self._v))
+        v = self._memo.get(f_ghz)
+        if v is None:
+            v = float(np.interp(f_ghz, self._f, self._v))
+            if len(self._memo) < 1024:
+                self._memo[f_ghz] = v
+        return v
 
     @classmethod
     def linear(cls, v0: float, slope: float, f_min: float, f_max: float) -> "VoltageCurve":

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.mpr import PolynomialRegressor
+from repro.models.tables import grid_mesh
 
 
 class MemoryPowerModel:
@@ -35,16 +36,26 @@ class MemoryPowerModel:
         return max(0.0, self._reg.predict_one(mb, f_c, f_m))
 
     def predict_grid(
-        self, mb: float, f_c_grid: np.ndarray, f_m_grid: np.ndarray
+        self,
+        mb: float,
+        f_c_grid: np.ndarray,
+        f_m_grid: np.ndarray,
+        mesh: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
-        """(len(f_c_grid), len(f_m_grid)) grid of power predictions."""
-        fc2, fm2 = np.meshgrid(
-            np.asarray(f_c_grid, float), np.asarray(f_m_grid, float), indexing="ij"
-        )
-        x = np.column_stack(
-            [np.full(fc2.size, mb), fc2.ravel(), fm2.ravel()]
-        )
-        return np.maximum(0.0, self._reg.predict(x)).reshape(fc2.shape)
+        """(len(f_c_grid), len(f_m_grid)) grid of power predictions.
+
+        ``mesh`` optionally supplies a precomputed ``grid_mesh`` of the
+        two grids (shared across the configs of one cluster); results
+        are identical with or without it.
+        """
+        f_c_grid = np.asarray(f_c_grid, float)
+        f_m_grid = np.asarray(f_m_grid, float)
+        if mesh is None:
+            mesh = grid_mesh(f_c_grid, f_m_grid)
+        fc_r, fm_r = mesh
+        shape = (f_c_grid.size, f_m_grid.size)
+        x = np.column_stack([np.full(fc_r.size, mb), fc_r, fm_r])
+        return np.maximum(0.0, self._reg.predict(x)).reshape(shape)
 
     @property
     def train_rmse(self) -> float:

@@ -38,6 +38,15 @@ class PolynomialRegressor:
             self._terms.extend(
                 combinations_with_replacement(range(n_features), d)
             )
+        # Expansion plan: every term's prefix (all indices but the
+        # last) is itself an earlier term, so column i is one multiply
+        # of an already-built column by one input column — same
+        # left-to-right product order as the naive per-term loop, hence
+        # bit-identical, without Python-level work per (term, sample).
+        index = {term: i for i, term in enumerate(self._terms)}
+        self._plan: list[tuple[int, int]] = [
+            (index[term[:-1]], term[-1]) for term in self._terms[1:]
+        ]
         self.coef: np.ndarray | None = None
         #: Residual RMS on the training set (diagnostic).
         self.train_rmse: float = float("nan")
@@ -53,13 +62,11 @@ class PolynomialRegressor:
             raise ModelError(
                 f"expected {self.n_features} features, got {x.shape[1]}"
             )
-        cols = []
-        for term in self._terms:
-            col = np.ones(len(x))
-            for idx in term:
-                col = col * x[:, idx]
-            cols.append(col)
-        return np.column_stack(cols)
+        phi = np.empty((x.shape[0], len(self._terms)))
+        phi[:, 0] = 1.0
+        for i, (prefix, feat) in enumerate(self._plan, start=1):
+            np.multiply(phi[:, prefix], x[:, feat], out=phi[:, i])
+        return phi
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "PolynomialRegressor":
         y = np.asarray(y, dtype=float)
@@ -81,7 +88,23 @@ class PolynomialRegressor:
         return self.expand(x) @ self.coef
 
     def predict_one(self, *features: float) -> float:
-        return float(self.predict(np.asarray(features)[None, :])[0])
+        """Scalar prediction — the shape the schedulers' per-decision
+        queries use.  Builds the single expanded row directly (scalar
+        products in plan order, identical to :meth:`expand`) and runs
+        the same ``(1, p) @ coef`` product as the batch path."""
+        if self.coef is None:
+            raise ModelError("model is not fitted")
+        if len(features) != self.n_features:
+            raise ModelError(
+                f"expected {self.n_features} features, got {len(features)}"
+            )
+        x = [float(f) for f in features]
+        phi = np.empty((1, len(self._terms)))
+        row = phi[0]
+        row[0] = 1.0
+        for i, (prefix, feat) in enumerate(self._plan, start=1):
+            row[i] = row[prefix] * x[feat]
+        return float((phi @ self.coef)[0])
 
     # ------------------------------------------------------------------
     # Serialisation (install-time model artifacts)

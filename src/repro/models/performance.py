@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.mpr import PolynomialRegressor
+from repro.models.tables import grid_mesh
 
 
 class PerformanceModel:
@@ -65,20 +66,31 @@ class PerformanceModel:
         time_ref: float,
         f_c_grid: np.ndarray,
         f_m_grid: np.ndarray,
+        mesh: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Vectorised prediction over the full OPP grid.
 
         Returns an array of shape ``(len(f_c_grid), len(f_m_grid))`` —
         the per-kernel performance look-up table of section 5.1.
+
+        ``mesh`` is an optional precomputed ``grid_mesh(f_c_grid,
+        f_m_grid)``: callers building many tables over the same grids
+        (every ``<T_C, N_C>`` of one cluster) share one mesh instead of
+        re-running ``np.meshgrid`` per config.  The ratio columns are
+        element-wise divisions of the same operand pairs either way, so
+        the result is bit-identical with or without ``mesh``.
         """
-        rc = self.f_c_ref / np.asarray(f_c_grid, float)
-        rm = self.f_m_ref / np.asarray(f_m_grid, float)
-        rc2, rm2 = np.meshgrid(rc, rm, indexing="ij")
-        x = np.column_stack(
-            [np.full(rc2.size, mb), rc2.ravel(), rm2.ravel()]
-        )
-        stall = np.maximum(0.0, self._stall.predict(x)).reshape(rc2.shape)
-        comp = time_ref * (1.0 - mb) * rc2
+        f_c_grid = np.asarray(f_c_grid, float)
+        f_m_grid = np.asarray(f_m_grid, float)
+        if mesh is None:
+            mesh = grid_mesh(f_c_grid, f_m_grid)
+        fc_r, fm_r = mesh
+        shape = (f_c_grid.size, f_m_grid.size)
+        rc_r = self.f_c_ref / fc_r
+        rm_r = self.f_m_ref / fm_r
+        x = np.column_stack([np.full(fc_r.size, mb), rc_r, rm_r])
+        stall = np.maximum(0.0, self._stall.predict(x)).reshape(shape)
+        comp = time_ref * (1.0 - mb) * rc_r.reshape(shape)
         return comp + time_ref * stall
 
     @property

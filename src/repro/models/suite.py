@@ -18,7 +18,7 @@ from repro.models.cpu_power import CpuPowerModel
 from repro.models.idle import IdlePowerModel
 from repro.models.memory_power import MemoryPowerModel
 from repro.models.performance import PerformanceModel
-from repro.models.tables import PredictionTable
+from repro.models.tables import PredictionTable, grid_mesh
 
 #: Key identifying one resource configuration: (core type name, n_cores).
 ConfigKey = tuple[str, int]
@@ -169,13 +169,25 @@ class ModelSuite:
         time_ref: float,
         f_c_grid: np.ndarray,
         f_m_grid: np.ndarray,
+        mesh: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> PredictionTable:
+        """Build the three-table triple for one (kernel, T_C, N_C).
+
+        CPU power depends only on ``f_C`` (Eq. 4), so it is stored as a
+        broadcastable ``(n_fc, 1)`` column rather than a materialised
+        ``(n_fc, n_fm)`` grid.  ``mesh`` optionally shares one
+        precomputed ``grid_mesh`` across the tables of a cluster.
+        """
         cm = self.config(cluster, n_cores)
         f_c_grid = np.asarray(f_c_grid, float)
         f_m_grid = np.asarray(f_m_grid, float)
-        time = cm.performance.predict_grid(mb, time_ref, f_c_grid, f_m_grid)
+        if mesh is None:
+            mesh = grid_mesh(f_c_grid, f_m_grid)
+        time = cm.performance.predict_grid(
+            mb, time_ref, f_c_grid, f_m_grid, mesh=mesh
+        )
         cpu = cm.cpu_power.predict_grid(mb, f_c_grid)
-        mem = cm.mem_power.predict_grid(mb, f_c_grid, f_m_grid)
+        mem = cm.mem_power.predict_grid(mb, f_c_grid, f_m_grid, mesh=mesh)
         return PredictionTable(
             cluster=cluster,
             n_cores=n_cores,
@@ -184,8 +196,39 @@ class ModelSuite:
             f_c_grid=f_c_grid,
             f_m_grid=f_m_grid,
             time=time,
-            cpu_power=cpu[:, None] * np.ones_like(time),
+            cpu_power=cpu[:, None],
             mem_power=mem,
             idle_cpu=self.idle.cpu_idle_grid(f_c_grid),
             idle_mem=self.idle.mem_idle_grid(f_m_grid),
         )
+
+    def build_tables(
+        self,
+        params: Mapping[ConfigKey, tuple[float, float]],
+        grids: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[ConfigKey, PredictionTable]:
+        """Build every config's table for one kernel in a single call.
+
+        ``params`` maps each ``(cluster, n_cores)`` to its
+        ``(mb, time_ref)``; ``grids`` maps each cluster name to its
+        ``(f_c_grid, f_m_grid)``.  The raveled OPP mesh is built once
+        per cluster and shared across that cluster's ``<T_C, N_C>``
+        configs — the same predictions as config-by-config
+        :meth:`build_table` calls, minus the repeated mesh setup.
+        """
+        meshes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        arr_grids: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        out: dict[ConfigKey, PredictionTable] = {}
+        for key, (mb, time_ref) in params.items():
+            cluster, n_cores = key
+            if cluster not in meshes:
+                fc, fm = grids[cluster]
+                fc = np.asarray(fc, float)
+                fm = np.asarray(fm, float)
+                arr_grids[cluster] = (fc, fm)
+                meshes[cluster] = grid_mesh(fc, fm)
+            fc, fm = arr_grids[cluster]
+            out[key] = self.build_table(
+                cluster, n_cores, mb, time_ref, fc, fm, mesh=meshes[cluster]
+            )
+        return out

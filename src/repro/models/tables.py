@@ -15,14 +15,33 @@ The storage-cost formula of section 7.4 is exposed as
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 
+def grid_mesh(
+    f_c_grid: np.ndarray, f_m_grid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raveled ``(f_C, f_M)`` coordinate columns of the full OPP grid.
+
+    Shared across the per-``<T_C, N_C>`` ``predict_grid`` calls of one
+    kernel resolution (the mesh depends only on the cluster's grids,
+    not on the config), so the meshgrid is built once per cluster.
+    """
+    fc2, fm2 = np.meshgrid(f_c_grid, f_m_grid, indexing="ij")
+    return fc2.ravel(), fm2.ravel()
+
+
 @dataclass
 class PredictionTable:
-    """Time/power predictions for one (kernel, T_C, N_C) over the grid."""
+    """Time/power predictions for one (kernel, T_C, N_C) over the grid.
+
+    ``cpu_power`` may be stored as a broadcastable ``(n_fc, 1)`` column
+    (CPU power does not depend on ``f_M``, Eq. 4) — every combination
+    below broadcasts it against the full grid without materialising the
+    redundant copies.
+    """
 
     cluster: str
     n_cores: int
@@ -31,10 +50,16 @@ class PredictionTable:
     f_c_grid: np.ndarray          # (n_fc,)
     f_m_grid: np.ndarray          # (n_fm,)
     time: np.ndarray              # (n_fc, n_fm) seconds
-    cpu_power: np.ndarray         # (n_fc, n_fm) watts (dynamic)
+    cpu_power: np.ndarray         # (n_fc, n_fm) or (n_fc, 1) watts (dynamic)
     mem_power: np.ndarray         # (n_fc, n_fm) watts (dynamic)
     idle_cpu: np.ndarray          # (n_fc,) watts
     idle_mem: np.ndarray          # (n_fm,) watts
+    # Energy grids per concurrency value: selection goals evaluate the
+    # same grid repeatedly (corner phase, descent phase, constrained
+    # re-pass), and the inputs above are never mutated after build.
+    _energy_memo: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -44,13 +69,23 @@ class PredictionTable:
         """Estimated total task energy over the grid, with the idle
         power split across ``concurrency`` concurrent tasks."""
         conc = max(1.0, float(concurrency))
+        memo = self._energy_memo.get(("total", conc))
+        if memo is not None:
+            return memo
         idle = self.idle_cpu[:, None] / conc + self.idle_mem[None, :] / conc
-        return self.time * (self.cpu_power + self.mem_power + idle)
+        grid = self.time * (self.cpu_power + self.mem_power + idle)
+        self._energy_memo[("total", conc)] = grid
+        return grid
 
     def cpu_energy_grid(self, concurrency: float = 1.0) -> np.ndarray:
         """CPU-only energy (what STEER optimises)."""
         conc = max(1.0, float(concurrency))
-        return self.time * (self.cpu_power + self.idle_cpu[:, None] / conc)
+        memo = self._energy_memo.get(("cpu", conc))
+        if memo is not None:
+            return memo
+        grid = self.time * (self.cpu_power + self.idle_cpu[:, None] / conc)
+        self._energy_memo[("cpu", conc)] = grid
+        return grid
 
     def freqs_at(self, i_fc: int, i_fm: int) -> tuple[float, float]:
         return float(self.f_c_grid[i_fc]), float(self.f_m_grid[i_fm])
@@ -65,6 +100,20 @@ def storage_entries(
 ) -> int:
     """Paper section 7.4: per-kernel storage for the three look-up
     tables: ``3 * M * log(N/M) * Nf_C * Nf_M`` (log base 2, counting
-    power-of-two core counts)."""
-    core_options = int(math.log2(cores_per_cluster)) + 1
+    power-of-two core counts).
+
+    ``cores_per_cluster`` must itself be a power of two — the formula
+    counts the core-count ladder 1, 2, 4, ..., N/M, and a non-power-of-
+    two value would silently truncate through the log.
+    """
+    if cores_per_cluster < 1:
+        raise ValueError("cores_per_cluster must be >= 1")
+    log = math.log2(cores_per_cluster)
+    if not log.is_integer():
+        raise ValueError(
+            f"cores_per_cluster must be a power of two (got "
+            f"{cores_per_cluster}); the section 7.4 formula counts the "
+            f"power-of-two core-count ladder"
+        )
+    core_options = int(log) + 1
     return 3 * n_clusters * core_options * n_fc * n_fm

@@ -1,0 +1,29 @@
+"""Performance measurement harness (``repro perf``).
+
+Microbenchmarks for the simulation hot path — event-loop throughput,
+``ExecutionEngine._state_changed`` latency, MPR predict throughput and
+a fig8-scale end-to-end run — emitting ``BENCH_hotpath.json`` in a
+stable schema so every PR leaves a perf trajectory behind it, plus a
+CI regression gate against a checked-in baseline.
+"""
+
+from repro.perf.harness import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    GateResult,
+    PerfReport,
+    gate_against_baseline,
+    git_rev,
+)
+from repro.perf.benchmarks import BENCHMARKS, run_benchmarks
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "GateResult",
+    "PerfReport",
+    "BENCHMARKS",
+    "gate_against_baseline",
+    "git_rev",
+    "run_benchmarks",
+]

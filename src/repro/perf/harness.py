@@ -1,0 +1,263 @@
+"""Perf-report plumbing: stable result schema, baselines, CI gate.
+
+A perf run produces a :class:`PerfReport` — one :class:`BenchRecord`
+per microbenchmark plus provenance (git revision, timestamp, quick
+mode).  The JSON schema is stable and versioned so reports recorded at
+different commits stay comparable; ``speedups`` against a recorded
+baseline are part of the emitted document (the perf trajectory).
+
+The CI regression gate (:func:`gate_against_baseline`) compares one
+fresh report against the checked-in baseline and fails when a gated
+metric regressed more than the allowed fraction.  Thresholds are
+deliberately loose (default 30%) because absolute timings move with
+the host machine; the gate catches order-of-magnitude slips, not
+single-digit noise.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.version import __version__
+
+#: Bump when the JSON document layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class PerfError(ReproError):
+    """Malformed perf report / baseline."""
+
+
+def git_rev(repo_dir: Optional[str] = None) -> str:
+    """Short git revision of the working tree (``"unknown"`` outside a
+    checkout — perf reports must still be writable from an sdist)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+@dataclass
+class BenchRecord:
+    """One microbenchmark measurement.
+
+    ``value`` is the representative result (best repeat: min for
+    time-like metrics, max for throughput-like ones); ``raw`` keeps
+    every repeat for variance inspection.
+    """
+
+    name: str
+    metric: str
+    unit: str
+    value: float
+    higher_is_better: bool
+    repeats: int
+    raw: list[float] = field(default_factory=list)
+    #: Benchmark knobs (sizes, iteration counts) for reproducibility.
+    params: dict = field(default_factory=dict)
+
+    def ratio_vs(self, baseline: "BenchRecord") -> float:
+        """Improvement factor vs ``baseline``: > 1 means this record is
+        better, regardless of metric direction."""
+        if baseline.value <= 0 or self.value <= 0:
+            return float("nan")
+        if self.higher_is_better:
+            return self.value / baseline.value
+        return baseline.value / self.value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "unit": self.unit,
+            "value": self.value,
+            "higher_is_better": self.higher_is_better,
+            "repeats": self.repeats,
+            "raw": list(self.raw),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRecord":
+        return cls(
+            name=data["name"],
+            metric=data["metric"],
+            unit=data.get("unit", ""),
+            value=float(data["value"]),
+            higher_is_better=bool(data["higher_is_better"]),
+            repeats=int(data.get("repeats", 1)),
+            raw=[float(v) for v in data.get("raw", [])],
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class PerfReport:
+    """A full perf run: every benchmark plus provenance."""
+
+    benchmarks: dict[str, BenchRecord]
+    rev: str = "unknown"
+    timestamp: str = ""
+    quick: bool = False
+    #: Where the comparison baseline came from (empty = none given).
+    baseline_path: str = ""
+    baseline_rev: str = ""
+    #: Per-benchmark improvement factor vs the baseline (> 1 = faster).
+    speedups: dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def now_iso() -> str:
+        return _dt.datetime.now(_dt.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+    def compare_to(self, baseline: "PerfReport", path: str = "") -> None:
+        """Fill :attr:`speedups` against a recorded baseline report."""
+        self.baseline_path = path
+        self.baseline_rev = baseline.rev
+        self.speedups = {}
+        for name, rec in self.benchmarks.items():
+            base = baseline.benchmarks.get(name)
+            if base is not None and base.metric == rec.metric:
+                self.speedups[name] = rec.ratio_vs(base)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tool": "repro perf",
+            "version": __version__,
+            "git_rev": self.rev,
+            "timestamp": self.timestamp,
+            "quick": self.quick,
+            "benchmarks": {
+                name: rec.to_dict() for name, rec in sorted(self.benchmarks.items())
+            },
+            "baseline": {
+                "path": self.baseline_path,
+                "git_rev": self.baseline_rev,
+                "speedups": {k: self.speedups[k] for k in sorted(self.speedups)},
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        p = Path(path)
+        p.write_text(self.to_json())
+        return p
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfReport":
+        if not isinstance(data, dict) or "benchmarks" not in data:
+            raise PerfError("perf report JSON lacks a 'benchmarks' section")
+        schema = int(data.get("schema_version", 0))
+        if schema > SCHEMA_VERSION:
+            raise PerfError(
+                f"perf report schema {schema} is newer than supported "
+                f"({SCHEMA_VERSION}); upgrade the tool"
+            )
+        report = cls(
+            benchmarks={
+                name: BenchRecord.from_dict(rec)
+                for name, rec in data["benchmarks"].items()
+            },
+            rev=data.get("git_rev", "unknown"),
+            timestamp=data.get("timestamp", ""),
+            quick=bool(data.get("quick", False)),
+        )
+        base = data.get("baseline") or {}
+        report.baseline_path = base.get("path", "")
+        report.baseline_rev = base.get("git_rev", "")
+        report.speedups = {
+            k: float(v) for k, v in (base.get("speedups") or {}).items()
+        }
+        return report
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfReport":
+        p = Path(path)
+        try:
+            data = json.loads(p.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PerfError(f"cannot read perf report {p}: {exc}") from None
+        return cls.from_dict(data)
+
+    def render(self) -> str:
+        """Human-readable table of the report."""
+        lines = [f"perf report @ {self.rev} ({'quick' if self.quick else 'full'})"]
+        for name in sorted(self.benchmarks):
+            rec = self.benchmarks[name]
+            line = f"  {name:<18s} {rec.value:>14.3f} {rec.unit}"
+            if name in self.speedups:
+                line += f"   ({self.speedups[name]:.2f}x vs {self.baseline_rev})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gated-metric comparison."""
+
+    benchmark: str
+    current: float
+    baseline: float
+    #: Fractional change, positive = improvement (direction-normalised).
+    change: float
+    allowed_regression: float
+    passed: bool
+
+    def describe(self) -> str:
+        verdict = "ok" if self.passed else "REGRESSION"
+        return (
+            f"{self.benchmark}: {self.current:.3f} vs baseline "
+            f"{self.baseline:.3f} ({self.change:+.1%}, "
+            f"limit -{self.allowed_regression:.0%}) {verdict}"
+        )
+
+
+def gate_against_baseline(
+    report: PerfReport,
+    baseline: PerfReport,
+    benchmarks: tuple[str, ...] = ("event_loop",),
+    max_regression: float = 0.30,
+) -> list[GateResult]:
+    """CI gate: fail any gated benchmark that regressed beyond the
+    allowed fraction.  A benchmark missing from the baseline passes
+    (new benchmarks must not break old baselines)."""
+    if not 0.0 < max_regression < 1.0:
+        raise PerfError("max_regression must be in (0, 1)")
+    results = []
+    for name in benchmarks:
+        rec = report.benchmarks.get(name)
+        if rec is None:
+            raise PerfError(f"report has no benchmark {name!r}")
+        base = baseline.benchmarks.get(name)
+        if base is None:
+            continue
+        ratio = rec.ratio_vs(base)
+        change = ratio - 1.0
+        passed = ratio >= (1.0 - max_regression)
+        results.append(
+            GateResult(
+                benchmark=name,
+                current=rec.value,
+                baseline=base.value,
+                change=change,
+                allowed_regression=max_regression,
+                passed=passed,
+            )
+        )
+    return results

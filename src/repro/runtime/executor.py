@@ -49,6 +49,7 @@ class Executor:
         mem_dvfs_stall_s: float = 0.0,
         tracer: Optional[Tracer] = None,
         faults=None,
+        engine_cache_size: int = 8192,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -61,6 +62,7 @@ class Executor:
             self.rng,
             tracer=tracer,
             duration_noise_sigma=duration_noise_sigma,
+            cache_size=engine_cache_size,
         )
         self.engine.on_complete = self._on_partition_done
         self.queues: dict[int, WorkQueue] = {

@@ -119,9 +119,13 @@ class Scheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.ctx: Optional[RuntimeContext] = None
+        # Per-core steal-victim lists; topology-only, so implementations
+        # memoise here (cleared on bind — a fresh platform).
+        self._steal_cache: dict[int, list["Core"]] = {}
 
     def bind(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
+        self._steal_cache = {}
 
     def on_run_begin(self) -> None:  # pragma: no cover - default no-op
         pass
@@ -161,11 +165,14 @@ class Scheduler(abc.ABC):
         paper section 5.3); on per-core-DVFS platforms that spans the
         equivalent single-core clusters."""
         if self.ctx is not None:
-            return [
-                c
-                for c in self.ctx.platform.cores_of_type(core.core_type.name)
-                if c is not core
-            ]
+            hit = self._steal_cache.get(core.core_id)
+            if hit is None:
+                hit = self._steal_cache[core.core_id] = [
+                    c
+                    for c in self.ctx.platform.cores_of_type(core.core_type.name)
+                    if c is not core
+                ]
+            return hit
         return [c for c in core.cluster.cores if c is not core]
 
     def describe(self) -> str:

@@ -57,7 +57,7 @@ class Worker:
 
     def _steal(self) -> Optional[QueueItem]:
         scheduler = self.executor.scheduler
-        candidates = list(scheduler.steal_candidates(self.core))
+        candidates = scheduler.steal_candidates(self.core)  # read-only
         if not candidates:
             return None
         order = self.executor.steal_rng.permutation(len(candidates))

@@ -90,7 +90,12 @@ class AequitasScheduler(Scheduler):
 
     def steal_candidates(self, core: "Core") -> Sequence["Core"]:
         assert self.ctx is not None
-        return [c for c in self.ctx.platform.cores if c is not core]
+        hit = self._steal_cache.get(core.core_id)
+        if hit is None:
+            hit = self._steal_cache[core.core_id] = [
+                c for c in self.ctx.platform.cores if c is not core
+            ]
+        return hit
 
     def on_task_execute(self, task: "Task", core: "Core") -> None:
         """Update the executing core's desire from the thief/victim

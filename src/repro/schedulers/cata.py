@@ -130,8 +130,11 @@ class CataScheduler(Scheduler):
 
     def steal_candidates(self, core: "Core") -> Sequence["Core"]:
         assert self.ctx is not None
-        return [
-            c
-            for c in self.ctx.platform.cores_of_type(core.core_type.name)
-            if c is not core
-        ]
+        hit = self._steal_cache.get(core.core_id)
+        if hit is None:
+            hit = self._steal_cache[core.core_id] = [
+                c
+                for c in self.ctx.platform.cores_of_type(core.core_type.name)
+                if c is not core
+            ]
+        return hit

@@ -64,7 +64,12 @@ class GovernorScheduler(Scheduler):
 
     def steal_candidates(self, core: "Core") -> Sequence["Core"]:
         assert self.ctx is not None
-        return [c for c in self.ctx.platform.cores if c is not core]
+        hit = self._steal_cache.get(core.core_id)
+        if hit is None:
+            hit = self._steal_cache[core.core_id] = [
+                c for c in self.ctx.platform.cores if c is not core
+            ]
+        return hit
 
     def on_task_execute(self, task: "Task", core: "Core") -> None:
         return  # the governor, not the task, drives DVFS

@@ -24,7 +24,9 @@ class Event:
     is skipped when popped.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "_sim"
+    )
 
     def __init__(
         self,
@@ -33,6 +35,7 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: tuple,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -40,10 +43,21 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so it will not fire.  Idempotent."""
-        self.cancelled = True
+        """Mark the event so it will not fire.  Idempotent.
+
+        The live-count decrement is inlined (rather than calling back
+        into the simulator): re-timing cancels one completion event per
+        running activity per pass.  Events that already fired detach
+        from the simulator first, so late cancels cannot
+        double-decrement."""
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -69,10 +83,25 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        # Heap entries are (time, priority, seq, Event) tuples: ties
+        # resolve through C-level tuple comparison without ever calling
+        # back into Python (``Event.__lt__`` is kept only for direct
+        # Event-vs-Event comparisons in user code).
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._events_fired = 0
+        # Live (pending, non-cancelled) event count; maintained on
+        # push/cancel/fire so pending_count is O(1).
+        self._live = 0
+        # Optional pre-pop hook, set by a component that defers derived
+        # event maintenance (the execution engine's lazy re-timing, see
+        # ``ExecutionEngine._flush_if_needed``).  Called with the head
+        # entry's ``(time, priority)`` — or ``(None, 0)`` when the heap
+        # is empty — before any event pops; returns True if it mutated
+        # the heap.  ``None`` (the common case) costs one attribute
+        # load per step.
+        self.flush_fn: Optional[Callable[[Optional[float], int], bool]] = None
 
     @property
     def now(self) -> float:
@@ -98,7 +127,14 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        # Inlined schedule_at (this is the engine's hottest entry point;
+        # delay >= 0 already guarantees time >= now).
+        time = self._now + delay
+        seq = next(self._seq)
+        ev = Event(time, priority, seq, callback, args, sim=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
+        self._live += 1
+        return ev
 
     def schedule_at(
         self,
@@ -112,26 +148,51 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        ev = Event(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._seq)
+        ev = Event(time, priority, seq, callback, args, sim=self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
+        self._live += 1
         return ev
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        self._drop_tombstones()
-        return self._heap[0].time if self._heap else None
+        self._pre_pop()
+        return self._heap[0][0] if self._heap else None
 
     def _drop_tombstones(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+
+    def _pre_pop(self) -> None:
+        """Drop tombstones and give the flush hook (if any) a chance to
+        materialise deferred events before the head is examined."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        while True:
+            f = self.flush_fn
+            if f is None:
+                return
+            if heap:
+                head = heap[0]
+                flushed = f(head[0], head[1])
+            else:
+                flushed = f(None, 0)
+            if not flushed:
+                return
+            while heap and heap[0][3].cancelled:
+                heapq.heappop(heap)
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if none remain."""
-        self._drop_tombstones()
+        self._pre_pop()
         if not self._heap:
             return False
-        ev = heapq.heappop(self._heap)
-        self._now = ev.time
+        time, _prio, _seq, ev = heapq.heappop(self._heap)
+        ev._sim = None  # fired: a later cancel() must not touch _live
+        self._live -= 1
+        self._now = time
         self._events_fired += 1
         ev.callback(*ev.args)
         return True
@@ -147,22 +208,34 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
         try:
+            # The pop/fire sequence is inlined (rather than delegating
+            # to step(), which would re-scan tombstones) — this loop is
+            # the whole-simulation hot path.
             while True:
-                self._drop_tombstones()
-                if not self._heap:
+                self._pre_pop()
+                if not heap:
                     break
-                nxt = self._heap[0].time
+                nxt = heap[0][0]
                 if until is not None and nxt > until:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                time, _prio, _seq, ev = heapq.heappop(heap)
+                ev._sim = None  # fired: a later cancel() must not touch _live
+                self._live -= 1
+                self._now = time
+                self._events_fired += 1
+                ev.callback(*ev.args)
                 fired += 1
         finally:
             self._running = False
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events in the heap."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events in the heap.  O(1):
+        maintained incrementally on push, cancel and fire rather than
+        scanning a heap that can be mostly tombstones."""
+        self._pre_pop()  # materialise any deferred events first
+        return self._live

@@ -1,0 +1,107 @@
+"""The engine-layer hot-path caches must be invisible: every cached
+value equals what recomputation would produce, and a run with caching
+disabled (``cache_size=0``) is indistinguishable from the default."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec_model.engine import ExecutionEngine
+from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.timing import GroundTruthTiming
+from repro.hw.platform import jetson_tx2
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    f_c=st.sampled_from([0.345, 0.960, 1.267, 2.035]),
+    f_m=st.sampled_from([0.800, 1.331, 1.866]),
+    n_cores=st.integers(min_value=1, max_value=4),
+    w_comp=st.floats(min_value=0.01, max_value=2.0),
+    w_bytes=st.floats(min_value=0.0, max_value=0.05),
+)
+def test_property_timing_cache_hit_equals_miss(f_c, f_m, n_cores, w_comp, w_bytes):
+    """Cached breakdowns are bit-identical to uncached recomputation
+    for arbitrary kernels and frequencies."""
+    platform = jetson_tx2()
+    kernel = KernelSpec("prop.k", w_comp=w_comp, w_bytes=w_bytes)
+    ct = platform.clusters[0].core_type
+    cached = GroundTruthTiming(platform.memory, cache_size=64)
+    uncached = GroundTruthTiming(platform.memory, cache_size=0)
+    first = cached.breakdown(kernel, ct, n_cores, f_c, f_m)
+    hit = cached.breakdown(kernel, ct, n_cores, f_c, f_m)  # cache hit
+    ref = uncached.breakdown(kernel, ct, n_cores, f_c, f_m)
+    for b in (first, hit):
+        assert b.t_comp == ref.t_comp
+        assert b.t_mem == ref.t_mem
+        assert b.bw_demand == ref.bw_demand
+
+
+def _engine(cache_size):
+    sim = Simulator()
+    platform = jetson_tx2()
+    engine = ExecutionEngine(
+        sim, platform, RngStreams(seed=11), cache_size=cache_size
+    )
+    kernels = [
+        KernelSpec(f"c.k{i}", w_comp=0.2 + 0.05 * i, w_bytes=0.004 * (i + 1))
+        for i in range(4)
+    ]
+    for i, core in enumerate(platform.cores[:4]):
+        engine.start_activity(kernels[i], core)
+    return sim, platform, engine
+
+
+def _drive(sim, platform, engine, steps=60):
+    """Interleave DVFS flips with event processing and record the full
+    observable state after every step."""
+    observed = []
+    freqs_c = platform.clusters[0].opps.as_array()
+    freqs_m = platform.memory.opps.as_array()
+    for i in range(steps):
+        if i % 3 == 0:
+            platform.clusters[0].set_freq(float(freqs_c[i % len(freqs_c)]))
+        if i % 5 == 0:
+            platform.memory.set_freq(float(freqs_m[i % len(freqs_m)]))
+        sim.step()
+        observed.append(
+            (
+                sim.now,
+                tuple(
+                    (a.kernel.name, a.rate, a.frac_remaining, a.bw_achieved)
+                    for a in engine.activities
+                ),
+                tuple(sorted(engine.rail_powers().items())),
+            )
+        )
+    return observed
+
+
+def test_cached_engine_equals_uncached_engine():
+    """Same seeds, same DVFS storm: the default engine and the
+    cache-disabled engine must observe identical timelines, rates and
+    rail powers at every step."""
+    runs = []
+    for cache_size in (8192, 0):
+        sim, platform, engine = _engine(cache_size)
+        runs.append(_drive(sim, platform, engine))
+    assert runs[0] == runs[1]
+
+
+def test_rail_power_cache_sees_hot_unplug():
+    """Flipping ``Core.online`` bypasses every callback — the
+    self-validating cache key must still notice (fault injection's
+    hot-unplug path)."""
+    sim, platform, engine = _engine(8192)
+    p_before = engine.rail_powers()
+    idle_core = platform.cores[-1]  # no activity started on it
+    assert idle_core.current_activity is None
+    idle_core.online = False
+    p_after = engine.rail_powers()
+    assert p_after["cpu"] < p_before["cpu"]  # leakage gone, cache missed
+    idle_core.online = True
+    assert engine.rail_powers() == pytest.approx(p_before)

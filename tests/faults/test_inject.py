@@ -176,3 +176,38 @@ class TestPerturbedSuite:
         proxy = PerturbedSuite(suite, FakeSim(), [])
         assert proxy.f_c_ref == suite.f_c_ref
         assert proxy.config_keys() == suite.config_keys()
+
+    def test_build_tables_goes_through_interception(self, suite):
+        """The batched build path must not slip past the proxy via
+        ``__getattr__`` delegation — every table still gets its own
+        perturbation draw, matching the unbatched path."""
+        spec = FaultSpec("model-bias", magnitude=1.0)
+        f_c, f_m = self._grids(suite)
+        params = {
+            key: (0.5, 0.01) for key in suite.config_keys()
+        }
+        grids = {cl: (f_c, f_m) for cl, _ in suite.config_keys()}
+        proxy = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        bent = proxy.build_tables(params, grids)
+        clean = suite.build_tables(params, grids)
+        # Same RNG, fresh proxy: the unbatched loop draws identically.
+        proxy2 = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        for key in params:
+            ratio = bent[key].time / clean[key].time
+            assert np.allclose(ratio, ratio.flat[0])
+            assert ratio.flat[0] != pytest.approx(1.0)
+            single = proxy2.build_table(key[0], key[1], 0.5, 0.01, f_c, f_m)
+            np.testing.assert_array_equal(bent[key].time, single.time)
+
+    def test_fault_scaling_invalidates_energy_memo(self, suite):
+        """Scaling ``time`` after a memoised energy query must not
+        serve the stale grid."""
+        spec = FaultSpec("model-bias", magnitude=1.0)
+        proxy = PerturbedSuite(suite, FakeSim(0.0), [(spec, _rng())])
+        cl, nc = suite.config_keys()[0]
+        f_c, f_m = self._grids(suite)
+        bent = proxy.build_table(cl, nc, 0.5, 0.01, f_c, f_m)
+        energy = bent.energy_grid(2.0)
+        idle = bent.idle_cpu[:, None] / 2.0 + bent.idle_mem[None, :] / 2.0
+        expected = bent.time * (bent.cpu_power + bent.mem_power + idle)
+        np.testing.assert_array_equal(energy, expected)

@@ -1,0 +1,58 @@
+"""Golden-run determinism: the hot-path caches must not move a single
+bit of observable output.
+
+Two full runs with identical seeds — one with every engine-layer cache
+enabled (the default), one with ``engine_cache_size=0`` (the seed
+commit's code path, re-timing and re-evaluating power from scratch at
+every state change) — must serialise to byte-identical RunMetrics JSON
+and byte-identical Chrome traces.  This is the contract that lets the
+perf work ride on caches at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.runtime import Executor
+from repro.schedulers import make_scheduler
+from repro.schedulers.registry import needs_suite
+from repro.sim.trace import Tracer
+from repro.workloads import build_workload
+
+COMBOS = [("hd-small", "GRWS", 11), ("fb", "JOSS", 7)]
+
+
+def _run(workload: str, sched_name: str, seed: int, cache_size: int):
+    suite = (
+        profile_and_fit(jetson_tx2, seed=0) if needs_suite(sched_name) else None
+    )
+    sched = make_scheduler(sched_name, suite)
+    tracer = Tracer()
+    ex = Executor(
+        jetson_tx2(), sched, seed=seed, tracer=tracer,
+        engine_cache_size=cache_size,
+    )
+    metrics = ex.run(build_workload(workload, scale=1.0, seed=3))
+    return (
+        json.dumps(metrics.to_dict(), indent=1, sort_keys=True),
+        json.dumps(tracer.to_chrome_trace(), indent=1, sort_keys=True),
+    )
+
+
+@pytest.mark.parametrize("workload,sched_name,seed", COMBOS)
+def test_cached_run_is_byte_identical_to_uncached(workload, sched_name, seed):
+    cached = _run(workload, sched_name, seed, cache_size=8192)
+    uncached = _run(workload, sched_name, seed, cache_size=0)
+    assert cached[0] == uncached[0]  # serialized RunMetrics
+    assert cached[1] == uncached[1]  # Chrome trace
+
+
+def test_same_seed_same_bytes_across_repeats():
+    """Determinism within one configuration: repeat runs are exact."""
+    a = _run("hd-small", "JOSS", 5, cache_size=8192)
+    b = _run("hd-small", "JOSS", 5, cache_size=8192)
+    assert a == b

@@ -71,3 +71,48 @@ def test_property_quadratics_are_interpolated(a, b, c):
     y = a + b * x[:, 0] + c * x[:, 0] ** 2
     reg = Poly2Regressor(1).fit(x, y)
     assert reg.train_rmse < 1e-6 * max(1.0, abs(a) + abs(b) + abs(c))
+
+
+def _naive_expand(reg, x):
+    """The original per-term expansion: a left-to-right product per
+    monomial.  The plan-based fast path must reproduce it bit for bit."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    phi = np.empty((x.shape[0], reg.n_params))
+    for i, term in enumerate(reg._terms):
+        col = np.ones(x.shape[0])
+        for feat in term:
+            col = col * x[:, feat]
+        phi[:, i] = col
+    return phi
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nf=st.integers(min_value=1, max_value=4),
+    degree=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_expand_matches_naive_bitwise(nf, degree, seed):
+    from repro.models import PolynomialRegressor
+
+    reg = PolynomialRegressor(nf, degree)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2.5, 2.5, size=(17, nf))
+    np.testing.assert_array_equal(reg.expand(x), _naive_expand(reg, x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_predict_one_matches_single_row_batch_bitwise(seed):
+    """The scalar fast path must reproduce a one-row ``predict`` bit
+    for bit — that is what ``predict_one`` always was, so decisions
+    made through either shape are identical.  (A multi-row batch may
+    use a different BLAS kernel and is only approximately equal.)"""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.1, 2.0, size=(60, 3))
+    y = x[:, 0] + 0.5 * x[:, 1] * x[:, 2]
+    reg = Poly2Regressor(3).fit(x, y)
+    probe = rng.uniform(0.1, 2.0, size=(8, 3))
+    for i in range(probe.shape[0]):
+        single = float(reg.predict(probe[i][None, :])[0])
+        assert reg.predict_one(*probe[i]) == single

@@ -1,0 +1,118 @@
+"""Tests for the prediction-table layer: storage-formula validation,
+the energy-grid memo, the broadcastable CPU-power column, and the
+batched ``build_tables`` path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import jetson_tx2
+from repro.models import profile_and_fit
+from repro.models.tables import grid_mesh, storage_entries
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+def _any_table(suite, **kw):
+    cl, nc = suite.config_keys()[0]
+    fc = np.asarray([0.5, 1.0, 1.5, 2.0])
+    fm = np.asarray([0.8, 1.3, 1.8])
+    return suite.build_table(cl, nc, 0.4, 0.01, fc, fm, **kw)
+
+
+class TestStorageEntries:
+    def test_tx2_numbers(self):
+        """Section 7.4 on the TX2: M=2 clusters, N/M=4 cores, so the
+        core-count ladder is 1/2/4 — three options per cluster."""
+        tx2 = jetson_tx2()
+        n_fc = len(tx2.clusters[0].opps.as_array())
+        n_fm = len(tx2.memory.opps.as_array())
+        assert storage_entries(2, 4, n_fc, n_fm) == 3 * 2 * 3 * n_fc * n_fm
+
+    @pytest.mark.parametrize("cores", [3, 5, 6, 7, 12])
+    def test_non_power_of_two_rejected(self, cores):
+        with pytest.raises(ValueError, match="power of two"):
+            storage_entries(2, cores, 12, 7)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            storage_entries(2, 0, 12, 7)
+
+    @pytest.mark.parametrize("cores,options", [(1, 1), (2, 2), (4, 3), (8, 4)])
+    def test_power_of_two_ladder(self, cores, options):
+        assert storage_entries(1, cores, 2, 3) == 3 * options * 2 * 3
+
+
+class TestEnergyMemo:
+    def test_repeat_calls_return_cached_grid(self, suite):
+        tab = _any_table(suite)
+        a = tab.energy_grid(concurrency=2.0)
+        b = tab.energy_grid(concurrency=2.0)
+        assert a is b
+        assert tab.cpu_energy_grid(3.0) is tab.cpu_energy_grid(3.0)
+
+    def test_memo_keyed_by_concurrency(self, suite):
+        tab = _any_table(suite)
+        assert tab.energy_grid(1.0) is not tab.energy_grid(2.0)
+        assert not np.array_equal(tab.energy_grid(1.0), tab.energy_grid(2.0))
+
+    def test_cached_equals_fresh_computation(self, suite):
+        tab = _any_table(suite)
+        cached = tab.energy_grid(2.0)
+        idle = tab.idle_cpu[:, None] / 2.0 + tab.idle_mem[None, :] / 2.0
+        fresh = tab.time * (tab.cpu_power + tab.mem_power + idle)
+        np.testing.assert_array_equal(cached, fresh)
+
+
+class TestCpuPowerColumn:
+    def test_stored_as_broadcastable_column(self, suite):
+        tab = _any_table(suite)
+        assert tab.cpu_power.shape == (len(tab.f_c_grid), 1)
+
+    def test_energy_matches_materialised_grid(self, suite):
+        """Broadcasting the (n_fc, 1) column must give exactly what the
+        old materialised (n_fc, n_fm) grid gave."""
+        tab = _any_table(suite)
+        full = tab.cpu_power * np.ones_like(tab.time)
+        idle = tab.idle_cpu[:, None] / 2.0 + tab.idle_mem[None, :] / 2.0
+        expected = tab.time * (full + tab.mem_power + idle)
+        np.testing.assert_array_equal(tab.energy_grid(2.0), expected)
+
+
+class TestBuildTables:
+    def test_matches_per_config_build_table(self, suite):
+        """The batched mesh-sharing path is bit-identical to looping
+        build_table config by config."""
+        fc = np.asarray([0.5, 1.0, 1.5, 2.0])
+        fm = np.asarray([0.8, 1.3, 1.8])
+        params = {
+            key: (0.2 + 0.1 * i, 0.01 * (i + 1))
+            for i, key in enumerate(suite.config_keys())
+        }
+        grids = {cl: (fc, fm) for cl, _ in suite.config_keys()}
+        batched = suite.build_tables(params, grids)
+        assert list(batched) == suite.config_keys()
+        for key, (mb, t_ref) in params.items():
+            single = suite.build_table(key[0], key[1], mb, t_ref, fc, fm)
+            np.testing.assert_array_equal(batched[key].time, single.time)
+            np.testing.assert_array_equal(
+                batched[key].cpu_power, single.cpu_power
+            )
+            np.testing.assert_array_equal(
+                batched[key].mem_power, single.mem_power
+            )
+
+    def test_explicit_mesh_matches_default(self, suite):
+        fc = np.asarray([0.5, 1.0, 2.0])
+        fm = np.asarray([0.8, 1.8])
+        cl, nc = suite.config_keys()[0]
+        default = suite.build_table(cl, nc, 0.4, 0.01, fc, fm)
+        explicit = suite.build_table(
+            cl, nc, 0.4, 0.01, fc, fm, mesh=grid_mesh(fc, fm)
+        )
+        np.testing.assert_array_equal(default.time, explicit.time)
+        np.testing.assert_array_equal(default.mem_power, explicit.mem_power)

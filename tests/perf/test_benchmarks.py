@@ -1,0 +1,38 @@
+"""Smoke tests for the microbenchmarks (quick shapes only — wall-time
+assertions belong to the CI gate, not unit tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import BENCHMARKS, run_benchmarks
+from repro.perf.harness import PerfError
+
+
+def test_benchmark_registry_names():
+    assert set(BENCHMARKS) == {
+        "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end"
+    }
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(PerfError):
+        run_benchmarks(quick=True, benchmarks=("no_such_bench",))
+
+
+@pytest.mark.parametrize("name", ["event_loop", "state_changed", "mpr_predict"])
+def test_quick_benchmarks_produce_positive_metrics(name):
+    records = run_benchmarks(quick=True, benchmarks=(name,))
+    assert set(records) == {name}
+    rec = records[name]
+    assert rec.value > 0
+    assert rec.repeats >= 1
+    assert len(rec.raw) == rec.repeats
+    assert all(t > 0 for t in rec.raw)  # raw holds elapsed seconds
+
+
+def test_progress_callback_invoked():
+    seen = []
+    run_benchmarks(quick=True, benchmarks=("event_loop",),
+                   progress=seen.append)
+    assert seen == ["event_loop"]

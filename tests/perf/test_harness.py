@@ -1,0 +1,113 @@
+"""Tests for the repro.perf report schema and regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchRecord,
+    PerfReport,
+    gate_against_baseline,
+)
+from repro.perf.harness import SCHEMA_VERSION, PerfError
+
+
+def _record(name="event_loop", value=1000.0, higher=True, metric="throughput",
+            unit="events/s"):
+    return BenchRecord(
+        name=name, metric=metric, unit=unit, value=value,
+        higher_is_better=higher, repeats=3, raw=[value, value * 1.01],
+        params={"n_events": 100},
+    )
+
+
+def _report(records):
+    return PerfReport(
+        benchmarks={r.name: r for r in records},
+        rev="deadbeef", timestamp="2026-01-01T00:00:00+00:00", quick=True,
+    )
+
+
+class TestBenchRecord:
+    def test_ratio_higher_is_better(self):
+        new, old = _record(value=2000.0), _record(value=1000.0)
+        assert new.ratio_vs(old) == pytest.approx(2.0)
+
+    def test_ratio_lower_is_better_inverts(self):
+        new = _record(value=5.0, higher=False, metric="latency", unit="us")
+        old = _record(value=10.0, higher=False, metric="latency", unit="us")
+        # Halving a latency is a 2x improvement.
+        assert new.ratio_vs(old) == pytest.approx(2.0)
+
+    def test_ratio_nonpositive_is_nan(self):
+        import math
+
+        assert math.isnan(_record(value=0.0).ratio_vs(_record()))
+
+
+class TestPerfReport:
+    def test_roundtrip(self, tmp_path):
+        rep = _report([_record(), _record(name="fig8_end_to_end",
+                                          value=1.5, higher=False,
+                                          metric="wall_time", unit="s")])
+        path = tmp_path / "BENCH.json"
+        rep.save(path)
+        back = PerfReport.load(path)
+        assert back.rev == rep.rev
+        assert set(back.benchmarks) == set(rep.benchmarks)
+        assert back.benchmarks["event_loop"].value == pytest.approx(1000.0)
+        assert back.benchmarks["fig8_end_to_end"].higher_is_better is False
+
+    def test_schema_version_pinned(self, tmp_path):
+        rep = _report([_record()])
+        d = rep.to_dict()
+        assert d["schema_version"] == SCHEMA_VERSION
+        d["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(d))
+        with pytest.raises(PerfError):
+            PerfReport.load(path)
+
+    def test_compare_records_speedups(self):
+        new = _report([_record(value=2000.0)])
+        old = _report([_record(value=1000.0)])
+        new.compare_to(old)
+        assert new.speedups["event_loop"] == pytest.approx(2.0)
+        assert new.baseline_rev == "deadbeef"
+
+    def test_render_is_human_readable(self):
+        text = _report([_record()]).render()
+        assert "event_loop" in text and "events/s" in text
+
+
+class TestGate:
+    def test_pass_when_no_regression(self):
+        new, old = _report([_record(value=990.0)]), _report([_record()])
+        results = gate_against_baseline(new, old)
+        assert all(r.passed for r in results)
+
+    def test_fail_beyond_threshold(self):
+        new = _report([_record(value=600.0)])  # -40% vs 1000
+        old = _report([_record(value=1000.0)])
+        results = gate_against_baseline(new, old, max_regression=0.30)
+        assert any(not r.passed for r in results)
+
+    def test_threshold_boundary(self):
+        new = _report([_record(value=700.0)])  # exactly -30%
+        old = _report([_record(value=1000.0)])
+        results = gate_against_baseline(new, old, max_regression=0.30)
+        assert all(r.passed for r in results)
+
+    def test_benchmark_missing_from_baseline_passes(self):
+        new = _report([_record()])
+        old = _report([_record(name="other")])
+        results = gate_against_baseline(new, old, benchmarks=("event_loop",))
+        assert all(r.passed for r in results)
+
+    def test_benchmark_missing_from_report_raises(self):
+        new = _report([_record(name="other")])
+        old = _report([_record()])
+        with pytest.raises(PerfError):
+            gate_against_baseline(new, old, benchmarks=("event_loop",))

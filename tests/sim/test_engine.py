@@ -114,6 +114,30 @@ def test_pending_count_excludes_tombstones():
     assert sim.pending_count() == 1
 
 
+def test_pending_count_tombstone_heavy():
+    """The live-event counter must stay exact when the heap is
+    dominated by tombstones (the execution engine's cancel/reschedule
+    pattern) — including double cancels and cancels of fired events."""
+    sim = Simulator()
+    keep = [sim.schedule(100.0 + i, lambda: None) for i in range(10)]
+    for _ in range(50):
+        evs = [sim.schedule(1.0 + i * 0.01, lambda: None) for i in range(20)]
+        for ev in evs:
+            ev.cancel()
+            ev.cancel()  # idempotent: one decrement only
+    assert sim.pending_count() == 10
+    fired = sim.schedule(0.5, lambda: None)
+    sim.run(until=0.5)
+    assert sim.pending_count() == 10
+    fired.cancel()  # cancelling an already-fired event is a no-op
+    assert sim.pending_count() == 10
+    keep[0].cancel()
+    assert sim.pending_count() == 9
+    sim.run()
+    assert sim.pending_count() == 0
+    assert sim.events_fired == 1 + 9
+
+
 def test_events_scheduled_during_run_are_processed():
     sim = Simulator()
     seen = []
