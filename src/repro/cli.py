@@ -115,6 +115,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         timeout=args.timeout,
         retries=args.retries,
+        chunk_size=args.chunk_size,
+        reuse_pool=not args.cold_pool,
         progress=None if args.quiet else console_progress(),
     )
     print()
@@ -215,6 +217,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         git_rev,
         run_benchmarks,
     )
+    from repro.perf.harness import GATED_BENCHMARKS
 
     mode = "quick" if args.quick else "full"
     print(f"repro perf ({mode} mode)")
@@ -238,8 +241,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     path = report.save(args.output)
     print(f"\nperf report JSON -> {path}")
     if baseline is not None and args.gate:
+        gated = tuple(args.gate_benchmark) if args.gate_benchmark else tuple(
+            n for n in GATED_BENCHMARKS if n in report.benchmarks
+        )
         results = gate_against_baseline(
-            report, baseline, max_regression=args.max_regression
+            report, baseline, benchmarks=gated,
+            max_regression=args.max_regression,
         )
         print()
         failed = False
@@ -455,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=11)
     sweep_p.add_argument("--workers", type=int, default=0,
                          help="worker processes (0/1 = serial in-process)")
+    sweep_p.add_argument("--chunk-size", type=int, default=None,
+                         help="jobs per pool task (default: auto-sized from "
+                              "measured per-job cost; 1 = one future per job)")
+    sweep_p.add_argument("--cold-pool", action="store_true",
+                         help="fork a fresh single-use pool instead of "
+                              "(re)using the process-wide warm pool")
     sweep_p.add_argument("--cache-dir", default=None,
                          help="result-cache root (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro/sweep)")
@@ -514,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional regression for --gate "
                              "(default 0.30)")
+    perf_p.add_argument("--gate-benchmark", nargs="+", default=None,
+                        help="benchmarks to gate on (default: the standard "
+                             "gated set that was actually run)")
 
     val_p = sub.add_parser(
         "validate", help="cross-validate the fitted models (k-fold)"

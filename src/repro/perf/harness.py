@@ -228,10 +228,15 @@ class GateResult:
         )
 
 
+#: Benchmarks gated by default: the most host-stable throughput metrics
+#: (ratios, not absolute wall times).
+GATED_BENCHMARKS = ("event_loop", "sweep_throughput")
+
+
 def gate_against_baseline(
     report: PerfReport,
     baseline: PerfReport,
-    benchmarks: tuple[str, ...] = ("event_loop",),
+    benchmarks: tuple[str, ...] = GATED_BENCHMARKS,
     max_regression: float = 0.30,
 ) -> list[GateResult]:
     """CI gate: fail any gated benchmark that regressed beyond the

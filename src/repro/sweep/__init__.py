@@ -15,6 +15,7 @@ from repro.sweep.engine import (
     execute_job,
     run_sweep,
 )
+from repro.sweep.pool import WarmPool, active_pool, shutdown_warm_pool
 from repro.sweep.spec import SCHEMA_VERSION, JobSpec, SweepSpec
 from repro.sweep.telemetry import SweepTelemetry, console_progress
 
@@ -28,8 +29,11 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "SweepTelemetry",
+    "WarmPool",
+    "active_pool",
     "console_progress",
     "default_cache_dir",
     "execute_job",
     "run_sweep",
+    "shutdown_warm_pool",
 ]

@@ -26,7 +26,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.sweep.spec import SCHEMA_VERSION, JobSpec
 
@@ -91,6 +91,35 @@ class ResultCache:
             return None
         self.stats.hits += 1
         return entry
+
+    def get_many(self, job_hashes: Sequence[str]) -> dict[str, dict]:
+        """Batched probe: ``{hash: entry}`` for every present, valid hash.
+
+        One directory scan per populated hash shard replaces one stat
+        per job, so the upfront hit-scan of a large cold grid touches
+        the filesystem O(shards) times instead of O(jobs).  Misses and
+        hits are counted exactly as per-hash :meth:`get` calls would.
+        """
+        wanted = list(dict.fromkeys(job_hashes))
+        by_shard: dict[str, list[str]] = {}
+        for h in wanted:
+            by_shard.setdefault(h[:2], []).append(h)
+        present: set[str] = set()
+        for shard, hs in by_shard.items():
+            try:
+                names = set(os.listdir(self.results_dir / shard))
+            except (FileNotFoundError, NotADirectoryError, OSError):
+                continue
+            present.update(h for h in hs if f"{h}.json" in names)
+        out: dict[str, dict] = {}
+        for h in wanted:
+            if h not in present:
+                self.stats.misses += 1
+                continue
+            entry = self.get(h)  # full read + validation + stats
+            if entry is not None:
+                out[h] = entry
+        return out
 
     @staticmethod
     def _valid(entry: Any) -> bool:

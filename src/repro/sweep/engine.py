@@ -2,8 +2,8 @@
 
 Executes a :class:`~repro.sweep.spec.SweepSpec` (or an explicit job
 list) either serially in-process — the default, used by the test suite
-and the ported ``run_matrix`` — or fanned out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`.
+and the ported ``run_matrix`` — or fanned out over a warm worker pool
+(:mod:`repro.sweep.pool`).
 
 Both paths produce *identical* results for identical specs:
 
@@ -16,6 +16,13 @@ Both paths produce *identical* results for identical specs:
   ``from_dict`` in both modes, so cached, serial and parallel results
   are indistinguishable.
 
+The parallel dispatcher is fully non-blocking: jobs are batched into
+adaptive *chunks* (sized from a measured per-job cost estimate, so
+fine-grained grids amortise pickle/IPC overhead; ``chunk_size=1``
+preserves per-job futures), retry backoff is tracked as per-job due
+times instead of inline sleeps, and failed jobs inside a chunk are
+retried individually.
+
 Failures never crash a sweep: each job gets ``retries`` extra attempts
 with linear backoff, and jobs that still fail (or exceed ``timeout``)
 are reported as structured :class:`JobFailure` records.
@@ -23,38 +30,33 @@ are reported as structured :class:`JobFailure` records.
 
 from __future__ import annotations
 
+import heapq
 import json
+import pickle
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from statistics import median
 from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import SweepError
 from repro.runtime.metrics import RunMetrics, average_run_metrics
+from repro.sweep import pool as pool_mod
 from repro.sweep.cache import ResultCache
+from repro.sweep.pool import suite_from_snapshot  # noqa: F401  (re-export)
 from repro.sweep.spec import JobSpec, SweepSpec
 from repro.sweep.telemetry import ProgressHook, SweepTelemetry
 
 #: How often the parallel loop wakes up to check per-job timeouts.
 _POLL_S = 0.05
-
-
-# ----------------------------------------------------------------------
-# Job execution (shared by the serial path and pool workers)
-# ----------------------------------------------------------------------
-_SUITE_MEMO: dict = {}
-
-
-def _suite_from_snapshot(path: str):
-    """Load a fitted suite snapshot, memoised per process."""
-    from repro.models.io import load_suite
-
-    suite = _SUITE_MEMO.get(path)
-    if suite is None:
-        suite = _SUITE_MEMO[path] = load_suite(path)
-    return suite
+#: Auto-chunking aims for roughly this much work per dispatched chunk.
+_TARGET_CHUNK_S = 0.2
+#: Upper bound on auto-chosen chunk sizes.
+_MAX_CHUNK = 32
+#: Cap on the number of per-job cost samples kept for the estimate.
+_COST_SAMPLES = 64
 
 
 def _suite_in_process(platform: str, profile_seed: int):
@@ -64,10 +66,10 @@ def _suite_in_process(platform: str, profile_seed: int):
     from repro.models.training import profile_and_fit
 
     key = (platform, profile_seed)
-    suite = _SUITE_MEMO.get(key)
+    suite = pool_mod._SUITE_MEMO.get(key)
     if suite is None:
         fitted = profile_and_fit(platform_factory(platform), seed=profile_seed)
-        suite = _SUITE_MEMO[key] = suite_from_dict(
+        suite = pool_mod._SUITE_MEMO[key] = suite_from_dict(
             json.loads(json.dumps(suite_to_dict(fitted)))
         )
     return suite
@@ -103,13 +105,6 @@ def execute_job(
     # JSON round-trip so serial, parallel (pickled) and cached results
     # are structurally identical (e.g. tuples in extras become lists).
     return json.loads(json.dumps(metrics.to_dict()))
-
-
-def _pool_worker(spec_dict: dict, suite_path: Optional[str]) -> dict:
-    """Top-level (picklable) worker entry point."""
-    spec = JobSpec.from_dict(spec_dict)
-    suite = _suite_from_snapshot(suite_path) if suite_path else None
-    return execute_job(spec, suite=suite)
 
 
 # ----------------------------------------------------------------------
@@ -189,15 +184,25 @@ def run_sweep(
     progress: Optional[ProgressHook] = None,
     platform_factory: Optional[Callable] = None,
     worker_fn: Optional[Callable] = None,
+    chunk_size: Optional[int] = None,
+    reuse_pool: bool = True,
 ) -> SweepResult:
     """Execute a sweep and return outcomes + failures + telemetry.
 
     ``workers <= 1`` runs serially in-process (deterministic, no pool);
-    larger values fan jobs out over a process pool.  ``cache`` enables
-    the content-addressed result store: jobs whose hash is present are
-    not executed at all.  ``timeout`` bounds one job's execution
-    seconds; ``retries`` re-runs failed (not timed-out) jobs with
-    ``backoff * attempt`` sleeps in between.
+    larger values fan jobs out over a warm worker pool.  ``cache``
+    enables the content-addressed result store: jobs whose hash is
+    present are not executed at all.  ``timeout`` bounds one job's
+    execution seconds; ``retries`` re-runs failed (not timed-out) jobs
+    after a ``backoff * attempt`` delay (tracked as a due time in
+    parallel mode — the dispatcher never sleeps while work is running).
+
+    ``chunk_size`` batches that many jobs per pool task; ``None``
+    (default) sizes chunks adaptively from a measured per-job cost
+    estimate, ``1`` is the compatibility path (one future per job,
+    forced whenever ``timeout`` is set so budgets stay per-job).
+    ``reuse_pool=False`` forks a cold single-use pool instead of
+    (re)using the process-wide warm pool.
 
     ``platform_factory`` overrides by-name resolution for unregistered
     platforms (serial mode only).  ``worker_fn(spec) -> metrics-dict``
@@ -212,6 +217,8 @@ def run_sweep(
             "platform (repro.hw.platform.register_platform_factory) for "
             "parallel sweeps"
         )
+    if chunk_size is not None and chunk_size < 1:
+        raise SweepError("chunk_size must be >= 1 (or None for auto)")
     result = SweepResult()
     t = result.telemetry
     t.total = len(job_list)
@@ -221,11 +228,14 @@ def run_sweep(
     started = time.perf_counter()
     pending: list[tuple[JobSpec, str]] = []
     outcome_at: dict[str, Union[JobOutcome, JobFailure]] = {}
-    for job in job_list:
-        h = job.job_hash
+    hashes = [job.job_hash for job in job_list]
+    # One batched cache probe (a directory scan per hash shard) instead
+    # of one stat per job — large cold grids skip per-job stat storms.
+    entries = cache.get_many(hashes) if cache is not None else {}
+    for job, h in zip(job_list, hashes):
         t.queued += 1
         notify("queued", job, t)
-        entry = cache.get(h) if cache is not None else None
+        entry = entries.get(h)
         if entry is not None:
             t.cache_hits += 1
             t.time_saved += float(entry["elapsed"])
@@ -246,6 +256,7 @@ def run_sweep(
                 pending, outcome_at, t, notify,
                 workers=int(workers), cache=cache, timeout=timeout,
                 retries=retries, backoff=backoff, worker_fn=worker_fn,
+                chunk_size=chunk_size, reuse_pool=reuse_pool,
             )
         else:
             _run_serial(
@@ -335,106 +346,246 @@ def _run_serial(
             break
 
 
+# ----------------------------------------------------------------------
+# Parallel dispatch over the warm pool
+# ----------------------------------------------------------------------
+class _Dispatcher:
+    """Non-blocking chunked dispatcher state for one parallel sweep."""
+
+    def __init__(
+        self, pending, outcome_at, t, notify,
+        *, workers, cache, timeout, retries, backoff, worker_fn,
+        chunk_size, suite_paths, pool,
+    ):
+        self.outcome_at = outcome_at
+        self.t = t
+        self.notify = notify
+        self.workers = workers
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.worker_fn = worker_fn
+        self.suite_paths = suite_paths
+        self.pool = pool
+        # Per-job timeouts need per-job futures: a chunk cannot be
+        # deadline-checked mid-flight from the parent.
+        if timeout is not None:
+            chunk_size = 1
+        self.auto = chunk_size is None
+        self.fixed_chunk = 1 if chunk_size is None else int(chunk_size)
+        #: ready-to-run (job, hash, attempt) triples
+        self.ready: deque = deque((job, h, 1) for job, h in pending)
+        #: retries waiting out their backoff: heap of (due, seq, triple)
+        self.delayed: list = []
+        self._seq = 0
+        #: future -> (batch, submit_time)
+        self.in_flight: dict = {}
+        #: measured per-job wall costs (drives adaptive chunk sizing);
+        #: seeded from the warm pool's last-sweep estimate, if any.
+        self.cost_samples: deque = deque(maxlen=_COST_SAMPLES)
+        if self.auto and pool.cost_hint is not None:
+            self.cost_samples.append(pool.cost_hint)
+
+    # -- chunk sizing ---------------------------------------------------
+    def next_chunk_size(self) -> int:
+        if not self.auto:
+            return self.fixed_chunk
+        if not self.cost_samples:
+            return 1  # probe round: measure before batching
+        est = median(self.cost_samples)
+        if est <= 0:
+            size = _MAX_CHUNK
+        else:
+            size = int(_TARGET_CHUNK_S / est)
+        # Leave enough chunks to keep every worker busy.
+        fair = max(1, len(self.ready) // max(1, self.workers))
+        return max(1, min(size, _MAX_CHUNK, fair))
+
+    # -- submission -----------------------------------------------------
+    def submit_ready(self) -> None:
+        t0 = time.perf_counter()
+        while self.ready and len(self.in_flight) < self.workers:
+            size = self.next_chunk_size()
+            batch = [self.ready.popleft() for _ in range(min(size, len(self.ready)))]
+            spec_dicts = [job.to_dict() for job, _, _ in batch]
+            if self.worker_fn is not None:
+                payload = (self.worker_fn, spec_dicts)
+                entry = pool_mod.run_chunk_fn
+            else:
+                paths = [
+                    self.suite_paths.get((job.platform, job.profile_seed))
+                    for job, _, _ in batch
+                ]
+                payload = (spec_dicts, paths)
+                entry = pool_mod.run_chunk
+            try:
+                fut = self.pool.submit(entry, *payload)
+            except BaseException:
+                # Pool died under us: put the batch back so the broken-
+                # pool handler can turn it into structured failures.
+                self.ready.extendleft(reversed(batch))
+                raise
+            try:
+                self.t.bytes_serialized += len(pickle.dumps(payload))
+            except Exception:  # noqa: BLE001 - telemetry only
+                pass
+            self.t.chunks += 1
+            self.t.chunk_size = max(self.t.chunk_size, len(batch))
+            self.in_flight[fut] = (batch, time.perf_counter())
+            for job, _, _ in batch:
+                self.notify("start", job, self.t)
+            self.t.running = sum(len(b) for b, _ in self.in_flight.values())
+        self.t.dispatch_overhead += time.perf_counter() - t0
+
+    def requeue(self, job, h, attempt: int, now: float) -> None:
+        """Schedule a retry without blocking the dispatch loop."""
+        self.t.retries += 1
+        self.notify("retry", job, self.t)
+        self._seq += 1
+        due = now + (self.backoff * attempt if self.backoff > 0 else 0.0)
+        heapq.heappush(self.delayed, (due, self._seq, (job, h, attempt + 1)))
+
+    def promote_due(self, now: float) -> None:
+        while self.delayed and self.delayed[0][0] <= now:
+            _, _, triple = heapq.heappop(self.delayed)
+            self.ready.append(triple)
+
+    # -- completion -----------------------------------------------------
+    def record_chunk(self, batch, results, elapsed_total: float, now: float) -> None:
+        t0 = time.perf_counter()
+        for (job, h, attempt), res in zip(batch, results):
+            elapsed = float(res.get("elapsed", elapsed_total / max(1, len(batch))))
+            if res.get("ok"):
+                self.cost_samples.append(elapsed)
+                _record_success(
+                    job, h, res["metrics"], elapsed, attempt,
+                    self.outcome_at, self.t, self.cache,
+                )
+                self.notify("done", job, self.t)
+            elif attempt <= self.retries:
+                self.requeue(job, h, attempt, now)
+            else:
+                self.fail(job, h, res.get("error", "unknown error"),
+                          kind="error", attempts=attempt, elapsed=elapsed)
+        self.t.dispatch_overhead += time.perf_counter() - t0
+
+    def fail(self, job, h, error, *, kind, attempts, elapsed=0.0) -> None:
+        self.outcome_at[h] = JobFailure(
+            job, h, error, kind=kind, attempts=attempts, elapsed=elapsed
+        )
+        self.t.failed += 1
+        self.notify("failed", job, self.t)
+
+    def expire_timeouts(self, now: float) -> None:
+        if self.timeout is None:
+            return
+        for fut in [
+            f for f, (_, t0) in self.in_flight.items() if now - t0 > self.timeout
+        ]:
+            batch, t0 = self.in_flight.pop(fut)
+            if not fut.cancel():
+                # Already running: the worker cannot be killed, so the
+                # slot stays occupied until the job finishes on its own.
+                self.t.timeout_leaked += len(batch)
+                self.pool.leaked += len(batch)
+            for job, h, attempt in batch:
+                self.fail(job, h, f"exceeded timeout of {self.timeout:g} s",
+                          kind="timeout", attempts=attempt, elapsed=now - t0)
+
+    def fail_all_pending(self, error: str) -> None:
+        """Broken pool: everything unresolved becomes a structured failure."""
+        for batch, t0 in list(self.in_flight.values()):
+            for job, h, attempt in batch:
+                self.fail(job, h, error, kind="broken-pool", attempts=attempt,
+                          elapsed=time.perf_counter() - t0)
+        for job, h, attempt in self.ready:
+            self.fail(job, h, error, kind="broken-pool", attempts=attempt)
+        for _, _, (job, h, attempt) in self.delayed:
+            self.fail(job, h, error, kind="broken-pool", attempts=attempt)
+        self.in_flight.clear()
+        self.ready.clear()
+        self.delayed.clear()
+
+    # -- the loop -------------------------------------------------------
+    def wait_timeout(self, now: float) -> Optional[float]:
+        wait_t = _POLL_S if self.timeout is not None else None
+        if self.delayed:
+            until_due = max(0.0, self.delayed[0][0] - now)
+            wait_t = until_due if wait_t is None else min(wait_t, until_due)
+        return wait_t
+
+    def run(self) -> None:
+        while self.ready or self.delayed or self.in_flight:
+            now = time.perf_counter()
+            self.promote_due(now)
+            self.submit_ready()
+            if not self.in_flight:
+                # Nothing running and nothing ready: sleep out the
+                # shortest retry backoff (the only remaining work).
+                if self.delayed:
+                    time.sleep(max(0.0, self.delayed[0][0] - time.perf_counter()))
+                continue
+            done, _ = wait(
+                self.in_flight, timeout=self.wait_timeout(now),
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.perf_counter()
+            for fut in done:
+                batch, t0 = self.in_flight.pop(fut)
+                elapsed_total = now - t0
+                exc = fut.exception()
+                if exc is None:
+                    self.record_chunk(batch, fut.result(), elapsed_total, now)
+                elif isinstance(exc, BrokenProcessPool):
+                    # Re-park the batch so fail_all_pending records it.
+                    self.in_flight[fut] = (batch, t0)
+                    raise exc
+                else:
+                    # The chunk runner itself failed (e.g. unpicklable
+                    # worker_fn result): every job gets a retry.
+                    for job, h, attempt in batch:
+                        if attempt <= self.retries:
+                            self.requeue(job, h, attempt, now)
+                        else:
+                            self.fail(
+                                job, h, f"{type(exc).__name__}: {exc}",
+                                kind="error", attempts=attempt,
+                                elapsed=elapsed_total,
+                            )
+            self.expire_timeouts(now)
+            self.t.running = sum(len(b) for b, _ in self.in_flight.values())
+        self.t.running = 0
+        if self.auto and self.cost_samples:
+            self.pool.cost_hint = median(self.cost_samples)
+
+
 def _run_parallel(
     pending, outcome_at, t: SweepTelemetry, notify,
     *, workers, cache, timeout, retries, backoff, worker_fn,
+    chunk_size=None, reuse_pool=True,
 ) -> None:
-    queue = deque((job, h, 1) for job, h in pending)
     suite_paths = _prepare_suites(pending, cache)
-    in_flight: dict = {}
-
-    def submit(pool) -> None:
-        while queue and len(in_flight) < workers:
-            job, h, attempt = queue.popleft()
-            if worker_fn is not None:
-                fut = pool.submit(worker_fn, job)
-            else:
-                fut = pool.submit(
-                    _pool_worker, job.to_dict(),
-                    suite_paths.get((job.platform, job.profile_seed)),
-                )
-            in_flight[fut] = (job, h, attempt, time.perf_counter())
-            notify("start", job, t)
-            t.running = len(in_flight)
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        try:
-            submit(pool)
-            while in_flight:
-                done, _ = wait(
-                    in_flight, timeout=_POLL_S if timeout else None,
-                    return_when=FIRST_COMPLETED,
-                )
-                now = time.perf_counter()
-                for fut in done:
-                    job, h, attempt, t0 = in_flight.pop(fut)
-                    elapsed = now - t0
-                    exc = fut.exception()
-                    if exc is None:
-                        _record_success(
-                            job, h, fut.result(), elapsed, attempt,
-                            outcome_at, t, cache,
-                        )
-                        notify("done", job, t)
-                    elif isinstance(exc, BrokenProcessPool):
-                        outcome_at[h] = JobFailure(
-                            job, h, f"process pool broke: {exc}",
-                            kind="broken-pool", attempts=attempt,
-                            elapsed=elapsed,
-                        )
-                        t.failed += 1
-                        notify("failed", job, t)
-                        raise exc
-                    elif attempt <= retries:
-                        t.retries += 1
-                        notify("retry", job, t)
-                        if backoff > 0:
-                            time.sleep(backoff * attempt)
-                        queue.append((job, h, attempt + 1))
-                    else:
-                        outcome_at[h] = JobFailure(
-                            job, h, f"{type(exc).__name__}: {exc}",
-                            kind="error", attempts=attempt, elapsed=elapsed,
-                        )
-                        t.failed += 1
-                        notify("failed", job, t)
-                if timeout is not None:
-                    for fut in [
-                        f for f, (_, _, _, t0) in in_flight.items()
-                        if now - t0 > timeout
-                    ]:
-                        job, h, attempt, t0 = in_flight.pop(fut)
-                        fut.cancel()  # the worker itself cannot be killed
-                        outcome_at[h] = JobFailure(
-                            job, h, f"exceeded timeout of {timeout:g} s",
-                            kind="timeout", attempts=attempt,
-                            elapsed=now - t0,
-                        )
-                        t.failed += 1
-                        notify("failed", job, t)
-                t.running = len(in_flight)
-                submit(pool)
-        except BrokenProcessPool as exc:
-            # The pool died (OOM-killed worker, interpreter crash):
-            # everything unresolved becomes a structured failure.
-            for fut, (job, h, attempt, t0) in in_flight.items():
-                outcome_at[h] = JobFailure(
-                    job, h, f"process pool broke: {exc}",
-                    kind="broken-pool", attempts=attempt,
-                    elapsed=time.perf_counter() - t0,
-                )
-                t.failed += 1
-                notify("failed", job, t)
-            for job, h, attempt in queue:
-                outcome_at[h] = JobFailure(
-                    job, h, f"process pool broke: {exc}",
-                    kind="broken-pool", attempts=attempt,
-                )
-                t.failed += 1
-                notify("failed", job, t)
-            in_flight.clear()
-            queue.clear()
+    pool, warm_hit = pool_mod.get_pool(
+        workers, suite_paths.values(), reuse=reuse_pool
+    )
+    t.warm_pool_hit = warm_hit
+    dispatcher = _Dispatcher(
+        pending, outcome_at, t, notify,
+        workers=workers, cache=cache, timeout=timeout, retries=retries,
+        backoff=backoff, worker_fn=worker_fn, chunk_size=chunk_size,
+        suite_paths=suite_paths, pool=pool,
+    )
+    try:
+        dispatcher.run()
+    except BrokenProcessPool as exc:
+        # The pool died (OOM-killed worker, interpreter crash):
+        # everything unresolved becomes a structured failure.
+        pool.broken = True
+        dispatcher.fail_all_pending(f"process pool broke: {exc}")
         t.running = 0
+    finally:
+        pool_mod.release_pool(pool, reuse=reuse_pool)
 
 
 def _prepare_suites(

@@ -1,0 +1,210 @@
+"""Warm worker pools for parallel sweeps.
+
+A :class:`WarmPool` wraps a :class:`~concurrent.futures.ProcessPoolExecutor`
+whose workers preload the fitted model-suite snapshot(s) **once, at fork
+time**, instead of lazily on the first task that needs them.  The pool
+persists across :func:`~repro.sweep.engine.run_sweep` calls within a
+process (module-level singleton), so back-to-back sweeps — ``repro
+sweep`` after ``repro faults``, fig8 followed by fig9 — reuse already
+warm workers instead of re-forking and re-loading.
+
+This module also hosts the *worker-side* entry points (they must be
+top-level so they pickle):
+
+* :func:`suite_from_snapshot` — per-process memoised suite loading,
+  shared by the fork-time initializer and by chunk execution;
+* :func:`run_chunk` / :func:`run_chunk_fn` — execute a *chunk* of jobs
+  in one task, returning per-job structured results so one failing job
+  never poisons its chunk-mates.
+
+Pool reuse rules (see :func:`get_pool`): a cached pool is reused only
+when the worker count matches, every snapshot the new sweep needs is
+already warmed, and no worker slot is known-leaked (a timed-out job
+still running) or broken.  Anything else disposes the old pool and
+forks a fresh one warmed with the union of old and new snapshots.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence
+
+#: Set this environment variable to a file path to get one appended
+#: line per *actual* suite-snapshot load in any process (parent or
+#: worker).  Used by tests to prove warm workers never re-load.
+SUITE_LOAD_LOG_ENV = "REPRO_SUITE_LOAD_LOG"
+
+#: Per-process memo: snapshot path (or in-process fit key) -> suite.
+_SUITE_MEMO: dict = {}
+
+
+def suite_from_snapshot(path: str):
+    """Load a fitted suite snapshot, memoised per process."""
+    suite = _SUITE_MEMO.get(path)
+    if suite is None:
+        from repro.models.io import load_suite
+
+        log = os.environ.get(SUITE_LOAD_LOG_ENV)
+        if log:
+            with open(log, "a") as fh:
+                fh.write(f"{os.getpid()} {path}\n")
+        suite = _SUITE_MEMO[path] = load_suite(path)
+    return suite
+
+
+def _warm_initializer(suite_paths: Sequence[str]) -> None:
+    """Fork-time worker initializer: preload every snapshot the sweep
+    (and any previous sweep this pool served) needs."""
+    for path in suite_paths:
+        suite_from_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# Chunk execution (worker side)
+# ----------------------------------------------------------------------
+def _job_result(body: Callable[[], dict]) -> dict:
+    t0 = time.perf_counter()
+    try:
+        metrics = body()
+    except Exception as exc:  # noqa: BLE001 - contained per job
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "elapsed": time.perf_counter() - t0,
+        }
+    return {"ok": True, "metrics": metrics, "elapsed": time.perf_counter() - t0}
+
+
+def run_chunk(
+    spec_dicts: Sequence[dict], suite_paths: Sequence[Optional[str]]
+) -> list[dict]:
+    """Execute a chunk of jobs in this worker; one result dict per job.
+
+    Jobs run sequentially; a raising job yields ``{"ok": False, ...}``
+    and the rest of the chunk still executes (the dispatcher retries
+    failed jobs individually).
+    """
+    from repro.sweep.engine import execute_job
+    from repro.sweep.spec import JobSpec
+
+    out = []
+    for spec_dict, suite_path in zip(spec_dicts, suite_paths):
+        spec = JobSpec.from_dict(spec_dict)
+        suite = suite_from_snapshot(suite_path) if suite_path else None
+        out.append(_job_result(lambda: execute_job(spec, suite=suite)))
+    return out
+
+
+def run_chunk_fn(worker_fn: Callable, spec_dicts: Sequence[dict]) -> list[dict]:
+    """Like :func:`run_chunk` but with a substituted job body
+    (``worker_fn(spec) -> metrics-dict``, test machinery)."""
+    from repro.sweep.spec import JobSpec
+
+    return [
+        _job_result(lambda: worker_fn(JobSpec.from_dict(d))) for d in spec_dicts
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle (parent side)
+# ----------------------------------------------------------------------
+class WarmPool:
+    """A process pool with fork-time-warmed workers and leak tracking."""
+
+    def __init__(self, workers: int, suite_paths: Iterable[str], warm: bool = True):
+        self.workers = int(workers)
+        self.warmed = frozenset(suite_paths)
+        self.leaked = 0  # timed-out jobs still occupying a worker slot
+        self.broken = False
+        #: Median per-job cost (s) observed by the last sweep served —
+        #: lets the next sweep skip its chunk-sizing probe round.
+        self.cost_hint: Optional[float] = None
+        if warm and self.warmed:
+            self.executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_warm_initializer,
+                initargs=(tuple(sorted(self.warmed)),),
+            )
+        else:
+            self.executor = ProcessPoolExecutor(max_workers=self.workers)
+
+    def submit(self, fn: Callable, *args) -> Future:
+        return self.executor.submit(fn, *args)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.broken and self.leaked == 0
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.executor.shutdown(wait=wait)
+
+
+_ACTIVE: Optional[WarmPool] = None
+
+
+def active_pool() -> Optional[WarmPool]:
+    """The currently cached warm pool, if any (introspection/tests)."""
+    return _ACTIVE
+
+
+def get_pool(
+    workers: int, suite_paths: Iterable[str], reuse: bool = True
+) -> tuple[WarmPool, bool]:
+    """Return ``(pool, warm_hit)`` for a sweep needing ``suite_paths``.
+
+    With ``reuse=True`` (the default) the module-level pool is returned
+    when compatible (same worker count, needed snapshots already warm,
+    no leaked/broken workers); otherwise it is disposed and a fresh
+    pool is forked, warmed with the **union** of old and new snapshots
+    so alternating sweeps converge to one fully-warm pool.
+
+    ``reuse=False`` forks a cold, caller-owned pool with lazy suite
+    loading — the pre-warm-pool execution model, kept for benchmarking
+    the win and for callers wanting full isolation.  The caller must
+    release it via :func:`release_pool`.
+    """
+    global _ACTIVE
+    needed = frozenset(suite_paths)
+    if not reuse:
+        return WarmPool(workers, needed, warm=False), False
+    pool = _ACTIVE
+    if pool is not None:
+        if pool.healthy and pool.workers == workers and needed <= pool.warmed:
+            return pool, True
+        carry = pool.warmed if pool.healthy else frozenset()
+        pool.shutdown(wait=not pool.leaked)
+        _ACTIVE = None
+        needed = needed | carry
+    _ACTIVE = WarmPool(workers, needed)
+    return _ACTIVE, False
+
+
+def release_pool(pool: WarmPool, reuse: bool = True) -> None:
+    """Give a pool back after a sweep.
+
+    Reusable healthy pools stay cached for the next sweep.  Broken or
+    leak-carrying pools are disposed (a leaked worker would silently
+    eat a slot of every later sweep), as are ``reuse=False`` pools.
+    """
+    global _ACTIVE
+    if reuse and pool.healthy:
+        return
+    if pool is _ACTIVE:
+        _ACTIVE = None
+    # Don't block on leaked workers: they hold the slot until their
+    # (already-failed) job finishes; the executor reaps them then.
+    pool.shutdown(wait=not pool.leaked and not pool.broken)
+
+
+def shutdown_warm_pool() -> None:
+    """Dispose the cached warm pool (tests, benchmarks, interpreter exit)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.shutdown(wait=not _ACTIVE.leaked)
+        _ACTIVE = None
+
+
+atexit.register(shutdown_warm_pool)

@@ -44,6 +44,21 @@ class SweepTelemetry:
     #: Sum of recorded execution times of cache-hit jobs — the
     #: wall-time the cache saved compared to a cold re-run.
     time_saved: float = 0.0
+    #: Parallel mode: whether this sweep reused an already-warm pool
+    #: (no re-fork, suites preloaded) instead of creating one.
+    warm_pool_hit: bool = False
+    #: Number of pool tasks dispatched (chunks; == jobs at chunk_size=1).
+    chunks: int = 0
+    #: Largest chunk size actually dispatched.
+    chunk_size: int = 1
+    #: Time the dispatcher spent submitting work and recording results
+    #: (everything except waiting on the pool), seconds.
+    dispatch_overhead: float = 0.0
+    #: Bytes of job/suite-path payload pickled into pool tasks.
+    bytes_serialized: int = 0
+    #: Timed-out jobs whose worker could not be cancelled and kept
+    #: running — each one silently holds a pool slot until it finishes.
+    timeout_leaked: int = 0
 
     @property
     def executed(self) -> int:
@@ -83,6 +98,18 @@ class SweepTelemetry:
             f"{self.time_saved:.2f} s saved by the cache",
             f"speedup vs serial cold run: {self.speedup:.2f}x",
         ]
+        if self.chunks:
+            lines.append(
+                f"dispatch: {self.chunks} chunk(s), max size {self.chunk_size}, "
+                f"{self.bytes_serialized} B serialized, "
+                f"{self.dispatch_overhead * 1000.0:.1f} ms overhead, "
+                f"{'warm' if self.warm_pool_hit else 'cold'} pool"
+            )
+        if self.timeout_leaked:
+            lines.append(
+                f"timeout leaks: {self.timeout_leaked} worker slot(s) held "
+                f"by timed-out jobs still running (pool recycled)"
+            )
         return lines
 
     def render_summary(self) -> str:

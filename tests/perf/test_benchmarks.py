@@ -11,7 +11,8 @@ from repro.perf.harness import PerfError
 
 def test_benchmark_registry_names():
     assert set(BENCHMARKS) == {
-        "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end"
+        "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end",
+        "sweep_throughput",
     }
 
 
@@ -29,6 +30,20 @@ def test_quick_benchmarks_produce_positive_metrics(name):
     assert rec.repeats >= 1
     assert len(rec.raw) == rec.repeats
     assert all(t > 0 for t in rec.raw)  # raw holds elapsed seconds
+
+
+def test_sweep_throughput_records_legacy_comparison():
+    records = run_benchmarks(quick=True, benchmarks=("sweep_throughput",))
+    rec = records["sweep_throughput"]
+    assert rec.unit == "jobs/s" and rec.value > 0
+    assert rec.params["jobs"] >= 64
+    assert rec.params["workers"] >= 2
+    assert rec.params["legacy_jobs_per_s"] > 0
+    assert rec.params["speedup_vs_legacy"] > 0
+    # The benchmark cleans up after itself: no lingering warm pool.
+    from repro.sweep import active_pool
+
+    assert active_pool() is None
 
 
 def test_progress_callback_invoked():

@@ -85,19 +85,23 @@ class TestPerfReport:
 class TestGate:
     def test_pass_when_no_regression(self):
         new, old = _report([_record(value=990.0)]), _report([_record()])
-        results = gate_against_baseline(new, old)
+        results = gate_against_baseline(new, old, benchmarks=("event_loop",))
         assert all(r.passed for r in results)
 
     def test_fail_beyond_threshold(self):
         new = _report([_record(value=600.0)])  # -40% vs 1000
         old = _report([_record(value=1000.0)])
-        results = gate_against_baseline(new, old, max_regression=0.30)
+        results = gate_against_baseline(
+            new, old, benchmarks=("event_loop",), max_regression=0.30
+        )
         assert any(not r.passed for r in results)
 
     def test_threshold_boundary(self):
         new = _report([_record(value=700.0)])  # exactly -30%
         old = _report([_record(value=1000.0)])
-        results = gate_against_baseline(new, old, max_regression=0.30)
+        results = gate_against_baseline(
+            new, old, benchmarks=("event_loop",), max_regression=0.30
+        )
         assert all(r.passed for r in results)
 
     def test_benchmark_missing_from_baseline_passes(self):

@@ -72,3 +72,43 @@ def test_suite_snapshot_written_once(tmp_path):
     stamp = path.stat().st_mtime_ns
     assert cache.ensure_suite("jetson-tx2", 0) == path
     assert path.stat().st_mtime_ns == stamp  # not re-profiled
+
+
+def test_get_many_mixed_hits_and_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    jobs = [JobSpec("fb", "GRWS", seed=s) for s in (1, 2, 3)]
+    for job in jobs[:2]:
+        cache.put(job, job.job_hash, METRICS, elapsed=0.1)
+    hashes = [j.job_hash for j in jobs]
+    out = cache.get_many(hashes)
+    assert set(out) == {hashes[0], hashes[1]}
+    assert out[hashes[0]]["metrics"] == METRICS
+    assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+def test_get_many_empty_cache_is_all_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    hashes = [JobSpec("fb", "GRWS", seed=s).job_hash for s in range(5)]
+    assert cache.get_many(hashes) == {}
+    assert cache.stats.misses == 5 and cache.stats.hits == 0
+
+
+def test_get_many_drops_corrupted_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    good = JobSpec("fb", "GRWS", seed=1)
+    bad = JobSpec("fb", "GRWS", seed=2)
+    for job in (good, bad):
+        cache.put(job, job.job_hash, METRICS, elapsed=0.1)
+    cache.path_for(bad.job_hash).write_text("{ truncated…")
+    out = cache.get_many([good.job_hash, bad.job_hash])
+    assert set(out) == {good.job_hash}
+    assert cache.stats.corrupted == 1
+    assert not cache.path_for(bad.job_hash).exists()
+
+
+def test_get_many_deduplicates_input_hashes(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(JOB, JOB.job_hash, METRICS, elapsed=0.1)
+    out = cache.get_many([JOB.job_hash, JOB.job_hash, JOB.job_hash])
+    assert set(out) == {JOB.job_hash}
+    assert cache.stats.hits == 1 and cache.stats.misses == 0

@@ -1,0 +1,209 @@
+"""Warm pool, chunked dispatch, non-blocking retries, leak accounting."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import pool as pool_mod
+from repro.sweep.cache import ResultCache
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
+
+from tests.sweep.test_engine import fake_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Every test starts and ends without a cached warm pool."""
+    pool_mod.shutdown_warm_pool()
+    yield
+    pool_mod.shutdown_warm_pool()
+
+
+# Top-level (picklable) worker bodies ----------------------------------
+def _ok_worker(job):
+    return fake_metrics(job)
+
+
+def _slow_worker(job):
+    time.sleep(1.5)
+    return fake_metrics(job)
+
+
+def _flaky_dp_slow_fb_worker(job):
+    """dp fails on its first attempt (flag file), fb takes 0.15 s."""
+    if job.workload == "dp":
+        flag = os.environ["REPRO_TEST_FLAKY_FLAG"]
+        if not os.path.exists(flag):
+            open(flag, "w").close()
+            raise IOError("transient dp failure")
+    else:
+        time.sleep(0.15)
+    return fake_metrics(job)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: serial vs per-job futures vs chunked
+# ----------------------------------------------------------------------
+def test_serial_parallel_chunked_equivalence(tmp_path):
+    # One model-based scheduler so the suite-snapshot path is on, and
+    # enough repetitions that auto mode actually forms chunks.
+    spec = SweepSpec(["fb"], ["GRWS", "JOSS"], repetitions=2)
+    caches = {
+        name: ResultCache(tmp_path / name)
+        for name in ("serial", "per-job", "chunked")
+    }
+    serial = run_sweep(spec, cache=caches["serial"])
+    per_job = run_sweep(spec, workers=4, chunk_size=1, cache=caches["per-job"])
+    chunked = run_sweep(spec, workers=4, chunk_size=None, cache=caches["chunked"])
+    for result in (serial, per_job, chunked):
+        assert not result.failures
+    base = [m.to_dict() for m in serial.metrics()]
+    assert [m.to_dict() for m in per_job.metrics()] == base
+    assert [m.to_dict() for m in chunked.metrics()] == base
+    # Identical cache entries too: same hashes, same metrics payloads.
+    for job in spec:
+        entries = {
+            name: cache.get(job.job_hash) for name, cache in caches.items()
+        }
+        assert all(e is not None for e in entries.values())
+        payloads = {name: e["metrics"] for name, e in entries.items()}
+        assert payloads["per-job"] == payloads["serial"]
+        assert payloads["chunked"] == payloads["serial"]
+
+
+# ----------------------------------------------------------------------
+# Warm pool reuse
+# ----------------------------------------------------------------------
+def test_warm_pool_reused_with_zero_suite_loads(tmp_path, monkeypatch):
+    log = tmp_path / "suite-loads.log"
+    monkeypatch.setenv(pool_mod.SUITE_LOAD_LOG_ENV, str(log))
+    # Suite snapshots land in an isolated cache root; the result cache
+    # stays off so the second sweep re-executes (and would re-load
+    # suites if the workers were cold).
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = SweepSpec(["fb"], ["JOSS"], repetitions=2)
+
+    first = run_sweep(spec, workers=2)
+    assert not first.failures
+    assert first.telemetry.warm_pool_hit is False
+    loads_after_first = len(log.read_text().splitlines())
+    # Fork-time preloading: each worker loads the one snapshot once.
+    assert 1 <= loads_after_first <= 2
+    pool = pool_mod.active_pool()
+    assert pool is not None and pool.warmed
+
+    second = run_sweep(spec, workers=2)
+    assert not second.failures
+    assert second.telemetry.warm_pool_hit is True
+    assert pool_mod.active_pool() is pool  # same pool, not re-forked
+    # The whole point: zero suite loads on the second sweep.
+    assert len(log.read_text().splitlines()) == loads_after_first
+    assert [m.to_dict() for m in second.metrics()] == [
+        m.to_dict() for m in first.metrics()
+    ]
+
+
+def test_worker_count_change_recreates_pool():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=2)
+    run_sweep(spec, workers=2, worker_fn=_ok_worker)
+    pool = pool_mod.active_pool()
+    assert pool is not None and pool.workers == 2
+    result = run_sweep(spec, workers=3, worker_fn=_ok_worker)
+    assert result.telemetry.warm_pool_hit is False
+    assert pool_mod.active_pool() is not pool
+    assert pool_mod.active_pool().workers == 3
+
+
+def test_cold_pool_is_not_cached():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=2)
+    result = run_sweep(spec, workers=2, worker_fn=_ok_worker, reuse_pool=False)
+    assert not result.failures
+    assert result.telemetry.warm_pool_hit is False
+    assert pool_mod.active_pool() is None
+
+
+# ----------------------------------------------------------------------
+# Chunked dispatch
+# ----------------------------------------------------------------------
+def test_auto_chunking_batches_fine_grained_jobs():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=24)
+    result = run_sweep(spec, workers=2, worker_fn=_ok_worker)
+    t = result.telemetry
+    assert t.done == 24 and not result.failures
+    # Near-free jobs must coalesce: far fewer dispatches than jobs.
+    assert t.chunks < t.done
+    assert t.chunk_size > 1
+    assert t.bytes_serialized > 0
+    assert t.dispatch_overhead >= 0.0
+    assert "dispatch:" in t.render_summary()
+
+
+def test_fixed_chunk_size_one_is_per_job():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=6)
+    result = run_sweep(spec, workers=2, worker_fn=_ok_worker, chunk_size=1)
+    t = result.telemetry
+    assert t.chunks == 6 and t.chunk_size == 1
+
+
+def test_failure_inside_chunk_is_retried_individually(monkeypatch, tmp_path):
+    flag = tmp_path / "flaky.flag"
+    monkeypatch.setenv("REPRO_TEST_FLAKY_FLAG", str(flag))
+    spec = SweepSpec(["fb", "dp"], ["GRWS"], repetitions=4)
+    # Force everything into big chunks so dp's first failure happens
+    # inside a chunk shared with healthy fb jobs.
+    result = run_sweep(
+        spec, workers=2, worker_fn=_flaky_dp_slow_fb_worker,
+        chunk_size=8, retries=1, backoff=0.0,
+    )
+    assert not result.failures
+    assert len(result.outcomes) == 8
+    assert result.telemetry.retries == 1
+    retried = [o for o in result.outcomes if o.attempts > 1]
+    assert len(retried) == 1 and retried[0].job.workload == "dp"
+
+
+# ----------------------------------------------------------------------
+# Non-blocking retry backoff
+# ----------------------------------------------------------------------
+def test_retry_backoff_does_not_delay_other_completions(monkeypatch, tmp_path):
+    flag = tmp_path / "flaky.flag"
+    monkeypatch.setenv("REPRO_TEST_FLAKY_FLAG", str(flag))
+    spec = SweepSpec(["dp", "fb"], ["GRWS"], repetitions=1)
+    started = time.perf_counter()
+    done_at: dict[str, float] = {}
+
+    def hook(event, job, telemetry):
+        if event == "done":
+            done_at[job.workload] = time.perf_counter() - started
+
+    result = run_sweep(
+        spec, workers=2, worker_fn=_flaky_dp_slow_fb_worker,
+        chunk_size=1, retries=1, backoff=0.6, progress=hook,
+    )
+    assert not result.failures
+    # dp failed instantly and sat out a 0.6 s backoff; fb (0.15 s of
+    # work) must be recorded long before that backoff expires — the
+    # dispatcher no longer sleeps inline on retries.
+    assert done_at["fb"] < 0.45
+    assert done_at["dp"] >= 0.55
+    dp = [o for o in result.outcomes if o.job.workload == "dp"][0]
+    assert dp.attempts == 2
+
+
+# ----------------------------------------------------------------------
+# Timeout leak accounting
+# ----------------------------------------------------------------------
+def test_timed_out_jobs_count_as_leaked_and_recycle_the_pool():
+    spec = SweepSpec(["fb"], ["GRWS"], repetitions=2)
+    result = run_sweep(spec, workers=2, worker_fn=_slow_worker, timeout=0.3)
+    t = result.telemetry
+    assert len(result.failures) == 2
+    assert all(f.kind == "timeout" for f in result.failures)
+    assert t.timeout_leaked == 2
+    assert "timeout leaks" in t.render_summary()
+    # A pool with leaked (still-running) workers must not be reused.
+    assert pool_mod.active_pool() is None

@@ -92,6 +92,26 @@ def test_sweep_cold_then_cached(capsys, tmp_path):
     assert "speedup" in warm
 
 
+def test_sweep_parallel_reports_dispatch_telemetry(capsys, tmp_path):
+    from repro.sweep import shutdown_warm_pool
+
+    out_json = tmp_path / "out.json"
+    rc = main(
+        ["sweep", "-w", "fb", "-s", "GRWS", "--repetitions", "2",
+         "--workers", "2", "--no-cache", "-q", "-o", str(out_json)]
+    )
+    shutdown_warm_pool()
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "dispatch:" in out and "pool" in out
+    import json
+
+    telemetry = json.loads(out_json.read_text())["telemetry"]
+    assert telemetry["chunks"] >= 1
+    assert telemetry["bytes_serialized"] > 0
+    assert telemetry["timeout_leaked"] == 0
+
+
 def test_sweep_no_cache_and_json_output(capsys, tmp_path):
     out_json = tmp_path / "out.json"
     rc = main(
