@@ -11,7 +11,7 @@ Walks the full pipeline of the paper on the simulated Jetson TX2:
 Run:  python examples/quickstart.py
 """
 
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run
 from repro.hw.platform import jetson_tx2
 from repro.models.training import profile_and_fit
 
@@ -27,8 +27,8 @@ def main() -> None:
 
     # 3. Run the SparseLU benchmark under both schedulers.
     cfg = BenchConfig(scale=1.0, repetitions=2)
-    grws = run_averaged("slu", "GRWS", cfg)
-    joss = run_averaged("slu", "JOSS", cfg)
+    grws = run("slu/GRWS", config=cfg)
+    joss = run("slu/JOSS", config=cfg)
 
     # 4. Compare.
     print()

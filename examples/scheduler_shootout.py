@@ -8,7 +8,7 @@ total energy, the paper's headline comparison.
 Run:  python examples/scheduler_shootout.py
 """
 
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run
 
 SCHEDULERS = ["GRWS", "ERASE", "Aequitas", "STEER", "JOSS_NoMemDVFS", "JOSS"]
 WORKLOADS = ["mm-256", "mc-4096", "slu"]
@@ -18,7 +18,7 @@ def main() -> None:
     cfg = BenchConfig(scale=1.0, repetitions=2)
     print(f"{'workload':<10s}" + "".join(f"{s:>16s}" for s in SCHEDULERS))
     for wl in WORKLOADS:
-        metrics = {s: run_averaged(wl, s, cfg) for s in SCHEDULERS}
+        metrics = {s: run((wl, s), config=cfg) for s in SCHEDULERS}
         base = metrics["GRWS"].total_energy
         cells = "".join(
             f"{metrics[s].total_energy / base:>16.3f}" for s in SCHEDULERS

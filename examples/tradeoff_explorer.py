@@ -9,7 +9,7 @@ prints the resulting frontier, plus MAXP as the upper anchor.
 Run:  python examples/tradeoff_explorer.py
 """
 
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run
 
 TARGETS = ["JOSS", "JOSS_1.2x", "JOSS_1.4x", "JOSS_1.8x", "JOSS_MAXP"]
 
@@ -21,7 +21,7 @@ def main() -> None:
           f"{'speedup':>8s} {'premium':>8s}")
     base = None
     for name in TARGETS:
-        m = run_averaged("vg", name, cfg)
+        m = run(("vg", name), config=cfg)
         if base is None:
             base = m
         speedup = base.makespan / m.makespan

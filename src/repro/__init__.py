@@ -20,8 +20,52 @@ Top-level layout:
 - :mod:`repro.schedulers` -- baselines: GRWS, ERASE, Aequitas, STEER
 - :mod:`repro.workloads`  -- the ten Table-1 benchmarks as DAG generators
 - :mod:`repro.bench`      -- experiment harness regenerating every figure/table
+- :mod:`repro.obs`        -- observability: event bus, metrics, exporters
+
+The consolidated public API (documented in ``docs/api.md``) is exposed
+lazily at the package top level::
+
+    import repro
+
+    with repro.observe(events="events.jsonl"):
+        metrics = repro.run("fb/JOSS", repeats=3)
+
+Submodule imports stay explicit and cheap: nothing below is imported
+until the attribute is touched (PEP 562).
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+#: Facade name -> (module, attribute).  ``docs/api.md`` documents
+#: exactly this surface; ``tools/check_api_surface.py`` enforces the
+#: correspondence in CI.
+_FACADE = {
+    "run": ("repro.bench.runner", "run"),
+    "build_workload": ("repro.workloads.registry", "build_workload"),
+    "jetson_tx2": ("repro.hw.platform", "jetson_tx2"),
+    "profile_and_fit": ("repro.models.training", "profile_and_fit"),
+    "load_suite": ("repro.models.io", "load_suite"),
+    "run_sweep": ("repro.sweep.engine", "run_sweep"),
+    "observe": ("repro.obs.api", "observe"),
+}
+
+__all__ = ["__version__", *_FACADE]
+
+
+def __getattr__(name: str):
+    """Lazy facade resolution (PEP 562)."""
+    try:
+        module_name, attr = _FACADE[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list:
+    return sorted({*globals(), *_FACADE})

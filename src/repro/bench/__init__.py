@@ -19,6 +19,20 @@ ablation  Design-choice ablations (coordination, coarsening, search)
 """
 
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_one, run_matrix
+from repro.bench.runner import (
+    BenchConfig,
+    run,
+    run_averaged,
+    run_matrix,
+    run_one,
+)
 
-__all__ = ["ExperimentResult", "BenchConfig", "run_one", "run_matrix"]
+__all__ = [
+    "ExperimentResult",
+    "BenchConfig",
+    "run",
+    "run_one",
+    # Deprecated shims over ``run`` (kept for one release):
+    "run_averaged",
+    "run_matrix",
+]

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run as bench_run
 
 COORDINATION_WORKLOADS = ("dp", "slu", "st-512")
 STRATEGIES = ("mean", "min", "max", "ours", "theirs")
@@ -42,7 +42,7 @@ def run(config: Optional[BenchConfig] = None) -> ExperimentResult:
                 workload_seed=cfg.workload_seed,
                 scheduler_kwargs={"coordination": strat},
             )
-            m = run_averaged(wl, "JOSS", c)
+            m = bench_run((wl, "JOSS"), config=c)
             energies[strat] = m.total_energy
         for strat in STRATEGIES:
             norm = energies[strat] / energies["mean"]
@@ -71,7 +71,7 @@ def run(config: Optional[BenchConfig] = None) -> ExperimentResult:
             workload_seed=cfg.workload_seed,
             scheduler_kwargs={"coarsening": CoarseningPolicy(enabled=enabled)},
         )
-        m = run_averaged("fb", "JOSS", c)
+        m = bench_run(("fb", "JOSS"), config=c)
         coarse_rows.append(
             ["on" if enabled else "off", m.total_energy, m.makespan * 1e3,
              m.extras.get("coarsening_suppressed", 0)]
@@ -102,7 +102,7 @@ def run(config: Optional[BenchConfig] = None) -> ExperimentResult:
                 workload_seed=cfg.workload_seed,
                 scheduler_kwargs={"selector": selector},
             )
-            m = run_averaged(wl, "JOSS", c)
+            m = bench_run((wl, "JOSS"), config=c)
             cells += [m.total_energy, m.extras.get("selection_evaluations", 0)]
             rows.append(
                 {"ablation": "selector", "workload": wl, "variant": selector,

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run as bench_run
 
 WORKLOADS = ("mm-256", "mc-4096", "st-512")
 DOPS = (1, 2, 4, 8)
@@ -33,8 +33,8 @@ def run(
     for wl in workloads:
         cells = [wl]
         for dop in dops:
-            grws = run_averaged(wl, "GRWS", cfg, dop=dop)
-            joss = run_averaged(wl, "JOSS", cfg, dop=dop)
+            grws = bench_run((wl, "GRWS"), config=cfg, dop=dop)
+            joss = bench_run((wl, "JOSS"), config=cfg, dop=dop)
             ratio = joss.total_energy / grws.total_energy
             ratios.append(ratio)
             rows.append(

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_matrix
+from repro.bench.runner import BenchConfig, run as bench_run
 from repro.sweep.spec import SweepSpec
 from repro.workloads.registry import workload_names
 
@@ -46,8 +46,9 @@ def run(
 ) -> ExperimentResult:
     cfg = config or BenchConfig()
     wls = list(workloads) if workloads is not None else workload_names()
-    matrix = run_matrix(
-        wls, schedulers, cfg, workers=workers, cache=cache, progress=progress
+    matrix = bench_run(
+        (wls, list(schedulers)), config=cfg,
+        workers=workers, cache=cache, progress=progress,
     )
     rows, table_rows = [], []
     for wl in wls:

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bench.report import format_table
 from repro.bench.result import ExperimentResult
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run as bench_run
 
 SCHEDULERS = ("gov-performance", "gov-ondemand", "gov-powersave", "JOSS", "JOSS_MAXP")
 DEFAULT_WORKLOADS = ("slu", "mc-4096", "vg", "st-512")
@@ -36,7 +36,7 @@ def run(
     rows, table_rows = [], []
     edp_ratios = []
     for wl in workloads:
-        metrics = {s: run_averaged(wl, s, cfg) for s in SCHEDULERS}
+        metrics = {s: bench_run((wl, s), config=cfg) for s in SCHEDULERS}
         base = metrics["gov-performance"]
         cells = [wl]
         for s in SCHEDULERS:

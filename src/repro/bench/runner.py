@@ -4,8 +4,10 @@ Mirrors the paper's methodology (section 6.1): frequencies are pinned
 at maximum before each run, each experiment is repeated and the
 arithmetic average reported.
 
-Since the sweep subsystem landed, :func:`run_averaged` and
-:func:`run_matrix` are thin veneers over
+:func:`run` is the single public entry point — it dispatches on the
+spec's shape (one grid point, a grid, or a named paper experiment).
+The legacy names ``run_averaged`` / ``run_matrix`` remain as deprecated
+shims.  Everything is a thin veneer over
 :func:`repro.sweep.engine.run_sweep`: the grid is declared as job
 specs and executed — serially in-process by default (deterministic,
 what the tests use), or fanned out over worker processes and/or backed
@@ -15,8 +17,11 @@ by the on-disk result cache when the caller passes ``workers`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+import inspect
+import warnings
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence, Union
 
 from repro.hw.platform import PLATFORM_FACTORIES, Platform, jetson_tx2
 from repro.models.suite import ModelSuite
@@ -92,13 +97,105 @@ def run_one(
     return ex.run(graph)
 
 
+def run(
+    spec: Union[str, tuple],
+    *,
+    repeats: Optional[int] = None,
+    config: Optional[BenchConfig] = None,
+    obs=None,
+    workers: int = 0,
+    cache=None,
+    progress=None,
+    **overrides,
+):
+    """Unified bench entry point; dispatches on the shape of ``spec``.
+
+    ``spec`` may be:
+
+    * ``"fb/JOSS"`` or ``("fb", "JOSS")`` — one grid point; returns the
+      repetition-averaged :class:`RunMetrics` (``**overrides`` are
+      workload overrides).
+    * ``(workloads, schedulers)`` where both elements are sequences —
+      the full grid; returns ``{workload: {scheduler: RunMetrics}}``.
+    * ``"fig8"`` (any :data:`repro.bench.experiments.ALL` name) — a
+      paper artefact; returns its
+      :class:`~repro.bench.result.ExperimentResult` (``**overrides``
+      are forwarded to the experiment's ``run``).
+
+    ``repeats`` overrides ``config.repetitions``; ``obs`` (an
+    :class:`repro.obs.Observability`) is installed as the process
+    default for the duration, so every executor and sweep inside emits
+    to it; ``workers`` / ``cache`` / ``progress`` are forwarded to the
+    sweep engine for grid specs.
+    """
+    cfg = config or BenchConfig()
+    if repeats is not None:
+        cfg = replace(cfg, repetitions=int(repeats))
+    scope = obs.as_current() if obs is not None else nullcontext()
+    with scope:
+        if isinstance(spec, str):
+            if "/" in spec:
+                workload, _, scheduler = spec.partition("/")
+                return _run_averaged(workload, scheduler, cfg, **overrides)
+            return _run_experiment(spec, cfg, **overrides)
+        if isinstance(spec, (tuple, list)) and len(spec) == 2:
+            first, second = spec
+            if isinstance(first, str) and isinstance(second, str):
+                return _run_averaged(first, second, cfg, **overrides)
+            if not isinstance(first, str) and not isinstance(second, str):
+                return _run_matrix(
+                    list(first), list(second), cfg,
+                    workers=workers, cache=cache, progress=progress,
+                )
+    raise TypeError(
+        f"cannot interpret bench spec {spec!r}: expected 'workload/"
+        f"scheduler', (workload, scheduler), (workloads, schedulers) "
+        f"or an experiment name"
+    )
+
+
+def _run_experiment(name: str, cfg: BenchConfig, **kwargs):
+    from repro.bench.experiments import ALL
+
+    mod = ALL.get(name)
+    if mod is None:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(ALL)} "
+            f"(or pass 'workload/scheduler' for a single run)"
+        )
+    if "config" in inspect.signature(mod.run).parameters:
+        kwargs.setdefault("config", cfg)
+    return mod.run(**kwargs)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.bench.{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_averaged(
     workload: str,
     scheduler_name: str,
     config: Optional[BenchConfig] = None,
     **workload_overrides,
 ) -> RunMetrics:
-    """Average metrics over ``config.repetitions`` runs (paper: 10).
+    """Deprecated shim for :func:`run` with a single grid point."""
+    _deprecated("run_averaged", "repro.bench.run('workload/scheduler')")
+    return _run_averaged(
+        workload, scheduler_name, config or BenchConfig(), **workload_overrides
+    )
+
+
+def _run_averaged(
+    workload: str,
+    scheduler_name: str,
+    cfg: BenchConfig,
+    **workload_overrides,
+) -> RunMetrics:
+    """Average metrics over ``cfg.repetitions`` runs (paper: 10).
 
     Delegates the repetitions to the sweep engine's serial in-process
     path; seeds and averaging match the pre-sweep behaviour exactly.
@@ -106,7 +203,6 @@ def run_averaged(
     from repro.sweep.engine import run_sweep
     from repro.sweep.spec import JobSpec
 
-    cfg = config or BenchConfig()
     jobs = [
         JobSpec(
             workload=workload,
@@ -140,6 +236,24 @@ def run_matrix(
     cache=None,
     progress=None,
 ) -> dict[str, dict[str, RunMetrics]]:
+    """Deprecated shim for :func:`run` with a ``(workloads, schedulers)``
+    grid spec."""
+    _deprecated("run_matrix", "repro.bench.run((workloads, schedulers))")
+    return _run_matrix(
+        list(workloads), list(schedulers), config or BenchConfig(),
+        workers=workers, cache=cache, progress=progress,
+    )
+
+
+def _run_matrix(
+    workloads: Sequence[str],
+    schedulers: Sequence[str],
+    cfg: BenchConfig,
+    *,
+    workers: int = 0,
+    cache=None,
+    progress=None,
+) -> dict[str, dict[str, RunMetrics]]:
     """``{workload: {scheduler: averaged metrics}}`` over the grid.
 
     Delegates to the sweep engine.  The default is the serial
@@ -150,7 +264,6 @@ def run_matrix(
     from repro.sweep.engine import run_sweep
     from repro.sweep.spec import SweepSpec
 
-    cfg = config or BenchConfig()
     spec = SweepSpec.from_bench_config(cfg, workloads, schedulers)
     factory = None
     if not cfg.registered_platform():

@@ -2,16 +2,22 @@
 
 ::
 
-    joss-repro list                         # workloads & schedulers
-    joss-repro run -w slu -s JOSS           # one run, print metrics
-    joss-repro run -w mm-256 -s GRWS STEER JOSS --scale 2
-    joss-repro experiment fig8              # regenerate a paper artefact
-    joss-repro experiment all -o results/   # everything
-    joss-repro profile                      # platform characterisation summary
-    joss-repro sweep -w fb dp -s GRWS JOSS --workers 4   # cached grid sweep
-    joss-repro faults -w fb -s JOSS         # fault injection + degradation report
+    repro list                              # workloads & schedulers
+    repro run slu joss                      # one run, print metrics
+    repro run -w mm-256 -s GRWS STEER JOSS --scale 2
+    repro run joss slu --events-out e.jsonl --metrics-out m.prom
+    repro experiment fig8                   # regenerate a paper artefact
+    repro experiment all -o results/        # everything
+    repro profile                           # platform characterisation summary
+    repro sweep -w fb dp -s GRWS JOSS --workers 4   # cached grid sweep
+    repro faults -w fb -s JOSS              # fault injection + degradation report
 
-Also callable as ``python -m repro ...``.
+Every run/trace/sweep/faults/... subcommand shares the common options
+``--platform``, ``--seed``, ``-o/--out`` and the observability flags
+``--events-out`` (JSONL structured event log) / ``--metrics-out``
+(Prometheus text snapshot) — see :mod:`repro.obs`.
+
+Also callable as ``python -m repro ...`` or the legacy ``joss-repro``.
 """
 
 from __future__ import annotations
@@ -21,10 +27,16 @@ import sys
 from typing import Optional, Sequence
 
 from repro.bench.experiments import ALL as ALL_EXPERIMENTS
-from repro.bench.runner import BenchConfig, run_averaged
+from repro.bench.runner import BenchConfig, run as bench_run
 from repro.schedulers.registry import scheduler_names
 from repro.version import __version__
 from repro.workloads.registry import workload_names
+
+
+def _platform_factory(args: argparse.Namespace):
+    from repro.hw.platform import platform_factory
+
+    return platform_factory(args.platform)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -40,17 +52,54 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _classify_run_names(args: argparse.Namespace) -> tuple[str, list[str]]:
+    """Sort the ``run`` subcommand's positional names into one workload
+    and 1+ schedulers (case-insensitive; ``-w`` / ``-s`` still work)."""
+    from repro.errors import ReproError
+
+    wl_by_lower = {w.lower(): w for w in workload_names()}
+    sc_by_lower = {s.lower(): s for s in scheduler_names()}
+    workloads = [args.workload] if args.workload else []
+    schedulers = list(args.scheduler or [])
+    for name in args.names:
+        low = name.lower()
+        if low in wl_by_lower:
+            workloads.append(wl_by_lower[low])
+        elif low in sc_by_lower:
+            schedulers.append(sc_by_lower[low])
+        elif low.startswith("joss"):
+            # Dynamic JOSS variants (JOSS_1.4x, JOSS_cap4W, ...) resolve
+            # in the scheduler registry, not in scheduler_names().
+            schedulers.append(name)
+        else:
+            raise ReproError(
+                f"{name!r} is neither a workload ({sorted(wl_by_lower.values())}) "
+                f"nor a scheduler ({sorted(sc_by_lower.values())})"
+            )
+    if len(workloads) != 1 or not schedulers:
+        raise ReproError(
+            "run needs exactly one workload and at least one scheduler, "
+            f"got workloads={workloads} schedulers={schedulers} "
+            "(positional names, or -w/-s)"
+        )
+    return workloads[0], schedulers
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    workload, schedulers = _classify_run_names(args)
     cfg = BenchConfig(
-        scale=args.scale, repetitions=args.repetitions, seed=args.seed
+        platform_factory=_platform_factory(args),
+        scale=args.scale, repetitions=args.repetitions, seed=args.seed,
     )
     print(
-        f"platform=jetson-tx2 scale={args.scale} reps={args.repetitions} "
-        f"seed={args.seed}"
+        f"platform={args.platform} scale={args.scale} "
+        f"reps={args.repetitions} seed={args.seed}"
     )
     baseline = None
-    for sched in args.scheduler:
-        m = run_averaged(args.workload, sched, cfg)
+    results = []
+    for sched in schedulers:
+        m = bench_run((workload, sched), config=cfg)
+        results.append(m)
         line = m.summary()
         if baseline is None:
             baseline = m.total_energy
@@ -60,12 +109,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.verbose and "decisions" in m.extras:
             for k, d in sorted(m.extras["decisions"].items()):
                 print(f"    {k:24s} -> {d}")
+    if args.output:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            _json.dumps([m.to_dict() for m in results], indent=1)
+        )
+        print(f"metrics JSON -> {args.output}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
-    cfg = BenchConfig(scale=args.scale, repetitions=args.repetitions)
+    cfg = BenchConfig(
+        platform_factory=_platform_factory(args),
+        scale=args.scale, repetitions=args.repetitions, seed=args.seed,
+    )
     rc = 0
     for name in names:
         mod = ALL_EXPERIMENTS.get(name)
@@ -170,6 +230,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     baseline_spec = JobSpec(
         workload=args.workload,
         scheduler=args.scheduler,
+        platform=args.platform,
         scale=args.scale,
         seed=args.seed,
         scheduler_kwargs=scheduler_kwargs,
@@ -262,20 +323,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import Timeline
-    from repro.bench.runner import BenchConfig
-    from repro.hw.platform import jetson_tx2
     from repro.runtime.executor import Executor
-    from repro.schedulers.registry import make_scheduler
+    from repro.schedulers.registry import make_scheduler, needs_suite
     from repro.sim.trace import Tracer
     from repro.workloads.registry import build_workload
 
-    from repro.schedulers.registry import needs_suite
-
-    cfg = BenchConfig(scale=args.scale, seed=args.seed)
+    factory = _platform_factory(args)
+    cfg = BenchConfig(
+        platform_factory=factory, scale=args.scale, seed=args.seed
+    )
     suite = cfg.suite() if needs_suite(args.scheduler) else None
     tracer = Tracer(categories=["activity-start", "activity-end", "freq-change"])
     ex = Executor(
-        jetson_tx2(), make_scheduler(args.scheduler, suite),
+        factory(), make_scheduler(args.scheduler, suite),
         seed=args.seed, tracer=tracer,
     )
     metrics = ex.run(build_workload(args.workload, scale=args.scale))
@@ -294,23 +354,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.hw.platform import jetson_tx2
     from repro.models.training import fit_models, profile_and_fit
     from repro.profiling.dataset import ProfilingDataset
     from repro.profiling.profiler import PlatformProfiler
 
+    factory = _platform_factory(args)
     if args.dataset:
         dataset = ProfilingDataset.load(args.dataset)
         print(f"loaded dataset: {len(dataset)} records from {args.dataset}")
         suite = fit_models(dataset)
     elif args.save_dataset:
-        dataset = PlatformProfiler(jetson_tx2, seed=args.seed).run()
+        dataset = PlatformProfiler(factory, seed=args.seed).run()
         dataset.save(args.save_dataset)
         print(f"profiling dataset saved -> {args.save_dataset} "
               f"({len(dataset)} records)")
         suite = fit_models(dataset)
     else:
-        suite = profile_and_fit(jetson_tx2, seed=args.seed)
+        suite = profile_and_fit(factory, seed=args.seed)
     print(f"platform: {suite.platform_name}")
     print(
         f"reference f_C={suite.f_c_ref} GHz, f_M={suite.f_m_ref} GHz, "
@@ -342,10 +402,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.comparison import compare_runs
 
     cfg = BenchConfig(
-        scale=args.scale, repetitions=args.repetitions, seed=args.seed
+        platform_factory=_platform_factory(args),
+        scale=args.scale, repetitions=args.repetitions, seed=args.seed,
     )
-    a = run_averaged(args.workload, args.scheduler[0], cfg)
-    b = run_averaged(args.workload, args.scheduler[1], cfg)
+    a = bench_run((args.workload, args.scheduler[0]), config=cfg)
+    b = bench_run((args.workload, args.scheduler[1]), config=cfg)
     cmp = compare_runs(a, b)
     print(f"{args.workload}: {a.scheduler} vs {b.scheduler}\n")
     print(cmp.render())
@@ -358,12 +419,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.bench.report import format_table
-    from repro.hw.platform import jetson_tx2
     from repro.models.training import fit_models
     from repro.models.validation import kfold_validate, residual_report
     from repro.profiling.profiler import PlatformProfiler
 
-    dataset = PlatformProfiler(jetson_tx2, seed=args.seed).run()
+    dataset = PlatformProfiler(_platform_factory(args), seed=args.seed).run()
     print(f"profiling dataset: {len(dataset)} records, "
           f"{len(dataset.kernel_names())} synthetic kernels")
     report = kfold_validate(dataset, k=args.folds, seed=args.seed)
@@ -389,37 +449,80 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _common_options(seed_default: int = 11) -> argparse.ArgumentParser:
+    """The parent parser every experiment-running subcommand shares:
+    ``--platform``, ``--seed``, ``-o/--out`` and the observability
+    flags (``--events-out`` / ``--metrics-out``, handled in
+    :func:`main` by installing a :func:`repro.observe` observer).
+
+    Subcommands with a different seed default (profile/validate use 0)
+    get their own parent instance — argparse ``parents`` shares action
+    objects, so mutating a default via ``set_defaults`` on one child
+    would leak into every sibling.
+    """
+    from repro.hw.platform import platform_names
+
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("common options")
+    g.add_argument("--platform", default="jetson-tx2",
+                   choices=platform_names(),
+                   help="simulated platform (default: jetson-tx2)")
+    g.add_argument("--seed", type=int, default=seed_default,
+                   help="base RNG seed (default: %(default)s)")
+    g.add_argument("-o", "--out", "--output", dest="output", default=None,
+                   metavar="PATH",
+                   help="write the subcommand's artefact(s) to this path")
+    g.add_argument("--events-out", default=None, metavar="PATH",
+                   help="write a JSONL structured event log of every run")
+    g.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus text metrics snapshot at exit")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
-        prog="joss-repro",
+        prog="repro",
         description="JOSS (ICPP 2023) reproduction on a simulated Jetson TX2",
     )
     p.add_argument("--version", action="version", version=__version__)
     sub = p.add_subparsers(dest="command", required=True)
+    common = _common_options()
+    # Separate instance for subcommands whose deterministic default seed
+    # is 0 (profile/validate): parents share action objects, so a
+    # set_defaults() on one child would leak into every sibling.
+    common_seed0 = _common_options(seed_default=0)
 
     sub.add_parser("list", help="list workloads, schedulers, experiments")
 
-    run_p = sub.add_parser("run", help="run scheduler(s) on a workload")
-    run_p.add_argument("-w", "--workload", required=True, choices=workload_names())
+    run_p = sub.add_parser(
+        "run", parents=[common], help="run scheduler(s) on a workload"
+    )
     run_p.add_argument(
-        "-s", "--scheduler", nargs="+", required=True,
+        "names", nargs="*", metavar="NAME",
+        help="workload and scheduler names in any order, case-insensitive "
+             "(e.g. `run slu joss`); alternative to -w/-s",
+    )
+    run_p.add_argument("-w", "--workload", default=None, choices=workload_names())
+    run_p.add_argument(
+        "-s", "--scheduler", nargs="+", default=None,
         help=f"one or more of {scheduler_names()}",
     )
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--repetitions", type=int, default=2)
-    run_p.add_argument("--seed", type=int, default=11)
     run_p.add_argument("-v", "--verbose", action="store_true",
                        help="print per-kernel configuration decisions")
 
-    exp_p = sub.add_parser("experiment", help="regenerate a paper artefact")
+    exp_p = sub.add_parser(
+        "experiment", parents=[common], help="regenerate a paper artefact"
+    )
     exp_p.add_argument("name", help=f"one of {list(ALL_EXPERIMENTS)} or 'all'")
-    exp_p.add_argument("-o", "--output", default=None,
-                       help="directory to save rendered tables")
     exp_p.add_argument("--scale", type=float, default=1.0)
     exp_p.add_argument("--repetitions", type=int, default=2)
 
-    prof_p = sub.add_parser("profile", help="characterise the platform, fit models")
-    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p = sub.add_parser(
+        "profile", parents=[common_seed0],
+        help="characterise the platform, fit models",
+    )
     prof_p.add_argument("--save-dataset", default=None,
                         help="write the raw profiling dataset to this JSON path")
     prof_p.add_argument("--dataset", default=None,
@@ -428,23 +531,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the fitted model suite to this JSON path")
 
     trace_p = sub.add_parser(
-        "trace", help="run once and render a per-core execution timeline"
+        "trace", parents=[common],
+        help="run once and render a per-core execution timeline",
     )
     trace_p.add_argument("-w", "--workload", required=True, choices=workload_names())
     trace_p.add_argument("-s", "--scheduler", default="JOSS")
     trace_p.add_argument("--scale", type=float, default=1.0)
-    trace_p.add_argument("--seed", type=int, default=11)
     trace_p.add_argument("--width", type=int, default=100)
-    trace_p.add_argument("-o", "--output", default=None,
-                         help="write the timeline as JSON to this path")
     trace_p.add_argument("--chrome", default=None, metavar="PATH",
                          help="write a Chrome trace-event JSON (Perfetto / "
                               "chrome://tracing) to this path")
 
-    from repro.hw.platform import platform_names
-
     sweep_p = sub.add_parser(
-        "sweep",
+        "sweep", parents=[common],
         help="run a (workload x scheduler x scale) grid, parallel + cached",
     )
     sweep_p.add_argument(
@@ -455,11 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
         "-s", "--scheduler", nargs="+", default=list(_SWEEP_DEFAULT_SCHEDULERS),
         help=f"schedulers to sweep (default: {list(_SWEEP_DEFAULT_SCHEDULERS)})",
     )
-    sweep_p.add_argument("--platform", default="jetson-tx2",
-                         choices=platform_names())
     sweep_p.add_argument("--scale", type=float, nargs="+", default=[1.0])
     sweep_p.add_argument("--repetitions", type=int, default=2)
-    sweep_p.add_argument("--seed", type=int, default=11)
     sweep_p.add_argument("--workers", type=int, default=0,
                          help="worker processes (0/1 = serial in-process)")
     sweep_p.add_argument("--chunk-size", type=int, default=None,
@@ -479,11 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="extra attempts per failed job")
     sweep_p.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-job progress lines")
-    sweep_p.add_argument("-o", "--output", default=None,
-                         help="write per-job metrics JSON to this path")
 
     faults_p = sub.add_parser(
-        "faults",
+        "faults", parents=[common],
         help="fault-injection campaign vs fault-free baseline "
              "(degradation report)",
     )
@@ -497,14 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
              "repro.faults.campaigns)",
     )
     faults_p.add_argument("--scale", type=float, default=1.0)
-    faults_p.add_argument("--seed", type=int, default=11)
     faults_p.add_argument("--campaign-seed", type=int, default=0,
                           help="seed of the fault RNG streams")
     faults_p.add_argument("--cache-dir", default=None,
                           help="result-cache root (shared with `sweep`)")
     faults_p.add_argument("--no-cache", action="store_true")
-    faults_p.add_argument("-o", "--output", default=None,
-                          help="write the degradation report JSON here")
 
     perf_p = sub.add_parser(
         "perf",
@@ -532,13 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "gated set that was actually run)")
 
     val_p = sub.add_parser(
-        "validate", help="cross-validate the fitted models (k-fold)"
+        "validate", parents=[common_seed0],
+        help="cross-validate the fitted models (k-fold)",
     )
     val_p.add_argument("--folds", type=int, default=5)
-    val_p.add_argument("--seed", type=int, default=0)
 
     cmp_p = sub.add_parser(
-        "compare", help="run two schedulers on a workload and diff them"
+        "compare", parents=[common],
+        help="run two schedulers on a workload and diff them",
     )
     cmp_p.add_argument("-w", "--workload", required=True, choices=workload_names())
     cmp_p.add_argument(
@@ -547,11 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--scale", type=float, default=1.0)
     cmp_p.add_argument("--repetitions", type=int, default=2)
-    cmp_p.add_argument("--seed", type=int, default=11)
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from contextlib import nullcontext
+
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
@@ -567,8 +660,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults": _cmd_faults,
         "perf": _cmd_perf,
     }
+    events = getattr(args, "events_out", None)
+    metrics = getattr(args, "metrics_out", None)
+    scope = nullcontext()
+    if events or metrics:
+        from repro.obs import observe
+
+        # Install a process-default observer: every Executor / sweep the
+        # handler creates picks it up (repro.obs.api.current_observer).
+        scope = observe(events=events, metrics=metrics)
     try:
-        return handlers[args.command](args)
+        with scope:
+            rc = handlers[args.command](args)
+        if events:
+            print(f"event log JSONL -> {events}")
+        if metrics:
+            print(f"metrics snapshot -> {metrics}")
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -18,6 +18,7 @@ re-enters the sampling pipeline.  The mechanism is disabled by default
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 @dataclass
@@ -58,6 +59,11 @@ class AdaptationPolicy:
     min_observations: int = 5
     #: Number of decisions invalidated so far (diagnostic).
     invalidations: int = field(default=0, init=False)
+    #: Optional observer hook, called as ``on_invalidated(kernel_name)``
+    #: whenever a decision is invalidated (wired by the scheduler).
+    on_invalidated: Optional[Callable[[str], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _kernels: dict[str, KernelDriftState] = field(default_factory=dict, init=False)
 
     def observe(self, kernel_name: str, measured: float, predicted: float) -> bool:
@@ -84,6 +90,8 @@ class AdaptationPolicy:
         if st.violations >= self.patience:
             self.invalidations += 1
             self._kernels.pop(kernel_name, None)
+            if self.on_invalidated is not None:
+                self.on_invalidated(kernel_name)
             return True
         return False
 

@@ -22,7 +22,7 @@ which case scheduling is bit-identical to paper behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.core.adaptation import KernelDriftState
 
@@ -91,6 +91,15 @@ class HealthMonitor:
     #: Total degradation entries (per-kernel + global), diagnostic.
     fallbacks: int = field(default=0, init=False)
     recoveries: int = field(default=0, init=False)
+    #: Optional observer hooks, ``on_degrade(kernel)`` on a per-kernel
+    #: fallback entry and ``on_recover(kernel)`` after the hold period
+    #: is served (wired by the scheduler).
+    on_degrade: Optional[Callable[[str], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    on_recover: Optional[Callable[[str], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
     _kernels: dict[str, KernelDriftState] = field(
         default_factory=dict, init=False
     )
@@ -127,6 +136,8 @@ class HealthMonitor:
         if kernel_name not in self.degraded:
             self.degraded[kernel_name] = 0
             self.fallbacks += 1
+            if self.on_degrade is not None:
+                self.on_degrade(kernel_name)
         self._kernels.pop(kernel_name, None)
 
     def is_degraded(self, kernel_name: str) -> bool:
@@ -141,6 +152,8 @@ class HealthMonitor:
         if self.degraded[kernel_name] >= self.policy.recovery_hold:
             del self.degraded[kernel_name]
             self.recoveries += 1
+            if self.on_recover is not None:
+                self.on_recover(kernel_name)
             return True
         return False
 

@@ -140,9 +140,13 @@ class JossScheduler(Scheduler):
         self._selection_evals = 0
         if self.adaptation is not None:
             self.adaptation.reset()
+            self.adaptation.on_invalidated = self._on_drift_invalidated
         self._monitor = (
             HealthMonitor(self.health) if self.health is not None else None
         )
+        if self._monitor is not None:
+            self._monitor.on_degrade = self._on_health_degrade
+            self._monitor.on_recover = self._on_health_recover
         self._global_degraded = False
         self._degraded_since = None
         self._degraded_energy_mark = 0.0
@@ -254,7 +258,18 @@ class JossScheduler(Scheduler):
         trusted = bool(task.meta.pop("sample_fc_ok", True)) and (
             abs(cluster.freq - slot.f_c) < 1e-9
         )
-        self.planner.record(kname, slot, measured, trusted=trusted)
+        bus = getattr(self.ctx, "bus", None)
+        if bus is not None and bus.active:
+            before = self.planner.phases()
+            self.planner.record(kname, slot, measured, trusted=trusted)
+            for cl, f_c in self.planner.phases().items():
+                if before.get(cl) != f_c:
+                    bus.emit(
+                        "sampling_phase", self.ctx.now,
+                        scheduler=self.name, cluster=cl, phase=f_c,
+                    )
+        else:
+            self.planner.record(kname, slot, measured, trusted=trusted)
         if self.planner.resolved(kname) and kname not in self.decisions:
             self._resolve_kernel(kname)
 
@@ -279,6 +294,58 @@ class JossScheduler(Scheduler):
                 m.extras["health_degraded_kernels"] = sorted(
                     self._monitor.degraded
                 )
+        registry = getattr(self.ctx, "registry", None)
+        if registry is not None:
+            self._publish_counters(registry)
+
+    def _publish_counters(self, registry) -> None:
+        """Fold this run's scheduler bookkeeping into an installed
+        :class:`repro.obs.MetricRegistry`."""
+        lbl = {"scheduler": self.name}
+        registry.counter(
+            "joss_selection_evaluations_total",
+            "configurations evaluated by the selector", ("scheduler",),
+        ).inc(self._selection_evals, **lbl)
+        registry.counter(
+            "joss_decisions_total",
+            "kernels resolved to a <T_C, N_C, f_C, f_M> decision",
+            ("scheduler",),
+        ).inc(len(self.decisions), **lbl)
+        registry.counter(
+            "joss_coarsening_suppressed_total",
+            "DVFS requests suppressed by task coarsening", ("scheduler",),
+        ).inc(self.coarsening.suppressed, **lbl)
+        if self.adaptation is not None:
+            registry.counter(
+                "joss_drift_invalidations_total",
+                "decisions invalidated by the drift monitor", ("scheduler",),
+            ).inc(self.adaptation.invalidations, **lbl)
+        if self._monitor is not None:
+            registry.counter(
+                "joss_health_fallbacks_total",
+                "health-monitor degradation entries", ("scheduler",),
+            ).inc(self._monitor.fallbacks, **lbl)
+            registry.counter(
+                "joss_health_recoveries_total",
+                "kernels recovered from fallback", ("scheduler",),
+            ).inc(self._monitor.recoveries, **lbl)
+
+    # ------------------------------------------------------------------
+    # Observer hooks (drift / health transitions)
+    # ------------------------------------------------------------------
+    def _emit(self, event_type: str, **fields) -> None:
+        bus = getattr(self.ctx, "bus", None)
+        if bus is not None and bus.active:
+            bus.emit(event_type, self.ctx.now, scheduler=self.name, **fields)
+
+    def _on_drift_invalidated(self, kernel_name: str) -> None:
+        self._emit("decision_invalidated", kernel=kernel_name, reason="drift")
+
+    def _on_health_degrade(self, kernel_name: str) -> None:
+        self._emit("decision_invalidated", kernel=kernel_name, reason="health")
+
+    def _on_health_recover(self, kernel_name: str) -> None:
+        self._emit("health_recovered", kernel=kernel_name)
 
     # ------------------------------------------------------------------
     # Internals
@@ -315,6 +382,15 @@ class JossScheduler(Scheduler):
         self.tables[kname] = tables
         self.decisions[kname] = (sel, f_c, f_m)
         self._selection_evals += sel.evaluations
+        bus = getattr(self.ctx, "bus", None)
+        if bus is not None and bus.active:
+            bus.emit(
+                "config_selected", self.ctx.now,
+                scheduler=self.name, kernel=kname,
+                cluster=sel.cluster, n_cores=sel.n_cores,
+                f_c=f_c, f_m=f_m if self.use_memory_dvfs else None,
+                evaluations=sel.evaluations,
+            )
 
     def _expected_concurrency(self) -> dict[tuple[str, int], float]:
         """Per-``<T_C, N_C>`` task-concurrency estimate for idle-power
@@ -413,9 +489,11 @@ class JossScheduler(Scheduler):
             acc.finalize(now)
             self._degraded_since = now
             self._degraded_energy_mark = acc.total_energy()
-            tracer = getattr(self.ctx, "tracer", None)
-            if tracer is not None:
-                tracer.emit(now, "degraded-enter", scheduler=self.name)
+            # The legacy "degraded-enter" trace record comes out of the
+            # bus via the tracer bridge (repro.obs.exporters).
+            bus = getattr(self.ctx, "bus", None)
+            if bus is not None and bus.active:
+                bus.emit("degraded_enter", now, scheduler=self.name)
         elif not active and self._degraded_since is not None:
             self._close_degraded_window(now)
 
@@ -427,9 +505,9 @@ class JossScheduler(Scheduler):
         if m is not None:
             m.degraded_time += now - self._degraded_since
             m.degraded_energy += acc.total_energy() - self._degraded_energy_mark
-        tracer = getattr(self.ctx, "tracer", None)
-        if tracer is not None:
-            tracer.emit(now, "degraded-exit", scheduler=self.name)
+        bus = getattr(self.ctx, "bus", None)
+        if bus is not None and bus.active:
+            bus.emit("degraded_exit", now, scheduler=self.name)
         self._degraded_since = None
 
     def _describe_decision(self, kname: str) -> str:

@@ -138,6 +138,11 @@ class SamplingPlanner:
         """The frequency this cluster's sampling currently targets."""
         return self._phase[cluster]
 
+    def phases(self) -> dict[str, float]:
+        """Snapshot of every cluster's current sampling phase (used by
+        observers to detect phase advances across a :meth:`record`)."""
+        return dict(self._phase)
+
     def next_slot(self, kernel_name: str) -> SampleSlot:
         """Next slot to measure for a kernel.
 

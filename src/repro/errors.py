@@ -39,6 +39,10 @@ class SweepError(ReproError):
     """Raised when a sweep cannot be specified, executed or cached."""
 
 
+class ObservabilityError(ReproError):
+    """Raised by the event bus / metric registry (:mod:`repro.obs`)."""
+
+
 class FaultError(ReproError):
     """Raised when a fault campaign is malformed or cannot be injected."""
 

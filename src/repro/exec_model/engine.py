@@ -145,6 +145,12 @@ class ExecutionEngine:
             self.tracer.emit(
                 self.sim.now, "activity-start", kernel=kernel.name, core=core.core_id
             )
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "task_started", self.sim.now,
+                kernel=kernel.name, core=core.core_id,
+            )
         self._state_changed()
         return act
 
@@ -162,6 +168,13 @@ class ExecutionEngine:
                 "activity-end",
                 kernel=act.kernel.name,
                 core=act.core.core_id,
+                elapsed=self.sim.now - act.started_at,
+            )
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "task_finished", self.sim.now,
+                kernel=act.kernel.name, core=act.core.core_id,
                 elapsed=self.sim.now - act.started_at,
             )
         self._state_changed()

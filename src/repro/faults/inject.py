@@ -189,9 +189,12 @@ class CoreFaultInjector:
             return
         self.core.online = False
         self.unplugs += 1
-        if self.ex.tracer is not None:
-            self.ex.tracer.emit(
-                self.ex.sim.now, "core-unplug", core=self.core.core_id
+        obs = self.ex.sim.obs
+        if obs.active:
+            # The legacy "core-unplug" trace record comes out of the bus
+            # via the tracer bridge (repro.obs.exporters).
+            obs.emit(
+                "core_unplugged", self.ex.sim.now, core=self.core.core_id
             )
         self._drain_queue()
 
@@ -199,9 +202,10 @@ class CoreFaultInjector:
         if self.core.online:
             return
         self.core.online = True
-        if self.ex.tracer is not None:
-            self.ex.tracer.emit(
-                self.ex.sim.now, "core-replug", core=self.core.core_id
+        obs = self.ex.sim.obs
+        if obs.active:
+            obs.emit(
+                "core_replugged", self.ex.sim.now, core=self.core.core_id
             )
         self.ex.workers[self.core.core_id].wake()
 

@@ -1,0 +1,55 @@
+"""repro.obs — the unified observability layer.
+
+One process-local structured :class:`EventBus` plus one
+:class:`MetricRegistry`, threaded through the simulator, the runtime,
+the JOSS scheduler and the sweep engine; exporters (JSONL event log,
+Prometheus text snapshot, Chrome trace, live sweep progress) are bus
+subscribers.  See docs/architecture.md, "Observability", for the event
+taxonomy and the exporter matrix.
+
+Quick start::
+
+    import repro
+
+    with repro.observe(events="events.jsonl", metrics="metrics.prom"):
+        repro.run(("slu", "JOSS"))
+
+Instrumentation is zero-cost when nothing subscribes: emit sites guard
+on ``bus.active`` and build no payload for a silent bus (the
+``obs_overhead`` perf benchmark gates this).
+"""
+
+from repro.obs.api import Observability, current_observer, observe, resolve_bus
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import EVENT_TYPES, Event, register_event_type
+from repro.obs.exporters import (
+    LEGACY_CATEGORIES,
+    ChromeTraceExporter,
+    JsonlEventLog,
+    bridge_tracer,
+    read_events,
+    sweep_progress_line,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = [
+    "EVENT_TYPES",
+    "LEGACY_CATEGORIES",
+    "ChromeTraceExporter",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonlEventLog",
+    "MetricRegistry",
+    "Observability",
+    "Subscription",
+    "bridge_tracer",
+    "current_observer",
+    "observe",
+    "read_events",
+    "register_event_type",
+    "resolve_bus",
+    "sweep_progress_line",
+]

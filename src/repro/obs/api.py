@@ -1,0 +1,167 @@
+"""The consolidated observability handle and the process default.
+
+:func:`observe` is the one public entry point (re-exported as
+``repro.observe``)::
+
+    import repro
+
+    with repro.observe(events="events.jsonl", metrics="metrics.prom"):
+        repro.run(("slu", "JOSS"))
+
+While the ``with`` block is open the handle is installed as the
+*process default observer*: every :class:`~repro.runtime.executor.
+Executor` and :func:`~repro.sweep.engine.run_sweep` created inside it
+(directly or nested arbitrarily deep in experiment code) publishes to
+its bus and metric registry, without a single call-site having to
+thread an ``obs`` parameter through.  On exit the previous default is
+restored, exporters are closed, and the metrics snapshot is written.
+
+Components that want explicit wiring instead can pass the handle (or a
+bare :class:`~repro.obs.bus.EventBus`) as their ``obs`` argument.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.obs.bus import EventBus
+from repro.obs.exporters import ChromeTraceExporter, JsonlEventLog
+from repro.obs.metrics import MetricRegistry
+
+#: The installed process-default observer (None = silent).
+_default: Optional["Observability"] = None
+
+
+def current_observer() -> Optional["Observability"]:
+    """The installed default :class:`Observability`, if any."""
+    return _default
+
+
+def resolve_bus(obs) -> Optional[EventBus]:
+    """Accept an Observability, a bare EventBus, or None."""
+    if obs is None:
+        return None
+    if isinstance(obs, EventBus):
+        return obs
+    return obs.bus
+
+
+class Observability:
+    """An event bus + metric registry + the exporters attached to them."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._exporters: list = []
+        self._metrics_paths: list[Path] = []
+        self._chrome_paths: list[tuple[ChromeTraceExporter, Path]] = []
+        self._installed = False
+        self._previous: Optional[Observability] = None
+        self._closed = False
+
+    # -- exporter attachment --------------------------------------------
+    def event_log(
+        self, path: Union[str, Path], types: Optional[Iterable[str]] = None
+    ) -> JsonlEventLog:
+        """Attach a JSONL event log (closed with the handle)."""
+        exporter = JsonlEventLog(path, self.bus, types=types)
+        self._exporters.append(exporter)
+        return exporter
+
+    def metrics_out(self, path: Union[str, Path]) -> None:
+        """Write the Prometheus snapshot to ``path`` at close time."""
+        self._metrics_paths.append(Path(path))
+
+    def chrome_trace(
+        self, path: Union[str, Path], categories: Optional[Iterable[str]] = None
+    ) -> ChromeTraceExporter:
+        """Attach a Chrome-trace exporter saved to ``path`` at close."""
+        exporter = ChromeTraceExporter(self.bus, categories=categories)
+        self._exporters.append(exporter)
+        self._chrome_paths.append((exporter, Path(path)))
+        return exporter
+
+    # -- default-observer installation ----------------------------------
+    def install(self) -> "Observability":
+        """Make this handle the process default (idempotent)."""
+        global _default
+        if not self._installed:
+            self._previous = _default
+            _default = self
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the previously installed default (idempotent)."""
+        global _default
+        if self._installed:
+            _default = self._previous
+            self._previous = None
+            self._installed = False
+
+    @contextmanager
+    def as_current(self):
+        """Install as default for the duration of a block, without
+        closing exporters on exit (reusable across blocks)."""
+        was_installed = self._installed
+        self.install()
+        try:
+            yield self
+        finally:
+            if not was_installed:
+                self.uninstall()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Flush metric snapshots, close exporters, uninstall."""
+        if self._closed:
+            return
+        self._closed = True
+        self.uninstall()
+        for exporter, path in self._chrome_paths:
+            exporter.save(path)
+        for path in self._metrics_paths:
+            self.metrics.write(path)
+        for exporter in self._exporters:
+            exporter.close()
+
+    def __enter__(self) -> "Observability":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def observe(
+    events: Optional[Union[str, Path]] = None,
+    metrics: Optional[Union[str, Path]] = None,
+    *,
+    chrome: Optional[Union[str, Path]] = None,
+    event_types: Optional[Iterable[str]] = None,
+    bus: Optional[EventBus] = None,
+    registry: Optional[MetricRegistry] = None,
+) -> Observability:
+    """Build an :class:`Observability` handle with common exporters.
+
+    ``events`` attaches a JSONL event log (optionally narrowed to
+    ``event_types``); ``metrics`` schedules a Prometheus text snapshot
+    at close; ``chrome`` attaches a Chrome-trace export.  Use the
+    result as a context manager to install it as the process default::
+
+        with observe(events="e.jsonl", metrics="m.prom"):
+            ...
+    """
+    obs = Observability(bus=bus, metrics=registry)
+    if events is not None:
+        obs.event_log(events, types=event_types)
+    if metrics is not None:
+        obs.metrics_out(metrics)
+    if chrome is not None:
+        obs.chrome_trace(chrome)
+    return obs

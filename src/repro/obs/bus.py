@@ -1,0 +1,146 @@
+"""The process-local event bus.
+
+Design constraints (see docs/architecture.md, "Observability"):
+
+* **Zero-cost when silent.**  Every instrumented component guards its
+  emit site with the bus's ``active`` flag::
+
+      obs = self.sim.obs
+      if obs.active:
+          obs.emit("task_started", now, kernel=k.name, core=core.core_id)
+
+  With no subscribers the whole site is one attribute load and one
+  bool test — no dict is built, no :class:`~repro.obs.events.Event`
+  allocated.  The PR-3/PR-4 perf gates (``event_loop``,
+  ``sweep_throughput``) and the ``obs_overhead`` benchmark pin this
+  down.
+
+* **Deterministic dispatch.**  Subscribers are called synchronously in
+  subscription order, over a snapshot of the subscriber list, so a
+  callback that unsubscribes (itself or others) cannot skip or double-
+  deliver within the triggering emit.
+
+The bus is process-local and not thread-safe by design: the simulator
+is single-threaded, and sweep worker processes get their own (silent)
+buses — sweep-level events are emitted in the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.events import EVENT_TYPES, RESERVED_FIELDS, Event
+
+Callback = Callable[[Event], None]
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`."""
+
+    __slots__ = ("callback", "types", "_bus")
+
+    def __init__(
+        self, callback: Callback, types: Optional[frozenset[str]], bus: "EventBus"
+    ) -> None:
+        self.callback = callback
+        self.types = types
+        self._bus = bus
+
+    def close(self) -> None:
+        """Unsubscribe.  Idempotent."""
+        bus = self._bus
+        if bus is not None:
+            self._bus = None
+            bus.unsubscribe(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._bus is None
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for typed events."""
+
+    __slots__ = ("active", "_subs", "events_emitted")
+
+    def __init__(self) -> None:
+        #: True iff at least one subscriber is attached.  Emit sites
+        #: check this flag before building payloads (the zero-cost
+        #: contract); it is maintained by subscribe/unsubscribe only.
+        self.active = False
+        self._subs: list[Subscription] = []
+        #: Events dispatched so far (diagnostic; subscribed emits only).
+        self.events_emitted = 0
+
+    def subscribe(
+        self,
+        callback: Callback,
+        types: Optional[Iterable[str]] = None,
+    ) -> Subscription:
+        """Attach ``callback(event)``; ``types`` narrows delivery to a
+        set of event types (default: everything)."""
+        tset: Optional[frozenset[str]] = None
+        if types is not None:
+            tset = frozenset(types)
+            unknown = sorted(tset - EVENT_TYPES.keys())
+            if unknown:
+                raise ObservabilityError(
+                    f"cannot subscribe to unregistered event type(s) {unknown}; "
+                    "see repro.obs.events.register_event_type"
+                )
+        sub = Subscription(callback, tset, self)
+        self._subs.append(sub)
+        self.active = True
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach a subscription.  Unknown/already-removed is a no-op."""
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            pass
+        self.active = bool(self._subs)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    def emit(self, type: str, time: float, **fields: Any) -> None:
+        """Dispatch one event to every matching subscriber.
+
+        Callers on hot paths must guard with ``bus.active`` — calling
+        ``emit`` on a silent bus is safe but already paid for the
+        kwargs dict.
+        """
+        if not self._subs:
+            return
+        if type not in EVENT_TYPES:
+            raise ObservabilityError(
+                f"unregistered event type {type!r}; see "
+                "repro.obs.events.register_event_type"
+            )
+        if RESERVED_FIELDS & fields.keys():
+            raise ObservabilityError(
+                f"event fields may not use reserved keys {sorted(RESERVED_FIELDS)}"
+            )
+        ev = Event(type, time, fields)
+        self.events_emitted += 1
+        for sub in tuple(self._subs):
+            if sub.types is None or type in sub.types:
+                sub.callback(ev)
+
+    def publish(self, event: Event) -> None:
+        """Dispatch an already-built :class:`Event` (re-publishing)."""
+        if not self._subs:
+            return
+        self.events_emitted += 1
+        for sub in tuple(self._subs):
+            if sub.types is None or event.type in sub.types:
+                sub.callback(event)

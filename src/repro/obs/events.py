@@ -1,0 +1,136 @@
+"""The event taxonomy: every type the bus may carry, with its schema.
+
+Events are flat: a ``type`` from the registry below, a ``time`` (the
+simulated clock for runtime events, elapsed wall seconds for sweep
+events), and a shallow mapping of JSON-safe ``fields``.  The registry
+is the single source of truth for the taxonomy table in
+``docs/architecture.md`` and for emit-time validation: an unregistered
+type is a programming error, caught at the first (subscribed) emit
+rather than surfacing as a silently-ignored exporter record.
+
+Third-party subscribers may extend the taxonomy with
+:func:`register_event_type`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ObservabilityError
+
+#: type -> (one-line description, field summary).  Times: simulated
+#: seconds unless the description says wall.
+EVENT_TYPES: dict[str, tuple[str, str]] = {
+    # -- executor / run lifecycle --------------------------------------
+    "run_started": (
+        "an Executor began a task graph",
+        "workload, scheduler, platform, tasks, seed",
+    ),
+    "run_finished": (
+        "the last task of a run completed",
+        "workload, scheduler, makespan, cpu_energy, mem_energy, tasks_executed",
+    ),
+    "task_dispatched": (
+        "the scheduler placed a ready task on a core's queue",
+        "task, core",
+    ),
+    "task_started": (
+        "one task partition began executing on a core",
+        "kernel, core",
+    ),
+    "task_finished": (
+        "one task partition completed on a core",
+        "kernel, core, elapsed",
+    ),
+    "task_done": (
+        "a whole task (all partitions) completed",
+        "task, kernel",
+    ),
+    # -- DVFS / JOSS decision pipeline ---------------------------------
+    "dvfs_set": (
+        "a DVFS controller applied a frequency to its domain",
+        "domain, freq",
+    ),
+    "sampling_phase": (
+        "a cluster's sampling phase advanced to a new frequency",
+        "cluster, f_c",
+    ),
+    "config_selected": (
+        "JOSS resolved a kernel's <T_C, N_C, f_C, f_M> configuration",
+        "kernel, cluster, n_cores, f_c, f_m, evaluations",
+    ),
+    "decision_invalidated": (
+        "a drift/health monitor threw away a kernel's decision",
+        "kernel, reason (drift|health)",
+    ),
+    # -- degradation / faults ------------------------------------------
+    "degraded_enter": (
+        "the scheduler opened a degraded-mode window",
+        "scheduler",
+    ),
+    "degraded_exit": (
+        "the scheduler closed its degraded-mode window",
+        "scheduler",
+    ),
+    "health_recovered": (
+        "a degraded kernel served its hold period and re-enters sampling",
+        "kernel",
+    ),
+    "core_unplugged": (
+        "fault injection took a core offline",
+        "core",
+    ),
+    "core_replugged": (
+        "fault injection brought a core back online",
+        "core",
+    ),
+    # -- sweep orchestration (times are wall seconds since sweep start) -
+    "sweep_started": (
+        "a sweep was admitted (wall clock)",
+        "jobs, workers",
+    ),
+    "sweep_finished": (
+        "a sweep completed (wall clock)",
+        "jobs, executed, failed, cache_hits, wall_time",
+    ),
+    "sweep_job_queued": ("a job was admitted to the sweep", "job, workload, scheduler"),
+    "sweep_job_started": ("a job attempt began executing", "job, workload, scheduler"),
+    "sweep_job_cache_hit": ("a job was satisfied from the result cache", "job, workload, scheduler"),
+    "sweep_job_done": ("a job finished executing successfully", "job, workload, scheduler"),
+    "sweep_job_retried": ("a failed job attempt was re-queued", "job, workload, scheduler"),
+    "sweep_job_failed": ("a job exhausted its attempts or timed out", "job, workload, scheduler"),
+}
+
+#: Keys an event's ``fields`` may not use (they name the envelope).
+RESERVED_FIELDS = frozenset({"type", "time"})
+
+
+def register_event_type(name: str, description: str, fields: str = "") -> None:
+    """Extend the taxonomy (idempotent for identical registrations)."""
+    existing = EVENT_TYPES.get(name)
+    if existing is not None and existing != (description, fields):
+        raise ObservabilityError(
+            f"event type {name!r} already registered with a different schema"
+        )
+    EVENT_TYPES[name] = (description, fields)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured event as delivered to subscribers."""
+
+    type: str
+    time: float
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """Flat JSON-safe dict (``type``/``time`` + the fields)."""
+        out: dict[str, Any] = {"type": self.type, "time": self.time}
+        out.update(self.fields)
+        return out
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Event":
+        d = dict(data)
+        return cls(type=d.pop("type"), time=float(d.pop("time")), fields=d)

@@ -1,0 +1,204 @@
+"""Exporters: bus subscribers that turn events into artifacts.
+
+Everything downstream of the bus is "just a subscriber":
+
+* :class:`JsonlEventLog` — one JSON object per line, machine-readable
+  record of a run (``repro ... --events-out events.jsonl``);
+* :class:`ChromeTraceExporter` — the Chrome trace-event export,
+  reimplemented on the bus.  It collects the same records the legacy
+  :class:`~repro.sim.trace.Tracer` would and renders them through the
+  *same* :func:`~repro.sim.trace.render_chrome_trace`, so the output
+  is byte-identical for identical runs;
+* :func:`bridge_tracer` — forwards bus events to a legacy ``Tracer``
+  under the legacy category names, making the tracer one consumer
+  among several (analysis tooling keeps working unchanged);
+* :func:`sweep_progress_line` — a live one-line-per-transition sweep
+  progress printer driven by ``sweep_job_*`` events.
+
+Metrics snapshots are rendered by the registry itself
+(:meth:`repro.obs.metrics.MetricRegistry.render_prometheus`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Callable, Iterable, Optional, Union
+
+from repro.obs.bus import EventBus, Subscription
+from repro.obs.events import Event
+from repro.sim.trace import Tracer, TraceRecord, render_chrome_trace
+
+#: Bus event type -> legacy tracer category.  Field names are already
+#: identical on both sides (the bus taxonomy was carved out of the
+#: tracer's payloads), so the bridge forwards payloads verbatim.
+LEGACY_CATEGORIES: dict[str, str] = {
+    "task_started": "activity-start",
+    "task_finished": "activity-end",
+    "dvfs_set": "freq-change",
+    "task_dispatched": "dispatch",
+    "task_done": "task-done",
+    "degraded_enter": "degraded-enter",
+    "degraded_exit": "degraded-exit",
+    "core_unplugged": "core-unplug",
+    "core_replugged": "core-replug",
+}
+
+
+def bridge_tracer(bus: EventBus, tracer: Tracer) -> Subscription:
+    """Subscribe ``tracer`` to the bus under the legacy categories.
+
+    Only the event types with a legacy equivalent are forwarded — a
+    tracer fed through the bridge records exactly what a directly-wired
+    tracer recorded before the bus existed (same categories, payloads
+    and order), which the golden-determinism and Chrome-equivalence
+    tests rely on.
+    """
+
+    def forward(ev: Event) -> None:
+        tracer.emit(ev.time, LEGACY_CATEGORIES[ev.type], **ev.fields)
+
+    return bus.subscribe(forward, types=LEGACY_CATEGORIES.keys())
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+class JsonlEventLog:
+    """Append events to a file as JSON Lines.
+
+    The file is line-buffered JSON — each event is one
+    ``{"type": ..., "time": ..., <fields>}`` object — so a crashed run
+    still leaves a parseable prefix.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        bus: Optional[EventBus] = None,
+        types: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = self.path.open("w")
+        self.events_written = 0
+        self._sub: Optional[Subscription] = None
+        if bus is not None:
+            self._sub = bus.subscribe(self, types=types)
+
+    def __call__(self, event: Event) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event.to_json(), sort_keys=False))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> list[Event]:
+    """Parse a JSONL event log back into :class:`Event` objects."""
+    events: list[Event] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(Event.from_json(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace via the bus
+# ----------------------------------------------------------------------
+class ChromeTraceExporter:
+    """Collect legacy-equivalent trace records from bus events and
+    render them with the shared Chrome renderer."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._categories = frozenset(categories) if categories is not None else None
+        self.records: list[TraceRecord] = []
+        self._sub: Optional[Subscription] = None
+        if bus is not None:
+            self._sub = bus.subscribe(self, types=LEGACY_CATEGORIES.keys())
+
+    def __call__(self, event: Event) -> None:
+        category = LEGACY_CATEGORIES[event.type]
+        if self._categories is not None and category not in self._categories:
+            return
+        self.records.append(TraceRecord(event.time, category, dict(event.fields)))
+
+    def to_chrome_trace(self, process_name: str = "repro-sim") -> dict:
+        return render_chrome_trace(self.records, process_name)
+
+    def save(
+        self, path: Union[str, Path], process_name: str = "repro-sim"
+    ) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(process_name)))
+        return path
+
+    def close(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
+
+
+# ----------------------------------------------------------------------
+# Live sweep progress line
+# ----------------------------------------------------------------------
+_PROGRESS_TAGS = {
+    "sweep_job_started": "start",
+    "sweep_job_cache_hit": "cache-hit",
+    "sweep_job_done": "done",
+    "sweep_job_retried": "retry",
+    "sweep_job_failed": "FAILED",
+}
+
+
+def sweep_progress_line(
+    bus: EventBus, write: Callable[[str], None] = print
+) -> Subscription:
+    """Subscribe a live ``[done/total] state workload/scheduler`` line
+    renderer to the bus's sweep events."""
+    state = {"total": 0, "settled": 0}
+
+    def on_event(ev: Event) -> None:
+        if ev.type == "sweep_started":
+            state["total"] = int(ev.fields.get("jobs", 0))
+            state["settled"] = 0
+            return
+        if ev.type == "sweep_finished":
+            f = ev.fields
+            write(
+                f"sweep done: {f.get('executed', 0)} executed, "
+                f"{f.get('cache_hits', 0)} cache hits, "
+                f"{f.get('failed', 0)} failed in {f.get('wall_time', 0.0):.2f} s"
+            )
+            return
+        tag = _PROGRESS_TAGS.get(ev.type)
+        if tag is None:
+            return
+        if ev.type in ("sweep_job_done", "sweep_job_cache_hit", "sweep_job_failed"):
+            state["settled"] += 1
+        width = len(str(state["total"])) or 1
+        label = f"{ev.fields.get('workload', '?')}/{ev.fields.get('scheduler', '?')}"
+        write(
+            f"[{state['settled']:>{width}}/{state['total']}] {tag:<9s} {label}"
+        )
+
+    types = ("sweep_started", "sweep_finished", *_PROGRESS_TAGS)
+    return bus.subscribe(on_event, types=types)

@@ -1,0 +1,294 @@
+"""Metric registry: counters, gauges and histograms with labels.
+
+Prometheus-flavoured but process-local and pull-free: components
+update metrics through handles obtained from a
+:class:`MetricRegistry`; exporters render a point-in-time snapshot in
+the text exposition format (:meth:`MetricRegistry.render_prometheus`)
+or as a JSON dict (:meth:`MetricRegistry.snapshot`).
+
+Every metric enforces a per-metric label-set cardinality cap
+(``max_series`` on the registry): unbounded label values (task ids,
+hashes) are a memory leak in any long-lived process, so exceeding the
+cap raises :class:`~repro.errors.ObservabilityError` at the update
+site instead of growing silently.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: job/run durations in seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+class _Metric:
+    """Shared machinery: label validation + series bookkeeping."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        max_series: int,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self.max_series = max_series
+        #: label-value tuple -> series state (insertion-ordered).
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: dict[str, Any]) -> tuple[str, ...]:
+        if labels.keys() != set(self.label_names):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        if key not in self._series and len(self._series) >= self.max_series:
+            raise ObservabilityError(
+                f"metric {self.name!r} exceeded its label-cardinality cap "
+                f"({self.max_series} series); label values must be bounded "
+                "(put unbounded identifiers in event fields, not labels)"
+            )
+        return key
+
+    def _labels_text(self, key: tuple[str, ...]) -> str:
+        if not key:
+            return ""
+        pairs = ",".join(
+            f'{n}="{_escape_label_value(v)}"'
+            for n, v in zip(self.label_names, key)
+        )
+        return "{" + pairs + "}"
+
+    def series(self) -> dict[tuple[str, ...], Any]:
+        return dict(self._series)
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def inc(self, amount: Union[int, float] = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> Union[int, float]:
+        return self._series.get(self._key(labels), 0)
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._labels_text(k)} {v}"
+            for k, v in self._series.items()
+        ]
+
+
+class Gauge(_Metric):
+    """Value that can go up and down; ``set`` is the usual update."""
+
+    kind = "gauge"
+
+    def set(self, value: Union[int, float], **labels: Any) -> None:
+        self._series[self._key(labels)] = value
+
+    def add(self, amount: Union[int, float], **labels: Any) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> Union[int, float]:
+        return self._series.get(self._key(labels), 0)
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{self._labels_text(k)} {v}"
+            for k, v in self._series.items()
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        max_series: int,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names, max_series)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs >= 1 bucket")
+        self.buckets = bounds
+
+    def observe(self, value: Union[int, float], **labels: Any) -> None:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            # [per-bucket counts..., +Inf count, sum]
+            state = self._series[key] = [0] * (len(self.buckets) + 1) + [0.0]
+        i = bisect_left(self.buckets, value)
+        if i < len(self.buckets) and self.buckets[i] < value:
+            i += 1
+        state[min(i, len(self.buckets))] += 1
+        state[-1] += value
+
+    def count(self, **labels: Any) -> int:
+        state = self._series.get(self._key(labels))
+        return sum(state[:-1]) if state else 0
+
+    def sum(self, **labels: Any) -> float:
+        state = self._series.get(self._key(labels))
+        return state[-1] if state else 0.0
+
+    def render(self) -> list[str]:
+        lines: list[str] = []
+        for key, state in self._series.items():
+            base = dict(zip(self.label_names, key))
+            cumulative = 0
+            for bound, n in zip(self.buckets, state):
+                cumulative += n
+                labels = {**base, "le": f"{bound:g}"}
+                pairs = ",".join(
+                    f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()
+                )
+                lines.append(f"{self.name}_bucket{{{pairs}}} {cumulative}")
+            cumulative += state[len(self.buckets)]
+            inf_labels = {**base, "le": "+Inf"}
+            pairs = ",".join(
+                f'{k}="{_escape_label_value(v)}"' for k, v in inf_labels.items()
+            )
+            lines.append(f"{self.name}_bucket{{{pairs}}} {cumulative}")
+            lines.append(f"{self.name}_sum{self._labels_text(key)} {state[-1]}")
+            lines.append(f"{self.name}_count{self._labels_text(key)} {cumulative}")
+        return lines
+
+
+class MetricRegistry:
+    """Name-spaced store of metrics; the get-or-create factories are
+    idempotent but reject redefinition with a different shape."""
+
+    def __init__(self, max_series: int = 512) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self.max_series = max_series
+
+    # -- factories ------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+        if metric.buckets != tuple(sorted(float(b) for b in buckets)):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return metric
+
+    def _get_or_create(self, cls, name, help, labels, **kw):
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ObservabilityError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != label_names:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a "
+                    f"{existing.kind} with labels {list(existing.label_names)}"
+                )
+            return existing
+        metric = cls(name, help, label_names, self.max_series, **kw)
+        self._metrics[name] = metric
+        return metric
+
+    # -- introspection / export ----------------------------------------
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-safe dump: name -> {kind, help, labels, series}."""
+        out: dict[str, dict] = {}
+        for name, metric in sorted(self._metrics.items()):
+            series = {}
+            for key, state in metric.series().items():
+                label_key = ",".join(
+                    f"{n}={v}" for n, v in zip(metric.label_names, key)
+                )
+                series[label_key] = list(state) if isinstance(state, list) else state
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "series": series,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Text exposition format (one ``# HELP``/``# TYPE`` block per
+        metric, sorted by name; trailing newline)."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the Prometheus snapshot to ``path``."""
+        path = Path(path)
+        path.write_text(self.render_prometheus())
+        return path

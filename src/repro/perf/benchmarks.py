@@ -1,6 +1,6 @@
 """The hot-path microbenchmarks behind ``repro perf``.
 
-Five benchmarks, one per layer of the simulation-and-orchestration hot
+Six benchmarks, one per layer of the simulation-and-orchestration hot
 path:
 
 ``event_loop``
@@ -24,6 +24,12 @@ path:
     ``repro.sweep`` with the warm chunked pool, cache disabled; the
     legacy cold-pool per-job-future dispatch is measured alongside and
     the ratio recorded as ``params["speedup_vs_legacy"]``.
+``obs_overhead``
+    End-to-end run throughput with the observability layer compiled in
+    but *silent* (no subscriber — the zero-cost guarded-emit path that
+    PR 5 promises), measured against the same runs with a subscribed
+    no-op observer; ``params["subscribed_over_silent"]`` records the
+    slowdown a live subscriber costs.
 
 Every benchmark is deterministic: fixed seeds, fixed iteration counts,
 no wall-clock-dependent control flow.  Only the measured durations
@@ -46,7 +52,7 @@ from repro.perf.harness import BenchRecord, PerfError
 #: warmed by the other benchmarks.
 BENCHMARKS = (
     "sweep_throughput", "event_loop", "state_changed", "mpr_predict",
-    "fig8_end_to_end",
+    "fig8_end_to_end", "obs_overhead",
 )
 
 _FIG8_QUICK = {"workloads": ("hd-small",), "schedulers": ("GRWS", "JOSS")}
@@ -212,7 +218,7 @@ def bench_mpr_predict(quick: bool = False) -> BenchRecord:
 # fig8_end_to_end
 # ----------------------------------------------------------------------
 def bench_fig8_end_to_end(quick: bool = False) -> BenchRecord:
-    from repro.bench.runner import BenchConfig, run_matrix
+    from repro.bench.runner import BenchConfig, run as bench_run
 
     shape = _FIG8_QUICK if quick else _FIG8_FULL
     # Wall-time minima need more repeats than the microbenchmarks: a
@@ -226,7 +232,9 @@ def bench_fig8_end_to_end(quick: bool = False) -> BenchRecord:
 
     def one_pass() -> float:
         t0 = time.perf_counter()
-        run_matrix(list(shape["workloads"]), list(shape["schedulers"]), cfg)
+        bench_run(
+            (list(shape["workloads"]), list(shape["schedulers"])), config=cfg
+        )
         return time.perf_counter() - t0
 
     best, raw = _best(repeats, one_pass)
@@ -380,12 +388,91 @@ def bench_sweep_throughput(quick: bool = False) -> BenchRecord:
     )
 
 
+# ----------------------------------------------------------------------
+# obs_overhead
+# ----------------------------------------------------------------------
+def bench_obs_overhead(quick: bool = False) -> BenchRecord:
+    """Cost of the observability layer on the end-to-end hot path.
+
+    The headline value is *silent* throughput: full ``run_one`` passes
+    (simulator + runtime + scheduler, every ``bus.active`` guard on the
+    clock) with no observer installed — the configuration the PR-3/PR-4
+    perf gates run in, which must not regress just because emit sites
+    now exist.  The same runs are then repeated under an installed
+    observer whose subscriber is a no-op counter, and the pairwise
+    median slowdown is recorded as ``params["subscribed_over_silent"]``
+    (expected small but > 1: event dicts genuinely get built).
+
+    Silent and subscribed passes are interleaved so host drift hits
+    both alike, mirroring ``sweep_throughput``'s pairing scheme.
+    """
+    from repro.bench.runner import BenchConfig, run_one
+    from repro.obs.api import observe
+
+    n_runs = 4 if quick else 10
+    repeats = 3
+    cfg = BenchConfig(scale=0.5, repetitions=1)
+
+    def silent_pass() -> float:
+        t0 = time.perf_counter()
+        for rep in range(n_runs):
+            run_one("hd-small", "GRWS", cfg, repetition=rep)
+        return time.perf_counter() - t0
+
+    obs = observe()
+    delivered = 0
+
+    def _sink(event) -> None:
+        nonlocal delivered
+        delivered += 1
+
+    obs.bus.subscribe(_sink)
+
+    def subscribed_pass() -> float:
+        with obs.as_current():
+            t0 = time.perf_counter()
+            for rep in range(n_runs):
+                run_one("hd-small", "GRWS", cfg, repetition=rep)
+            return time.perf_counter() - t0
+
+    silent_pass()  # warm-up: workload/platform construction caches
+    raw: list[float] = []
+    sub_raw: list[float] = []
+    for _ in range(repeats):
+        raw.append(silent_pass())
+        sub_raw.append(subscribed_pass())
+    best = min(raw)
+    ratios = sorted(s / b for s, b in zip(sub_raw, raw))
+    slowdown = ratios[len(ratios) // 2]
+
+    return BenchRecord(
+        name="obs_overhead",
+        metric="throughput",
+        unit="runs/s",
+        value=n_runs / best,
+        higher_is_better=True,
+        repeats=repeats,
+        raw=raw,
+        params={
+            "n_runs": n_runs,
+            "workload": "hd-small",
+            "scheduler": "GRWS",
+            "scale": 0.5,
+            "subscribed_raw": sub_raw,
+            "subscribed_runs_per_s": n_runs / min(sub_raw),
+            "subscribed_over_silent": slowdown,
+            "events_per_run": delivered // (repeats * n_runs),
+        },
+    )
+
+
 _RUNNERS: dict[str, Callable[[bool], BenchRecord]] = {
     "event_loop": bench_event_loop,
     "state_changed": bench_state_changed,
     "mpr_predict": bench_mpr_predict,
     "fig8_end_to_end": bench_fig8_end_to_end,
     "sweep_throughput": bench_sweep_throughput,
+    "obs_overhead": bench_obs_overhead,
 }
 
 

@@ -230,7 +230,7 @@ class GateResult:
 
 #: Benchmarks gated by default: the most host-stable throughput metrics
 #: (ratios, not absolute wall times).
-GATED_BENCHMARKS = ("event_loop", "sweep_throughput")
+GATED_BENCHMARKS = ("event_loop", "sweep_throughput", "obs_overhead")
 
 
 def gate_against_baseline(

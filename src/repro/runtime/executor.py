@@ -16,6 +16,8 @@ from repro.exec_model.activity import Activity
 from repro.hw.dvfs import DvfsController
 from repro.hw.platform import Platform
 from repro.hw.sensor import PowerSensor
+from repro.obs.api import current_observer, resolve_bus
+from repro.obs.exporters import bridge_tracer
 from repro.runtime.dag import TaskGraph
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.queues import WorkQueue
@@ -50,17 +52,31 @@ class Executor:
         tracer: Optional[Tracer] = None,
         faults=None,
         engine_cache_size: int = 8192,
+        obs=None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
-        self.sim = Simulator()
+        # Observability wiring: an explicit ``obs`` (an Observability
+        # handle or a bare EventBus) wins; otherwise the process-default
+        # observer installed by ``repro.observe(...)`` is picked up, and
+        # with neither the run gets a private silent bus (emit sites are
+        # guarded on ``bus.active``, so that costs nothing).
+        if obs is None:
+            obs = current_observer()
+        self.registry = getattr(obs, "metrics", None)
+        self.sim = Simulator(obs=resolve_bus(obs))
         self.rng = RngStreams(seed)
+        self.seed = seed
         self.tracer = tracer
+        if tracer is not None:
+            # The legacy tracer is now one bus consumer among several:
+            # the bridge forwards exactly the legacy categories with
+            # identical payloads and emit order.
+            bridge_tracer(self.sim.obs, tracer)
         self.engine = ExecutionEngine(
             self.sim,
             platform,
             self.rng,
-            tracer=tracer,
             duration_noise_sigma=duration_noise_sigma,
             cache_size=engine_cache_size,
         )
@@ -93,14 +109,8 @@ class Executor:
         self.memory_dvfs.on_stall.append(
             lambda _c, d: self.engine.stall_activities(None, d)
         )
-        if tracer is not None:
-            for ctl in [*self.cluster_dvfs.values(), self.memory_dvfs]:
-                ctl.on_applied.append(
-                    lambda c: tracer.emit(
-                        self.sim.now, "freq-change",
-                        domain=c.name, freq=c.domain.freq,
-                    )
-                )
+        for ctl in [*self.cluster_dvfs.values(), self.memory_dvfs]:
+            ctl.on_applied.append(self._on_dvfs_applied)
         self.sensor = PowerSensor(
             self.sim,
             self.engine.rail_powers,
@@ -124,6 +134,7 @@ class Executor:
             metrics=self.metrics,
             sensor=self.sensor,
             tracer=tracer,
+            registry=self.registry,
         )
         # Fault injection attaches last so it wraps the final wiring; a
         # None/empty campaign constructs nothing, keeping fault-free
@@ -134,6 +145,14 @@ class Executor:
 
             self.injector = FaultInjector(faults, self)
             self.injector.install()
+
+    def _on_dvfs_applied(self, ctl: DvfsController) -> None:
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "dvfs_set", self.sim.now,
+                domain=ctl.name, freq=ctl.domain.freq,
+            )
 
     # ------------------------------------------------------------------
     # Run control
@@ -153,6 +172,13 @@ class Executor:
         graph.validate()
         self.graph = graph
         self.metrics.workload = graph.name
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "run_started", self.sim.now,
+                workload=graph.name, scheduler=self.scheduler.name,
+                platform=self.platform.name, tasks=len(graph), seed=self.seed,
+            )
         self.scheduler.bind(self.ctx)
         self.scheduler.on_run_begin()
         self.sensor.start()
@@ -167,6 +193,17 @@ class Executor:
             )
         self.engine.finalize()
         self.scheduler.on_run_end()
+        if obs.active:
+            obs.emit(
+                "run_finished", self.sim.now,
+                workload=graph.name, scheduler=self.scheduler.name,
+                makespan=self.metrics.makespan,
+                cpu_energy=self.metrics.cpu_energy,
+                mem_energy=self.metrics.mem_energy,
+                tasks_executed=self.metrics.tasks_executed,
+            )
+        if self.registry is not None:
+            self.metrics.publish_to(self.registry)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -194,9 +231,11 @@ class Executor:
                 cores = self.platform.cores_of_type(placement.core_type_name)
             core = cores[int(self.place_rng.integers(len(cores)))]
         self.queues[core.core_id].push(task)
-        if self.tracer is not None:
-            self.tracer.emit(
-                self.sim.now, "dispatch", task=task.tid, core=core.core_id
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "task_dispatched", self.sim.now,
+                task=task.tid, core=core.core_id,
             )
         self.workers[core.core_id].wake()
         # Idle same-scope workers may steal it immediately.
@@ -231,8 +270,9 @@ class Executor:
         )
         self.metrics.tasks_executed += 1
         self.scheduler.on_task_complete(task)
-        if self.tracer is not None:
-            self.tracer.emit(now, "task-done", task=task.tid, kernel=task.kernel.name)
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit("task_done", now, task=task.tid, kernel=task.kernel.name)
         assert self.graph is not None
         for ready in self.graph.release_dependents(task, now):
             self.dispatch(ready)

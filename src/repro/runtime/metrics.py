@@ -97,6 +97,65 @@ class RunMetrics:
             f"E_tot {self.total_energy:8.3f} J"
         )
 
+    def publish_to(self, registry, **extra_labels: str) -> None:
+        """Publish this run into a :class:`repro.obs.MetricRegistry`.
+
+        Counters accumulate across runs (Prometheus semantics); gauges
+        hold the latest run's value per (workload, scheduler) series.
+        Label values are the workload/scheduler names — bounded sets —
+        never task ids or hashes (the registry's cardinality guard
+        enforces that discipline).
+        """
+        labels = {
+            "workload": self.workload or "?",
+            "scheduler": self.scheduler or "?",
+            **extra_labels,
+        }
+        names = tuple(labels)
+        registry.counter(
+            "repro_runs_total", "completed executor runs", names
+        ).inc(**labels)
+        registry.counter(
+            "repro_tasks_executed_total", "tasks completed", names
+        ).inc(self.tasks_executed, **labels)
+        registry.counter(
+            "repro_steals_total", "work-stealing migrations", names
+        ).inc(self.steals, **labels)
+        registry.counter(
+            "repro_dvfs_transitions_total", "applied DVFS transitions",
+            (*names, "domain"),
+        ).inc(self.cluster_freq_transitions, domain="cluster", **labels)
+        registry.counter(
+            "repro_dvfs_transitions_total", "applied DVFS transitions",
+            (*names, "domain"),
+        ).inc(self.memory_freq_transitions, domain="memory", **labels)
+        registry.gauge(
+            "repro_run_makespan_seconds", "makespan of the latest run", names
+        ).set(self.makespan, **labels)
+        for rail, joules in (("cpu", self.cpu_energy), ("mem", self.mem_energy)):
+            registry.gauge(
+                "repro_run_energy_joules",
+                "sensor energy of the latest run per rail",
+                (*names, "rail"),
+            ).set(joules, rail=rail, **labels)
+        registry.gauge(
+            "repro_run_sampling_seconds",
+            "sampling-phase time of the latest run", names,
+        ).set(self.sampling_time, **labels)
+        registry.histogram(
+            "repro_run_makespan_histogram_seconds",
+            "distribution of run makespans", names,
+        ).observe(self.makespan, **labels)
+        if self.fallback_count or self.degraded_time:
+            registry.counter(
+                "repro_degraded_entries_total",
+                "health-monitor fallback entries", names,
+            ).inc(self.fallback_count, **labels)
+            registry.counter(
+                "repro_degraded_seconds_total",
+                "simulated seconds spent degraded", names,
+            ).inc(self.degraded_time, **labels)
+
     # ------------------------------------------------------------------
     # Serialisation (results archiving)
     # ------------------------------------------------------------------

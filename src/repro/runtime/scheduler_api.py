@@ -48,6 +48,7 @@ class RuntimeContext:
         metrics: "RunMetrics | None" = None,
         sensor: "PowerSensor | None" = None,
         tracer: "Tracer | None" = None,
+        registry=None,
     ) -> None:
         self.sim = sim
         self.platform = platform
@@ -62,10 +63,18 @@ class RuntimeContext:
         self.sensor = sensor
         #: Optional tracer for scheduler-emitted events.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.MetricRegistry` the scheduler may
+        #: publish counters to (None = no observer installed).
+        self.registry = registry
 
     @property
     def now(self) -> float:
         return self.sim.now
+
+    @property
+    def bus(self):
+        """The run's event bus (:mod:`repro.obs`); always present."""
+        return self.sim.obs
 
     def request_cluster_freq(self, cluster: "Cluster", f_ghz: float) -> float:
         """Ask the cluster's DVFS controller for ``f_ghz`` (snapped)."""

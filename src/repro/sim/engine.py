@@ -14,6 +14,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.bus import EventBus
 
 
 class Event:
@@ -81,7 +82,12 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[EventBus] = None) -> None:
+        #: The run's event bus (:mod:`repro.obs`).  Always present so
+        #: every layer holding the simulator can reach it via
+        #: ``self.sim.obs``; a fresh bus has no subscribers, and emit
+        #: sites guard on ``obs.active`` (zero cost when silent).
+        self.obs = obs if obs is not None else EventBus()
         self._now = 0.0
         # Heap entries are (time, priority, seq, Event) tuples: ties
         # resolve through C-level tuple comparison without ever calling

@@ -23,6 +23,70 @@ class TraceRecord:
     payload: dict[str, Any] = field(default_factory=dict)
 
 
+def render_chrome_trace(
+    records: Iterable["TraceRecord"], process_name: str = "repro-sim"
+) -> dict:
+    """Render trace records as a Chrome trace-event JSON object.
+
+    Mapping (simulated seconds become microseconds):
+
+    * ``activity-start`` / ``activity-end`` pairs per core become
+      complete ("X") duration events on track ``tid = core id``,
+      named after the kernel;
+    * ``freq-change`` records become counter ("C") events, one
+      counter track per DVFS domain — Perfetto renders these as
+      step plots;
+    * every other category becomes an instant ("i") event carrying
+      its payload as ``args``.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": process_name}},
+    ]
+    open_per_core: dict[int, tuple[str, float]] = {}
+    named_tids: set[int] = set()
+
+    def us(t: float) -> float:
+        return t * 1e6
+
+    for rec in records:
+        if rec.category == "activity-start":
+            open_per_core[rec.payload["core"]] = (
+                rec.payload["kernel"], rec.time,
+            )
+        elif rec.category == "activity-end":
+            core = rec.payload["core"]
+            started = open_per_core.pop(core, None)
+            if started is None:
+                continue
+            kernel, t0 = started
+            if core not in named_tids:
+                named_tids.add(core)
+                events.append(
+                    {"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": core, "args": {"name": f"core {core}"}}
+                )
+            events.append(
+                {"name": kernel, "cat": "activity", "ph": "X",
+                 "pid": 0, "tid": core,
+                 "ts": us(t0), "dur": us(rec.time - t0)}
+            )
+        elif rec.category == "freq-change":
+            domain = rec.payload.get("domain", "?")
+            events.append(
+                {"name": f"freq {domain} (GHz)", "cat": "dvfs",
+                 "ph": "C", "pid": 0, "ts": us(rec.time),
+                 "args": {"GHz": rec.payload.get("freq", 0.0)}}
+            )
+        else:
+            events.append(
+                {"name": rec.category, "cat": rec.category, "ph": "i",
+                 "pid": 0, "tid": 0, "ts": us(rec.time), "s": "g",
+                 "args": dict(rec.payload)}
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 class Tracer:
     """Append-only trace buffer with per-category filtering.
 
@@ -64,63 +128,12 @@ class Tracer:
     def to_chrome_trace(self, process_name: str = "repro-sim") -> dict:
         """The trace as a Chrome trace-event JSON object.
 
-        Mapping (simulated seconds become microseconds):
-
-        * ``activity-start`` / ``activity-end`` pairs per core become
-          complete ("X") duration events on track ``tid = core id``,
-          named after the kernel;
-        * ``freq-change`` records become counter ("C") events, one
-          counter track per DVFS domain — Perfetto renders these as
-          step plots;
-        * every other category becomes an instant ("i") event carrying
-          its payload as ``args``.
+        See :func:`render_chrome_trace` for the record-to-event
+        mapping; the same renderer backs
+        :class:`repro.obs.exporters.ChromeTraceExporter`, so both
+        paths produce identical JSON for identical record streams.
         """
-        events: list[dict] = [
-            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
-             "args": {"name": process_name}},
-        ]
-        open_per_core: dict[int, tuple[str, float]] = {}
-        named_tids: set[int] = set()
-
-        def us(t: float) -> float:
-            return t * 1e6
-
-        for rec in self._records:
-            if rec.category == "activity-start":
-                open_per_core[rec.payload["core"]] = (
-                    rec.payload["kernel"], rec.time,
-                )
-            elif rec.category == "activity-end":
-                core = rec.payload["core"]
-                started = open_per_core.pop(core, None)
-                if started is None:
-                    continue
-                kernel, t0 = started
-                if core not in named_tids:
-                    named_tids.add(core)
-                    events.append(
-                        {"name": "thread_name", "ph": "M", "pid": 0,
-                         "tid": core, "args": {"name": f"core {core}"}}
-                    )
-                events.append(
-                    {"name": kernel, "cat": "activity", "ph": "X",
-                     "pid": 0, "tid": core,
-                     "ts": us(t0), "dur": us(rec.time - t0)}
-                )
-            elif rec.category == "freq-change":
-                domain = rec.payload.get("domain", "?")
-                events.append(
-                    {"name": f"freq {domain} (GHz)", "cat": "dvfs",
-                     "ph": "C", "pid": 0, "ts": us(rec.time),
-                     "args": {"GHz": rec.payload.get("freq", 0.0)}}
-                )
-            else:
-                events.append(
-                    {"name": rec.category, "cat": rec.category, "ph": "i",
-                     "pid": 0, "tid": 0, "ts": us(rec.time), "s": "g",
-                     "args": dict(rec.payload)}
-                )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return render_chrome_trace(self._records, process_name)
 
     def save_chrome_trace(
         self, path: str | Path, process_name: str = "repro-sim"

@@ -42,6 +42,7 @@ from statistics import median
 from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import SweepError
+from repro.obs.api import current_observer, resolve_bus
 from repro.runtime.metrics import RunMetrics, average_run_metrics
 from repro.sweep import pool as pool_mod
 from repro.sweep.cache import ResultCache
@@ -186,6 +187,7 @@ def run_sweep(
     worker_fn: Optional[Callable] = None,
     chunk_size: Optional[int] = None,
     reuse_pool: bool = True,
+    obs=None,
 ) -> SweepResult:
     """Execute a sweep and return outcomes + failures + telemetry.
 
@@ -208,6 +210,12 @@ def run_sweep(
     platforms (serial mode only).  ``worker_fn(spec) -> metrics-dict``
     substitutes the job body — used by tests to exercise the failure
     machinery without a simulator in the loop.
+
+    ``obs`` is an :class:`repro.obs.Observability` handle (or a bare
+    ``EventBus``); ``None`` picks up the process-default observer, if
+    installed.  The sweep emits ``sweep_started`` / ``sweep_job_*`` /
+    ``sweep_finished`` events (times are wall seconds since the sweep
+    began) and folds the telemetry into the observer's metric registry.
     """
     job_list = list(jobs.jobs() if isinstance(jobs, SweepSpec) else jobs)
     parallel = workers and workers > 1
@@ -226,6 +234,17 @@ def run_sweep(
     notify = progress or (lambda event, job, telemetry: None)
 
     started = time.perf_counter()
+    if obs is None:
+        obs = current_observer()
+    bus = resolve_bus(obs)
+    if bus is not None:
+        notify = _bus_notify(bus, started, notify)
+        if bus.active:
+            bus.emit(
+                "sweep_started", 0.0,
+                jobs=len(job_list), workers=t.workers,
+                parallel=bool(parallel), cached_probe=cache is not None,
+            )
     pending: list[tuple[JobSpec, str]] = []
     outcome_at: dict[str, Union[JobOutcome, JobFailure]] = {}
     hashes = [job.job_hash for job in job_list]
@@ -273,7 +292,43 @@ def run_sweep(
             result.outcomes.append(rec)
         elif isinstance(rec, JobFailure):
             result.failures.append(rec)
+    if bus is not None and bus.active:
+        bus.emit(
+            "sweep_finished", t.wall_time,
+            jobs=t.total, executed=t.done, cache_hits=t.cache_hits,
+            failed=t.failed, retries=t.retries, wall_seconds=t.wall_time,
+        )
+    registry = getattr(obs, "metrics", None)
+    if registry is not None:
+        t.publish_to(registry)
     return result
+
+
+#: ``notify`` hook event -> bus event type.
+_JOB_EVENTS = {
+    "queued": "sweep_job_queued",
+    "start": "sweep_job_started",
+    "hit": "sweep_job_cache_hit",
+    "done": "sweep_job_done",
+    "retry": "sweep_job_retried",
+    "failed": "sweep_job_failed",
+}
+
+
+def _bus_notify(bus, started: float, inner) -> ProgressHook:
+    """Wrap a progress hook so every transition also lands on the bus."""
+
+    def notify(event: str, job, telemetry: SweepTelemetry) -> None:
+        inner(event, job, telemetry)
+        if bus.active:
+            bus.emit(
+                _JOB_EVENTS[event], time.perf_counter() - started,
+                job=job.job_hash[:12], workload=job.workload,
+                scheduler=job.scheduler, scale=job.scale,
+                repetition=job.repetition,
+            )
+
+    return notify
 
 
 def _record_success(

@@ -115,6 +115,49 @@ class SweepTelemetry:
     def render_summary(self) -> str:
         return "\n".join(self.summary_lines())
 
+    def publish_to(self, registry) -> None:
+        """Fold this sweep's counters into a
+        :class:`repro.obs.MetricRegistry` (counters accumulate across
+        sweeps; gauges describe the latest sweep)."""
+        jobs = registry.counter(
+            "sweep_jobs_total", "sweep jobs by final state", ("state",)
+        )
+        jobs.inc(self.done, state="executed")
+        jobs.inc(self.cache_hits, state="cache_hit")
+        jobs.inc(self.failed, state="failed")
+        registry.counter(
+            "sweep_retries_total", "failed attempts re-queued"
+        ).inc(self.retries)
+        registry.counter(
+            "sweep_wall_seconds_total", "wall time spent in sweeps"
+        ).inc(self.wall_time)
+        registry.counter(
+            "sweep_exec_seconds_total", "per-job execution seconds spent"
+        ).inc(self.exec_time)
+        registry.counter(
+            "sweep_saved_seconds_total", "execution seconds saved by the cache"
+        ).inc(self.time_saved)
+        registry.counter(
+            "sweep_chunks_total", "pool tasks dispatched"
+        ).inc(self.chunks)
+        registry.counter(
+            "sweep_bytes_serialized_total", "pickled dispatch payload bytes"
+        ).inc(self.bytes_serialized)
+        registry.counter(
+            "sweep_timeout_leaked_total",
+            "timed-out jobs left holding a worker slot",
+        ).inc(self.timeout_leaked)
+        registry.gauge(
+            "sweep_workers", "worker processes of the latest sweep"
+        ).set(self.workers)
+        registry.gauge(
+            "sweep_chunk_size", "largest chunk dispatched in the latest sweep"
+        ).set(self.chunk_size)
+        registry.gauge(
+            "sweep_warm_pool_hit",
+            "whether the latest parallel sweep reused the warm pool",
+        ).set(int(self.warm_pool_hit))
+
 
 def console_progress(stream_write: Callable[[str], None] = print) -> ProgressHook:
     """A progress hook that prints one line per state transition."""

@@ -1,0 +1,85 @@
+"""The unified ``repro.bench.run`` entry point: dispatch forms,
+deprecated-shim equivalence and observer scoping."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.bench import BenchConfig, run, run_averaged, run_matrix
+from repro.bench.result import ExperimentResult
+
+CFG = BenchConfig(scale=0.5, repetitions=1)
+
+
+def test_string_and_tuple_forms_are_equivalent():
+    a = run("hd-small/GRWS", config=CFG)
+    b = run(("hd-small", "GRWS"), config=CFG)
+    assert a.total_energy == b.total_energy
+    assert a.makespan == b.makespan
+
+
+def test_matrix_form_returns_nested_mapping():
+    grid = run((["hd-small"], ["GRWS", "Aequitas"]), config=CFG)
+    assert set(grid) == {"hd-small"}
+    assert set(grid["hd-small"]) == {"GRWS", "Aequitas"}
+    point = run("hd-small/GRWS", config=CFG)
+    assert grid["hd-small"]["GRWS"].total_energy == point.total_energy
+
+
+def test_experiment_name_form():
+    result = run("dop", config=CFG)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+
+
+def test_unknown_experiment_and_bad_spec_rejected():
+    with pytest.raises(ValueError):
+        run("no_such_experiment", config=CFG)
+    with pytest.raises(TypeError):
+        run(12345)
+    with pytest.raises(TypeError):
+        run(("a", "b", "c"))
+
+
+def test_repeats_overrides_config_repetitions():
+    from repro.obs import observe
+
+    obs = observe()
+    seen = []
+    obs.bus.subscribe(seen.append, types=["run_finished"])
+    run("hd-small/GRWS", repeats=3, config=CFG, obs=obs)
+    assert len(seen) == 3  # config said 1; repeats=3 wins
+
+
+def test_deprecated_shims_warn_and_match():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        avg = run_averaged("hd-small", "GRWS", CFG)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    assert avg.total_energy == run("hd-small/GRWS", config=CFG).total_energy
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        grid = run_matrix(["hd-small"], ["GRWS"], CFG)
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    new_grid = run((["hd-small"], ["GRWS"]), config=CFG)
+    assert (
+        grid["hd-small"]["GRWS"].total_energy
+        == new_grid["hd-small"]["GRWS"].total_energy
+    )
+
+
+def test_run_scopes_explicit_observer():
+    from repro.obs import observe
+    from repro.obs.api import current_observer
+
+    obs = observe()
+    seen = []
+    obs.bus.subscribe(seen.append, types=["run_finished"])
+    assert current_observer() is None
+    run("hd-small/GRWS", config=CFG, obs=obs)
+    assert current_observer() is None  # scoped, not leaked
+    assert len(seen) == 1
+    assert seen[0].fields["workload"] == "hd-small"

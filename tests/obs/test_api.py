@@ -1,0 +1,97 @@
+"""The Observability handle: default-observer installation semantics
+and end-to-end artifact production through the public facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.bench import BenchConfig
+from repro.obs import MetricRegistry, Observability, observe, read_events
+from repro.obs.api import current_observer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_default():
+    assert current_observer() is None
+    yield
+    assert current_observer() is None
+
+
+def test_context_manager_installs_and_restores_default(tmp_path):
+    with observe() as obs:
+        assert current_observer() is obs
+        with observe() as inner:  # nesting restores the outer default
+            assert current_observer() is inner
+        assert current_observer() is obs
+    assert current_observer() is None
+
+
+def test_as_current_is_reusable_without_closing(tmp_path):
+    obs = observe(events=tmp_path / "e.jsonl")
+    with obs.as_current():
+        obs.bus.emit("task_done", 0.0, task=1, kernel="k")
+    with obs.as_current():
+        obs.bus.emit("task_done", 1.0, task=2, kernel="k")
+    obs.close()
+    assert len(read_events(tmp_path / "e.jsonl")) == 2
+    obs.close()  # idempotent
+
+
+def test_observe_accepts_external_bus_and_registry():
+    from repro.obs import EventBus
+
+    bus, reg = EventBus(), MetricRegistry()
+    obs = observe(bus=bus, registry=reg)
+    assert obs.bus is bus and obs.metrics is reg
+
+
+def test_facade_run_under_observe_produces_artifacts(tmp_path):
+    events_path = tmp_path / "events.jsonl"
+    prom_path = tmp_path / "metrics.prom"
+    with observe(events=events_path, metrics=prom_path):
+        m = repro.run("hd-small/JOSS", config=BenchConfig(scale=0.5, repetitions=1))
+    assert m.total_energy > 0
+
+    events = read_events(events_path)
+    types = {ev.type for ev in events}
+    assert {"run_started", "run_finished", "task_started",
+            "task_finished", "dvfs_set", "config_selected"} <= types
+    # Simulated timestamps are monotone within the run envelope.
+    run_events = [ev for ev in events if not ev.type.startswith("sweep")]
+    assert run_events[0].type == "run_started"
+    assert run_events[-1].type == "run_finished"
+
+    text = prom_path.read_text()
+    assert "# TYPE" in text and "repro_" in text
+
+
+def test_chrome_export_written_at_close(tmp_path):
+    chrome_path = tmp_path / "trace.json"
+    with observe(chrome=chrome_path):
+        repro.run("hd-small/GRWS", config=BenchConfig(scale=0.5, repetitions=1))
+    doc = json.loads(chrome_path.read_text())
+    assert doc["traceEvents"], "chrome export must carry events"
+
+
+def test_event_type_filter_narrows_the_log(tmp_path):
+    path = tmp_path / "dvfs-only.jsonl"
+    with observe(events=path, event_types=["dvfs_set"]):
+        repro.run("hd-small/JOSS", config=BenchConfig(scale=0.5, repetitions=1))
+    assert {ev.type for ev in read_events(path)} == {"dvfs_set"}
+
+
+def test_observability_handle_direct_construction():
+    obs = Observability()
+    assert not obs.bus.active
+    obs.install()
+    try:
+        assert current_observer() is obs
+        obs.install()  # idempotent
+        assert current_observer() is obs
+    finally:
+        obs.uninstall()
+    obs.uninstall()  # idempotent
+    assert current_observer() is None

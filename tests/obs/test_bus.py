@@ -1,0 +1,136 @@
+"""Event bus contract: ordering, re-entrant unsubscription, the
+``active`` flag, taxonomy validation and the zero-cost silent path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Event, EventBus
+
+
+def test_subscribers_called_in_subscription_order():
+    bus = EventBus()
+    calls = []
+    bus.subscribe(lambda ev: calls.append(("a", ev.type)))
+    bus.subscribe(lambda ev: calls.append(("b", ev.type)))
+    bus.subscribe(lambda ev: calls.append(("c", ev.type)))
+    bus.emit("task_started", 1.0, kernel="k", core=0)
+    assert calls == [("a", "task_started"), ("b", "task_started"),
+                     ("c", "task_started")]
+
+
+def test_active_flag_tracks_subscriptions():
+    bus = EventBus()
+    assert not bus.active
+    s1 = bus.subscribe(lambda ev: None)
+    s2 = bus.subscribe(lambda ev: None)
+    assert bus.active and bus.subscriber_count == 2
+    s1.close()
+    assert bus.active
+    s2.close()
+    assert not bus.active and bus.subscriber_count == 0
+    s2.close()  # idempotent
+    assert not bus.active
+
+
+def test_unsubscribe_during_dispatch_does_not_skip_or_double_deliver():
+    bus = EventBus()
+    calls = []
+    subs = {}
+
+    def a(ev):
+        calls.append("a")
+        subs["b"].close()  # removes b mid-dispatch
+
+    subs["a"] = bus.subscribe(a)
+    subs["b"] = bus.subscribe(lambda ev: calls.append("b"))
+    subs["c"] = bus.subscribe(lambda ev: calls.append("c"))
+    # Dispatch snapshots the subscriber list: b still sees THIS event.
+    bus.emit("task_done", 2.0, task=1, kernel="k")
+    assert calls == ["a", "b", "c"]
+    calls.clear()
+    bus.emit("task_done", 3.0, task=2, kernel="k")
+    assert calls == ["a", "c"]
+
+
+def test_type_filtered_subscription():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, types=["dvfs_set"])
+    bus.emit("task_started", 0.0, kernel="k", core=0)
+    bus.emit("dvfs_set", 1.0, domain="denver", freq=2.0e9)
+    assert [ev.type for ev in seen] == ["dvfs_set"]
+
+
+def test_unknown_event_type_rejected_at_subscribe_and_emit():
+    bus = EventBus()
+    with pytest.raises(ObservabilityError):
+        bus.subscribe(lambda ev: None, types=["no_such_event"])
+    bus.subscribe(lambda ev: None)
+    with pytest.raises(ObservabilityError):
+        bus.emit("no_such_event", 0.0)
+
+
+def test_reserved_field_names_rejected():
+    bus = EventBus()
+    bus.subscribe(lambda ev: None)
+    # Via kwargs the reserved names collide with emit's own parameters
+    # (TypeError); a dict-splatted payload hits the explicit guard.
+    with pytest.raises((ObservabilityError, TypeError)):
+        bus.emit("task_done", 0.0, **{"type": "oops"})
+    with pytest.raises((ObservabilityError, TypeError)):
+        bus.emit("task_done", 0.0, **{"time": 1.0})
+
+
+def test_silent_emit_is_safe_and_uncounted():
+    bus = EventBus()
+    bus.emit("task_started", 0.0, kernel="k", core=0)
+    # Even an invalid emit is silently dropped before validation: the
+    # silent path must do no work at all.
+    bus.emit("no_such_event", 0.0)
+    assert bus.events_emitted == 0
+
+
+def test_publish_redelivers_prebuilt_event():
+    bus_a, bus_b = EventBus(), EventBus()
+    relayed = []
+    bus_b.subscribe(relayed.append)
+    bus_a.subscribe(bus_b.publish)  # bus-to-bus relay
+    bus_a.emit("run_started", 0.0, workload="fb", scheduler="JOSS",
+               platform="jetson-tx2", tasks=3, seed=11)
+    assert len(relayed) == 1
+    assert isinstance(relayed[0], Event)
+    assert relayed[0].fields["workload"] == "fb"
+
+
+def test_no_subscriber_overhead_microbenchmark():
+    """The guarded silent path must be within an order of magnitude of
+    a bare attribute-check loop — i.e. no dict build, no Event alloc.
+    Generous bound (10x) so CI runner noise cannot flake it; the real
+    gate is the ``obs_overhead`` perf benchmark."""
+    bus = EventBus()
+    n = 50_000
+
+    def guarded_loop() -> float:
+        t0 = time.perf_counter()
+        for i in range(n):
+            if bus.active:
+                bus.emit("task_started", float(i), kernel="k", core=0)
+        return time.perf_counter() - t0
+
+    def bare_loop() -> float:
+        flag = False
+        acc = 0
+        t0 = time.perf_counter()
+        for i in range(n):
+            if flag:
+                acc += i
+        return time.perf_counter() - t0
+
+    guarded = min(guarded_loop() for _ in range(3))
+    bare = min(bare_loop() for _ in range(3))
+    assert guarded < bare * 10 + 1e-3
+    assert bus.events_emitted == 0

@@ -1,0 +1,138 @@
+"""Exporters are bus subscribers: JSONL round-trip, the legacy-tracer
+bridge, Chrome-trace byte-equivalence and the sweep progress line."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import EventBus, JsonlEventLog, read_events
+from repro.obs.exporters import (
+    LEGACY_CATEGORIES,
+    ChromeTraceExporter,
+    bridge_tracer,
+    sweep_progress_line,
+)
+from repro.sim.trace import Tracer, render_chrome_trace
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    bus = EventBus()
+    log = JsonlEventLog(path, bus)
+    bus.emit("run_started", 0.0, workload="fb", scheduler="JOSS",
+             platform="jetson-tx2", tasks=3, seed=11)
+    bus.emit("dvfs_set", 0.25, domain="denver", freq=2.035e9)
+    bus.emit("task_done", 1.5, task=2, kernel="fb.k0")
+    log.close()
+    assert log.events_written == 3
+
+    events = read_events(path)
+    assert [ev.type for ev in events] == ["run_started", "dvfs_set", "task_done"]
+    assert events[0].fields["workload"] == "fb"
+    assert events[1].time == 0.25
+    assert events[2].fields == {"task": 2, "kernel": "fb.k0"}
+    # Each line is independently parseable (crash leaves a valid prefix).
+    for line in path.read_text().splitlines():
+        obj = json.loads(line)
+        assert {"type", "time"} <= obj.keys()
+
+
+def test_jsonl_log_respects_type_filter(tmp_path):
+    bus = EventBus()
+    log = JsonlEventLog(tmp_path / "e.jsonl", bus, types=["task_done"])
+    bus.emit("task_started", 0.0, kernel="k", core=0)
+    bus.emit("task_done", 1.0, task=1, kernel="k")
+    log.close()
+    events = read_events(tmp_path / "e.jsonl")
+    assert [ev.type for ev in events] == ["task_done"]
+    # Closing detached the subscription: the bus is silent again.
+    assert not bus.active
+
+
+def test_bridge_forwards_only_legacy_categories():
+    bus = EventBus()
+    tracer = Tracer()
+    sub = bridge_tracer(bus, tracer)
+    bus.emit("task_started", 0.1, kernel="k", core=3)
+    bus.emit("config_selected", 0.2, kernel="k", cluster="denver",
+             n_cores=2, f_c=2.0e9, f_m=1.6e9, evaluations=7)  # no legacy twin
+    bus.emit("dvfs_set", 0.3, domain="mem", freq=1.6e9)
+    records = list(tracer)
+    assert [(r.category, r.time) for r in records] == [
+        ("activity-start", 0.1), ("freq-change", 0.3),
+    ]
+    assert records[0].payload == {"kernel": "k", "core": 3}
+    sub.close()
+    bus.emit("task_started", 0.4, kernel="k", core=0)
+    assert len(tracer) == 2
+
+
+def _run_hd_small(tracer=None, obs=None):
+    from repro.hw.platform import jetson_tx2
+    from repro.runtime.executor import Executor
+    from repro.schedulers import make_scheduler
+    from repro.workloads.registry import build_workload
+
+    graph = build_workload("hd-small", scale=0.5, seed=7)
+    sched = make_scheduler("GRWS", None)
+    ex = Executor(jetson_tx2(), sched, seed=11, tracer=tracer, obs=obs)
+    return ex.run(graph)
+
+
+def test_chrome_trace_via_bus_is_byte_identical_to_legacy_tracer(tmp_path):
+    # Legacy side: a Tracer handed to the Executor (internally bridged,
+    # the pre-bus API), rendered through render_chrome_trace.
+    tracer = Tracer()
+    m_legacy = _run_hd_small(tracer=tracer)
+    legacy_json = json.dumps(render_chrome_trace(list(tracer)))
+
+    # Bus side: the same run observed by a ChromeTraceExporter.
+    bus = EventBus()
+    exporter = ChromeTraceExporter(bus)
+    m_bus = _run_hd_small(obs=bus)
+    out = exporter.save(tmp_path / "trace.json")
+    exporter.close()
+
+    assert m_bus.total_energy == m_legacy.total_energy  # identical runs
+    assert out.read_text() == legacy_json  # identical bytes
+
+
+def test_chrome_exporter_category_narrowing():
+    bus = EventBus()
+    exporter = ChromeTraceExporter(bus, categories=["freq-change"])
+    bus.emit("task_started", 0.0, kernel="k", core=0)
+    bus.emit("dvfs_set", 1.0, domain="denver", freq=2.0e9)
+    assert [r.category for r in exporter.records] == ["freq-change"]
+
+
+def test_sweep_progress_line_renders_transitions():
+    bus = EventBus()
+    lines = []
+    sweep_progress_line(bus, write=lines.append)
+    bus.emit("sweep_started", 0.0, jobs=2, workers=1)
+    job = dict(job="abc123", workload="fb", scheduler="JOSS", scale=1.0,
+               repetition=0)
+    bus.emit("sweep_job_started", 0.1, **job)
+    bus.emit("sweep_job_done", 0.2, **job)
+    bus.emit("sweep_job_cache_hit", 0.3, **{**job, "repetition": 1})
+    bus.emit("sweep_finished", 0.4, jobs=2, executed=1, cache_hits=1,
+             failed=0, retries=0, wall_seconds=0.4, wall_time=0.4)
+    assert lines == [
+        "[0/2] start     fb/JOSS",
+        "[1/2] done      fb/JOSS",
+        "[2/2] cache-hit fb/JOSS",
+        "sweep done: 1 executed, 1 cache hits, 0 failed in 0.40 s",
+    ]
+
+
+def test_legacy_category_map_is_total_over_tracer_categories():
+    # Every bus type in the map must be registered, and the mapped
+    # categories must be exactly the nine the legacy tooling knows.
+    from repro.obs.events import EVENT_TYPES
+
+    assert set(LEGACY_CATEGORIES) <= set(EVENT_TYPES)
+    assert set(LEGACY_CATEGORIES.values()) == {
+        "activity-start", "activity-end", "freq-change", "dispatch",
+        "task-done", "degraded-enter", "degraded-exit", "core-unplug",
+        "core-replug",
+    }

@@ -1,0 +1,120 @@
+"""Metric registry: factories, label validation, the cardinality
+guard and the Prometheus text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricRegistry
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricRegistry()
+    c = reg.counter("runs_total", "runs", labels=["scheduler"])
+    c.inc(scheduler="JOSS")
+    c.inc(2, scheduler="JOSS")
+    assert c.value(scheduler="JOSS") == 3
+    assert c.value(scheduler="GRWS") == 0
+
+    g = reg.gauge("inflight")
+    g.set(4)
+    g.add(-1)
+    assert g.value() == 3
+
+    h = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.count() == 3
+    assert h.sum() == pytest.approx(5.55)
+
+
+def test_counter_rejects_decrease():
+    reg = MetricRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.counter("n").inc(-1)
+
+
+def test_factories_are_idempotent_but_reject_shape_changes():
+    reg = MetricRegistry()
+    a = reg.counter("x_total", labels=["k"])
+    assert reg.counter("x_total", labels=["k"]) is a
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x_total", labels=["k"])  # kind change
+    with pytest.raises(ObservabilityError):
+        reg.counter("x_total", labels=["other"])  # label change
+    with pytest.raises(ObservabilityError):
+        reg.counter("bad name")
+    with pytest.raises(ObservabilityError):
+        reg.counter("y_total", labels=["bad-label"])
+
+
+def test_label_set_must_match_declaration():
+    reg = MetricRegistry()
+    c = reg.counter("x_total", labels=["scheduler"])
+    with pytest.raises(ObservabilityError):
+        c.inc()  # missing label
+    with pytest.raises(ObservabilityError):
+        c.inc(scheduler="JOSS", extra="nope")
+
+
+def test_cardinality_guard_trips_at_cap():
+    reg = MetricRegistry(max_series=4)
+    c = reg.counter("x_total", labels=["job"])
+    for i in range(4):
+        c.inc(job=f"j{i}")
+    with pytest.raises(ObservabilityError, match="cardinality"):
+        c.inc(job="one-too-many")
+    # Existing series keep working after the guard trips.
+    c.inc(job="j0")
+    assert c.value(job="j0") == 2
+
+
+def test_render_prometheus_format():
+    reg = MetricRegistry()
+    c = reg.counter("runs_total", "Completed runs.", labels=["scheduler"])
+    c.inc(scheduler="JOSS")
+    h = reg.histogram("dur_seconds", "Run durations.", buckets=(1.0,))
+    h.observe(0.5)
+    h.observe(2.0)
+    text = reg.render_prometheus()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert "# HELP dur_seconds Run durations." in lines
+    assert "# TYPE dur_seconds histogram" in lines
+    assert 'dur_seconds_bucket{le="1"} 1' in lines
+    assert 'dur_seconds_bucket{le="+Inf"} 2' in lines
+    assert "dur_seconds_sum 2.5" in lines
+    assert "dur_seconds_count 2" in lines
+    assert "# TYPE runs_total counter" in lines
+    assert 'runs_total{scheduler="JOSS"} 1' in lines
+    # Blocks are name-sorted: dur_seconds before runs_total.
+    assert lines.index("# TYPE dur_seconds histogram") < lines.index(
+        "# TYPE runs_total counter"
+    )
+
+
+def test_label_values_are_escaped():
+    reg = MetricRegistry()
+    g = reg.gauge("x", labels=["v"])
+    g.set(1, v='quo"te\nnl\\bs')
+    assert 'v="quo\\"te\\nnl\\\\bs"' in reg.render_prometheus()
+
+
+def test_snapshot_is_json_safe():
+    import json
+
+    reg = MetricRegistry()
+    reg.counter("a_total", labels=["k"]).inc(k="x")
+    reg.histogram("b_seconds", buckets=(1.0,)).observe(0.2)
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    assert snap["a_total"]["kind"] == "counter"
+    assert snap["a_total"]["series"] == {"k=x": 1}
+
+
+def test_write_snapshot_to_file(tmp_path):
+    reg = MetricRegistry()
+    reg.counter("a_total").inc()
+    out = reg.write(tmp_path / "m.prom")
+    assert out.read_text() == "# TYPE a_total counter\na_total 1\n"

@@ -12,7 +12,7 @@ from repro.perf.harness import PerfError
 def test_benchmark_registry_names():
     assert set(BENCHMARKS) == {
         "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end",
-        "sweep_throughput",
+        "sweep_throughput", "obs_overhead",
     }
 
 
@@ -44,6 +44,19 @@ def test_sweep_throughput_records_legacy_comparison():
     from repro.sweep import active_pool
 
     assert active_pool() is None
+
+
+def test_obs_overhead_records_subscribed_comparison():
+    from repro.obs.api import current_observer
+
+    records = run_benchmarks(quick=True, benchmarks=("obs_overhead",))
+    rec = records["obs_overhead"]
+    assert rec.unit == "runs/s" and rec.value > 0
+    assert rec.params["subscribed_runs_per_s"] > 0
+    assert rec.params["subscribed_over_silent"] > 0
+    assert rec.params["events_per_run"] > 0  # the subscriber saw traffic
+    # The benchmark cleans up after itself: no observer left installed.
+    assert current_observer() is None
 
 
 def test_progress_callback_invoked():

@@ -1,0 +1,65 @@
+"""The documented facade (docs/api.md) and the real one must agree.
+
+Thin wrapper over ``tools/check_api_surface.py`` so the contract is
+enforced by the tier-1 suite as well as the dedicated CI step.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture()
+def checker():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        yield importlib.import_module("check_api_surface")
+    finally:
+        sys.path.remove(str(TOOLS))
+
+
+def test_facade_surface_consistent(checker, capsys):
+    assert checker.main() == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_documented_names_match_package_all(checker):
+    import repro
+
+    documented = checker.documented_names(
+        checker.API_MD.read_text(encoding="utf-8")
+    )
+    assert set(documented) == set(repro._FACADE)
+    assert set(repro.__all__) == {"__version__", *documented}
+
+
+def test_facade_attributes_resolve_and_cache():
+    import repro
+
+    for name in repro._FACADE:
+        obj = getattr(repro, name)
+        assert callable(obj), name
+        # PEP 562 caching: second access hits module globals directly.
+        assert repro.__dict__[name] is obj
+
+
+def test_unknown_facade_attribute_raises():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.no_such_name
+
+
+def test_row_parser_ignores_non_facade_tables(checker):
+    text = (
+        "| `repro.run` | x | y |\n"
+        "| `repro.obs.EventBus` | not a facade row |\n"
+        "| event | emitted by |\n"
+    )
+    assert checker.documented_names(text) == ["run"]

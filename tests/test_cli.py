@@ -112,6 +112,64 @@ def test_sweep_parallel_reports_dispatch_telemetry(capsys, tmp_path):
     assert telemetry["timeout_leaked"] == 0
 
 
+def test_run_positional_names_any_order(capsys):
+    # Case-insensitive, order-free classification of workload/scheduler.
+    assert main(["run", "grws", "mm-256", "--repetitions", "1"]) == 0
+    out_a = capsys.readouterr().out
+    assert main(["run", "MM-256", "GRWS", "--repetitions", "1"]) == 0
+    out_b = capsys.readouterr().out
+    assert "mm-256" in out_a and "E_tot" in out_a
+    assert out_a == out_b
+
+
+def test_run_positional_unknown_name_rejected(capsys):
+    assert main(["run", "mm-256", "frobnicate"]) == 2
+    assert "frobnicate" in capsys.readouterr().err
+
+
+def test_run_events_and_metrics_out(capsys, tmp_path):
+    events = tmp_path / "events.jsonl"
+    prom = tmp_path / "metrics.prom"
+    rc = main(
+        ["run", "joss", "mm-256", "--repetitions", "1",
+         "--events-out", str(events), "--metrics-out", str(prom)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert str(events) in out and str(prom) in out
+
+    from repro.obs import read_events
+
+    types = {ev.type for ev in read_events(events)}
+    assert len(types) >= 6
+    assert {"run_started", "run_finished", "dvfs_set",
+            "config_selected"} <= types
+    text = prom.read_text()
+    assert "# TYPE" in text
+    assert "joss_decisions_total" in text
+
+
+def test_shared_platform_option(capsys):
+    # --platform is part of the shared parent parser: accepted by run,
+    # and an unregistered platform is rejected at parse time.
+    assert main(["run", "grws", "mm-256", "--repetitions", "1",
+                 "--platform", "odroid-xu4"]) == 0
+    assert "platform=odroid-xu4" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "grws", "mm-256",
+                                   "--platform", "pdp-11"])
+
+
+def test_seed_defaults_do_not_leak_across_subcommands():
+    p = build_parser()
+    assert p.parse_args(["run", "grws", "mm-256"]).seed == 11
+    assert p.parse_args(["profile"]).seed == 0
+    assert p.parse_args(["validate"]).seed == 0
+    # A later parse of `run` must still see 11 (argparse parents share
+    # action objects; a set_defaults on one child used to leak).
+    assert p.parse_args(["run", "grws", "mm-256"]).seed == 11
+
+
 def test_sweep_no_cache_and_json_output(capsys, tmp_path):
     out_json = tmp_path / "out.json"
     rc = main(

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI check: the documented facade and the real one must agree.
+
+``docs/api.md`` carries a table whose first column holds the
+top-level facade names (rows shaped ``| `repro.NAME` | ... |``).
+This script fails (exit 1) when:
+
+1. a documented name is missing from ``repro.__all__`` (or vice
+   versa — the facade grew without documentation);
+2. any facade name does not actually import/resolve.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/check_api_surface.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+API_MD = ROOT / "docs" / "api.md"
+
+#: A facade table row: | `repro.name` | ... |
+_ROW = re.compile(r"^\|\s*`repro\.([A-Za-z_][A-Za-z0-9_]*)`\s*\|")
+
+
+def documented_names(text: str) -> list[str]:
+    return [m.group(1) for line in text.splitlines()
+            if (m := _ROW.match(line.strip()))]
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    import repro
+
+    documented = documented_names(API_MD.read_text(encoding="utf-8"))
+    if not documented:
+        print(f"FAIL: no facade table rows found in {API_MD}")
+        return 1
+
+    exported = [n for n in repro.__all__ if n != "__version__"]
+    missing_docs = sorted(set(exported) - set(documented))
+    missing_code = sorted(set(documented) - set(exported))
+    errors = []
+    if missing_docs:
+        errors.append(f"exported but undocumented in docs/api.md: {missing_docs}")
+    if missing_code:
+        errors.append(f"documented but not in repro.__all__: {missing_code}")
+
+    for name in documented:
+        if name in set(missing_code):
+            continue
+        try:
+            obj = getattr(repro, name)
+        except Exception as exc:  # noqa: BLE001 — report any import failure
+            errors.append(f"repro.{name} failed to resolve: {exc!r}")
+            continue
+        if obj is None:
+            errors.append(f"repro.{name} resolved to None")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"OK: facade surface consistent ({len(documented)} names): "
+          + ", ".join(documented))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
