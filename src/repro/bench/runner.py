@@ -76,6 +76,37 @@ class BenchConfig:
         name = self.platform_name()
         return PLATFORM_FACTORIES.get(name) is self.platform_factory
 
+    def job_spec(
+        self,
+        workload: str,
+        scheduler_name: str,
+        repetition: int = 0,
+        **workload_overrides,
+    ):
+        """The :class:`~repro.sweep.spec.JobSpec` this config maps one
+        grid point to.
+
+        This is the single source of truth for the bench -> job-spec
+        translation: :func:`run` submits these to the sweep engine, and
+        the :mod:`repro.serve` client submits the very same specs to the
+        daemon — which is what makes a served result bit-identical to
+        (and cache-compatible with) a direct :func:`run` call.
+        """
+        from repro.sweep.spec import JobSpec
+
+        return JobSpec(
+            workload=workload,
+            scheduler=scheduler_name,
+            platform=self.platform_name(),
+            scale=self.scale,
+            seed=self.seed,
+            workload_seed=self.workload_seed,
+            profile_seed=self.profile_seed,
+            repetition=repetition,
+            scheduler_kwargs=self.scheduler_kwargs,
+            workload_overrides=workload_overrides,
+        )
+
 
 def run_one(
     workload: str,
@@ -201,21 +232,9 @@ def _run_averaged(
     path; seeds and averaging match the pre-sweep behaviour exactly.
     """
     from repro.sweep.engine import run_sweep
-    from repro.sweep.spec import JobSpec
 
     jobs = [
-        JobSpec(
-            workload=workload,
-            scheduler=scheduler_name,
-            platform=cfg.platform_name(),
-            scale=cfg.scale,
-            seed=cfg.seed,
-            workload_seed=cfg.workload_seed,
-            profile_seed=cfg.profile_seed,
-            repetition=r,
-            scheduler_kwargs=cfg.scheduler_kwargs,
-            workload_overrides=workload_overrides,
-        )
+        cfg.job_spec(workload, scheduler_name, r, **workload_overrides)
         for r in range(cfg.repetitions)
     ]
     factory = None if cfg.registered_platform() else cfg.platform_factory

@@ -11,11 +11,21 @@
     repro profile                           # platform characterisation summary
     repro sweep -w fb dp -s GRWS JOSS --workers 4   # cached grid sweep
     repro faults -w fb -s JOSS              # fault injection + degradation report
+    repro serve --workers 4 --port 7341     # long-lived scheduling daemon
+    repro submit fb joss --follow -c :7341  # stream one job to completion
+    repro jobs --metrics                    # daemon job table / metric snapshot
+    repro cancel j000002                    # cancel a queued job
+    repro shutdown                          # drain in-flight work, then stop
 
 Every run/trace/sweep/faults/... subcommand shares the common options
 ``--platform``, ``--seed``, ``-o/--out`` and the observability flags
 ``--events-out`` (JSONL structured event log) / ``--metrics-out``
 (Prometheus text snapshot) — see :mod:`repro.obs`.
+
+The service commands (``submit``/``jobs``/``cancel``/``shutdown``)
+find their daemon via ``-c/--connect`` or ``$REPRO_SERVE_ADDR``
+(``host:port``, a bare port, or ``unix:/path``) and account their
+requests to ``--tenant`` — see :mod:`repro.serve`.
 
 Also callable as ``python -m repro ...`` or the legacy ``joss-repro``.
 """
@@ -318,6 +328,184 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print("perf gate FAILED", file=sys.stderr)
             return 1
         print("perf gate passed")
+    return 0
+
+
+def _parse_weights(pairs: Optional[Sequence[str]]) -> dict:
+    from repro.errors import ReproError
+
+    out: dict = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            out[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"malformed --weight {pair!r}; expected TENANT=WEIGHT"
+            ) from None
+    return out
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+    import signal
+    from pathlib import Path
+
+    from repro.serve import ServeConfig, Server
+
+    config = ServeConfig(
+        host=args.host, port=args.port, unix_path=args.unix,
+        workers=args.workers, max_inflight=args.max_inflight,
+        cache_dir=args.cache_dir, use_cache=not args.no_cache,
+        idle_reap_s=args.idle_reap, quantum=args.quantum,
+        tenant_weights=_parse_weights(args.weight),
+        job_timeout=args.job_timeout,
+    )
+    server = Server(config).start()
+    host, port = server.tcp_address
+    addr = f"{host}:{port}"
+    if server.unix_address:
+        addr += f" and unix:{server.unix_address}"
+    mode = (f"warm pool ({config.workers} workers)" if config.pool_mode
+            else "in-process threads")
+    cache = "off" if not config.use_cache else str(server._store.root)
+    print(f"repro serve listening on {addr}")
+    print(f"execution: {mode}, {config.capacity} in flight; cache: {cache}")
+    if args.ready_file:
+        # Machine-readable rendezvous (scripts/CI start us with an
+        # ephemeral port and read the bound address back from here).
+        Path(args.ready_file).write_text(_json.dumps({
+            "tcp": f"{host}:{port}",
+            "unix": server.unix_address,
+            "pid": os.getpid(),
+        }))
+
+    def _on_signal(signum, _frame):
+        print(f"signal {signal.Signals(signum).name}: draining...", flush=True)
+        server.request_shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.serve_forever()
+    print(f"repro serve stopped after {server.served} job(s)")
+    return 0
+
+
+def _serve_addr(args: argparse.Namespace) -> str:
+    import os
+
+    from repro.errors import ReproError
+    from repro.serve import ADDR_ENV
+
+    addr = args.connect or os.environ.get(ADDR_ENV)
+    if not addr:
+        raise ReproError(
+            "no daemon address: pass --connect HOST:PORT (or unix:/path) "
+            f"or set ${ADDR_ENV}"
+        )
+    return addr
+
+
+def _print_job(job: dict) -> None:
+    line = (
+        f"job {job['id']} [{job['tenant']}] {job['label']} "
+        f"-> {job['state']}"
+    )
+    if job.get("cached"):
+        line += " (cached)"
+    if job.get("error"):
+        line += f": {job['error']}"
+    print(line)
+    metrics = job.get("metrics")
+    if metrics:
+        from repro.runtime.metrics import RunMetrics
+
+        print(f"  {RunMetrics.from_dict(metrics).summary()}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve import TERMINAL_STATES, ServeClient
+    from repro.sweep.spec import JobSpec
+
+    spec = JobSpec(
+        workload=args.workload, scheduler=args.scheduler,
+        platform=args.platform, scale=args.scale, seed=args.seed,
+        repetition=args.repetition,
+    )
+    with ServeClient(_serve_addr(args), tenant=args.tenant) as client:
+        if args.follow:
+            stream = client.submit(
+                spec, priority=args.priority, timeout=args.timeout,
+                follow=True,
+            )
+            job = None
+            for kind, doc in stream:
+                if kind == "event":
+                    ev = doc["event"]
+                    detail = " ".join(
+                        f"{k}={v}" for k, v in sorted(ev.items())
+                        if k not in ("type", "time", "job", "tenant")
+                    )
+                    print(f"[{ev.get('time', 0.0):9.3f}s] "
+                          f"{ev.get('type', '?'):<16} {detail}")
+                else:
+                    job = doc
+        else:
+            job = client.submit(
+                spec, priority=args.priority, timeout=args.timeout
+            )
+            if args.wait and job["state"] not in TERMINAL_STATES:
+                job = client.wait(job["id"])
+    _print_job(job)
+    if args.output and job.get("metrics"):
+        Path(args.output).write_text(_json.dumps(job, indent=1))
+        print(f"job JSON -> {args.output}")
+    return 0 if job["state"] in ("queued", "running", "done") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(_serve_addr(args), tenant=args.tenant) as client:
+        if args.metrics:
+            print(client.metrics()["prometheus"], end="")
+            return 0
+        payload = client.jobs(tenant=args.filter_tenant)
+    depths = " ".join(
+        f"{t}:{n}" for t, n in sorted(payload["depths"].items())
+    ) or "-"
+    print(f"daemon {payload['state']} | queued {payload['queued']} "
+          f"(per tenant: {depths}) | running {payload['running']}")
+    for job in payload["jobs"]:
+        mark = "*" if job.get("cached") else " "
+        elapsed = job.get("elapsed") or 0.0
+        print(f"  {job['id']} {mark} {job['tenant']:<10} "
+              f"{job['label']:<28} {job['state']:<9} {elapsed:8.3f}s")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(_serve_addr(args), tenant=args.tenant) as client:
+        job = client.cancel(args.job)
+    _print_job(job)
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(_serve_addr(args), tenant=args.tenant) as client:
+        result = client.shutdown(drain=not args.now)
+    mode = "draining in-flight jobs" if result.get("draining") else "immediate"
+    print(f"shutdown requested ({mode})")
     return 0
 
 
@@ -639,6 +827,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--scale", type=float, default=1.0)
     cmp_p.add_argument("--repetitions", type=int, default=2)
+
+    # -- the scheduling service (repro.serve) ---------------------------
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon (line-delimited JSON-RPC; "
+             "see docs/architecture.md, 'Service')",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = ephemeral; see "
+                              "--ready-file)")
+    serve_p.add_argument("--unix", default=None, metavar="PATH",
+                         help="also bind a Unix-domain socket at PATH")
+    serve_p.add_argument("--workers", type=int, default=0,
+                         help="warm-pool worker processes (0/1 = execute "
+                              "in-process on threads, streaming live "
+                              "per-job events to followers)")
+    serve_p.add_argument("--max-inflight", type=int, default=None,
+                         help="concurrently executing jobs (default: "
+                              "workers, or 2 in-process)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="result-cache root (shared with `sweep`)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="never answer submissions from the result cache")
+    serve_p.add_argument("--idle-reap", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="reap the warm pool after this long idle "
+                              "(default: %(default)s)")
+    serve_p.add_argument("--quantum", type=float, default=1.0,
+                         help="fair-queue round credit per tenant visit")
+    serve_p.add_argument("--weight", nargs="+", default=None,
+                         metavar="TENANT=W",
+                         help="per-tenant fair-share weights "
+                              "(e.g. --weight ci=2 dev=1)")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         help="default per-job wall-clock budget in seconds")
+    serve_p.add_argument("--ready-file", default=None, metavar="PATH",
+                         help="write the bound address as JSON once listening")
+    serve_p.add_argument("--events-out", default=None, metavar="PATH",
+                         help="JSONL log of daemon + job lifecycle events")
+    serve_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="Prometheus snapshot written at daemon exit")
+
+    client_common = argparse.ArgumentParser(add_help=False)
+    cg = client_common.add_argument_group("daemon connection")
+    cg.add_argument("-c", "--connect", default=None, metavar="ADDR",
+                    help="daemon address: HOST:PORT, a bare port, or "
+                         "unix:/path (default: $REPRO_SERVE_ADDR)")
+    cg.add_argument("--tenant", default="default",
+                    help="tenant identity for fair-share accounting")
+
+    submit_p = sub.add_parser(
+        "submit", parents=[common, client_common],
+        help="submit one job to a running `repro serve` daemon",
+    )
+    submit_p.add_argument("workload", choices=workload_names())
+    submit_p.add_argument("scheduler",
+                          help=f"one of {scheduler_names()} (or a dynamic "
+                               "JOSS variant)")
+    submit_p.add_argument("--scale", type=float, default=1.0)
+    submit_p.add_argument("--repetition", type=int, default=0)
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="higher runs earlier within your tenant share")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          help="per-job wall-clock budget in seconds")
+    submit_p.add_argument("--follow", action="store_true",
+                          help="stream the job's progress events until it "
+                               "finishes")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches a terminal state")
+
+    jobs_p = sub.add_parser(
+        "jobs", parents=[client_common],
+        help="list the daemon's jobs and queue state",
+    )
+    jobs_p.add_argument("--metrics", action="store_true",
+                        help="print the daemon's Prometheus metrics instead")
+    jobs_p.add_argument("--filter-tenant", default=None, metavar="TENANT",
+                        help="only show this tenant's jobs")
+
+    cancel_p = sub.add_parser(
+        "cancel", parents=[client_common], help="cancel a queued job"
+    )
+    cancel_p.add_argument("job", help="job id (e.g. j000003)")
+
+    shutdown_p = sub.add_parser(
+        "shutdown", parents=[client_common],
+        help="ask the daemon to shut down",
+    )
+    shutdown_p.add_argument("--now", action="store_true",
+                            help="cancel queued jobs instead of draining")
     return p
 
 
@@ -659,6 +938,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cancel": _cmd_cancel,
+        "shutdown": _cmd_shutdown,
     }
     events = getattr(args, "events_out", None)
     metrics = getattr(args, "metrics_out", None)

@@ -43,6 +43,11 @@ class ObservabilityError(ReproError):
     """Raised by the event bus / metric registry (:mod:`repro.obs`)."""
 
 
+class ServeError(ReproError):
+    """Raised by the scheduling service (:mod:`repro.serve`): protocol
+    violations, rejected submissions, error replies surfaced client-side."""
+
+
 class FaultError(ReproError):
     """Raised when a fault campaign is malformed or cannot be injected."""
 

@@ -19,7 +19,13 @@ on ``bus.active`` and build no payload for a silent bus (the
 ``obs_overhead`` perf benchmark gates this).
 """
 
-from repro.obs.api import Observability, current_observer, observe, resolve_bus
+from repro.obs.api import (
+    Observability,
+    current_observer,
+    observe,
+    observer_stack,
+    resolve_bus,
+)
 from repro.obs.bus import EventBus, Subscription
 from repro.obs.events import EVENT_TYPES, Event, register_event_type
 from repro.obs.exporters import (
@@ -48,6 +54,7 @@ __all__ = [
     "bridge_tracer",
     "current_observer",
     "observe",
+    "observer_stack",
     "read_events",
     "register_event_type",
     "resolve_bus",

@@ -9,12 +9,22 @@
         repro.run(("slu", "JOSS"))
 
 While the ``with`` block is open the handle is installed as the
-*process default observer*: every :class:`~repro.runtime.executor.
+*context default observer*: every :class:`~repro.runtime.executor.
 Executor` and :func:`~repro.sweep.engine.run_sweep` created inside it
 (directly or nested arbitrarily deep in experiment code) publishes to
 its bus and metric registry, without a single call-site having to
 thread an ``obs`` parameter through.  On exit the previous default is
 restored, exporters are closed, and the metrics snapshot is written.
+
+The default is a **contextvar-backed stack**, not a process global:
+
+* nested ``observe()`` contexts restore properly even when closed out
+  of order (each handle removes *itself* from the stack, not whatever
+  happens to be on top);
+* concurrent threads — e.g. the per-request handlers of
+  :mod:`repro.serve` — each see only the observers installed in their
+  own context, so one request's events never leak into another
+  request's exporters.
 
 Components that want explicit wiring instead can pass the handle (or a
 bare :class:`~repro.obs.bus.EventBus`) as their ``obs`` argument.
@@ -23,6 +33,7 @@ bare :class:`~repro.obs.bus.EventBus`) as their ``obs`` argument.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
@@ -30,13 +41,35 @@ from repro.obs.bus import EventBus
 from repro.obs.exporters import ChromeTraceExporter, JsonlEventLog
 from repro.obs.metrics import MetricRegistry
 
-#: The installed process-default observer (None = silent).
-_default: Optional["Observability"] = None
+#: The installed default-observer stack for the current context.  New
+#: threads start from an empty context, so per-thread installs (one
+#: request handler installing its job's observer) are isolated from
+#: the rest of the process by construction.
+_stack: ContextVar[tuple] = ContextVar("repro_obs_stack", default=())
 
 
 def current_observer() -> Optional["Observability"]:
-    """The installed default :class:`Observability`, if any."""
-    return _default
+    """The innermost installed :class:`Observability`, if any."""
+    stack = _stack.get()
+    return stack[-1] if stack else None
+
+
+def observer_stack() -> tuple:
+    """The full default-observer stack for this context (outer first)."""
+    return _stack.get()
+
+
+def reset_observers() -> None:
+    """Clear this context's observer stack without closing anything.
+
+    Forked worker hygiene: a child process inherits the forking
+    thread's contextvars, including installed observers whose sinks
+    share the parent's file offsets — anything the child emitted would
+    interleave with (and tear) the parent's writes.  Workers call this
+    at startup and stay silent; results travel back through their
+    normal return channel.
+    """
+    _stack.set(())
 
 
 def resolve_bus(obs) -> Optional[EventBus]:
@@ -62,7 +95,6 @@ class Observability:
         self._metrics_paths: list[Path] = []
         self._chrome_paths: list[tuple[ChromeTraceExporter, Path]] = []
         self._installed = False
-        self._previous: Optional[Observability] = None
         self._closed = False
 
     # -- exporter attachment --------------------------------------------
@@ -89,20 +121,27 @@ class Observability:
 
     # -- default-observer installation ----------------------------------
     def install(self) -> "Observability":
-        """Make this handle the process default (idempotent)."""
-        global _default
+        """Push this handle onto the context's default stack (idempotent)."""
         if not self._installed:
-            self._previous = _default
-            _default = self
+            _stack.set(_stack.get() + (self,))
             self._installed = True
         return self
 
     def uninstall(self) -> None:
-        """Restore the previously installed default (idempotent)."""
-        global _default
+        """Pop this handle off the default stack (idempotent).
+
+        Removes the innermost occurrence of *this* handle rather than
+        blindly restoring a remembered previous default, so contexts
+        that exit out of order (or a handle closed while a later one is
+        still open) cannot clobber each other: the outer default simply
+        resurfaces once every inner handle is gone.
+        """
         if self._installed:
-            _default = self._previous
-            self._previous = None
+            stack = _stack.get()
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is self:
+                    _stack.set(stack[:i] + stack[i + 1:])
+                    break
             self._installed = False
 
     @contextmanager

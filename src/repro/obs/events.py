@@ -100,6 +100,44 @@ EVENT_TYPES: dict[str, tuple[str, str]] = {
     "sweep_job_done": ("a job finished executing successfully", "job, workload, scheduler"),
     "sweep_job_retried": ("a failed job attempt was re-queued", "job, workload, scheduler"),
     "sweep_job_failed": ("a job exhausted its attempts or timed out", "job, workload, scheduler"),
+    # -- serve daemon job lifecycle (times are wall seconds since the
+    #    daemon started; every event carries the job id + tenant) ------
+    "serve_started": (
+        "the serve daemon bound its sockets and began accepting (wall)",
+        "tcp, unix, workers",
+    ),
+    "serve_draining": (
+        "the daemon stopped admitting jobs and is draining (wall)",
+        "queued, running",
+    ),
+    "serve_stopped": (
+        "the daemon drained (or aborted) and shut down (wall)",
+        "served, reason",
+    ),
+    "job_submitted": (
+        "the daemon admitted a job to the fair queue (wall)",
+        "job, tenant, workload, scheduler, priority, cached",
+    ),
+    "job_started": (
+        "a job left the queue and began executing (wall)",
+        "job, tenant, workload, scheduler, mode (inline|pool)",
+    ),
+    "job_progress": (
+        "a running job reported progress (wall)",
+        "job, tenant, stage, detail",
+    ),
+    "job_finished": (
+        "a job completed successfully (wall)",
+        "job, tenant, cached, elapsed",
+    ),
+    "job_failed": (
+        "a job failed or exceeded its timeout (wall)",
+        "job, tenant, error, kind (error|timeout)",
+    ),
+    "job_cancelled": (
+        "a queued or running job was cancelled (wall)",
+        "job, tenant",
+    ),
 }
 
 #: Keys an event's ``fields`` may not use (they name the envelope).

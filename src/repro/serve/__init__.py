@@ -1,0 +1,44 @@
+"""repro.serve — a long-lived scheduling service with an async job API.
+
+``repro serve`` turns the execution substrate built by the sweep layer
+(warm worker pool, content-addressed result cache, fitted-suite
+snapshots) into a daemon: clients submit :class:`~repro.sweep.spec.
+JobSpec` jobs over line-delimited JSON-RPC (localhost TCP or a Unix
+socket), a deficit-round-robin :class:`FairQueue` arbitrates between
+tenants, and followers tail per-job progress events live.
+
+See docs/architecture.md, "Service", for the protocol schema, the job
+lifecycle and the fairness model; ``repro submit --follow`` is the
+one-line client.
+"""
+
+from repro.serve.client import ADDR_ENV, FollowStream, ServeClient, parse_address
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    DEFAULT_TENANT,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    ProtocolError,
+)
+from repro.serve.queue import Entry, FairQueue
+from repro.serve.server import DEFAULT_FOLLOW_TYPES, Job, ServeConfig, Server
+
+__all__ = [
+    "ADDR_ENV",
+    "DEFAULT_FOLLOW_TYPES",
+    "DEFAULT_TENANT",
+    "Entry",
+    "FairQueue",
+    "FollowStream",
+    "JOB_STATES",
+    "Job",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeMetrics",
+    "Server",
+    "TERMINAL_STATES",
+    "parse_address",
+]

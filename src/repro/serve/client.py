@@ -1,0 +1,207 @@
+"""Client library for the repro scheduling service.
+
+:class:`ServeClient` speaks the line-delimited JSON-RPC protocol of
+:mod:`repro.serve.server` over TCP or a Unix-domain socket::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1:7341", tenant="team-a") as c:
+        job = c.submit(spec)                      # fire and forget
+        done = c.wait(job["id"])                  # poll to terminal
+        for msg in c.submit(spec2, follow=True):  # stream progress
+            ...                                   # events, then the job
+
+Each client owns one connection and is **not** thread-safe; open one
+client per thread (the daemon happily accepts many connections).
+Addresses: ``host:port``, a bare port, or ``unix:/path/to.sock``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterator, Mapping, Optional, Union
+
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.sweep.spec import JobSpec
+
+#: Environment variable naming the default daemon address for the CLI.
+ADDR_ENV = "REPRO_SERVE_ADDR"
+
+
+def parse_address(address: str) -> tuple[str, Any]:
+    """``host:port`` / ``:port`` / ``port`` / ``unix:/path`` ->
+    ``("tcp", (host, port))`` or ``("unix", path)``."""
+    address = address.strip()
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ServeError("empty unix socket path in address")
+        return "unix", path
+    if ":" in address:
+        host, _, port = address.rpartition(":")
+        host = host or "127.0.0.1"
+    else:
+        host, port = "127.0.0.1", address
+    try:
+        return "tcp", (host, int(port))
+    except ValueError:
+        raise ServeError(
+            f"malformed serve address {address!r}; expected host:port, "
+            "a bare port, or unix:/path/to.sock"
+        ) from None
+
+
+class FollowStream:
+    """Iterator over a followed submission: yields ``("event", doc)``
+    for each streamed notification, then ``("job", job_dict)`` once,
+    when the job reaches a terminal state."""
+
+    def __init__(self, client: "ServeClient", req_id: int) -> None:
+        self._client = client
+        self._req_id = req_id
+        self.job: Optional[dict] = None
+
+    def __iter__(self) -> Iterator[tuple[str, dict]]:
+        while self.job is None:
+            doc = self._client._read_doc()
+            if protocol.is_event(doc):
+                yield "event", doc
+            elif doc.get("id") == self._req_id:
+                self.job = protocol.result_or_raise(doc)
+                yield "job", self.job
+            # Stray responses for other ids are impossible on a
+            # single-threaded connection; drop them defensively.
+
+    def result(self) -> dict:
+        """Drain the stream and return the terminal job dict."""
+        for _ in self:
+            pass
+        assert self.job is not None
+        return self.job
+
+
+class ServeClient:
+    """One connection to a running ``repro serve`` daemon."""
+
+    def __init__(self, address: str, *, tenant: str = protocol.DEFAULT_TENANT,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.address = address
+        self.tenant = tenant
+        kind, target = parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(target)
+        else:
+            self._sock = socket.create_connection(target, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------
+    def _read_doc(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ServeError(
+                f"connection to {self.address} closed by the daemon"
+            )
+        return protocol.decode_line(line)
+
+    def _send(self, doc: Mapping[str, Any]) -> None:
+        self._sock.sendall(protocol.encode_line(doc))
+
+    def _rpc(self, method: str, params: Optional[dict] = None) -> dict:
+        self._next_id += 1
+        self._send(protocol.make_request(
+            self._next_id, method, params, tenant=self.tenant
+        ))
+        while True:
+            doc = self._read_doc()
+            if protocol.is_event(doc):
+                continue  # late events from an abandoned follow
+            return protocol.result_or_raise(doc)
+
+    # -- RPC surface ----------------------------------------------------
+    def ping(self) -> dict:
+        return self._rpc("ping")
+
+    def submit(
+        self,
+        spec: Union[JobSpec, Mapping[str, Any]],
+        *,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        follow: bool = False,
+        follow_types: Optional[list] = None,
+    ) -> Union[dict, FollowStream]:
+        """Submit one job.
+
+        Plain submission returns the job dict immediately (state
+        ``queued``, or ``done`` with ``metrics`` attached when answered
+        from the cache).  ``follow=True`` returns a
+        :class:`FollowStream` that yields progress events and finally
+        the terminal job dict — the connection is dedicated to the
+        stream until then.
+        """
+        spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        params: dict = {"job": spec_dict, "priority": priority}
+        if timeout is not None:
+            params["timeout"] = timeout
+        if follow:
+            params["follow"] = True
+            if follow_types:
+                params["follow_types"] = list(follow_types)
+            self._next_id += 1
+            self._send(protocol.make_request(
+                self._next_id, "submit", params, tenant=self.tenant
+            ))
+            return FollowStream(self, self._next_id)
+        return self._rpc("submit", params)
+
+    def status(self, job_id: str, *, result: bool = True) -> dict:
+        return self._rpc("status", {"job": job_id, "result": result})
+
+    def jobs(self, tenant: Optional[str] = None) -> dict:
+        params = {"tenant": tenant} if tenant else {}
+        return self._rpc("jobs", params)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._rpc("cancel", {"job": job_id})
+
+    def metrics(self) -> dict:
+        return self._rpc("metrics")
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self._rpc("shutdown", {"drain": drain})
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll ``status`` until the job is terminal; returns the job."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in protocol.TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['state']} after {timeout:g} s"
+                )
+            time.sleep(poll_s)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,79 @@
+"""Serve-side metrics, surfaced through the existing MetricRegistry.
+
+One :class:`ServeMetrics` instance wraps the daemon's
+:class:`~repro.obs.metrics.MetricRegistry` with typed handles for the
+service-level signals (queue depth, jobs by state, per-tenant served
+counters, cache hits, pool dispatches).  The ``metrics`` RPC exposes
+the registry's Prometheus text exposition and JSON snapshot, which is
+what ``repro jobs --metrics`` prints.
+
+Tenant is the only unbounded-ish label; the registry's cardinality cap
+(512 series) turns a tenant-id flood into a loud error instead of a
+slow memory leak, per the repro.obs design rules.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricRegistry
+from repro.serve import protocol
+
+
+class ServeMetrics:
+    """Typed handles over the daemon's metric registry."""
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        r = self.registry
+        self.queue_depth = r.gauge(
+            "repro_serve_queue_depth",
+            "jobs currently waiting in the fair queue",
+        )
+        self.jobs_by_state = r.gauge(
+            "repro_serve_jobs",
+            "jobs currently tracked by the daemon, by lifecycle state",
+            labels=("state",),
+        )
+        self.submitted = r.counter(
+            "repro_serve_jobs_submitted_total",
+            "jobs admitted, by tenant",
+            labels=("tenant",),
+        )
+        self.served = r.counter(
+            "repro_serve_jobs_served_total",
+            "jobs brought to a terminal state, by tenant and outcome",
+            labels=("tenant", "state"),
+        )
+        self.cache_hits = r.counter(
+            "repro_serve_cache_hits_total",
+            "submissions answered from the result cache without dispatch",
+        )
+        self.pool_dispatches = r.counter(
+            "repro_serve_pool_dispatch_total",
+            "jobs dispatched to the warm worker pool",
+        )
+        self.inline_dispatches = r.counter(
+            "repro_serve_inline_dispatch_total",
+            "jobs executed by in-process worker threads",
+        )
+        self.pool_reaps = r.counter(
+            "repro_serve_pool_reaped_total",
+            "idle warm pools reaped by the daemon",
+        )
+        self.job_seconds = r.histogram(
+            "repro_serve_job_seconds",
+            "executed-job wall time (cache hits excluded)",
+        )
+        for state in protocol.JOB_STATES:
+            self.jobs_by_state.set(0, state=state)
+
+    # -- transitions ----------------------------------------------------
+    def state_change(self, old: str | None, new: str) -> None:
+        if old is not None:
+            self.jobs_by_state.add(-1, state=old)
+        self.jobs_by_state.add(1, state=new)
+
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,162 @@
+"""The wire protocol of the scheduling service.
+
+Line-delimited JSON-RPC over a localhost TCP or Unix-domain socket.
+Every line is one UTF-8 JSON document terminated by ``\\n``; three
+document shapes exist:
+
+**Request** (client -> server)::
+
+    {"id": 1, "method": "submit", "tenant": "team-a", "params": {...}}
+
+``id`` is a client-chosen correlation token (echoed verbatim),
+``method`` one of :data:`METHODS`, ``tenant`` the fairness identity
+the request is accounted against (defaults to ``"default"``).
+
+**Response** (server -> client, exactly one per request)::
+
+    {"id": 1, "ok": true, "result": {...}}
+    {"id": 1, "ok": false, "error": {"code": "unknown-job", "message": "..."}}
+
+**Event notification** (server -> client, only on connections that
+asked to follow a job; zero or more, always *before* the request's
+final response)::
+
+    {"job": "j000003", "event": {"type": "job_progress", "time": 1.25, ...}}
+
+Job lifecycle states (:data:`JOB_STATES`)::
+
+    queued ──> running ──> done
+       │          ├──────> failed
+       │          ├──────> timeout
+       └──────────┴──────> cancelled
+
+``done``/``failed``/``timeout``/``cancelled`` are terminal
+(:data:`TERMINAL_STATES`); a cached submission goes straight from
+admission to ``done`` without ever occupying a pool slot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+from repro.errors import ServeError
+
+#: Protocol revision; servers reject clients demanding a newer one.
+PROTOCOL_VERSION = 1
+
+#: Default tenant identity for requests that do not name one.
+DEFAULT_TENANT = "default"
+
+# -- job lifecycle ------------------------------------------------------
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, TIMEOUT, CANCELLED)
+TERMINAL_STATES = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+#: RPC methods the server understands.
+METHODS = frozenset({
+    "ping", "submit", "status", "jobs", "cancel", "metrics", "shutdown",
+})
+
+# -- structured error codes --------------------------------------------
+BAD_REQUEST = "bad-request"
+UNKNOWN_METHOD = "unknown-method"
+UNKNOWN_JOB = "unknown-job"
+SHUTTING_DOWN = "shutting-down"
+NOT_CANCELLABLE = "not-cancellable"
+INTERNAL = "internal"
+
+
+class ProtocolError(ServeError):
+    """A malformed or unserviceable request/response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# ----------------------------------------------------------------------
+# Encoding / decoding
+# ----------------------------------------------------------------------
+def encode_line(doc: Mapping[str, Any]) -> bytes:
+    """One protocol document as a newline-terminated JSON line."""
+    return (json.dumps(doc, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one line into a dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(BAD_REQUEST, f"invalid JSON line: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(BAD_REQUEST, "protocol documents must be objects")
+    return doc
+
+
+def parse_request(doc: Mapping[str, Any]) -> tuple[Any, str, str, dict]:
+    """Validate a request document -> ``(id, method, tenant, params)``."""
+    if "id" not in doc:
+        raise ProtocolError(BAD_REQUEST, "request is missing its 'id'")
+    method = doc.get("method")
+    if not isinstance(method, str):
+        raise ProtocolError(BAD_REQUEST, "request 'method' must be a string")
+    if method not in METHODS:
+        raise ProtocolError(
+            UNKNOWN_METHOD, f"unknown method {method!r}; one of {sorted(METHODS)}"
+        )
+    tenant = doc.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(BAD_REQUEST, "request 'tenant' must be a non-empty string")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(BAD_REQUEST, "request 'params' must be an object")
+    return doc["id"], method, tenant, params
+
+
+def make_request(
+    req_id: Any, method: str, params: Optional[Mapping[str, Any]] = None,
+    tenant: str = DEFAULT_TENANT,
+) -> dict:
+    doc: dict = {"id": req_id, "method": method, "tenant": tenant}
+    if params:
+        doc["params"] = dict(params)
+    return doc
+
+
+def make_response(req_id: Any, result: Mapping[str, Any]) -> dict:
+    return {"id": req_id, "ok": True, "result": dict(result)}
+
+
+def make_error(req_id: Any, code: str, message: str) -> dict:
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def make_event(job_id: str, event: Mapping[str, Any]) -> dict:
+    return {"job": job_id, "event": dict(event)}
+
+
+def is_event(doc: Mapping[str, Any]) -> bool:
+    """Whether a server->client document is an event notification."""
+    return "event" in doc and "id" not in doc
+
+
+def result_or_raise(doc: Mapping[str, Any]) -> dict:
+    """Unwrap a response document client-side; error replies raise."""
+    if doc.get("ok"):
+        result = doc.get("result", {})
+        return result if isinstance(result, dict) else {}
+    err = doc.get("error") or {}
+    raise ProtocolError(
+        err.get("code", INTERNAL), err.get("message", "unspecified server error")
+    )

@@ -1,0 +1,181 @@
+"""Weighted-fair multi-tenant job queue (deficit round robin).
+
+The serve daemon multiplexes many tenants over one worker pool; a
+plain FIFO would let one heavy tenant's burst starve everyone behind
+it.  :class:`FairQueue` implements deficit round robin (Shreedhar &
+Varghese) over per-tenant priority queues:
+
+* each *active* tenant (one with queued work) is visited in round-robin
+  order and earns ``quantum * weight`` credits per visit;
+* a job is released when its tenant's accumulated deficit covers the
+  job's ``cost`` (1.0 by default), and the cost is charged against the
+  deficit — so over any window, tenants drain in proportion to their
+  weights regardless of how unbalanced their submission rates are;
+* a tenant that goes idle forfeits its unspent deficit: credits cannot
+  be hoarded to bulldoze the queue later;
+* **within** one tenant's share, higher ``priority`` jobs pop first
+  (FIFO among equals).  Priorities never cross tenant boundaries —
+  a tenant cannot out-prioritise another tenant's share.
+
+The queue is deterministic and lock-free by design; callers that need
+thread safety (the server) serialise access externally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.errors import ServeError
+
+
+class Entry:
+    """One queued item; the handle used to cancel it in place."""
+
+    __slots__ = ("item", "tenant", "priority", "cost", "seq", "alive")
+
+    def __init__(self, item: Any, tenant: str, priority: int, cost: float,
+                 seq: int) -> None:
+        self.item = item
+        self.tenant = tenant
+        self.priority = priority
+        self.cost = cost
+        self.seq = seq
+        self.alive = True
+
+    def __lt__(self, other: "Entry") -> bool:
+        # Max-priority first, then submission order.
+        if self.priority != other.priority:
+            return self.priority > other.priority
+        return self.seq < other.seq
+
+
+class _Tenant:
+    __slots__ = ("name", "weight", "heap", "deficit", "active")
+
+    def __init__(self, name: str, weight: float) -> None:
+        self.name = name
+        self.weight = weight
+        self.heap: list[Entry] = []
+        self.deficit = 0.0
+        self.active = False
+
+    def drop_dead(self) -> None:
+        while self.heap and not self.heap[0].alive:
+            heapq.heappop(self.heap)
+
+
+class FairQueue:
+    """Deficit-round-robin queue across tenants, priorities within."""
+
+    def __init__(
+        self,
+        quantum: float = 1.0,
+        default_weight: float = 1.0,
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if quantum <= 0:
+            raise ServeError("FairQueue quantum must be > 0")
+        if default_weight <= 0:
+            raise ServeError("FairQueue default_weight must be > 0")
+        self.quantum = quantum
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        for tenant, w in self._weights.items():
+            if w <= 0:
+                raise ServeError(f"tenant {tenant!r} weight must be > 0")
+        self._tenants: dict[str, _Tenant] = {}
+        self._active: deque[_Tenant] = deque()
+        self._seq = 0
+        self._len = 0
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def depths(self) -> dict[str, int]:
+        """Live queued-job count per tenant (zero-depth tenants omitted)."""
+        out = {}
+        for t in self._tenants.values():
+            n = sum(1 for e in t.heap if e.alive)
+            if n:
+                out[t.name] = n
+        return out
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        if weight <= 0:
+            raise ServeError(f"tenant {tenant!r} weight must be > 0")
+        self._weights[tenant] = weight
+        if tenant in self._tenants:
+            self._tenants[tenant].weight = weight
+
+    # -- mutation -------------------------------------------------------
+    def push(self, item: Any, *, tenant: str = "default", priority: int = 0,
+             cost: float = 1.0) -> Entry:
+        """Queue ``item`` under ``tenant``; returns its cancel handle."""
+        if cost <= 0:
+            raise ServeError("job cost must be > 0")
+        t = self._tenants.get(tenant)
+        if t is None:
+            t = self._tenants[tenant] = _Tenant(
+                tenant, self._weights.get(tenant, self.default_weight)
+            )
+        self._seq += 1
+        entry = Entry(item, tenant, priority, cost, self._seq)
+        heapq.heappush(t.heap, entry)
+        if not t.active:
+            # (Re)activating a tenant resets its deficit: an idle spell
+            # must not bank credits.
+            t.deficit = 0.0
+            t.active = True
+            self._active.append(t)
+        self._len += 1
+        return entry
+
+    def cancel(self, entry: Entry) -> bool:
+        """Remove a queued entry in place (lazy deletion).  Returns
+        whether the entry was still queued."""
+        if not entry.alive:
+            return False
+        entry.alive = False
+        self._len -= 1
+        return True
+
+    def pop(self) -> Optional[Entry]:
+        """Release the next job per DRR, or ``None`` if the queue is empty.
+
+        Terminates because every full rotation of the active list adds
+        ``quantum * weight > 0`` deficit to each non-empty tenant, so
+        some tenant's deficit eventually covers its head-of-line cost.
+        """
+        while self._active:
+            t = self._active[0]
+            t.drop_dead()
+            if not t.heap:
+                self._active.popleft()
+                t.active = False
+                t.deficit = 0.0
+                continue
+            head = t.heap[0]
+            if t.deficit >= head.cost:
+                heapq.heappop(t.heap)
+                t.deficit -= head.cost
+                self._len -= 1
+                t.drop_dead()
+                if not t.heap:
+                    self._active.popleft()
+                    t.active = False
+                    t.deficit = 0.0
+                return head
+            t.deficit += self.quantum * t.weight
+            self._active.rotate(-1)
+        return None
+
+    def drain(self) -> Iterator[Entry]:
+        """Pop everything still queued (shutdown-time cancellation)."""
+        while True:
+            entry = self.pop()
+            if entry is None:
+                return
+            yield entry

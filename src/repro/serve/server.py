@@ -1,0 +1,928 @@
+"""The long-lived scheduling daemon behind ``repro serve``.
+
+One :class:`Server` binds a localhost TCP socket (and optionally a
+Unix-domain socket), accepts concurrent line-delimited JSON-RPC
+connections (:mod:`repro.serve.protocol`), and multiplexes submitted
+jobs over the existing execution substrate:
+
+* admission puts each job on a :class:`~repro.serve.queue.FairQueue`
+  (deficit round robin across tenants, priorities within a tenant);
+* a scheduler thread feeds the queue into either the process-wide warm
+  worker pool (:mod:`repro.sweep.pool`, ``workers > 1``) or a small
+  in-process thread pool (``workers <= 1`` — the mode where a job's
+  simulator events stream live to followers);
+* results read through / write back the content-addressed
+  :class:`~repro.sweep.cache.ResultCache`, so a repeat submission is
+  answered instantly without occupying a pool slot;
+* every job carries its own :class:`~repro.obs.api.Observability`
+  handle, installed contextvar-scoped around in-process execution, so
+  concurrent jobs' events stay isolated and each follower tails only
+  its own job.
+
+Lifecycle: ``request_shutdown(drain=True)`` (what SIGTERM maps to in
+the CLI) stops admitting, lets queued + in-flight jobs finish, flushes
+followers, then closes sockets; ``drain=False`` additionally cancels
+everything still queued.  An idle daemon reaps the warm pool after
+``idle_reap_s`` and re-forks it on the next pool-mode dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import ServeError
+from repro.obs.api import Observability, current_observer
+from repro.obs.bus import EventBus
+from repro.serve import protocol
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import Entry, FairQueue
+from repro.sweep import pool as pool_mod
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import JobSpec
+from repro.version import __version__
+
+#: Event types streamed to followers by default: the job lifecycle plus
+#: the coarse per-run milestones (not the per-task firehose).
+DEFAULT_FOLLOW_TYPES = frozenset({
+    "job_submitted", "job_started", "job_progress", "job_finished",
+    "job_failed", "job_cancelled",
+    "run_started", "run_finished", "sampling_phase", "config_selected",
+    "degraded_enter", "degraded_exit",
+})
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from
+    #: ``Server.tcp_address`` / the ``--ready-file``).
+    port: int = 0
+    #: Optional Unix-domain socket path to bind alongside TCP.
+    unix_path: Optional[str] = None
+    #: ``> 1``: dispatch jobs to the warm process pool with that many
+    #: workers; ``<= 1``: execute in-process on worker threads.
+    workers: int = 0
+    #: Concurrently executing jobs (default: ``workers`` in pool mode,
+    #: 2 in in-process mode).
+    max_inflight: Optional[int] = None
+    #: Result-cache root (None = default); ``use_cache=False`` disables
+    #: result read-through/write-back but keeps suite snapshots.
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    #: Reap the warm pool after this many idle seconds (None = never).
+    idle_reap_s: Optional[float] = 300.0
+    #: Fair-queue round credit and per-tenant weights.
+    quantum: float = 1.0
+    tenant_weights: dict = field(default_factory=dict)
+    #: Default per-job wall-clock budget (None = unlimited).
+    job_timeout: Optional[float] = None
+    #: Terminal jobs kept for ``status``/``jobs`` before pruning.
+    max_history: int = 1024
+
+    @property
+    def capacity(self) -> int:
+        if self.max_inflight is not None:
+            return max(1, int(self.max_inflight))
+        return max(1, int(self.workers)) if self.workers > 1 else 2
+
+    @property
+    def pool_mode(self) -> bool:
+        return self.workers > 1
+
+
+class Job:
+    """One tracked submission, from admission to terminal state."""
+
+    __slots__ = (
+        "id", "tenant", "spec", "job_hash", "priority", "timeout",
+        "state", "cached", "mode", "submitted_at", "started_at",
+        "finished_at", "elapsed", "error", "kind", "result", "entry",
+        "future", "deadline", "obs", "followers", "finalized",
+        "running_slot", "done",
+    )
+
+    def __init__(self, job_id: str, tenant: str, spec: JobSpec,
+                 priority: int, timeout: Optional[float]) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.spec = spec
+        self.job_hash = spec.job_hash
+        self.priority = priority
+        self.timeout = timeout
+        self.state = protocol.QUEUED
+        self.cached = False
+        self.mode: Optional[str] = None
+        self.submitted_at: float = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.elapsed: float = 0.0
+        self.error: Optional[str] = None
+        self.kind: Optional[str] = None
+        self.result: Optional[dict] = None
+        self.entry: Optional[Entry] = None
+        self.future: Optional[Future] = None
+        self.deadline: Optional[float] = None
+        #: Per-job observability scope: followers subscribe here, and
+        #: in-process execution installs it (contextvar) so simulator
+        #: events land on this job's bus and nobody else's.
+        self.obs = Observability()
+        #: ``(conn, req_id, subscription)`` triples awaiting the final
+        #: response.
+        self.followers: list = []
+        self.finalized = False
+        self.running_slot = False
+        self.done = threading.Event()
+
+    def to_dict(self, with_result: bool = False) -> dict:
+        out = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "workload": self.spec.workload,
+            "scheduler": self.spec.scheduler,
+            "label": self.spec.label(),
+            "hash": self.job_hash,
+            "priority": self.priority,
+            "cached": self.cached,
+            "mode": self.mode,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed": self.elapsed,
+            "error": self.error,
+            "kind": self.kind,
+        }
+        if with_result and self.result is not None:
+            out["metrics"] = self.result
+        return out
+
+
+class _Conn:
+    """One accepted client connection (reader thread + locked writer)."""
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.wlock = threading.Lock()
+        self.alive = True
+        #: Jobs this connection follows (cleaned up on disconnect).
+        self.followed: list[Job] = []
+
+    def send(self, doc: Mapping[str, Any]) -> bool:
+        try:
+            data = protocol.encode_line(doc)
+        except (TypeError, ValueError):
+            data = protocol.encode_line(protocol.make_error(
+                doc.get("id"), protocol.INTERNAL, "unserialisable response"
+            ))
+        with self.wlock:
+            if not self.alive:
+                return False
+            try:
+                self.sock.sendall(data)
+                return True
+            except OSError:
+                self.alive = False
+                return False
+
+    def close(self) -> None:
+        with self.wlock:
+            self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Server:
+    """The scheduling service.  ``start()`` binds and spawns threads;
+    ``serve_forever()`` blocks until shutdown completes."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        obs: Optional[Observability] = None,
+        worker_fn: Optional[Callable] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        #: Daemon-wide observer (events mirror to it in addition to the
+        #: per-job buses).  Captured eagerly: server threads run in
+        #: fresh contexts and would not see the caller's installed
+        #: default.
+        self._obs = obs if obs is not None else current_observer()
+        #: Test hook: substitute job body (``worker_fn(spec) -> dict``).
+        self.worker_fn = worker_fn
+        self.metrics = ServeMetrics(
+            getattr(self._obs, "metrics", None)
+        )
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._queue = FairQueue(
+            quantum=self.config.quantum, weights=self.config.tenant_weights
+        )
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._inflight = 0
+        self._seq = 0
+        self._state = "idle"  # idle -> serving -> draining -> stopped
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._drain = True
+        self._threads: list[threading.Thread] = []
+        self._conns: set[_Conn] = set()
+        self._listeners: list[socket.socket] = []
+        self._t0 = time.perf_counter()
+        self.tcp_address: Optional[tuple[str, int]] = None
+        self.unix_address: Optional[str] = None
+        self.served = 0
+        # Suite snapshots always go through a cache root (pool workers
+        # load models from disk); result read-through is optional.
+        self._store = ResultCache(self.config.cache_dir)
+        self.cache: Optional[ResultCache] = (
+            self._store if self.config.use_cache else None
+        )
+        self._exec: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Server":
+        with self._lock:
+            if self._state != "idle":
+                raise ServeError(f"server already {self._state}")
+            self._state = "serving"
+        tcp = socket.create_server(
+            (self.config.host, self.config.port), reuse_port=False
+        )
+        tcp.listen(64)
+        self.tcp_address = tcp.getsockname()[:2]
+        self._listeners.append(tcp)
+        if self.config.unix_path:
+            path = Path(self.config.unix_path)
+            if path.exists():
+                path.unlink()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            ux = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            ux.bind(str(path))
+            ux.listen(64)
+            self.unix_address = str(path)
+            self._listeners.append(ux)
+        if self.config.pool_mode:
+            # Fork every pool worker now, before the accept/reader
+            # threads exist: the executor otherwise forks lazily at
+            # first submit, and forking a multi-threaded process risks
+            # inheriting a lock mid-acquisition into the child, which
+            # then deadlocks before it ever reads a task.
+            pool, _ = pool_mod.get_pool(self.config.workers, [])
+            pool.prewarm()
+        else:
+            self._exec = ThreadPoolExecutor(
+                max_workers=self.config.capacity,
+                thread_name_prefix="repro-serve-job",
+            )
+        for sock in self._listeners:
+            t = threading.Thread(
+                target=self._accept_loop, args=(sock,), daemon=True,
+                name="repro-serve-accept",
+            )
+            t.start()
+            self._threads.append(t)
+        sched = threading.Thread(
+            target=self._scheduler_loop, daemon=True, name="repro-serve-sched"
+        )
+        sched.start()
+        self._threads.append(sched)
+        self._emit_server(
+            "serve_started",
+            tcp=f"{self.tcp_address[0]}:{self.tcp_address[1]}",
+            unix=self.unix_address, workers=self.config.workers,
+        )
+        self._started.set()
+        return self
+
+    def serve_forever(self) -> None:
+        self._stopped.wait()
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Stop admitting; drain (or cancel) queued work, then stop."""
+        to_cancel: list[Job] = []
+        with self._wake:
+            if self._state == "stopped":
+                return
+            if self._state == "idle":
+                # Never started: nothing to drain, no scheduler to run
+                # the shutdown tail.
+                self._state = "stopped"
+                self._stopped.set()
+                return
+            self._state = "draining"
+            self._drain = drain
+            if not drain:
+                to_cancel = [e.item for e in self._queue.drain()]
+                self.metrics.queue_depth.set(0)
+            self._wake.notify_all()
+        self._emit_server(
+            "serve_draining",
+            queued=len(self._queue), running=self._inflight,
+        )
+        for job in to_cancel:
+            self._finalize(job, protocol.CANCELLED)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Cancel queued work and wait for shutdown to complete."""
+        self.request_shutdown(drain=False)
+        self._stopped.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _emit_server(self, type: str, **fields: Any) -> None:
+        bus = getattr(self._obs, "bus", None)
+        if isinstance(bus, EventBus) and bus.active:
+            bus.emit(type, self._now(), **fields)
+
+    def _emit_job(self, job: Job, type: str, **fields: Any) -> None:
+        now = self._now()
+        if job.obs.bus.active:
+            job.obs.bus.emit(type, now, job=job.id, tenant=job.tenant, **fields)
+        bus = getattr(self._obs, "bus", None)
+        if isinstance(bus, EventBus) and bus.active:
+            bus.emit(type, now, job=job.id, tenant=job.tenant, **fields)
+
+    # ------------------------------------------------------------------
+    # Socket handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while True:
+            try:
+                sock, addr = listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            conn = _Conn(sock, str(addr))
+            with self._lock:
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._reader_loop, args=(conn,), daemon=True,
+                name="repro-serve-conn",
+            )
+            t.start()
+
+    def _reader_loop(self, conn: _Conn) -> None:
+        try:
+            reader = conn.sock.makefile("rb")
+            for raw in reader:
+                line = raw.strip()
+                if not line:
+                    continue
+                doc: dict = {}
+                try:
+                    doc = protocol.decode_line(line)
+                    req_id, method, tenant, params = protocol.parse_request(doc)
+                except protocol.ProtocolError as exc:
+                    conn.send(protocol.make_error(
+                        doc.get("id") if isinstance(doc, dict) else None,
+                        exc.code, exc.message,
+                    ))
+                    continue
+                try:
+                    self._dispatch_rpc(conn, req_id, method, tenant, params)
+                except protocol.ProtocolError as exc:
+                    conn.send(protocol.make_error(req_id, exc.code, exc.message))
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    conn.send(protocol.make_error(
+                        req_id, protocol.INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._drop_conn(conn)
+
+    def _drop_conn(self, conn: _Conn) -> None:
+        conn.close()
+        with self._lock:
+            self._conns.discard(conn)
+            followed, conn.followed = conn.followed, []
+            orphaned = []
+            for job in followed:
+                kept = []
+                for c, rid, sub in job.followers:
+                    if c is conn:
+                        orphaned.append(sub)
+                    else:
+                        kept.append((c, rid, sub))
+                job.followers = kept
+        for sub in orphaned:
+            sub.close()
+
+    # ------------------------------------------------------------------
+    # RPC dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_rpc(self, conn: _Conn, req_id: Any, method: str,
+                      tenant: str, params: dict) -> None:
+        if method == "ping":
+            conn.send(protocol.make_response(req_id, {
+                "pong": True, "version": __version__,
+                "protocol": protocol.PROTOCOL_VERSION, "state": self._state,
+            }))
+        elif method == "submit":
+            self._rpc_submit(conn, req_id, tenant, params)
+        elif method == "status":
+            job = self._lookup(params)
+            conn.send(protocol.make_response(
+                req_id, job.to_dict(with_result=params.get("result", True))
+            ))
+        elif method == "jobs":
+            self._rpc_jobs(conn, req_id, params)
+        elif method == "cancel":
+            self._rpc_cancel(conn, req_id, params)
+        elif method == "metrics":
+            with self._lock:
+                self.metrics.queue_depth.set(len(self._queue))
+            conn.send(protocol.make_response(req_id, {
+                "prometheus": self.metrics.render_prometheus(),
+                "snapshot": self.metrics.snapshot(),
+            }))
+        elif method == "shutdown":
+            drain = bool(params.get("drain", True))
+            conn.send(protocol.make_response(
+                req_id, {"draining": drain, "state": "draining"}
+            ))
+            self.request_shutdown(drain=drain)
+
+    def _lookup(self, params: dict) -> Job:
+        job_id = params.get("job")
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise protocol.ProtocolError(
+                protocol.UNKNOWN_JOB, f"no such job {job_id!r}"
+            )
+        return job
+
+    def _rpc_jobs(self, conn: _Conn, req_id: Any, params: dict) -> None:
+        tenant = params.get("tenant")
+        with self._lock:
+            jobs = [self._jobs[i] for i in self._order]
+            if tenant:
+                jobs = [j for j in jobs if j.tenant == tenant]
+            payload = {
+                "state": self._state,
+                "queued": len(self._queue),
+                "running": self._inflight,
+                "depths": self._queue.depths(),
+                "jobs": [j.to_dict() for j in jobs],
+            }
+        conn.send(protocol.make_response(req_id, payload))
+
+    def _rpc_cancel(self, conn: _Conn, req_id: Any, params: dict) -> None:
+        job = self._lookup(params)
+        cancelled = False
+        with self._lock:
+            if job.state == protocol.QUEUED and job.entry is not None:
+                cancelled = self._queue.cancel(job.entry)
+                self.metrics.queue_depth.set(len(self._queue))
+            elif job.state == protocol.RUNNING and job.future is not None:
+                cancelled = job.future.cancel()
+        if cancelled:
+            self._finalize(job, protocol.CANCELLED)
+            conn.send(protocol.make_response(req_id, job.to_dict()))
+        elif job.state in protocol.TERMINAL_STATES:
+            raise protocol.ProtocolError(
+                protocol.NOT_CANCELLABLE, f"job {job.id} already {job.state}"
+            )
+        else:
+            raise protocol.ProtocolError(
+                protocol.NOT_CANCELLABLE,
+                f"job {job.id} is already executing and cannot be preempted",
+            )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _rpc_submit(self, conn: _Conn, req_id: Any, tenant: str,
+                    params: dict) -> None:
+        spec_dict = params.get("job")
+        if not isinstance(spec_dict, dict):
+            raise protocol.ProtocolError(
+                protocol.BAD_REQUEST, "submit needs params.job (a JobSpec dict)"
+            )
+        try:
+            spec = JobSpec.from_dict(spec_dict)
+        except Exception as exc:  # noqa: BLE001 - structured reply
+            raise protocol.ProtocolError(
+                protocol.BAD_REQUEST, f"invalid job spec: {exc}"
+            ) from None
+        priority = int(params.get("priority", 0))
+        timeout = params.get("timeout", self.config.job_timeout)
+        timeout = float(timeout) if timeout is not None else None
+        follow = bool(params.get("follow", False))
+
+        with self._wake:
+            if self._state != "serving":
+                raise protocol.ProtocolError(
+                    protocol.SHUTTING_DOWN,
+                    f"daemon is {self._state}; not accepting submissions",
+                )
+            self._seq += 1
+            job = Job(f"j{self._seq:06d}", tenant, spec, priority, timeout)
+            job.submitted_at = self._now()
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._prune_history()
+            self.metrics.submitted.inc(tenant=tenant)
+            self.metrics.state_change(None, protocol.QUEUED)
+            if follow:
+                types = params.get("follow_types")
+                sub = job.obs.bus.subscribe(
+                    self._forwarder(conn, job),
+                    types=frozenset(types) if types else DEFAULT_FOLLOW_TYPES,
+                )
+                job.followers.append((conn, req_id, sub))
+                conn.followed.append(job)
+
+        # Read-through: a repeat submission never touches the queue or
+        # the pool — it is finalised straight from the cache entry.
+        entry = self.cache.get(job.job_hash) if self.cache is not None else None
+        if entry is not None:
+            self.metrics.cache_hits.inc()
+            self._emit_job(
+                job, "job_submitted", workload=spec.workload,
+                scheduler=spec.scheduler, priority=priority, cached=True,
+            )
+            self._finalize(
+                job, protocol.DONE, metrics_dict=entry["metrics"],
+                elapsed=0.0, cached=True,
+            )
+            if not follow:
+                conn.send(protocol.make_response(
+                    req_id, job.to_dict(with_result=True)
+                ))
+            return
+
+        with self._wake:
+            if self._state != "serving":
+                # A non-drain shutdown raced between admission and
+                # enqueue; the queue sweep cannot see this job, so
+                # cancel it here.
+                aborted = True
+            else:
+                aborted = False
+                job.entry = self._queue.push(
+                    job, tenant=tenant, priority=priority
+                )
+                self.metrics.queue_depth.set(len(self._queue))
+                self._wake.notify_all()
+        if aborted:
+            self._finalize(job, protocol.CANCELLED)
+            if not follow:
+                conn.send(protocol.make_response(req_id, job.to_dict()))
+            return
+        self._emit_job(
+            job, "job_submitted", workload=spec.workload,
+            scheduler=spec.scheduler, priority=priority, cached=False,
+        )
+        if not follow:
+            conn.send(protocol.make_response(req_id, job.to_dict()))
+
+    def _forwarder(self, conn: _Conn, job: Job) -> Callable:
+        def forward(event) -> None:
+            # Never let a slow/broken follower disturb the job: send
+            # errors mark the connection dead and are swallowed.
+            try:
+                conn.send(protocol.make_event(job.id, event.to_json()))
+            except Exception:  # noqa: BLE001 - follower must not kill the job
+                pass
+
+        return forward
+
+    def _prune_history(self) -> None:
+        # Locked by caller.  Drop oldest terminal jobs beyond the cap.
+        excess = len(self._order) - self.config.max_history
+        if excess <= 0:
+            return
+        kept: list[str] = []
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if excess > 0 and job.state in protocol.TERMINAL_STATES:
+                del self._jobs[job_id]
+                excess -= 1
+            else:
+                kept.append(job_id)
+        self._order = kept
+
+    # ------------------------------------------------------------------
+    # Scheduling + execution
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while True:
+            job: Optional[Job] = None
+            expired: list[Job] = []
+            with self._wake:
+                expired = self._collect_timeouts()
+                if (
+                    self._state == "draining"
+                    and self._inflight == 0
+                    and not expired
+                    and len(self._queue) == 0
+                ):
+                    break
+                if self._state != "stopped" and self._inflight < self.config.capacity:
+                    entry = self._queue.pop()
+                    if entry is not None:
+                        job = entry.item
+                        job.running_slot = True
+                        self._inflight += 1
+                        self.metrics.queue_depth.set(len(self._queue))
+                if job is None and not expired:
+                    self._maybe_reap_idle_locked()
+                    self._wake.wait(timeout=0.1)
+                    continue
+            for stale in expired:
+                self._finalize(
+                    stale, protocol.TIMEOUT,
+                    error=f"exceeded timeout of {stale.timeout:g} s",
+                    kind="timeout",
+                    elapsed=(self._now() - (stale.started_at or stale.submitted_at)),
+                )
+            if job is not None:
+                try:
+                    self._dispatch(job)
+                except Exception as exc:  # noqa: BLE001 - job-scoped failure
+                    self._finalize(
+                        job, protocol.FAILED,
+                        error=f"{type(exc).__name__}: {exc}", kind="error",
+                    )
+        self._finish_shutdown()
+
+    def _collect_timeouts(self) -> list[Job]:
+        # Locked by caller.  Pool-mode deadline enforcement: a future
+        # that cannot be cancelled keeps its worker slot busy (leak
+        # accounting mirrors the sweep engine) but the job is failed
+        # now and its late result discarded.
+        expired: list[Job] = []
+        now = time.monotonic()
+        for job_id in self._order:
+            job = self._jobs.get(job_id)
+            if (
+                job is None or job.finalized or job.deadline is None
+                or job.state != protocol.RUNNING or now < job.deadline
+            ):
+                continue
+            if job.future is not None and not job.future.cancel():
+                pool = pool_mod.active_pool()
+                if pool is not None:
+                    pool.leaked += 1
+            expired.append(job)
+        return expired
+
+    def _maybe_reap_idle_locked(self) -> None:
+        if (
+            self.config.idle_reap_s is not None
+            and self.config.pool_mode
+            and self._inflight == 0
+            and pool_mod.reap_idle_pool(self.config.idle_reap_s)
+        ):
+            self.metrics.pool_reaps.inc()
+
+    def _dispatch(self, job: Job) -> None:
+        if self.config.pool_mode:
+            self._dispatch_pool(job)
+        else:
+            assert self._exec is not None
+            self.metrics.inline_dispatches.inc()
+            self._exec.submit(self._run_inline, job)
+
+    def _mark_started(self, job: Job, mode: str) -> None:
+        with self._lock:
+            job.state = protocol.RUNNING
+            job.mode = mode
+            job.started_at = self._now()
+            if job.timeout is not None and mode == "pool":
+                job.deadline = time.monotonic() + job.timeout
+            self.metrics.state_change(protocol.QUEUED, protocol.RUNNING)
+        self._emit_job(
+            job, "job_started", workload=job.spec.workload,
+            scheduler=job.spec.scheduler, mode=mode,
+        )
+
+    # -- pool mode ------------------------------------------------------
+    def _dispatch_pool(self, job: Job) -> None:
+        spec = job.spec
+        suite_path: Optional[str] = None
+        from repro.schedulers.registry import needs_suite
+
+        if self.worker_fn is None and needs_suite(spec.scheduler):
+            suite_path = str(
+                self._store.ensure_suite(spec.platform, spec.profile_seed)
+            )
+        # A suite-needing job may replace the start()-time pool with a
+        # freshly warmed one, forking under live threads.  A worker
+        # wedged by such a fork surfaces as a job timeout -> leaked
+        # pool -> disposal (stragglers are killed), never as a hang.
+        pool, _ = pool_mod.get_pool(
+            self.config.workers, [suite_path] if suite_path else []
+        )
+        self.metrics.pool_dispatches.inc()
+        self._mark_started(job, mode="pool")
+        if self.worker_fn is not None:
+            fut = pool.submit(
+                pool_mod.run_chunk_fn, self.worker_fn, [spec.to_dict()]
+            )
+        else:
+            fut = pool.submit(
+                pool_mod.run_chunk, [spec.to_dict()], [suite_path]
+            )
+        with self._lock:
+            job.future = fut
+        fut.add_done_callback(lambda f: self._on_pool_done(job, f))
+
+    def _on_pool_done(self, job: Job, fut: Future) -> None:
+        if fut.cancelled():
+            return  # cancel() path already finalised the job
+        exc = fut.exception()
+        if exc is not None:
+            if isinstance(exc, BrokenProcessPool):
+                pool = pool_mod.active_pool()
+                if pool is not None:
+                    pool.broken = True
+                kind = "broken-pool"
+            else:
+                kind = "error"
+            self._finalize(
+                job, protocol.FAILED,
+                error=f"{type(exc).__name__}: {exc}", kind=kind,
+            )
+            return
+        res = fut.result()[0]
+        if res.get("ok"):
+            self._finalize(
+                job, protocol.DONE, metrics_dict=res["metrics"],
+                elapsed=float(res.get("elapsed", 0.0)),
+            )
+        else:
+            self._finalize(
+                job, protocol.FAILED,
+                error=res.get("error", "unknown worker error"), kind="error",
+                elapsed=float(res.get("elapsed", 0.0)),
+            )
+
+    # -- in-process mode ------------------------------------------------
+    def _run_inline(self, job: Job) -> None:
+        self._mark_started(job, mode="inline")
+        body = self.worker_fn
+        if body is None:
+            from repro.sweep.engine import execute_job
+            body = execute_job
+        t0 = time.perf_counter()
+        try:
+            # Contextvar-scoped install: the Executor built inside
+            # picks up *this job's* observer in *this thread* only, so
+            # its run/task/dvfs events stream to this job's followers
+            # and to nobody else — even with other jobs running
+            # concurrently on sibling threads.
+            with job.obs.as_current():
+                metrics = body(job.spec)
+            elapsed = time.perf_counter() - t0
+        except Exception as exc:  # noqa: BLE001 - job-scoped failure
+            self._finalize(
+                job, protocol.FAILED, error=f"{type(exc).__name__}: {exc}",
+                kind="error", elapsed=time.perf_counter() - t0,
+            )
+            return
+        if job.timeout is not None and elapsed > job.timeout:
+            # In-process execution cannot be preempted; the budget is
+            # enforced post-hoc exactly like the sweep engine's serial
+            # path.
+            self._finalize(
+                job, protocol.TIMEOUT,
+                error=f"exceeded timeout of {job.timeout:g} s",
+                kind="timeout", elapsed=elapsed,
+            )
+        else:
+            self._finalize(job, protocol.DONE, metrics_dict=metrics,
+                           elapsed=elapsed)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        job: Job,
+        state: str,
+        *,
+        metrics_dict: Optional[dict] = None,
+        elapsed: float = 0.0,
+        error: Optional[str] = None,
+        kind: Optional[str] = None,
+        cached: bool = False,
+    ) -> None:
+        if metrics_dict is not None:
+            # Normalise exactly like the sweep engine so cached, pooled
+            # and inline results are structurally identical on the wire.
+            metrics_dict = json.loads(json.dumps(metrics_dict))
+        if (
+            state == protocol.DONE and not cached
+            and self.cache is not None and metrics_dict is not None
+        ):
+            # Write-back BEFORE publishing the terminal state: a client
+            # that sees ``done`` and immediately resubmits the same
+            # spec must hit the cache (read-your-writes), not race the
+            # write and re-execute.
+            try:
+                self.cache.put(job.spec, job.job_hash, metrics_dict, elapsed)
+            except OSError:
+                pass  # cache write-back is best-effort
+        with self._wake:
+            if job.finalized:
+                return
+            job.finalized = True
+            old = job.state
+            job.state = state
+            job.finished_at = self._now()
+            job.result = metrics_dict
+            job.elapsed = elapsed
+            job.error = error
+            job.kind = kind
+            job.cached = cached
+            if job.running_slot:
+                job.running_slot = False
+                self._inflight -= 1
+            self.metrics.state_change(old, state)
+            self.metrics.served.inc(tenant=job.tenant, state=state)
+            if state == protocol.DONE and not cached:
+                self.metrics.job_seconds.observe(elapsed)
+            self.served += 1
+            self._wake.notify_all()
+        event = {
+            protocol.DONE: "job_finished",
+            protocol.FAILED: "job_failed",
+            protocol.TIMEOUT: "job_failed",
+            protocol.CANCELLED: "job_cancelled",
+        }[state]
+        if event == "job_finished":
+            self._emit_job(job, event, cached=cached, elapsed=elapsed)
+        elif event == "job_failed":
+            self._emit_job(job, event, error=error or "", kind=kind or "error")
+        else:
+            self._emit_job(job, event)
+        self._respond_followers(job)
+        job.done.set()
+
+    def _respond_followers(self, job: Job) -> None:
+        with self._lock:
+            followers, job.followers = job.followers, []
+        for conn, req_id, sub in followers:
+            sub.close()
+            conn.send(protocol.make_response(
+                req_id, job.to_dict(with_result=True)
+            ))
+            with self._lock:
+                if job in conn.followed:
+                    conn.followed.remove(job)
+
+    # ------------------------------------------------------------------
+    # Shutdown tail
+    # ------------------------------------------------------------------
+    def _finish_shutdown(self) -> None:
+        with self._lock:
+            self._state = "stopped"
+            conns = list(self._conns)
+        self._emit_server(
+            "serve_stopped", served=self.served,
+            reason="drained" if self._drain else "aborted",
+        )
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self.unix_address:
+            try:
+                Path(self.unix_address).unlink()
+            except OSError:
+                pass
+        for conn in conns:
+            conn.close()
+        if self._exec is not None:
+            self._exec.shutdown(wait=True)
+        if self.config.pool_mode:
+            pool_mod.shutdown_warm_pool()
+        self._stopped.set()

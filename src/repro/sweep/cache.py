@@ -16,7 +16,12 @@ Two artifact kinds live under one cache root (default
 
 Corrupted entries (truncated writes, schema drift, hand-edited JSON)
 are treated as misses: the offending file is removed and the sweep
-re-executes the job.  Writes are atomic (temp file + ``os.replace``).
+re-executes the job.  Writes are atomic (temp file + ``os.replace``)
+and safe under **concurrent writers** — multiple processes (sweep
+workers, the :mod:`repro.serve` daemon's completion threads) racing on
+the same key or shard serialise through a per-shard ``flock`` and, in
+the worst case, last-writer-wins on a byte-complete entry; a reader
+can never observe a torn file.
 """
 
 from __future__ import annotations
@@ -24,9 +29,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Sequence
+
+try:  # POSIX advisory locks; absent on some platforms (no-op there).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.sweep.spec import SCHEMA_VERSION, JobSpec
 
@@ -69,6 +80,27 @@ class ResultCache:
     def path_for(self, job_hash: str) -> Path:
         return self.results_dir / job_hash[:2] / f"{job_hash}.json"
 
+    @contextmanager
+    def shard_lock(self, job_hash: str):
+        """Exclusive advisory lock over one hash shard.
+
+        Serialises mutations (writes, corrupted-entry removal) within a
+        shard across processes.  Reads stay lock-free: atomic renames
+        guarantee a reader sees either the old or the new complete
+        entry, never a partial one.  No-op where ``fcntl`` is missing.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        shard_dir = self.results_dir / job_hash[:2]
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        with open(shard_dir / ".lock", "a+") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
     def get(self, job_hash: str) -> Optional[dict]:
         """Entry dict for ``job_hash`` or ``None`` (miss / corrupted)."""
         path = self.path_for(job_hash)
@@ -81,14 +113,24 @@ class ResultCache:
             entry = None
         if not self._valid(entry):
             # Corrupted or stale-schema: drop it and report a miss so
-            # the sweep transparently re-executes the job.
-            self.stats.corrupted += 1
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+            # the sweep transparently re-executes the job.  Removal
+            # happens under the shard lock with a re-read, so a
+            # concurrent writer that just replaced the bad entry with a
+            # fresh one cannot have its write deleted from under it.
+            with self.shard_lock(job_hash):
+                try:
+                    entry = json.loads(path.read_text())
+                except (FileNotFoundError, json.JSONDecodeError, OSError,
+                        UnicodeDecodeError):
+                    entry = None
+                if not self._valid(entry):
+                    self.stats.corrupted += 1
+                    self.stats.misses += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    return None
         self.stats.hits += 1
         return entry
 
@@ -138,7 +180,8 @@ class ResultCache:
             "metrics": metrics,
         }
         path = self.path_for(job_hash)
-        _atomic_write_json(path, entry)
+        with self.shard_lock(job_hash):
+            _atomic_write_json(path, entry)
         self.stats.writes += 1
         return path
 

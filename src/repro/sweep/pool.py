@@ -29,7 +29,7 @@ from __future__ import annotations
 import atexit
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Optional, Sequence
 
 #: Set this environment variable to a file path to get one appended
@@ -55,11 +55,24 @@ def suite_from_snapshot(path: str):
     return suite
 
 
-def _warm_initializer(suite_paths: Sequence[str]) -> None:
-    """Fork-time worker initializer: preload every snapshot the sweep
-    (and any previous sweep this pool served) needs."""
+def _worker_initializer(suite_paths: Sequence[str]) -> None:
+    """Fork-time worker initializer.
+
+    Silences the observer stack inherited from the forking thread (a
+    worker emitting through the parent's sinks would tear its files at
+    the shared offset), then preloads every snapshot the sweep (and any
+    previous sweep this pool served) needs."""
+    from repro.obs.api import reset_observers
+
+    reset_observers()
     for path in suite_paths:
         suite_from_snapshot(path)
+
+
+def _hold_slot(seconds: float) -> int:
+    """Occupy one worker slot briefly (see :meth:`WarmPool.prewarm`)."""
+    time.sleep(seconds)
+    return os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -119,20 +132,49 @@ class WarmPool:
         self.warmed = frozenset(suite_paths)
         self.leaked = 0  # timed-out jobs still occupying a worker slot
         self.broken = False
+        #: Monotonic timestamp of the last submit — lets long-lived
+        #: owners (the repro.serve daemon) reap a pool idling between
+        #: request bursts instead of holding worker processes forever.
+        self.last_used = time.monotonic()
         #: Median per-job cost (s) observed by the last sweep served —
         #: lets the next sweep skip its chunk-sizing probe round.
         self.cost_hint: Optional[float] = None
-        if warm and self.warmed:
-            self.executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_warm_initializer,
-                initargs=(tuple(sorted(self.warmed)),),
-            )
-        else:
-            self.executor = ProcessPoolExecutor(max_workers=self.workers)
+        # Every pool gets the initializer (observer hygiene); only warm
+        # pools also preload suite snapshots at fork time.
+        self.executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_initializer,
+            initargs=(tuple(sorted(self.warmed)) if warm else (),),
+        )
 
     def submit(self, fn: Callable, *args) -> Future:
+        self.last_used = time.monotonic()
         return self.executor.submit(fn, *args)
+
+    def prewarm(self, timeout: float = 60.0) -> None:
+        """Fork every worker process *now* rather than lazily.
+
+        :class:`~concurrent.futures.ProcessPoolExecutor` forks workers
+        on demand at submit time.  A long-lived caller that will grow
+        threads (the serve daemon) must fork all workers while it is
+        still single-threaded: a child forked under live threads can
+        inherit a lock mid-acquisition and deadlock before it ever
+        reads from the call queue.  Submitting ``workers`` slot-holding
+        tasks back-to-back forces one fork per task (each submit sees
+        no idle worker), then waiting for them proves every worker came
+        up.
+        """
+        futures = [
+            self.executor.submit(_hold_slot, 0.2) for _ in range(self.workers)
+        ]
+        done, pending = wait(futures, timeout=timeout)
+        if pending:
+            raise RuntimeError(
+                f"worker pool failed to start {len(pending)} of "
+                f"{self.workers} workers within {timeout:g} s"
+            )
+        for fut in done:
+            fut.result()  # surface BrokenProcessPool etc.
 
     @property
     def healthy(self) -> bool:
@@ -140,6 +182,26 @@ class WarmPool:
 
     def shutdown(self, wait: bool = True) -> None:
         self.executor.shutdown(wait=wait)
+
+    def dispose(self, grace: float = 5.0) -> None:
+        """Shut down without ever blocking forever, killing stragglers.
+
+        A worker wedged before it reads the shutdown sentinel (e.g. a
+        fork that inherited a held lock) would survive
+        ``shutdown(wait=True)`` as an orphan — keeping inherited file
+        descriptors (the daemon's stdout pipe) open indefinitely.  Give
+        workers ``grace`` seconds to exit cleanly, then SIGKILL the
+        rest.
+        """
+        procs = list(getattr(self.executor, "_processes", {}).values())
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + grace
+        for proc in procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in procs:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
 
 
 _ACTIVE: Optional[WarmPool] = None
@@ -200,11 +262,28 @@ def release_pool(pool: WarmPool, reuse: bool = True) -> None:
 
 
 def shutdown_warm_pool() -> None:
-    """Dispose the cached warm pool (tests, benchmarks, interpreter exit)."""
+    """Dispose the cached warm pool (tests, benchmarks, interpreter exit).
+
+    Uses :meth:`WarmPool.dispose`, so a wedged or leaked worker is
+    killed after a short grace instead of orphaned (or waited on
+    forever)."""
     global _ACTIVE
     if _ACTIVE is not None:
-        _ACTIVE.shutdown(wait=not _ACTIVE.leaked)
+        _ACTIVE.dispose()
         _ACTIVE = None
+
+
+def reap_idle_pool(idle_s: float) -> bool:
+    """Dispose the cached pool if it has not been used for ``idle_s``.
+
+    Callers are responsible for only reaping when they know no work is
+    outstanding (the serve daemon checks its in-flight count first).
+    Returns whether a pool was reaped.
+    """
+    if _ACTIVE is None or time.monotonic() - _ACTIVE.last_used < idle_s:
+        return False
+    shutdown_warm_pool()
+    return True
 
 
 atexit.register(shutdown_warm_pool)

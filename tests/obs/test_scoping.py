@@ -1,0 +1,118 @@
+"""Contextvar scoping of the default observer (repro.obs.api).
+
+The default observer used to be a process global; these tests pin the
+contextvar-stack semantics the serve daemon depends on: proper nesting,
+out-of-order teardown, and thread isolation (one request handler's
+observer never leaking into another's).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.api import current_observer, observer_stack
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_default():
+    assert current_observer() is None
+    yield
+    assert current_observer() is None
+
+
+def test_stack_reports_installation_order():
+    a, b = Observability(), Observability()
+    assert observer_stack() == ()
+    a.install()
+    b.install()
+    assert observer_stack() == (a, b)
+    assert current_observer() is b
+    b.uninstall()
+    a.uninstall()
+    assert observer_stack() == ()
+
+
+def test_out_of_order_teardown_restores_the_survivor():
+    # Closing the *outer* handle first must not clobber the inner one —
+    # each handle removes itself, not whatever is on top.
+    outer, inner = Observability(), Observability()
+    outer.install()
+    inner.install()
+    outer.uninstall()
+    assert current_observer() is inner, (
+        "inner observer must survive the outer's removal"
+    )
+    inner.uninstall()
+    assert current_observer() is None
+
+
+def test_duplicate_install_is_idempotent():
+    obs = Observability()
+    obs.install()
+    obs.install()
+    assert observer_stack() == (obs,)
+    obs.uninstall()
+    assert observer_stack() == ()
+    obs.uninstall()  # idempotent
+
+
+def test_as_current_restores_outer_across_exceptions():
+    outer, inner = Observability(), Observability()
+    with outer.as_current():
+        with pytest.raises(RuntimeError):
+            with inner.as_current():
+                assert current_observer() is inner
+                raise RuntimeError("boom")
+        assert current_observer() is outer
+
+
+def test_new_threads_start_with_an_empty_stack():
+    obs = Observability()
+    seen = {}
+
+    def probe():
+        seen["observer"] = current_observer()
+        seen["stack"] = observer_stack()
+
+    with obs.as_current():
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+    assert seen["observer"] is None
+    assert seen["stack"] == ()
+
+
+def test_concurrent_threads_see_only_their_own_observer():
+    # The serve daemon's request handlers each install a per-job
+    # observer; events from one must never reach another's bus.
+    barrier = threading.Barrier(4)
+    results: dict[int, list] = {}
+    errors: list[BaseException] = []
+
+    def handler(idx: int) -> None:
+        try:
+            obs = Observability()
+            got: list = []
+            obs.bus.subscribe(lambda ev: got.append(ev.fields["task"]))
+            with obs.as_current():
+                barrier.wait(timeout=10)  # all four installed at once
+                me = current_observer()
+                assert me is obs
+                me.bus.emit("task_done", 0.0, task=idx, kernel="k")
+                barrier.wait(timeout=10)  # all four emitted
+                assert current_observer() is obs
+            results[idx] = got
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=handler, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert results == {0: [0], 1: [1], 2: [2], 3: [3]}

@@ -1,0 +1,181 @@
+"""End-to-end daemon integration: a real ``repro serve`` subprocess.
+
+Covers the PR's acceptance contract: >= 8 concurrent submissions from
+>= 3 tenants executed over the warm worker pool, results bit-identical
+to direct :func:`repro.bench.run` calls, a duplicate submission
+answered from the cache without a pool dispatch, and SIGTERM draining
+in-flight work before exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench import run as bench_run
+from repro.runtime.metrics import RunMetrics, average_run_metrics
+from repro.serve import ServeClient
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: The grid the daemon executes: 4 specs x 2 repetitions = 8 jobs,
+#: spread over 3 tenants.  Model-free schedulers keep this fast.
+GRID = [("hd-small", "GRWS"), ("hd-small", "CATA"),
+        ("fb", "GRWS"), ("fb", "Aequitas")]
+REPETITIONS = 2
+SCALE = 0.5
+
+
+def start_daemon(tmp_path: Path, *extra: str) -> tuple[subprocess.Popen, str]:
+    ready = tmp_path / "ready.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_SERVE_ADDR", None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--ready-file", str(ready),
+            "--events-out", str(tmp_path / "events.jsonl"),
+            *extra,
+        ],
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 60
+    while not ready.exists():
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died during startup:\n{proc.stdout.read()}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("daemon never wrote its ready file")
+        time.sleep(0.05)
+    return proc, json.loads(ready.read_text())["tcp"]
+
+
+def stop_daemon(proc: subprocess.Popen, timeout: float = 120) -> str:
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        # Bounded second read: an orphaned pool worker holding the
+        # inherited stdout pipe would block an unbounded communicate()
+        # even after the daemon itself is dead.
+        try:
+            out, _ = proc.communicate(timeout=10)
+        except subprocess.TimeoutExpired:
+            out = "<stdout pipe held open by a surviving child>"
+        raise AssertionError(f"daemon did not exit after SIGTERM:\n{out}")
+    return out
+
+
+@pytest.mark.slow
+def test_daemon_end_to_end(tmp_path):
+    proc, addr = start_daemon(tmp_path)
+    try:
+        # -- 8 concurrent submissions from 3 tenants over the pool ----
+        def submit_and_wait(idx: int) -> tuple:
+            workload, scheduler = GRID[idx % len(GRID)]
+            rep = idx // len(GRID)
+            cfg = BenchConfig(scale=SCALE)
+            with ServeClient(addr, tenant=f"tenant-{idx % 3}") as c:
+                spec = cfg.job_spec(workload, scheduler, rep)
+                job = c.submit(spec, timeout=300)
+                done = c.wait(job["id"], timeout=300)
+            return (workload, scheduler, rep), done
+
+        n_jobs = len(GRID) * REPETITIONS
+        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = dict(pool.map(submit_and_wait, range(n_jobs)))
+        assert len(outcomes) == n_jobs == 8
+        for key, done in outcomes.items():
+            assert done["state"] == "done", f"{key}: {done['error']}"
+            assert done["mode"] == "pool", "jobs must run on the warm pool"
+            assert done["cached"] is False
+
+        # -- bit-identical to direct repro.bench.run ------------------
+        for workload, scheduler in GRID:
+            served = average_run_metrics([
+                RunMetrics.from_dict(
+                    outcomes[(workload, scheduler, r)]["metrics"]
+                )
+                for r in range(REPETITIONS)
+            ])
+            direct = bench_run(
+                (workload, scheduler),
+                config=BenchConfig(scale=SCALE, repetitions=REPETITIONS),
+            )
+            assert served.to_dict() == json.loads(
+                json.dumps(direct.to_dict())
+            ), f"{workload}/{scheduler}: served result drifted from bench"
+
+        # -- duplicate answered from cache, no pool dispatch ----------
+        with ServeClient(addr) as c:
+            before = c.metrics()["snapshot"]
+            dup_spec = BenchConfig(scale=SCALE).job_spec(*GRID[0], 0)
+            dup = c.submit(dup_spec)
+            assert dup["state"] == "done"
+            assert dup["cached"] is True
+            original = outcomes[(GRID[0][0], GRID[0][1], 0)]
+            assert dup["metrics"] == original["metrics"]
+            after = c.metrics()["snapshot"]
+        dispatches = "repro_serve_pool_dispatch_total"
+        assert after[dispatches]["series"] == before[dispatches]["series"], (
+            "a cache hit must not occupy a pool slot"
+        )
+        assert after["repro_serve_cache_hits_total"]["series"] == {"": 1}
+    finally:
+        out = stop_daemon(proc)
+
+    assert proc.returncode == 0, out
+    assert "draining" in out and "stopped" in out
+
+    # The daemon's JSONL event log recorded the full job lifecycle.
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "events.jsonl").read_text().splitlines()
+    ]
+    types = {ev["type"] for ev in events}
+    assert {"serve_started", "job_submitted", "job_started",
+            "job_finished", "serve_draining", "serve_stopped"} <= types
+    finished = [ev for ev in events if ev["type"] == "job_finished"]
+    assert len(finished) == 9  # 8 executed + 1 cache hit
+    assert sum(1 for ev in finished if ev["cached"]) == 1
+
+
+@pytest.mark.slow
+def test_sigterm_drains_inflight_before_exit(tmp_path):
+    proc, addr = start_daemon(tmp_path)
+    try:
+        with ServeClient(addr) as c:
+            spec = BenchConfig(scale=SCALE).job_spec("hd-small", "GRWS", 0)
+            job = c.submit(spec, timeout=300)
+            # SIGTERM lands while the job is queued or running...
+            proc.send_signal(signal.SIGTERM)
+    finally:
+        out = stop_daemon(proc)
+    assert proc.returncode == 0, out
+    # ...yet the job still reached a successful completion: the drain
+    # waited for it instead of dropping it.
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "events.jsonl").read_text().splitlines()
+    ]
+    finished = [ev for ev in events if ev["type"] == "job_finished"]
+    assert [ev["job"] for ev in finished] == [job["id"]]
+    stopped = [ev for ev in events if ev["type"] == "serve_stopped"]
+    assert stopped and stopped[0]["reason"] == "drained"

@@ -1,0 +1,70 @@
+"""Wire-protocol encoding, validation and error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import protocol
+
+
+def test_round_trip_request():
+    doc = protocol.make_request(7, "submit", {"priority": 2}, tenant="ci")
+    line = protocol.encode_line(doc)
+    assert line.endswith(b"\n") and b"\n" not in line[:-1]
+    req_id, method, tenant, params = protocol.parse_request(
+        protocol.decode_line(line)
+    )
+    assert (req_id, method, tenant, params) == (7, "submit", "ci", {"priority": 2})
+
+
+def test_default_tenant_applied():
+    _, _, tenant, params = protocol.parse_request(
+        {"id": 1, "method": "ping"}
+    )
+    assert tenant == protocol.DEFAULT_TENANT
+    assert params == {}
+
+
+@pytest.mark.parametrize("doc,code", [
+    ({"method": "ping"}, protocol.BAD_REQUEST),             # missing id
+    ({"id": 1}, protocol.BAD_REQUEST),                      # missing method
+    ({"id": 1, "method": 7}, protocol.BAD_REQUEST),         # non-str method
+    ({"id": 1, "method": "nope"}, protocol.UNKNOWN_METHOD),
+    ({"id": 1, "method": "ping", "tenant": ""}, protocol.BAD_REQUEST),
+    ({"id": 1, "method": "ping", "params": []}, protocol.BAD_REQUEST),
+])
+def test_request_validation(doc, code):
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.parse_request(doc)
+    assert exc.value.code == code
+
+
+def test_decode_rejects_non_object_and_bad_json():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_line(b"[1, 2]\n")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_line(b"{nope\n")
+
+
+def test_result_or_raise():
+    ok = protocol.make_response(3, {"pong": True})
+    assert protocol.result_or_raise(ok) == {"pong": True}
+    err = protocol.make_error(3, protocol.UNKNOWN_JOB, "gone")
+    with pytest.raises(protocol.ProtocolError) as exc:
+        protocol.result_or_raise(err)
+    assert exc.value.code == protocol.UNKNOWN_JOB
+    assert "gone" in str(exc.value)
+
+
+def test_event_notification_shape():
+    ev = protocol.make_event("j000001", {"type": "job_started", "time": 0.5})
+    assert protocol.is_event(ev)
+    assert not protocol.is_event(protocol.make_response(1, {}))
+    # A response is never mistaken for an event even with an event key.
+    assert not protocol.is_event({"id": 1, "event": {}})
+
+
+def test_lifecycle_states_are_consistent():
+    assert set(protocol.TERMINAL_STATES) < set(protocol.JOB_STATES)
+    assert protocol.QUEUED not in protocol.TERMINAL_STATES
+    assert protocol.RUNNING not in protocol.TERMINAL_STATES

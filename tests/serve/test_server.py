@@ -1,0 +1,425 @@
+"""In-process Server + ServeClient tests (fast: substituted worker_fn).
+
+The daemon-in-a-subprocess integration path lives in test_daemon.py;
+here the Server runs inside the test process so we can reach into its
+queue, metrics and observer plumbing directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import Observability
+from repro.serve import (
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    Server,
+    parse_address,
+    protocol,
+)
+from repro.sweep.spec import JobSpec
+
+
+def spec_for(seed: int = 11, workload: str = "hd-small") -> JobSpec:
+    return JobSpec(workload=workload, scheduler="GRWS", seed=seed)
+
+
+def fake_worker(spec: JobSpec) -> dict:
+    return {
+        "workload": spec.workload,
+        "scheduler": spec.scheduler,
+        "seed": spec.seed,
+        "makespan": 1.0,
+    }
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path / "cache"), worker_fn=fake_worker
+    ).start()
+    yield srv
+    srv.close()
+
+
+def addr(srv: Server) -> str:
+    host, port = srv.tcp_address
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# Address parsing
+# ----------------------------------------------------------------------
+def test_parse_address_forms():
+    assert parse_address("127.0.0.1:7341") == ("tcp", ("127.0.0.1", 7341))
+    assert parse_address(":7341") == ("tcp", ("127.0.0.1", 7341))
+    assert parse_address("7341") == ("tcp", ("127.0.0.1", 7341))
+    assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    from repro.errors import ServeError
+
+    with pytest.raises(ServeError):
+        parse_address("not-a-port")
+    with pytest.raises(ServeError):
+        parse_address("unix:")
+
+
+# ----------------------------------------------------------------------
+# Basic RPC surface
+# ----------------------------------------------------------------------
+def test_ping_and_submit_roundtrip(server):
+    with ServeClient(addr(server)) as c:
+        pong = c.ping()
+        assert pong["pong"] and pong["state"] == "serving"
+        job = c.submit(spec_for())
+        assert job["state"] in ("queued", "running", "done")
+        done = c.wait(job["id"])
+        assert done["state"] == "done"
+        assert done["metrics"]["workload"] == "hd-small"
+        assert done["mode"] == "inline"
+        # status without result omits the metrics payload
+        slim = c.status(job["id"], result=False)
+        assert "metrics" not in slim
+
+
+def test_duplicate_submission_served_from_cache(server):
+    with ServeClient(addr(server)) as c:
+        first = c.wait(c.submit(spec_for())["id"])
+        assert first["cached"] is False
+        second = c.submit(spec_for())  # identical spec
+        assert second["state"] == "done"
+        assert second["cached"] is True
+        assert second["metrics"] == first["metrics"]
+    # The duplicate never occupied an execution slot.
+    snap = server.metrics.snapshot()
+    assert snap["repro_serve_cache_hits_total"]["series"] == {"": 1}
+    assert snap["repro_serve_inline_dispatch_total"]["series"] == {"": 1}
+
+
+def test_cache_disabled_reexecutes(tmp_path):
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path, use_cache=False),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv)) as c:
+            c.wait(c.submit(spec_for())["id"])
+            again = c.submit(spec_for())
+            assert again["cached"] is False
+            c.wait(again["id"])
+        snap = srv.metrics.snapshot()
+        assert snap["repro_serve_inline_dispatch_total"]["series"] == {"": 2}
+    finally:
+        srv.close()
+
+
+def test_concurrent_multi_tenant_submissions(server):
+    # >= 8 concurrent submissions from >= 3 tenants, all through one
+    # daemon; every job completes and results are per-spec consistent.
+    def one(i: int) -> dict:
+        with ServeClient(addr(server), tenant=f"t{i % 3}") as c:
+            job = c.submit(spec_for(seed=i), timeout=60)
+            return c.wait(job["id"])
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        jobs = list(pool.map(one, range(8)))
+    assert all(j["state"] == "done" for j in jobs)
+    for i, j in enumerate(jobs):
+        assert j["metrics"]["seed"] == i
+        assert j["tenant"] == f"t{i % 3}"
+    snap = server.metrics.snapshot()
+    tenants = {
+        key.split("=", 1)[1]
+        for key in snap["repro_serve_jobs_submitted_total"]["series"]
+    }
+    assert tenants == {"t0", "t1", "t2"}
+
+
+def test_unix_socket_transport(tmp_path):
+    path = tmp_path / "serve.sock"
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path / "c", unix_path=str(path)),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        assert path.exists()
+        with ServeClient(f"unix:{path}") as c:
+            assert c.ping()["pong"]
+            done = c.wait(c.submit(spec_for())["id"])
+            assert done["state"] == "done"
+    finally:
+        srv.close()
+    assert not path.exists(), "unix socket must be unlinked on shutdown"
+
+
+# ----------------------------------------------------------------------
+# Follow streams + per-request observability scoping
+# ----------------------------------------------------------------------
+def test_follow_stream_yields_lifecycle_then_job(server):
+    with ServeClient(addr(server)) as c:
+        stream = c.submit(spec_for(seed=77), follow=True)
+        kinds = []
+        for kind, doc in stream:
+            kinds.append(doc["event"]["type"] if kind == "event" else "JOB")
+        assert kinds[0] == "job_submitted"
+        assert "job_started" in kinds
+        assert kinds[-2:] == ["job_finished", "JOB"]
+        assert stream.job["state"] == "done"
+
+
+def test_followers_only_see_their_own_jobs_events(tmp_path):
+    # Two jobs running concurrently, each followed by its own client:
+    # the contextvar-scoped per-job observer must keep their event
+    # streams disjoint.
+    gate = threading.Barrier(3, timeout=30)
+
+    def emitting_worker(spec: JobSpec) -> dict:
+        from repro.obs.api import current_observer
+
+        obs = current_observer()
+        assert obs is not None, "job thread must see its job's observer"
+        gate.wait()  # both jobs in flight simultaneously
+        obs.bus.emit(
+            "job_progress", 0.0, job="", tenant="",
+            stage="inside", detail=f"seed{spec.seed}",
+        )
+        return {"seed": spec.seed}
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path, max_inflight=2),
+        worker_fn=emitting_worker,
+    ).start()
+    try:
+        results = {}
+
+        def follow(seed: int) -> None:
+            with ServeClient(addr(srv)) as c:
+                stream = c.submit(spec_for(seed=seed), follow=True)
+                details = [
+                    doc["event"]["detail"]
+                    for kind, doc in stream
+                    if kind == "event"
+                    and doc["event"]["type"] == "job_progress"
+                ]
+                results[seed] = details
+
+        threads = [
+            threading.Thread(target=follow, args=(s,)) for s in (101, 202)
+        ]
+        for t in threads:
+            t.start()
+        gate.wait()  # release both workers once both followers attached
+        for t in threads:
+            t.join(timeout=30)
+        assert results == {101: ["seed101"], 202: ["seed202"]}
+    finally:
+        srv.close()
+
+
+def test_server_wide_observer_mirrors_job_lifecycle(tmp_path):
+    obs = Observability()
+    seen: list[str] = []
+    obs.bus.subscribe(lambda ev: seen.append(ev.type))
+    with obs.as_current():
+        srv = Server(
+            ServeConfig(cache_dir=tmp_path), worker_fn=fake_worker
+        ).start()
+    try:
+        with ServeClient(addr(srv)) as c:
+            c.wait(c.submit(spec_for())["id"])
+            c.shutdown()
+        srv.serve_forever()
+    finally:
+        srv.close()
+    assert "serve_started" in seen
+    assert "job_submitted" in seen
+    assert "job_finished" in seen
+    assert "serve_stopped" in seen
+
+
+# ----------------------------------------------------------------------
+# Cancellation, timeouts, errors
+# ----------------------------------------------------------------------
+def test_cancel_queued_job(tmp_path):
+    release = threading.Event()
+
+    def slow_worker(spec: JobSpec) -> dict:
+        release.wait(30)
+        return {"seed": spec.seed}
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path, max_inflight=1),
+        worker_fn=slow_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv)) as c:
+            running = c.submit(spec_for(seed=1))
+            queued = c.submit(spec_for(seed=2))
+            cancelled = c.cancel(queued["id"])
+            assert cancelled["state"] == "cancelled"
+            # The running job cannot be preempted...
+            with pytest.raises(ProtocolError) as exc:
+                c.cancel(running["id"])
+            assert exc.value.code == protocol.NOT_CANCELLABLE
+            release.set()
+            done = c.wait(running["id"])
+            assert done["state"] == "done"
+            # ...and a terminal job cannot be cancelled either.
+            with pytest.raises(ProtocolError):
+                c.cancel(done["id"])
+    finally:
+        release.set()
+        srv.close()
+
+
+def test_inline_timeout_is_enforced_post_hoc(tmp_path):
+    def sleepy_worker(spec: JobSpec) -> dict:
+        time.sleep(0.2)
+        return {}
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path), worker_fn=sleepy_worker
+    ).start()
+    try:
+        with ServeClient(addr(srv)) as c:
+            job = c.wait(c.submit(spec_for(), timeout=0.01)["id"])
+            assert job["state"] == "timeout"
+            assert "timeout" in job["error"]
+    finally:
+        srv.close()
+
+
+def test_worker_exception_becomes_failed_state(tmp_path):
+    def broken_worker(spec: JobSpec) -> dict:
+        raise ValueError("deliberate")
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path), worker_fn=broken_worker
+    ).start()
+    try:
+        with ServeClient(addr(srv)) as c:
+            job = c.wait(c.submit(spec_for())["id"])
+            assert job["state"] == "failed"
+            assert "deliberate" in job["error"]
+            assert job["kind"] == "error"
+    finally:
+        srv.close()
+
+
+def test_structured_errors_over_the_wire(server):
+    with ServeClient(addr(server)) as c:
+        with pytest.raises(ProtocolError) as exc:
+            c.status("j999999")
+        assert exc.value.code == protocol.UNKNOWN_JOB
+        with pytest.raises(ProtocolError) as exc:
+            c.submit({"workload": "hd-small"})  # no scheduler
+        assert exc.value.code == protocol.BAD_REQUEST
+
+    # Raw-socket abuse: garbage lines get structured error replies and
+    # never kill the connection.
+    host, port = server.tcp_address
+    with socket.create_connection((host, port), timeout=10) as raw:
+        fh = raw.makefile("rb")
+        raw.sendall(b"this is not json\n")
+        reply = json.loads(fh.readline())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.BAD_REQUEST
+        raw.sendall(b'{"id": 5, "method": "frobnicate"}\n')
+        reply = json.loads(fh.readline())
+        assert reply["id"] == 5
+        assert reply["error"]["code"] == protocol.UNKNOWN_METHOD
+        raw.sendall(b'{"id": 6, "method": "ping"}\n')
+        assert json.loads(fh.readline())["result"]["pong"] is True
+
+
+# ----------------------------------------------------------------------
+# jobs / metrics RPCs
+# ----------------------------------------------------------------------
+def test_jobs_listing_and_tenant_filter(server):
+    with ServeClient(addr(server), tenant="alpha") as a, \
+            ServeClient(addr(server), tenant="beta") as b:
+        a.wait(a.submit(spec_for(seed=1))["id"])
+        b.wait(b.submit(spec_for(seed=2))["id"])
+        everything = a.jobs()
+        assert everything["state"] == "serving"
+        assert {j["tenant"] for j in everything["jobs"]} == {"alpha", "beta"}
+        only_beta = a.jobs(tenant="beta")
+        assert [j["tenant"] for j in only_beta["jobs"]] == ["beta"]
+
+
+def test_metrics_rpc_exposes_prometheus_text(server):
+    with ServeClient(addr(server)) as c:
+        c.wait(c.submit(spec_for())["id"])
+        payload = c.metrics()
+    text = payload["prometheus"]
+    assert "# TYPE repro_serve_queue_depth gauge" in text
+    assert "repro_serve_jobs_submitted_total" in text
+    assert 'state="done"' in text
+    assert isinstance(payload["snapshot"], dict)
+
+
+# ----------------------------------------------------------------------
+# Shutdown semantics
+# ----------------------------------------------------------------------
+def test_drain_finishes_inflight_before_stopping(tmp_path):
+    release = threading.Event()
+    started = threading.Event()
+
+    def slow_worker(spec: JobSpec) -> dict:
+        started.set()
+        release.wait(30)
+        return {"seed": spec.seed}
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path, max_inflight=1),
+        worker_fn=slow_worker,
+    ).start()
+    with ServeClient(addr(srv)) as c:
+        inflight = c.submit(spec_for(seed=1))
+        assert started.wait(10)
+        c.shutdown(drain=True)
+        # New submissions are refused while draining.
+        with pytest.raises(ProtocolError) as exc:
+            c.submit(spec_for(seed=2))
+        assert exc.value.code == protocol.SHUTTING_DOWN
+        release.set()
+        srv.serve_forever()
+        job = srv._jobs[inflight["id"]]
+        assert job.state == "done", "drain must let in-flight work finish"
+    assert srv.served == 1
+
+
+def test_immediate_shutdown_cancels_queued(tmp_path):
+    release = threading.Event()
+    started = threading.Event()
+
+    def slow_worker(spec: JobSpec) -> dict:
+        started.set()
+        release.wait(30)
+        return {}
+
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path, max_inflight=1),
+        worker_fn=slow_worker,
+    ).start()
+    with ServeClient(addr(srv)) as c:
+        c.submit(spec_for(seed=1))
+        assert started.wait(10), "first job must hold the only slot"
+        queued = c.submit(spec_for(seed=2))
+        c.shutdown(drain=False)
+        # Only release the in-flight job once the daemon has actually
+        # swept the queue — otherwise the freed slot could legitimately
+        # pick the queued job up before the sweep.
+        deadline = time.monotonic() + 10
+        while srv._jobs[queued["id"]].state == "queued":
+            assert time.monotonic() < deadline, "queue sweep never happened"
+            time.sleep(0.005)
+        release.set()
+        srv.serve_forever()
+        assert srv._jobs[queued["id"]].state == "cancelled"

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke test for the repro scheduling service.
+
+Starts a real ``repro serve`` daemon (warm pool, 2 workers), submits a
+small fig8-style job plus an identical duplicate, follows a third
+submission's progress events, and shuts the daemon down with SIGTERM —
+asserting at each step:
+
+* the first submission executes on the pool and succeeds;
+* the duplicate is answered from the result cache without a pool
+  dispatch, with byte-identical metrics;
+* the follow stream delivers lifecycle events before the final job;
+* SIGTERM drains and the daemon exits 0 within the timeout.
+
+The daemon's JSONL event log is left at ``--events`` for artifact
+upload.  Exit code 0 = all checks passed.
+
+Usage::
+
+    python tools/serve_smoke.py [--events serve-events.jsonl]
+                                [--timeout 300] [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import BenchConfig  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+CHECKS: list[str] = []
+
+
+def check(ok: bool, what: str) -> None:
+    CHECKS.append(f"{'ok' if ok else 'FAIL'}: {what}")
+    print(CHECKS[-1], flush=True)
+    if not ok:
+        raise SystemExit(f"serve smoke failed at: {what}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--events", default="serve-events.jsonl",
+                    help="where to leave the daemon's JSONL event log")
+    ap.add_argument("--timeout", type=float, default=300.0,
+                    help="overall daemon shutdown budget (seconds)")
+    ap.add_argument("--scale", type=float, default=0.5)
+    args = ap.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    ready = tmp / "ready.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--workers", "2",
+            "--cache-dir", str(tmp / "cache"),
+            "--ready-file", str(ready),
+            "--events-out", args.events,
+        ],
+        cwd=REPO, env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not ready.exists():
+            if proc.poll() is not None:
+                raise SystemExit("daemon died during startup")
+            if time.monotonic() > deadline:
+                raise SystemExit("daemon never became ready")
+            time.sleep(0.05)
+        addr = json.loads(ready.read_text())["tcp"]
+        check(True, f"daemon ready on {addr}")
+
+        cfg = BenchConfig(scale=args.scale)
+        # A fig8-style grid point: energy comparison workload/scheduler.
+        spec = cfg.job_spec("hd-small", "GRWS", 0)
+
+        with ServeClient(addr, tenant="ci") as c:
+            job = c.wait(c.submit(spec, timeout=args.timeout)["id"],
+                         timeout=args.timeout)
+            check(job["state"] == "done", "first submission executed")
+            check(job["mode"] == "pool", "first submission ran on the pool")
+            check(job["cached"] is False, "first submission was not cached")
+
+            dup = c.submit(spec)
+            check(dup["state"] == "done" and dup["cached"] is True,
+                  "duplicate answered from the result cache")
+            check(dup["metrics"] == job["metrics"],
+                  "cached metrics identical to the executed run")
+            snap = c.metrics()["snapshot"]
+            check(snap["repro_serve_cache_hits_total"]["series"] == {"": 1},
+                  "cache-hit counter incremented exactly once")
+            check(
+                sum(
+                    snap["repro_serve_pool_dispatch_total"]["series"].values()
+                ) == 1,
+                "duplicate did not dispatch to the pool",
+            )
+
+            stream = c.submit(
+                cfg.job_spec("fb", "Aequitas", 0),
+                timeout=args.timeout, follow=True,
+            )
+            seen = []
+            for kind, doc in stream:
+                if kind == "event":
+                    seen.append(doc["event"]["type"])
+            check(seen[0] == "job_submitted" and "job_started" in seen
+                  and seen[-1] == "job_finished",
+                  f"follow stream delivered lifecycle events ({seen})")
+            check(stream.job["state"] == "done", "followed job completed")
+
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=args.timeout)
+        check(proc.returncode == 0,
+              f"SIGTERM drained and exited 0 (rc={proc.returncode})")
+
+        events = [json.loads(line)
+                  for line in Path(args.events).read_text().splitlines()]
+        types = {ev["type"] for ev in events}
+        check({"serve_started", "job_finished", "serve_stopped"} <= types,
+              f"event log covers the daemon lifecycle ({len(events)} events)")
+        print(f"\nserve smoke: {len(CHECKS)} checks passed; "
+              f"event log -> {args.events}")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
