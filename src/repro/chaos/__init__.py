@@ -1,0 +1,39 @@
+"""repro.chaos — deterministic service-level fault injection.
+
+Where :mod:`repro.faults` breaks the simulated platform *inside* a run,
+this package breaks the serving layer *around* runs: seeded
+:class:`ChaosCampaign` specs (content-hashed, replayable) drive a real
+``repro serve`` daemon subprocess through worker kills, daemon
+SIGKILL + restart, severed client sockets, corrupted cache entries and
+torn journal tails, while :func:`run_campaign` checks the durability
+invariants — no lost acknowledged jobs, no duplicated executions,
+bit-identical results, corrupted state detected and quarantined, clean
+drain with a compacted journal.  ``repro chaos`` is the CLI entry
+point; see docs/architecture.md, "Failure model".
+"""
+
+from repro.chaos.harness import (
+    DEFAULT_GRID,
+    ChaosReport,
+    DaemonUnderChaos,
+    run_campaign,
+)
+from repro.chaos.spec import (
+    ALL_KINDS,
+    CHAOS_SCHEMA_VERSION,
+    ChaosAction,
+    ChaosCampaign,
+    default_campaign,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CHAOS_SCHEMA_VERSION",
+    "ChaosAction",
+    "ChaosCampaign",
+    "ChaosReport",
+    "DEFAULT_GRID",
+    "DaemonUnderChaos",
+    "default_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,192 @@
+"""Declarative service-level chaos campaigns.
+
+Where :mod:`repro.faults` perturbs the *simulated platform* inside a
+run, :mod:`repro.chaos` torments the *service around the runs*: the
+``repro serve`` daemon process, its worker pool, its clients' sockets
+and its on-disk state.  A :class:`ChaosAction` names one such
+perturbation as data — kind, wall-clock offset, target, magnitude — in
+the same frozen/canonical-JSON idiom as
+:class:`~repro.faults.spec.FaultSpec`, so campaigns are
+content-hashable and replay deterministically: every action draws from
+its own SeedSequence stream derived from the campaign seed and the
+action's position.
+
+Built-in action kinds
+---------------------
+
+- ``kill-worker`` — SIGKILL one of the daemon's pool worker processes
+  mid-job (picked by the action's RNG stream).
+- ``kill-daemon`` — SIGKILL the daemon itself, then restart it on the
+  same journal/cache/port; recovery must re-enqueue everything
+  acknowledged and non-terminal.
+- ``sever-client`` — abruptly close a live client connection from the
+  client side; the client's reconnect + idempotent-resubmit path takes
+  over.
+- ``corrupt-cache`` — overwrite bytes of one cached result entry on
+  disk (picked by RNG); reads must quarantine it, never serve it.
+- ``corrupt-journal`` — a crash that tears the last record: SIGKILL
+  the daemon (if alive), append ``magnitude`` garbage bytes to the
+  journal's tail, restart; recovery must truncate the torn tail and
+  keep every record before it.
+- ``delay-sched`` — run the daemon's scheduler loop with a
+  ``magnitude``-second sleep per iteration (applied to daemon
+  incarnations started at or after the action, via
+  ``REPRO_SERVE_SCHED_DELAY``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ChaosError
+from repro.sweep.spec import freeze, thaw
+
+#: Bump when action semantics change incompatibly (folded into the
+#: campaign hash).
+CHAOS_SCHEMA_VERSION = 1
+
+ALL_KINDS = (
+    "kill-worker", "kill-daemon", "sever-client",
+    "corrupt-cache", "corrupt-journal", "delay-sched",
+)
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One service-level fault: what breaks, and when (wall seconds)."""
+
+    kind: str
+    #: Wall-clock offset from campaign start at which to inject.
+    at: float = 0.0
+    #: Kind-specific target (unused by most kinds; ``"*"`` = harness
+    #: picks via the action's RNG stream).
+    target: str = "*"
+    #: Kind-specific severity: garbage bytes for ``corrupt-journal``,
+    #: seconds for ``delay-sched``; ignored elsewhere.
+    magnitude: float = 0.0
+    #: Extra kind-specific parameters (canonicalised like sweep kwargs).
+    params: Any = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ChaosError(
+                f"unknown chaos action kind {self.kind!r} "
+                f"(known: {list(ALL_KINDS)})"
+            )
+        if self.at < 0:
+            raise ChaosError("chaos action offset 'at' must be >= 0")
+        object.__setattr__(self, "at", float(self.at))
+        object.__setattr__(self, "magnitude", float(self.magnitude))
+        object.__setattr__(self, "params", freeze(self.params or {}))
+
+    def params_dict(self) -> dict:
+        out = thaw(self.params)
+        return out if isinstance(out, dict) else {}
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "target": self.target,
+            "magnitude": self.magnitude,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosAction":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def label(self) -> str:
+        tgt = "" if self.target == "*" else f"@{self.target}"
+        return f"{self.kind}{tgt}[t+{self.at:g}s]"
+
+
+@dataclass(frozen=True)
+class ChaosCampaign:
+    """A seeded, ordered set of actions driven against one daemon.
+
+    Actions fire in ``at`` order.  Each draws from an independent RNG
+    stream derived from the campaign seed and the action's position, so
+    identical campaigns replay identically and removing one action
+    never perturbs another's draws (the :class:`~repro.faults.spec.
+    FaultCampaign` discipline, applied to the service).
+    """
+
+    seed: int = 0
+    actions: Sequence[ChaosAction] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for a in self.actions:
+            if not isinstance(a, ChaosAction):
+                raise ChaosError(
+                    f"campaign actions must be ChaosAction, got {a!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[ChaosAction]:
+        return iter(self.actions)
+
+    @property
+    def empty(self) -> bool:
+        return not self.actions
+
+    def rng_for(self, index: int) -> np.random.Generator:
+        """Independent generator for the ``index``-th action."""
+        seq = np.random.SeedSequence(entropy=int(self.seed), spawn_key=(index,))
+        return np.random.default_rng(seq)
+
+    def timeline(self) -> list[tuple[int, ChaosAction]]:
+        """(original index, action) pairs sorted by injection offset."""
+        return sorted(enumerate(self.actions), key=lambda ia: ia[1].at)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "actions": [a.to_dict() for a in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosCampaign":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+            actions=tuple(
+                ChaosAction.from_dict(a) for a in data.get("actions", ())
+            ),
+        )
+
+    def canonical_json(self) -> str:
+        payload = dict(self.to_dict(), chaos_schema_version=CHAOS_SCHEMA_VERSION)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def campaign_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def describe(self) -> str:
+        label = self.name or "chaos-campaign"
+        return f"{label}: {len(self.actions)} action(s), seed {self.seed}"
+
+
+def default_campaign(seed: int = 0, *, span_s: float = 6.0) -> ChaosCampaign:
+    """The smoke campaign ``repro chaos`` runs without ``--action``:
+    a worker kill, a daemon SIGKILL + restart, one corrupted cache
+    entry and a torn journal tail, spread over ``span_s`` seconds."""
+    return ChaosCampaign(seed=seed, name="smoke", actions=(
+        ChaosAction("kill-worker", at=0.15 * span_s),
+        ChaosAction("corrupt-cache", at=0.35 * span_s),
+        ChaosAction("kill-daemon", at=0.5 * span_s),
+        ChaosAction("corrupt-journal", at=0.75 * span_s, magnitude=33),
+        ChaosAction("sever-client", at=0.9 * span_s),
+    ))

@@ -356,6 +356,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ServeConfig, Server
 
+    journal_path = None
+    if not args.no_journal:
+        if args.journal:
+            journal_path = args.journal
+        else:
+            from repro.sweep.cache import default_cache_dir
+
+            root = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+            journal_path = str(root / "serve.journal")
+    try:
+        sched_delay = float(os.environ.get("REPRO_SERVE_SCHED_DELAY", "0"))
+    except ValueError:
+        sched_delay = 0.0
     config = ServeConfig(
         host=args.host, port=args.port, unix_path=args.unix,
         workers=args.workers, max_inflight=args.max_inflight,
@@ -363,6 +376,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_reap_s=args.idle_reap, quantum=args.quantum,
         tenant_weights=_parse_weights(args.weight),
         job_timeout=args.job_timeout,
+        journal_path=journal_path, recover=not args.no_recover,
+        max_queue_depth=args.max_queue_depth,
+        max_tenant_depth=args.max_tenant_depth,
+        max_queued_cost_s=args.max_queued_cost,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        breaker_shed=args.breaker_shed,
+        sched_delay_s=sched_delay,
     )
     server = Server(config).start()
     host, port = server.tcp_address
@@ -374,14 +395,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache = "off" if not config.use_cache else str(server._store.root)
     print(f"repro serve listening on {addr}")
     print(f"execution: {mode}, {config.capacity} in flight; cache: {cache}")
+    if journal_path:
+        recovered = server.recovered_jobs
+        suffix = f"; recovered {recovered} job(s)" if recovered else ""
+        print(f"journal: {journal_path}{suffix}")
     if args.ready_file:
         # Machine-readable rendezvous (scripts/CI start us with an
         # ephemeral port and read the bound address back from here).
-        Path(args.ready_file).write_text(_json.dumps({
+        # Written atomically: pollers race the write, and a reader
+        # must never observe a truncated-but-unfilled file.
+        ready = Path(args.ready_file)
+        tmp = ready.with_suffix(ready.suffix + ".tmp")
+        tmp.write_text(_json.dumps({
             "tcp": f"{host}:{port}",
             "unix": server.unix_address,
             "pid": os.getpid(),
         }))
+        os.replace(tmp, ready)
 
     def _on_signal(signum, _frame):
         print(f"signal {signal.Signals(signum).name}: draining...", flush=True)
@@ -392,6 +422,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server.serve_forever()
     print(f"repro serve stopped after {server.served} job(s)")
     return 0
+
+
+def _parse_chaos_actions(specs) -> list:
+    """``KIND@SECONDS[:MAGNITUDE]`` strings -> ChaosAction list."""
+    from repro.chaos import ChaosAction
+    from repro.errors import ReproError
+
+    actions = []
+    for text in specs:
+        kind, sep, rest = text.partition("@")
+        if not sep:
+            raise ReproError(
+                f"malformed --action {text!r}; expected "
+                "KIND@SECONDS[:MAGNITUDE]"
+            )
+        at_s, _, mag_s = rest.partition(":")
+        try:
+            actions.append(ChaosAction(
+                kind, at=float(at_s), magnitude=float(mag_s or 0),
+            ))
+        except ValueError:
+            raise ReproError(
+                f"malformed --action {text!r}; expected "
+                "KIND@SECONDS[:MAGNITUDE]"
+            ) from None
+    return actions
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import ChaosCampaign, default_campaign, run_campaign
+
+    if args.action:
+        campaign = ChaosCampaign(
+            seed=args.seed, name="cli",
+            actions=tuple(_parse_chaos_actions(args.action)),
+        )
+    else:
+        campaign = default_campaign(args.seed, span_s=args.span)
+    keep_workdir = args.workdir is not None
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    print(f"chaos: {campaign.describe()} [{campaign.campaign_hash[:12]}]")
+    print(f"chaos: workdir {workdir}")
+    report = run_campaign(
+        campaign, workdir,
+        jobs=args.jobs, tenants=args.tenants, workers=args.workers,
+        scale=args.scale, sched_delay=args.sched_delay,
+        drain_timeout=args.drain_timeout,
+        repo_src=Path(__file__).resolve().parents[1],
+    )
+    for item in report.injected:
+        detail = item.get("detail") or item.get("path", "")
+        print(f"  t+{item['at']:5.2f}s  {item['kind']}: {detail}")
+    print(
+        f"chaos: {report.completed}/{report.jobs} jobs done across "
+        f"{report.incarnations} daemon incarnation(s); "
+        f"{report.recovered_jobs} recovered, "
+        f"{report.retried_attempts} retried attempt(s) "
+        f"({report.wall_time:.1f}s)"
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"chaos: report written to {out}")
+    if report.ok:
+        print("chaos: all invariants held")
+        if not keep_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return 0
+    for violation in report.violations:
+        print(f"chaos: VIOLATION: {violation}")
+    print(f"chaos: artifacts kept in {workdir}")
+    return 1
 
 
 def _serve_addr(args: argparse.Namespace) -> str:
@@ -869,6 +979,75 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSONL log of daemon + job lifecycle events")
     serve_p.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="Prometheus snapshot written at daemon exit")
+    dg = serve_p.add_argument_group("durability and overload protection")
+    dg.add_argument("--journal", default=None, metavar="PATH",
+                    help="write-ahead job journal (default: "
+                         "<cache-root>/serve.journal)")
+    dg.add_argument("--no-journal", action="store_true",
+                    help="run without crash durability")
+    dg.add_argument("--no-recover", action="store_true",
+                    help="discard the journal's pending jobs at startup "
+                         "instead of re-enqueuing them")
+    dg.add_argument("--max-queue-depth", type=int, default=None,
+                    help="shed submissions once this many jobs are queued")
+    dg.add_argument("--max-tenant-depth", type=int, default=None,
+                    help="per-tenant queued-job ceiling")
+    dg.add_argument("--max-queued-cost", type=float, default=None,
+                    metavar="SECONDS",
+                    help="shed once the queue's estimated execution cost "
+                         "exceeds this many seconds")
+    dg.add_argument("--breaker-threshold", type=int, default=3,
+                    help="consecutive pool failures that open the circuit "
+                         "breaker (0 disables it)")
+    dg.add_argument("--breaker-cooldown", type=float, default=5.0,
+                    metavar="SECONDS",
+                    help="how long an open breaker waits before probing")
+    dg.add_argument("--breaker-shed", action="store_true",
+                    help="reject new submissions while the breaker is open "
+                         "(default: queue them)")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign against a real serve daemon",
+        description="Start a throwaway `repro serve` daemon (journal on), "
+                    "submit a multi-tenant job grid through resilient "
+                    "clients, inject the campaign's faults — worker kills, "
+                    "daemon SIGKILL + restart, severed sockets, corrupted "
+                    "cache entries and journal tails — then drain and "
+                    "verify the durability invariants. Exits non-zero if "
+                    "any invariant is violated.",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (identical seeds replay "
+                             "identical campaigns)")
+    chaos_p.add_argument("--jobs", type=int, default=8,
+                        help="jobs submitted across the tenants")
+    chaos_p.add_argument("--tenants", type=int, default=3)
+    chaos_p.add_argument("--workers", type=int, default=2,
+                        help="daemon pool workers")
+    chaos_p.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor for the chaos jobs")
+    chaos_p.add_argument("--sched-delay", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="throttle the daemon scheduler loop so kills "
+                             "land mid-flight (0 disables)")
+    chaos_p.add_argument("--span", type=float, default=6.0,
+                        help="seconds over which the default campaign's "
+                             "actions are spread")
+    chaos_p.add_argument("--drain-timeout", type=float, default=180.0,
+                        help="give up if jobs are not done after this long")
+    chaos_p.add_argument("--workdir", default=None, metavar="DIR",
+                        help="campaign scratch directory (default: a fresh "
+                             "temp dir, kept on failure)")
+    chaos_p.add_argument("--action", action="append", default=None,
+                        metavar="KIND@SECONDS[:MAGNITUDE]",
+                        help="override the default campaign; repeatable "
+                             "(e.g. --action kill-daemon@2 "
+                             "--action corrupt-journal@4:64)")
+    chaos_p.add_argument("--out", default=None, metavar="PATH",
+                        help="write the campaign report as JSON")
+    chaos_p.add_argument("--events-out", default=None, metavar="PATH",
+                        help="JSONL log of injected chaos actions")
 
     client_common = argparse.ArgumentParser(add_help=False)
     cg = client_common.add_argument_group("daemon connection")
@@ -939,6 +1118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults": _cmd_faults,
         "perf": _cmd_perf,
         "serve": _cmd_serve,
+        "chaos": _cmd_chaos,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "cancel": _cmd_cancel,

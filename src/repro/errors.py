@@ -52,6 +52,12 @@ class FaultError(ReproError):
     """Raised when a fault campaign is malformed or cannot be injected."""
 
 
+class ChaosError(ReproError):
+    """Raised by the service-level chaos harness (:mod:`repro.chaos`):
+    malformed campaigns, a daemon that cannot be driven, or invariant
+    violations surfaced as structured failures."""
+
+
 class DegradedModeError(SchedulingError):
     """Raised when the runtime cannot satisfy a placement because the
     platform has degraded past what graceful fallback can absorb (e.g.

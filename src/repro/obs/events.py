@@ -138,6 +138,45 @@ EVENT_TYPES: dict[str, tuple[str, str]] = {
         "a queued or running job was cancelled (wall)",
         "job, tenant",
     ),
+    # -- serve durability / overload protection (wall) -----------------
+    "job_journaled": (
+        "a submission was durably appended to the job journal (wall)",
+        "job, tenant, kind (submit|final)",
+    ),
+    "job_recovered": (
+        "journal replay re-enqueued a pre-crash submission (wall)",
+        "job, tenant, priority",
+    ),
+    "journal_compacted": (
+        "the job journal was rewritten down to its live set (wall)",
+        "kept, dropped, torn_bytes",
+    ),
+    "admission_rejected": (
+        "the admission controller (or open breaker) shed a submission (wall)",
+        "tenant, reason, retry_after",
+    ),
+    "breaker_open": (
+        "the pool circuit breaker tripped open (wall)",
+        "failures, cooldown",
+    ),
+    "breaker_half_open": (
+        "the breaker's cooldown elapsed; probing with one job (wall)",
+        "",
+    ),
+    "breaker_closed": (
+        "a probe succeeded; the breaker reclosed (wall)",
+        "",
+    ),
+    # -- cache integrity -----------------------------------------------
+    "cache_corrupted": (
+        "a result-cache entry failed validation and was quarantined (wall)",
+        "key, reason",
+    ),
+    # -- chaos harness (wall seconds since campaign start) -------------
+    "chaos_injected": (
+        "the chaos harness injected one service-level fault (wall)",
+        "action, target, detail",
+    ),
 }
 
 #: Keys an event's ``fields`` may not use (they name the envelope).

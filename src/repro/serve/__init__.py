@@ -12,12 +12,15 @@ lifecycle and the fairness model; ``repro submit --follow`` is the
 one-line client.
 """
 
+from repro.serve.admission import AdmissionController, CircuitBreaker
 from repro.serve.client import ADDR_ENV, FollowStream, ServeClient, parse_address
+from repro.serve.journal import JobJournal, RecoveredState
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
     DEFAULT_TENANT,
     JOB_STATES,
     PROTOCOL_VERSION,
+    RESOURCE_EXHAUSTED,
     TERMINAL_STATES,
     ProtocolError,
 )
@@ -26,6 +29,8 @@ from repro.serve.server import DEFAULT_FOLLOW_TYPES, Job, ServeConfig, Server
 
 __all__ = [
     "ADDR_ENV",
+    "AdmissionController",
+    "CircuitBreaker",
     "DEFAULT_FOLLOW_TYPES",
     "DEFAULT_TENANT",
     "Entry",
@@ -33,8 +38,11 @@ __all__ = [
     "FollowStream",
     "JOB_STATES",
     "Job",
+    "JobJournal",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RESOURCE_EXHAUSTED",
+    "RecoveredState",
     "ServeClient",
     "ServeConfig",
     "ServeMetrics",

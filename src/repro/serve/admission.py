@@ -1,0 +1,250 @@
+"""Overload protection for the serve daemon.
+
+Two independent mechanisms, both configured through
+:class:`~repro.serve.server.ServeConfig`:
+
+* :class:`AdmissionController` — bounded admission.  Each non-cached
+  submission is checked against a global queue-depth cap, a per-tenant
+  depth cap, and an estimated-queued-seconds cap (depth x the measured
+  per-job cost, seeded from the warm pool's ``cost_hint`` probe from
+  the sweep layer and refined by an EMA over served jobs).  A rejected
+  submission gets a structured ``resource-exhausted`` error carrying
+  ``retry_after`` — the estimated time for the backlog to clear one
+  capacity's worth of work — instead of an unbounded queue and an
+  eventual OOM.
+
+* :class:`CircuitBreaker` — a three-state (closed / open / half-open)
+  breaker around the execution substrate.  Consecutive substrate-level
+  failures (broken pool, timeouts) trip it open; while open the
+  scheduler stops dispatching (queued jobs wait; cache hits still
+  serve; new submissions queue, or shed with ``retry_after`` when the
+  shed policy is on).  After ``cooldown_s`` one probe job is let
+  through (half-open): success re-closes the breaker, failure re-opens
+  it for another cooldown.
+
+Both are plain synchronous objects; the server serialises calls under
+its own lock, so neither takes one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+#: Breaker states (also the ``breaker_*`` obs event suffixes).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: retry_after clamp: never tell a client "come back in 3 ms" (it will
+#: hammer) or "come back in an hour" (it will leave).
+_RETRY_AFTER_MIN = 0.05
+_RETRY_AFTER_MAX = 60.0
+
+#: Cost assumed for a job before any has been measured.
+DEFAULT_COST_S = 0.5
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a submission was shed, and when to come back."""
+
+    reason: str
+    retry_after: float
+    #: Bounded slug for metric labels: ``global-depth`` |
+    #: ``tenant-depth`` | ``queued-cost`` | ``breaker-open``.
+    code: str = "global-depth"
+
+    def message(self) -> str:
+        return (
+            f"submission shed ({self.reason}); "
+            f"retry after {self.retry_after:.2f} s"
+        )
+
+
+class AdmissionController:
+    """Bounded admission over queue depth and estimated queued cost."""
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: Optional[int] = None,
+        max_tenant_depth: Optional[int] = None,
+        max_queued_cost_s: Optional[float] = None,
+        capacity: int = 1,
+    ) -> None:
+        self.max_queue_depth = max_queue_depth
+        self.max_tenant_depth = max_tenant_depth
+        self.max_queued_cost_s = max_queued_cost_s
+        self.capacity = max(1, int(capacity))
+        #: EMA of measured per-job wall cost; None until the first
+        #: sample (then :data:`DEFAULT_COST_S` or the pool's hint is
+        #: used for estimates).
+        self._cost_ema: Optional[float] = None
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.max_queue_depth is not None
+            or self.max_tenant_depth is not None
+            or self.max_queued_cost_s is not None
+        )
+
+    # -- cost estimation ------------------------------------------------
+    def observe_cost(self, elapsed: float) -> None:
+        """Feed one executed job's wall time into the cost estimate."""
+        if elapsed <= 0:
+            return
+        if self._cost_ema is None:
+            self._cost_ema = elapsed
+        else:
+            self._cost_ema = 0.8 * self._cost_ema + 0.2 * elapsed
+
+    def seed_cost(self, hint: Optional[float]) -> None:
+        """Adopt the warm pool's measured per-job cost probe, if any."""
+        if hint is not None and hint > 0 and self._cost_ema is None:
+            self._cost_ema = float(hint)
+
+    @property
+    def est_cost_s(self) -> float:
+        return self._cost_ema if self._cost_ema else DEFAULT_COST_S
+
+    def retry_after(self, depth: int) -> float:
+        """Estimated time for one capacity's worth of backlog to clear."""
+        est = self.est_cost_s * max(1, depth) / self.capacity
+        return min(_RETRY_AFTER_MAX, max(_RETRY_AFTER_MIN, est))
+
+    # -- the check ------------------------------------------------------
+    def check(self, tenant: str, depth: int,
+              depths: Mapping[str, int]) -> Optional[Rejection]:
+        """``None`` to admit, a :class:`Rejection` to shed.
+
+        ``depth`` is the global queued-job count, ``depths`` the live
+        per-tenant split (both pre-admission).
+        """
+        if self.max_queue_depth is not None and depth >= self.max_queue_depth:
+            self.rejected += 1
+            return Rejection(
+                f"queue depth {depth} at global limit {self.max_queue_depth}",
+                self.retry_after(depth),
+                code="global-depth",
+            )
+        tenant_depth = depths.get(tenant, 0)
+        if (
+            self.max_tenant_depth is not None
+            and tenant_depth >= self.max_tenant_depth
+        ):
+            self.rejected += 1
+            return Rejection(
+                f"tenant {tenant!r} depth {tenant_depth} at per-tenant "
+                f"limit {self.max_tenant_depth}",
+                self.retry_after(tenant_depth),
+                code="tenant-depth",
+            )
+        if self.max_queued_cost_s is not None:
+            queued_cost = depth * self.est_cost_s
+            if queued_cost >= self.max_queued_cost_s:
+                self.rejected += 1
+                return Rejection(
+                    f"estimated queued work {queued_cost:.1f} s at limit "
+                    f"{self.max_queued_cost_s:g} s",
+                    self.retry_after(depth),
+                    code="queued-cost",
+                )
+        return None
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over consecutive failures."""
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        #: ``threshold <= 0`` disables the breaker entirely.
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.trips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def _transition(self, new: str) -> None:
+        old, self.state = self.state, new
+        if old != new and self._on_transition is not None:
+            self._on_transition(old, new)
+
+    # -- dispatch gate --------------------------------------------------
+    def allow(self) -> bool:
+        """May the scheduler dispatch a job right now?
+
+        In ``open``, returns False until ``cooldown_s`` has elapsed,
+        then transitions to ``half_open`` and admits exactly one probe
+        job until its outcome is recorded.
+        """
+        if not self.enabled or self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if (
+                self.opened_at is not None
+                and self._clock() - self.opened_at >= self.cooldown_s
+            ):
+                self._transition(HALF_OPEN)
+                self._probe_inflight = False
+            else:
+                return False
+        # half-open: one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is due (shed-policy hint)."""
+        if self.state != OPEN or self.opened_at is None:
+            return _RETRY_AFTER_MIN
+        remaining = self.cooldown_s - (self._clock() - self.opened_at)
+        return max(_RETRY_AFTER_MIN, remaining)
+
+    # -- outcome feedback -----------------------------------------------
+    def release_probe(self) -> None:
+        """A dispatched job ended without a substrate verdict
+        (cancelled, job-scoped error): free the half-open probe slot
+        without moving the failure count."""
+        self._probe_inflight = False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        if not self.enabled:
+            return
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.threshold
+        ):
+            self.opened_at = self._clock()
+            self.trips += 1
+            self._transition(OPEN)
+        elif self.state == OPEN:
+            # Late failures from jobs already in flight when the
+            # breaker tripped: push the probe window out.
+            self.opened_at = self._clock()

@@ -14,12 +14,23 @@
 Each client owns one connection and is **not** thread-safe; open one
 client per thread (the daemon happily accepts many connections).
 Addresses: ``host:port``, a bare port, or ``unix:/path/to.sock``.
+
+Resilience (``retries > 0``): when the connection drops mid-RPC the
+client reconnects with jittered exponential backoff and re-sends the
+request — but only requests that are safe to replay.  Reads (``ping``,
+``status``, ``jobs``, ``metrics``) always are; ``submit`` is replayed
+only under an ``idempotency_key`` (auto-generated per submission when
+retries are enabled), which the daemon uses to answer the retry from
+the original job instead of running it twice.  ``cancel`` /
+``shutdown`` and ``follow=True`` streams are never replayed.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import uuid
 from typing import Any, Iterator, Mapping, Optional, Union
 
 from repro.errors import ServeError
@@ -86,20 +97,55 @@ class ServeClient:
     """One connection to a running ``repro serve`` daemon."""
 
     def __init__(self, address: str, *, tenant: str = protocol.DEFAULT_TENANT,
-                 timeout: Optional[float] = 60.0) -> None:
+                 timeout: Optional[float] = 60.0, retries: int = 0,
+                 backoff_s: float = 0.2, backoff_max_s: float = 5.0,
+                 rng: Optional[random.Random] = None) -> None:
         self.address = address
         self.tenant = tenant
-        kind, target = parse_address(address)
-        if kind == "unix":
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(target)
-        else:
-            self._sock = socket.create_connection(target, timeout=timeout)
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        #: Reconnect-and-resend attempts per replayable RPC (0 = fail
+        #: fast on the first connection error, the pre-resilience
+        #: behaviour).
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = rng if rng is not None else random.Random()
         self._next_id = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
 
     # -- plumbing -------------------------------------------------------
+    def _connect(self) -> None:
+        kind, target = parse_address(self.address)
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(target)
+        else:
+            sock = socket.create_connection(target, timeout=self.timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def _drop_connection(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _backoff(self, attempt: int) -> None:
+        """Jittered exponential backoff before reconnect ``attempt``."""
+        base = min(self.backoff_max_s, self.backoff_s * (2 ** attempt))
+        time.sleep(base * (0.5 + self._rng.random()))
+
     def _read_doc(self) -> dict:
         line = self._reader.readline()
         if not line:
@@ -111,7 +157,7 @@ class ServeClient:
     def _send(self, doc: Mapping[str, Any]) -> None:
         self._sock.sendall(protocol.encode_line(doc))
 
-    def _rpc(self, method: str, params: Optional[dict] = None) -> dict:
+    def _rpc_once(self, method: str, params: Optional[dict]) -> dict:
         self._next_id += 1
         self._send(protocol.make_request(
             self._next_id, method, params, tenant=self.tenant
@@ -121,6 +167,31 @@ class ServeClient:
             if protocol.is_event(doc):
                 continue  # late events from an abandoned follow
             return protocol.result_or_raise(doc)
+
+    def _rpc(self, method: str, params: Optional[dict] = None,
+             replayable: Optional[bool] = None) -> dict:
+        """One request/response round, reconnecting when safe.
+
+        Retries cover connection-level failures only (reset, dropped
+        socket, refused reconnect) — a structured error reply from the
+        daemon always surfaces immediately.
+        """
+        if replayable is None:
+            replayable = method in {"ping", "status", "jobs", "metrics"}
+        attempts = self.retries if replayable else 0
+        for attempt in range(attempts + 1):
+            try:
+                if self._sock is None:
+                    self._connect()
+                return self._rpc_once(method, params)
+            except protocol.ProtocolError:
+                raise  # daemon replied; never replay
+            except (ServeError, OSError):
+                self._drop_connection()
+                if attempt >= attempts:
+                    raise
+                self._backoff(attempt)
+        raise AssertionError("unreachable")
 
     # -- RPC surface ----------------------------------------------------
     def ping(self) -> dict:
@@ -134,6 +205,7 @@ class ServeClient:
         timeout: Optional[float] = None,
         follow: bool = False,
         follow_types: Optional[list] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Union[dict, FollowStream]:
         """Submit one job.
 
@@ -142,12 +214,22 @@ class ServeClient:
         from the cache).  ``follow=True`` returns a
         :class:`FollowStream` that yields progress events and finally
         the terminal job dict — the connection is dedicated to the
-        stream until then.
+        stream until then, and is never retried.
+
+        ``idempotency_key`` makes the submission replay-safe: the
+        daemon answers a duplicate key from the original job instead of
+        running it again.  When the client was built with
+        ``retries > 0`` a key is auto-generated per submission, so a
+        resend after a dropped connection cannot double-run the job.
         """
         spec_dict = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
         params: dict = {"job": spec_dict, "priority": priority}
         if timeout is not None:
             params["timeout"] = timeout
+        if idempotency_key is None and self.retries > 0 and not follow:
+            idempotency_key = uuid.uuid4().hex
+        if idempotency_key is not None:
+            params["idempotency_key"] = idempotency_key
         if follow:
             params["follow"] = True
             if follow_types:
@@ -157,7 +239,9 @@ class ServeClient:
                 self._next_id, "submit", params, tenant=self.tenant
             ))
             return FollowStream(self, self._next_id)
-        return self._rpc("submit", params)
+        return self._rpc(
+            "submit", params, replayable=idempotency_key is not None
+        )
 
     def status(self, job_id: str, *, result: bool = True) -> dict:
         return self._rpc("status", {"job": job_id, "result": result})
@@ -191,14 +275,7 @@ class ServeClient:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._reader.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_connection()
 
     def __enter__(self) -> "ServeClient":
         return self

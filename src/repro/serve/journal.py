@@ -1,0 +1,302 @@
+"""Crash-safe write-ahead job journal for the serve daemon.
+
+The daemon's job table lives in memory; a crash (SIGKILL, OOM, power
+loss) would otherwise silently drop every acknowledged-but-unfinished
+submission.  :class:`JobJournal` is the durability layer underneath
+:class:`~repro.serve.server.Server`:
+
+* every accepted submission is **appended before it is enqueued** (and
+  before the client's acknowledgement is sent) as a length+CRC framed,
+  fsync'd record — so an ack implies the job survives a crash;
+* every terminal transition appends a ``final`` record, so replay can
+  tell finished work from work that must re-run;
+* :meth:`replay` reads the journal back at startup, **truncating a torn
+  tail** (a record half-written at the instant of the crash) instead of
+  refusing to start, and returns the records in append order;
+* :meth:`compact` atomically rewrites the journal down to its live set
+  (non-terminal submissions plus the idempotency index), bounding file
+  growth across restarts.
+
+Framing: the file starts with a 4-byte magic; each record is
+``<u32 payload-length> <u32 crc32(payload)> <payload>`` with the
+payload a UTF-8 JSON object.  A record is valid only if its full frame
+is present *and* the CRC matches — anything else is a torn tail by
+definition (appends are sequential), never a mid-file hole.
+
+Record shapes (the ``"t"`` field discriminates):
+
+``{"t": "submit", "job", "tenant", "priority", "timeout", "idem",
+"spec": {...}}``
+    one accepted submission (``idem`` may be ``None``);
+
+``{"t": "final", "job", "state", "kind", "error", "hash", "elapsed"}``
+    the job reached a terminal state (its result, if any, lives in the
+    result cache under ``hash`` — the journal never stores metrics);
+
+``{"t": "idem", "key", "job", "hash", "state"}``
+    compaction artifact: a terminal job's idempotency-key binding,
+    kept so a duplicate resubmission after a restart is answered from
+    the cache instead of re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import ServeError
+
+#: File magic; bump the digit when the framing itself changes.
+MAGIC = b"RJJ1"
+
+_HEAD = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Sanity cap on a single record (a length field beyond this is treated
+#: as tail corruption, not an attempt to allocate gigabytes).
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+@dataclass
+class ReplayResult:
+    """What :meth:`JobJournal.replay` found on disk."""
+
+    records: list[dict]
+    #: Bytes of torn tail that were truncated away (0 = clean file).
+    torn_bytes: int
+    #: Journal size after truncation.
+    size: int
+
+
+class JobJournal:
+    """Append-only, CRC-framed, fsync'd record log (thread-safe)."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh: Optional[object] = None
+        self.appended = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def open(self) -> "JobJournal":
+        """Open for appending, creating the file (and magic) if absent."""
+        with self._lock:
+            if self._fh is not None:
+                return self
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(MAGIC)
+                self._flush_locked()
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                finally:
+                    self._fh = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    # -- appending ------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one record (frames, flushes, fsyncs)."""
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        frame = _HEAD.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._lock:
+            if self._fh is None:
+                raise ServeError(f"journal {self.path} is not open")
+            self._fh.write(frame)
+            self._flush_locked()
+            self.appended += 1
+
+    def _flush_locked(self) -> None:
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    # -- replay ---------------------------------------------------------
+    def replay(self, truncate: bool = True) -> ReplayResult:
+        """Read every valid record back; truncate any torn tail.
+
+        Safe on a missing or empty file (returns no records).  A file
+        that does not even hold the magic is treated as fully torn.
+        Must not be called while the journal is open for appending.
+        """
+        if self.is_open:
+            raise ServeError("cannot replay a journal that is open for append")
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return ReplayResult([], 0, 0)
+        records: list[dict] = []
+        good = 0
+        if blob[: len(MAGIC)] == MAGIC:
+            good = len(MAGIC)
+            off = good
+            while True:
+                head = blob[off: off + _HEAD.size]
+                if len(head) < _HEAD.size:
+                    break
+                length, crc = _HEAD.unpack(head)
+                if length > MAX_RECORD_BYTES:
+                    break
+                payload = blob[off + _HEAD.size: off + _HEAD.size + length]
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                if not isinstance(record, dict):
+                    break
+                records.append(record)
+                off += _HEAD.size + length
+                good = off
+        torn = len(blob) - good
+        if torn and truncate:
+            with open(self.path, "r+b" if good else "wb") as fh:
+                fh.truncate(good)
+                if good == 0:
+                    fh.write(MAGIC)
+                    good = len(MAGIC)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return ReplayResult(records, torn, good)
+
+    # -- compaction -----------------------------------------------------
+    def compact(self, live_records: Iterable[dict]) -> int:
+        """Atomically rewrite the journal to exactly ``live_records``.
+
+        Writes a fresh framed file beside the journal, fsyncs it, then
+        ``os.replace``s it into place — a crash mid-compaction leaves
+        the old journal intact.  Reopens for appending if the journal
+        was open.  Returns the number of records kept.
+        """
+        with self._lock:
+            was_open = self._fh is not None
+            if was_open:
+                self._fh.close()
+                self._fh = None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            kept = 0
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, suffix=".journal.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(MAGIC)
+                    for record in live_records:
+                        payload = json.dumps(
+                            record, separators=(",", ":")
+                        ).encode("utf-8")
+                        fh.write(
+                            _HEAD.pack(len(payload), zlib.crc32(payload))
+                            + payload
+                        )
+                        kept += 1
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            finally:
+                if was_open:
+                    self._fh = open(self.path, "ab")
+            return kept
+
+
+# ----------------------------------------------------------------------
+# Record constructors / replay interpretation
+# ----------------------------------------------------------------------
+def submit_record(job_id: str, tenant: str, spec_dict: dict, priority: int,
+                  timeout: Optional[float], idem: Optional[str]) -> dict:
+    return {
+        "t": "submit", "job": job_id, "tenant": tenant, "spec": spec_dict,
+        "priority": priority, "timeout": timeout, "idem": idem,
+    }
+
+
+def final_record(job_id: str, state: str, kind: Optional[str],
+                 error: Optional[str], job_hash: str,
+                 elapsed: float) -> dict:
+    return {
+        "t": "final", "job": job_id, "state": state, "kind": kind,
+        "error": error, "hash": job_hash, "elapsed": elapsed,
+    }
+
+
+def idem_record(key: str, job_id: str, job_hash: str, state: str) -> dict:
+    return {"t": "idem", "key": key, "job": job_id, "hash": job_hash,
+            "state": state}
+
+
+@dataclass
+class RecoveredState:
+    """The journal interpreted: what must re-run, what is settled."""
+
+    #: Non-terminal submissions in original append (= admission) order.
+    pending: list[dict]
+    #: job id -> final record, for submissions that reached a terminal
+    #: state before the crash.
+    finished: dict[str, dict]
+    #: idempotency key -> ``{"job", "hash", "state"}`` for settled keys.
+    idem: dict[str, dict]
+    #: Highest numeric job id seen (``j000042`` -> 42); the restarted
+    #: daemon continues above it so ids never collide across lives.
+    max_seq: int
+
+
+def interpret(records: Iterable[dict]) -> RecoveredState:
+    """Fold replayed records into the state a restarting daemon needs."""
+    submits: dict[str, dict] = {}
+    order: list[str] = []
+    finished: dict[str, dict] = {}
+    idem: dict[str, dict] = {}
+    max_seq = 0
+    for record in records:
+        t = record.get("t")
+        job_id = record.get("job")
+        if isinstance(job_id, str) and job_id[:1] == "j":
+            try:
+                max_seq = max(max_seq, int(job_id[1:]))
+            except ValueError:
+                pass
+        if t == "submit" and isinstance(job_id, str):
+            if job_id not in submits:
+                order.append(job_id)
+            submits[job_id] = record
+        elif t == "final" and isinstance(job_id, str):
+            finished[job_id] = record
+            src = submits.get(job_id)
+            key = src.get("idem") if src else None
+            if key:
+                idem[key] = {
+                    "job": job_id,
+                    "hash": record.get("hash", ""),
+                    "state": record.get("state", ""),
+                }
+        elif t == "idem" and isinstance(record.get("key"), str):
+            idem[record["key"]] = {
+                "job": record.get("job", ""),
+                "hash": record.get("hash", ""),
+                "state": record.get("state", ""),
+            }
+    pending = [submits[j] for j in order if j not in finished]
+    return RecoveredState(pending, finished, idem, max_seq)

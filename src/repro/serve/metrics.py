@@ -63,6 +63,44 @@ class ServeMetrics:
             "repro_serve_job_seconds",
             "executed-job wall time (cache hits excluded)",
         )
+        self.journal_appends = r.counter(
+            "repro_serve_journal_appends_total",
+            "records durably appended to the job journal, by kind",
+            labels=("kind",),
+        )
+        self.jobs_recovered = r.counter(
+            "repro_serve_jobs_recovered_total",
+            "pre-crash submissions re-enqueued by journal replay",
+        )
+        self.journal_compactions = r.counter(
+            "repro_serve_journal_compactions_total",
+            "times the job journal was compacted to its live set",
+        )
+        self.admission_rejected = r.counter(
+            "repro_serve_admission_rejected_total",
+            "submissions shed by admission control, by tenant and reason",
+            labels=("tenant", "reason"),
+        )
+        self.idempotent_hits = r.counter(
+            "repro_serve_idempotent_hits_total",
+            "duplicate submissions answered via their idempotency key",
+        )
+        self.breaker_state = r.gauge(
+            "repro_serve_breaker_state",
+            "pool circuit breaker state (0=closed, 1=half-open, 2=open)",
+        )
+        self.breaker_trips = r.counter(
+            "repro_serve_breaker_trips_total",
+            "times the pool circuit breaker tripped open",
+        )
+        self.pool_recycles = r.counter(
+            "repro_serve_pool_recycles_total",
+            "broken warm pools recycled by the daemon",
+        )
+        self.timeout_leaked = r.gauge(
+            "repro_serve_timeout_leaked",
+            "execution slots leaked to timed-out jobs since daemon start",
+        )
         for state in protocol.JOB_STATES:
             self.jobs_by_state.set(0, state=state)
 

@@ -70,16 +70,38 @@ UNKNOWN_METHOD = "unknown-method"
 UNKNOWN_JOB = "unknown-job"
 SHUTTING_DOWN = "shutting-down"
 NOT_CANCELLABLE = "not-cancellable"
+#: The admission controller (or an open circuit breaker with a shed
+#: policy) refused a submission.  The error's ``data`` always carries
+#: ``retry_after`` — the seconds a well-behaved client should wait
+#: before resubmitting.
+RESOURCE_EXHAUSTED = "resource-exhausted"
 INTERNAL = "internal"
+
+#: Failure ``kind`` recorded on jobs that died because the worker pool
+#: itself broke (vs. a job-scoped error).  Retryable: resubmitting the
+#: same spec (same ``idempotency_key``) after the pool recycles is safe.
+POOL_BROKEN = "broken-pool"
 
 
 class ProtocolError(ServeError):
-    """A malformed or unserviceable request/response."""
+    """A malformed or unserviceable request/response.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``data`` carries optional machine-readable context (e.g.
+    ``{"retry_after": 1.5}`` on :data:`RESOURCE_EXHAUSTED` errors).
+    """
+
+    def __init__(self, code: str, message: str,
+                 data: Optional[Mapping[str, Any]] = None) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.data = dict(data) if data else {}
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Server-suggested resubmission delay, if the reply named one."""
+        value = self.data.get("retry_after")
+        return float(value) if isinstance(value, (int, float)) else None
 
 
 # ----------------------------------------------------------------------
@@ -137,9 +159,12 @@ def make_response(req_id: Any, result: Mapping[str, Any]) -> dict:
     return {"id": req_id, "ok": True, "result": dict(result)}
 
 
-def make_error(req_id: Any, code: str, message: str) -> dict:
-    return {"id": req_id, "ok": False,
-            "error": {"code": code, "message": message}}
+def make_error(req_id: Any, code: str, message: str,
+               data: Optional[Mapping[str, Any]] = None) -> dict:
+    err: dict = {"code": code, "message": message}
+    if data:
+        err["data"] = dict(data)
+    return {"id": req_id, "ok": False, "error": err}
 
 
 def make_event(job_id: str, event: Mapping[str, Any]) -> dict:
@@ -158,5 +183,7 @@ def result_or_raise(doc: Mapping[str, Any]) -> dict:
         return result if isinstance(result, dict) else {}
     err = doc.get("error") or {}
     raise ProtocolError(
-        err.get("code", INTERNAL), err.get("message", "unspecified server error")
+        err.get("code", INTERNAL),
+        err.get("message", "unspecified server error"),
+        data=err.get("data") if isinstance(err.get("data"), dict) else None,
     )

@@ -41,7 +41,15 @@ from typing import Any, Callable, Mapping, Optional
 from repro.errors import ServeError
 from repro.obs.api import Observability, current_observer
 from repro.obs.bus import EventBus
+from repro.serve import journal as journal_mod
 from repro.serve import protocol
+from repro.serve.admission import (
+    CLOSED as BREAKER_CLOSED,
+    HALF_OPEN as BREAKER_HALF_OPEN,
+    OPEN as BREAKER_OPEN,
+    AdmissionController,
+    CircuitBreaker,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import Entry, FairQueue
 from repro.sweep import pool as pool_mod
@@ -88,6 +96,36 @@ class ServeConfig:
     job_timeout: Optional[float] = None
     #: Terminal jobs kept for ``status``/``jobs`` before pruning.
     max_history: int = 1024
+    # -- durability ----------------------------------------------------
+    #: Write-ahead job journal path (None = no journal; unit tests and
+    #: throwaway daemons).  The CLI defaults this to
+    #: ``<cache-dir>/serve.journal``.
+    journal_path: Optional[str] = None
+    #: Replay the journal at startup, re-enqueueing non-terminal jobs.
+    recover: bool = True
+    #: fsync every journal append (off only makes sense in tests).
+    journal_fsync: bool = True
+    #: Compact the journal after this many terminal records.
+    journal_compact_every: int = 256
+    # -- overload protection -------------------------------------------
+    #: Global queued-job cap (None = unbounded).
+    max_queue_depth: Optional[int] = None
+    #: Per-tenant queued-job cap (None = unbounded).
+    max_tenant_depth: Optional[int] = None
+    #: Estimated-queued-seconds cap (None = unbounded).
+    max_queued_cost_s: Optional[float] = None
+    #: Consecutive broken-pool/timeout failures that trip the circuit
+    #: breaker (0 disables it).
+    breaker_threshold: int = 3
+    #: Seconds the breaker stays open before probing half-open.
+    breaker_cooldown_s: float = 5.0
+    #: While the breaker is open: shed new non-cached submissions with
+    #: ``resource-exhausted`` (True) or let them queue (False).
+    breaker_shed: bool = False
+    #: Chaos hook: sleep this long at the top of every scheduler-loop
+    #: iteration (the ``delay-sched`` chaos action sets it via
+    #: ``REPRO_SERVE_SCHED_DELAY``).
+    sched_delay_s: float = 0.0
 
     @property
     def capacity(self) -> int:
@@ -108,17 +146,25 @@ class Job:
         "state", "cached", "mode", "submitted_at", "started_at",
         "finished_at", "elapsed", "error", "kind", "result", "entry",
         "future", "deadline", "obs", "followers", "finalized",
-        "running_slot", "done",
+        "running_slot", "done", "idem", "journaled", "recovered",
     )
 
     def __init__(self, job_id: str, tenant: str, spec: JobSpec,
-                 priority: int, timeout: Optional[float]) -> None:
+                 priority: int, timeout: Optional[float],
+                 idem: Optional[str] = None) -> None:
         self.id = job_id
         self.tenant = tenant
         self.spec = spec
         self.job_hash = spec.job_hash
         self.priority = priority
         self.timeout = timeout
+        #: Client-supplied idempotency key (duplicate submissions with
+        #: the same key are answered from this job, never re-run).
+        self.idem = idem
+        #: Whether a ``submit`` record for this job is in the journal.
+        self.journaled = False
+        #: Whether this job was re-enqueued by journal replay.
+        self.recovered = False
         self.state = protocol.QUEUED
         self.cached = False
         self.mode: Optional[str] = None
@@ -161,6 +207,7 @@ class Job:
             "elapsed": self.elapsed,
             "error": self.error,
             "kind": self.kind,
+            "recovered": self.recovered,
         }
         if with_result and self.result is not None:
             out["metrics"] = self.result
@@ -257,6 +304,45 @@ class Server:
             self._store if self.config.use_cache else None
         )
         self._exec: Optional[ThreadPoolExecutor] = None
+        # -- durability -------------------------------------------------
+        #: Write-ahead journal (None = volatile daemon).  All journal
+        #: calls happen while holding ``self._lock`` — the lock order
+        #: is always server -> journal, never the reverse.
+        self._journal: Optional[journal_mod.JobJournal] = (
+            journal_mod.JobJournal(
+                self.config.journal_path, fsync=self.config.journal_fsync
+            )
+            if self.config.journal_path
+            else None
+        )
+        self._finals_since_compact = 0
+        #: Jobs re-enqueued by journal replay at the last start().
+        self.recovered_jobs = 0
+        # -- idempotency ------------------------------------------------
+        #: key -> job id, for keys bound to a live (non-terminal) job.
+        self._idem_live: dict[str, str] = {}
+        #: key -> {"job", "hash", "state"}, for keys whose job reached a
+        #: terminal state (survives restarts via the journal).
+        self._idem_done: dict[str, dict] = {}
+        # -- overload protection ----------------------------------------
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            max_tenant_depth=self.config.max_tenant_depth,
+            max_queued_cost_s=self.config.max_queued_cost_s,
+            capacity=self.config.capacity,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+            on_transition=self._on_breaker_transition,
+        )
+        self._recycling = False
+        self._leaked_total = 0
+        self._recycles_total = 0
+        #: Rough count of records currently on disk (kept after the
+        #: last compaction + appends since); drives the ``dropped``
+        #: figure in ``journal_compacted`` events.
+        self._journal_live_est = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -266,6 +352,35 @@ class Server:
             if self._state != "idle":
                 raise ServeError(f"server already {self._state}")
             self._state = "serving"
+        if self._journal is not None:
+            # Replay (recover) strictly before the journal opens for
+            # appends and before any socket exists: recovered jobs are
+            # queued and the journal compacted down to the live set by
+            # the time the first client can connect.
+            if self.config.recover:
+                self._recover()
+            else:
+                # Recovery declined: abandon any pre-crash state.
+                replay = self._journal.replay(truncate=True)
+                self._journal_live_est = len(replay.records)
+                self._compact_journal(torn_bytes=replay.torn_bytes)
+            self._journal.open()
+        if self.config.pool_mode:
+            # Fork every pool worker now, before the accept/reader
+            # threads exist: the executor otherwise forks lazily at
+            # first submit, and forking a multi-threaded process risks
+            # inheriting a lock mid-acquisition into the child, which
+            # then deadlocks before it ever reads a task.  Forking
+            # before the listeners bind also keeps the listening
+            # sockets out of the workers — a crashed daemon's orphaned
+            # worker must never hold the port hostage across a restart.
+            pool, _ = pool_mod.get_pool(self.config.workers, [])
+            pool.prewarm()
+        else:
+            self._exec = ThreadPoolExecutor(
+                max_workers=self.config.capacity,
+                thread_name_prefix="repro-serve-job",
+            )
         tcp = socket.create_server(
             (self.config.host, self.config.port), reuse_port=False
         )
@@ -282,19 +397,6 @@ class Server:
             ux.listen(64)
             self.unix_address = str(path)
             self._listeners.append(ux)
-        if self.config.pool_mode:
-            # Fork every pool worker now, before the accept/reader
-            # threads exist: the executor otherwise forks lazily at
-            # first submit, and forking a multi-threaded process risks
-            # inheriting a lock mid-acquisition into the child, which
-            # then deadlocks before it ever reads a task.
-            pool, _ = pool_mod.get_pool(self.config.workers, [])
-            pool.prewarm()
-        else:
-            self._exec = ThreadPoolExecutor(
-                max_workers=self.config.capacity,
-                thread_name_prefix="repro-serve-job",
-            )
         for sock in self._listeners:
             t = threading.Thread(
                 target=self._accept_loop, args=(sock,), daemon=True,
@@ -349,6 +451,109 @@ class Server:
         self._stopped.wait(timeout)
 
     # ------------------------------------------------------------------
+    # Durability: journal recovery + compaction
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue everything non-terminal.
+
+        Runs single-threaded inside ``start()``, before any socket is
+        bound.  Pending submissions are re-admitted in original append
+        order (so FairQueue fairness across tenants is re-established
+        exactly as it stood), settled idempotency keys are restored,
+        and jobs whose results already landed in the cache — a crash
+        between cache write-back and the final journal record — are
+        finalised from the cache instead of re-executed.
+        """
+        assert self._journal is not None
+        replay = self._journal.replay(truncate=True)
+        self._journal_live_est = len(replay.records)
+        state = journal_mod.interpret(replay.records)
+        self._seq = max(self._seq, state.max_seq)
+        self._idem_done.update(state.idem)
+        recovered: list[Job] = []
+        for rec in state.pending:
+            try:
+                spec = JobSpec.from_dict(rec.get("spec") or {})
+            except Exception:  # noqa: BLE001 - skip unreadable records
+                continue
+            timeout = rec.get("timeout")
+            job = Job(
+                str(rec["job"]),
+                str(rec.get("tenant") or protocol.DEFAULT_TENANT),
+                spec,
+                int(rec.get("priority", 0)),
+                float(timeout) if timeout is not None else None,
+                idem=rec.get("idem"),
+            )
+            job.journaled = True
+            job.recovered = True
+            job.submitted_at = self._now()
+            recovered.append(job)
+        finalize_from_cache: list[tuple[Job, dict]] = []
+        with self._wake:
+            for job in recovered:
+                entry = (
+                    self.cache.get(job.job_hash)
+                    if self.cache is not None else None
+                )
+                self._jobs[job.id] = job
+                self._order.append(job.id)
+                if job.idem:
+                    self._idem_live[job.idem] = job.id
+                self.metrics.submitted.inc(tenant=job.tenant)
+                self.metrics.state_change(None, protocol.QUEUED)
+                self.metrics.jobs_recovered.inc()
+                if entry is None:
+                    job.entry = self._queue.push(
+                        job, tenant=job.tenant, priority=job.priority
+                    )
+                else:
+                    finalize_from_cache.append((job, entry))
+            self.metrics.queue_depth.set(len(self._queue))
+            self.recovered_jobs = len(recovered)
+        for job in recovered:
+            self._emit_job(job, "job_recovered", priority=job.priority)
+        for job, entry in finalize_from_cache:
+            self._finalize(
+                job, protocol.DONE, metrics_dict=entry["metrics"],
+                elapsed=0.0, cached=True,
+            )
+        self._compact_journal(torn_bytes=replay.torn_bytes)
+
+    def _live_journal_records(self) -> list[dict]:
+        # Locked by caller: non-terminal journaled submissions in
+        # append order, plus the settled idempotency-key index.
+        records: list[dict] = []
+        for job_id in self._order:
+            job = self._jobs.get(job_id)
+            if job is None or not job.journaled or job.finalized:
+                continue
+            records.append(journal_mod.submit_record(
+                job.id, job.tenant, job.spec.to_dict(), job.priority,
+                job.timeout, job.idem,
+            ))
+        for key, info in self._idem_done.items():
+            records.append(journal_mod.idem_record(
+                key, info.get("job", ""), info.get("hash", ""),
+                info.get("state", ""),
+            ))
+        return records
+
+    def _compact_journal(self, torn_bytes: int = 0) -> None:
+        if self._journal is None:
+            return
+        with self._lock:
+            kept = self._journal.compact(self._live_journal_records())
+            dropped = max(0, self._journal_live_est - kept)
+            self._journal_live_est = kept
+            self._finals_since_compact = 0
+            self.metrics.journal_compactions.inc()
+        self._emit_server(
+            "journal_compacted", kept=kept, dropped=dropped,
+            torn_bytes=torn_bytes,
+        )
+
+    # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -399,13 +604,15 @@ class Server:
                 except protocol.ProtocolError as exc:
                     conn.send(protocol.make_error(
                         doc.get("id") if isinstance(doc, dict) else None,
-                        exc.code, exc.message,
+                        exc.code, exc.message, data=exc.data,
                     ))
                     continue
                 try:
                     self._dispatch_rpc(conn, req_id, method, tenant, params)
                 except protocol.ProtocolError as exc:
-                    conn.send(protocol.make_error(req_id, exc.code, exc.message))
+                    conn.send(protocol.make_error(
+                        req_id, exc.code, exc.message, data=exc.data
+                    ))
                 except Exception as exc:  # noqa: BLE001 - reply, don't die
                     conn.send(protocol.make_error(
                         req_id, protocol.INTERNAL,
@@ -447,9 +654,12 @@ class Server:
             self._rpc_submit(conn, req_id, tenant, params)
         elif method == "status":
             job = self._lookup(params)
-            conn.send(protocol.make_response(
-                req_id, job.to_dict(with_result=params.get("result", True))
-            ))
+            # Snapshot under the lock: a job mid-finalize must never be
+            # seen half-terminal (state ``done`` with no result yet, or
+            # before its final journal record landed).
+            with self._lock:
+                payload = job.to_dict(with_result=params.get("result", True))
+            conn.send(protocol.make_response(req_id, payload))
         elif method == "jobs":
             self._rpc_jobs(conn, req_id, params)
         elif method == "cancel":
@@ -457,9 +667,18 @@ class Server:
         elif method == "metrics":
             with self._lock:
                 self.metrics.queue_depth.set(len(self._queue))
+                pool = pool_mod.active_pool()
+                pool_info = {
+                    "timeout_leaked": self._leaked_total,
+                    "recycles": self._recycles_total,
+                    "live_leaked": int(pool.leaked) if pool is not None else 0,
+                    "breaker": self.breaker.state,
+                    "breaker_trips": self.breaker.trips,
+                }
             conn.send(protocol.make_response(req_id, {
                 "prometheus": self.metrics.render_prometheus(),
                 "snapshot": self.metrics.snapshot(),
+                "pool": pool_info,
             }))
         elif method == "shutdown":
             drain = bool(params.get("drain", True))
@@ -534,6 +753,26 @@ class Server:
         timeout = params.get("timeout", self.config.job_timeout)
         timeout = float(timeout) if timeout is not None else None
         follow = bool(params.get("follow", False))
+        idem = params.get("idempotency_key")
+        if idem is not None and (not isinstance(idem, str) or not idem):
+            raise protocol.ProtocolError(
+                protocol.BAD_REQUEST,
+                "idempotency_key must be a non-empty string",
+            )
+
+        # Idempotent replay: a known key binds to its original job —
+        # live duplicates attach to it, settled ones answer from
+        # history or the cache.  A retry never re-executes.
+        if idem is not None and self._serve_idempotent(
+            conn, req_id, idem, follow, params
+        ):
+            return
+
+        # Read-through probe before admission: cached work must keep
+        # serving even when the queue is full or the breaker is open.
+        entry = self.cache.get(spec.job_hash) if self.cache is not None else None
+        if entry is None:
+            self._check_admission(tenant)
 
         with self._wake:
             if self._state != "serving":
@@ -542,11 +781,14 @@ class Server:
                     f"daemon is {self._state}; not accepting submissions",
                 )
             self._seq += 1
-            job = Job(f"j{self._seq:06d}", tenant, spec, priority, timeout)
+            job = Job(f"j{self._seq:06d}", tenant, spec, priority, timeout,
+                      idem=idem)
             job.submitted_at = self._now()
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._prune_history()
+            if idem is not None:
+                self._idem_live[idem] = job.id
             self.metrics.submitted.inc(tenant=tenant)
             self.metrics.state_change(None, protocol.QUEUED)
             if follow:
@@ -558,10 +800,10 @@ class Server:
                 job.followers.append((conn, req_id, sub))
                 conn.followed.append(job)
 
-        # Read-through: a repeat submission never touches the queue or
-        # the pool — it is finalised straight from the cache entry.
-        entry = self.cache.get(job.job_hash) if self.cache is not None else None
         if entry is not None:
+            # Cache hit: finalised without queue, pool or journal (the
+            # result is already durable in the cache; ``_finalize``
+            # journals the idempotency binding if a key was supplied).
             self.metrics.cache_hits.inc()
             self._emit_job(
                 job, "job_submitted", workload=spec.workload,
@@ -585,6 +827,18 @@ class Server:
                 aborted = True
             else:
                 aborted = False
+                # Durability order: journal append (fsync'd) ->
+                # enqueue -> client acknowledgement.  An acknowledged
+                # job is therefore always either journaled or
+                # terminal — a crash can lose only unacked work.
+                if self._journal is not None and self._journal.is_open:
+                    self._journal.append(journal_mod.submit_record(
+                        job.id, tenant, spec.to_dict(), priority, timeout,
+                        idem,
+                    ))
+                    job.journaled = True
+                    self._journal_live_est += 1
+                    self.metrics.journal_appends.inc(kind="submit")
                 job.entry = self._queue.push(
                     job, tenant=tenant, priority=priority
                 )
@@ -595,12 +849,95 @@ class Server:
             if not follow:
                 conn.send(protocol.make_response(req_id, job.to_dict()))
             return
+        if job.journaled:
+            self._emit_job(job, "job_journaled", kind="submit")
         self._emit_job(
             job, "job_submitted", workload=spec.workload,
             scheduler=spec.scheduler, priority=priority, cached=False,
         )
         if not follow:
             conn.send(protocol.make_response(req_id, job.to_dict()))
+
+    def _serve_idempotent(self, conn: _Conn, req_id: Any, idem: str,
+                          follow: bool, params: dict) -> bool:
+        """Answer a duplicate submission from its original job.
+
+        Returns True when the key was known and a response (or a
+        follower attachment to the live original) was arranged; False
+        when the key is fresh and normal admission should proceed.
+        """
+        with self._wake:
+            live_id = self._idem_live.get(idem)
+            job = self._jobs.get(live_id) if live_id else None
+            if job is not None:
+                self.metrics.idempotent_hits.inc()
+                if not job.finalized and follow:
+                    types = params.get("follow_types")
+                    sub = job.obs.bus.subscribe(
+                        self._forwarder(conn, job),
+                        types=(
+                            frozenset(types) if types
+                            else DEFAULT_FOLLOW_TYPES
+                        ),
+                    )
+                    job.followers.append((conn, req_id, sub))
+                    conn.followed.append(job)
+                    return True
+                conn.send(protocol.make_response(
+                    req_id, job.to_dict(with_result=job.finalized)
+                ))
+                return True
+            info = self._idem_done.get(idem)
+            if info is not None:
+                self.metrics.idempotent_hits.inc()
+        if info is None:
+            return False
+        # Settled before a restart (or pruned from history): answer
+        # from the cache under the recorded job hash.
+        payload: dict = {
+            "id": info.get("job", ""),
+            "state": info.get("state", protocol.DONE),
+            "hash": info.get("hash", ""),
+            "cached": True,
+            "idempotent_replay": True,
+        }
+        entry = (
+            self.cache.get(info.get("hash", ""))
+            if self.cache is not None and info.get("hash") else None
+        )
+        if entry is not None:
+            payload["metrics"] = entry["metrics"]
+        conn.send(protocol.make_response(req_id, payload))
+        return True
+
+    def _check_admission(self, tenant: str) -> None:
+        """Shed this submission if the daemon is over its limits."""
+        with self._lock:
+            if self.config.breaker_shed and self.breaker.state == BREAKER_OPEN:
+                retry_after = self.breaker.retry_after()
+                reason = "breaker-open"
+                message = (
+                    "worker pool circuit breaker is open; "
+                    f"retry after {retry_after:.2f} s"
+                )
+            else:
+                rejection = self.admission.check(
+                    tenant, len(self._queue), self._queue.depths()
+                )
+                if rejection is None:
+                    return
+                retry_after = rejection.retry_after
+                reason = rejection.code
+                message = rejection.message()
+            self.metrics.admission_rejected.inc(tenant=tenant, reason=reason)
+        self._emit_server(
+            "admission_rejected", tenant=tenant, reason=reason,
+            retry_after=round(retry_after, 3),
+        )
+        raise protocol.ProtocolError(
+            protocol.RESOURCE_EXHAUSTED, message,
+            data={"retry_after": round(retry_after, 3)},
+        )
 
     def _forwarder(self, conn: _Conn, job: Job) -> Callable:
         def forward(event) -> None:
@@ -633,6 +970,9 @@ class Server:
     # ------------------------------------------------------------------
     def _scheduler_loop(self) -> None:
         while True:
+            if self.config.sched_delay_s > 0:
+                # Chaos hook: a deliberately sluggish scheduler loop.
+                time.sleep(self.config.sched_delay_s)
             job: Optional[Job] = None
             expired: list[Job] = []
             with self._wake:
@@ -644,7 +984,15 @@ class Server:
                     and len(self._queue) == 0
                 ):
                     break
-                if self._state != "stopped" and self._inflight < self.config.capacity:
+                if (
+                    self._state != "stopped"
+                    and self._inflight < self.config.capacity
+                    and len(self._queue) > 0
+                    # The breaker gates dispatch while serving; during
+                    # drain it is bypassed so a sick pool cannot wedge
+                    # shutdown (each drained job still fails fast).
+                    and (self._state == "draining" or self.breaker.allow())
+                ):
                     entry = self._queue.pop()
                     if entry is not None:
                         job = entry.item
@@ -690,6 +1038,8 @@ class Server:
                 pool = pool_mod.active_pool()
                 if pool is not None:
                     pool.leaked += 1
+                self._leaked_total += 1
+                self.metrics.timeout_leaked.set(self._leaked_total)
             expired.append(job)
         return expired
 
@@ -708,14 +1058,19 @@ class Server:
         else:
             assert self._exec is not None
             self.metrics.inline_dispatches.inc()
-            self._exec.submit(self._run_inline, job)
+            # Keep the future so timeout enforcement can try to cancel
+            # and leak-account inline jobs exactly like pooled ones.
+            job.future = self._exec.submit(self._run_inline, job)
 
     def _mark_started(self, job: Job, mode: str) -> None:
         with self._lock:
             job.state = protocol.RUNNING
             job.mode = mode
             job.started_at = self._now()
-            if job.timeout is not None and mode == "pool":
+            if job.timeout is not None:
+                # Both modes: the scheduler enforces the deadline and
+                # discards the late result.  A running job that cannot
+                # be cancelled leak-accounts its execution slot.
                 job.deadline = time.monotonic() + job.timeout
             self.metrics.state_change(protocol.QUEUED, protocol.RUNNING)
         self._emit_job(
@@ -740,6 +1095,9 @@ class Server:
         pool, _ = pool_mod.get_pool(
             self.config.workers, [suite_path] if suite_path else []
         )
+        # Seed the admission cost estimate from the pool's measured
+        # per-job probe (PR 4) until the serve-side EMA takes over.
+        self.admission.seed_cost(getattr(pool, "cost_hint", None))
         self.metrics.pool_dispatches.inc()
         self._mark_started(job, mode="pool")
         if self.worker_fn is not None:
@@ -760,16 +1118,23 @@ class Server:
         exc = fut.exception()
         if exc is not None:
             if isinstance(exc, BrokenProcessPool):
+                # A broken pool fails every in-flight future, but each
+                # one lands here with its own job: only the affected
+                # jobs fail (structured, retryable), and the pool is
+                # recycled exactly once for the whole incident.
                 pool = pool_mod.active_pool()
                 if pool is not None:
                     pool.broken = True
-                kind = "broken-pool"
+                kind = protocol.POOL_BROKEN
+                error = (
+                    f"worker pool broke mid-flight ({type(exc).__name__}: "
+                    f"{exc}); resubmitting the same spec is safe"
+                )
+                self._recycle_pool_once()
             else:
                 kind = "error"
-            self._finalize(
-                job, protocol.FAILED,
-                error=f"{type(exc).__name__}: {exc}", kind=kind,
-            )
+                error = f"{type(exc).__name__}: {exc}"
+            self._finalize(job, protocol.FAILED, error=error, kind=kind)
             return
         res = fut.result()[0]
         if res.get("ok"):
@@ -783,6 +1148,49 @@ class Server:
                 error=res.get("error", "unknown worker error"), kind="error",
                 elapsed=float(res.get("elapsed", 0.0)),
             )
+
+    def _recycle_pool_once(self) -> None:
+        """Dispose the broken pool (once per incident), off-thread.
+
+        Disposal joins worker processes, so it cannot run on the
+        executor callback thread; the next pool dispatch re-forks a
+        fresh pool via ``get_pool``.
+        """
+        with self._lock:
+            if self._recycling:
+                return
+            self._recycling = True
+
+        def recycle() -> None:
+            try:
+                pool_mod.shutdown_warm_pool()
+            finally:
+                with self._lock:
+                    self._recycling = False
+                    self._recycles_total += 1
+                    self.metrics.pool_recycles.inc()
+                    self._wake.notify_all()
+
+        threading.Thread(
+            target=recycle, daemon=True, name="repro-serve-recycle"
+        ).start()
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        # Invoked under self._lock (every breaker mutation holds it).
+        self.metrics.breaker_state.set(
+            {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}[new]
+        )
+        if new == BREAKER_OPEN:
+            self.metrics.breaker_trips.inc()
+            self._emit_server(
+                "breaker_open",
+                failures=self.breaker.consecutive_failures,
+                cooldown=self.breaker.cooldown_s,
+            )
+        elif new == BREAKER_HALF_OPEN:
+            self._emit_server("breaker_half_open")
+        else:
+            self._emit_server("breaker_closed")
 
     # -- in-process mode ------------------------------------------------
     def _run_inline(self, job: Job) -> None:
@@ -850,6 +1258,8 @@ class Server:
                 self.cache.put(job.spec, job.job_hash, metrics_dict, elapsed)
             except OSError:
                 pass  # cache write-back is best-effort
+        journaled_final = False
+        compact_due = False
         with self._wake:
             if job.finalized:
                 return
@@ -865,12 +1275,55 @@ class Server:
             if job.running_slot:
                 job.running_slot = False
                 self._inflight -= 1
+            # Breaker feedback: only substrate-level outcomes count —
+            # a job-scoped error says nothing about the pool's health.
+            if kind in (protocol.POOL_BROKEN, "timeout"):
+                self.breaker.record_failure()
+            elif state == protocol.DONE and not cached:
+                self.breaker.record_success()
+                self.admission.observe_cost(elapsed)
+            else:
+                # Cancelled / job-scoped error: no substrate verdict,
+                # but a half-open probe slot must not stay occupied.
+                self.breaker.release_probe()
+            # Idempotency settlement: the key now answers from history
+            # or (after restarts/pruning) from the cache.
+            if job.idem is not None:
+                self._idem_live.pop(job.idem, None)
+                self._idem_done[job.idem] = {
+                    "job": job.id, "hash": job.job_hash, "state": state,
+                }
+            # Journal settlement (after the cache write-back above, so
+            # a ``final`` on disk implies the result is readable).
+            if self._journal is not None and self._journal.is_open:
+                if job.journaled:
+                    self._journal.append(journal_mod.final_record(
+                        job.id, state, kind, error, job.job_hash, elapsed,
+                    ))
+                    self._journal_live_est += 1
+                    self.metrics.journal_appends.inc(kind="final")
+                    self._finals_since_compact += 1
+                    journaled_final = True
+                    compact_due = (
+                        self._finals_since_compact
+                        >= self.config.journal_compact_every
+                    )
+                elif job.idem is not None:
+                    self._journal.append(journal_mod.idem_record(
+                        job.idem, job.id, job.job_hash, state,
+                    ))
+                    self._journal_live_est += 1
+                    self.metrics.journal_appends.inc(kind="idem")
             self.metrics.state_change(old, state)
             self.metrics.served.inc(tenant=job.tenant, state=state)
             if state == protocol.DONE and not cached:
                 self.metrics.job_seconds.observe(elapsed)
             self.served += 1
             self._wake.notify_all()
+        if compact_due:
+            self._compact_journal()
+        if journaled_final:
+            self._emit_job(job, "job_journaled", kind="final")
         event = {
             protocol.DONE: "job_finished",
             protocol.FAILED: "job_failed",
@@ -925,4 +1378,13 @@ class Server:
             self._exec.shutdown(wait=True)
         if self.config.pool_mode:
             pool_mod.shutdown_warm_pool()
+        if self._journal is not None:
+            # Clean shutdown: compact down to the live set (after a
+            # drain that is just the idempotency index) so the next
+            # start replays a minimal journal.
+            try:
+                self._compact_journal()
+            except OSError:
+                pass
+            self._journal.close()
         self._stopped.set()

@@ -14,9 +14,15 @@ Two artifact kinds live under one cache root (default
   profiling seed, so worker processes load models from disk instead of
   re-profiling the platform each.
 
-Corrupted entries (truncated writes, schema drift, hand-edited JSON)
-are treated as misses: the offending file is removed and the sweep
-re-executes the job.  Writes are atomic (temp file + ``os.replace``)
+Corrupted entries (truncated writes, schema drift, digest mismatches,
+hand-edited JSON) are treated as misses: the offending file is moved to
+``<root>/quarantine/`` beside a ``.reason`` file (never silently
+deleted — chaos campaigns and operators can inspect what was detected),
+``stats.corrupted`` is bumped, a ``cache_corrupted`` event is emitted,
+and the sweep re-executes the job.  New entries carry a SHA-256
+``digest`` over their canonical metrics JSON; entries written before
+the digest existed remain readable.  Writes are atomic (temp file +
+``os.replace``)
 and safe under **concurrent writers** — multiple processes (sweep
 workers, the :mod:`repro.serve` daemon's completion threads) racing on
 the same key or shard serialise through a per-shard ``flock`` and, in
@@ -26,9 +32,11 @@ can never observe a torn file.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -74,6 +82,7 @@ class ResultCache:
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
         self.results_dir = self.root / "results"
         self.suites_dir = self.root / "suites"
+        self.quarantine_dir = self.root / "quarantine"
         self.stats = CacheStats()
 
     # -- result entries -------------------------------------------------
@@ -111,28 +120,60 @@ class ResultCache:
             return None
         except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             entry = None
-        if not self._valid(entry):
-            # Corrupted or stale-schema: drop it and report a miss so
-            # the sweep transparently re-executes the job.  Removal
-            # happens under the shard lock with a re-read, so a
-            # concurrent writer that just replaced the bad entry with a
-            # fresh one cannot have its write deleted from under it.
+        reason = self._invalid_reason(entry)
+        if reason is not None:
+            # Corrupted or stale-schema: quarantine it and report a
+            # miss so the sweep transparently re-executes the job.
+            # The move happens under the shard lock with a re-read, so
+            # a concurrent writer that just replaced the bad entry with
+            # a fresh one cannot have its write swept out from under it.
             with self.shard_lock(job_hash):
                 try:
                     entry = json.loads(path.read_text())
                 except (FileNotFoundError, json.JSONDecodeError, OSError,
                         UnicodeDecodeError):
                     entry = None
-                if not self._valid(entry):
+                reason = self._invalid_reason(entry)
+                if reason is not None:
                     self.stats.corrupted += 1
                     self.stats.misses += 1
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+                    self._quarantine(path, job_hash, reason)
                     return None
         self.stats.hits += 1
         return entry
+
+    def _quarantine(self, path: Path, job_hash: str, reason: str) -> None:
+        """Move a bad entry aside (with a reason file) — never delete.
+
+        Locked by caller (shard lock).  Quarantined files keep their
+        name; a repeat offender under the same hash overwrites its
+        previous quarantine copy.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+            (self.quarantine_dir / f"{path.name}.reason").write_text(
+                f"{reason}\n"
+            )
+        except OSError:
+            # Quarantine is best-effort; a miss was reported either way.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._emit_corrupted(job_hash, reason)
+
+    @staticmethod
+    def _emit_corrupted(job_hash: str, reason: str) -> None:
+        from repro.obs.api import current_observer
+
+        obs = current_observer()
+        bus = getattr(obs, "bus", None)
+        if bus is not None and getattr(bus, "active", False):
+            bus.emit(
+                "cache_corrupted", time.perf_counter(),
+                key=job_hash, reason=reason,
+            )
 
     def get_many(self, job_hashes: Sequence[str]) -> dict[str, dict]:
         """Batched probe: ``{hash: entry}`` for every present, valid hash.
@@ -163,14 +204,35 @@ class ResultCache:
                 out[h] = entry
         return out
 
+    @classmethod
+    def _invalid_reason(cls, entry: Any) -> Optional[str]:
+        """``None`` when the entry is usable, else a bounded slug."""
+        if not isinstance(entry, dict):
+            return "unreadable-json"
+        if entry.get("schema_version") != SCHEMA_VERSION:
+            return "schema-mismatch"
+        if not isinstance(entry.get("metrics"), dict):
+            return "missing-metrics"
+        if not isinstance(entry.get("elapsed"), (int, float)):
+            return "missing-elapsed"
+        digest = entry.get("digest")
+        # Entries written before the digest field existed stay valid;
+        # a present-but-wrong digest means bit rot or a torn payload.
+        if digest is not None and digest != cls._digest(entry["metrics"]):
+            return "digest-mismatch"
+        return None
+
+    @classmethod
+    def _valid(cls, entry: Any) -> bool:
+        return cls._invalid_reason(entry) is None
+
     @staticmethod
-    def _valid(entry: Any) -> bool:
-        return (
-            isinstance(entry, dict)
-            and entry.get("schema_version") == SCHEMA_VERSION
-            and isinstance(entry.get("metrics"), dict)
-            and isinstance(entry.get("elapsed"), (int, float))
-        )
+    def _digest(metrics: dict) -> str:
+        """SHA-256 over the canonical metrics JSON."""
+        payload = json.dumps(
+            metrics, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
     def put(self, job: JobSpec, job_hash: str, metrics: dict, elapsed: float) -> Path:
         entry = {
@@ -178,6 +240,7 @@ class ResultCache:
             "job": job.to_dict(),
             "elapsed": elapsed,
             "metrics": metrics,
+            "digest": self._digest(metrics),
         }
         path = self.path_for(job_hash)
         with self.shard_lock(job_hash):

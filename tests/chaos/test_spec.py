@@ -1,0 +1,90 @@
+"""ChaosAction / ChaosCampaign: validation, determinism, hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ALL_KINDS,
+    ChaosAction,
+    ChaosCampaign,
+    default_campaign,
+)
+from repro.errors import ChaosError
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ChaosError):
+        ChaosAction("set-on-fire", at=1.0)
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(ChaosError):
+        ChaosAction("kill-worker", at=-0.1)
+
+
+def test_action_round_trips_through_dict():
+    a = ChaosAction("corrupt-journal", at=2.5, magnitude=64,
+                    params={"note": "x"})
+    b = ChaosAction.from_dict(a.to_dict())
+    assert a == b
+    assert b.params_dict() == {"note": "x"}
+
+
+def test_action_label():
+    assert ChaosAction("kill-daemon", at=1.5).label() == "kill-daemon[t+1.5s]"
+    assert (ChaosAction("sever-client", at=0, target="t0").label()
+            == "sever-client@t0[t+0s]")
+
+
+def test_campaign_rejects_non_actions():
+    with pytest.raises(ChaosError):
+        ChaosCampaign(actions=("kill-worker",))
+
+
+def test_campaign_hash_is_content_addressed():
+    c1 = ChaosCampaign(seed=1, actions=(ChaosAction("kill-worker", at=1),))
+    c2 = ChaosCampaign(seed=1, actions=(ChaosAction("kill-worker", at=1),))
+    c3 = ChaosCampaign(seed=2, actions=(ChaosAction("kill-worker", at=1),))
+    c4 = ChaosCampaign(seed=1, actions=(ChaosAction("kill-worker", at=2),))
+    assert c1.campaign_hash == c2.campaign_hash
+    assert len({c1.campaign_hash, c3.campaign_hash, c4.campaign_hash}) == 3
+
+
+def test_rng_streams_deterministic_and_independent():
+    c = ChaosCampaign(seed=42, actions=(
+        ChaosAction("kill-worker", at=1), ChaosAction("kill-daemon", at=2),
+    ))
+    a0 = c.rng_for(0).integers(0, 1_000_000, size=4)
+    a0_again = c.rng_for(0).integers(0, 1_000_000, size=4)
+    a1 = c.rng_for(1).integers(0, 1_000_000, size=4)
+    assert np.array_equal(a0, a0_again)
+    assert not np.array_equal(a0, a1)
+
+
+def test_timeline_sorts_by_offset_keeping_indices():
+    late = ChaosAction("kill-daemon", at=5)
+    early = ChaosAction("kill-worker", at=1)
+    c = ChaosCampaign(actions=(late, early))
+    assert c.timeline() == [(1, early), (0, late)]
+
+
+def test_campaign_round_trips_through_dict():
+    c = default_campaign(seed=9, span_s=10.0)
+    again = ChaosCampaign.from_dict(c.to_dict())
+    assert again == c
+    assert again.campaign_hash == c.campaign_hash
+
+
+def test_default_campaign_covers_crash_and_corruption():
+    c = default_campaign()
+    kinds = {a.kind for a in c.actions}
+    assert {"kill-worker", "kill-daemon",
+            "corrupt-cache", "corrupt-journal"} <= kinds
+    assert all(a.kind in ALL_KINDS for a in c.actions)
+    # Offsets scale with the span.
+    wide = default_campaign(span_s=12.0)
+    assert max(a.at for a in wide.actions) == pytest.approx(
+        2 * max(a.at for a in c.actions)
+    )

@@ -1,0 +1,318 @@
+"""Admission control + circuit breaker: unit level and through a live
+in-process Server (overload shedding, cached-work bypass, breaker
+trip / probe / reclose)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    CircuitBreaker,
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    Server,
+)
+from repro.serve import protocol
+from repro.serve.admission import CLOSED, HALF_OPEN, OPEN, DEFAULT_COST_S
+from repro.sweep.spec import JobSpec
+
+
+def spec_for(seed: int = 11) -> JobSpec:
+    return JobSpec(workload="hd-small", scheduler="GRWS", seed=seed)
+
+
+def fake_worker(spec: JobSpec) -> dict:
+    return {"seed": spec.seed, "makespan": 1.0}
+
+
+def addr(srv: Server) -> str:
+    host, port = srv.tcp_address
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# AdmissionController (unit)
+# ----------------------------------------------------------------------
+def test_admission_disabled_admits_everything():
+    ctl = AdmissionController(capacity=2)
+    assert not ctl.enabled
+    assert ctl.check("t", 10_000, {"t": 10_000}) is None
+
+
+def test_admission_global_depth_cap():
+    ctl = AdmissionController(max_queue_depth=3, capacity=1)
+    assert ctl.check("a", 2, {"a": 2}) is None
+    rej = ctl.check("a", 3, {"a": 3})
+    assert rej is not None
+    assert rej.code == "global-depth"
+    assert rej.retry_after >= 0.05
+    assert "retry after" in rej.message()
+    assert ctl.rejected == 1
+
+
+def test_admission_tenant_depth_cap():
+    ctl = AdmissionController(max_tenant_depth=2, capacity=1)
+    # Global depth high but *this* tenant under its cap: admitted.
+    assert ctl.check("a", 50, {"a": 1, "b": 49}) is None
+    rej = ctl.check("b", 50, {"a": 1, "b": 49})
+    assert rej is not None and rej.code == "tenant-depth"
+
+
+def test_admission_queued_cost_cap_uses_ema():
+    ctl = AdmissionController(max_queued_cost_s=10.0, capacity=1)
+    # No samples yet: DEFAULT_COST_S per job.
+    assert ctl.est_cost_s == DEFAULT_COST_S
+    assert ctl.check("a", 4, {"a": 4}) is None  # 4 * 0.5 = 2 s
+    for _ in range(40):
+        ctl.observe_cost(4.0)  # EMA converges towards 4 s/job
+    assert ctl.est_cost_s > 3.0
+    rej = ctl.check("a", 4, {"a": 4})  # now ~16 s of queued work
+    assert rej is not None and rej.code == "queued-cost"
+
+
+def test_admission_seed_cost_only_before_first_sample():
+    ctl = AdmissionController(max_queue_depth=1, capacity=1)
+    ctl.seed_cost(2.0)
+    assert ctl.est_cost_s == 2.0
+    ctl.seed_cost(9.0)  # a hint never overrides a live estimate
+    assert ctl.est_cost_s == 2.0
+    ctl.observe_cost(1.0)
+    assert ctl.est_cost_s < 2.0
+
+
+def test_admission_retry_after_clamped():
+    ctl = AdmissionController(max_queue_depth=1, capacity=4)
+    ctl.observe_cost(0.001)
+    assert ctl.retry_after(1) == pytest.approx(0.05)
+    ctl2 = AdmissionController(max_queue_depth=1, capacity=1)
+    ctl2.observe_cost(10_000.0)
+    assert ctl2.retry_after(100) == pytest.approx(60.0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker (unit, fake clock)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def test_breaker_trips_after_threshold_and_recloses():
+    clock = FakeClock()
+    seen = []
+    br = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock,
+                        on_transition=lambda o, n: seen.append((o, n)))
+    assert br.allow()
+    br.record_failure()
+    br.record_failure()
+    assert br.state == CLOSED and br.allow()
+    br.record_failure()  # third consecutive: open
+    assert br.state == OPEN and br.trips == 1
+    assert not br.allow()
+    assert br.retry_after() == pytest.approx(5.0)
+    clock.t = 4.9
+    assert not br.allow()
+    clock.t = 5.1
+    assert br.allow()  # half-open probe admitted
+    assert br.state == HALF_OPEN
+    assert not br.allow()  # only one probe at a time
+    br.record_success()
+    assert br.state == CLOSED and br.allow()
+    assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+def test_breaker_probe_failure_reopens():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=2, cooldown_s=1.0, clock=clock)
+    br.record_failure()
+    br.record_failure()
+    clock.t = 1.5
+    assert br.allow()
+    br.record_failure()  # probe failed: straight back to open
+    assert br.state == OPEN and br.trips == 2
+    assert not br.allow()
+    clock.t = 2.0  # cooldown restarts from the probe failure
+    assert not br.allow()
+    clock.t = 2.6
+    assert br.allow()
+
+
+def test_breaker_late_failure_extends_open_window():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=2.0, clock=clock)
+    br.record_failure()
+    assert br.state == OPEN
+    clock.t = 1.9
+    br.record_failure()  # in-flight straggler fails while open
+    clock.t = 2.1  # original window elapsed, extended one has not
+    assert not br.allow()
+    clock.t = 3.9 + 0.05
+    assert br.allow()
+
+
+def test_breaker_release_probe_frees_slot_without_verdict():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+    br.record_failure()
+    clock.t = 1.5
+    assert br.allow() and br.state == HALF_OPEN
+    br.release_probe()  # probe job was cancelled: no verdict
+    assert br.allow()  # next probe may go
+    assert br.state == HALF_OPEN
+
+
+def test_breaker_disabled_never_blocks():
+    br = CircuitBreaker(threshold=0, cooldown_s=1.0)
+    for _ in range(10):
+        br.record_failure()
+    assert br.state == CLOSED
+    assert br.allow()
+
+
+# ----------------------------------------------------------------------
+# Through a live server
+# ----------------------------------------------------------------------
+def test_overload_sheds_with_retry_after_and_serves_cached(tmp_path):
+    """Saturate a 1-slot server past its queue cap: fresh submissions
+    shed with ``resource-exhausted`` + ``retry_after`` while already-
+    cached work keeps completing."""
+    gate = threading.Event()
+
+    def gated_worker(spec: JobSpec) -> dict:
+        if spec.seed >= 100:
+            gate.wait(timeout=10)
+        return fake_worker(spec)
+
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", max_inflight=1,
+            max_queue_depth=2,
+        ),
+        worker_fn=gated_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv), tenant="a") as c:
+            # Warm the cache while the server is idle.
+            c.wait(c.submit(spec_for(1).to_dict())["id"])
+            # One in flight (blocked on the gate) + two queued.
+            c.submit(spec_for(100).to_dict())
+            deadline = time.monotonic() + 5
+            while srv._inflight == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            c.submit(spec_for(101).to_dict())
+            c.submit(spec_for(102).to_dict())
+            with pytest.raises(ProtocolError) as exc_info:
+                c.submit(spec_for(103).to_dict())
+            err = exc_info.value
+            assert err.code == protocol.RESOURCE_EXHAUSTED
+            assert err.retry_after is not None and err.retry_after >= 0.05
+            # Cached work still serves while the queue is full.
+            hit = c.submit(spec_for(1).to_dict())
+            assert hit["state"] == "done" and hit["cached"] is True
+            gate.set()
+            for jid in ("j000002", "j000003", "j000004"):
+                assert c.wait(jid)["state"] == "done"
+        snap = srv.metrics.snapshot()
+        shed = snap["repro_serve_admission_rejected_total"]["series"]
+        assert sum(shed.values()) == 1
+        assert any("global-depth" in key for key in shed)
+    finally:
+        gate.set()
+        srv.close()
+
+
+def test_breaker_trips_on_timeouts_and_recloses(tmp_path):
+    """Consecutive substrate-level failures (timeouts) open the breaker;
+    after the cooldown one probe dispatches and its success recloses."""
+    gate = threading.Event()
+
+    def gated_worker(spec: JobSpec) -> dict:
+        if spec.seed >= 100:
+            gate.wait(timeout=10)
+        return fake_worker(spec)
+
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", max_inflight=2,
+            breaker_threshold=2, breaker_cooldown_s=0.3,
+        ),
+        worker_fn=gated_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv), tenant="a") as c:
+            first = c.wait(c.submit(spec_for(100).to_dict(), timeout=0.1)["id"])
+            second = c.wait(c.submit(spec_for(101).to_dict(), timeout=0.1)["id"])
+            assert first["state"] == second["state"] == "timeout"
+            assert srv.breaker.state == OPEN
+            gate.set()  # unblock the leaked worker threads
+            # Queued work waits out the cooldown, then the probe runs
+            # and its success recloses the breaker.
+            done = c.wait(c.submit(spec_for(2).to_dict())["id"])
+            assert done["state"] == "done"
+            assert srv.breaker.state == CLOSED
+            assert srv.breaker.trips == 1
+        snap = srv.metrics.snapshot()
+        assert snap["repro_serve_breaker_trips_total"]["series"] == {"": 1}
+        assert snap["repro_serve_timeout_leaked"]["series"] == {"": 2}
+    finally:
+        gate.set()
+        srv.close()
+
+
+def test_breaker_shed_policy_rejects_while_open(tmp_path):
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", breaker_threshold=2,
+            breaker_cooldown_s=30.0, breaker_shed=True,
+        ),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv), tenant="a") as c:
+            c.wait(c.submit(spec_for(1).to_dict())["id"])  # warm the cache
+            with srv._lock:
+                srv.breaker.record_failure()
+                srv.breaker.record_failure()
+            assert srv.breaker.state == OPEN
+            with pytest.raises(ProtocolError) as exc_info:
+                c.submit(spec_for(50).to_dict())
+            assert exc_info.value.code == protocol.RESOURCE_EXHAUSTED
+            assert exc_info.value.retry_after is not None
+            # Cache hits bypass the shed policy entirely.
+            hit = c.submit(spec_for(1).to_dict())
+            assert hit["state"] == "done" and hit["cached"] is True
+    finally:
+        with srv._lock:
+            srv.breaker.record_success()
+        srv.close()
+
+
+def test_breaker_does_not_wedge_drain(tmp_path):
+    """An open breaker must not block shutdown: drain bypasses it."""
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", breaker_threshold=1,
+            breaker_cooldown_s=60.0,
+        ),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        with ServeClient(addr(srv), tenant="a") as c:
+            with srv._lock:
+                srv.breaker.record_failure()
+            assert srv.breaker.state == OPEN
+            job = c.submit(spec_for(7).to_dict())
+            c.shutdown(drain=True)
+        srv.serve_forever()  # returns once drained
+        assert srv._jobs[job["id"]].state == "done"
+    finally:
+        srv.close()

@@ -1,0 +1,369 @@
+"""JobJournal framing/compaction and Server crash-recovery semantics.
+
+The crash cases are simulated by authoring journal bytes directly (a
+submit with no final IS the on-disk state a SIGKILL between append and
+enqueue leaves behind) and then starting a fresh Server on that
+journal — the same replay path ``repro serve --recover`` takes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.serve import JobJournal, ServeClient, ServeConfig, Server
+from repro.serve.journal import MAGIC, final_record, interpret, submit_record
+from repro.sweep.spec import JobSpec
+
+
+def spec_for(seed: int = 11, workload: str = "hd-small") -> JobSpec:
+    return JobSpec(workload=workload, scheduler="GRWS", seed=seed)
+
+
+def fake_worker(spec: JobSpec) -> dict:
+    return {"workload": spec.workload, "seed": spec.seed, "makespan": 1.0}
+
+
+def addr(srv: Server) -> str:
+    host, port = srv.tcp_address
+    return f"{host}:{port}"
+
+
+def write_journal(path, records) -> None:
+    j = JobJournal(path)
+    j.open()
+    for rec in records:
+        j.append(rec)
+    j.close()
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_append_replay_round_trip(tmp_path):
+    path = tmp_path / "j.journal"
+    recs = [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, "k1"),
+        final_record("j000001", "done", None, None, "h1", 0.5),
+    ]
+    write_journal(path, recs)
+    replay = JobJournal(path).replay(truncate=False)
+    assert replay.records == recs
+    assert replay.torn_bytes == 0
+
+
+def test_replay_truncates_torn_tail(tmp_path):
+    path = tmp_path / "j.journal"
+    write_journal(path, [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, None),
+    ])
+    intact = path.stat().st_size
+    with open(path, "ab") as fh:
+        fh.write(b"\x07garbage-that-is-not-a-frame")
+    replay = JobJournal(path).replay(truncate=True)
+    assert len(replay.records) == 1
+    assert replay.torn_bytes > 0
+    assert path.stat().st_size == intact  # tail physically removed
+
+
+def test_replay_truncates_mid_frame_final(tmp_path):
+    """A crash mid-way through writing the *final* record must lose only
+    that final — the submit before it survives, so the job re-runs."""
+    path = tmp_path / "j.journal"
+    write_journal(path, [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, None),
+        final_record("j000001", "done", None, None, "h1", 0.5),
+    ])
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-7])  # tear the last frame's tail off
+    replay = JobJournal(path).replay(truncate=True)
+    assert [r["t"] for r in replay.records] == ["submit"]
+    state = interpret(replay.records)
+    assert [r["job"] for r in state.pending] == ["j000001"]
+
+
+def test_replay_rejects_corrupt_crc(tmp_path):
+    path = tmp_path / "j.journal"
+    write_journal(path, [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, None),
+        submit_record("j000002", "a", spec_for(2).to_dict(), 0, None, None),
+    ])
+    blob = bytearray(path.read_bytes())
+    # Flip a payload byte inside the second frame: CRC check must stop
+    # replay there (everything after an undetectable point is suspect).
+    first_len = struct.unpack_from("<I", blob, len(MAGIC))[0]
+    second_payload = len(MAGIC) + 8 + first_len + 8 + 4
+    blob[second_payload] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    replay = JobJournal(path).replay(truncate=True)
+    assert [r["job"] for r in replay.records] == ["j000001"]
+    assert replay.torn_bytes > 0
+
+
+def test_replay_missing_or_empty_file(tmp_path):
+    assert JobJournal(tmp_path / "absent.journal").replay().records == []
+    empty = tmp_path / "empty.journal"
+    empty.write_bytes(b"")
+    assert JobJournal(empty).replay().records == []
+
+
+def test_compact_keeps_only_live_records(tmp_path):
+    path = tmp_path / "j.journal"
+    dead = [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, None),
+        final_record("j000001", "done", None, None, "h1", 0.5),
+    ]
+    live = [submit_record("j000002", "b", spec_for(2).to_dict(), 0, None, None)]
+    write_journal(path, dead + live)
+    j = JobJournal(path)
+    assert j.compact(live) == 1
+    assert JobJournal(path).replay(truncate=False).records == live
+
+
+def test_interpret_joins_finals_and_tracks_seq(tmp_path):
+    recs = [
+        submit_record("j000003", "a", spec_for(3).to_dict(), 0, None, "key-a"),
+        submit_record("j000007", "b", spec_for(7).to_dict(), 1, 5.0, None),
+        final_record("j000003", "done", None, None, "h3", 0.1),
+        {"t": "idem", "key": "old", "job": "j000001", "hash": "h0",
+         "state": "done"},
+    ]
+    state = interpret(recs)
+    assert [r["job"] for r in state.pending] == ["j000007"]
+    assert state.max_seq == 7
+    assert state.idem["key-a"]["state"] == "done"
+    assert state.idem["old"]["job"] == "j000001"
+
+
+# ----------------------------------------------------------------------
+# Server recovery
+# ----------------------------------------------------------------------
+def test_recovery_reenqueues_pending_submits(tmp_path):
+    """SIGKILL between journal append and client ack: the submit record
+    exists, no final — restart must run the job to completion."""
+    journal = tmp_path / "serve.journal"
+    write_journal(journal, [
+        submit_record("j000001", "alice", spec_for(1).to_dict(), 0, None, None),
+        submit_record("j000002", "bob", spec_for(2).to_dict(), 0, None, None),
+    ])
+    ran = []
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path / "cache", journal_path=str(journal)),
+        worker_fn=lambda s: (ran.append(s.seed), fake_worker(s))[1],
+    ).start()
+    try:
+        assert srv.recovered_jobs == 2
+        client = ServeClient(addr(srv), tenant="alice")
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            jobs = client.jobs()["jobs"]
+            if all(j["state"] == "done" for j in jobs):
+                break
+            time.sleep(0.02)
+        jobs = {j["id"]: j for j in client.jobs()["jobs"]}
+        assert jobs["j000001"]["state"] == "done"
+        assert jobs["j000001"]["recovered"] is True
+        assert sorted(ran) == [1, 2]
+        # New ids must not collide with recovered ones.
+        fresh = client.submit(spec_for(9).to_dict())
+        assert fresh["id"] == "j000003"
+        client.close()
+    finally:
+        srv.close()
+
+
+def test_recovery_serves_finished_work_from_cache(tmp_path):
+    """Crash after cache write-back but before the final journal record:
+    recovery must answer from the cache, not execute a second time."""
+    cache_dir = tmp_path / "cache"
+    journal = tmp_path / "serve.journal"
+    runs = []
+
+    def counting_worker(s):
+        runs.append(s.seed)
+        return fake_worker(s)
+
+    srv1 = Server(
+        ServeConfig(cache_dir=cache_dir), worker_fn=counting_worker
+    ).start()
+    try:
+        c1 = ServeClient(addr(srv1), tenant="a")
+        job = c1.submit(spec_for(5).to_dict())
+        deadline = time.monotonic() + 10
+        while c1.status(job["id"])["state"] != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        c1.close()
+    finally:
+        srv1.close()
+    assert runs == [5]
+    write_journal(journal, [
+        submit_record("j000001", "a", spec_for(5).to_dict(), 0, None, None),
+    ])
+    srv2 = Server(
+        ServeConfig(cache_dir=cache_dir, journal_path=str(journal)),
+        worker_fn=counting_worker,
+    ).start()
+    try:
+        c2 = ServeClient(addr(srv2), tenant="a")
+        job = c2.status("j000001")
+        assert job["state"] == "done"
+        assert job["cached"] is True
+        assert runs == [5]  # never re-executed
+        c2.close()
+    finally:
+        srv2.close()
+
+
+def test_recovery_discards_when_recover_disabled(tmp_path):
+    journal = tmp_path / "serve.journal"
+    write_journal(journal, [
+        submit_record("j000001", "a", spec_for(1).to_dict(), 0, None, None),
+    ])
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", journal_path=str(journal),
+            recover=False,
+        ),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        assert srv.recovered_jobs == 0
+        assert len(srv._queue) == 0
+    finally:
+        srv.close()
+    # The abandoned submit is compacted away, not left to re-surface.
+    assert JobJournal(journal).replay(truncate=False).records == []
+
+
+def test_recovery_preserves_tenant_fairness(tmp_path):
+    """Bursts journaled as A,A,B,B,C,C must drain round-robin across
+    tenants after recovery, exactly as live submissions would."""
+    journal = tmp_path / "serve.journal"
+    tenants = {}
+    recs = []
+    i = 0
+    for tenant in ("alice", "bob", "carol"):
+        for _ in range(2):
+            i += 1
+            tenants[i] = tenant
+            recs.append(submit_record(
+                f"j{i:06d}", tenant, spec_for(i).to_dict(), 0, None, None
+            ))
+    write_journal(journal, recs)
+    order = []
+    gate = threading.Event()
+
+    def slow_worker(s):
+        order.append(tenants[s.seed])
+        if len(order) >= 6:
+            gate.set()
+        return fake_worker(s)
+
+    srv = Server(
+        ServeConfig(
+            cache_dir=tmp_path / "cache", journal_path=str(journal),
+            max_inflight=1,
+        ),
+        worker_fn=slow_worker,
+    ).start()
+    try:
+        assert gate.wait(timeout=10)
+        assert set(order[:3]) == {"alice", "bob", "carol"}
+    finally:
+        srv.close()
+
+
+def test_duplicate_idempotency_key_across_restart(tmp_path):
+    """A key settled before a restart answers from the journal-restored
+    index — the job never runs twice."""
+    cache_dir = tmp_path / "cache"
+    journal = tmp_path / "serve.journal"
+    runs = []
+
+    def counting_worker(s):
+        runs.append(s.seed)
+        return fake_worker(s)
+
+    srv1 = Server(
+        ServeConfig(cache_dir=cache_dir, journal_path=str(journal)),
+        worker_fn=counting_worker,
+    ).start()
+    try:
+        c1 = ServeClient(addr(srv1), tenant="a")
+        job = c1.submit(spec_for(6).to_dict(), idempotency_key="stable-key")
+        deadline = time.monotonic() + 10
+        while c1.status(job["id"])["state"] != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        c1.close()
+    finally:
+        srv1.close()
+    assert runs == [6]
+    srv2 = Server(
+        ServeConfig(cache_dir=cache_dir, journal_path=str(journal)),
+        worker_fn=counting_worker,
+    ).start()
+    try:
+        c2 = ServeClient(addr(srv2), tenant="a")
+        replay = c2.submit(spec_for(6).to_dict(), idempotency_key="stable-key")
+        assert replay.get("idempotent_replay") is True
+        assert replay["state"] == "done"
+        assert replay.get("metrics", {}).get("seed") == 6
+        assert runs == [6]
+        c2.close()
+    finally:
+        srv2.close()
+
+
+def test_clean_shutdown_compacts_to_idempotency_index(tmp_path):
+    journal = tmp_path / "serve.journal"
+    srv = Server(
+        ServeConfig(cache_dir=tmp_path / "cache", journal_path=str(journal)),
+        worker_fn=fake_worker,
+    ).start()
+    try:
+        c = ServeClient(addr(srv), tenant="a")
+        job = c.submit(spec_for(4).to_dict(), idempotency_key="k4")
+        deadline = time.monotonic() + 10
+        while c.status(job["id"])["state"] != "done":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        c.close()
+    finally:
+        srv.close()
+    recs = JobJournal(journal).replay(truncate=False).records
+    assert [r["t"] for r in recs] == ["idem"]
+    assert recs[0]["key"] == "k4"
+
+
+def test_journal_metrics_and_events(tmp_path):
+    from repro.obs import Observability
+
+    journal = tmp_path / "serve.journal"
+    obs = Observability()
+    seen = []
+    obs.bus.subscribe(
+        lambda ev: seen.append((ev.type, ev.fields.get("kind")))
+    )
+    with obs.as_current():
+        srv = Server(
+            ServeConfig(cache_dir=tmp_path / "cache",
+                        journal_path=str(journal)),
+            worker_fn=fake_worker,
+        ).start()
+    try:
+        with ServeClient(addr(srv), tenant="a") as c:
+            c.wait(c.submit(spec_for(8).to_dict())["id"])
+        snap = srv.metrics.snapshot()
+        appends = snap["repro_serve_journal_appends_total"]["series"]
+        assert appends.get('kind=submit') == 1
+        assert appends.get('kind=final') == 1
+    finally:
+        srv.close()
+    kinds = [k for t, k in seen if t == "job_journaled"]
+    assert kinds == ["submit", "final"]
