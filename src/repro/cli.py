@@ -284,6 +284,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import (
         PerfReport,
+        ensure_repo_baseline,
         gate_against_baseline,
         git_rev,
         run_benchmarks,
@@ -291,6 +292,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import GATED_BENCHMARKS
 
     mode = "quick" if args.quick else "full"
+    # Fail fast (before minutes of benchmarking): a gated run must
+    # compare against a baseline that is actually checked in, not a
+    # scratch report outside the repository.
+    if args.gate and args.baseline:
+        ensure_repo_baseline(args.baseline)
     print(f"repro perf ({mode} mode)")
     records = run_benchmarks(
         quick=args.quick,

@@ -1,0 +1,429 @@
+"""Vectorised batch decision pipeline (LUT build + config selection).
+
+The per-kernel decision flow (``suite.build_tables`` then
+``goal.select``) evaluates each MPR model once per kernel per config
+and runs each steepest-descent walk as a Python loop.  This module
+lifts the whole flow for *all kernels of a workload* into single NumPy
+passes:
+
+- table population batches every kernel sharing a ``<T_C, N_C>``
+  config through one stacked model evaluation per model
+  (:meth:`repro.models.suite.ModelSuite.build_tables_batch`);
+- selection stacks the per-kernel cost grids into ``(K, n_fc, n_fm)``
+  arrays and runs the exhaustive scans and steepest-descent walks for
+  all kernels simultaneously (an active-mask walk: kernels drop out as
+  they reach their local minimum).
+
+The scalar path (:mod:`repro.core.selection` driven by
+:mod:`repro.core.goals`) is kept untouched as the reference
+implementation.  The batch path reproduces it *exactly*: identical
+chosen configurations, bit-identical :class:`PredictionTable`
+contents, and identical ``evaluations`` accounting (the section 7.4
+overhead metric) — property-tested in
+``tests/core/test_batch_equivalence.py``.
+
+Known (documented) divergence: cost grids containing NaN.  The scalar
+tie-breaks use Python ``min``, whose NaN ordering is
+occurrence-dependent; the batch path uses ``np.argmin``.  No shipped
+goal produces NaN costs (infeasible cells are ``inf``), so the paths
+agree on every reachable input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.goals import (
+    Concurrency,
+    MaxPerformance,
+    MaxPerformanceUnderPowerCap,
+    MinCpuEnergy,
+    MinTotalEnergy,
+    PerformanceConstraint,
+    Selector,
+    TradeoffGoal,
+    _conc_of,
+)
+from repro.core.selection import SelectionResult, TableKey
+from repro.errors import ModelError
+from repro.models.suite import ConfigKey, ModelSuite
+from repro.models.tables import PredictionTable
+
+#: Per-kernel table sets, as ``ModelSuite.build_tables_batch`` returns.
+TablesByKernel = Mapping[str, Mapping[TableKey, PredictionTable]]
+
+#: Per-kernel cost grids (same outer/inner ordering as the tables).
+_CostsByKernel = dict[str, dict[TableKey, np.ndarray]]
+
+#: Neighbour scan order of the scalar walk's ``(di, dj)`` double loop.
+_OFFSETS = np.array(
+    [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)]
+)
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One kernel's resolved decision: its LUTs plus the selection."""
+
+    tables: dict[TableKey, PredictionTable]
+    selection: SelectionResult
+    f_c: float
+    f_m: float
+
+
+def resolve_kernels(
+    suite: ModelSuite,
+    kernel_params: Mapping[str, Mapping[ConfigKey, tuple[float, float]]],
+    grids: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    goal: TradeoffGoal,
+    selector: Selector = "steepest",
+    concurrency: Concurrency = 1.0,
+) -> dict[str, BatchDecision]:
+    """Resolve every kernel's configuration decision in one batch.
+
+    ``kernel_params`` maps kernel name to its per-config
+    ``(mb, time_ref)``; ``grids`` maps cluster name to its
+    ``(f_c_grid, f_m_grid)``.  Returns one :class:`BatchDecision` per
+    kernel, equal to what the scalar ``suite.build_tables`` +
+    ``goal.select`` flow produces kernel-by-kernel.
+    """
+    tables_by_kernel = suite.build_tables_batch(kernel_params, grids)
+    selections = batch_select(tables_by_kernel, goal, selector, concurrency)
+    out: dict[str, BatchDecision] = {}
+    for kname, tables in tables_by_kernel.items():
+        sel = selections[kname]
+        f_c, f_m = sel.freqs(tables)
+        out[kname] = BatchDecision(dict(tables), sel, f_c, f_m)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Goal dispatch
+# ----------------------------------------------------------------------
+def batch_select(
+    tables_by_kernel: TablesByKernel,
+    goal: TradeoffGoal,
+    selector: Selector = "steepest",
+    concurrency: Concurrency = 1.0,
+) -> dict[str, SelectionResult]:
+    """Run ``goal.select`` for every kernel, batched where the goal's
+    cost structure is known.  Goals this module does not understand
+    (user-defined subclasses included — ``type`` is matched exactly so
+    overridden behaviour is never silently dropped) fall back to the
+    scalar ``goal.select`` per kernel.
+    """
+    kind = type(goal)
+    if kind is MinTotalEnergy:
+        costs = _grids_of(
+            tables_by_kernel,
+            lambda tab: tab.energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            ),
+        )
+        return _demand_feasible(_select_many(costs, selector), goal)
+    if kind is MinCpuEnergy:
+        costs = _grids_of(
+            tables_by_kernel,
+            lambda tab: tab.cpu_energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            ),
+        )
+        return _demand_feasible(_select_many(costs, selector), goal)
+    if kind is MaxPerformance:
+        costs = _grids_of(tables_by_kernel, lambda tab: tab.time)
+        return _demand_feasible(_select_many(costs, selector), goal)
+    if kind is PerformanceConstraint:
+        return _select_perf_constraint(
+            tables_by_kernel, goal, selector, concurrency
+        )
+    if kind is MaxPerformanceUnderPowerCap:
+        return _select_power_cap(tables_by_kernel, goal, selector, concurrency)
+    return {
+        kname: goal.select(tables, selector, concurrency)
+        for kname, tables in tables_by_kernel.items()
+    }
+
+
+def _grids_of(tables_by_kernel: TablesByKernel, cost_fn) -> _CostsByKernel:
+    return {
+        kname: {
+            key: np.asarray(cost_fn(tab), dtype=float)
+            for key, tab in tables.items()
+        }
+        for kname, tables in tables_by_kernel.items()
+    }
+
+
+def _demand_feasible(
+    results: dict[str, SelectionResult | None], goal: TradeoffGoal
+) -> dict[str, SelectionResult]:
+    for kname, res in results.items():
+        if res is None or not np.isfinite(res.cost):
+            raise ModelError(
+                f"no feasible configuration for kernel {kname!r} "
+                f"under goal {goal.name}"
+            )
+    return results  # type: ignore[return-value]
+
+
+def _select_perf_constraint(
+    tables_by_kernel: TablesByKernel,
+    goal: PerformanceConstraint,
+    selector: Selector,
+    concurrency: Concurrency,
+) -> dict[str, SelectionResult]:
+    base = batch_select(
+        tables_by_kernel, MinTotalEnergy(), selector, concurrency
+    )
+    deadlines: dict[str, float] = {}
+    for kname, res in base.items():
+        tab = tables_by_kernel[kname][(res.cluster, res.n_cores)]
+        deadlines[kname] = float(tab.time[res.i_fc, res.i_fm]) / goal.speedup
+    costs = {
+        kname: {
+            key: np.where(
+                tab.time <= deadlines[kname],
+                tab.energy_grid(
+                    _conc_of(concurrency, (tab.cluster, tab.n_cores))
+                ),
+                np.inf,
+            )
+            for key, tab in tables.items()
+        }
+        for kname, tables in tables_by_kernel.items()
+    }
+    constrained = _select_many(costs, selector)
+    # Unsatisfiable kernels fall back to the fastest configuration (the
+    # paper's fallback); evaluations of the discarded constrained run
+    # are dropped, exactly as the scalar goal's try/except does.
+    unsat = {
+        kname: tables_by_kernel[kname]
+        for kname, res in constrained.items()
+        if res is None or not np.isfinite(res.cost)
+    }
+    if unsat:
+        fastest = batch_select(unsat, MaxPerformance(), selector, concurrency)
+        constrained.update(fastest)
+    out: dict[str, SelectionResult] = {}
+    for kname, res in constrained.items():
+        assert res is not None
+        out[kname] = SelectionResult(
+            res.cluster, res.n_cores, res.i_fc, res.i_fm, res.cost,
+            base[kname].evaluations + res.evaluations,
+        )
+    return out
+
+
+def _select_power_cap(
+    tables_by_kernel: TablesByKernel,
+    goal: MaxPerformanceUnderPowerCap,
+    selector: Selector,
+    concurrency: Concurrency,
+) -> dict[str, SelectionResult]:
+    def power_grid(tab: PredictionTable) -> np.ndarray:
+        conc = _conc_of(concurrency, (tab.cluster, tab.n_cores))
+        return tab.energy_grid(conc) / tab.time
+
+    capped = _grids_of(
+        tables_by_kernel,
+        lambda tab: np.where(
+            power_grid(tab) <= goal.cap_watts, tab.time, np.inf
+        ),
+    )
+    results = _select_many(capped, selector)
+    unsat = {
+        kname: tables_by_kernel[kname]
+        for kname, res in results.items()
+        if res is None or not np.isfinite(res.cost)
+    }
+    if unsat:
+        fallback = _select_many(_grids_of(unsat, power_grid), selector)
+        results.update(_demand_feasible(fallback, goal))
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Batched selectors
+# ----------------------------------------------------------------------
+def _select_many(
+    costs_by_kernel: _CostsByKernel, selector: Selector
+) -> dict[str, SelectionResult | None]:
+    """Run one selector over every kernel's cost grids, batched across
+    kernels with identical (config keys, grid shapes) signatures.
+    ``None`` marks a kernel whose scalar counterpart would raise
+    :class:`ModelError` (all costs infinite) — callers decide whether
+    that means "fall back" or "fail"."""
+    if selector not in ("exhaustive", "steepest"):
+        raise ModelError(f"unknown selector {selector!r}")
+    groups: dict[tuple, list[str]] = {}
+    for kname, costs in costs_by_kernel.items():
+        if not costs:
+            raise ModelError("no prediction tables to select from")
+        sig = tuple((key, grid.shape) for key, grid in costs.items())
+        groups.setdefault(sig, []).append(kname)
+    out: dict[str, SelectionResult | None] = {}
+    for sig, knames in groups.items():
+        keys = [key for key, _ in sig]
+        stacked = [
+            np.stack([costs_by_kernel[k][key] for k in knames])
+            for key in keys
+        ]
+        if selector == "exhaustive":
+            results = _exhaustive_many(keys, stacked)
+        else:
+            results = _steepest_many(keys, stacked)
+        for kname, res in zip(knames, results):
+            out[kname] = res
+    # Preserve the input's kernel order.
+    return {kname: out[kname] for kname in costs_by_kernel}
+
+
+def _exhaustive_many(
+    keys: list[TableKey], stacked: list[np.ndarray]
+) -> list[SelectionResult | None]:
+    """Batched ``exhaustive_select``: per-table flat argmin, then a
+    strict ``<`` sweep across tables in dict order (first table wins
+    ties, mirroring the scalar comparison)."""
+    k = stacked[0].shape[0]
+    evals = sum(arr[0].size for arr in stacked)
+    rows = np.arange(k)
+    best_val = best_flat = best_key = None
+    for ci, arr in enumerate(stacked):
+        flat = arr.reshape(k, -1)
+        idx = np.argmin(flat, axis=1)
+        val = flat[rows, idx]
+        if best_val is None:
+            best_val, best_flat = val, idx
+            best_key = np.zeros(k, dtype=int)
+        else:
+            better = val < best_val
+            best_val = np.where(better, val, best_val)
+            best_flat = np.where(better, idx, best_flat)
+            best_key = np.where(better, ci, best_key)
+    results: list[SelectionResult | None] = []
+    for r in range(k):
+        if not np.isfinite(best_val[r]):
+            results.append(None)
+            continue
+        key = keys[int(best_key[r])]
+        shape = stacked[int(best_key[r])].shape[1:]
+        i_fc, i_fm = np.unravel_index(int(best_flat[r]), shape)
+        results.append(
+            SelectionResult(
+                key[0], key[1], int(i_fc), int(i_fm),
+                float(best_val[r]), evals,
+            )
+        )
+    return results
+
+
+def _steepest_many(
+    keys: list[TableKey], stacked: list[np.ndarray]
+) -> list[SelectionResult | None]:
+    """Batched ``steepest_descent_select``: corner census and table
+    pick per kernel, then one active-mask walk per chosen-table shape
+    moving every still-descending kernel one step per pass."""
+    k = stacked[0].shape[0]
+    n_tables = len(keys)
+    evals = np.full(k, 4 * n_tables, dtype=np.int64)
+
+    # Step 1: the four corners of every table, in the scalar's
+    # (lo,lo), (lo,hi), (hi,lo), (hi,hi) order -> (K, C, 4).
+    corner_vals = np.empty((k, n_tables, 4))
+    corner_pos: list[list[tuple[int, int]]] = []
+    for ci, arr in enumerate(stacked):
+        n_fc, n_fm = arr.shape[1:]
+        pos = [(0, 0), (0, n_fm - 1), (n_fc - 1, 0), (n_fc - 1, n_fm - 1)]
+        corner_pos.append(pos)
+        for p, (i, j) in enumerate(pos):
+            corner_vals[:, ci, p] = arr[:, i, j]
+
+    # Step 2: most corner wins; ties broken on the best corner value,
+    # first table in dict order winning exact ties (argmin semantics
+    # match the scalar's Python ``min`` for inf-padded grids).
+    wins = np.zeros((k, n_tables), dtype=np.int64)
+    for p in range(4):
+        winner = np.argmin(corner_vals[:, :, p], axis=1)
+        wins[np.arange(k), winner] += 1
+    min_corner = corner_vals.min(axis=2)
+    top = wins == wins.max(axis=1, keepdims=True)
+    tiebreak = np.where(top, min_corner, np.inf)
+    best_table = np.argmin(tiebreak, axis=1)
+
+    # Step 3: walk each kernel from its chosen table's best corner.
+    # Kernels are regrouped by chosen-table shape so the walk itself is
+    # one vectorised pass per shape.
+    results: list[SelectionResult | None] = [None] * k
+    by_shape: dict[tuple[int, int], list[int]] = {}
+    for r in range(k):
+        by_shape.setdefault(stacked[best_table[r]].shape[1:], []).append(r)
+    for shape, rows in by_shape.items():
+        n_fc, n_fm = shape
+        kg = len(rows)
+        cost = np.empty((kg, n_fc, n_fm))
+        i0 = np.empty(kg, dtype=np.int64)
+        j0 = np.empty(kg, dtype=np.int64)
+        dead = np.zeros(kg, dtype=bool)
+        for g, r in enumerate(rows):
+            ci = int(best_table[r])
+            cost[g] = stacked[ci][r]
+            best_corner = int(np.argmin(corner_vals[r, ci]))
+            i, j = corner_pos[ci][best_corner]
+            if not np.isfinite(cost[g, i, j]):
+                # Infeasible corner: scan the chosen table for its best
+                # finite cell (scalar fallback, full-grid eval charge).
+                grid = cost[g]
+                if np.isfinite(grid).any():
+                    i, j = np.unravel_index(
+                        int(np.nanargmin(
+                            np.where(np.isfinite(grid), grid, np.inf)
+                        )),
+                        grid.shape,
+                    )
+                    evals[r] += grid.size
+                else:
+                    dead[g] = True
+            i0[g], j0[g] = i, j
+        active = ~dead
+        cur = cost[np.arange(kg), i0, j0]
+        gi, gj = i0, j0
+        while active.any():
+            ai = gi[active]
+            aj = gj[active]
+            ni = ai[:, None] + _OFFSETS[:, 0][None, :]
+            nj = aj[:, None] + _OFFSETS[:, 1][None, :]
+            in_b = (ni >= 0) & (ni < n_fc) & (nj >= 0) & (nj < n_fm)
+            arows = np.nonzero(active)[0]
+            # Every in-bounds neighbour is charged each pass, including
+            # the final pass that finds no descent — scalar parity.
+            evals[np.asarray(rows)[arows]] += in_b.sum(axis=1)
+            vals = cost[
+                arows[:, None],
+                np.clip(ni, 0, n_fc - 1),
+                np.clip(nj, 0, n_fm - 1),
+            ]
+            vals = np.where(in_b, vals, np.inf)
+            pick = np.argmin(vals, axis=1)
+            picked = vals[np.arange(len(arows)), pick]
+            moved = picked < cur[active]
+            step_i = ni[np.arange(len(arows)), pick]
+            step_j = nj[np.arange(len(arows)), pick]
+            gi[arows] = np.where(moved, step_i, ai)
+            gj[arows] = np.where(moved, step_j, aj)
+            cur[arows] = np.where(moved, picked, cur[active])
+            nxt = active.copy()
+            nxt[arows] = moved
+            active = nxt
+        for g, r in enumerate(rows):
+            if dead[g]:
+                results[r] = None
+                continue
+            key = keys[int(best_table[r])]
+            results[r] = SelectionResult(
+                key[0], key[1], int(gi[g]), int(gj[g]),
+                float(cur[g]), int(evals[r]),
+            )
+    return results

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.core.adaptation import AdaptationPolicy
+from repro.core.batch import resolve_kernels
 from repro.core.coarsening import CoarseningPolicy
 from repro.core.coordination import FrequencyCoordinator, Strategy
 from repro.core.goals import (
@@ -68,12 +69,18 @@ class JossScheduler(Scheduler):
         adaptation: Optional[AdaptationPolicy] = None,
         health=None,
         name: Optional[str] = None,
+        batch_decisions: bool = True,
     ) -> None:
         super().__init__()
         self.suite = suite
         self.goal = goal if goal is not None else MinTotalEnergy()
         self.selector: Selector = selector
         self.use_memory_dvfs = use_memory_dvfs
+        #: Route kernel resolution through the vectorised batch
+        #: pipeline (:mod:`repro.core.batch`).  Produces bit-identical
+        #: tables and identical selections/eval counts to the scalar
+        #: flow; ``False`` keeps the reference path for A/B testing.
+        self.batch_decisions = batch_decisions
         self.coordinator = FrequencyCoordinator(coordination)
         self.coarsening = coarsening if coarsening is not None else CoarseningPolicy()
         #: Optional drift monitor (extension; None = paper behaviour).
@@ -89,6 +96,7 @@ class JossScheduler(Scheduler):
         #: Per-kernel prediction tables (kept for constraint queries).
         self.tables: dict[str, dict[tuple[str, int], PredictionTable]] = {}
         self._selection_evals = 0
+        self._batch_tables_built = 0
         self._monitor: Optional[HealthMonitor] = None
         self._global_degraded = False
         self._degraded_since: Optional[float] = None
@@ -138,6 +146,7 @@ class JossScheduler(Scheduler):
         self.decisions.clear()
         self.tables.clear()
         self._selection_evals = 0
+        self._batch_tables_built = 0
         if self.adaptation is not None:
             self.adaptation.reset()
             self.adaptation.on_invalidated = self._on_drift_invalidated
@@ -312,6 +321,11 @@ class JossScheduler(Scheduler):
             ("scheduler",),
         ).inc(len(self.decisions), **lbl)
         registry.counter(
+            "batch_tables_built",
+            "prediction tables built via the batch decision pipeline",
+            ("scheduler",),
+        ).inc(self._batch_tables_built, **lbl)
+        registry.counter(
             "joss_coarsening_suppressed_total",
             "DVFS requests suppressed by task coarsening", ("scheduler",),
         ).inc(self.coarsening.suppressed, **lbl)
@@ -371,14 +385,26 @@ class JossScheduler(Scheduler):
             if cl_name not in grids:
                 grids[cl_name] = self._freq_grids(cl_name)
             params[(cl_name, n_cores)] = (mb, t_ref)
-        # One batched call shares each cluster's OPP mesh across its
-        # <T_C, N_C> configs (dict order == config_keys order).
-        tables: dict[tuple[str, int], PredictionTable] = self.suite.build_tables(
-            params, grids
-        )
         concurrency = self._expected_concurrency()
-        sel = self.goal.select(tables, self.selector, concurrency=concurrency)
-        f_c, f_m = sel.freqs(tables)
+        if self.batch_decisions:
+            # Vectorised pipeline: stacked model evaluation + batched
+            # selection (bit-identical to the scalar flow below).
+            dec = resolve_kernels(
+                self.suite, {kname: params}, grids,
+                self.goal, self.selector, concurrency,
+            )[kname]
+            tables = dec.tables
+            sel, f_c, f_m = dec.selection, dec.f_c, dec.f_m
+            self._batch_tables_built += len(tables)
+        else:
+            # Scalar reference flow: one build_tables call shares each
+            # cluster's OPP mesh across its <T_C, N_C> configs (dict
+            # order == config_keys order).
+            tables = self.suite.build_tables(params, grids)
+            sel = self.goal.select(
+                tables, self.selector, concurrency=concurrency
+            )
+            f_c, f_m = sel.freqs(tables)
         self.tables[kname] = tables
         self.decisions[kname] = (sel, f_c, f_m)
         self._selection_evals += sel.evaluations

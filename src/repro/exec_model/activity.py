@@ -40,6 +40,10 @@ class Activity:
         "completion_event",
         "bd_key",
         "bd",
+        "live",
+        "dirty",
+        "bw_cur",
+        "pa",
     )
 
     def __init__(
@@ -78,13 +82,28 @@ class Activity:
         #: timing depends only on ``(f_C, f_M)``.
         self.bd_key: Optional[tuple] = None
         self.bd: Any = None
+        #: False once completed/aborted (stale dirty-list entries check
+        #: this instead of being removed from the list).
+        self.live = True
+        #: Queued for re-materialisation in the engine's next re-timing
+        #: pass (new activity, frequency moved under it, stall edge).
+        self.dirty = False
+        #: Bandwidth demand currently folded into the engine's running
+        #: contention total (GB/s); updated only inside re-timing passes
+        #: and on completion, so the total stays an exact running sum.
+        self.bw_cur = 0.0
+        #: Dynamic-activity factor ``(1 - mb) + mb * stall_activity``
+        #: currently folded into the engine's per-cluster power sum;
+        #: updated under the same discipline as ``bw_cur``.
+        self.pa = 0.0
 
     def advance_to(self, now: float) -> None:
         """Consume progress between ``last_update`` and ``now`` at the
         previously cached rate."""
         dt = now - self.last_update
         if dt > 0 and self.rate > 0:
-            self.frac_remaining = max(0.0, self.frac_remaining - dt * self.rate)
+            frac = self.frac_remaining - dt * self.rate
+            self.frac_remaining = frac if frac > 0.0 else 0.0
         self.last_update = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

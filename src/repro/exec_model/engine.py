@@ -53,6 +53,7 @@ class ExecutionEngine:
         tracer: Optional[Tracer] = None,
         duration_noise_sigma: float = 0.02,
         cache_size: int = 8192,
+        shared_breakdowns: Optional[dict] = None,
     ) -> None:
         self.sim = sim
         self.platform = platform
@@ -75,31 +76,73 @@ class ExecutionEngine:
         # produce, which the determinism tests pin down).  See
         # docs/architecture.md, "Performance".
         self._cache_size = int(cache_size)
-        #: With caches on, a state change only *marks* the engine dirty;
-        #: the full re-timing pass runs lazily (before the clock can
-        #:  advance, any completion event fires, or rail power is read) —
+        #: A state change only *marks* the engine dirty; the full
+        #: re-timing pass runs lazily (before the clock can advance,
+        #: any completion event fires, or rail power is read) —
         #: collapsing the redundant passes of same-timestamp start
-        #: bursts into one.  See ``_flush_if_needed``.
-        self._defer = self._cache_size > 0
+        #: bursts into one.  Deferral is independent of ``cache_size``:
+        #: both cache paths must run the *same* pass sequence, because
+        #: the incremental power/demand sums accumulate rounding in
+        #: pass order and transient mid-burst passes would leave the
+        #: eager path with different last-bit sums.  See
+        #: ``_flush_if_needed``.
+        self._defer = True
         #: Partition-share breakdowns keyed like the timing memo.
         self._part_cache: dict = {}
-        #: Per-cluster power: cluster_id -> ((freq, loads), watts).
-        self._cluster_power_cache: dict = {}
-        #: Memory-rail power: ((freq, achieved_bw), watts).
-        self._mem_power_cache: Optional[tuple] = None
-        #: Re-timing input signature of the last full pass (skip
-        #: duplicate passes at the same instant with identical state).
-        self._retime_sig: Optional[tuple] = None
+        #: Optional cross-run breakdown memo (sweep fork path; see
+        #: :class:`repro.sweep.fork.ForkCache`).  Consulted only on a
+        #: ``_part_cache`` miss, keyed by core-type *name* because core
+        #: objects are rebuilt per run; ``None`` costs nothing on the
+        #: hot path.  Disabled alongside the other caches at
+        #: ``cache_size=0`` so the reference path stays pure.
+        self._shared_bd = shared_breakdowns if cache_size > 0 else None
+        #: Per-cluster incremental power inputs: cluster_id ->
+        #: ``[n_busy, act_sum]`` where ``act_sum`` is the sum of every
+        #: running activity's dynamic-activity factor
+        #: ``(1 - mb) + mb * stall_activity``.  Maintained at activity
+        #: start/finish/re-materialisation (both cache paths run the
+        #: same updates, so they stay bit-identical), and resynced to
+        #: 0.0 whenever the cluster drains — the same drift-bounding
+        #: discipline as ``_total_demand``.  With these sums the rail
+        #: power is closed-form arithmetic: no per-core scan, no cache.
+        self._cl_stat: dict[int, list] = {
+            cl.cluster_id: [0, 0.0] for cl in platform.clusters
+        }
+        # Power-model parameters, hoisted once (immutable for the run).
+        pmp = platform.power_model.params
+        self._k_uncore = pmp.k_uncore
+        self._k_idle_clock = pmp.k_idle_clock
+        self._mem_idle_base = pmp.mem_idle_base
+        self._mem_idle_per_ghz = pmp.mem_idle_per_ghz
+        self._mem_e_per_gb = pmp.mem_energy_per_gb
+        self._k_mem_ctrl = pmp.k_mem_ctrl
+        #: Contention factor of the last re-timing pass.  After every
+        #: pass each activity's materialised state reflects this factor
+        #: (a factor change re-materialises *all* activities), which is
+        #: what makes the dirty-list scheme in ``_retime`` sound.
+        self._prev_factor: float = 1.0
+        #: Running sum of every activity's ``bw_cur`` — the contention
+        #: model's total demand, maintained incrementally so a clean
+        #: re-timing pass never loops the running set.  Resynced to 0.0
+        #: whenever the set drains (bounds float drift to one busy
+        #: phase; the drifted value is used consistently everywhere, so
+        #: results stay deterministic).
+        self._total_demand = 0.0
+        #: Activities queued for re-materialisation (insertion order —
+        #: never a set, whose address-based iteration order would break
+        #: cross-process bit-identity).
+        self._dirty: list[Activity] = []
         #: Callback ``fn(activity)`` invoked when a partition finishes.
         self.on_complete: Optional[Callable[[Activity], None]] = None
         #: Callbacks invoked (no args) after every global re-timing —
         #: i.e. whenever frequencies or the running set changed.  Used
         #: by analysis instrumentation (energy attribution).
         self.on_state_change: list[Callable[[], None]] = []
-        # Re-time on any frequency change.
+        # Re-time on any frequency change (the affected activities'
+        # breakdowns move, so they are queued for re-materialisation).
         for cl in platform.clusters:
-            cl.on_freq_change.append(lambda _cl: self._state_changed())
-        platform.memory.on_freq_change.append(lambda _m: self._state_changed())
+            cl.on_freq_change.append(self._on_cluster_freq)
+        platform.memory.on_freq_change.append(self._on_mem_freq)
         # Initialise rail powers for the all-idle platform.
         self.accountant.update(sim.now, self.rail_powers())
 
@@ -141,6 +184,9 @@ class ExecutionEngine:
         core.busy = True
         core.current_activity = act
         self._activities.append(act)
+        act.dirty = True
+        self._dirty.append(act)
+        self._cl_stat[core.cluster.cluster_id][0] += 1
         if self.tracer is not None:
             self.tracer.emit(
                 self.sim.now, "activity-start", kernel=kernel.name, core=core.core_id
@@ -151,16 +197,36 @@ class ExecutionEngine:
                 "task_started", self.sim.now,
                 kernel=kernel.name, core=core.core_id,
             )
-        self._state_changed()
+        # _state_changed() inlined (hot path; deferral is unconditional).
+        now = self.sim._now
+        acc = self.accountant
+        if acc._last_t < now:
+            acc.integrate_to(now)
+        self.sim.flush_fn = self._flush_if_needed
         return act
 
     def _complete(self, act: Activity) -> None:
-        if act not in self._activities:  # cancelled/stale event
+        if not act.live:  # cancelled/stale event
             return
         act.advance_to(self.sim.now)
         self._activities.remove(act)
-        act.core.busy = False
-        act.core.current_activity = None
+        act.live = False
+        act.dirty = False
+        self._total_demand -= act.bw_cur
+        if not self._activities:
+            self._total_demand = 0.0  # resync the running sum
+        core = act.core
+        cluster = core.cluster
+        core.busy = False
+        core.current_activity = None
+        st = self._cl_stat[cluster.cluster_id]
+        st[0] -= 1
+        if st[0] == 0:
+            st[1] = 0.0  # resync the activity sum
+        else:
+            st[1] -= act.pa
+        if not core._online:  # drained after a hot-unplug (grace end)
+            cluster._n_draining -= 1
         act.completion_event = None
         if self.tracer is not None:
             self.tracer.emit(
@@ -177,7 +243,12 @@ class ExecutionEngine:
                 kernel=act.kernel.name, core=act.core.core_id,
                 elapsed=self.sim.now - act.started_at,
             )
-        self._state_changed()
+        # _state_changed() inlined (hot path; deferral is unconditional).
+        now = self.sim._now
+        acc = self.accountant
+        if acc._last_t < now:
+            acc.integrate_to(now)
+        self.sim.flush_fn = self._flush_if_needed
         if self.on_complete is not None:
             self.on_complete(act)
 
@@ -186,9 +257,37 @@ class ExecutionEngine:
         for act in list(self._activities):
             if act.completion_event is not None:
                 act.completion_event.cancel()
+            act.live = False
+            act.dirty = False
             act.core.busy = False
             act.core.current_activity = None
+            if not act.core._online:
+                act.core.cluster._n_draining -= 1
         self._activities.clear()
+        self._dirty.clear()
+        self._total_demand = 0.0
+        for st in self._cl_stat.values():
+            st[0] = 0
+            st[1] = 0.0
+        self._state_changed()
+
+    # ------------------------------------------------------------------
+    # Change notifications
+    # ------------------------------------------------------------------
+    def _on_cluster_freq(self, cl) -> None:
+        dirty = self._dirty
+        for act in self._activities:
+            if act.core.cluster is cl and not act.dirty:
+                act.dirty = True
+                dirty.append(act)
+        self._state_changed()
+
+    def _on_mem_freq(self, _mem) -> None:
+        dirty = self._dirty
+        for act in self._activities:
+            if not act.dirty:
+                act.dirty = True
+                dirty.append(act)
         self._state_changed()
 
     # ------------------------------------------------------------------
@@ -274,103 +373,190 @@ class ExecutionEngine:
         self._retime()
         return True
 
+    def _partition_breakdown(self, act: Activity, mem_freq: float, key: tuple):
+        """Fetch/recompute ``act``'s partition breakdown for ``key`` and
+        stamp ``bd_key`` (the breakdown-unchanged marker, kept in both
+        cache paths; with caches off the values are recomputed every
+        pass — the reference behaviour — and equal by determinism)."""
+        if self._cache_size > 0:
+            if key == act.bd_key:
+                return act.bd
+            # Engine-level memo: activities of the same (kernel, core
+            # type, width) at the same frequencies share one partition
+            # breakdown — a workload replays a handful of kernels
+            # thousands of times, so this hits far more than the
+            # per-activity ``bd_key`` marker alone.
+            cache = self._part_cache
+            ckey = (
+                id(act.kernel), id(act.core.core_type),
+                act.n_cores_total, key[0], mem_freq,
+            )
+            hit = cache.get(ckey)
+            if hit is not None and hit[0] is act.kernel:
+                b = hit[1]
+            else:
+                b = None
+                shared = self._shared_bd
+                skey = None
+                if shared is not None:
+                    # Cross-run memo (sweep fork path): breakdowns are
+                    # pure in (kernel, core type, width, f_C, f_M), so a
+                    # neighbouring grid point's value is reusable as-is.
+                    skey = (
+                        id(act.kernel), act.core.core_type.name,
+                        act.n_cores_total, key[0], mem_freq,
+                    )
+                    shit = shared.get(skey)
+                    if shit is not None and shit[0] is act.kernel:
+                        b = shit[1]
+                if b is None:
+                    full = self.timing.breakdown(
+                        act.kernel, act.core.core_type, act.n_cores_total,
+                        key[0], mem_freq,
+                    )
+                    b = TimingBreakdown(
+                        t_comp=full.t_comp,
+                        t_mem=full.t_mem,
+                        bw_demand=full.bw_demand / act.n_cores_total,
+                    )
+                    if shared is not None:
+                        shared[skey] = (act.kernel, b)
+                if len(cache) >= self._cache_size:  # FIFO eviction
+                    cache.pop(next(iter(cache)))
+                cache[ckey] = (act.kernel, b)
+            act.bd = b
+            act.bd_key = key
+            return b
+        full = self.timing.breakdown(
+            act.kernel, act.core.core_type, act.n_cores_total,
+            key[0], mem_freq,
+        )
+        b = TimingBreakdown(
+            t_comp=full.t_comp,
+            t_mem=full.t_mem,
+            bw_demand=full.bw_demand / act.n_cores_total,
+        )
+        act.bd_key = key
+        return b
+
     def _retime(self) -> None:
-        """Advance progress, recompute contention, reschedule deadlines,
-        refresh rail power."""
+        """Re-materialise the queued (dirty) activities, recompute
+        contention, refresh rail power.
+
+        The pass is incremental: every materialised per-activity
+        quantity (rate, instantaneous MB, achieved bandwidth, deadline)
+        is a pure function of the partition breakdown (fixed by the
+        ``(f_C, f_M)`` pair), the global contention factor and the
+        stall state, so only activities whose inputs moved — queued on
+        ``self._dirty`` by start/stall/frequency notifications — are
+        touched.  Clean activities keep their scheduled completion
+        events and their lazily stale ``frac_remaining`` /
+        ``last_update`` pair (exactly what :meth:`Activity.advance_to`
+        later consumes).  The contention total is a running sum
+        maintained from per-activity deltas, so a pass with an empty
+        queue is O(1) plus the power refresh.  A factor change
+        re-materialises every activity, which keeps the clean-skip
+        sound against the *previous pass's* factor.  Both the cached
+        and the ``cache_size=0`` reference paths take the same
+        decisions, so observable state stays bit-identical between
+        them.
+        """
         self.sim.flush_fn = None
         now = self.sim._now
         activities = self._activities
-        mem_freq = self.platform.memory._freq
-        caching = self._cache_size > 0
-        # Everything the re-timing below reads, beyond per-activity
-        # constants: the clock, both frequency domains, the running set
-        # and each activity's stall deadline.  If none of it moved
-        # since the last full pass, the recomputed rates, deadlines and
-        # already-scheduled completion events are all still exact —
-        # only the power/energy refresh and instrumentation run.  (Only
-        # completion events live at their tie-break priority, so
-        # keeping the existing ones preserves event order.)
-        sig = (
-            now,
-            mem_freq,
-            tuple(
-                [(id(a), a.core.cluster._freq, a.stall_until) for a in activities]
-            ),
-        )
-        if caching and sig == self._retime_sig:
-            cpu, mem = self._rail_powers_pair()
-            self._acc_update(now, cpu, mem)
-            for fn in self.on_state_change:
-                fn()
-            return
-        # Fused per-activity pass: progress advance (mirrors
-        # Activity.advance_to) plus partition breakdown, memoised on the
-        # activity itself — kernel, core type and partition count are
-        # fixed for its lifetime, so the breakdown depends only on the
-        # ``(f_C, f_M)`` pair (same values _breakdown_for would return).
-        timing_breakdown = self.timing.breakdown
-        breakdowns = []
-        append = breakdowns.append
-        total_demand = 0.0
-        for act in activities:
-            dt = now - act.last_update
-            if dt > 0 and act.rate > 0:
-                frac = act.frac_remaining - dt * act.rate
-                act.frac_remaining = frac if frac > 0.0 else 0.0
-            act.last_update = now
-            key = (act.core.cluster._freq, mem_freq)
-            if key == act.bd_key:
-                b = act.bd
-            else:
-                full = timing_breakdown(
-                    act.kernel, act.core.core_type, act.n_cores_total, key[0], mem_freq
-                )
-                b = TimingBreakdown(
-                    t_comp=full.t_comp,
-                    t_mem=full.t_mem,
-                    bw_demand=full.bw_demand / act.n_cores_total,
-                )
-                if caching:
-                    act.bd_key = key
-                    act.bd = b
-            append(b)
-            total_demand += b.bw_demand
+        mem = self.platform.memory
+        mem_freq = mem._freq
+        total = self._total_demand
+        pairs = ()
+        if self._dirty:
+            dirty = self._dirty
+            self._dirty = []
+            pairs = []
+            for act in dirty:
+                if not act.dirty:  # completed/aborted before the pass
+                    continue
+                act.dirty = False
+                key = (act.core.cluster._freq, mem_freq)
+                b = self._partition_breakdown(act, mem_freq, key)
+                bw = b.bw_demand
+                old = act.bw_cur
+                if bw != old:
+                    total = total - old + bw
+                    act.bw_cur = bw
+                pairs.append((act, b))
+            self._total_demand = total
         # Contention, inlined from ContentionModel.factor_from_total /
         # achieved_from_total (cap == memory.bandwidth_capacity).
-        cap = self.platform.memory.bw_cap_per_ghz * mem_freq
-        if cap <= 0 or total_demand <= cap:
+        cap = mem.bw_cap_per_ghz * mem_freq
+        if cap <= 0 or total <= cap:
             factor = 1.0
+            congested = False
         else:
-            factor = total_demand / cap
-        achieved_total = min(total_demand, cap) if cap > 0 else 0.0
-        schedule = self.sim.schedule
-        md = MIN_DURATION_S
-        for act, b in zip(activities, breakdowns):
-            stretched_mem = b.t_mem * factor
-            stretched = b.t_comp + stretched_mem
-            duration_full = stretched * act.noise
-            if duration_full < md:
-                duration_full = md
-            stall_left = act.stall_until - now
-            if stall_left > 0.0:
-                act.rate = 0.0
-            else:
-                stall_left = 0.0
-                act.rate = 1.0 / duration_full
-            act.mb_inst = stretched_mem / stretched if stretched > 0 else 0.0
-            if total_demand > 0:
-                act.bw_achieved = achieved_total * (b.bw_demand / total_demand)
-            else:
-                act.bw_achieved = 0.0
-            remaining = stall_left + act.frac_remaining * duration_full
-            if act.completion_event is not None:
-                act.completion_event.cancel()
-            act.completion_event = schedule(
-                remaining, self._complete, act, priority=COMPLETION_PRIORITY
-            )
-        self._retime_sig = sig
-        cpu, mem = self._rail_powers_pair()
-        self._acc_update(now, cpu, mem)
+            factor = total / cap
+            congested = True
+        if factor != self._prev_factor:
+            self._prev_factor = factor
+            # Contention moved: every activity's deadline moved.
+            pairs = [
+                (act, self._partition_breakdown(
+                    act, mem_freq, (act.core.cluster._freq, mem_freq)
+                ))
+                for act in activities
+            ]
+        if pairs:
+            schedule = self.sim.schedule
+            md = MIN_DURATION_S
+            cl_stat = self._cl_stat
+            # Each achieved bandwidth is its demand share of the
+            # saturated capacity — ``demand * (cap / total) == demand /
+            # factor`` — so it is local to ``(breakdown, factor)`` like
+            # every other materialised quantity.
+            for act, b in pairs:
+                dt = now - act.last_update
+                if dt > 0 and act.rate > 0:
+                    frac = act.frac_remaining - dt * act.rate
+                    act.frac_remaining = frac if frac > 0.0 else 0.0
+                act.last_update = now
+                stretched_mem = b.t_mem * factor
+                stretched = b.t_comp + stretched_mem
+                duration_full = stretched * act.noise
+                if duration_full < md:
+                    duration_full = md
+                stall_left = act.stall_until - now
+                if stall_left > 0.0:
+                    act.rate = 0.0
+                else:
+                    stall_left = 0.0
+                    act.rate = 1.0 / duration_full
+                mb = stretched_mem / stretched if stretched > 0 else 0.0
+                act.mb_inst = mb
+                cluster = act.core.cluster
+                a = (1.0 - mb) + mb * cluster.core_type.stall_activity
+                if a != act.pa:
+                    st = cl_stat[cluster.cluster_id]
+                    st[1] += a - act.pa
+                    act.pa = a
+                if cap <= 0:
+                    act.bw_achieved = 0.0
+                elif congested:
+                    act.bw_achieved = b.bw_demand / factor
+                else:
+                    act.bw_achieved = b.bw_demand
+                remaining = stall_left + act.frac_remaining * duration_full
+                ev = act.completion_event
+                if ev is not None:
+                    # ``schedule`` computes the same ``now + remaining``
+                    # sum, so an unchanged deadline (compute-bound
+                    # kernels under contention-only passes) keeps the
+                    # already-queued event instead of churning the heap.
+                    if ev.time == now + remaining:
+                        continue
+                    ev.cancel()
+                act.completion_event = schedule(
+                    remaining, self._complete, act, priority=COMPLETION_PRIORITY
+                )
+        cpu, memw = self._rail_powers_pair()
+        self._acc_update(now, cpu, memw)
         for fn in self.on_state_change:
             fn()
 
@@ -381,16 +567,30 @@ class ExecutionEngine:
         if duration <= 0:
             return
         until = self.sim.now + duration
-        affected = False
+        affected: list[Activity] = []
+        dirty = self._dirty
         core_set = set(cores) if cores is not None else None
         for act in self._activities:
             if core_set is None or act.core in core_set:
                 act.stall_until = max(act.stall_until, until)
-                affected = True
+                if not act.dirty:
+                    act.dirty = True
+                    dirty.append(act)
+                affected.append(act)
         if affected:
             # Re-time now (rates drop to zero) and again at stall end.
             self._state_changed()
-            self.sim.schedule(duration, self._state_changed)
+            self.sim.schedule(duration, self._stall_end, tuple(affected))
+
+    def _stall_end(self, acts: tuple) -> None:
+        """A stall window closed: re-queue its survivors (their rates
+        come back up) and re-time."""
+        dirty = self._dirty
+        for act in acts:
+            if act.live and not act.dirty:
+                act.dirty = True
+                dirty.append(act)
+        self._state_changed()
 
     # ------------------------------------------------------------------
     # Power
@@ -420,40 +620,56 @@ class ExecutionEngine:
 
     def _rail_powers_pair(self) -> tuple[float, float]:
         """(cpu_watts, mem_watts) with no flush and no dict — the
-        internal form behind :meth:`rail_powers`."""
-        pm = self.platform.power_model
-        caching = self._cache_size > 0
-        cluster_cache = self._cluster_power_cache
+        internal form behind :meth:`rail_powers`.
+
+        Pure arithmetic over incrementally maintained sums (see
+        ``_cl_stat``): per cluster, power-relevant cores are the online
+        ones plus any hot-unplugged core still draining its activity
+        (grace semantics — it keeps clocking and leaking); idle-clocked
+        cores are the remainder once the busy ones are subtracted.  The
+        memory rail uses the closed-form achieved bandwidth: every
+        activity achieves its demand (uncongested) or its demand share
+        of the saturated capacity (congested, summing to the capacity),
+        and nothing when the capacity is zero.
+        """
+        k_uncore = self._k_uncore
+        k_idle_clock = self._k_idle_clock
+        cl_stat = self._cl_stat
         cpu = 0.0
         for cl in self.platform.clusters:
-            # Hot-unplugged *and* drained cores contribute nothing (no
-            # leakage); an offline core still finishing its activity
-            # keeps burning power (grace semantics).
-            loads: list[Optional[float]] = [
-                act.mb_inst if act is not None else None
-                for core in cl.cores
-                if (act := core.current_activity) is not None or core.online
-            ]
-            key = (cl._freq, tuple(loads))
-            hit = cluster_cache.get(cl.cluster_id)
-            if hit is not None and hit[0] == key:
-                cpu += hit[1]
-                continue
-            p = pm.cluster_power(cl, loads)
-            if caching:
-                cluster_cache[cl.cluster_id] = (key, p)
-            cpu += p
-        achieved = 0.0
-        for a in self._activities:
-            achieved += a.bw_achieved
-        mkey = (self.platform.memory._freq, achieved)
-        mhit = self._mem_power_cache
-        if mhit is not None and mhit[0] == mkey:
-            mem = mhit[1]
+            v = cl._volts
+            f = cl._freq
+            v2f = v * v * f
+            ct = cl.core_type
+            st = cl_stat[cl.cluster_id]
+            n_busy = st[0]
+            present = cl._n_online + cl._n_draining
+            cpu += (
+                k_uncore * v2f
+                + present * (ct.k_static * v * v)
+                + (present - n_busy) * (k_idle_clock * v2f)
+                + ct.k_dyn * st[1] * v2f
+            )
+        mem_dom = self.platform.memory
+        mfreq = mem_dom._freq
+        total = self._total_demand
+        cap = mem_dom.bw_cap_per_ghz * mfreq
+        if cap <= 0.0:
+            achieved = 0.0
+            util = 0.0
+        elif total > cap:
+            achieved = cap
+            util = 1.0
         else:
-            mem = pm.memory_power(self.platform.memory, achieved)
-            if caching:
-                self._mem_power_cache = (mkey, mem)
+            achieved = total
+            util = achieved / cap
+        mv = mem_dom._volts
+        mem = (
+            self._mem_idle_base
+            + self._mem_idle_per_ghz * mfreq
+            + self._mem_e_per_gb * achieved
+            + self._k_mem_ctrl * mv * mv * mfreq * util
+        )
         return cpu, mem
 
     def finalize(self) -> None:

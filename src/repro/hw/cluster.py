@@ -34,6 +34,20 @@ class Cluster:
         self.core_type = core_type
         self.opps = opps
         self.voltage = voltage
+        #: Monotone counter bumped whenever per-core state that feeds
+        #: the power model changes outside the frequency callbacks
+        #: (hot-plug flips, activity churn); consumers pair it with the
+        #: frequency to validate cached cluster power.
+        self.power_epoch = 0
+        #: Count of online cores, maintained by the ``Core.online``
+        #: setter so hot paths never rescan the core list.
+        self._n_online = n_cores
+        #: Hot-unplugged cores still finishing an activity (grace
+        #: semantics): they keep clocking and leaking, so the power
+        #: model counts them alongside the online cores.  Incremented
+        #: by the ``Core.online`` setter, decremented when the draining
+        #: activity finishes.
+        self._n_draining = 0
         self.cores = [Core(core_id_base + i, self) for i in range(n_cores)]
         self._freq = opps.max
         self._volts = voltage.volts(self._freq)

@@ -10,7 +10,7 @@ the idle-power attribution logic (paper section 5.3) need it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -59,23 +59,57 @@ class CoreType:
             raise ValueError("stall_activity must be in [0, 1]")
 
 
-@dataclass
 class Core:
-    """One physical core inside a cluster."""
+    """One physical core inside a cluster.
 
-    core_id: int
-    cluster: "Cluster"
-    busy: bool = False
-    #: Hot-plug state: an offline core accepts no new work, stops
-    #: leaking, and its worker sleeps until it is plugged back in.
-    #: Toggled only by fault injection (``repro.faults``); a running
-    #: activity is allowed to finish (grace semantics, like cpu-hotplug
-    #: migration on Linux).
-    online: bool = True
-    #: Opaque handle to whatever the core is currently executing
-    #: (an :class:`repro.exec_model.activity.Activity`); owned by the
-    #: execution engine, stored here for power evaluation.
-    current_activity: Optional[object] = field(default=None, repr=False)
+    A plain slotted class (not a dataclass): ``busy`` and
+    ``current_activity`` are written on every task start/finish and read
+    on every power evaluation, so attribute access cost matters.
+    """
+
+    __slots__ = ("core_id", "cluster", "busy", "current_activity", "_online")
+
+    def __init__(self, core_id: int, cluster: "Cluster") -> None:
+        self.core_id = core_id
+        self.cluster = cluster
+        self.busy = False
+        #: Opaque handle to whatever the core is currently executing
+        #: (an :class:`repro.exec_model.activity.Activity`); owned by the
+        #: execution engine, stored here for power evaluation.
+        self.current_activity: Optional[object] = None
+        self._online = True
+
+    @property
+    def online(self) -> bool:
+        """Hot-plug state: an offline core accepts no new work, stops
+        leaking, and its worker sleeps until it is plugged back in.
+        Toggled only by fault injection (``repro.faults``); a running
+        activity is allowed to finish (grace semantics, like cpu-hotplug
+        migration on Linux).
+
+        The setter maintains the owning cluster's ``_n_online`` /
+        ``_n_draining`` counters (the closed-form power sums read
+        those, never a core-list scan) and bumps ``power_epoch`` for
+        external consumers — flips bypass every frequency callback,
+        these are the only signals they leave."""
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        cluster = self.cluster
+        cluster.power_epoch += 1
+        if value:
+            cluster._n_online += 1
+            if self.busy:  # was draining; now a regular busy core
+                cluster._n_draining -= 1
+        else:
+            cluster._n_online -= 1
+            if self.busy:  # keeps finishing its activity (grace)
+                cluster._n_draining += 1
 
     @property
     def core_type(self) -> CoreType:

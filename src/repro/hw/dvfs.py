@@ -60,7 +60,15 @@ class DvfsController:
         self.requests = 0
         self._pending: Optional[Event] = None
         self._pending_freq: Optional[float] = None
-        #: Optional callbacks fired as ``fn(controller)`` after an apply.
+        #: Request-target -> snapped-OPP memo.  The OPP ladder is fixed
+        #: for the controller's lifetime and coordination policies keep
+        #: re-requesting the same handful of averaged targets, so the
+        #: range check + nearest-OPP search is pure and cacheable.
+        self._snap: dict[float, float] = {}
+        #: Optional callbacks fired as ``fn(controller)`` after an
+        #: actual frequency transition (an apply landing on the current
+        #: frequency — a superseding request routed back to it — is
+        #: silent, keeping observers in lockstep with ``transitions``).
         self.on_applied: list[Callable[["DvfsController"], None]] = []
         #: Callbacks fired as ``fn(controller, stall_seconds)`` when an
         #: actual transition occurs and ``transition_stall_s > 0``.
@@ -84,8 +92,12 @@ class DvfsController:
         No-op (and no latency) if the snapped target equals the current
         frequency and nothing else is pending.
         """
-        self._check_in_range(f_ghz)
-        snapped = self.domain.opps.nearest(f_ghz)
+        snapped = self._snap.get(f_ghz)
+        if snapped is None:
+            self._check_in_range(f_ghz)
+            snapped = self.domain.opps.nearest(f_ghz)
+            if len(self._snap) < 4096:  # bound pathological churn
+                self._snap[f_ghz] = snapped
         self.requests += 1
         if self._pending is None and abs(snapped - self.domain.freq) < 1e-12:
             return snapped
@@ -119,11 +131,14 @@ class DvfsController:
     def _apply(self, f_ghz: float) -> None:
         self._pending = None
         self._pending_freq = None
-        if abs(f_ghz - self.domain.freq) >= 1e-12:
-            self.transitions += 1
-            self.domain.set_freq(f_ghz)
-            if self.stall > 0:
-                for fn in self.on_stall:
-                    fn(self, self.stall)
+        if abs(f_ghz - self.domain.freq) < 1e-12:
+            # A newer request superseded the pending one with the
+            # current frequency: nothing changes, no observer fires.
+            return
+        self.transitions += 1
+        self.domain.set_freq(f_ghz)
+        if self.stall > 0:
+            for fn in self.on_stall:
+                fn(self, self.stall)
         for fn in self.on_applied:
             fn(self)

@@ -139,6 +139,12 @@ class PowerSensor:
         self._pending: Optional[Event] = None
         #: Time up to which energy has been accounted (sample edge).
         self._last_edge = 0.0
+        #: Block-drawn noise buffer.  ``Generator.standard_normal(n)``
+        #: fills arrays with the same ziggurat draws a sequence of
+        #: scalar calls would consume, so buffering preserves the noise
+        #: stream bit-for-bit while amortising the per-call overhead.
+        self._noise_buf: np.ndarray = np.empty(0)
+        self._noise_i = 0
 
     def start(self) -> None:
         """Begin sampling; the first sample is taken one interval in."""
@@ -183,11 +189,22 @@ class PowerSensor:
         if true_powers is None:  # dropped sample: the interval is lost
             self.dropped += 1
             return
-        for r in self.rails:
-            p = float(true_powers.get(r, 0.0))
-            if self.noise_sigma > 0:
-                p *= max(0.0, 1.0 + self.noise_sigma * self.rng.standard_normal())
-            self._energy[r] += p * dt
+        sigma = self.noise_sigma
+        energy = self._energy
+        if sigma > 0:
+            buf, i = self._noise_buf, self._noise_i
+            if i + len(self.rails) > len(buf):
+                buf = self._noise_buf = self.rng.standard_normal(256)
+                i = 0
+            for r in self.rails:
+                p = float(true_powers.get(r, 0.0))
+                noise = 1.0 + sigma * buf[i]
+                i += 1
+                energy[r] += (p * noise if noise > 0.0 else 0.0) * dt
+            self._noise_i = i
+        else:
+            for r in self.rails:
+                energy[r] += float(true_powers.get(r, 0.0)) * dt
         self.samples += 1
         self.last_sample_time = self.sim.now
 

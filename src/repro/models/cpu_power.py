@@ -33,6 +33,25 @@ class CpuPowerModel:
         x = np.column_stack([np.full(f_c_grid.size, mb), f_c_grid])
         return np.maximum(0.0, self._reg.predict(x))
 
+    def predict_grid_batch(
+        self, mbs: "list[float]", f_c_grid: np.ndarray
+    ) -> "list[np.ndarray]":
+        """:meth:`predict_grid` for K kernels over one shared ``f_c``
+        grid — expansion batched, regression product per block, results
+        bit-identical to per-kernel calls."""
+        f_c_grid = np.asarray(f_c_grid, float)
+        g = f_c_grid.size
+        x = np.empty((len(mbs) * g, 2))
+        for i, mb in enumerate(mbs):
+            s = i * g
+            x[s:s + g, 0] = mb
+            x[s:s + g, 1] = f_c_grid
+        raw = self._reg.predict_blocks(x, g)
+        return [
+            np.maximum(0.0, raw[i * g:(i + 1) * g])
+            for i in range(len(mbs))
+        ]
+
     @property
     def train_rmse(self) -> float:
         return self._reg.train_rmse

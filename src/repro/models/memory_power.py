@@ -57,6 +57,35 @@ class MemoryPowerModel:
         x = np.column_stack([np.full(fc_r.size, mb), fc_r, fm_r])
         return np.maximum(0.0, self._reg.predict(x)).reshape(shape)
 
+    def predict_grid_batch(
+        self,
+        mbs: "list[float]",
+        f_c_grid: np.ndarray,
+        f_m_grid: np.ndarray,
+        mesh: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "list[np.ndarray]":
+        """:meth:`predict_grid` for K kernels over one shared OPP grid —
+        expansion batched, regression product per block, results
+        bit-identical to per-kernel calls."""
+        f_c_grid = np.asarray(f_c_grid, float)
+        f_m_grid = np.asarray(f_m_grid, float)
+        if mesh is None:
+            mesh = grid_mesh(f_c_grid, f_m_grid)
+        fc_r, fm_r = mesh
+        g = fc_r.size
+        shape = (f_c_grid.size, f_m_grid.size)
+        x = np.empty((len(mbs) * g, 3))
+        for i, mb in enumerate(mbs):
+            s = i * g
+            x[s:s + g, 0] = mb
+            x[s:s + g, 1] = fc_r
+            x[s:s + g, 2] = fm_r
+        raw = self._reg.predict_blocks(x, g)
+        return [
+            np.maximum(0.0, raw[i * g:(i + 1) * g]).reshape(shape)
+            for i in range(len(mbs))
+        ]
+
     @property
     def train_rmse(self) -> float:
         return self._reg.train_rmse

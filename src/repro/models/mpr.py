@@ -87,6 +87,35 @@ class PolynomialRegressor:
             raise ModelError("model is not fitted")
         return self.expand(x) @ self.coef
 
+    def predict_blocks(self, x: np.ndarray, block: int) -> np.ndarray:
+        """Predict for stacked same-shaped blocks of rows — the batch
+        decision pipeline's shape (K kernels x one ``block``-row mesh).
+
+        The polynomial expansion runs ONCE over all ``K * block`` rows
+        (it is purely element-wise, hence row-local), while the final
+        ``phi @ coef`` product runs per ``block``-row slice: BLAS picks
+        its blocking by operand shape, so only a same-shaped product is
+        guaranteed bit-identical to the per-block :meth:`predict` calls
+        this replaces.  Slices of a C-contiguous expansion are
+        themselves C-contiguous, so each slice product is byte-for-byte
+        the standalone call.
+        """
+        if self.coef is None:
+            raise ModelError("model is not fitted")
+        if block < 1:
+            raise ModelError("block must be >= 1")
+        phi = self.expand(x)
+        n = phi.shape[0]
+        if n % block:
+            raise ModelError(
+                f"{n} stacked rows do not divide into blocks of {block}"
+            )
+        out = np.empty(n)
+        coef = self.coef
+        for s in range(0, n, block):
+            out[s:s + block] = phi[s:s + block] @ coef
+        return out
+
     def predict_one(self, *features: float) -> float:
         """Scalar prediction — the shape the schedulers' per-decision
         queries use.  Builds the single expanded row directly (scalar

@@ -93,6 +93,47 @@ class PerformanceModel:
         comp = time_ref * (1.0 - mb) * rc_r.reshape(shape)
         return comp + time_ref * stall
 
+    def predict_grid_batch(
+        self,
+        mbs: "list[float]",
+        time_refs: "list[float]",
+        f_c_grid: np.ndarray,
+        f_m_grid: np.ndarray,
+        mesh: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "list[np.ndarray]":
+        """:meth:`predict_grid` for K kernels sharing one OPP grid.
+
+        The K feature blocks are stacked so the polynomial expansion
+        runs once over ``K * grid`` rows; the final regression product
+        runs per block (see ``PolynomialRegressor.predict_blocks``), so
+        each returned table is bit-identical to the corresponding
+        :meth:`predict_grid` call.
+        """
+        f_c_grid = np.asarray(f_c_grid, float)
+        f_m_grid = np.asarray(f_m_grid, float)
+        if mesh is None:
+            mesh = grid_mesh(f_c_grid, f_m_grid)
+        fc_r, fm_r = mesh
+        g = fc_r.size
+        shape = (f_c_grid.size, f_m_grid.size)
+        rc_r = self.f_c_ref / fc_r
+        rm_r = self.f_m_ref / fm_r
+        x = np.empty((len(mbs) * g, 3))
+        for i, mb in enumerate(mbs):
+            s = i * g
+            x[s:s + g, 0] = mb
+            x[s:s + g, 1] = rc_r
+            x[s:s + g, 2] = rm_r
+        raw = self._stall.predict_blocks(x, g)
+        rc_grid = rc_r.reshape(shape)
+        out = []
+        for i, (mb, time_ref) in enumerate(zip(mbs, time_refs)):
+            s = i * g
+            stall = np.maximum(0.0, raw[s:s + g]).reshape(shape)
+            comp = time_ref * (1.0 - mb) * rc_grid
+            out.append(comp + time_ref * stall)
+        return out
+
     @property
     def train_rmse(self) -> float:
         return self._stall.train_rmse

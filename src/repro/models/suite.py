@@ -232,3 +232,78 @@ class ModelSuite:
                 cluster, n_cores, mb, time_ref, fc, fm, mesh=meshes[cluster]
             )
         return out
+
+    def build_tables_batch(
+        self,
+        kernel_params: Mapping[str, Mapping[ConfigKey, tuple[float, float]]],
+        grids: Mapping[str, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[str, dict[ConfigKey, PredictionTable]]:
+        """Build every kernel's every-config table set in one pass.
+
+        ``kernel_params`` maps kernel name -> the per-config
+        ``(mb, time_ref)`` mapping that :meth:`build_tables` takes.  All
+        kernels sharing a ``<T_C, N_C>`` config are evaluated through
+        one stacked model invocation per model (the polynomial feature
+        expansion — the dominant cost — runs once over all kernels'
+        rows; see ``PolynomialRegressor.predict_blocks``), and the idle
+        grids are computed once per cluster instead of once per table.
+        Every returned :class:`PredictionTable` is bit-identical to the
+        one :meth:`build_tables` would produce, in the same per-kernel
+        config order.
+        """
+        meshes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        arr_grids: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        idle_cpu: dict[str, np.ndarray] = {}
+        idle_mem: dict[str, np.ndarray] = {}
+        # Regroup kernel-major -> config-major: the batch axis is "all
+        # kernels needing this <T_C, N_C>".
+        by_key: dict[ConfigKey, list[tuple[str, float, float]]] = {}
+        for kname, params in kernel_params.items():
+            for key, (mb, time_ref) in params.items():
+                by_key.setdefault(key, []).append((kname, mb, time_ref))
+        built: dict[str, dict[ConfigKey, PredictionTable]] = {
+            kname: {} for kname in kernel_params
+        }
+        for key, entries in by_key.items():
+            cluster, n_cores = key
+            if cluster not in meshes:
+                fc, fm = grids[cluster]
+                fc = np.asarray(fc, float)
+                fm = np.asarray(fm, float)
+                arr_grids[cluster] = (fc, fm)
+                meshes[cluster] = grid_mesh(fc, fm)
+                idle_cpu[cluster] = self.idle.cpu_idle_grid(fc)
+                idle_mem[cluster] = self.idle.mem_idle_grid(fm)
+            fc, fm = arr_grids[cluster]
+            mesh = meshes[cluster]
+            cm = self.config(cluster, n_cores)
+            mbs = [mb for _, mb, _ in entries]
+            trefs = [tr for _, _, tr in entries]
+            times = cm.performance.predict_grid_batch(
+                mbs, trefs, fc, fm, mesh=mesh
+            )
+            cpus = cm.cpu_power.predict_grid_batch(mbs, fc)
+            mems = cm.mem_power.predict_grid_batch(mbs, fc, fm, mesh=mesh)
+            for (kname, mb, tref), time, cpu, mem in zip(
+                entries, times, cpus, mems
+            ):
+                built[kname][key] = PredictionTable(
+                    cluster=cluster,
+                    n_cores=n_cores,
+                    mb=mb,
+                    time_ref=tref,
+                    f_c_grid=fc,
+                    f_m_grid=fm,
+                    time=time,
+                    cpu_power=cpu[:, None],
+                    mem_power=mem,
+                    idle_cpu=idle_cpu[cluster],
+                    idle_mem=idle_mem[cluster],
+                )
+        # Re-emit each kernel's tables in its own param order so dict
+        # iteration (which selection tie-breaks depend on) matches the
+        # scalar per-kernel build_tables exactly.
+        return {
+            kname: {key: built[kname][key] for key in params}
+            for kname, params in kernel_params.items()
+        }

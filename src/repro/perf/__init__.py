@@ -12,6 +12,7 @@ from repro.perf.harness import (
     BenchRecord,
     GateResult,
     PerfReport,
+    ensure_repo_baseline,
     gate_against_baseline,
     git_rev,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "GateResult",
     "PerfReport",
     "BENCHMARKS",
+    "ensure_repo_baseline",
     "gate_against_baseline",
     "git_rev",
     "run_benchmarks",

@@ -1,7 +1,7 @@
 """The hot-path microbenchmarks behind ``repro perf``.
 
-Six benchmarks, one per layer of the simulation-and-orchestration hot
-path:
+Seven benchmarks, one per layer of the simulation-and-orchestration
+hot path:
 
 ``event_loop``
     Raw :class:`~repro.sim.engine.Simulator` throughput (events/sec):
@@ -15,6 +15,13 @@ path:
     :class:`~repro.models.mpr.PolynomialRegressor` throughput over a
     mix of batch ``predict`` and scalar ``predict_one`` calls (the two
     shapes the schedulers use).
+``batch_decision``
+    Kernel-decisions/s of the vectorised decision pipeline
+    (:func:`repro.core.batch.resolve_kernels`: batched LUT build +
+    batched config selection) over a realistic multi-kernel workload's
+    parameters; the scalar reference flow (``suite.build_tables`` +
+    ``goal.select`` per kernel) is measured alongside and the ratio
+    recorded as ``params["speedup_vs_scalar"]``.
 ``fig8_end_to_end``
     Wall time of a fig8-style scheduler × workload matrix through the
     full stack (model fit excluded — it is a one-off install-time cost
@@ -52,7 +59,7 @@ from repro.perf.harness import BenchRecord, PerfError
 #: warmed by the other benchmarks.
 BENCHMARKS = (
     "sweep_throughput", "event_loop", "state_changed", "mpr_predict",
-    "fig8_end_to_end", "obs_overhead",
+    "batch_decision", "fig8_end_to_end", "obs_overhead",
 )
 
 _FIG8_QUICK = {"workloads": ("hd-small",), "schedulers": ("GRWS", "JOSS")}
@@ -211,6 +218,116 @@ def bench_mpr_predict(quick: bool = False) -> BenchRecord:
         repeats=repeats,
         raw=raw,
         params={"batch": batch, "n_iters": n_iters, "degree": 2},
+    )
+
+
+# ----------------------------------------------------------------------
+# batch_decision
+# ----------------------------------------------------------------------
+def _decision_inputs(n_kernels: int):
+    """Suite + per-kernel sampling parameters + OPP grids, shaped
+    exactly like a JOSS ``_resolve_kernel`` sees them (one ``(mb,
+    time_ref)`` pair per ``<T_C, N_C>`` config, one frequency mesh per
+    cluster)."""
+    from repro.hw.platform import jetson_tx2
+    from repro.models.training import profile_and_fit
+
+    suite = profile_and_fit(jetson_tx2, seed=0)
+    platform = jetson_tx2()
+    grids: dict = {}
+    for cl_name, _n in suite.config_keys():
+        if cl_name not in grids:
+            cluster = platform.cluster_by_type(cl_name)
+            grids[cl_name] = (
+                cluster.opps.as_array(),
+                platform.memory.opps.as_array(),
+            )
+    rng = np.random.default_rng(2024)
+    kernel_params = {
+        f"bench.k{i:02d}": {
+            key: (
+                float(rng.uniform(0.05, 0.95)),  # memory-boundedness
+                float(rng.uniform(0.002, 0.050)),  # reference time (s)
+            )
+            for key in suite.config_keys()
+        }
+        for i in range(n_kernels)
+    }
+    concurrency = {
+        key: float(1.0 + idx % 3)
+        for idx, key in enumerate(suite.config_keys())
+    }
+    return suite, kernel_params, grids, concurrency
+
+
+def bench_batch_decision(quick: bool = False) -> BenchRecord:
+    """Decisions/s of the batch pipeline vs the scalar reference flow.
+
+    One "decision" is a kernel's full resolve: populate its prediction
+    tables for every ``<T_C, N_C>`` config over the OPP mesh, run the
+    goal's selection, and extract the chosen frequencies.  The batch
+    side resolves all kernels in one :func:`resolve_kernels` call; the
+    scalar side loops ``suite.build_tables`` + ``goal.select`` kernel
+    by kernel.  Both sides are verified bit-identical by
+    ``tests/core/test_batch_equivalence.py``, so this benchmark only
+    has speed on the clock.  Passes are interleaved scalar/batch so
+    host drift hits both alike; ``speedup_vs_scalar`` is the median
+    pairwise ratio.
+    """
+    from repro.core.batch import resolve_kernels
+    from repro.core.goals import MinTotalEnergy
+
+    n_kernels = 6 if quick else 24
+    n_iters = 4 if quick else 10
+    repeats = 3
+    goal = MinTotalEnergy()
+    suite, kernel_params, grids, conc = _decision_inputs(n_kernels)
+
+    def batch_pass() -> float:
+        t0 = time.perf_counter()
+        for _ in range(n_iters):
+            resolve_kernels(
+                suite, kernel_params, grids, goal, "steepest", conc
+            )
+        return time.perf_counter() - t0
+
+    def scalar_pass() -> float:
+        t0 = time.perf_counter()
+        for _ in range(n_iters):
+            for params in kernel_params.values():
+                tables = suite.build_tables(params, grids)
+                sel = goal.select(tables, "steepest", concurrency=conc)
+                sel.freqs(tables)
+        return time.perf_counter() - t0
+
+    batch_pass()  # warm-up: NumPy allocator, expand() term plans
+    raw: list[float] = []
+    scalar_raw: list[float] = []
+    for _ in range(repeats):
+        scalar_raw.append(scalar_pass())
+        raw.append(batch_pass())
+    best = min(raw)
+    ratios = sorted(s / b for s, b in zip(scalar_raw, raw))
+    speedup = ratios[len(ratios) // 2]
+    n_decisions = n_iters * n_kernels
+
+    return BenchRecord(
+        name="batch_decision",
+        metric="throughput",
+        unit="decisions/s",
+        value=n_decisions / best,
+        higher_is_better=True,
+        repeats=repeats,
+        raw=raw,
+        params={
+            "n_kernels": n_kernels,
+            "n_iters": n_iters,
+            "goal": "MinTotalEnergy",
+            "selector": "steepest",
+            "scalar_raw": scalar_raw,
+            "scalar_decisions_per_s": n_decisions / min(scalar_raw),
+            "speedup_vs_scalar": speedup,
+        },
     )
 
 
@@ -470,6 +587,7 @@ _RUNNERS: dict[str, Callable[[bool], BenchRecord]] = {
     "event_loop": bench_event_loop,
     "state_changed": bench_state_changed,
     "mpr_predict": bench_mpr_predict,
+    "batch_decision": bench_batch_decision,
     "fig8_end_to_end": bench_fig8_end_to_end,
     "sweep_throughput": bench_sweep_throughput,
     "obs_overhead": bench_obs_overhead,

@@ -230,7 +230,46 @@ class GateResult:
 
 #: Benchmarks gated by default: the most host-stable throughput metrics
 #: (ratios, not absolute wall times).
-GATED_BENCHMARKS = ("event_loop", "sweep_throughput", "obs_overhead")
+GATED_BENCHMARKS = (
+    "event_loop", "sweep_throughput", "obs_overhead", "batch_decision",
+)
+
+
+def ensure_repo_baseline(path: str | Path, repo_dir: Optional[str] = None) -> Path:
+    """Refuse gate baselines that live outside the repository checkout.
+
+    A gated comparison is only meaningful against a *checked-in*
+    baseline: an absolute path into ``/tmp`` or a home directory is a
+    leftover scratch report from whoever generated it, silently absent
+    (or stale) on every other machine.  Exactly that drift shipped
+    once — a committed report whose baseline block pointed at
+    ``/tmp/perf_full_prev.json`` — so the gate now rejects any baseline
+    that does not resolve inside the repository root (the git toplevel
+    when available, else the current directory).
+    """
+    p = Path(path).resolve()
+    root: Optional[Path] = None
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            root = Path(out.stdout.strip()).resolve()
+    except (OSError, subprocess.TimeoutExpired):
+        root = None
+    if root is None:
+        root = Path(repo_dir or ".").resolve()
+    if root != p and root not in p.parents:
+        raise PerfError(
+            f"gate baseline {p} lies outside the repository ({root}); "
+            f"commit the baseline (e.g. under benchmarks/baselines/) "
+            f"and point --baseline at the checked-in copy"
+        )
+    return p
 
 
 def gate_against_baseline(

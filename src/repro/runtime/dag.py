@@ -43,6 +43,35 @@ class TaskGraph:
                 mapping[t.tid] = merged.add_task(t.kernel, deps=deps)
         return merged
 
+    def fork(self) -> "TaskGraph":
+        """Clone this graph with fresh task state, sharing the (immutable)
+        :class:`KernelSpec` objects.
+
+        Execution mutates tasks (state, timestamps, partition counters),
+        so a graph is single-run; forking from a pristine template
+        rebuilds only the cheap task/edge skeleton instead of re-running
+        the workload generator.  The template must itself be unexecuted
+        — ``deps_remaining`` is copied verbatim, which is only the
+        dependency count while no dependency has completed.  Shared
+        kernel objects are what make cross-run memoisation by kernel
+        identity (:class:`repro.sweep.fork.ForkCache`) sound.
+        """
+        if any(t.state is not TaskState.PENDING for t in self.tasks):
+            raise WorkloadError(
+                f"graph {self.name!r} has started executing; fork from a "
+                f"pristine template"
+            )
+        clone = TaskGraph(self.name)
+        mapping: list[Task] = []
+        for t in self.tasks:
+            c = Task(t.tid, t.kernel)
+            c.deps_remaining = t.deps_remaining
+            clone.tasks.append(c)
+            mapping.append(c)
+        for t in self.tasks:
+            mapping[t.tid].dependents = [mapping[d.tid] for d in t.dependents]
+        return clone
+
     def add_task(
         self, kernel: KernelSpec, deps: Sequence[Task] | None = None
     ) -> Task:

@@ -20,7 +20,7 @@ from repro.obs.api import current_observer, resolve_bus
 from repro.obs.exporters import bridge_tracer
 from repro.runtime.dag import TaskGraph
 from repro.runtime.metrics import RunMetrics
-from repro.runtime.queues import WorkQueue
+from repro.runtime.queues import QueuedTotal, WorkQueue
 from repro.runtime.scheduler_api import RuntimeContext, Scheduler
 from repro.runtime.task import Task, TaskPartition
 from repro.runtime.worker import Worker
@@ -53,6 +53,7 @@ class Executor:
         faults=None,
         engine_cache_size: int = 8192,
         obs=None,
+        shared_breakdowns: Optional[dict] = None,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -79,10 +80,15 @@ class Executor:
             self.rng,
             duration_noise_sigma=duration_noise_sigma,
             cache_size=engine_cache_size,
+            shared_breakdowns=shared_breakdowns,
         )
         self.engine.on_complete = self._on_partition_done
+        # One shared occupancy counter across all queues: workers skip
+        # fetch events and steal scans while nothing is queued anywhere.
+        self.queued_total = QueuedTotal()
         self.queues: dict[int, WorkQueue] = {
-            c.core_id: WorkQueue(c.core_id) for c in platform.cores
+            c.core_id: WorkQueue(c.core_id, self.queued_total)
+            for c in platform.cores
         }
         self.workers: dict[int, Worker] = {
             c.core_id: Worker(self, c) for c in platform.cores
@@ -247,7 +253,9 @@ class Executor:
         part = activity.payload
         assert isinstance(part, TaskPartition)
         task = part.task
-        task.exec_time = max(task.exec_time, self.sim.now - activity.started_at)
+        elapsed = self.sim.now - activity.started_at
+        if elapsed > task.exec_time:
+            task.exec_time = elapsed
         task.partitions_remaining -= 1
         if task.partitions_remaining < 0:
             raise SchedulingError(f"partition underflow on task {task.tid}")

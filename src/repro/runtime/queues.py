@@ -16,14 +16,30 @@ from repro.runtime.task import Task, TaskPartition
 QueueItem = Union[Task, TaskPartition]
 
 
+class QueuedTotal:
+    """Shared count of queued items across a group of queues.
+
+    Workers consult it to skip fetch events and steal scans that are
+    guaranteed to come up empty (nothing queued anywhere).
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
 class WorkQueue:
     """Double-ended work queue bound to one core."""
 
-    def __init__(self, core_id: int) -> None:
+    def __init__(self, core_id: int, total: Optional[QueuedTotal] = None) -> None:
         self.core_id = core_id
         self._q: deque[QueueItem] = deque()
         self.pushes = 0
         self.steals_suffered = 0
+        #: Shared occupancy counter (one per executor); a private one is
+        #: used when the queue stands alone (tests).
+        self.total = total if total is not None else QueuedTotal()
 
     def __len__(self) -> int:
         return len(self._q)
@@ -32,21 +48,28 @@ class WorkQueue:
         """Dispatch a task to this queue (back)."""
         self._q.append(item)
         self.pushes += 1
+        self.total.n += 1
 
     def push_front(self, item: QueueItem) -> None:
         """Priority insert (sibling partitions of a started task)."""
         self._q.appendleft(item)
         self.pushes += 1
+        self.total.n += 1
 
     def pop_own(self) -> Optional[QueueItem]:
         """Owner's pop (front)."""
-        return self._q.popleft() if self._q else None
+        q = self._q
+        if not q:
+            return None
+        self.total.n -= 1
+        return q.popleft()
 
     def pop_steal(self) -> Optional[QueueItem]:
         """Thief's pop (back)."""
         if not self._q:
             return None
         self.steals_suffered += 1
+        self.total.n -= 1
         return self._q.pop()
 
     def peek_types(self) -> list[str]:
@@ -58,6 +81,7 @@ class WorkQueue:
         tasks out of sibling queues).  Returns True if found."""
         try:
             self._q.remove(item)
+            self.total.n -= 1
             return True
         except ValueError:
             return False

@@ -24,6 +24,12 @@ if TYPE_CHECKING:  # pragma: no cover
 FETCH_PRIORITY = 10
 
 
+#: ``_FACT[n]`` = n!; victim-scan orders for up to ``len(_FACT)``
+#: candidates are drawn as one uniform integer and Lehmer-decoded (one
+#: RNG call instead of a full ``permutation`` array round-trip).
+_FACT = [1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800, 39916800]
+
+
 class Worker:
     """State machine driving one core."""
 
@@ -31,45 +37,79 @@ class Worker:
         self.executor = executor
         self.core = core
         self.queue = executor.queues[core.core_id]
-        self._fetch_scheduled = False
+        self._in_fetch = False
+        # Attribute shortcut: wake runs once or more per task, so the
+        # executor attribute chain is hot.
+        self._queued_total = executor.queued_total
 
     def wake(self) -> None:
-        """Schedule a fetch attempt if the core is idle and none is
-        already pending (coalesces thundering-herd wakes)."""
-        if self.core.busy or not self.core.online or self._fetch_scheduled:
+        """Fetch work now if the core is idle (re-entrant wakes of the
+        same worker no-op).  The fetch runs synchronously instead of
+        through a zero-delay event: a wake with nothing queued anywhere
+        is dropped outright, and whoever queues work next re-wakes every
+        core eligible to take it (dispatch wakes the home worker and all
+        idle steal candidates; partition starts wake their siblings), so
+        no separate fetch event is ever needed."""
+        core = self.core
+        if core.busy or not core._online or self._in_fetch:
             return
-        self._fetch_scheduled = True
-        self.executor.sim.schedule(0.0, self._fetch, priority=FETCH_PRIORITY)
+        if self._queued_total.n == 0:
+            return
+        self._in_fetch = True
+        try:
+            item: Optional[QueueItem] = self.queue.pop_own()
+            if item is None:
+                item = self._steal()
+            if item is None:
+                return  # sleep until next wake
+            if isinstance(item, TaskPartition):
+                self._start_partition(item)
+            else:
+                self._start_task(item)
+        finally:
+            self._in_fetch = False
 
     def _fetch(self) -> None:
-        self._fetch_scheduled = False
-        if self.core.busy or not self.core.online:
-            return
-        item: Optional[QueueItem] = self.queue.pop_own()
-        if item is None:
-            item = self._steal()
-        if item is None:
-            return  # sleep until next wake
-        if isinstance(item, TaskPartition):
-            self._start_partition(item)
-        else:
-            self._start_task(item)
+        """Event-compatible alias for :meth:`wake` (fault-injection and
+        legacy callers scheduled fetch attempts as events)."""
+        self.wake()
 
     def _steal(self) -> Optional[QueueItem]:
-        scheduler = self.executor.scheduler
-        candidates = scheduler.steal_candidates(self.core)  # read-only
+        if self._queued_total.n == 0:  # nothing queued anywhere
+            return None
+        ex = self.executor
+        candidates = ex.scheduler.steal_candidates(self.core)  # read-only
         if not candidates:
             return None
-        order = self.executor.steal_rng.permutation(len(candidates))
-        for idx in order:
-            victim = candidates[int(idx)]
-            item = self.executor.queues[victim.core_id].pop_steal()
-            if item is not None:
-                self.executor.metrics.steals += 1
-                if isinstance(item, Task):
-                    item.meta["stolen"] = True
-                return item
-        return None
+        # Only victims with queued work matter: the relative order of
+        # the non-empty victims under a uniform random permutation of
+        # all candidates is itself a uniform random permutation, so
+        # filtering first is distribution-equivalent and skips the RNG
+        # draw entirely when at most one victim has anything to take.
+        queues = ex.queues
+        pool = [c for c in candidates if queues[c.core_id]._q]
+        n = len(pool)
+        if n == 0:
+            return None
+        if n == 1:
+            victim = pool[0]
+        elif n < len(_FACT):
+            # Random victim from a single RNG draw: a uniform integer
+            # in [0, n!) Lehmer-decoded, taking the first non-empty
+            # victim (= the permutation's first element here, since
+            # every pool entry is non-empty).
+            code = int(ex.steal_rng.integers(_FACT[n]))
+            victim = pool[code // _FACT[n - 1]]
+        else:
+            order = ex.steal_rng.permutation(n)
+            victim = pool[int(order[0])]
+        item = queues[victim.core_id].pop_steal()
+        if item is None:  # raced empty (cannot happen serially)
+            return None
+        ex.metrics.steals += 1
+        if isinstance(item, Task):
+            item.meta["stolen"] = True
+        return item
 
     # ------------------------------------------------------------------
     def _start_task(self, task: Task) -> None:
@@ -81,7 +121,7 @@ class Worker:
         # steal under GRWS runs the task where it was stolen to).
         # Hot-unplugged cores cannot host sibling partitions, so a
         # moldable task shrinks to what the cluster still offers.
-        online = len(self.core.cluster.online_cores())
+        online = self.core.cluster._n_online
         n_cores = min(placement.n_cores, max(1, online))
         task.partitions_total = n_cores
         task.partitions_remaining = n_cores

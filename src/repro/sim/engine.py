@@ -215,12 +215,27 @@ class Simulator:
         self._running = True
         fired = 0
         heap = self._heap
+        heappop = heapq.heappop
         try:
-            # The pop/fire sequence is inlined (rather than delegating
-            # to step(), which would re-scan tombstones) — this loop is
-            # the whole-simulation hot path.
+            # The pop/fire sequence AND the _pre_pop maintenance are
+            # inlined (rather than delegating to step()/_pre_pop, which
+            # would re-scan tombstones and pay a call per event) — this
+            # loop is the whole-simulation hot path.
             while True:
-                self._pre_pop()
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)
+                f = self.flush_fn
+                while f is not None:
+                    if heap:
+                        head = heap[0]
+                        flushed = f(head[0], head[1])
+                    else:
+                        flushed = f(None, 0)
+                    if not flushed:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        heappop(heap)
+                    f = self.flush_fn  # the flush may re-arm or clear it
                 if not heap:
                     break
                 nxt = heap[0][0]
@@ -229,7 +244,7 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                time, _prio, _seq, ev = heapq.heappop(heap)
+                time, _prio, _seq, ev = heappop(heap)
                 ev._sim = None  # fired: a later cancel() must not touch _live
                 self._live -= 1
                 self._now = time

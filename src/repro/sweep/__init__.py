@@ -15,6 +15,7 @@ from repro.sweep.engine import (
     execute_job,
     run_sweep,
 )
+from repro.sweep.fork import ForkCache
 from repro.sweep.pool import WarmPool, active_pool, shutdown_warm_pool
 from repro.sweep.spec import SCHEMA_VERSION, JobSpec, SweepSpec
 from repro.sweep.telemetry import SweepTelemetry, console_progress
@@ -22,6 +23,7 @@ from repro.sweep.telemetry import SweepTelemetry, console_progress
 __all__ = [
     "SCHEMA_VERSION",
     "CacheStats",
+    "ForkCache",
     "JobFailure",
     "JobOutcome",
     "JobSpec",

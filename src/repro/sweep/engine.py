@@ -80,8 +80,15 @@ def execute_job(
     spec: JobSpec,
     suite=None,
     platform_factory: Optional[Callable] = None,
+    fork_cache=None,
 ) -> dict:
-    """Run one job; returns the JSON-normalised ``RunMetrics`` dict."""
+    """Run one job; returns the JSON-normalised ``RunMetrics`` dict.
+
+    ``fork_cache`` (a :class:`repro.sweep.fork.ForkCache`) shares
+    job-invariant state — workload-graph templates and timing-breakdown
+    memos — across the jobs this process executes.  Results are
+    byte-identical with and without it.
+    """
     from repro.hw.platform import platform_factory as resolve_platform
     from repro.runtime.executor import Executor
     from repro.schedulers.registry import make_scheduler, needs_suite
@@ -91,15 +98,21 @@ def execute_job(
     if suite is None and needs_suite(spec.scheduler):
         suite = _suite_in_process(spec.platform, spec.profile_seed)
     sched = make_scheduler(spec.scheduler, suite, **spec.scheduler_kwargs_dict())
-    graph = build_workload(
-        spec.workload,
-        scale=spec.scale,
-        seed=spec.workload_seed,
-        **spec.workload_overrides_dict(),
-    )
+    if fork_cache is not None:
+        graph = fork_cache.graph_for(spec)
+        shared_bd = fork_cache.breakdowns(spec.platform)
+    else:
+        graph = build_workload(
+            spec.workload,
+            scale=spec.scale,
+            seed=spec.workload_seed,
+            **spec.workload_overrides_dict(),
+        )
+        shared_bd = None
     ex = Executor(
         factory(), sched, seed=spec.executor_seed,
         faults=spec.fault_campaign(),
+        shared_breakdowns=shared_bd,
     )
     metrics = ex.run(graph)
     metrics.workload = spec.workload
@@ -297,6 +310,7 @@ def run_sweep(
             "sweep_finished", t.wall_time,
             jobs=t.total, executed=t.done, cache_hits=t.cache_hits,
             failed=t.failed, retries=t.retries, wall_seconds=t.wall_time,
+            state_forks=t.state_forks, cold_starts=t.cold_starts,
         )
     registry = getattr(obs, "metrics", None)
     if registry is not None:
@@ -351,9 +365,19 @@ def _run_serial(
     pending, outcome_at, t: SweepTelemetry, notify,
     *, cache, timeout, retries, backoff, platform_factory, worker_fn,
 ) -> None:
-    body = worker_fn or (
-        lambda spec: execute_job(spec, platform_factory=platform_factory)
-    )
+    if worker_fn is not None:
+        body = worker_fn
+        fork_cache = None
+    else:
+        # One fork cache per sweep: neighbouring grid points fork the
+        # workload graph and share timing-breakdown memos instead of
+        # rebuilding both from scratch (repro.sweep.fork).
+        from repro.sweep.fork import ForkCache
+
+        fork_cache = ForkCache()
+        body = lambda spec: execute_job(  # noqa: E731
+            spec, platform_factory=platform_factory, fork_cache=fork_cache
+        )
     for job, h in pending:
         attempts = 0
         while True:
@@ -399,6 +423,9 @@ def _run_serial(
             t.failed += 1
             notify("failed", job, t)
             break
+    if fork_cache is not None:
+        t.state_forks += fork_cache.forks
+        t.cold_starts += fork_cache.cold_starts
 
 
 # ----------------------------------------------------------------------
@@ -511,6 +538,8 @@ class _Dispatcher:
         t0 = time.perf_counter()
         for (job, h, attempt), res in zip(batch, results):
             elapsed = float(res.get("elapsed", elapsed_total / max(1, len(batch))))
+            self.t.state_forks += int(res.get("forked", 0))
+            self.t.cold_starts += int(res.get("cold_starts", 0))
             if res.get("ok"):
                 self.cost_samples.append(elapsed)
                 _record_success(

@@ -1,0 +1,98 @@
+"""Cross-grid-point state sharing for sweeps (fork-from-neighbour).
+
+A sweep grid re-runs the *same workload* under many (scheduler, seed,
+repetition) combinations: of a :class:`~repro.sweep.spec.JobSpec`'s
+fields, only ``(workload, scale, workload_seed, workload_overrides)``
+affect the task graph, and only the platform affects ground-truth
+partition timings.  Building the graph from scratch and re-deriving
+every timing breakdown per job therefore repeats work that is invariant
+across most of the grid.
+
+:class:`ForkCache` shares that invariant state across the jobs one
+process executes:
+
+* **workload-graph forking** — the first job needing a graph builds it
+  once (a *cold start*) and keeps it as a pristine, never-executed
+  template; every job (including the first) runs a cheap
+  :meth:`~repro.runtime.dag.TaskGraph.fork` of the template instead of
+  re-running the workload generator.  Forks share the template's
+  immutable :class:`~repro.exec_model.kernels.KernelSpec` objects;
+* **shared timing-breakdown memos** — per-platform dicts handed to each
+  job's :class:`~repro.exec_model.engine.ExecutionEngine`, which
+  consults them when its own per-run memo misses.  Keys include the
+  kernel's identity (pinned by the cached template, with an identity
+  check on hit, so a recycled ``id`` can never alias) and the core-type
+  *name* (core-type objects are rebuilt per job).  Breakdowns are pure
+  functions of ``(kernel, core type, width, f_C, f_M)`` on a given
+  platform, so sharing them is result-neutral.
+
+Both serial sweeps (one cache per ``run_sweep`` call) and warm-pool
+workers (one process-level cache, reset when the pool forks) use this.
+Results are byte-identical with and without the cache — pinned by the
+golden A/B tests in ``tests/sweep/test_fork.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.dag import TaskGraph
+    from repro.sweep.spec import JobSpec
+
+#: The JobSpec fields that determine the task graph — everything else
+#: (scheduler, seeds, repetition, faults) only affects execution.
+GraphKey = tuple
+
+
+class ForkCache:
+    """Per-process (or per-sweep) store of job-invariant state."""
+
+    def __init__(self) -> None:
+        #: Pristine workload-graph templates, never executed directly.
+        self._graphs: dict[GraphKey, "TaskGraph"] = {}
+        #: Per-platform shared breakdown memos (see module docstring).
+        self._breakdowns: dict[str, dict] = {}
+        #: Jobs served by forking an existing template.
+        self.forks = 0
+        #: Jobs that had to build their graph from scratch.
+        self.cold_starts = 0
+
+    @staticmethod
+    def graph_key(spec: "JobSpec") -> GraphKey:
+        return (
+            spec.workload, spec.scale, spec.workload_seed,
+            spec.workload_overrides,
+        )
+
+    def graph_for(self, spec: "JobSpec") -> "TaskGraph":
+        """A fresh, runnable task graph for ``spec`` — forked from the
+        cached template, building it first if this is the grid point's
+        first visit."""
+        from repro.workloads.registry import build_workload
+
+        key = self.graph_key(spec)
+        template = self._graphs.get(key)
+        if template is None:
+            template = build_workload(
+                spec.workload,
+                scale=spec.scale,
+                seed=spec.workload_seed,
+                **spec.workload_overrides_dict(),
+            )
+            self._graphs[key] = template
+            self.cold_starts += 1
+        else:
+            self.forks += 1
+        return template.fork()
+
+    def breakdowns(self, platform: str) -> dict:
+        """The shared timing-breakdown memo for one platform name."""
+        memo = self._breakdowns.get(platform)
+        if memo is None:
+            memo = self._breakdowns[platform] = {}
+        return memo
+
+    def clear(self) -> None:
+        self._graphs.clear()
+        self._breakdowns.clear()

@@ -40,6 +40,21 @@ SUITE_LOAD_LOG_ENV = "REPRO_SUITE_LOAD_LOG"
 #: Per-process memo: snapshot path (or in-process fit key) -> suite.
 _SUITE_MEMO: dict = {}
 
+#: Per-worker-process fork cache (workload-graph templates + shared
+#: timing-breakdown memos, see :mod:`repro.sweep.fork`).  Lives for the
+#: worker's lifetime so chunks — and whole back-to-back sweeps served
+#: by a warm pool — fork instead of rebuilding.
+_FORK_CACHE = None
+
+
+def _fork_cache():
+    global _FORK_CACHE
+    if _FORK_CACHE is None:
+        from repro.sweep.fork import ForkCache
+
+        _FORK_CACHE = ForkCache()
+    return _FORK_CACHE
+
 
 def suite_from_snapshot(path: str):
     """Load a fitted suite snapshot, memoised per process."""
@@ -65,6 +80,10 @@ def _worker_initializer(suite_paths: Sequence[str]) -> None:
     from repro.obs.api import reset_observers
 
     reset_observers()
+    # A forked child inherits the parent's module state; start this
+    # worker's job-invariant caches from scratch.
+    global _FORK_CACHE
+    _FORK_CACHE = None
     for path in suite_paths:
         suite_from_snapshot(path)
 
@@ -103,11 +122,20 @@ def run_chunk(
     from repro.sweep.engine import execute_job
     from repro.sweep.spec import JobSpec
 
+    fork_cache = _fork_cache()
     out = []
     for spec_dict, suite_path in zip(spec_dicts, suite_paths):
         spec = JobSpec.from_dict(spec_dict)
         suite = suite_from_snapshot(suite_path) if suite_path else None
-        out.append(_job_result(lambda: execute_job(spec, suite=suite)))
+        forks0, cold0 = fork_cache.forks, fork_cache.cold_starts
+        res = _job_result(
+            lambda: execute_job(spec, suite=suite, fork_cache=fork_cache)
+        )
+        # Per-job fork accounting rides back with the result so the
+        # dispatcher can fold it into the sweep telemetry.
+        res["forked"] = fork_cache.forks - forks0
+        res["cold_starts"] = fork_cache.cold_starts - cold0
+        out.append(res)
     return out
 
 

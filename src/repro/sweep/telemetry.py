@@ -59,6 +59,12 @@ class SweepTelemetry:
     #: Timed-out jobs whose worker could not be cancelled and kept
     #: running — each one silently holds a pool slot until it finishes.
     timeout_leaked: int = 0
+    #: Jobs that forked their workload graph from a cached template
+    #: (serial sweeps and warm-pool workers; see repro.sweep.fork).
+    state_forks: int = 0
+    #: Jobs that built their workload graph from scratch (each grid
+    #: point's first visit in its executing process).
+    cold_starts: int = 0
 
     @property
     def executed(self) -> int:
@@ -105,6 +111,11 @@ class SweepTelemetry:
                 f"{self.dispatch_overhead * 1000.0:.1f} ms overhead, "
                 f"{'warm' if self.warm_pool_hit else 'cold'} pool"
             )
+        if self.state_forks or self.cold_starts:
+            lines.append(
+                f"state sharing: {self.state_forks} graph fork(s), "
+                f"{self.cold_starts} cold start(s)"
+            )
         if self.timeout_leaked:
             lines.append(
                 f"timeout leaks: {self.timeout_leaked} worker slot(s) held "
@@ -147,6 +158,14 @@ class SweepTelemetry:
             "sweep_timeout_leaked_total",
             "timed-out jobs left holding a worker slot",
         ).inc(self.timeout_leaked)
+        registry.counter(
+            "sweep_state_forked",
+            "jobs served by forking a cached workload-graph template",
+        ).inc(self.state_forks)
+        registry.counter(
+            "sweep_cold_starts",
+            "jobs that built their workload graph from scratch",
+        ).inc(self.cold_starts)
         registry.gauge(
             "sweep_workers", "worker processes of the latest sweep"
         ).set(self.workers)

@@ -1,0 +1,277 @@
+"""Scalar-vs-batch decision-pipeline equivalence (the PR's contract).
+
+The batch pipeline (:mod:`repro.core.batch` +
+:meth:`ModelSuite.build_tables_batch`) must reproduce the scalar
+reference flow (``suite.build_tables`` then ``goal.select``) *exactly*:
+identical chosen configurations, identical ``evaluations`` accounting
+(the section 7.4 overhead metric), and bit-identical
+:class:`PredictionTable` contents — not merely approximately equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import batch_select, resolve_kernels
+from repro.core.goals import (
+    MaxPerformance,
+    MaxPerformanceUnderPowerCap,
+    MinCpuEnergy,
+    MinTotalEnergy,
+    PerformanceConstraint,
+)
+from repro.errors import ModelError
+from repro.hw.platform import jetson_tx2
+from repro.models.training import profile_and_fit
+from tests.core.test_selection import make_table
+
+#: Every shipped goal, including constraint goals at both a satisfiable
+#: and an unsatisfiable setting (the fallback paths differ).
+GOALS = [
+    MinTotalEnergy(),
+    MinCpuEnergy(),
+    MaxPerformance(),
+    PerformanceConstraint(1.3),
+    PerformanceConstraint(5.0),  # mostly unsatisfiable -> MaxPerformance
+    MaxPerformanceUnderPowerCap(3.0),
+    MaxPerformanceUnderPowerCap(0.001),  # unsatisfiable -> least power
+]
+SELECTORS = ["steepest", "exhaustive"]
+
+TABLE_ARRAYS = (
+    "time", "cpu_power", "mem_power", "idle_cpu", "idle_mem",
+    "f_c_grid", "f_m_grid",
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_and_fit(jetson_tx2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def grids(suite):
+    platform = jetson_tx2()
+    out = {}
+    for cl_name, _n in suite.config_keys():
+        if cl_name not in out:
+            cluster = platform.cluster_by_type(cl_name)
+            out[cl_name] = (
+                cluster.opps.as_array(),
+                platform.memory.opps.as_array(),
+            )
+    return out
+
+
+def random_kernel_params(suite, n_kernels: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return {
+        f"k{i:02d}": {
+            key: (
+                float(rng.uniform(0.02, 0.98)),
+                float(rng.uniform(0.001, 0.080)),
+            )
+            for key in suite.config_keys()
+        }
+        for i in range(n_kernels)
+    }
+
+
+def per_config_concurrency(suite):
+    return {
+        key: float(1.0 + idx % 3)
+        for idx, key in enumerate(suite.config_keys())
+    }
+
+
+class TestSuiteLevelEquivalence:
+    """The full pipeline against the scalar flow on fitted TX2 models."""
+
+    @pytest.mark.parametrize("selector", SELECTORS)
+    @pytest.mark.parametrize("goal", GOALS, ids=lambda g: g.name)
+    def test_every_goal_and_selector(self, suite, grids, goal, selector):
+        kernel_params = random_kernel_params(suite, n_kernels=13, seed=42)
+        conc = per_config_concurrency(suite)
+        decisions = resolve_kernels(
+            suite, kernel_params, grids, goal, selector, conc
+        )
+        assert list(decisions) == list(kernel_params)
+        for kname, params in kernel_params.items():
+            tables = suite.build_tables(params, grids)
+            sel = goal.select(tables, selector, concurrency=conc)
+            f_c, f_m = sel.freqs(tables)
+            dec = decisions[kname]
+            assert dec.selection == sel  # incl. cost and evaluations
+            assert (dec.f_c, dec.f_m) == (f_c, f_m)
+            assert list(dec.tables) == list(tables)
+            for key, tab in tables.items():
+                batch_tab = dec.tables[key]
+                for attr in TABLE_ARRAYS:
+                    assert np.array_equal(
+                        getattr(batch_tab, attr), getattr(tab, attr)
+                    ), f"{kname} {key} {attr} not bit-identical"
+                assert (batch_tab.mb, batch_tab.time_ref) == (
+                    tab.mb, tab.time_ref,
+                )
+
+    def test_single_kernel_matches(self, suite, grids):
+        """K=1 is the in-run shape (kernels resolve one at a time)."""
+        kernel_params = random_kernel_params(suite, n_kernels=1, seed=7)
+        decisions = resolve_kernels(
+            suite, kernel_params, grids, MinTotalEnergy(), "steepest", 2.0
+        )
+        (kname, params), = kernel_params.items()
+        tables = suite.build_tables(params, grids)
+        sel = MinTotalEnergy().select(tables, "steepest", concurrency=2.0)
+        assert decisions[kname].selection == sel
+
+    def test_user_goal_subclass_falls_back_to_scalar(self, suite, grids):
+        """``type`` is matched exactly: a subclass with overridden
+        behaviour must route through its own ``select``."""
+
+        class Pinned(MinTotalEnergy):
+            name = "pinned"
+
+            def select(self, tables, selector="steepest", concurrency=1.0):
+                key = next(iter(tables))
+                from repro.core.selection import SelectionResult
+
+                return SelectionResult(key[0], key[1], 0, 0, 1.0, 0)
+
+        kernel_params = random_kernel_params(suite, n_kernels=3, seed=3)
+        tables_by_kernel = suite.build_tables_batch(kernel_params, grids)
+        out = batch_select(tables_by_kernel, Pinned(), "steepest", 1.0)
+        for res in out.values():
+            assert (res.i_fc, res.i_fm, res.cost, res.evaluations) == (
+                0, 0, 1.0, 0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Synthetic-grid edge cases (direct scalar-selection parity)
+# ----------------------------------------------------------------------
+def _scalar_vs_batch(tables_by_kernel, selector):
+    """Run MinTotalEnergy at concurrency 1 both ways; the make_table
+    grids make ``energy_grid(1)`` the cost grid itself."""
+    goal = MinTotalEnergy()
+    batch = batch_select(tables_by_kernel, goal, selector, 1.0)
+    for kname, tables in tables_by_kernel.items():
+        scalar = goal.select(tables, selector, concurrency=1.0)
+        assert batch[kname] == scalar, f"{kname}: {batch[kname]} != {scalar}"
+
+
+class TestSyntheticEdgeCases:
+    @pytest.mark.parametrize("selector", SELECTORS)
+    def test_tie_between_tables_first_wins(self, selector):
+        flat = np.full((3, 3), 2.0)
+        tables = {
+            "k": {("a", 1): make_table("a", 1, flat),
+                  ("b", 2): make_table("b", 2, flat.copy())},
+        }
+        _scalar_vs_batch(tables, selector)
+        res = batch_select(tables, MinTotalEnergy(), selector, 1.0)["k"]
+        assert (res.cluster, res.n_cores) == ("a", 1)
+
+    def test_infeasible_corners_fall_back_to_grid_scan(self):
+        grid = np.full((5, 4), np.inf)
+        grid[2, 1] = 1.5
+        grid[3, 2] = 1.2
+        tables = {"k": {("a", 1): make_table("a", 1, grid)}}
+        _scalar_vs_batch(tables, "steepest")
+
+    def test_all_infinite_raises_like_scalar(self):
+        tables = {"k": {("a", 1): make_table("a", 1, np.full((3, 3), np.inf))}}
+        with pytest.raises(ModelError):
+            batch_select(tables, MinTotalEnergy(), "steepest", 1.0)
+
+    @pytest.mark.parametrize("selector", SELECTORS)
+    def test_single_cell_and_single_column(self, selector):
+        tables = {
+            "cell": {("a", 1): make_table("a", 1, [[2.0]])},
+            "col": {("a", 1): make_table("a", 1, [[5.0], [3.0], [4.0]])},
+        }
+        _scalar_vs_batch(tables, selector)
+
+    @pytest.mark.parametrize("selector", SELECTORS)
+    def test_mixed_table_signatures_group_independently(self, selector):
+        """Kernels whose table sets differ in keys or shapes must batch
+        in separate groups yet come back in input order."""
+        rng = np.random.default_rng(5)
+        tables = {
+            "two_tables": {
+                ("a", 1): make_table("a", 1, rng.uniform(1, 3, (6, 5))),
+                ("b", 2): make_table("b", 2, rng.uniform(1, 3, (4, 3))),
+            },
+            "one_table": {
+                ("a", 1): make_table("a", 1, rng.uniform(1, 3, (6, 5))),
+            },
+            "other_shape": {
+                ("a", 1): make_table("a", 1, rng.uniform(1, 3, (3, 7))),
+                ("b", 2): make_table("b", 2, rng.uniform(1, 3, (4, 3))),
+            },
+        }
+        _scalar_vs_batch(tables, selector)
+        out = batch_select(tables, MinTotalEnergy(), selector, 1.0)
+        assert list(out) == ["two_tables", "one_table", "other_shape"]
+
+    def test_unknown_selector_rejected(self):
+        tables = {"k": {("a", 1): make_table("a", 1, [[1.0]])}}
+        with pytest.raises(ModelError):
+            batch_select(tables, MinTotalEnergy(), "newton", 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), selector=st.sampled_from(SELECTORS))
+    def test_property_random_grids_match_scalar(self, seed, selector):
+        rng = np.random.default_rng(seed)
+        tables = {
+            f"k{i}": {
+                ("a", 1): make_table("a", 1, rng.uniform(1, 4, (7, 5))),
+                ("b", 2): make_table("b", 2, rng.uniform(1, 4, (7, 5))),
+            }
+            for i in range(4)
+        }
+        _scalar_vs_batch(tables, selector)
+
+
+# ----------------------------------------------------------------------
+# predict_blocks (the slice-matmul primitive under build_tables_batch)
+# ----------------------------------------------------------------------
+class TestPredictBlocks:
+    def _fitted(self):
+        from repro.models.mpr import PolynomialRegressor
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.1, 2.0, size=(60, 3))
+        y = x[:, 0] + 0.5 * x[:, 1] * x[:, 2]
+        reg = PolynomialRegressor(n_features=3, degree=2)
+        reg.fit(x, y)
+        return reg, rng
+
+    def test_matches_per_block_predict_bitwise(self):
+        reg, rng = self._fitted()
+        block = 24
+        for k in (1, 2, 5, 13):
+            x = rng.uniform(0.1, 2.0, size=(k * block, 3))
+            stacked = reg.predict_blocks(x, block)
+            per_block = np.concatenate(
+                [reg.predict(x[s:s + block]) for s in range(0, len(x), block)]
+            )
+            assert np.array_equal(stacked, per_block)
+
+    def test_unfitted_rejected(self):
+        from repro.models.mpr import PolynomialRegressor
+
+        reg = PolynomialRegressor(n_features=3, degree=2)
+        with pytest.raises(ModelError):
+            reg.predict_blocks(np.ones((4, 3)), 2)
+
+    def test_bad_block_sizes_rejected(self):
+        reg, rng = self._fitted()
+        x = rng.uniform(0.1, 2.0, size=(6, 3))
+        with pytest.raises(ModelError):
+            reg.predict_blocks(x, 0)
+        with pytest.raises(ModelError):
+            reg.predict_blocks(x, 4)  # 6 rows don't divide into 4s

@@ -12,7 +12,7 @@ from repro.perf.harness import PerfError
 def test_benchmark_registry_names():
     assert set(BENCHMARKS) == {
         "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end",
-        "sweep_throughput", "obs_overhead",
+        "sweep_throughput", "obs_overhead", "batch_decision",
     }
 
 

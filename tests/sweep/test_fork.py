@@ -1,0 +1,224 @@
+"""Sweep state forking: golden A/B identity, lifecycle, pool reuse.
+
+The contract under test: sharing job-invariant state (workload-graph
+templates, timing-breakdown memos) across the jobs one process runs is
+**result-neutral** — every metric of every job is byte-identical with
+and without the :class:`~repro.sweep.fork.ForkCache`, including jobs
+running fault campaigns, in serial sweeps and on warm pools alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.faults.spec import FaultCampaign, FaultSpec
+from repro.obs import MetricRegistry
+from repro.runtime.task import TaskState
+from repro.sweep import pool as pool_mod
+from repro.sweep.engine import execute_job, run_sweep
+from repro.sweep.fork import ForkCache
+from repro.sweep.spec import JobSpec, SweepSpec
+from repro.sweep.telemetry import SweepTelemetry
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Every test starts and ends without a cached warm pool."""
+    pool_mod.shutdown_warm_pool()
+    yield
+    pool_mod.shutdown_warm_pool()
+
+
+# ----------------------------------------------------------------------
+# TaskGraph.fork
+# ----------------------------------------------------------------------
+class TestGraphFork:
+    def test_fork_shares_kernels_with_fresh_task_state(self):
+        g = build_workload("hd-small", scale=0.5, seed=3)
+        f = g.fork()
+        assert f is not g and len(f) == len(g)
+        for orig, clone in zip(g.tasks, f.tasks):
+            assert clone is not orig
+            assert clone.kernel is orig.kernel  # immutable spec, shared
+            assert clone.tid == orig.tid
+            assert clone.deps_remaining == orig.deps_remaining
+            assert clone.state is TaskState.PENDING
+            # Dependent edges point into the clone, never the template.
+            assert all(d in f.tasks for d in clone.dependents)
+            assert [d.tid for d in clone.dependents] == [
+                d.tid for d in orig.dependents
+            ]
+        f.validate()
+
+    def test_fork_refuses_executed_template(self):
+        g = build_workload("hd-small", scale=0.5, seed=3)
+        g.roots()[0].mark_ready(0.0)
+        with pytest.raises(WorkloadError):
+            g.fork()
+
+    def test_forks_are_independent(self):
+        g = build_workload("hd-small", scale=0.5, seed=3)
+        a, b = g.fork(), g.fork()
+        a.roots()[0].mark_ready(0.0)
+        assert b.roots()[0].state is TaskState.PENDING
+        assert g.roots()[0].state is TaskState.PENDING
+
+
+# ----------------------------------------------------------------------
+# ForkCache
+# ----------------------------------------------------------------------
+class TestForkCache:
+    def test_graph_key_covers_exactly_the_graph_inputs(self):
+        base = JobSpec("hd-small", "GRWS")
+        same_graph = [
+            JobSpec("hd-small", "JOSS"),
+            JobSpec("hd-small", "GRWS", seed=99),
+            JobSpec("hd-small", "GRWS", repetition=3),
+            JobSpec("hd-small", "GRWS", platform="jetson-tx2"),
+        ]
+        different_graph = [
+            JobSpec("dp", "GRWS"),
+            JobSpec("hd-small", "GRWS", scale=0.5),
+            JobSpec("hd-small", "GRWS", workload_seed=4),
+        ]
+        key = ForkCache.graph_key(base)
+        assert all(ForkCache.graph_key(s) == key for s in same_graph)
+        assert all(ForkCache.graph_key(s) != key for s in different_graph)
+
+    def test_cold_start_then_forks_and_pristine_template(self):
+        cache = ForkCache()
+        spec = JobSpec("hd-small", "GRWS", scale=0.5)
+        first = cache.graph_for(spec)
+        second = cache.graph_for(spec)
+        assert (cache.cold_starts, cache.forks) == (1, 1)
+        assert first is not second
+        # Even the cold-start job got a fork; the template never leaves
+        # the cache, so executing a returned graph can't poison it.
+        template = cache._graphs[ForkCache.graph_key(spec)]
+        assert template is not first and template is not second
+        first.roots()[0].mark_ready(0.0)
+        third = cache.graph_for(spec)
+        assert all(t.state is TaskState.PENDING for t in third.tasks)
+
+    def test_breakdown_memos_are_per_platform(self):
+        cache = ForkCache()
+        tx2 = cache.breakdowns("jetson-tx2")
+        assert cache.breakdowns("jetson-tx2") is tx2
+        assert cache.breakdowns("other") is not tx2
+        cache.clear()
+        assert cache.breakdowns("jetson-tx2") is not tx2
+
+
+# ----------------------------------------------------------------------
+# Golden A/B: serial sweeps
+# ----------------------------------------------------------------------
+def test_serial_sweep_identical_with_and_without_cache():
+    spec = SweepSpec(["hd-small"], ["GRWS", "JOSS"], scales=(0.5,), repetitions=2)
+    jobs = list(spec.jobs())
+    result = run_sweep(spec)  # serial path forks by default
+    assert not result.failures
+    reference = [execute_job(job) for job in jobs]  # no cache: cold builds
+    assert [m.to_dict() for m in result.metrics()] == reference
+    t = result.telemetry
+    assert t.cold_starts == 1  # one distinct graph key
+    assert t.state_forks == len(jobs) - 1
+    assert t.state_forks + t.cold_starts == t.done
+
+
+def test_faulted_job_does_not_pollute_the_next_fork():
+    campaign = FaultCampaign(
+        seed=0,
+        faults=(FaultSpec("dvfs-stuck", target="*", onset=0.0, duration=60.0),),
+        name="stuck",
+    )
+    clean = JobSpec("hd-small", "JOSS", scale=0.5)
+    faulted = JobSpec("hd-small", "JOSS", scale=0.5, faults=campaign)
+    # Faulted first: the clean job's graph then forks from a template
+    # the faulted run cold-started.
+    result = run_sweep([faulted, clean])
+    assert not result.failures
+    by_hash = {o.job_hash: o.metrics.to_dict() for o in result.outcomes}
+    assert by_hash[clean.job_hash] == execute_job(clean)
+    assert by_hash[faulted.job_hash] == execute_job(faulted)
+    assert by_hash[clean.job_hash] != by_hash[faulted.job_hash]
+    assert result.telemetry.cold_starts == 1
+    assert result.telemetry.state_forks == 1
+
+
+# ----------------------------------------------------------------------
+# Golden A/B: warm pool
+# ----------------------------------------------------------------------
+def test_pool_sweeps_identical_and_fork_counters_ride_back():
+    spec = SweepSpec(["hd-small"], ["GRWS", "JOSS"], scales=(0.5,), repetitions=2)
+    serial = run_sweep(spec)
+    chunked = run_sweep(spec, workers=4, chunk_size=None)
+    per_job = run_sweep(spec, workers=4, chunk_size=1)
+    for result in (chunked, per_job):
+        assert not result.failures
+        assert [m.to_dict() for m in result.metrics()] == [
+            m.to_dict() for m in serial.metrics()
+        ]
+        t = result.telemetry
+        # Every executed job either forked or cold-started, in whichever
+        # worker process it landed on.
+        assert t.state_forks + t.cold_starts == t.done
+    # The chunked sweep ran on a freshly forked pool: at least the first
+    # job of some chunk had to build its template.
+    assert chunked.telemetry.cold_starts >= 1
+    # The per-job sweep ran third on the same warm pool: its workers'
+    # process-level caches already held the template, so jobs that
+    # landed on a previously-used worker forked instead of rebuilding.
+    assert per_job.telemetry.warm_pool_hit is True
+    assert per_job.telemetry.state_forks >= 1
+
+
+def test_warm_workers_fork_across_sweeps():
+    spec = SweepSpec(["hd-small"], ["GRWS"], scales=(0.5,), repetitions=4)
+    first = run_sweep(spec, workers=2, chunk_size=1)
+    second = run_sweep(spec, workers=2, chunk_size=1)
+    assert not first.failures and not second.failures
+    assert [m.to_dict() for m in second.metrics()] == [
+        m.to_dict() for m in first.metrics()
+    ]
+    assert second.telemetry.warm_pool_hit is True
+    # Both workers warmed their template during the first sweep, so the
+    # second sweep never cold-starts.
+    assert second.telemetry.cold_starts == 0
+    assert second.telemetry.state_forks == second.telemetry.done
+
+
+def test_pool_fault_campaign_identical_to_serial():
+    campaign = FaultCampaign(
+        seed=0,
+        faults=(FaultSpec("dvfs-stuck", target="*", onset=0.0, duration=60.0),),
+        name="stuck",
+    )
+    jobs = [
+        JobSpec("hd-small", "JOSS", scale=0.5, faults=campaign),
+        JobSpec("hd-small", "JOSS", scale=0.5),
+        JobSpec("hd-small", "GRWS", scale=0.5, faults=campaign),
+        JobSpec("hd-small", "GRWS", scale=0.5),
+    ]
+    serial = run_sweep(jobs)
+    pooled = run_sweep(jobs, workers=2, chunk_size=1)
+    assert not serial.failures and not pooled.failures
+    serial_by_hash = {o.job_hash: o.metrics.to_dict() for o in serial.outcomes}
+    pooled_by_hash = {o.job_hash: o.metrics.to_dict() for o in pooled.outcomes}
+    assert pooled_by_hash == serial_by_hash
+
+
+# ----------------------------------------------------------------------
+# Telemetry surfaces
+# ----------------------------------------------------------------------
+def test_telemetry_summary_and_metrics_registry():
+    t = SweepTelemetry(total=4, done=4, state_forks=3, cold_starts=1)
+    summary = t.render_summary()
+    assert "state sharing: 3 graph fork(s), 1 cold start(s)" in summary
+    reg = MetricRegistry()
+    t.publish_to(reg)
+    assert reg.counter("sweep_state_forked").value() == 3
+    assert reg.counter("sweep_cold_starts").value() == 1
+    # Sweeps without fork accounting keep the summary line out entirely.
+    assert "state sharing" not in SweepTelemetry(total=1).render_summary()
