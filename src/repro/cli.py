@@ -297,6 +297,22 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     # scratch report outside the repository.
     if args.gate and args.baseline:
         ensure_repo_baseline(args.baseline)
+    if args.profile:
+        from repro.perf import profile_benchmarks
+
+        print(f"repro perf --profile ({mode} mode)")
+        prof = profile_benchmarks(
+            quick=args.quick,
+            benchmarks=args.benchmark,
+            top=args.profile_top,
+            progress=lambda name: print(f"  profiling {name} ..."),
+        )
+        print()
+        print(prof.render())
+        path = prof.save(args.profile_output)
+        print(f"\nprofile JSON -> {path}")
+        print(f"profile text -> {path.with_suffix('.txt')}")
+        return 0
     print(f"repro perf ({mode} mode)")
     records = run_benchmarks(
         quick=args.quick,
@@ -925,6 +941,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--gate-benchmark", nargs="+", default=None,
                         help="benchmarks to gate on (default: the standard "
                              "gated set that was actually run)")
+    perf_p.add_argument("--profile", action="store_true",
+                        help="run the selected benchmarks under cProfile "
+                             "and emit a top-N hot-function report instead "
+                             "of benchmark values")
+    perf_p.add_argument("--profile-top", type=int, default=30,
+                        help="functions to keep per ordering in the profile "
+                             "report (default 30)")
+    perf_p.add_argument("--profile-output", default="BENCH_profile.json",
+                        help="where to write the profile JSON (a .txt "
+                             "sibling is written alongside)")
 
     val_p = sub.add_parser(
         "validate", parents=[common_seed0],

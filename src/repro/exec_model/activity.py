@@ -5,9 +5,16 @@ this by tracking each running partition's remaining work fraction and
 re-deriving its completion time whenever the global state changes.  A
 partition of a moldable task carries ``1/N_C`` of the task's work and —
 by construction of the partition timing (see
-:meth:`repro.exec_model.engine.ExecutionEngine._breakdown_for`) — takes
-the same wall time as the whole task would on ``N_C`` cores, so
+:meth:`repro.exec_model.engine.ExecutionEngine._partition_breakdown`) —
+takes the same wall time as the whole task would on ``N_C`` cores, so
 concurrent partitions finish together when started together.
+
+The numeric state itself lives in the engine's structure-of-arrays
+store (:class:`repro.exec_model.soa.ActivityState`), indexed by the
+activity's core slot; this class is the identity handle — kernel, core,
+payload, completion event — plus read-only property views into the
+store for external consumers (schedulers, analysis, tests).  The
+engine's hot paths read and write the columns directly.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.soa import ActivityState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.core import Core
@@ -28,22 +36,15 @@ class Activity:
         "kernel",
         "core",
         "n_cores_total",
-        "noise",
         "payload",
-        "frac_remaining",
-        "rate",
-        "mb_inst",
-        "bw_achieved",
-        "stall_until",
-        "last_update",
+        "slot",
         "started_at",
         "completion_event",
         "bd_key",
         "bd",
         "live",
         "dirty",
-        "bw_cur",
-        "pa",
+        "_st",
     )
 
     def __init__(
@@ -51,30 +52,18 @@ class Activity:
         kernel: KernelSpec,
         core: "Core",
         n_cores_total: int,
-        noise: float,
         payload: Any,
         started_at: float,
+        slot: int,
+        st: ActivityState,
     ) -> None:
         self.kernel = kernel
         self.core = core
         self.n_cores_total = int(n_cores_total)
-        #: Multiplicative duration noise drawn once per partition.
-        self.noise = float(noise)
         #: Opaque handle (the runtime's task-partition object).
         self.payload = payload
-        #: Fraction of the partition's work still to do, in [0, 1].
-        self.frac_remaining = 1.0
-        #: Progress rate (fraction per second) under the current state.
-        self.rate = 0.0
-        #: Instantaneous memory-boundness under the current state
-        #: (cached for power evaluation).
-        self.mb_inst = 0.0
-        #: Bandwidth this partition currently achieves (GB/s).
-        self.bw_achieved = 0.0
-        #: Progress is frozen until this simulated time (DVFS
-        #: transition stalls; 0 = not stalled).
-        self.stall_until = 0.0
-        self.last_update = started_at
+        #: Row index into the engine's SoA store (== dense core index).
+        self.slot = slot
         self.started_at = started_at
         self.completion_event: Optional["Event"] = None
         #: Engine-owned breakdown memo: kernel, core and partition count
@@ -82,29 +71,74 @@ class Activity:
         #: timing depends only on ``(f_C, f_M)``.
         self.bd_key: Optional[tuple] = None
         self.bd: Any = None
-        #: False once completed/aborted (stale dirty-list entries check
-        #: this instead of being removed from the list).
+        #: False once completed/aborted (stale completion events and
+        #: dirty marks check this instead of being hunted down).
         self.live = True
         #: Queued for re-materialisation in the engine's next re-timing
         #: pass (new activity, frequency moved under it, stall edge).
         self.dirty = False
-        #: Bandwidth demand currently folded into the engine's running
-        #: contention total (GB/s); updated only inside re-timing passes
-        #: and on completion, so the total stays an exact running sum.
-        self.bw_cur = 0.0
-        #: Dynamic-activity factor ``(1 - mb) + mb * stall_activity``
-        #: currently folded into the engine's per-cluster power sum;
-        #: updated under the same discipline as ``bw_cur``.
-        self.pa = 0.0
+        self._st = st
+
+    # -- read-only views into the SoA store (external consumers) -------
+    @property
+    def frac_remaining(self) -> float:
+        """Fraction of the partition's work still to do, in [0, 1]."""
+        return self._st.frac[self.slot]
+
+    @property
+    def rate(self) -> float:
+        """Progress rate (fraction per second) under the current state."""
+        return self._st.rate[self.slot]
+
+    @property
+    def mb_inst(self) -> float:
+        """Instantaneous memory-boundness under the current state."""
+        return self._st.mb[self.slot]
+
+    @property
+    def bw_achieved(self) -> float:
+        """Bandwidth this partition currently achieves (GB/s)."""
+        return self._st.bwa[self.slot]
+
+    @property
+    def stall_until(self) -> float:
+        """Progress is frozen until this simulated time (0 = not
+        stalled; DVFS transition stalls set it)."""
+        return self._st.stall_until[self.slot]
+
+    @property
+    def last_update(self) -> float:
+        """Simulated time of the last progress consolidation."""
+        return self._st.last_upd[self.slot]
+
+    @property
+    def noise(self) -> float:
+        """Multiplicative duration noise drawn once per partition."""
+        return self._st.noise[self.slot]
+
+    @property
+    def bw_cur(self) -> float:
+        """Bandwidth demand currently folded into the engine's running
+        contention total (GB/s) — the ``bw_dem`` column."""
+        return self._st.bw_dem[self.slot]
+
+    @property
+    def pa(self) -> float:
+        """Dynamic-activity factor currently folded into the engine's
+        per-cluster power sum."""
+        return self._st.pa[self.slot]
 
     def advance_to(self, now: float) -> None:
         """Consume progress between ``last_update`` and ``now`` at the
-        previously cached rate."""
-        dt = now - self.last_update
-        if dt > 0 and self.rate > 0:
-            frac = self.frac_remaining - dt * self.rate
-            self.frac_remaining = frac if frac > 0.0 else 0.0
-        self.last_update = now
+        previously materialised rate."""
+        st = self._st
+        i = self.slot
+        dt = now - st.last_upd[i]
+        r = st.rate[i]
+        if dt > 0 and r > 0:
+            frac = st.frac[i] - dt * r
+            st.frac[i] = frac if frac > 0.0 else 0.0
+        st.last_upd[i] = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -3,9 +3,11 @@
 Responsibilities:
 
 - start/complete activities (task partitions) on cores;
-- re-time every running activity whenever a cluster frequency, the
-  memory frequency, or the set of running activities changes (the
-  contention factor is global, so any change can shift every deadline);
+- re-time the activities whose timing inputs actually changed whenever
+  a cluster frequency, the memory frequency, or the set of running
+  activities changes (the contention factor is global, so a *factor*
+  move can shift every deadline — but a factor-preserving change only
+  touches its own cluster's activities);
 - evaluate instantaneous rail power after every state change and feed
   the exact :class:`~repro.hw.sensor.EnergyAccountant`;
 - expose a ``rail_powers`` read function for the sampled
@@ -14,21 +16,36 @@ Responsibilities:
 The re-timing step is the heart of the simulation: it is what makes
 DVFS interference between concurrent tasks (paper section 5.3) a real,
 measurable effect rather than an assumption.
+
+Cost model (see docs/architecture.md, "Performance"): a state change is
+O(affected), not O(everything).  Affected sets are derived from running
+sums (total bandwidth demand, per-cluster dynamic-activity sums) that
+update in O(1) per delta; per-activity numeric state lives in a
+structure-of-arrays store (:mod:`repro.exec_model.soa`) so residual
+full passes can vectorize; and materialisation skips by value — an
+activity whose recomputed rate is unchanged keeps its scheduled
+completion event and its lazily stale progress counters, which is also
+what makes the incremental and ``strict_retime=True`` reference paths
+bit-identical: both consume progress at exactly the same instants.
 """
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Any, Callable, Optional
+
+import numpy as np
 
 from repro.errors import SchedulingError, SimulationError
 from repro.exec_model.activity import Activity
 from repro.exec_model.contention import ContentionModel
 from repro.exec_model.kernels import KernelSpec
+from repro.exec_model.soa import ActivityState
 from repro.exec_model.timing import MIN_DURATION_S, GroundTruthTiming, TimingBreakdown
 from repro.hw.core import Core
 from repro.hw.platform import Platform
 from repro.hw.sensor import EnergyAccountant
-from repro.sim.engine import Simulator
+from repro.sim.engine import _COMPACT_MIN_DEAD, Event, Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 
@@ -36,6 +53,13 @@ from repro.sim.trace import Tracer
 #: but before ordinary runtime events (0), so dependents woken by a
 #: completion see consistent core states.
 COMPLETION_PRIORITY = -5
+
+#: Affected-set size at which materialisation switches from the scalar
+#: loop to the vectorized (NumPy bulk) pass.  NumPy's fixed per-call
+#: overhead loses below a few dozen elements, so embedded-class
+#: platforms (TX2: 6 cores) always take the scalar path; both paths are
+#: bit-identical, making the threshold a pure performance heuristic.
+VECTOR_MIN_DEFAULT = 32
 
 #: Sentinel for "integrate energy up to now, change no rail" updates.
 _NO_POWERS: dict = {}
@@ -54,6 +78,7 @@ class ExecutionEngine:
         duration_noise_sigma: float = 0.02,
         cache_size: int = 8192,
         shared_breakdowns: Optional[dict] = None,
+        strict_retime: bool = False,
     ) -> None:
         self.sim = sim
         self.platform = platform
@@ -76,17 +101,16 @@ class ExecutionEngine:
         # produce, which the determinism tests pin down).  See
         # docs/architecture.md, "Performance".
         self._cache_size = int(cache_size)
-        #: A state change only *marks* the engine dirty; the full
-        #: re-timing pass runs lazily (before the clock can advance,
-        #: any completion event fires, or rail power is read) —
-        #: collapsing the redundant passes of same-timestamp start
-        #: bursts into one.  Deferral is independent of ``cache_size``:
-        #: both cache paths must run the *same* pass sequence, because
-        #: the incremental power/demand sums accumulate rounding in
-        #: pass order and transient mid-burst passes would leave the
-        #: eager path with different last-bit sums.  See
-        #: ``_flush_if_needed``.
-        self._defer = True
+        #: Reference mode: every re-timing pass re-derives every running
+        #: activity (O(everything)) instead of only the affected set.
+        #: All skips inside materialisation are *by value*, so the two
+        #: modes take identical decisions and produce identical bytes —
+        #: pinned by the retime-equivalence tests.
+        self._strict = bool(strict_retime)
+        #: Scalar→vector materialisation cut-over (see
+        #: :data:`VECTOR_MIN_DEFAULT`); tests lower it to force the
+        #: vector path on small platforms.
+        self.vector_min = VECTOR_MIN_DEFAULT
         #: Partition-share breakdowns keyed like the timing memo.
         self._part_cache: dict = {}
         #: Optional cross-run breakdown memo (sweep fork path; see
@@ -96,18 +120,32 @@ class ExecutionEngine:
         #: hot path.  Disabled alongside the other caches at
         #: ``cache_size=0`` so the reference path stays pure.
         self._shared_bd = shared_breakdowns if cache_size > 0 else None
-        #: Per-cluster incremental power inputs: cluster_id ->
-        #: ``[n_busy, act_sum]`` where ``act_sum`` is the sum of every
-        #: running activity's dynamic-activity factor
+        # ---- SoA state + dense index maps --------------------------------
+        # Slot = dense index into platform.cores (one running activity
+        # per core); cluster index = dense index into platform.clusters.
+        cores = platform.cores
+        clusters = list(platform.clusters)
+        self._clusters = clusters
+        cl_k = {cl.cluster_id: k for k, cl in enumerate(clusters)}
+        self._cl_k = cl_k
+        self._soa = ActivityState(
+            n_slots=len(cores),
+            stall_act=tuple(c.core_type.stall_activity for c in cores),
+            cl_idx=tuple(cl_k[c.cluster.cluster_id] for c in cores),
+        )
+        #: Per-cluster running activities (insertion order — the basis
+        #: of O(affected) marking on a cluster frequency change).
+        self._cl_acts: list[list[Activity]] = [[] for _ in clusters]
+        #: Per-cluster incremental power inputs: busy-core count and the
+        #: sum of every running activity's dynamic-activity factor
         #: ``(1 - mb) + mb * stall_activity``.  Maintained at activity
         #: start/finish/re-materialisation (both cache paths run the
         #: same updates, so they stay bit-identical), and resynced to
         #: 0.0 whenever the cluster drains — the same drift-bounding
         #: discipline as ``_total_demand``.  With these sums the rail
         #: power is closed-form arithmetic: no per-core scan, no cache.
-        self._cl_stat: dict[int, list] = {
-            cl.cluster_id: [0, 0.0] for cl in platform.clusters
-        }
+        self._cl_nbusy: list[int] = [0 for _ in clusters]
+        self._cl_pasum: list[float] = [0.0 for _ in clusters]
         # Power-model parameters, hoisted once (immutable for the run).
         pmp = platform.power_model.params
         self._k_uncore = pmp.k_uncore
@@ -116,31 +154,55 @@ class ExecutionEngine:
         self._mem_idle_per_ghz = pmp.mem_idle_per_ghz
         self._mem_e_per_gb = pmp.mem_energy_per_gb
         self._k_mem_ctrl = pmp.k_mem_ctrl
+        self._mem = platform.memory
+        # (V, f)-derived power coefficients, cached per voltage/frequency
+        # change (rail power is evaluated once per re-timing pass, the
+        # operating point moves orders of magnitude less often).  Each
+        # cached value is a left-prefix of the original expression, so
+        # the arithmetic — and hence every energy byte — is unchanged.
+        self._cl_c_uncore = [0.0 for _ in clusters]  # k_uncore * V^2 f
+        self._cl_c_static = [0.0 for _ in clusters]  # k_static * V^2
+        self._cl_c_idle = [0.0 for _ in clusters]    # k_idle_clock * V^2 f
+        self._cl_k_dyn = [cl.core_type.k_dyn for cl in clusters]
+        self._cl_v2f = [0.0 for _ in clusters]       # V^2 f
+        for k in range(len(clusters)):
+            self._refresh_cluster_power(k)
+        self._mem_cap = 0.0   # bw_cap_per_ghz * f_M
+        self._mem_idle = 0.0  # mem_idle_base + mem_idle_per_ghz * f_M
+        self._mem_cctrl = 0.0  # k_mem_ctrl * V^2 f_M
+        self._refresh_mem_power()
         #: Contention factor of the last re-timing pass.  After every
         #: pass each activity's materialised state reflects this factor
         #: (a factor change re-materialises *all* activities), which is
-        #: what makes the dirty-list scheme in ``_retime`` sound.
+        #: what makes the affected-set scheme in ``_retime`` sound.
         self._prev_factor: float = 1.0
-        #: Running sum of every activity's ``bw_cur`` — the contention
-        #: model's total demand, maintained incrementally so a clean
-        #: re-timing pass never loops the running set.  Resynced to 0.0
-        #: whenever the set drains (bounds float drift to one busy
-        #: phase; the drifted value is used consistently everywhere, so
-        #: results stay deterministic).
+        #: Running sum of every activity's folded-in bandwidth demand —
+        #: the contention model's total, maintained incrementally so a
+        #: clean re-timing pass never loops the running set.  Resynced
+        #: to 0.0 whenever the set drains (bounds float drift to one
+        #: busy phase; the drifted value is used consistently
+        #: everywhere, so results stay deterministic).
         self._total_demand = 0.0
-        #: Activities queued for re-materialisation (insertion order —
-        #: never a set, whose address-based iteration order would break
-        #: cross-process bit-identity).
-        self._dirty: list[Activity] = []
+        #: Count of activities marked dirty (``Activity.dirty``) and not
+        #: yet re-materialised.  The dirty *set* is recovered by one
+        #: scan of ``_activities`` in the pass — insertion order, never
+        #: a Python set, whose address-based iteration order would break
+        #: cross-process bit-identity — and the scan is skipped entirely
+        #: when the count is zero.
+        self._n_dirty = 0
         #: Callback ``fn(activity)`` invoked when a partition finishes.
         self.on_complete: Optional[Callable[[Activity], None]] = None
         #: Callbacks invoked (no args) after every global re-timing —
         #: i.e. whenever frequencies or the running set changed.  Used
-        #: by analysis instrumentation (energy attribution).
+        #: by analysis instrumentation (energy attribution).  When any
+        #: are registered, completions always defer a full pass (the
+        #: subscribers see every state change); when none are, a
+        #: factor-preserving completion refreshes power inline and
+        #: skips the pass — see ``_complete``.
         self.on_state_change: list[Callable[[], None]] = []
         # Re-time on any frequency change (the affected activities'
         # breakdowns move, so they are queued for re-materialisation).
-        for cl in platform.clusters:
+        for cl in clusters:
             cl.on_freq_change.append(self._on_cluster_freq)
         platform.memory.on_freq_change.append(self._on_mem_freq)
         # Initialise rail powers for the all-idle platform.
@@ -180,75 +242,96 @@ class ExecutionEngine:
                 self._noise_i = 0
             noise = float(buf[self._noise_i])
             self._noise_i += 1
-        act = Activity(kernel, core, n_cores_total, noise, payload, self.sim.now)
+        sim = self.sim
+        now = sim._now
+        slot = core.slot
+        act = Activity(kernel, core, n_cores_total, payload, now, slot, self._soa)
         core.busy = True
         core.current_activity = act
         self._activities.append(act)
         act.dirty = True
-        self._dirty.append(act)
-        self._cl_stat[core.cluster.cluster_id][0] += 1
+        self._n_dirty += 1
+        self._soa.reset_slot(slot, now, noise)
+        k = self._soa.cl_idx[slot]
+        self._cl_acts[k].append(act)
+        self._cl_nbusy[k] += 1
         if self.tracer is not None:
             self.tracer.emit(
-                self.sim.now, "activity-start", kernel=kernel.name, core=core.core_id
+                now, "activity-start", kernel=kernel.name, core=core.core_id
             )
-        obs = self.sim.obs
+        obs = sim.obs
         if obs.active:
             obs.emit(
-                "task_started", self.sim.now,
+                "task_started", now,
                 kernel=kernel.name, core=core.core_id,
             )
-        # _state_changed() inlined (hot path; deferral is unconditional).
-        now = self.sim._now
-        acc = self.accountant
-        if acc._last_t < now:
-            acc.integrate_to(now)
-        self.sim.flush_fn = self._flush_if_needed
+        # Defer the re-timing pass (see _state_changed, inlined here:
+        # this is the hot path).  The pass runs before the clock next
+        # advances, so its accountant update integrates the pre-change
+        # power over exactly the same interval an eager update would.
+        sim.flush_fn = self._flush_if_needed
         return act
 
     def _complete(self, act: Activity) -> None:
         if not act.live:  # cancelled/stale event
             return
-        act.advance_to(self.sim.now)
-        self._activities.remove(act)
+        sim = self.sim
+        now = sim._now
+        st = self._soa
+        i = act.slot
+        # Activity.advance_to inlined: consolidate progress to now.
+        dt = now - st.last_upd[i]
+        r = st.rate[i]
+        if dt > 0 and r > 0:
+            frac = st.frac[i] - dt * r
+            st.frac[i] = frac if frac > 0.0 else 0.0
+        st.last_upd[i] = now
+        acts = self._activities
+        acts.remove(act)
         act.live = False
-        act.dirty = False
-        self._total_demand -= act.bw_cur
-        if not self._activities:
-            self._total_demand = 0.0  # resync the running sum
+        if act.dirty:
+            act.dirty = False
+            self._n_dirty -= 1
+        total = self._total_demand - st.bw_dem[i]
+        if not acts:
+            total = 0.0  # resync the running sum
+        self._total_demand = total
         core = act.core
         cluster = core.cluster
         core.busy = False
         core.current_activity = None
-        st = self._cl_stat[cluster.cluster_id]
-        st[0] -= 1
-        if st[0] == 0:
-            st[1] = 0.0  # resync the activity sum
+        k = st.cl_idx[i]
+        self._cl_acts[k].remove(act)
+        nb = self._cl_nbusy[k] = self._cl_nbusy[k] - 1
+        if nb == 0:
+            self._cl_pasum[k] = 0.0  # resync the activity sum
         else:
-            st[1] -= act.pa
+            self._cl_pasum[k] -= st.pa[i]
         if not core._online:  # drained after a hot-unplug (grace end)
             cluster._n_draining -= 1
         act.completion_event = None
         if self.tracer is not None:
             self.tracer.emit(
-                self.sim.now,
+                now,
                 "activity-end",
                 kernel=act.kernel.name,
-                core=act.core.core_id,
-                elapsed=self.sim.now - act.started_at,
+                core=core.core_id,
+                elapsed=now - act.started_at,
             )
-        obs = self.sim.obs
+        obs = sim.obs
         if obs.active:
             obs.emit(
-                "task_finished", self.sim.now,
-                kernel=act.kernel.name, core=act.core.core_id,
-                elapsed=self.sim.now - act.started_at,
+                "task_finished", now,
+                kernel=act.kernel.name, core=core.core_id,
+                elapsed=now - act.started_at,
             )
-        # _state_changed() inlined (hot path; deferral is unconditional).
-        now = self.sim._now
-        acc = self.accountant
-        if acc._last_t < now:
-            acc.integrate_to(now)
-        self.sim.flush_fn = self._flush_if_needed
+        # Defer the re-timing pass.  A completion is almost always
+        # followed by a same-timestamp start on the freed core (the
+        # worker fetches synchronously), so deferral folds the
+        # completion's pass and the start's pass into one — paying
+        # anything here (even an inline power refresh) is strictly
+        # extra work in that dominant case.
+        sim.flush_fn = self._flush_if_needed
         if self.on_complete is not None:
             self.on_complete(act)
 
@@ -264,31 +347,63 @@ class ExecutionEngine:
             if not act.core._online:
                 act.core.cluster._n_draining -= 1
         self._activities.clear()
-        self._dirty.clear()
+        for lst in self._cl_acts:
+            lst.clear()
+        self._n_dirty = 0
         self._total_demand = 0.0
-        for st in self._cl_stat.values():
-            st[0] = 0
-            st[1] = 0.0
+        for k in range(len(self._cl_nbusy)):
+            self._cl_nbusy[k] = 0
+            self._cl_pasum[k] = 0.0
         self._state_changed()
 
     # ------------------------------------------------------------------
     # Change notifications
     # ------------------------------------------------------------------
     def _on_cluster_freq(self, cl) -> None:
-        dirty = self._dirty
-        for act in self._activities:
-            if act.core.cluster is cl and not act.dirty:
+        # O(affected): only this cluster's activities re-materialise (a
+        # factor move, detected inside the pass from the running demand
+        # total, widens the set there).
+        k = self._cl_k[cl.cluster_id]
+        self._refresh_cluster_power(k)
+        n = self._n_dirty
+        for act in self._cl_acts[k]:
+            if not act.dirty:
                 act.dirty = True
-                dirty.append(act)
+                n += 1
+        self._n_dirty = n
         self._state_changed()
 
     def _on_mem_freq(self, _mem) -> None:
-        dirty = self._dirty
+        # The memory frequency enters every breakdown: all affected.
+        self._refresh_mem_power()
+        n = self._n_dirty
         for act in self._activities:
             if not act.dirty:
                 act.dirty = True
-                dirty.append(act)
+                n += 1
+        self._n_dirty = n
         self._state_changed()
+
+    def _refresh_cluster_power(self, k: int) -> None:
+        """Re-derive cluster ``k``'s cached (V, f) power products (see
+        ``__init__``); called on every cluster frequency change."""
+        cl = self._clusters[k]
+        v = cl._volts
+        v2f = v * v * cl._freq
+        self._cl_v2f[k] = v2f
+        self._cl_c_uncore[k] = self._k_uncore * v2f
+        self._cl_c_static[k] = cl.core_type.k_static * v * v
+        self._cl_c_idle[k] = self._k_idle_clock * v2f
+
+    def _refresh_mem_power(self) -> None:
+        """Re-derive the memory rail's cached (V, f) products; called on
+        every memory frequency change."""
+        mem = self._mem
+        f = mem._freq
+        mv = mem._volts
+        self._mem_cap = mem.bw_cap_per_ghz * f
+        self._mem_idle = self._mem_idle_base + self._mem_idle_per_ghz * f
+        self._mem_cctrl = self._k_mem_ctrl * mv * mv * f
 
     # ------------------------------------------------------------------
     # Re-timing
@@ -319,23 +434,19 @@ class ExecutionEngine:
     def _state_changed(self) -> None:
         """The running set, a frequency or a stall deadline changed.
 
-        With caches disabled this re-times everything immediately (the
-        seed behaviour).  Otherwise the pass is deferred: bursts of
-        same-timestamp changes (a moldable task's partitions start via
-        separate equal-time events) each re-time the whole running set,
+        The pass is deferred (marked via ``Simulator.flush_fn``): bursts
+        of same-timestamp changes (a moldable task's partitions start
+        via separate equal-time events) each re-time the running set,
         and every pass but the last is invisible — its completion events
-        are cancelled by the next pass, its power refresh happens at
-        ``dt == 0``.  Deferral runs only the last one.  The energy
-        integral up to ``now`` is closed here (exactly as the first
-        eager pass would) so mid-burst accountant reads stay exact.
+        are superseded by the next pass, its power refresh happens at
+        ``dt == 0``.  Deferral runs only the last one.
+
+        Energy stays exact without an eager ``integrate_to`` here: the
+        pass runs before the clock next advances (``Simulator._pop_live``
+        invokes the flush hook first), so its accountant update
+        integrates the pre-change power over exactly the interval an
+        eager update would have closed.
         """
-        if not self._defer:
-            self._retime()
-            return
-        now = self.sim._now
-        acc = self.accountant
-        if acc._last_t < now:
-            acc.integrate_to(now)
         self.sim.flush_fn = self._flush_if_needed
 
     def _flush_if_needed(
@@ -348,7 +459,7 @@ class ExecutionEngine:
         current instant AND no event the pass would (re)schedule could
         beat it: completion events are the only priority-(-5) events, so
         a lower-priority head (DVFS apply) always wins, an equal-priority
-        head is a stale completion the pass must cancel first, and a
+        head is a stale completion the pass must supersede first, and a
         higher-priority head (runtime/fetch events) wins unless a
         re-timed completion lands at ``now`` itself — excluded by the
         remaining-time lower bound ``frac * MIN_DURATION_S``.
@@ -359,11 +470,17 @@ class ExecutionEngine:
                 return False
             if head_priority > COMPLETION_PRIORITY:
                 md = MIN_DURATION_S
+                st = self._soa
+                frac_c = st.frac
+                lu_c = st.last_upd
+                rate_c = st.rate
                 for act in self._activities:
-                    frac = act.frac_remaining
-                    dt = now - act.last_update
-                    if dt > 0 and act.rate > 0:
-                        frac = frac - dt * act.rate
+                    i = act.slot
+                    frac = frac_c[i]
+                    dt = now - lu_c[i]
+                    r = rate_c[i]
+                    if dt > 0 and r > 0:
+                        frac = frac - dt * r
                         if frac < 0.0:
                             frac = 0.0
                     if not (now + frac * md > now):
@@ -375,9 +492,10 @@ class ExecutionEngine:
 
     def _partition_breakdown(self, act: Activity, mem_freq: float, key: tuple):
         """Fetch/recompute ``act``'s partition breakdown for ``key`` and
-        stamp ``bd_key`` (the breakdown-unchanged marker, kept in both
-        cache paths; with caches off the values are recomputed every
-        pass — the reference behaviour — and equal by determinism)."""
+        stamp ``bd_key`` (the breakdown-unchanged marker; the caller
+        skips this call entirely when the key matches, in both cache
+        paths — recomputation with caches off would produce the same
+        bits, which the determinism tests pin down)."""
         if self._cache_size > 0:
             if key == act.bd_key:
                 return act.bd
@@ -436,58 +554,82 @@ class ExecutionEngine:
             t_mem=full.t_mem,
             bw_demand=full.bw_demand / act.n_cores_total,
         )
+        act.bd = b
         act.bd_key = key
         return b
 
     def _retime(self) -> None:
-        """Re-materialise the queued (dirty) activities, recompute
-        contention, refresh rail power.
+        """Re-materialise the affected activities, recompute contention,
+        refresh rail power.
 
-        The pass is incremental: every materialised per-activity
-        quantity (rate, instantaneous MB, achieved bandwidth, deadline)
-        is a pure function of the partition breakdown (fixed by the
-        ``(f_C, f_M)`` pair), the global contention factor and the
-        stall state, so only activities whose inputs moved — queued on
-        ``self._dirty`` by start/stall/frequency notifications — are
-        touched.  Clean activities keep their scheduled completion
-        events and their lazily stale ``frac_remaining`` /
-        ``last_update`` pair (exactly what :meth:`Activity.advance_to`
-        later consumes).  The contention total is a running sum
-        maintained from per-activity deltas, so a pass with an empty
-        queue is O(1) plus the power refresh.  A factor change
-        re-materialises every activity, which keeps the clean-skip
-        sound against the *previous pass's* factor.  Both the cached
-        and the ``cache_size=0`` reference paths take the same
-        decisions, so observable state stays bit-identical between
-        them.
+        Affected-set rules (every materialised per-activity quantity is
+        a pure function of the partition breakdown, the global factor
+        and the stall state):
+
+        - *dirty* activities — marked by start, stall edges and
+          frequency changes (a cluster change marks only its own
+          cluster's list) — refresh their breakdown if the ``(f_C,
+          f_M)`` key moved, updating the demand total by delta;
+        - a *factor* move (total vs capacity, O(1) from the running
+          sum) widens the set to every activity, since every deadline
+          stretches;
+        - ``strict_retime`` widens it unconditionally (the reference
+          sweep).
+
+        Materialisation itself (the scalar loop below; the vectorized
+        variant lives in :meth:`_materialise_vec`) skips by value: an
+        unchanged rate keeps the scheduled completion event *and* the
+        lazily stale ``frac``/``last_upd`` pair, so the order and
+        instants of progress consolidation — where float rounding
+        accumulates — are identical whichever rule produced the set.
+        Clean activities are exactly the unchanged-value case, which is
+        why incremental, strict, cached and uncached runs stay
+        bit-identical.  The scan to recover dirty activities runs in
+        ``_activities`` insertion order for the same reason:
+        running-sum updates must accumulate in one canonical order.
+
+        This function runs once per state-changing timestamp (roughly
+        once per completion) and is the single hottest path in the
+        simulator, which is why the scalar loop is inlined here — down
+        to the calendar pushes, which bypass ``Simulator.schedule`` /
+        ``reschedule`` (their validation is vacuous for freshly derived
+        non-negative deadlines) while preserving their exact semantics.
         """
-        self.sim.flush_fn = None
-        now = self.sim._now
-        activities = self._activities
-        mem = self.platform.memory
-        mem_freq = mem._freq
+        sim = self.sim
+        sim.flush_fn = None
+        now = sim._now
+        acts = self._activities
         total = self._total_demand
-        pairs = ()
-        if self._dirty:
-            dirty = self._dirty
-            self._dirty = []
-            pairs = []
-            for act in dirty:
-                if not act.dirty:  # completed/aborted before the pass
+        st = self._soa
+        affected: Any = ()
+        if self._n_dirty:
+            self._n_dirty = 0
+            mem_freq = self._mem._freq
+            affected = []
+            ap = affected.append
+            t_comp = st.t_comp
+            t_mem = st.t_mem
+            bw_dem = st.bw_dem
+            for act in acts:
+                if not act.dirty:
                     continue
                 act.dirty = False
                 key = (act.core.cluster._freq, mem_freq)
-                b = self._partition_breakdown(act, mem_freq, key)
-                bw = b.bw_demand
-                old = act.bw_cur
-                if bw != old:
-                    total = total - old + bw
-                    act.bw_cur = bw
-                pairs.append((act, b))
+                if key != act.bd_key:
+                    b = self._partition_breakdown(act, mem_freq, key)
+                    i = act.slot
+                    t_comp[i] = b.t_comp
+                    t_mem[i] = b.t_mem
+                    bw = b.bw_demand
+                    old = bw_dem[i]
+                    if bw != old:
+                        total = total - old + bw
+                        bw_dem[i] = bw
+                ap(act)
             self._total_demand = total
         # Contention, inlined from ContentionModel.factor_from_total /
         # achieved_from_total (cap == memory.bandwidth_capacity).
-        cap = mem.bw_cap_per_ghz * mem_freq
+        cap = self._mem_cap
         if cap <= 0 or total <= cap:
             factor = 1.0
             congested = False
@@ -497,68 +639,221 @@ class ExecutionEngine:
         if factor != self._prev_factor:
             self._prev_factor = factor
             # Contention moved: every activity's deadline moved.
-            pairs = [
-                (act, self._partition_breakdown(
-                    act, mem_freq, (act.core.cluster._freq, mem_freq)
-                ))
-                for act in activities
-            ]
-        if pairs:
-            schedule = self.sim.schedule
-            md = MIN_DURATION_S
-            cl_stat = self._cl_stat
-            # Each achieved bandwidth is its demand share of the
-            # saturated capacity — ``demand * (cap / total) == demand /
-            # factor`` — so it is local to ``(breakdown, factor)`` like
-            # every other materialised quantity.
-            for act, b in pairs:
-                dt = now - act.last_update
-                if dt > 0 and act.rate > 0:
-                    frac = act.frac_remaining - dt * act.rate
-                    act.frac_remaining = frac if frac > 0.0 else 0.0
-                act.last_update = now
-                stretched_mem = b.t_mem * factor
-                stretched = b.t_comp + stretched_mem
-                duration_full = stretched * act.noise
-                if duration_full < md:
-                    duration_full = md
-                stall_left = act.stall_until - now
-                if stall_left > 0.0:
-                    act.rate = 0.0
-                else:
-                    stall_left = 0.0
-                    act.rate = 1.0 / duration_full
-                mb = stretched_mem / stretched if stretched > 0 else 0.0
-                act.mb_inst = mb
-                cluster = act.core.cluster
-                a = (1.0 - mb) + mb * cluster.core_type.stall_activity
-                if a != act.pa:
-                    st = cl_stat[cluster.cluster_id]
-                    st[1] += a - act.pa
-                    act.pa = a
-                if cap <= 0:
-                    act.bw_achieved = 0.0
-                elif congested:
-                    act.bw_achieved = b.bw_demand / factor
-                else:
-                    act.bw_achieved = b.bw_demand
-                remaining = stall_left + act.frac_remaining * duration_full
-                ev = act.completion_event
-                if ev is not None:
-                    # ``schedule`` computes the same ``now + remaining``
-                    # sum, so an unchanged deadline (compute-bound
-                    # kernels under contention-only passes) keeps the
-                    # already-queued event instead of churning the heap.
-                    if ev.time == now + remaining:
-                        continue
-                    ev.cancel()
-                act.completion_event = schedule(
-                    remaining, self._complete, act, priority=COMPLETION_PRIORITY
-                )
+            affected = acts
+        elif self._strict and acts:
+            affected = acts  # reference sweep; skips are by value
+        if affected:
+            if len(affected) >= self.vector_min:
+                self._materialise_vec(affected, now, factor, congested, cap)
+            else:
+                # Scalar materialisation: derive (rate, memory-boundness,
+                # achieved bandwidth, deadline) per affected activity,
+                # updating the per-cluster power sums by delta and the
+                # completion event only when the deadline actually moved.
+                frac_c = st.frac
+                rate_c = st.rate
+                lu_c = st.last_upd
+                su_c = st.stall_until
+                noise_c = st.noise
+                mb_c = st.mb
+                bwa_c = st.bwa
+                pa_c = st.pa
+                tcomp_c = st.t_comp
+                tmem_c = st.t_mem
+                bw_c = st.bw_dem
+                stall_act = st.stall_act
+                cl_idx = st.cl_idx
+                pasum = self._cl_pasum
+                md = MIN_DURATION_S
+                heap = sim._heap
+                seqc = sim._seq
+                live_delta = 0
+                complete = self._complete
+                cp = COMPLETION_PRIORITY
+                for act in affected:
+                    i = act.slot
+                    stretched_mem = tmem_c[i] * factor
+                    stretched = tcomp_c[i] + stretched_mem
+                    duration_full = stretched * noise_c[i]
+                    if duration_full < md:
+                        duration_full = md
+                    stall_left = su_c[i] - now
+                    if stall_left > 0.0:
+                        new_rate = 0.0
+                    else:
+                        stall_left = 0.0
+                        new_rate = 1.0 / duration_full
+                    mb = stretched_mem / stretched if stretched > 0 else 0.0
+                    mb_c[i] = mb
+                    a = (1.0 - mb) + mb * stall_act[i]
+                    if a != pa_c[i]:
+                        pasum[cl_idx[i]] += a - pa_c[i]
+                        pa_c[i] = a
+                    if cap <= 0:
+                        bwa_c[i] = 0.0
+                    elif congested:
+                        bwa_c[i] = bw_c[i] / factor
+                    else:
+                        bwa_c[i] = bw_c[i]
+                    old_rate = rate_c[i]
+                    ev = act.completion_event
+                    if new_rate == old_rate:
+                        if new_rate != 0.0:
+                            if ev is not None:
+                                # Unchanged positive rate: the queued
+                                # deadline is still exact (completion time
+                                # is invariant along constant-rate
+                                # progress).  The frac/last_upd
+                                # consolidation is skipped too, so every
+                                # path that derives this activity's state
+                                # consumes progress at identical instants
+                                # — the heart of strict/incremental
+                                # bit-identity.
+                                continue
+                            # Orphaned running activity (defensive; cannot
+                            # occur in the normal event flow):
+                            # consolidate, re-derive.
+                            dt = now - lu_c[i]
+                            if dt > 0.0:
+                                f = frac_c[i] - dt * old_rate
+                                frac_c[i] = f if f > 0.0 else 0.0
+                            lu_c[i] = now
+                    else:
+                        # Rate edge: consume progress at the *old* rate.
+                        dt = now - lu_c[i]
+                        if dt > 0.0 and old_rate > 0.0:
+                            f = frac_c[i] - dt * old_rate
+                            frac_c[i] = f if f > 0.0 else 0.0
+                        lu_c[i] = now
+                        rate_c[i] = new_rate
+                    time = now + stall_left + frac_c[i] * duration_full
+                    if ev is not None:
+                        # An unchanged deadline (stalled activity whose
+                        # window did not move) keeps the queued entry.
+                        if ev.time == time:
+                            continue
+                        # Simulator.reschedule, inlined: restamp + push.
+                        seq = next(seqc)
+                        ev.time = time
+                        ev.priority = cp
+                        ev.seq = seq
+                        _heappush(heap, (time, cp, seq, ev))
+                    else:
+                        # Simulator.schedule, inlined.
+                        seq = next(seqc)
+                        ev = Event(time, cp, seq, complete, (act,), sim)
+                        act.completion_event = ev
+                        _heappush(heap, (time, cp, seq, ev))
+                        live_delta += 1
+                if live_delta:
+                    sim._live += live_delta
+                live = sim._live
+                if (
+                    len(heap) - live >= _COMPACT_MIN_DEAD
+                    and len(heap) > (live << 1)
+                ):
+                    sim._compact()
         cpu, memw = self._rail_powers_pair()
         self._acc_update(now, cpu, memw)
         for fn in self.on_state_change:
             fn()
+
+    def _materialise_vec(
+        self,
+        affected,
+        now: float,
+        factor: float,
+        congested: bool,
+        cap: float,
+    ) -> None:
+        """Vectorized materialisation: one NumPy pass over the SoA
+        columns for the arithmetic, then a scalar tail for the
+        order-sensitive pieces (per-cluster sum deltas, rate edges,
+        event maintenance).  Elementwise float64 ops are IEEE-identical
+        to the scalar expressions, so this path is bit-identical to
+        :meth:`_materialise` — the threshold between them is purely a
+        performance heuristic."""
+        st = self._soa
+        v = st.views()
+        n = len(affected)
+        slots = np.fromiter((a.slot for a in affected), dtype=np.intp, count=n)
+        tm = v["t_mem"][slots]
+        tc = v["t_comp"][slots]
+        stretched_mem = tm * factor
+        stretched = tc + stretched_mem
+        duration = stretched * v["noise"][slots]
+        np.maximum(duration, MIN_DURATION_S, out=duration)
+        stall_left = v["stall_until"][slots] - now
+        stalled = stall_left > 0.0
+        stall_left[~stalled] = 0.0
+        new_rate = np.where(stalled, 0.0, 1.0 / duration)
+        mb = np.divide(
+            stretched_mem,
+            stretched,
+            out=np.zeros(n),
+            where=stretched > 0,
+        )
+        a_vals = (1.0 - mb) + mb * v["stall_act"][slots]
+        if cap <= 0:
+            bwa = np.zeros(n)
+        elif congested:
+            bwa = v["bw_dem"][slots] / factor
+        else:
+            bwa = v["bw_dem"][slots].copy()
+        # Order-independent columns write back vectorized.
+        v["mb"][slots] = mb
+        v["bwa"][slots] = bwa
+        # Order-sensitive tail: running-sum deltas accumulate in
+        # affected order, rate edges consolidate progress, deadlines
+        # move through the calendar — all on the precomputed values.
+        frac_c = st.frac
+        rate_c = st.rate
+        lu_c = st.last_upd
+        pa_c = st.pa
+        cl_idx = st.cl_idx
+        pasum = self._cl_pasum
+        sim = self.sim
+        schedule = sim.schedule
+        reschedule = sim.reschedule
+        complete = self._complete
+        a_l = a_vals.tolist()
+        rate_l = new_rate.tolist()
+        dur_l = duration.tolist()
+        sl_l = stall_left.tolist()
+        for j, act in enumerate(affected):
+            i = act.slot
+            a = a_l[j]
+            if a != pa_c[i]:
+                pasum[cl_idx[i]] += a - pa_c[i]
+                pa_c[i] = a
+            new_rate_j = rate_l[j]
+            old_rate = rate_c[i]
+            ev = act.completion_event
+            if new_rate_j == old_rate:
+                if new_rate_j != 0.0:
+                    if ev is not None:
+                        continue
+                    dt = now - lu_c[i]
+                    if dt > 0.0:
+                        f = frac_c[i] - dt * old_rate
+                        frac_c[i] = f if f > 0.0 else 0.0
+                    lu_c[i] = now
+            else:
+                dt = now - lu_c[i]
+                if dt > 0.0 and old_rate > 0.0:
+                    f = frac_c[i] - dt * old_rate
+                    frac_c[i] = f if f > 0.0 else 0.0
+                lu_c[i] = now
+                rate_c[i] = new_rate_j
+            remaining = sl_l[j] + frac_c[i] * dur_l[j]
+            if ev is not None:
+                if ev.time == now + remaining:
+                    continue
+                reschedule(ev, remaining, COMPLETION_PRIORITY)
+            else:
+                act.completion_event = schedule(
+                    remaining, complete, act, priority=COMPLETION_PRIORITY
+                )
 
     def stall_activities(self, cores=None, duration: float = 0.0) -> None:
         """Freeze progress of the given cores' activities (``None`` =
@@ -568,15 +863,20 @@ class ExecutionEngine:
             return
         until = self.sim.now + duration
         affected: list[Activity] = []
-        dirty = self._dirty
         core_set = set(cores) if cores is not None else None
+        st = self._soa
+        su = st.stall_until
+        n = self._n_dirty
         for act in self._activities:
             if core_set is None or act.core in core_set:
-                act.stall_until = max(act.stall_until, until)
+                i = act.slot
+                if until > su[i]:
+                    su[i] = until
                 if not act.dirty:
                     act.dirty = True
-                    dirty.append(act)
+                    n += 1
                 affected.append(act)
+        self._n_dirty = n
         if affected:
             # Re-time now (rates drop to zero) and again at stall end.
             self._state_changed()
@@ -585,11 +885,12 @@ class ExecutionEngine:
     def _stall_end(self, acts: tuple) -> None:
         """A stall window closed: re-queue its survivors (their rates
         come back up) and re-time."""
-        dirty = self._dirty
+        n = self._n_dirty
         for act in acts:
             if act.live and not act.dirty:
                 act.dirty = True
-                dirty.append(act)
+                n += 1
+        self._n_dirty = n
         self._state_changed()
 
     # ------------------------------------------------------------------
@@ -598,17 +899,21 @@ class ExecutionEngine:
     def rail_powers(self) -> dict[str, float]:
         """Instantaneous true power on the CPU and memory rails (W).
 
-        Per-cluster power is cached against ``(freq, loads)`` — the
-        full input of ``cluster_power`` — so unchanged clusters cost a
-        key comparison instead of a model evaluation.  Keys are
-        self-validating: state that bypasses the freq-change callbacks
-        (e.g. fault-injected core hot-unplug flipping ``online``)
-        changes the loads tuple and simply misses.
-        """
+        Closed-form arithmetic over the engine's running sums; any
+        pending deferred re-timing is flushed first so the sums reflect
+        the current state."""
         if self.sim.flush_fn is not None:  # deferred re-timing pending
             self._retime()
         cpu, mem = self._rail_powers_pair()
         return {"cpu": cpu, "mem": mem}
+
+    def rail_powers_pair(self) -> tuple[float, float]:
+        """``(cpu_watts, mem_watts)`` — :meth:`rail_powers` without the
+        per-call dict, for readers that know the standard rail pair (the
+        :class:`~repro.hw.sensor.PowerSensor` samples through this)."""
+        if self.sim.flush_fn is not None:  # deferred re-timing pending
+            self._retime()
+        return self._rail_powers_pair()
 
     def _acc_update(self, now: float, cpu: float, mem: float) -> None:
         """Feed the accountant without building a rail mapping (falls
@@ -623,37 +928,37 @@ class ExecutionEngine:
         internal form behind :meth:`rail_powers`.
 
         Pure arithmetic over incrementally maintained sums (see
-        ``_cl_stat``): per cluster, power-relevant cores are the online
-        ones plus any hot-unplugged core still draining its activity
-        (grace semantics — it keeps clocking and leaking); idle-clocked
-        cores are the remainder once the busy ones are subtracted.  The
-        memory rail uses the closed-form achieved bandwidth: every
-        activity achieves its demand (uncongested) or its demand share
-        of the saturated capacity (congested, summing to the capacity),
-        and nothing when the capacity is zero.
+        ``_cl_nbusy`` / ``_cl_pasum``): per cluster, power-relevant
+        cores are the online ones plus any hot-unplugged core still
+        draining its activity (grace semantics — it keeps clocking and
+        leaking); idle-clocked cores are the remainder once the busy
+        ones are subtracted.  The memory rail uses the closed-form
+        achieved bandwidth: every activity achieves its demand
+        (uncongested) or its demand share of the saturated capacity
+        (congested, summing to the capacity), and nothing when the
+        capacity is zero.
         """
-        k_uncore = self._k_uncore
-        k_idle_clock = self._k_idle_clock
-        cl_stat = self._cl_stat
+        nbusy = self._cl_nbusy
+        pasum = self._cl_pasum
+        c_uncore = self._cl_c_uncore
+        c_static = self._cl_c_static
+        c_idle = self._cl_c_idle
+        k_dyn = self._cl_k_dyn
+        v2f = self._cl_v2f
         cpu = 0.0
-        for cl in self.platform.clusters:
-            v = cl._volts
-            f = cl._freq
-            v2f = v * v * f
-            ct = cl.core_type
-            st = cl_stat[cl.cluster_id]
-            n_busy = st[0]
+        k = 0
+        for cl in self._clusters:
+            n_busy = nbusy[k]
             present = cl._n_online + cl._n_draining
             cpu += (
-                k_uncore * v2f
-                + present * (ct.k_static * v * v)
-                + (present - n_busy) * (k_idle_clock * v2f)
-                + ct.k_dyn * st[1] * v2f
+                c_uncore[k]
+                + present * c_static[k]
+                + (present - n_busy) * c_idle[k]
+                + k_dyn[k] * pasum[k] * v2f[k]
             )
-        mem_dom = self.platform.memory
-        mfreq = mem_dom._freq
+            k += 1
         total = self._total_demand
-        cap = mem_dom.bw_cap_per_ghz * mfreq
+        cap = self._mem_cap
         if cap <= 0.0:
             achieved = 0.0
             util = 0.0
@@ -663,12 +968,10 @@ class ExecutionEngine:
         else:
             achieved = total
             util = achieved / cap
-        mv = mem_dom._volts
         mem = (
-            self._mem_idle_base
-            + self._mem_idle_per_ghz * mfreq
+            self._mem_idle
             + self._mem_e_per_gb * achieved
-            + self._k_mem_ctrl * mv * mv * mfreq * util
+            + self._mem_cctrl * util
         )
         return cpu, mem
 

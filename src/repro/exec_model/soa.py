@@ -1,0 +1,109 @@
+"""Structure-of-arrays backing store for running-activity timing state.
+
+Every per-activity quantity the re-timing pass touches — remaining work
+fraction, progress rate, stall deadline, duration noise, the partition
+breakdown components and the power-model inputs derived from them —
+lives in a parallel ``array('d')`` column indexed by *core slot* (one
+activity per core at a time, so the dense core index is a perfect key).
+
+Why this layout instead of :class:`Activity` attributes:
+
+- scalar access stays cheap: indexing an ``array('d')`` returns an
+  unboxed-then-reboxed C double at roughly attribute-access cost, so the
+  incremental (few-activities-affected) path pays nothing for the move;
+- bulk access becomes free: :meth:`ActivityState.views` exposes
+  zero-copy ``numpy`` float64 views over the *same* buffers, so a
+  residual full-retime pass (memory-frequency change, global stall,
+  the ``strict_retime`` reference mode) can run as one vectorized
+  sweep.  Writes through a view are visible to scalar readers and vice
+  versa — there is exactly one copy of the state;
+- bit-identity is preserved: NumPy elementwise float64 arithmetic is
+  IEEE-754-identical to the equivalent Python ``float`` expressions, so
+  the vector and scalar materialisation paths produce the same bytes
+  (pinned by the equivalence tests).
+
+``rail_powers`` / the :class:`~repro.hw.sensor.EnergyAccountant` feed
+off running sums ((per-cluster dynamic-activity, total bandwidth
+demand)) that are maintained from these columns under a strict
+delta-update discipline — see ``ExecutionEngine._retime``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+import numpy as np
+
+#: Column names, one ``array('d')`` of ``n_slots`` doubles each.
+COLUMNS = (
+    "frac",         # fraction of the partition's work remaining, in [0, 1]
+    "rate",         # progress rate (fraction / s); 0.0 while stalled
+    "last_upd",     # sim time of the last frac consolidation
+    "stall_until",  # progress frozen until this sim time (0 = not stalled)
+    "noise",        # multiplicative duration noise, drawn once at start
+    "mb",           # instantaneous memory-boundness (power-model input)
+    "bwa",          # achieved memory bandwidth (GB/s)
+    "pa",           # dynamic-activity factor folded into the cluster sum
+    "bw_dem",       # bandwidth demand folded into the contention total
+    "t_comp",       # partition compute seconds at the current f_C
+    "t_mem",        # partition un-stretched memory seconds at f_M
+)
+
+
+class ActivityState:
+    """One column per timing field, one row (slot) per core.
+
+    The per-slot constants (``stall_act``, ``cl_idx``) are fixed at
+    construction from the platform's core list: slot *i* always maps to
+    the same core, whose cluster membership and core-type stall
+    activity never change.
+    """
+
+    __slots__ = COLUMNS + ("n_slots", "stall_act", "cl_idx", "_views")
+
+    def __init__(
+        self,
+        n_slots: int,
+        stall_act: tuple[float, ...],
+        cl_idx: tuple[int, ...],
+    ) -> None:
+        self.n_slots = int(n_slots)
+        zeros = bytes(8 * self.n_slots)
+        for name in COLUMNS:
+            setattr(self, name, array("d", zeros))
+        #: Per-slot core-type ``stall_activity`` (power-model constant).
+        self.stall_act = tuple(float(v) for v in stall_act)
+        #: Per-slot dense cluster index (into the engine's cluster sums).
+        self.cl_idx = tuple(int(v) for v in cl_idx)
+        self._views: Optional[dict] = None
+
+    def reset_slot(self, i: int, now: float, noise: float) -> None:
+        """Clear slot ``i`` for a freshly started activity.  Slots are
+        reused across activities, so every column must be re-armed — a
+        stale ``bw_dem`` or ``pa`` would corrupt the engine's running
+        sums on the first delta update."""
+        self.frac[i] = 1.0
+        self.rate[i] = 0.0
+        self.last_upd[i] = now
+        self.stall_until[i] = 0.0
+        self.noise[i] = noise
+        self.mb[i] = 0.0
+        self.bwa[i] = 0.0
+        self.pa[i] = 0.0
+        self.bw_dem[i] = 0.0
+        self.t_comp[i] = 0.0
+        self.t_mem[i] = 0.0
+
+    def views(self) -> dict:
+        """Zero-copy ``numpy.float64`` views over the live columns
+        (plus a read-only ``stall_act`` constant array), built lazily
+        once.  ``np.frombuffer`` shares the ``array('d')`` buffers, so
+        vectorized writes land in the same storage the scalar path
+        reads."""
+        v = self._views
+        if v is None:
+            v = {name: np.frombuffer(getattr(self, name)) for name in COLUMNS}
+            v["stall_act"] = np.asarray(self.stall_act, dtype=np.float64)
+            self._views = v
+        return v

@@ -67,11 +67,19 @@ class Core:
     on every power evaluation, so attribute access cost matters.
     """
 
-    __slots__ = ("core_id", "cluster", "busy", "current_activity", "_online")
+    __slots__ = (
+        "core_id", "cluster", "slot", "busy", "current_activity", "_online"
+    )
 
     def __init__(self, core_id: int, cluster: "Cluster") -> None:
         self.core_id = core_id
         self.cluster = cluster
+        #: Dense index into ``Platform.cores``, assigned by the platform
+        #: at construction.  The execution engine keys its per-activity
+        #: structure-of-arrays store by this (one running activity per
+        #: core), so the hot start path reads an attribute instead of
+        #: hashing the core through a dict.
+        self.slot = -1
         self.busy = False
         #: Opaque handle to whatever the core is currently executing
         #: (an :class:`repro.exec_model.activity.Activity`); owned by the

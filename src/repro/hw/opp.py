@@ -27,6 +27,12 @@ class OppTable:
         if len(set(freqs)) != len(freqs):
             raise FrequencyError("duplicate frequencies in OPP table")
         self._freqs = freqs
+        # Exact-membership fast path: frequencies flowing through DVFS
+        # controllers and ``set_freq`` validation are OPP members passed
+        # around verbatim, so the common ``in`` check is one hash lookup;
+        # the tolerant linear scan below remains the fallback for values
+        # reconstructed through arithmetic.
+        self._exact = frozenset(freqs)
         # Snap results memoised per requested frequency: DVFS governors
         # and schedulers snap the same handful of targets over and over
         # (the table is immutable, so entries never invalidate).
@@ -51,7 +57,7 @@ class OppTable:
         return iter(self._freqs)
 
     def __contains__(self, f: float) -> bool:
-        return any(abs(f - g) < 1e-9 for g in self._freqs)
+        return f in self._exact or any(abs(f - g) < 1e-9 for g in self._freqs)
 
     def index(self, f: float) -> int:
         """Index of frequency ``f`` (exact OPP member, tolerant to fp)."""

@@ -75,6 +75,8 @@ class Platform:
         ids = [c.core_id for c in self.cores]
         if ids != list(range(len(ids))):
             raise ConfigurationError("core ids must be dense and ordered")
+        for i, c in enumerate(self.cores):
+            c.slot = i  # dense SoA slot (== core_id given the check above)
         # Clusters sharing a core-type name form an equivalence class:
         # the scheduler picks the *type*, the runtime may use any of its
         # clusters (this is what makes per-core-DVFS platforms — many

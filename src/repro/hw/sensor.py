@@ -120,11 +120,19 @@ class PowerSensor:
         noise_sigma: float = 0.02,
         rng: np.random.Generator | None = None,
         rails: tuple[str, ...] = ("cpu", "mem"),
+        read_pair_fn: Optional[Callable[[], tuple[float, float]]] = None,
     ) -> None:
         if interval_s <= 0:
             raise SimulationError("sensor interval must be positive")
         self.sim = sim
         self.read_fn = read_fn
+        #: Optional dict-free reader returning ``(cpu_w, mem_w)``; used
+        #: only while ``read_fn`` is still the constructor-supplied one
+        #: (fault injection wraps ``read_fn`` in place, which must win)
+        #: and the rail set is the standard pair.  Same values, same
+        #: noise draws — a pure allocation saving.
+        self.read_pair_fn = read_pair_fn if rails == ("cpu", "mem") else None
+        self._base_read = read_fn
         self.interval = float(interval_s)
         self.noise_sigma = float(noise_sigma)
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -185,6 +193,27 @@ class PowerSensor:
         self._pending = self.sim.schedule(self.interval, self._sample)
 
     def _accumulate(self, dt: float) -> None:
+        pair = self.read_pair_fn
+        if pair is not None and self.read_fn is self._base_read:
+            cpu_w, mem_w = pair()
+            sigma = self.noise_sigma
+            energy = self._energy
+            if sigma > 0:
+                buf, i = self._noise_buf, self._noise_i
+                if i + 2 > len(buf):
+                    buf = self._noise_buf = self.rng.standard_normal(256)
+                    i = 0
+                noise = 1.0 + sigma * buf[i]
+                energy["cpu"] += (cpu_w * noise if noise > 0.0 else 0.0) * dt
+                noise = 1.0 + sigma * buf[i + 1]
+                energy["mem"] += (mem_w * noise if noise > 0.0 else 0.0) * dt
+                self._noise_i = i + 2
+            else:
+                energy["cpu"] += cpu_w * dt
+                energy["mem"] += mem_w * dt
+            self.samples += 1
+            self.last_sample_time = self.sim.now
+            return
         true_powers = self.read_fn()
         if true_powers is None:  # dropped sample: the interval is lost
             self.dropped += 1

@@ -17,15 +17,18 @@ from repro.perf.harness import (
     git_rev,
 )
 from repro.perf.benchmarks import BENCHMARKS, run_benchmarks
+from repro.perf.profile import ProfileReport, profile_benchmarks
 
 __all__ = [
     "SCHEMA_VERSION",
     "BenchRecord",
     "GateResult",
     "PerfReport",
+    "ProfileReport",
     "BENCHMARKS",
     "ensure_repo_baseline",
     "gate_against_baseline",
     "git_rev",
+    "profile_benchmarks",
     "run_benchmarks",
 ]

@@ -1,6 +1,6 @@
 """The hot-path microbenchmarks behind ``repro perf``.
 
-Seven benchmarks, one per layer of the simulation-and-orchestration
+Eight benchmarks, one per layer of the simulation-and-orchestration
 hot path:
 
 ``event_loop``
@@ -8,9 +8,19 @@ hot path:
     self-rescheduling callback chains plus a cancellation stream, so
     both heap push/pop and tombstone handling are on the clock.
 ``state_changed``
-    Latency of one global re-timing pass (``ExecutionEngine
+    Latency of one state-change notification (``ExecutionEngine
     ._state_changed``) with every TX2 core busy, driven through real
     DVFS transitions so frequencies genuinely change between calls.
+    Re-timing is deferred (notifications between event pops coalesce
+    into one flush), so this is the cost of *marking*: coefficient
+    refresh + dirty-flagging.  The flush itself is ``retime``'s clock.
+``retime``
+    Latency of one deferred incremental re-timing flush: a DVFS
+    transition on one cluster followed by a power read that forces the
+    flush — dirty-scan, per-activity breakdown refresh, contention
+    re-derivation, completion-deadline maintenance, and the exact
+    energy-accountant update, i.e. the full ``_retime`` pass the
+    simulator runs before the next event pop.
 ``mpr_predict``
     :class:`~repro.models.mpr.PolynomialRegressor` throughput over a
     mix of batch ``predict`` and scalar ``predict_one`` calls (the two
@@ -58,8 +68,8 @@ from repro.perf.harness import BenchRecord, PerfError
 #: process paid), so it must fork from a parent that has not yet been
 #: warmed by the other benchmarks.
 BENCHMARKS = (
-    "sweep_throughput", "event_loop", "state_changed", "mpr_predict",
-    "batch_decision", "fig8_end_to_end", "obs_overhead",
+    "sweep_throughput", "event_loop", "state_changed", "retime",
+    "mpr_predict", "batch_decision", "fig8_end_to_end", "obs_overhead",
 )
 
 _FIG8_QUICK = {"workloads": ("hd-small",), "schedulers": ("GRWS", "JOSS")}
@@ -169,6 +179,51 @@ def bench_state_changed(quick: bool = False) -> BenchRecord:
         name="state_changed",
         metric="latency",
         unit="us/call",
+        value=best / n_calls * 1e6,
+        higher_is_better=False,
+        repeats=repeats,
+        raw=raw,
+        params={"n_calls": n_calls, "n_activities": 6},
+    )
+
+
+# ----------------------------------------------------------------------
+# retime
+# ----------------------------------------------------------------------
+def bench_retime(quick: bool = False) -> BenchRecord:
+    """One full deferred re-timing flush per iteration.
+
+    Each iteration changes one cluster's frequency (marking that
+    cluster's activities dirty and deferring) and immediately reads
+    rail power, which forces the flush: the dirty scan, breakdown
+    refresh for the re-clocked activities, contention re-derivation
+    (the demand shift moves the global factor, widening the affected
+    set), deadline maintenance on the calendar, and the accountant
+    update.  This is exactly the pass ``Simulator._pop_live`` triggers
+    before the next event fires, isolated from the event loop.
+    """
+    n_calls = 400 if quick else 2_000
+    repeats = 3
+
+    def one_pass() -> float:
+        engine, platform = _busy_engine()
+        cluster = platform.clusters[0]
+        freqs = cluster.opps.as_array()
+        lo, hi = float(freqs[0]), float(freqs[-1])
+        read = engine.rail_powers_pair
+        t0 = time.perf_counter()
+        for i in range(n_calls):
+            cluster.set_freq(lo if i % 2 else hi)
+            read()  # forces the deferred incremental flush
+        elapsed = time.perf_counter() - t0
+        engine.abort_all()
+        return elapsed
+
+    best, raw = _best(repeats, one_pass)
+    return BenchRecord(
+        name="retime",
+        metric="latency",
+        unit="us/flush",
         value=best / n_calls * 1e6,
         higher_is_better=False,
         repeats=repeats,
@@ -586,6 +641,7 @@ def bench_obs_overhead(quick: bool = False) -> BenchRecord:
 _RUNNERS: dict[str, Callable[[bool], BenchRecord]] = {
     "event_loop": bench_event_loop,
     "state_changed": bench_state_changed,
+    "retime": bench_retime,
     "mpr_predict": bench_mpr_predict,
     "batch_decision": bench_batch_decision,
     "fig8_end_to_end": bench_fig8_end_to_end,

@@ -229,9 +229,12 @@ class GateResult:
 
 
 #: Benchmarks gated by default: the most host-stable throughput metrics
-#: (ratios, not absolute wall times).
+#: (ratios, not absolute wall times), plus the two DES-core latency
+#: benchmarks (``state_changed``, ``retime``) — short fixed-iteration
+#: loops whose minima are stable enough to gate on.
 GATED_BENCHMARKS = (
     "event_loop", "sweep_throughput", "obs_overhead", "batch_decision",
+    "state_changed", "retime",
 )
 
 

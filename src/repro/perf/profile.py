@@ -1,0 +1,160 @@
+"""Profiling mode for ``repro perf`` (``--profile``).
+
+Runs the selected microbenchmarks under :mod:`cProfile` and reduces the
+stats to the top-N functions by cumulative time — the view that answers
+"where does the hot path actually spend its time" without anyone having
+to reconstruct the harness by hand.  The result is written as both a
+JSON artifact (stable schema, machine-diffable across PRs — CI uploads
+it from the perf-smoke job) and a human-readable text table.
+
+Profiled numbers are *not* comparable to the unprofiled benchmark
+values: cProfile adds per-call overhead that inflates call-heavy code
+relative to loop-heavy code.  Use the profile for *where*, the plain
+report for *how fast*.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.perf.harness import SCHEMA_VERSION, git_rev
+
+#: Rows kept in the artifact (both orderings are stored).
+DEFAULT_TOP = 30
+
+
+@dataclass
+class ProfileEntry:
+    """One function's aggregate profile line."""
+
+    func: str  #: ``file:lineno(name)`` — pstats' display form
+    ncalls: int  #: primitive + recursive call count
+    tottime: float  #: seconds inside the function itself
+    cumtime: float  #: seconds including callees
+
+    def to_dict(self) -> dict:
+        return {
+            "func": self.func,
+            "ncalls": self.ncalls,
+            "tottime": self.tottime,
+            "cumtime": self.cumtime,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Top-N profile of a ``repro perf`` benchmark run."""
+
+    benchmarks: tuple[str, ...]
+    quick: bool
+    rev: str
+    total_time: float
+    total_calls: int
+    by_cumulative: list[ProfileEntry] = field(default_factory=list)
+    by_tottime: list[ProfileEntry] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "profile",
+            "rev": self.rev,
+            "quick": self.quick,
+            "benchmarks": list(self.benchmarks),
+            "total_time": self.total_time,
+            "total_calls": self.total_calls,
+            "by_cumulative": [e.to_dict() for e in self.by_cumulative],
+            "by_tottime": [e.to_dict() for e in self.by_tottime],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSON artifact and a ``.txt`` sibling with the
+        rendered tables; returns the JSON path."""
+        p = Path(path)
+        p.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        p.with_suffix(".txt").write_text(self.render() + "\n")
+        return p
+
+    def render(self) -> str:
+        lines = [
+            f"profile @ {self.rev} "
+            f"({'quick' if self.quick else 'full'}; "
+            f"benchmarks: {', '.join(self.benchmarks)})",
+            f"  {self.total_calls} calls in {self.total_time:.3f}s "
+            f"(profiled — not comparable to unprofiled timings)",
+        ]
+        for title, entries in (
+            ("top by cumulative time", self.by_cumulative),
+            ("top by internal time", self.by_tottime),
+        ):
+            lines.append("")
+            lines.append(title)
+            lines.append(
+                f"  {'ncalls':>10} {'tottime':>9} {'cumtime':>9}  function"
+            )
+            for e in entries:
+                lines.append(
+                    f"  {e.ncalls:>10} {e.tottime:>9.4f} {e.cumtime:>9.4f}"
+                    f"  {e.func}"
+                )
+        return "\n".join(lines)
+
+
+def _entries(
+    stats: pstats.Stats, order: str, top: int
+) -> list[ProfileEntry]:
+    stats.sort_stats(order)
+    out: list[ProfileEntry] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        out.append(
+            ProfileEntry(
+                func=pstats.func_std_string(func),
+                ncalls=nc,
+                tottime=tt,
+                cumtime=ct,
+            )
+        )
+    return out
+
+
+def profile_benchmarks(
+    quick: bool = False,
+    benchmarks: Optional[Sequence[str]] = None,
+    top: int = DEFAULT_TOP,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ProfileReport:
+    """Run the selected benchmarks under cProfile; reduce to top-N.
+
+    The benchmark *records* are discarded — a profiled timing is not a
+    valid benchmark value (see module docstring); only the stats
+    survive.
+    """
+    from repro.perf.benchmarks import run_benchmarks
+
+    names = tuple(benchmarks) if benchmarks is not None else None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_benchmarks(quick=quick, benchmarks=names, progress=progress)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.calc_callees()
+    total_time = stats.total_tt  # type: ignore[attr-defined]
+    total_calls = stats.total_calls  # type: ignore[attr-defined]
+    from repro.perf.benchmarks import BENCHMARKS
+
+    return ProfileReport(
+        benchmarks=names if names is not None else BENCHMARKS,
+        quick=quick,
+        rev=git_rev(),
+        total_time=total_time,
+        total_calls=total_calls,
+        by_cumulative=_entries(stats, "cumulative", top),
+        by_tottime=_entries(stats, "tottime", top),
+    )

@@ -54,6 +54,7 @@ class Executor:
         engine_cache_size: int = 8192,
         obs=None,
         shared_breakdowns: Optional[dict] = None,
+        strict_retime: bool = False,
     ) -> None:
         self.platform = platform
         self.scheduler = scheduler
@@ -81,6 +82,7 @@ class Executor:
             duration_noise_sigma=duration_noise_sigma,
             cache_size=engine_cache_size,
             shared_breakdowns=shared_breakdowns,
+            strict_retime=strict_retime,
         )
         self.engine.on_complete = self._on_partition_done
         # One shared occupancy counter across all queues: workers skip
@@ -93,6 +95,12 @@ class Executor:
         self.workers: dict[int, Worker] = {
             c.core_id: Worker(self, c) for c in platform.cores
         }
+        # Dense list views of the same objects, indexed by ``Core.slot``
+        # (== core_id; the platform checks density at construction).
+        # Hot paths — dispatch, completion wake-ups, steal scans — index
+        # these instead of hashing through the public dicts.
+        self._queues = [self.queues[c.core_id] for c in platform.cores]
+        self._workers = [self.workers[c.core_id] for c in platform.cores]
         self.cluster_dvfs: dict[int, DvfsController] = {
             cl.cluster_id: DvfsController(
                 self.sim, cl, cpu_dvfs_latency_s, name=f"cpu{cl.cluster_id}",
@@ -123,6 +131,7 @@ class Executor:
             interval_s=sensor_interval_s,
             noise_sigma=sensor_noise_sigma,
             rng=self.rng.stream("sensor"),
+            read_pair_fn=self.engine.rail_powers_pair,
         )
         self.steal_rng = self.rng.stream("steal")
         self.place_rng = self.rng.stream("placement")
@@ -236,18 +245,19 @@ class Executor:
             if not cores:
                 cores = self.platform.cores_of_type(placement.core_type_name)
             core = cores[int(self.place_rng.integers(len(cores)))]
-        self.queues[core.core_id].push(task)
+        self._queues[core.slot].push(task)
         obs = self.sim.obs
         if obs.active:
             obs.emit(
                 "task_dispatched", self.sim.now,
                 task=task.tid, core=core.core_id,
             )
-        self.workers[core.core_id].wake()
+        workers = self._workers
+        workers[core.slot].wake()
         # Idle same-scope workers may steal it immediately.
         for other in self.scheduler.steal_candidates(core):
             if not other.busy:
-                self.workers[other.core_id].wake()
+                workers[other.slot].wake()
 
     def _on_partition_done(self, activity: Activity) -> None:
         part = activity.payload
@@ -262,7 +272,7 @@ class Executor:
         if task.partitions_remaining == 0:
             self._on_task_done(task)
         # The freed core looks for new work regardless.
-        self.workers[activity.core.core_id].wake()
+        self._workers[activity.core.slot].wake()
 
     def _on_task_done(self, task: Task) -> None:
         now = self.sim.now

@@ -86,8 +86,8 @@ class Worker:
         # all candidates is itself a uniform random permutation, so
         # filtering first is distribution-equivalent and skips the RNG
         # draw entirely when at most one victim has anything to take.
-        queues = ex.queues
-        pool = [c for c in candidates if queues[c.core_id]._q]
+        queues = ex._queues
+        pool = [c for c in candidates if queues[c.slot]._q]
         n = len(pool)
         if n == 0:
             return None
@@ -103,7 +103,7 @@ class Worker:
         else:
             order = ex.steal_rng.permutation(n)
             victim = pool[int(order[0])]
-        item = queues[victim.core_id].pop_steal()
+        item = queues[victim.slot].pop_steal()
         if item is None:  # raced empty (cannot happen serially)
             return None
         ex.metrics.steals += 1
@@ -131,8 +131,8 @@ class Worker:
             siblings = self._choose_siblings(n_cores - 1)
             for i, sib in enumerate(siblings):
                 part = TaskPartition(task, i + 1)
-                ex.queues[sib.core_id].push_front(part)
-                ex.workers[sib.core_id].wake()
+                ex._queues[sib.slot].push_front(part)
+                ex._workers[sib.slot].wake()
         ex.engine.start_activity(
             task.kernel,
             self.core,
@@ -147,7 +147,8 @@ class Worker:
             c for c in self.core.cluster.cores
             if c is not self.core and c.online
         ]
-        others.sort(key=lambda c: (c.busy, len(self.executor.queues[c.core_id])))
+        queues = self.executor._queues
+        others.sort(key=lambda c: (c.busy, len(queues[c.slot])))
         return others[:count]
 
     def _start_partition(self, part: TaskPartition) -> None:

@@ -1,28 +1,55 @@
-"""Event heap and simulation clock.
+"""Indexed event calendar and simulation clock.
 
 The engine is intentionally minimal: callbacks scheduled at absolute or
 relative simulated times, executed in deterministic order.  Ties at the
 same timestamp break first on an integer ``priority`` (lower runs
 earlier) and then on insertion order, which makes whole-system runs
 bit-reproducible for a fixed seed.
+
+The calendar is a C-level binary heap of ``(time, priority, seq, Event)``
+tuples, *keyed* by the event's own ``seq``: a heap entry is live only
+while its sequence number still matches its event's.  That single
+invariant gives three operations the lazy-tombstone heap of earlier
+versions could not express cheaply:
+
+- :meth:`Simulator.reschedule` is a decrease-key (or increase-key): it
+  re-stamps the same :class:`Event` handle with a fresh ``(time,
+  priority, seq)`` and pushes one new entry — the old entry dies by
+  sequence mismatch, with no new handle allocated and no callback churn
+  (the execution engine moves one completion deadline per re-timed
+  activity per pass, so this is the hottest mutation after ``schedule``);
+- :meth:`Event.cancel` invalidates the sequence too, so the pop loop
+  needs exactly one comparison (``entry_seq != event.seq``) to detect
+  both kinds of dead entry;
+- dead entries are *compacted* (filter + re-heapify, in place) once they
+  outnumber the live ones past a floor, so cancel/reschedule-heavy
+  phases cannot grow the heap without bound — the O(n) rebuild is
+  amortised O(1) per kill because at least half the heap dies with it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.obs.bus import EventBus
+
+#: Dead heap entries tolerated before compaction is even considered
+#: (below this the rebuild costs more than the tombstone pops it saves).
+_COMPACT_MIN_DEAD = 256
 
 
 class Event:
     """Handle for a scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and can be
-    cancelled.  A cancelled event stays in the heap as a tombstone and
-    is skipped when popped.
+    cancelled or re-keyed (:meth:`Simulator.reschedule`).  A dead heap
+    entry — cancelled, or superseded by a reschedule — is detected by
+    sequence mismatch when popped, and swept earlier if a compaction
+    runs.
     """
 
     __slots__ = (
@@ -49,16 +76,22 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so it will not fire.  Idempotent.
 
-        The live-count decrement is inlined (rather than calling back
-        into the simulator): re-timing cancels one completion event per
-        running activity per pass.  Events that already fired detach
-        from the simulator first, so late cancels cannot
-        double-decrement."""
+        Invalidates the sequence key (the heap entry keeps the original
+        number, so the match fails) and maintains the simulator's live
+        count inline rather than calling back into it: re-timing cancels
+        completion events in its innermost loop.  Events that already
+        fired detach from the simulator first, so late cancels cannot
+        double-decrement.  May trigger a calendar compaction when dead
+        entries dominate the heap."""
         if not self.cancelled:
             self.cancelled = True
+            self.seq = -1
             sim = self._sim
             if sim is not None:
-                sim._live -= 1
+                live = sim._live = sim._live - 1
+                heap = sim._heap
+                if len(heap) - live >= _COMPACT_MIN_DEAD and len(heap) > (live << 1):
+                    sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -92,14 +125,18 @@ class Simulator:
         # Heap entries are (time, priority, seq, Event) tuples: ties
         # resolve through C-level tuple comparison without ever calling
         # back into Python (``Event.__lt__`` is kept only for direct
-        # Event-vs-Event comparisons in user code).
+        # Event-vs-Event comparisons in user code).  An entry is live
+        # iff its seq still equals its event's seq (see module docs).
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._events_fired = 0
-        # Live (pending, non-cancelled) event count; maintained on
-        # push/cancel/fire so pending_count is O(1).
+        # Live (pending, non-dead) event count; maintained on
+        # push/cancel/fire so pending_count is O(1).  The dead-entry
+        # count needs no field of its own: it is len(_heap) - _live.
         self._live = 0
+        #: Calendar compactions performed (observability/testing).
+        self.compactions = 0
         # Optional pre-pop hook, set by a component that defers derived
         # event maintenance (the execution engine's lazy re-timing, see
         # ``ExecutionEngine._flush_if_needed``).  Called with the head
@@ -116,7 +153,7 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Number of callbacks executed so far (tombstones excluded)."""
+        """Number of callbacks executed so far (dead entries excluded)."""
         return self._events_fired
 
     def schedule(
@@ -138,7 +175,7 @@ class Simulator:
         time = self._now + delay
         seq = next(self._seq)
         ev = Event(time, priority, seq, callback, args, sim=self)
-        heapq.heappush(self._heap, (time, priority, seq, ev))
+        _heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
         return ev
 
@@ -156,27 +193,59 @@ class Simulator:
             )
         seq = next(self._seq)
         ev = Event(time, priority, seq, callback, args, sim=self)
-        heapq.heappush(self._heap, (time, priority, seq, ev))
+        _heappush(self._heap, (time, priority, seq, ev))
         self._live += 1
         return ev
 
+    def reschedule(self, ev: Event, delay: float, priority: int = 0) -> Event:
+        """Move a pending event to ``now + delay`` (the calendar's
+        decrease-key): the same handle is re-stamped with a fresh
+        ``(time, priority, seq)`` and one new heap entry is pushed; the
+        superseded entry dies by sequence mismatch.  The live count is
+        untouched — the handle still represents exactly one pending
+        callback.  Returns ``ev`` for symmetry with :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot reschedule into the past (delay={delay})")
+        if ev.cancelled or ev._sim is not self:
+            raise SimulationError("cannot reschedule a cancelled or fired event")
+        time = self._now + delay
+        seq = next(self._seq)
+        ev.time = time
+        ev.priority = priority
+        ev.seq = seq
+        heap = self._heap
+        _heappush(heap, (time, priority, seq, ev))
+        live = self._live
+        if len(heap) - live >= _COMPACT_MIN_DEAD and len(heap) > (live << 1):
+            self._compact()
+        return ev
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its dead entries, in place (hot
+        loops hold a local binding to the list), and restore the heap
+        invariant.  Amortised O(1) per dead entry: only triggered when
+        at least half the heap dies with the rebuild."""
+        heap = self._heap
+        heap[:] = [e for e in heap if e[2] == e[3].seq]
+        heapq.heapify(heap)
+        self.compactions += 1
+
     def peek(self) -> Optional[float]:
-        """Time of the next pending (non-cancelled) event, or ``None``."""
-        self._pre_pop()
+        """Time of the next pending (live) event, or ``None``."""
+        self._settle()
         return self._heap[0][0] if self._heap else None
 
-    def _drop_tombstones(self) -> None:
+    def _settle(self) -> None:
+        """Cold-path calendar maintenance for :meth:`peek` /
+        :meth:`pending_count`: drop dead head entries and give the flush
+        hook (if any) a chance to materialise deferred events before the
+        head is examined.  The hot-path twin of this logic lives in
+        :meth:`_pop_live` (which must also pop and fire)."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-
-    def _pre_pop(self) -> None:
-        """Drop tombstones and give the flush hook (if any) a chance to
-        materialise deferred events before the head is examined."""
-        heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
         while True:
+            while heap and heap[0][2] != heap[0][3].seq:
+                _heappop(heap)
             f = self.flush_fn
             if f is None:
                 return
@@ -187,19 +256,53 @@ class Simulator:
                 flushed = f(None, 0)
             if not flushed:
                 return
-            while heap and heap[0][3].cancelled:
-                heapq.heappop(heap)
+
+    def _pop_live(self, until: Optional[float] = None) -> Optional[Event]:
+        """Settle the calendar head and pop the next live event.
+
+        This is the single copy of the dead-entry skip / flush-hook
+        dance shared by :meth:`step` and :meth:`run` (two hand-inlined
+        copies drifted once).  Returns the popped :class:`Event` with
+        the clock already advanced to it, or ``None`` when no live
+        events remain or the next one lies beyond ``until`` (the clock
+        is then advanced exactly to ``until``).
+        """
+        heap = self._heap
+        while True:
+            # A dead entry (cancelled or superseded by reschedule) is
+            # detected by one comparison: its frozen seq no longer
+            # matches its event's.
+            while heap and heap[0][2] != heap[0][3].seq:
+                _heappop(heap)
+            f = self.flush_fn
+            if f is not None:
+                if heap:
+                    head = heap[0]
+                    flushed = f(head[0], head[1])
+                else:
+                    flushed = f(None, 0)
+                if flushed:
+                    continue  # the flush may have moved/killed the head
+            if not heap:
+                return None
+            entry = heap[0]
+            time = entry[0]
+            if until is not None and time > until:
+                self._now = until
+                return None
+            _heappop(heap)
+            ev = entry[3]
+            ev._sim = None  # fired: a later cancel() must not touch _live
+            self._live -= 1
+            self._now = time
+            self._events_fired += 1
+            return ev
 
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if none remain."""
-        self._pre_pop()
-        if not self._heap:
+        ev = self._pop_live()
+        if ev is None:
             return False
-        time, _prio, _seq, ev = heapq.heappop(self._heap)
-        ev._sim = None  # fired: a later cancel() must not touch _live
-        self._live -= 1
-        self._now = time
-        self._events_fired += 1
         ev.callback(*ev.args)
         return True
 
@@ -214,41 +317,14 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
-        heap = self._heap
-        heappop = heapq.heappop
+        pop_live = self._pop_live
         try:
-            # The pop/fire sequence AND the _pre_pop maintenance are
-            # inlined (rather than delegating to step()/_pre_pop, which
-            # would re-scan tombstones and pay a call per event) — this
-            # loop is the whole-simulation hot path.
             while True:
-                while heap and heap[0][3].cancelled:
-                    heappop(heap)
-                f = self.flush_fn
-                while f is not None:
-                    if heap:
-                        head = heap[0]
-                        flushed = f(head[0], head[1])
-                    else:
-                        flushed = f(None, 0)
-                    if not flushed:
-                        break
-                    while heap and heap[0][3].cancelled:
-                        heappop(heap)
-                    f = self.flush_fn  # the flush may re-arm or clear it
-                if not heap:
-                    break
-                nxt = heap[0][0]
-                if until is not None and nxt > until:
-                    self._now = until
-                    break
                 if max_events is not None and fired >= max_events:
                     break
-                time, _prio, _seq, ev = heappop(heap)
-                ev._sim = None  # fired: a later cancel() must not touch _live
-                self._live -= 1
-                self._now = time
-                self._events_fired += 1
+                ev = pop_live(until)
+                if ev is None:
+                    break
                 ev.callback(*ev.args)
                 fired += 1
         finally:
@@ -257,6 +333,6 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events in the heap.  O(1):
         maintained incrementally on push, cancel and fire rather than
-        scanning a heap that can be mostly tombstones."""
-        self._pre_pop()  # materialise any deferred events first
+        scanning a heap that can be partly dead entries."""
+        self._settle()  # materialise any deferred events first
         return self._live

@@ -1,0 +1,184 @@
+"""Incremental vs strict re-timing: bit-identical, by construction.
+
+The execution engine's incremental path re-times only the activities
+whose breakdown inputs changed (plus everything when the global
+contention factor moves); ``strict_retime=True`` re-times every running
+activity on every state change.  Because materialisation skips by
+value, both must produce *byte-identical* results — same completion
+instants, same exact energies, same trace — under any interleaving of
+DVFS changes, completions, stalls, and fault-driven core unplugs.
+
+Two layers of evidence:
+
+- an engine-level property test driving both engines through the same
+  randomly generated op script (Hypothesis);
+- full ``Executor`` runs — plain, cache-off, vectorized-forced, and
+  under fault campaigns — compared field-by-field including the event
+  trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec_model import ExecutionEngine, KernelSpec
+from repro.hw import jetson_tx2
+from repro.sim import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+KERNELS = (
+    KernelSpec("eq.compute", w_comp=0.9, w_bytes=0.002),
+    KernelSpec("eq.memory", w_comp=0.05, w_bytes=0.06),
+    KernelSpec("eq.mixed", w_comp=0.3, w_bytes=0.02,
+               type_affinity={"denver": 1.25}),
+)
+
+
+# ----------------------------------------------------------------------
+# Engine-level property test
+# ----------------------------------------------------------------------
+def _fresh(strict: bool):
+    tx2 = jetson_tx2()
+    sim = Simulator()
+    eng = ExecutionEngine(
+        sim, tx2, RngStreams(13), duration_noise_sigma=0.02,
+        strict_retime=strict,
+    )
+    done: list[tuple[float, int]] = []
+    eng.on_complete = lambda a: done.append((sim.now, a.slot))
+    return sim, tx2, eng, done
+
+
+def _apply(op, sim, tx2, eng):
+    """Replay one scripted op; guards keep the script valid on any
+    engine state (both engines share state by induction, so the guards
+    take the same branch on both)."""
+    kind = op[0]
+    if kind == "cpu_freq":
+        cl = tx2.clusters[op[1] % len(tx2.clusters)]
+        cl.set_freq(cl.opps.at(op[2] % len(cl.opps)))
+    elif kind == "mem_freq":
+        mem = tx2.memory
+        mem.set_freq(mem.opps.at(op[1] % len(mem.opps)))
+    elif kind == "start":
+        core = tx2.cores[op[1] % len(tx2.cores)]
+        if not core.busy and core.online:
+            eng.start_activity(KERNELS[op[2] % len(KERNELS)], core)
+    elif kind == "stall":
+        if op[1] is None:
+            eng.stall_activities(None, op[2])
+        else:
+            core = tx2.cores[op[1] % len(tx2.cores)]
+            eng.stall_activities((core,), op[2])
+    elif kind == "unplug":
+        core = tx2.cores[op[1] % len(tx2.cores)]
+        core.online = not core.online
+    elif kind == "advance":
+        sim.run(until=sim.now + op[1])
+    else:  # pragma: no cover - script generator bug
+        raise AssertionError(kind)
+
+
+_OPS = st.one_of(
+    st.tuples(st.just("cpu_freq"), st.integers(0, 7), st.integers(0, 15)),
+    st.tuples(st.just("mem_freq"), st.integers(0, 15)),
+    st.tuples(st.just("start"), st.integers(0, 7), st.integers(0, 7)),
+    st.tuples(
+        st.just("stall"),
+        st.one_of(st.none(), st.integers(0, 7)),
+        st.sampled_from((1e-4, 3e-4, 2e-3)),
+    ),
+    st.tuples(st.just("unplug"), st.integers(0, 7)),
+    st.tuples(st.just("advance"), st.sampled_from((5e-4, 2e-3, 8e-3))),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_OPS, min_size=4, max_size=40))
+def test_property_incremental_equals_strict(script):
+    """Any interleaving of DVFS moves, starts, stalls, unplugs and time
+    advances produces byte-identical completions and exact energies."""
+    results = []
+    for strict in (False, True):
+        sim, tx2, eng, done = _fresh(strict)
+        for op in script:
+            _apply(op, sim, tx2, eng)
+        sim.run()  # drain: all activities and stall-ends fire
+        eng.finalize()
+        acc = eng.accountant
+        results.append(
+            (sim.now, tuple(done), acc.energy("cpu"), acc.energy("mem"))
+        )
+    incremental, strict_ref = results
+    assert incremental == strict_ref  # ==, not approx: bit-identical
+
+
+# ----------------------------------------------------------------------
+# Full-executor equivalence (metrics + trace), incl. fault campaigns
+# ----------------------------------------------------------------------
+def _metrics_tuple(m):
+    return (
+        m.makespan, m.cpu_energy, m.mem_energy,
+        m.cpu_energy_exact, m.mem_energy_exact,
+        m.tasks_executed, m.steals,
+        m.cluster_freq_transitions, m.memory_freq_transitions,
+    )
+
+
+def _run_executor(strict: bool, *, faults=None, cache=8192, vec_min=None):
+    from repro.bench.runner import BenchConfig
+    from repro.runtime.executor import Executor
+    from repro.schedulers.registry import make_scheduler, needs_suite
+    from repro.workloads.registry import build_workload
+
+    cfg = BenchConfig(scale=0.25, seed=5, workload_seed=17)
+    name = "JOSS"
+    suite = cfg.suite() if needs_suite(name) else None
+    sched = make_scheduler(name, suite, **cfg.scheduler_kwargs)
+    graph = build_workload("hd-small", scale=cfg.scale, seed=cfg.workload_seed)
+    tracer = Tracer()
+    ex = Executor(
+        cfg.platform_factory(), sched, seed=cfg.seed, tracer=tracer,
+        faults=faults, engine_cache_size=cache, strict_retime=strict,
+    )
+    if vec_min is not None:
+        ex.engine.vector_min = vec_min
+    m = ex.run(graph)
+    trace = tuple((r.time, r.category, tuple(sorted(r.payload.items())))
+                  for r in tracer)
+    return _metrics_tuple(m), trace
+
+
+@pytest.mark.parametrize("cache", [8192, 0])
+def test_executor_incremental_equals_strict(cache):
+    inc = _run_executor(False, cache=cache)
+    ref = _run_executor(True, cache=cache)
+    assert inc == ref
+
+
+def test_executor_vectorized_equals_scalar():
+    """Forcing every materialisation through the NumPy path changes
+    nothing — the two code paths are bit-identical."""
+    scalar = _run_executor(False)
+    vec = _run_executor(False, vec_min=1)
+    strict_vec = _run_executor(True, vec_min=1)
+    assert scalar == vec == strict_vec
+
+
+def test_executor_equivalence_under_faults():
+    """Fault campaigns (core unplug mid-run, stuck DVFS) exercise the
+    engine's widening rules; strict and incremental must still agree on
+    every metric and every trace record."""
+    from repro.faults.campaigns import builtin_campaigns
+
+    base, _ = _run_executor(False)
+    makespan = base[0]
+    campaigns = builtin_campaigns(makespan, seed=3)
+    for name in ("core-unplug", "dvfs-stuck"):
+        campaign = campaigns[name]
+        inc = _run_executor(False, faults=campaign)
+        ref = _run_executor(True, faults=campaign)
+        assert inc == ref, name

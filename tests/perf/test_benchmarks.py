@@ -11,8 +11,9 @@ from repro.perf.harness import PerfError
 
 def test_benchmark_registry_names():
     assert set(BENCHMARKS) == {
-        "event_loop", "state_changed", "mpr_predict", "fig8_end_to_end",
-        "sweep_throughput", "obs_overhead", "batch_decision",
+        "event_loop", "state_changed", "retime", "mpr_predict",
+        "fig8_end_to_end", "sweep_throughput", "obs_overhead",
+        "batch_decision",
     }
 
 

@@ -176,3 +176,114 @@ def test_property_clock_monotone_and_order_sorted(delays):
     assert len(times) == len(delays)
     assert times == sorted(times)
     assert sim.now == max(delays)
+
+
+# ----------------------------------------------------------------------
+# Indexed calendar: cancel-then-step, reschedule, compaction
+# ----------------------------------------------------------------------
+def test_cancel_then_step_skips_tombstone():
+    """``step()`` (through the shared ``_pop_live`` helper) must fire
+    the next *live* event, not stop on a tombstone at the heap head."""
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "alive")
+    head.cancel()
+    assert sim.step() is True  # one live event fired, tombstone skipped
+    assert fired == ["alive"]
+    assert sim.now == 2.0
+    assert sim.step() is False  # calendar drained
+
+
+def test_cancel_all_then_step_returns_false():
+    sim = Simulator()
+    evs = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    for ev in evs:
+        ev.cancel()
+    assert sim.step() is False
+    assert sim.events_fired == 0
+
+
+def test_reschedule_moves_event_both_directions():
+    """Reschedule is the calendar's decrease-key: the same handle moves
+    earlier or later and fires exactly once at its final time."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.reschedule(ev, 1.0)  # earlier
+    sim.run()
+    assert fired == [1.0]
+
+    sim2 = Simulator()
+    fired2 = []
+    ev2 = sim2.schedule(1.0, lambda: fired2.append(sim2.now))
+    sim2.reschedule(ev2, 7.0)  # later
+    sim2.schedule(2.0, lambda: fired2.append(sim2.now))
+    sim2.run()
+    assert fired2 == [2.0, 7.0]
+
+
+def test_reschedule_keeps_live_count_exact():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    for i in range(10):
+        sim.reschedule(ev, 1.0 + 0.1 * i)
+    assert sim.pending_count() == 1  # one handle == one pending callback
+    sim.run()
+    assert sim.events_fired == 1
+
+
+def test_reschedule_cancelled_or_fired_rejected():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    with pytest.raises(SimulationError):
+        sim.reschedule(ev, 2.0)
+    fired_ev = sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.reschedule(fired_ev, 2.0)
+    with pytest.raises(SimulationError):
+        sim.reschedule(sim.schedule(1.0, lambda: None), -0.5)
+
+
+def test_reschedule_priority_applies_at_new_key():
+    sim = Simulator()
+    order = []
+    ev = sim.schedule(5.0, order.append, "moved")
+    sim.schedule(1.0, order.append, "later", priority=0)
+    sim.reschedule(ev, 1.0, priority=-1)  # same time, higher priority
+    sim.run()
+    assert order == ["moved", "later"]
+
+
+def test_compaction_sweeps_dead_entries():
+    """When tombstones dominate, the calendar rebuilds in place; the
+    live set and firing order are unaffected."""
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(100.0 + i, fired.append, i) for i in range(4)]
+    # Dead entries well past the compaction threshold.
+    for _ in range(3):
+        evs = [sim.schedule(1.0, lambda: None) for _ in range(300)]
+        for ev in evs:
+            ev.cancel()
+    assert sim.compactions >= 1
+    assert sim.pending_count() == len(keep)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+
+
+def test_reschedule_churn_triggers_compaction():
+    """A reschedule-heavy workload (the engine's deadline maintenance)
+    leaves superseded entries behind; compaction must reclaim them
+    without losing the handle."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10.0, lambda: fired.append(sim.now))
+    for i in range(2000):
+        sim.reschedule(ev, 10.0 + (i % 7) * 0.5)
+    assert sim.compactions >= 1
+    assert sim.pending_count() == 1
+    sim.run()
+    assert len(fired) == 1
