@@ -47,6 +47,9 @@ _FACADE = {
     "load_suite": ("repro.models.io", "load_suite"),
     "run_sweep": ("repro.sweep.engine", "run_sweep"),
     "observe": ("repro.obs.api", "observe"),
+    "parse_goal": ("repro.core.goals", "parse_goal"),
+    "DeadlineGoal": ("repro.core.goals", "DeadlineGoal"),
+    "ArrivalSpec": ("repro.workloads.arrivals", "ArrivalSpec"),
 }
 
 __all__ = ["__version__", *_FACADE]

@@ -45,6 +45,10 @@ class BenchConfig:
     workload_seed: int = 3
     profile_seed: int = 0
     scheduler_kwargs: dict = field(default_factory=dict)
+    #: Optional open-arrival stream applied to every run built from this
+    #: config (an :class:`repro.workloads.arrivals.ArrivalSpec`, its
+    #: dict form, or ``()`` for the closed system).
+    arrivals: object = ()
     _suite_memo: Optional[ModelSuite] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -105,7 +109,14 @@ class BenchConfig:
             repetition=repetition,
             scheduler_kwargs=self.scheduler_kwargs,
             workload_overrides=workload_overrides,
+            arrivals=self.arrivals,
         )
+
+    def arrival_spec(self):
+        """The config's :class:`~repro.workloads.arrivals.ArrivalSpec`,
+        or ``None`` for the closed system (round-trips through the
+        canonical JobSpec form so every accepted shape is honoured)."""
+        return self.job_spec("_", "_").arrival_spec()
 
 
 def run_one(
@@ -119,11 +130,22 @@ def run_one(
     cfg = config or BenchConfig()
     suite = cfg.suite() if needs_suite(scheduler_name) else None
     sched = make_scheduler(scheduler_name, suite, **cfg.scheduler_kwargs)
-    graph = build_workload(
-        workload, scale=cfg.scale, seed=cfg.workload_seed, **workload_overrides
-    )
+    arrival_spec = cfg.arrival_spec()
+    plan = None
+    if arrival_spec is not None:
+        plan = arrival_spec.build(
+            workload, scale=cfg.scale, workload_seed=cfg.workload_seed,
+            overrides=workload_overrides,
+        )
+        graph = plan.graph
+    else:
+        graph = build_workload(
+            workload, scale=cfg.scale, seed=cfg.workload_seed,
+            **workload_overrides,
+        )
     ex = Executor(
-        cfg.platform_factory(), sched, seed=cfg.seed + 1000 * repetition
+        cfg.platform_factory(), sched, seed=cfg.seed + 1000 * repetition,
+        arrivals=plan,
     )
     return ex.run(graph)
 
@@ -146,6 +168,11 @@ def run(
     * ``"fb/JOSS"`` or ``("fb", "JOSS")`` — one grid point; returns the
       repetition-averaged :class:`RunMetrics` (``**overrides`` are
       workload overrides).
+    * a :class:`repro.sweep.spec.JobSpec` — the very same object the
+      sweep engine and the serve daemon accept; returns the
+      repetition-averaged :class:`RunMetrics` for that job (its
+      platform/seeds/faults/arrivals are taken from the spec, not the
+      config).
     * ``(workloads, schedulers)`` where both elements are sequences —
       the full grid; returns ``{workload: {scheduler: RunMetrics}}``.
     * ``"fig8"`` (any :data:`repro.bench.experiments.ALL` name) — a
@@ -164,6 +191,15 @@ def run(
         cfg = replace(cfg, repetitions=int(repeats))
     scope = obs.as_current() if obs is not None else nullcontext()
     with scope:
+        from repro.sweep.spec import JobSpec
+
+        if isinstance(spec, JobSpec):
+            if overrides:
+                raise TypeError(
+                    "workload overrides belong inside the JobSpec "
+                    "(workload_overrides=...), not as **overrides"
+                )
+            return _run_job_spec(spec, cfg)
         if isinstance(spec, str):
             if "/" in spec:
                 workload, _, scheduler = spec.partition("/")
@@ -183,6 +219,27 @@ def run(
         f"scheduler', (workload, scheduler), (workloads, schedulers) "
         f"or an experiment name"
     )
+
+
+def _run_job_spec(spec, cfg: BenchConfig) -> RunMetrics:
+    """Average a single :class:`JobSpec` over ``cfg.repetitions``.
+
+    The spec is the source of truth for everything but the repetition
+    count; repetitions re-seed exactly like :func:`_run_averaged`.
+    """
+    from repro.sweep.engine import run_sweep
+
+    reps = max(1, int(cfg.repetitions))
+    jobs = (
+        [spec] if reps == 1
+        else [replace(spec, repetition=r) for r in range(reps)]
+    )
+    result = run_sweep(jobs, workers=0)
+    result.raise_on_failure()
+    avg = average_run_metrics(result.metrics())
+    avg.scheduler = spec.scheduler
+    avg.workload = spec.workload
+    return avg
 
 
 def _run_experiment(name: str, cfg: BenchConfig, **kwargs):

@@ -38,7 +38,7 @@ from typing import Optional, Sequence
 
 from repro.bench.experiments import ALL as ALL_EXPERIMENTS
 from repro.bench.runner import BenchConfig, run as bench_run
-from repro.schedulers.registry import scheduler_names
+from repro.schedulers.registry import joss_goal_name, scheduler_names
 from repro.version import __version__
 from repro.workloads.registry import workload_names
 
@@ -64,7 +64,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _classify_run_names(args: argparse.Namespace) -> tuple[str, list[str]]:
     """Sort the ``run`` subcommand's positional names into one workload
-    and 1+ schedulers (case-insensitive; ``-w`` / ``-s`` still work)."""
+    and 1+ schedulers (case-insensitive; ``-w`` / ``-s`` still work).
+    ``--goal`` appends the matching dynamic JOSS variant."""
     from repro.errors import ReproError
 
     wl_by_lower = {w.lower(): w for w in workload_names()}
@@ -77,34 +78,66 @@ def _classify_run_names(args: argparse.Namespace) -> tuple[str, list[str]]:
             workloads.append(wl_by_lower[low])
         elif low in sc_by_lower:
             schedulers.append(sc_by_lower[low])
-        elif low.startswith("joss"):
-            # Dynamic JOSS variants (JOSS_1.4x, JOSS_cap4W, ...) resolve
-            # in the scheduler registry, not in scheduler_names().
+        elif joss_goal_name(name) is not None:
+            # Dynamic JOSS variants (JOSS_1.4x, JOSS_deadline-0.05s,
+            # JOSS_powercap-4W, ...): any `JOSS_` + goal spelling the
+            # registry can resolve, not listed in scheduler_names().
             schedulers.append(name)
         else:
             raise ReproError(
                 f"{name!r} is neither a workload ({sorted(wl_by_lower.values())}) "
                 f"nor a scheduler ({sorted(sc_by_lower.values())})"
             )
+    if getattr(args, "goal", None):
+        from repro.core.goals import goal_spec
+
+        schedulers.append(f"JOSS_{goal_spec(args.goal).name}")
     if len(workloads) != 1 or not schedulers:
         raise ReproError(
             "run needs exactly one workload and at least one scheduler, "
             f"got workloads={workloads} schedulers={schedulers} "
-            "(positional names, or -w/-s)"
+            "(positional names, -w/-s, or --goal)"
         )
     return workloads[0], schedulers
 
 
+def _arrival_spec(args: argparse.Namespace):
+    """Build the :class:`~repro.workloads.arrivals.ArrivalSpec` the
+    ``--arrivals`` flag family describes, or ``()`` (closed system)."""
+    if not getattr(args, "arrivals", None):
+        return ()
+    from repro.workloads.arrivals import ArrivalSpec
+
+    return ArrivalSpec(
+        pattern=args.arrivals,
+        rate=args.arrival_rate,
+        count=args.arrival_count,
+        deadline=args.arrival_deadline,
+        workloads=tuple(args.arrival_workloads or ()),
+        seed=args.arrival_seed,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     workload, schedulers = _classify_run_names(args)
+    arrivals = _arrival_spec(args)
     cfg = BenchConfig(
         platform_factory=_platform_factory(args),
         scale=args.scale, repetitions=args.repetitions, seed=args.seed,
+        arrivals=arrivals,
     )
-    print(
+    line = (
         f"platform={args.platform} scale={args.scale} "
         f"reps={args.repetitions} seed={args.seed}"
     )
+    if arrivals:
+        line += (
+            f" arrivals={arrivals.pattern}x{arrivals.count}"
+            f"@{arrivals.rate:g}/s"
+        )
+        if arrivals.deadline is not None:
+            line += f" deadline={arrivals.deadline:g}s"
+    print(line)
     baseline = None
     results = []
     for sched in schedulers:
@@ -116,6 +149,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elif baseline > 0:
             line += f" | vs first: {m.total_energy / baseline:.3f}x"
         print(line)
+        if m.dags_arrived:
+            print(
+                f"    arrivals: {m.dags_arrived} released, "
+                f"{m.dags_completed} completed, "
+                f"{m.deadline_misses} missed deadline | tardiness "
+                f"sum {m.total_tardiness:.4f}s max {m.max_tardiness:.4f}s"
+            )
         if args.verbose and "decisions" in m.extras:
             for k, d in sorted(m.extras["decisions"].items()):
                 print(f"    {k:24s} -> {d}")
@@ -174,6 +214,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scales=tuple(args.scale),
         repetitions=args.repetitions,
         seed=args.seed,
+        arrivals=_arrival_spec(args),
     )
     print(f"sweep: {spec.describe()}  [grid {spec.sweep_hash[:12]}]")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -569,12 +610,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         workload=args.workload, scheduler=args.scheduler,
         platform=args.platform, scale=args.scale, seed=args.seed,
         repetition=args.repetition,
+        arrivals=_arrival_spec(args),
     )
     with ServeClient(_serve_addr(args), tenant=args.tenant) as client:
         if args.follow:
             stream = client.submit(
                 spec, priority=args.priority, timeout=args.timeout,
-                follow=True,
+                deadline=args.deadline, follow=True,
             )
             job = None
             for kind, doc in stream:
@@ -590,7 +632,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     job = doc
         else:
             job = client.submit(
-                spec, priority=args.priority, timeout=args.timeout
+                spec, priority=args.priority, timeout=args.timeout,
+                deadline=args.deadline,
             )
             if args.wait and job["state"] not in TERMINAL_STATES:
                 job = client.wait(job["id"])
@@ -799,6 +842,36 @@ def _common_options(seed_default: int = 11) -> argparse.ArgumentParser:
     return parent
 
 
+def _arrival_options() -> argparse.ArgumentParser:
+    """Parent parser for the ``--arrivals`` flag family shared by
+    ``run``/``sweep``/``submit`` (open arrival-driven workloads; see
+    :mod:`repro.workloads.arrivals`)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("open arrivals (default: closed system)")
+    g.add_argument("--arrivals", default=None,
+                   choices=("poisson", "bursty", "heavy"),
+                   help="release DAG instances over simulated time with "
+                        "this inter-arrival pattern instead of everything "
+                        "at t=0")
+    g.add_argument("--arrival-rate", type=float, default=50.0,
+                   metavar="PER_S",
+                   help="mean arrivals per simulated second "
+                        "(default: %(default)s)")
+    g.add_argument("--arrival-count", type=int, default=8, metavar="N",
+                   help="DAG instances to release (default: %(default)s)")
+    g.add_argument("--arrival-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="relative deadline of each instance; enables "
+                        "deadline-miss/tardiness accounting")
+    g.add_argument("--arrival-workloads", nargs="+", default=None,
+                   metavar="NAME",
+                   help="multi-tenant mix drawn per arrival (default: "
+                        "the run's workload only)")
+    g.add_argument("--arrival-seed", type=int, default=0,
+                   help="seed of the arrival-time/mix RNG streams")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -807,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", action="version", version=__version__)
     sub = p.add_subparsers(dest="command", required=True)
     common = _common_options()
+    arrival = _arrival_options()
     # Separate instance for subcommands whose deterministic default seed
     # is 0 (profile/validate): parents share action objects, so a
     # set_defaults() on one child would leak into every sibling.
@@ -815,7 +889,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads, schedulers, experiments")
 
     run_p = sub.add_parser(
-        "run", parents=[common], help="run scheduler(s) on a workload"
+        "run", parents=[common, arrival],
+        help="run scheduler(s) on a workload",
     )
     run_p.add_argument(
         "names", nargs="*", metavar="NAME",
@@ -829,6 +904,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--repetitions", type=int, default=2)
+    run_p.add_argument(
+        "--goal", default=None, metavar="GOAL",
+        help="run the JOSS variant selecting for this goal (e.g. "
+             "min-total-energy, maxp, perf-1.4x, powercap-4W, "
+             "deadline-0.05s); appended to -s/--scheduler",
+    )
     run_p.add_argument("-v", "--verbose", action="store_true",
                        help="print per-kernel configuration decisions")
 
@@ -863,7 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "chrome://tracing) to this path")
 
     sweep_p = sub.add_parser(
-        "sweep", parents=[common],
+        "sweep", parents=[common, arrival],
         help="run a (workload x scheduler x scale) grid, parallel + cached",
     )
     sweep_p.add_argument(
@@ -1090,7 +1171,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="tenant identity for fair-share accounting")
 
     submit_p = sub.add_parser(
-        "submit", parents=[common, client_common],
+        "submit", parents=[common, client_common, arrival],
         help="submit one job to a running `repro serve` daemon",
     )
     submit_p.add_argument("workload", choices=workload_names())
@@ -1103,6 +1184,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="higher runs earlier within your tenant share")
     submit_p.add_argument("--timeout", type=float, default=None,
                           help="per-job wall-clock budget in seconds")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="scheduling deadline (seconds from "
+                               "submission): earlier-deadline jobs of equal "
+                               "priority leave your tenant's queue first")
     submit_p.add_argument("--follow", action="store_true",
                           help="stream the job's progress events until it "
                                "finishes")

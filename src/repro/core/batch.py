@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.goals import (
     Concurrency,
+    DeadlineGoal,
     MaxPerformance,
     MaxPerformanceUnderPowerCap,
     MinCpuEnergy,
@@ -141,6 +142,8 @@ def batch_select(
         )
     if kind is MaxPerformanceUnderPowerCap:
         return _select_power_cap(tables_by_kernel, goal, selector, concurrency)
+    if kind is DeadlineGoal:
+        return _select_deadline(tables_by_kernel, goal, selector, concurrency)
     return {
         kname: goal.select(tables, selector, concurrency)
         for kname, tables in tables_by_kernel.items()
@@ -242,6 +245,38 @@ def _select_power_cap(
     if unsat:
         fallback = _select_many(_grids_of(unsat, power_grid), selector)
         results.update(_demand_feasible(fallback, goal))
+    return results  # type: ignore[return-value]
+
+
+def _select_deadline(
+    tables_by_kernel: TablesByKernel,
+    goal: DeadlineGoal,
+    selector: Selector,
+    concurrency: Concurrency,
+) -> dict[str, SelectionResult]:
+    feasible = _grids_of(
+        tables_by_kernel,
+        lambda tab: np.where(
+            tab.time <= goal.deadline_s,
+            tab.energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            ),
+            np.inf,
+        ),
+    )
+    results = _select_many(feasible, selector)
+    # Predicted-infeasible kernels fall back to the fastest
+    # configuration; evaluations of the discarded constrained run are
+    # dropped and the misses recorded, exactly as the scalar goal does.
+    unsat = {
+        kname: tables_by_kernel[kname]
+        for kname, res in results.items()
+        if res is None or not np.isfinite(res.cost)
+    }
+    if unsat:
+        goal.predicted_misses += len(unsat)
+        fastest = batch_select(unsat, MaxPerformance(), selector, concurrency)
+        results.update(fastest)
     return results  # type: ignore[return-value]
 
 

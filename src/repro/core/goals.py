@@ -3,19 +3,38 @@
 A goal turns per-config prediction tables into a selection:
 
 - :class:`MinTotalEnergy` — scenario (1): least CPU+memory energy,
-  with idle power attributed across concurrent tasks;
-- :class:`MinCpuEnergy` — what STEER optimises (memory energy ignored);
+  with idle power attributed across concurrent tasks
+  (``min-total-energy``);
+- :class:`MinCpuEnergy` — what STEER optimises, memory energy ignored
+  (``min-cpu-energy``);
 - :class:`PerformanceConstraint` — scenario (2), section 5.2.2: least
   energy among configurations at least ``speedup`` x faster than the
   min-energy configuration; falls back to the fastest configuration
-  when the constraint is unsatisfiable;
+  when the constraint is unsatisfiable (``perf-<S>x``);
 - :class:`MaxPerformance` — MAXP: fastest configuration regardless of
-  energy.
+  energy (``maxp``);
+- :class:`MaxPerformanceUnderPowerCap` — extension: fastest
+  configuration whose average power stays under a cap; falls back to
+  the least-power configuration when the cap is unsatisfiable
+  (``powercap-<P>W``);
+- :class:`DeadlineGoal` — deadline scenario (open arrivals,
+  :mod:`repro.workloads.arrivals`): least energy among configurations
+  predicted to finish within an absolute per-kernel budget; falls back
+  to the fastest configuration and records a predicted miss when no
+  configuration is feasible — the HiDVFS/EAPS
+  feasibility-check-then-minimise-energy shape (``deadline-<D>s``).
+
+The parenthesised spellings are the canonical goal names: every string
+entry point (CLI ``--goal``, bench specs, serve job params, dynamic
+``JOSS_*`` scheduler variants) resolves through :func:`parse_goal`,
+which round-trips ``parse_goal(name).name == name``.
 """
 
 from __future__ import annotations
 
 import abc
+import re
+from dataclasses import dataclass
 from typing import Literal, Mapping
 
 import numpy as np
@@ -183,3 +202,154 @@ class PerformanceConstraint(TradeoffGoal):
             res.cluster, res.n_cores, res.i_fc, res.i_fm, res.cost,
             evals + res.evaluations,
         )
+
+
+class DeadlineGoal(TradeoffGoal):
+    """Least energy among configurations predicted to meet a deadline.
+
+    Unlike :class:`PerformanceConstraint`, whose time budget is
+    *relative* (derived from the min-energy configuration), the budget
+    here is an *absolute* per-kernel wall-clock allowance in seconds —
+    the shape deadline-aware DVFS governors (HiDVFS, EAPS) use: first
+    restrict to the feasible set, then minimise energy inside it.
+    When no configuration is predicted feasible the fastest one is
+    selected (least tardiness achievable) and the miss is recorded in
+    :attr:`predicted_misses` so schedulers can surface it.
+
+    Per-DAG deadlines are enforced at the arrival layer
+    (:mod:`repro.workloads.arrivals` annotates every task with its DAG
+    instance's absolute deadline); this goal covers the per-kernel
+    half: dividing a DAG budget across its critical path yields the
+    per-kernel ``deadline_s``.
+    """
+
+    def __init__(self, deadline_s: float) -> None:
+        if deadline_s <= 0:
+            raise ModelError("deadline must be positive")
+        self.deadline_s = float(deadline_s)
+        self.name = f"deadline-{deadline_s:g}s"
+        #: Kernels for which no configuration was predicted feasible
+        #: (fell back to max-perf).  Mutated by both selection paths.
+        self.predicted_misses = 0
+
+    def select(self, tables, selector="steepest", concurrency=1.0):
+        def feasible_energy(tab: PredictionTable) -> np.ndarray:
+            energy = tab.energy_grid(
+                _conc_of(concurrency, (tab.cluster, tab.n_cores))
+            )
+            return np.where(tab.time <= self.deadline_s, energy, np.inf)
+
+        try:
+            res = _run(selector, tables, feasible_energy)
+        except ModelError:
+            res = None
+        if res is not None and np.isfinite(res.cost):
+            return res
+        # Predicted infeasible: run as fast as possible and record the
+        # miss.  Evaluations of the discarded constrained run are
+        # dropped (same accounting as the power-cap fallback).
+        self.predicted_misses += 1
+        return MaxPerformance().select(tables, selector, concurrency)
+
+
+# ----------------------------------------------------------------------
+# Goal-name registry
+# ----------------------------------------------------------------------
+#: Fixed (parameter-free) goal names.
+_FIXED_GOALS: dict[str, type[TradeoffGoal]] = {
+    "min-total-energy": MinTotalEnergy,
+    "min-cpu-energy": MinCpuEnergy,
+    "maxp": MaxPerformance,
+}
+
+_NUM = r"(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+#: Parameterised goal names: ``perf-1.5x``, ``powercap-3W``,
+#: ``deadline-0.5s``.
+_PARAM_GOALS: tuple[tuple[re.Pattern, str], ...] = (
+    (re.compile(rf"^perf-{_NUM}x$"), "perf"),
+    (re.compile(rf"^powercap-{_NUM}W$"), "powercap"),
+    (re.compile(rf"^deadline-{_NUM}s$"), "deadline"),
+)
+
+
+@dataclass(frozen=True)
+class GoalSpec:
+    """Parsed, canonical form of a goal name.
+
+    ``kind`` is one of ``min-total-energy`` / ``min-cpu-energy`` /
+    ``maxp`` (``param`` is ``None``) or ``perf`` / ``powercap`` /
+    ``deadline`` (``param`` carries the speedup / cap watts / deadline
+    seconds).  ``GoalSpec`` round-trips: ``parse_goal(spec.name)``
+    yields a goal whose ``name`` equals ``spec.name``.
+    """
+
+    kind: str
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in _FIXED_GOALS:
+            if self.param is not None:
+                raise ModelError(f"goal {self.kind!r} takes no parameter")
+        elif self.kind in ("perf", "powercap", "deadline"):
+            if self.param is None or self.param <= 0:
+                raise ModelError(
+                    f"goal {self.kind!r} needs a positive parameter"
+                )
+        else:
+            raise ModelError(f"unknown goal kind {self.kind!r}")
+
+    @property
+    def name(self) -> str:
+        """Canonical goal name (what ``TradeoffGoal.name`` reports)."""
+        if self.kind in _FIXED_GOALS:
+            return self.kind
+        unit = {"perf": "x", "powercap": "W", "deadline": "s"}[self.kind]
+        return f"{self.kind}-{self.param:g}{unit}"
+
+    def build(self) -> TradeoffGoal:
+        """Instantiate the goal this spec describes."""
+        if self.kind in _FIXED_GOALS:
+            return _FIXED_GOALS[self.kind]()
+        ctor = {
+            "perf": PerformanceConstraint,
+            "powercap": MaxPerformanceUnderPowerCap,
+            "deadline": DeadlineGoal,
+        }[self.kind]
+        return ctor(self.param)
+
+
+def goal_names() -> list[str]:
+    """Accepted goal-name forms, for help strings and error messages."""
+    return [*_FIXED_GOALS, "perf-<S>x", "powercap-<P>W", "deadline-<D>s"]
+
+
+def goal_spec(name: str) -> GoalSpec:
+    """Parse a canonical goal name into a :class:`GoalSpec`."""
+    text = str(name).strip()
+    if text in _FIXED_GOALS:
+        return GoalSpec(text)
+    for pattern, kind in _PARAM_GOALS:
+        m = pattern.match(text)
+        if m:
+            return GoalSpec(kind, float(m.group(1)))
+    raise ModelError(
+        f"unknown goal {name!r}; expected one of {', '.join(goal_names())}"
+    )
+
+
+def parse_goal(goal: "str | GoalSpec | TradeoffGoal") -> TradeoffGoal:
+    """Resolve any goal spelling into a :class:`TradeoffGoal`.
+
+    Accepts a canonical name string (``"perf-1.5x"``,
+    ``"powercap-3W"``, ``"deadline-0.5s"``, ``"min-total-energy"``,
+    ``"min-cpu-energy"``, ``"maxp"``), a :class:`GoalSpec`, or an
+    already-built :class:`TradeoffGoal` (returned unchanged).  This is
+    the single registry behind every string entry point — CLI
+    ``--goal``, bench specs, serve job params, and the dynamic
+    ``JOSS_<goal>`` scheduler names.
+    """
+    if isinstance(goal, TradeoffGoal):
+        return goal
+    if isinstance(goal, GoalSpec):
+        return goal.build()
+    return goal_spec(goal).build()

@@ -32,12 +32,14 @@ from repro.core.batch import resolve_kernels
 from repro.core.coarsening import CoarseningPolicy
 from repro.core.coordination import FrequencyCoordinator, Strategy
 from repro.core.goals import (
+    DeadlineGoal,
     MaxPerformance,
     MaxPerformanceUnderPowerCap,
     MinTotalEnergy,
     PerformanceConstraint,
     Selector,
     TradeoffGoal,
+    parse_goal,
 )
 from repro.core.health import HealthMonitor, HealthPolicy
 from repro.core.sampling import SamplingPlanner
@@ -73,7 +75,10 @@ class JossScheduler(Scheduler):
     ) -> None:
         super().__init__()
         self.suite = suite
-        self.goal = goal if goal is not None else MinTotalEnergy()
+        # Strings (and GoalSpec) resolve through the parse_goal
+        # registry, so JSON-safe spellings like "deadline-0.5s" work
+        # anywhere a goal travels through specs or RPC params.
+        self.goal = parse_goal(goal) if goal is not None else MinTotalEnergy()
         self.selector: Selector = selector
         self.use_memory_dvfs = use_memory_dvfs
         #: Route kernel resolution through the vectorised batch
@@ -130,6 +135,13 @@ class JossScheduler(Scheduler):
         kw.setdefault("name", f"JOSS_cap{cap_watts:g}W")
         return cls(suite, goal=MaxPerformanceUnderPowerCap(cap_watts), **kw)
 
+    @classmethod
+    def with_deadline(cls, suite: ModelSuite, deadline_s: float, **kw) -> "JossScheduler":
+        """JOSS minimising energy under a per-kernel deadline
+        (extension; see :class:`DeadlineGoal`)."""
+        kw.setdefault("name", f"JOSS_deadline-{deadline_s:g}s")
+        return cls(suite, goal=DeadlineGoal(deadline_s), **kw)
+
     # ------------------------------------------------------------------
     # Scheduler lifecycle
     # ------------------------------------------------------------------
@@ -147,6 +159,8 @@ class JossScheduler(Scheduler):
         self.tables.clear()
         self._selection_evals = 0
         self._batch_tables_built = 0
+        if hasattr(self.goal, "predicted_misses"):
+            self.goal.predicted_misses = 0  # per-run counter
         if self.adaptation is not None:
             self.adaptation.reset()
             self.adaptation.on_invalidated = self._on_drift_invalidated
@@ -289,6 +303,11 @@ class JossScheduler(Scheduler):
             m.sampling_time = self.planner.total_sampling_time()
             m.extras["selection_evaluations"] = self._selection_evals
             m.extras["coarsening_suppressed"] = self.coarsening.suppressed
+            misses = getattr(self.goal, "predicted_misses", None)
+            if misses is not None:
+                # Kernels whose deadline was predicted unreachable at
+                # selection time (fell back to max-perf).
+                m.extras["predicted_deadline_misses"] = misses
             if self.adaptation is not None:
                 m.extras["adaptation_invalidations"] = self.adaptation.invalidations
             m.extras["decisions"] = {

@@ -47,6 +47,15 @@ EVENT_TYPES: dict[str, tuple[str, str]] = {
         "a whole task (all partitions) completed",
         "task, kernel",
     ),
+    # -- open arrivals / deadlines -------------------------------------
+    "dag_arrived": (
+        "an open-arrival DAG instance was released into the executor",
+        "dag, workload, deadline, tasks",
+    ),
+    "deadline_missed": (
+        "a DAG instance completed past its absolute deadline",
+        "dag, workload, deadline, tardiness",
+    ),
     # -- DVFS / JOSS decision pipeline ---------------------------------
     "dvfs_set": (
         "a DVFS controller applied a frequency to its domain",

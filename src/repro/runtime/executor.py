@@ -51,6 +51,7 @@ class Executor:
         mem_dvfs_stall_s: float = 0.0,
         tracer: Optional[Tracer] = None,
         faults=None,
+        arrivals=None,
         engine_cache_size: int = 8192,
         obs=None,
         shared_breakdowns: Optional[dict] = None,
@@ -138,6 +139,16 @@ class Executor:
         self.metrics = RunMetrics(scheduler=scheduler.name)
         self.graph: Optional[TaskGraph] = None
         self._tasks_done = 0
+        # Open-system arrivals (an ArrivalPlan, duck-typed): ``None``
+        # keeps the closed-system t=0 release path untouched — like a
+        # None fault campaign, nothing is constructed and the run stays
+        # bit-identical to pre-arrival-subsystem behaviour.
+        self.arrivals = arrivals
+        self._dag_remaining: Optional[dict[int, int]] = None
+        # Set at run start from the scheduler's ``queue_discipline``
+        # hint: EDF-style schedulers keep per-core queues sorted by
+        # absolute task deadline instead of FIFO.
+        self._deadline_order = False
         self.ctx = RuntimeContext(
             sim=self.sim,
             platform=platform,
@@ -195,11 +206,17 @@ class Executor:
                 platform=self.platform.name, tasks=len(graph), seed=self.seed,
             )
         self.scheduler.bind(self.ctx)
+        self._deadline_order = (
+            getattr(self.scheduler, "queue_discipline", "fifo") == "edf"
+        )
         self.scheduler.on_run_begin()
         self.sensor.start()
-        for t in graph.roots():
-            t.mark_ready(self.sim.now)
-            self.dispatch(t)
+        if self.arrivals is None:
+            for t in graph.roots():
+                t.mark_ready(self.sim.now)
+                self.dispatch(t)
+        else:
+            self._schedule_arrivals()
         self.sim.run(max_events=max_events)
         if self._tasks_done != len(graph):
             raise SchedulingError(
@@ -220,6 +237,85 @@ class Executor:
         if self.registry is not None:
             self.metrics.publish_to(self.registry)
         return self.metrics
+
+    # ------------------------------------------------------------------
+    # Open-system arrivals
+    # ------------------------------------------------------------------
+    def _schedule_arrivals(self) -> None:
+        """Release each DAG instance's roots at its arrival time
+        instead of everything at t=0 (open-system mode)."""
+        plan = self.arrivals
+        assert self.graph is not None
+        self._dag_remaining = {inst.index: inst.size for inst in plan.instances}
+        roots_by_dag: dict[int, list[Task]] = {}
+        now = self.sim.now
+        for t in self.graph.roots():
+            did = t.meta.get("dag")
+            if did is None:
+                # Tasks outside any instance (hand-built graphs) keep
+                # the closed-system t=0 release.
+                t.mark_ready(now)
+                self.dispatch(t)
+            else:
+                roots_by_dag.setdefault(did, []).append(t)
+        for inst in plan.instances:
+            self.sim.schedule_at(
+                inst.release, self._release_instance, inst,
+                roots_by_dag.get(inst.index, []),
+            )
+
+    def _release_instance(self, inst, roots: list[Task]) -> None:
+        now = self.sim.now
+        self.metrics.dags_arrived += 1
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "dag_arrived", now,
+                dag=inst.index, workload=inst.workload,
+                deadline=inst.deadline, tasks=inst.size,
+            )
+        for t in roots:
+            t.mark_ready(now)
+            self.dispatch(t)
+
+    def _account_arrival(self, task: Task, now: float) -> None:
+        deadline = task.meta.get("deadline")
+        if deadline is not None:
+            self.metrics.kernel_stats(task.kernel.name).record_slack(
+                deadline - now
+            )
+        did = task.meta.get("dag")
+        if did is None:
+            return
+        assert self._dag_remaining is not None
+        remaining = self._dag_remaining.get(did)
+        if remaining is None:
+            return
+        remaining -= 1
+        self._dag_remaining[did] = remaining
+        if remaining == 0:
+            self._on_dag_done(did, now)
+
+    def _on_dag_done(self, did: int, now: float) -> None:
+        inst = self.arrivals.instances[did]
+        m = self.metrics
+        m.dags_completed += 1
+        if inst.deadline is None:
+            return
+        tardiness = now - inst.deadline
+        if tardiness <= 0:
+            return
+        m.deadline_misses += 1
+        m.total_tardiness += tardiness
+        if tardiness > m.max_tardiness:
+            m.max_tardiness = tardiness
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(
+                "deadline_missed", now,
+                dag=did, workload=inst.workload,
+                deadline=inst.deadline, tardiness=tardiness,
+            )
 
     # ------------------------------------------------------------------
     # Dispatch and completion plumbing
@@ -245,7 +341,11 @@ class Executor:
             if not cores:
                 cores = self.platform.cores_of_type(placement.core_type_name)
             core = cores[int(self.place_rng.integers(len(cores)))]
-        self._queues[core.slot].push(task)
+        queue = self._queues[core.slot]
+        if self._deadline_order:
+            queue.push_by_deadline(task)
+        else:
+            queue.push(task)
         obs = self.sim.obs
         if obs.active:
             obs.emit(
@@ -287,6 +387,8 @@ class Executor:
             task.duration, key, wait=wait
         )
         self.metrics.tasks_executed += 1
+        if self._dag_remaining is not None:
+            self._account_arrival(task, now)
         self.scheduler.on_task_complete(task)
         obs = self.sim.obs
         if obs.active:

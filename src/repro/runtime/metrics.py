@@ -21,6 +21,11 @@ class KernelStats:
     total_time: float = 0.0
     #: Total ready-to-start queueing delay (scheduling latency).
     total_wait: float = 0.0
+    #: Sum of (deadline - completion) over deadline-carrying tasks:
+    #: positive = finished early, negative = late (open-arrival runs).
+    total_slack: float = 0.0
+    #: Number of completions that carried a deadline annotation.
+    slack_samples: int = 0
     placements: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -31,6 +36,10 @@ class KernelStats:
     def mean_wait(self) -> float:
         return self.total_wait / self.invocations if self.invocations else 0.0
 
+    @property
+    def mean_slack(self) -> float:
+        return self.total_slack / self.slack_samples if self.slack_samples else 0.0
+
     def record(
         self, duration: float, placement_key: str, wait: float = 0.0
     ) -> None:
@@ -38,6 +47,11 @@ class KernelStats:
         self.total_time += duration
         self.total_wait += max(0.0, wait)
         self.placements[placement_key] = self.placements.get(placement_key, 0) + 1
+
+    def record_slack(self, slack: float) -> None:
+        """Per-kernel slack of one deadline-carrying completion."""
+        self.total_slack += slack
+        self.slack_samples += 1
 
 
 @dataclass
@@ -66,6 +80,15 @@ class RunMetrics:
     degraded_time: float = 0.0
     #: Exact energy (J) attributed to degraded-mode windows.
     degraded_energy: float = 0.0
+    #: Open-arrival accounting (zero on closed-system runs): DAG
+    #: instances released / completed, instances that finished past
+    #: their absolute deadline, and tardiness = max(0, completion -
+    #: deadline) summed / maximised over missed instances.
+    dags_arrived: int = 0
+    dags_completed: int = 0
+    deadline_misses: int = 0
+    total_tardiness: float = 0.0
+    max_tardiness: float = 0.0
     #: Scheduler-reported model/selection bookkeeping (free-form).
     extras: dict = field(default_factory=dict)
     per_kernel: dict[str, KernelStats] = field(default_factory=dict)
@@ -155,6 +178,23 @@ class RunMetrics:
                 "repro_degraded_seconds_total",
                 "simulated seconds spent degraded", names,
             ).inc(self.degraded_time, **labels)
+        if self.dags_arrived:
+            registry.counter(
+                "repro_dags_arrived_total",
+                "open-arrival DAG instances released", names,
+            ).inc(self.dags_arrived, **labels)
+            registry.counter(
+                "repro_dags_completed_total",
+                "open-arrival DAG instances completed", names,
+            ).inc(self.dags_completed, **labels)
+            registry.counter(
+                "repro_deadline_misses_total",
+                "DAG instances completed past their deadline", names,
+            ).inc(self.deadline_misses, **labels)
+            registry.counter(
+                "repro_tardiness_seconds_total",
+                "summed tardiness of missed deadlines", names,
+            ).inc(self.total_tardiness, **labels)
 
     # ------------------------------------------------------------------
     # Serialisation (results archiving)
@@ -177,6 +217,11 @@ class RunMetrics:
             "fallback_count": self.fallback_count,
             "degraded_time": self.degraded_time,
             "degraded_energy": self.degraded_energy,
+            "dags_arrived": self.dags_arrived,
+            "dags_completed": self.dags_completed,
+            "deadline_misses": self.deadline_misses,
+            "total_tardiness": self.total_tardiness,
+            "max_tardiness": self.max_tardiness,
             "extras": {
                 k: v for k, v in self.extras.items()
                 if isinstance(v, (int, float, str, bool, list, dict))
@@ -186,6 +231,8 @@ class RunMetrics:
                     "invocations": ks.invocations,
                     "total_time": ks.total_time,
                     "total_wait": ks.total_wait,
+                    "total_slack": ks.total_slack,
+                    "slack_samples": ks.slack_samples,
                     "placements": dict(ks.placements),
                 }
                 for name, ks in self.per_kernel.items()
@@ -202,7 +249,11 @@ class RunMetrics:
             "sampling_time",
         ):
             setattr(m, key, data[key])
-        for key in ("fallback_count", "degraded_time", "degraded_energy"):
+        for key in (
+            "fallback_count", "degraded_time", "degraded_energy",
+            "dags_arrived", "dags_completed", "deadline_misses",
+            "total_tardiness", "max_tardiness",
+        ):
             setattr(m, key, data.get(key, 0))
         m.extras = dict(data.get("extras", {}))
         for name, ks in data.get("per_kernel", {}).items():
@@ -210,6 +261,8 @@ class RunMetrics:
             stats.invocations = ks["invocations"]
             stats.total_time = ks["total_time"]
             stats.total_wait = ks.get("total_wait", 0.0)
+            stats.total_slack = ks.get("total_slack", 0.0)
+            stats.slack_samples = ks.get("slack_samples", 0)
             stats.placements = dict(ks["placements"])
         return m
 
@@ -238,12 +291,14 @@ def average_run_metrics(runs: Sequence[RunMetrics]) -> RunMetrics:
         "makespan", "cpu_energy", "mem_energy",
         "cpu_energy_exact", "mem_energy_exact", "sampling_time",
         "degraded_time", "degraded_energy",
+        "total_tardiness", "max_tardiness",
     ):
         setattr(avg, name, sum(getattr(m, name) for m in runs) / n)
     avg.tasks_executed = first.tasks_executed
     for name in (
         "steals", "cluster_freq_transitions", "memory_freq_transitions",
-        "fallback_count",
+        "fallback_count", "dags_arrived", "dags_completed",
+        "deadline_misses",
     ):
         setattr(avg, name, round(sum(getattr(m, name) for m in runs) / n))
     extras: dict = {}

@@ -15,6 +15,16 @@ from repro.runtime.task import Task, TaskPartition
 
 QueueItem = Union[Task, TaskPartition]
 
+_NO_DEADLINE = float("inf")
+
+
+def _deadline_of(item: QueueItem) -> float:
+    """EDF sort key: a task's absolute deadline, +inf when absent."""
+    meta = getattr(item, "meta", None)
+    if meta is None:
+        return _NO_DEADLINE
+    return meta.get("deadline", _NO_DEADLINE)
+
 
 class QueuedTotal:
     """Shared count of queued items across a group of queues.
@@ -53,6 +63,23 @@ class WorkQueue:
     def push_front(self, item: QueueItem) -> None:
         """Priority insert (sibling partitions of a started task)."""
         self._q.appendleft(item)
+        self.pushes += 1
+        self.total.n += 1
+
+    def push_by_deadline(self, item: QueueItem) -> None:
+        """Dispatch keeping the queue sorted by absolute task deadline
+        (EDF discipline): earliest deadline at the front, FIFO among
+        equals, deadline-less items (and partitions) at the back.  The
+        owner's front pop then serves the most urgent task first."""
+        deadline = _deadline_of(item)
+        q = self._q
+        if not q or deadline >= _deadline_of(q[-1]):
+            q.append(item)
+        else:
+            idx = len(q) - 1
+            while idx > 0 and deadline < _deadline_of(q[idx - 1]):
+                idx -= 1
+            q.insert(idx, item)
         self.pushes += 1
         self.total.n += 1
 

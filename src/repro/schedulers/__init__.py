@@ -25,6 +25,7 @@ _LAZY = {
     "EraseScheduler": "repro.schedulers.erase",
     "AequitasScheduler": "repro.schedulers.aequitas",
     "CataScheduler": "repro.schedulers.cata",
+    "EdfScheduler": "repro.schedulers.edf",
     "SteerScheduler": "repro.schedulers.steer",
     "GovernorScheduler": "repro.schedulers.governor",
     "make_scheduler": "repro.schedulers.registry",
@@ -36,6 +37,7 @@ __all__ = list(_LAZY)
 if TYPE_CHECKING:  # pragma: no cover
     from repro.schedulers.aequitas import AequitasScheduler
     from repro.schedulers.cata import CataScheduler
+    from repro.schedulers.edf import EdfScheduler
     from repro.schedulers.erase import EraseScheduler
     from repro.schedulers.governor import GovernorScheduler
     from repro.schedulers.grws import GrwsScheduler

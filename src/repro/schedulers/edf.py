@@ -1,0 +1,63 @@
+"""EDF — earliest-deadline-first baseline (deadline scenario).
+
+The classic real-time discipline, as a model-free yardstick for the
+deadline-aware JOSS variants (:class:`repro.core.goals.DeadlineGoal`):
+every ready task goes to the least-loaded core, per-core queues are
+kept sorted by absolute task deadline (the executor switches its
+dispatch to :meth:`repro.runtime.queues.WorkQueue.push_by_deadline`
+when ``queue_discipline == "edf"``), idle cores steal globally, and
+frequencies are pinned at the platform maximum — EDF spends no energy
+budget on DVFS, it only orders work.  Tasks without a deadline
+annotation (closed-system runs) sort last, so EDF degrades to
+least-loaded FIFO when no deadlines are present.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.placement import Placement
+from repro.runtime.scheduler_api import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.core import Core
+    from repro.runtime.task import Task
+
+
+class EdfScheduler(Scheduler):
+    """Earliest-deadline-first over least-loaded cores, max frequencies."""
+
+    name = "EDF"
+    #: Executor dispatch hint: keep per-core queues deadline-ordered.
+    queue_discipline = "edf"
+
+    def on_run_begin(self) -> None:
+        assert self.ctx is not None
+        platform = self.ctx.platform
+        for cl in platform.clusters:
+            self.ctx.request_cluster_freq(cl, cl.opps.max)
+        self.ctx.request_memory_freq(platform.memory.opps.max)
+
+    def place(self, task: "Task") -> Placement:
+        assert self.ctx is not None
+        queues = self.ctx.queues
+        # Least-loaded core of any type: idle first, then shortest
+        # queue, core id breaking ties deterministically.
+        core = min(
+            self.ctx.platform.cores,
+            key=lambda c: (c.busy, len(queues[c.core_id]), c.core_id),
+        )
+        return Placement(cluster=core.cluster, n_cores=1, home_core=core)
+
+    def on_task_execute(self, task: "Task", core: "Core") -> None:
+        # Frequencies were pinned at run begin; nothing per-task.
+        return
+
+    def steal_candidates(self, core: "Core") -> Sequence["Core"]:
+        assert self.ctx is not None
+        hit = self._steal_cache.get(core.core_id)
+        if hit is None:
+            hit = self._steal_cache[core.core_id] = [
+                c for c in self.ctx.platform.cores if c is not core
+            ]
+        return hit

@@ -1,32 +1,42 @@
 """Scheduler registry: build any evaluated scheduler by name.
 
 The names match the paper's figures: GRWS, ERASE, Aequitas, STEER,
-JOSS, JOSS_NoMemDVFS, JOSS_1.2x / 1.4x / 1.8x, JOSS_MAXP.
+JOSS, JOSS_NoMemDVFS, JOSS_1.2x / 1.4x / 1.8x, JOSS_MAXP — plus the
+extension baselines (CATA, the cpufreq governors, EDF) and dynamic
+``JOSS_<goal>`` variants for any canonical goal name understood by
+:func:`repro.core.goals.parse_goal` (``JOSS_perf-1.5x``,
+``JOSS_powercap-3W``, ``JOSS_deadline-0.5s``, ...).
 """
 
 from __future__ import annotations
 
 import re
+import warnings
 from typing import Optional
 
+from repro.core.goals import goal_spec
 from repro.core.joss import JossScheduler
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ModelError
 from repro.models.suite import ModelSuite
 from repro.runtime.scheduler_api import Scheduler
 from repro.schedulers.aequitas import AequitasScheduler
 from repro.schedulers.cata import CataScheduler
+from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.erase import EraseScheduler
 from repro.schedulers.governor import GovernorScheduler
 from repro.schedulers.grws import GrwsScheduler
 from repro.schedulers.steer import SteerScheduler
 
-_SPEEDUP_RE = re.compile(r"^JOSS_(\d+(?:\.\d+)?)x$", re.IGNORECASE)
-_POWERCAP_RE = re.compile(r"^JOSS_cap(\d+(?:\.\d+)?)W$", re.IGNORECASE)
+#: Legacy dynamic-variant suffixes, translated to canonical goal names
+#: (``JOSS_1.4x`` is the paper's own figure label and stays
+#: first-class; ``JOSS_cap4W`` predates the goal registry and warns).
+_SPEEDUP_RE = re.compile(r"^(\d+(?:\.\d+)?)x$", re.IGNORECASE)
+_POWERCAP_RE = re.compile(r"^cap(\d+(?:\.\d+)?)W$", re.IGNORECASE)
 
 
 def scheduler_names() -> list[str]:
     """The scheduler line-up of the paper's Figure 8 plus the Figure 9
-    constrained variants."""
+    constrained variants and the extension baselines."""
     return [
         "GRWS",
         "ERASE",
@@ -39,22 +49,56 @@ def scheduler_names() -> list[str]:
         "JOSS_1.8x",
         "JOSS_MAXP",
         "CATA",
+        "EDF",
         "gov-ondemand",
         "gov-performance",
         "gov-powersave",
     ]
 
 
+def joss_goal_name(name: str) -> Optional[str]:
+    """Canonical goal name encoded in a dynamic ``JOSS_<goal>``
+    scheduler name, or ``None`` when ``name`` is not a dynamic variant.
+
+    Accepts the paper's speedup spelling (``JOSS_1.4x`` ->
+    ``perf-1.4x``), the pre-registry power-cap spelling
+    (``JOSS_cap4W`` -> ``powercap-4W``, deprecated), and any canonical
+    goal name from :func:`repro.core.goals.parse_goal`
+    (``JOSS_deadline-0.5s`` -> ``deadline-0.5s``).
+    """
+    canonical = name.strip()
+    if not canonical.upper().startswith("JOSS_"):
+        return None
+    suffix = canonical[5:]
+    m = _SPEEDUP_RE.match(suffix)
+    if m:
+        return f"perf-{float(m.group(1)):g}x"
+    m = _POWERCAP_RE.match(suffix)
+    if m:
+        warnings.warn(
+            f"scheduler name {name!r} is deprecated; use "
+            f"'JOSS_powercap-{float(m.group(1)):g}W'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return f"powercap-{float(m.group(1)):g}W"
+    try:
+        return goal_spec(suffix).name
+    except ModelError:
+        return None
+
+
 def needs_suite(name: str) -> bool:
     """Whether a scheduler name requires a fitted :class:`ModelSuite`.
 
-    The heuristic/structural schedulers (GRWS, Aequitas, CATA, the
-    cpufreq governors) run model-free; everything else is model-based.
+    The heuristic/structural schedulers (GRWS, Aequitas, CATA, EDF,
+    the cpufreq governors) run model-free; everything else is
+    model-based.
     """
     lowered = name.strip().lower()
-    return lowered not in ("grws", "aequitas", "cata") and not lowered.startswith(
-        "gov-"
-    )
+    return lowered not in (
+        "grws", "aequitas", "cata", "edf"
+    ) and not lowered.startswith("gov-")
 
 
 def make_scheduler(
@@ -75,12 +119,21 @@ def make_scheduler(
         return GovernorScheduler(policy=lowered[4:], **kw)
     if lowered == "cata":
         return CataScheduler(**kw)
+    if lowered == "edf":
+        return EdfScheduler(**kw)
+    if lowered == "erase":
+        goal_name = None
+    elif lowered in ("joss", "joss_nomemdvfs", "joss_maxp", "steer"):
+        goal_name = None
+    else:
+        goal_name = joss_goal_name(canonical)
     known_model_based = lowered in (
         "erase", "steer", "joss", "joss_nomemdvfs", "joss_maxp"
-    ) or _SPEEDUP_RE.match(canonical) or _POWERCAP_RE.match(canonical)
+    ) or goal_name is not None
     if not known_model_based:
         raise ConfigurationError(
-            f"unknown scheduler {name!r} (known: {scheduler_names()})"
+            f"unknown scheduler {name!r} (known: {scheduler_names()}, "
+            f"plus dynamic 'JOSS_<goal>' variants)"
         )
     if suite is None:
         raise ConfigurationError(f"scheduler {name!r} needs a fitted ModelSuite")
@@ -94,12 +147,6 @@ def make_scheduler(
         return JossScheduler.no_mem_dvfs(suite, **kw)
     if lowered == "joss_maxp":
         return JossScheduler.maxp(suite, **kw)
-    m = _SPEEDUP_RE.match(canonical)
-    if m:
-        return JossScheduler.with_speedup(suite, float(m.group(1)), **kw)
-    m = _POWERCAP_RE.match(canonical)
-    if m:
-        return JossScheduler.with_power_cap(suite, float(m.group(1)), **kw)
-    raise ConfigurationError(  # pragma: no cover - guarded above
-        f"unknown scheduler {name!r} (known: {scheduler_names()})"
-    )
+    assert goal_name is not None
+    kw.setdefault("name", canonical)
+    return JossScheduler(suite, goal=goal_name, **kw)

@@ -203,11 +203,17 @@ class ServeClient:
         *,
         priority: int = 0,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
         follow: bool = False,
         follow_types: Optional[list] = None,
         idempotency_key: Optional[str] = None,
     ) -> Union[dict, FollowStream]:
         """Submit one job.
+
+        ``deadline`` (seconds from submission) is a scheduling hint:
+        among this tenant's equal-priority jobs, the daemon's fair
+        queue releases earlier-deadline jobs first.  It does not cancel
+        late jobs — pass ``timeout`` for a hard execution limit.
 
         Plain submission returns the job dict immediately (state
         ``queued``, or ``done`` with ``metrics`` attached when answered
@@ -226,6 +232,8 @@ class ServeClient:
         params: dict = {"job": spec_dict, "priority": priority}
         if timeout is not None:
             params["timeout"] = timeout
+        if deadline is not None:
+            params["deadline"] = deadline
         if idempotency_key is None and self.retries > 0 and not follow:
             idempotency_key = uuid.uuid4().hex
         if idempotency_key is not None:

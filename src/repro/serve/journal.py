@@ -226,11 +226,18 @@ class JobJournal:
 # Record constructors / replay interpretation
 # ----------------------------------------------------------------------
 def submit_record(job_id: str, tenant: str, spec_dict: dict, priority: int,
-                  timeout: Optional[float], idem: Optional[str]) -> dict:
-    return {
+                  timeout: Optional[float], idem: Optional[str],
+                  deadline: Optional[float] = None) -> dict:
+    rec = {
         "t": "submit", "job": job_id, "tenant": tenant, "spec": spec_dict,
         "priority": priority, "timeout": timeout, "idem": idem,
     }
+    if deadline is not None:
+        # Scheduling deadline, kept as seconds-from-submission so the
+        # budget survives a restart (the daemon clock resets); absent
+        # for deadline-less jobs to stay readable by older replayers.
+        rec["deadline"] = deadline
+    return rec
 
 
 def final_record(job_id: str, state: str, kind: Optional[str],

@@ -13,9 +13,12 @@ Varghese) over per-tenant priority queues:
   weights regardless of how unbalanced their submission rates are;
 * a tenant that goes idle forfeits its unspent deficit: credits cannot
   be hoarded to bulldoze the queue later;
-* **within** one tenant's share, higher ``priority`` jobs pop first
-  (FIFO among equals).  Priorities never cross tenant boundaries —
-  a tenant cannot out-prioritise another tenant's share.
+* **within** one tenant's share, higher ``priority`` jobs pop first;
+  among equal priorities, jobs carrying an (absolute, wall-clock)
+  ``deadline`` pop earliest-deadline-first ahead of deadline-less ones,
+  and FIFO breaks the remaining ties.  Priorities and deadlines never
+  cross tenant boundaries — a tenant cannot out-prioritise or
+  out-deadline another tenant's share.
 
 The queue is deterministic and lock-free by design; callers that need
 thread safety (the server) serialise access externally.
@@ -30,24 +33,34 @@ from typing import Any, Iterator, Mapping, Optional
 from repro.errors import ServeError
 
 
+_NO_DEADLINE = float("inf")
+
+
 class Entry:
     """One queued item; the handle used to cancel it in place."""
 
-    __slots__ = ("item", "tenant", "priority", "cost", "seq", "alive")
+    __slots__ = ("item", "tenant", "priority", "cost", "seq", "alive",
+                 "deadline")
 
     def __init__(self, item: Any, tenant: str, priority: int, cost: float,
-                 seq: int) -> None:
+                 seq: int, deadline: Optional[float] = None) -> None:
         self.item = item
         self.tenant = tenant
         self.priority = priority
         self.cost = cost
         self.seq = seq
         self.alive = True
+        self.deadline = deadline
 
     def __lt__(self, other: "Entry") -> bool:
-        # Max-priority first, then submission order.
+        # Max-priority first, then earliest deadline (deadline-less
+        # jobs sort last), then submission order.
         if self.priority != other.priority:
             return self.priority > other.priority
+        mine = self.deadline if self.deadline is not None else _NO_DEADLINE
+        theirs = other.deadline if other.deadline is not None else _NO_DEADLINE
+        if mine != theirs:
+            return mine < theirs
         return self.seq < other.seq
 
 
@@ -112,8 +125,10 @@ class FairQueue:
 
     # -- mutation -------------------------------------------------------
     def push(self, item: Any, *, tenant: str = "default", priority: int = 0,
-             cost: float = 1.0) -> Entry:
-        """Queue ``item`` under ``tenant``; returns its cancel handle."""
+             cost: float = 1.0, deadline: Optional[float] = None) -> Entry:
+        """Queue ``item`` under ``tenant``; returns its cancel handle.
+        ``deadline`` (absolute wall-clock seconds) orders jobs of equal
+        priority earliest-first within the tenant's share."""
         if cost <= 0:
             raise ServeError("job cost must be > 0")
         t = self._tenants.get(tenant)
@@ -122,7 +137,7 @@ class FairQueue:
                 tenant, self._weights.get(tenant, self.default_weight)
             )
         self._seq += 1
-        entry = Entry(item, tenant, priority, cost, self._seq)
+        entry = Entry(item, tenant, priority, cost, self._seq, deadline)
         heapq.heappush(t.heap, entry)
         if not t.active:
             # (Re)activating a tenant resets its deficit: an idle spell

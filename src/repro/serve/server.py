@@ -147,17 +147,24 @@ class Job:
         "finished_at", "elapsed", "error", "kind", "result", "entry",
         "future", "deadline", "obs", "followers", "finalized",
         "running_slot", "done", "idem", "journaled", "recovered",
+        "sched_deadline",
     )
 
     def __init__(self, job_id: str, tenant: str, spec: JobSpec,
                  priority: int, timeout: Optional[float],
-                 idem: Optional[str] = None) -> None:
+                 idem: Optional[str] = None,
+                 sched_deadline: Optional[float] = None) -> None:
         self.id = job_id
         self.tenant = tenant
         self.spec = spec
         self.job_hash = spec.job_hash
         self.priority = priority
         self.timeout = timeout
+        #: Client-supplied scheduling deadline: absolute wall-clock
+        #: seconds (daemon epoch, like ``submitted_at``).  Orders jobs
+        #: of equal priority EDF-first within the tenant's fair share;
+        #: distinct from ``deadline``, the execution-timeout clock.
+        self.sched_deadline = sched_deadline
         #: Client-supplied idempotency key (duplicate submissions with
         #: the same key are answered from this job, never re-run).
         self.idem = idem
@@ -208,6 +215,7 @@ class Job:
             "error": self.error,
             "kind": self.kind,
             "recovered": self.recovered,
+            "deadline": self.sched_deadline,
         }
         if with_result and self.result is not None:
             out["metrics"] = self.result
@@ -488,6 +496,11 @@ class Server:
             job.journaled = True
             job.recovered = True
             job.submitted_at = self._now()
+            budget = rec.get("deadline")
+            if budget is not None:
+                # The journal keeps the seconds-from-submission budget;
+                # restart restarts the clock.
+                job.sched_deadline = job.submitted_at + float(budget)
             recovered.append(job)
         finalize_from_cache: list[tuple[Job, dict]] = []
         with self._wake:
@@ -505,7 +518,8 @@ class Server:
                 self.metrics.jobs_recovered.inc()
                 if entry is None:
                     job.entry = self._queue.push(
-                        job, tenant=job.tenant, priority=job.priority
+                        job, tenant=job.tenant, priority=job.priority,
+                        deadline=job.sched_deadline,
                     )
                 else:
                     finalize_from_cache.append((job, entry))
@@ -531,6 +545,8 @@ class Server:
             records.append(journal_mod.submit_record(
                 job.id, job.tenant, job.spec.to_dict(), job.priority,
                 job.timeout, job.idem,
+                None if job.sched_deadline is None
+                else max(0.001, job.sched_deadline - job.submitted_at),
             ))
         for key, info in self._idem_done.items():
             records.append(journal_mod.idem_record(
@@ -752,6 +768,19 @@ class Server:
         priority = int(params.get("priority", 0))
         timeout = params.get("timeout", self.config.job_timeout)
         timeout = float(timeout) if timeout is not None else None
+        deadline = params.get("deadline")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise protocol.ProtocolError(
+                    protocol.BAD_REQUEST,
+                    "deadline must be a number (seconds from submission)",
+                ) from None
+            if deadline <= 0:
+                raise protocol.ProtocolError(
+                    protocol.BAD_REQUEST, "deadline must be > 0"
+                )
         follow = bool(params.get("follow", False))
         idem = params.get("idempotency_key")
         if idem is not None and (not isinstance(idem, str) or not idem):
@@ -784,6 +813,8 @@ class Server:
             job = Job(f"j{self._seq:06d}", tenant, spec, priority, timeout,
                       idem=idem)
             job.submitted_at = self._now()
+            if deadline is not None:
+                job.sched_deadline = job.submitted_at + deadline
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._prune_history()
@@ -834,13 +865,14 @@ class Server:
                 if self._journal is not None and self._journal.is_open:
                     self._journal.append(journal_mod.submit_record(
                         job.id, tenant, spec.to_dict(), priority, timeout,
-                        idem,
+                        idem, deadline,
                     ))
                     job.journaled = True
                     self._journal_live_est += 1
                     self.metrics.journal_appends.inc(kind="submit")
                 job.entry = self._queue.push(
-                    job, tenant=tenant, priority=priority
+                    job, tenant=tenant, priority=priority,
+                    deadline=job.sched_deadline,
                 )
                 self.metrics.queue_depth.set(len(self._queue))
                 self._wake.notify_all()

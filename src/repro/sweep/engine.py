@@ -98,7 +98,24 @@ def execute_job(
     if suite is None and needs_suite(spec.scheduler):
         suite = _suite_in_process(spec.platform, spec.profile_seed)
     sched = make_scheduler(spec.scheduler, suite, **spec.scheduler_kwargs_dict())
-    if fork_cache is not None:
+    arrival_spec = spec.arrival_spec()
+    plan = None
+    if arrival_spec is not None:
+        # Open-system job: the merged multi-instance graph replaces the
+        # single workload graph (release annotations make it
+        # single-use, so the fork cache is bypassed).
+        plan = arrival_spec.build(
+            spec.workload,
+            scale=spec.scale,
+            workload_seed=spec.workload_seed,
+            overrides=spec.workload_overrides_dict(),
+        )
+        graph = plan.graph
+        shared_bd = (
+            fork_cache.breakdowns(spec.platform)
+            if fork_cache is not None else None
+        )
+    elif fork_cache is not None:
         graph = fork_cache.graph_for(spec)
         shared_bd = fork_cache.breakdowns(spec.platform)
     else:
@@ -112,6 +129,7 @@ def execute_job(
     ex = Executor(
         factory(), sched, seed=spec.executor_seed,
         faults=spec.fault_campaign(),
+        arrivals=plan,
         shared_breakdowns=shared_bd,
     )
     metrics = ex.run(graph)

@@ -24,7 +24,8 @@ from repro.errors import SweepError
 #: Bump to invalidate every previously cached sweep result (include it
 #: in the job hash so stale entries simply stop matching).
 #: v2: jobs carry an optional fault campaign (repro.faults).
-SCHEMA_VERSION = 2
+#: v3: jobs carry an optional open-arrival spec (repro.workloads.arrivals).
+SCHEMA_VERSION = 3
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -38,6 +39,18 @@ def freeze(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return tuple(freeze(v) for v in value)
     raise SweepError(f"value {value!r} is not sweep-serialisable")
+
+
+def _freeze_duck(value: Any, what: str) -> Any:
+    """Freeze a spec-like attachment: a mapping/tuple form passes
+    through, anything else must expose ``to_dict`` (duck-typed
+    FaultCampaign / ArrivalSpec — avoids hard import cycles)."""
+    if value is not None and not isinstance(value, _SCALARS + (tuple, list, Mapping)):
+        to_dict = getattr(value, "to_dict", None)
+        if to_dict is None:
+            raise SweepError(f"{what} must be a spec or mapping, got {value!r}")
+        value = to_dict()
+    return freeze(value or {})
 
 
 def thaw(value: Any) -> Any:
@@ -75,18 +88,16 @@ class JobSpec:
     #: Canonicalised like the kwargs so faulted jobs hash differently
     #: from fault-free ones and cache correctly.
     faults: Any = ()
+    #: Optional open-arrival stream (an ArrivalSpec, its dict form, or
+    #: ()).  Canonicalised like ``faults``; when set, the run releases
+    #: DAG instances over simulated time instead of everything at t=0.
+    arrivals: Any = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
         object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
-        faults = self.faults
-        if faults is not None and not isinstance(faults, _SCALARS + (tuple, list, Mapping)):
-            # Duck-typed FaultCampaign (avoid a hard import cycle).
-            to_dict = getattr(faults, "to_dict", None)
-            if to_dict is None:
-                raise SweepError(f"faults must be a campaign or mapping, got {faults!r}")
-            faults = to_dict()
-        object.__setattr__(self, "faults", freeze(faults or {}))
+        object.__setattr__(self, "faults", _freeze_duck(self.faults, "faults"))
+        object.__setattr__(self, "arrivals", _freeze_duck(self.arrivals, "arrivals"))
 
     # -- canonical form -------------------------------------------------
     def scheduler_kwargs_dict(self) -> dict:
@@ -111,6 +122,20 @@ class JobSpec:
 
         return FaultCampaign.from_dict(data)
 
+    def arrivals_dict(self) -> dict:
+        out = thaw(self.arrivals)
+        return out if isinstance(out, dict) else {}
+
+    def arrival_spec(self):
+        """The job's :class:`~repro.workloads.arrivals.ArrivalSpec`, or
+        ``None`` when the job is closed-system (everything at t=0)."""
+        data = self.arrivals_dict()
+        if not data.get("count"):
+            return None
+        from repro.workloads.arrivals import ArrivalSpec
+
+        return ArrivalSpec.from_dict(data)
+
     @property
     def executor_seed(self) -> int:
         """Seed handed to the Executor (mirrors ``runner.run_one``)."""
@@ -129,6 +154,7 @@ class JobSpec:
             "scheduler_kwargs": self.scheduler_kwargs_dict(),
             "workload_overrides": self.workload_overrides_dict(),
             "faults": self.faults_dict(),
+            "arrivals": self.arrivals_dict(),
         }
 
     @classmethod
@@ -152,6 +178,9 @@ class JobSpec:
         faults = self.faults_dict()
         if faults.get("faults"):
             bits += f"+{faults.get('name') or 'faults'}"
+        arrivals = self.arrivals_dict()
+        if arrivals.get("count"):
+            bits += f"+{arrivals.get('pattern', 'arrivals')}x{arrivals['count']}"
         return f"{bits} rep{self.repetition}"
 
 
@@ -176,6 +205,8 @@ class SweepSpec:
     workload_overrides: Any = ()
     #: Fault campaign applied to every job of the grid (see JobSpec).
     faults: Any = ()
+    #: Open-arrival spec applied to every job of the grid (see JobSpec).
+    arrivals: Any = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -183,13 +214,8 @@ class SweepSpec:
         object.__setattr__(self, "scales", tuple(float(s) for s in self.scales))
         object.__setattr__(self, "scheduler_kwargs", freeze(self.scheduler_kwargs or {}))
         object.__setattr__(self, "workload_overrides", freeze(self.workload_overrides or {}))
-        faults = self.faults
-        if faults is not None and not isinstance(faults, _SCALARS + (tuple, list, Mapping)):
-            to_dict = getattr(faults, "to_dict", None)
-            if to_dict is None:
-                raise SweepError(f"faults must be a campaign or mapping, got {faults!r}")
-            faults = to_dict()
-        object.__setattr__(self, "faults", freeze(faults or {}))
+        object.__setattr__(self, "faults", _freeze_duck(self.faults, "faults"))
+        object.__setattr__(self, "arrivals", _freeze_duck(self.arrivals, "arrivals"))
         if self.repetitions < 1:
             raise SweepError("a sweep needs at least one repetition")
         if not self.workloads or not self.schedulers:
@@ -221,6 +247,7 @@ class SweepSpec:
                             scheduler_kwargs=self.scheduler_kwargs,
                             workload_overrides=self.workload_overrides,
                             faults=self.faults,
+                            arrivals=self.arrivals,
                         )
 
     @property

@@ -12,6 +12,7 @@ parameter restores larger graphs, and DAG *shape*, kernel mix and
 ``dop`` are preserved at any scale.
 """
 
+from repro.workloads.arrivals import ArrivalPlan, ArrivalSpec
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.registry import (
     build_workload,
@@ -21,6 +22,8 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "ArrivalPlan",
+    "ArrivalSpec",
     "WorkloadSpec",
     "build_workload",
     "get_workload",

@@ -1,0 +1,266 @@
+"""Open-system arrival processes: DAG instances released over time.
+
+The paper's experiments are closed-system — every application is
+released at t=0 and the metric is makespan.  A serving deployment is
+an *open* system: DAG instances arrive over time, possibly in bursts,
+each carrying a deadline.  :class:`ArrivalSpec` describes such a
+stream declaratively (immutable, JSON-serialisable, content-hashable,
+seeded — the same canonical-data shape as
+:class:`repro.faults.spec.FaultSpec`), and :meth:`ArrivalSpec.build`
+materialises it into an :class:`ArrivalPlan` the executor consumes:
+one merged :class:`~repro.runtime.dag.TaskGraph` whose root tasks are
+annotated with release times and whose every task carries its DAG
+instance's absolute deadline.
+
+Patterns:
+
+- ``poisson`` — memoryless arrivals at ``rate`` per second;
+- ``bursty`` — an MMPP-style on/off process: bursts of geometrically
+  many arrivals at ``burstiness``-times the base rate, separated by
+  exponential gaps (``rate`` sets the time scale, not the exact mean);
+- ``heavy`` — Pareto (heavy-tailed) inter-arrivals with tail exponent
+  ``heavy_shape``, scaled so the mean inter-arrival is ``1/rate``.
+
+Multi-tenant mixes generalise ``bench_multiprog``: with more than one
+entry in ``workloads`` each arrival draws its application uniformly
+from the mix; with none, every instance runs the enclosing job's
+workload.  Composition with fault campaigns needs nothing special —
+``Executor(..., arrivals=plan, faults=campaign)`` just works, the two
+layers never touch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.dag import TaskGraph
+
+#: Bump when arrival-trace generation changes (part of the spec hash,
+#: so cached results of older traces stop matching).
+ARRIVAL_SCHEMA_VERSION = 1
+
+_PATTERNS = ("poisson", "bursty", "heavy")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One entry of an arrival trace."""
+
+    index: int
+    time: float
+    #: Workload name, or ``None`` for "the enclosing job's workload".
+    workload: Optional[str]
+
+
+@dataclass(frozen=True)
+class DagInstance:
+    """One released DAG instance inside a built :class:`ArrivalPlan`."""
+
+    index: int
+    workload: str
+    release: float
+    #: Absolute deadline (release + relative deadline), or ``None``.
+    deadline: Optional[float]
+    #: Number of tasks this instance contributes to the merged graph.
+    size: int
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Seeded, declarative description of an open arrival stream.
+
+    Immutable and canonically serialisable: ``to_dict`` /
+    ``from_dict`` round-trip, and :attr:`spec_hash` is stable under
+    field reordering (sorted-key JSON).  The same seed always yields
+    the identical arrival trace.
+    """
+
+    pattern: str = "poisson"
+    #: Mean arrivals per simulated second (time-scale for ``bursty``).
+    rate: float = 50.0
+    #: Number of DAG instances to release.
+    count: int = 8
+    #: Workload mix; empty = the enclosing job's workload for every
+    #: instance, multiple entries = uniform multi-tenant mix.
+    workloads: Sequence[str] = ()
+    #: Relative deadline per instance in simulated seconds (absolute
+    #: deadline = release + ``deadline``); ``None`` = no deadlines.
+    deadline: Optional[float] = None
+    #: ``bursty``: burst-rate multiplier (arrivals inside a burst come
+    #: ``burstiness`` times faster; gaps are ``burstiness`` times longer).
+    burstiness: float = 8.0
+    #: ``bursty``: mean burst length (geometric).
+    burst_len: float = 4.0
+    #: ``heavy``: Pareto tail exponent (> 1 so the mean is finite).
+    heavy_shape: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in _PATTERNS:
+            raise WorkloadError(
+                f"unknown arrival pattern {self.pattern!r} "
+                f"(known: {', '.join(_PATTERNS)})"
+            )
+        if self.rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        if self.count < 1:
+            raise WorkloadError("arrival count must be at least 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise WorkloadError("relative deadline must be positive")
+        if self.burstiness < 1 or self.burst_len < 1:
+            raise WorkloadError("burstiness and burst_len must be >= 1")
+        if self.heavy_shape <= 1:
+            raise WorkloadError("heavy_shape must exceed 1 (finite mean)")
+        object.__setattr__(
+            self, "workloads", tuple(str(w) for w in self.workloads)
+        )
+
+    # -- canonical form -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": ARRIVAL_SCHEMA_VERSION,
+            "pattern": self.pattern,
+            "rate": self.rate,
+            "count": self.count,
+            "workloads": list(self.workloads),
+            "deadline": self.deadline,
+            "burstiness": self.burstiness,
+            "burst_len": self.burst_len,
+            "heavy_shape": self.heavy_shape,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash; independent of dict/field ordering."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- trace generation -----------------------------------------------
+    def arrival_times(self) -> list[float]:
+        """Absolute release times, deterministic in ``seed``."""
+        rng = np.random.default_rng(self.seed)
+        if self.pattern == "poisson":
+            gaps = rng.exponential(1.0 / self.rate, size=self.count)
+            return list(np.cumsum(gaps))
+        if self.pattern == "heavy":
+            # (1 + Pareto(a)) * xm has mean xm * a / (a - 1); pick xm
+            # so the mean inter-arrival is 1/rate.
+            a = self.heavy_shape
+            xm = (a - 1.0) / (a * self.rate)
+            gaps = xm * (1.0 + rng.pareto(a, size=self.count))
+            return list(np.cumsum(gaps))
+        # bursty: long exponential gaps between bursts, geometric burst
+        # sizes, short exponential gaps inside a burst.
+        times: list[float] = []
+        t = 0.0
+        while len(times) < self.count:
+            t += float(rng.exponential(self.burstiness / self.rate))
+            times.append(t)
+            size = int(rng.geometric(1.0 / self.burst_len))
+            for _ in range(size - 1):
+                if len(times) >= self.count:
+                    break
+                t += float(rng.exponential(1.0 / (self.rate * self.burstiness)))
+                times.append(t)
+        return times
+
+    def trace(self) -> list[Arrival]:
+        """The full arrival trace (times + per-arrival workload draw).
+
+        Workload draws use an independent seeded stream so the trace's
+        *times* do not shift when a mix is added or removed.
+        """
+        times = self.arrival_times()
+        if len(self.workloads) > 1:
+            mix_rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, 0x4A4F5353])
+            )
+            picks = mix_rng.integers(len(self.workloads), size=self.count)
+            names: list[Optional[str]] = [
+                self.workloads[int(p)] for p in picks
+            ]
+        elif self.workloads:
+            names = [self.workloads[0]] * self.count
+        else:
+            names = [None] * self.count
+        return [
+            Arrival(i, float(t), names[i]) for i, t in enumerate(times)
+        ]
+
+    # -- materialisation ------------------------------------------------
+    def build(
+        self,
+        default_workload: str,
+        scale: float = 1.0,
+        workload_seed: int = 3,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> "ArrivalPlan":
+        """Materialise the stream into an executor-ready plan.
+
+        Each distinct workload is generated once and instances share
+        its (immutable) kernels; the merged graph's tasks carry
+        ``meta["dag"]`` (instance index), ``meta["deadline"]``
+        (absolute, when the spec has one), and root tasks
+        ``meta["release"]``.
+        """
+        from repro.workloads.registry import build_workload
+
+        trace = self.trace()
+        names = [a.workload or default_workload for a in trace]
+        templates: dict[str, TaskGraph] = {}
+        for nm in dict.fromkeys(names):
+            templates[nm] = build_workload(
+                nm, scale=scale, seed=workload_seed, **dict(overrides or {})
+            )
+        merged = TaskGraph.combine(
+            [templates[nm] for nm in names],
+            name=f"{'+'.join(dict.fromkeys(names))}~{self.pattern}x{self.count}",
+        )
+        instances: list[DagInstance] = []
+        off = 0
+        for arr, nm in zip(trace, names):
+            size = len(templates[nm])
+            abs_deadline = (
+                arr.time + self.deadline if self.deadline is not None else None
+            )
+            for t in merged.tasks[off:off + size]:
+                t.meta["dag"] = arr.index
+                if abs_deadline is not None:
+                    t.meta["deadline"] = abs_deadline
+                if t.deps_remaining == 0:
+                    t.meta["release"] = arr.time
+            instances.append(
+                DagInstance(arr.index, nm, arr.time, abs_deadline, size)
+            )
+            off += size
+        return ArrivalPlan(merged, tuple(instances), self)
+
+
+@dataclass
+class ArrivalPlan:
+    """A built arrival stream: the merged graph plus per-instance facts.
+
+    Single-use, like any executed :class:`TaskGraph` — rebuild from the
+    spec for another run.
+    """
+
+    graph: TaskGraph
+    instances: tuple[DagInstance, ...]
+    spec: ArrivalSpec
+
+    def __len__(self) -> int:
+        return len(self.instances)

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 
 from repro.core.batch import batch_select, resolve_kernels
 from repro.core.goals import (
+    DeadlineGoal,
     MaxPerformance,
     MaxPerformanceUnderPowerCap,
     MinCpuEnergy,
@@ -38,6 +39,14 @@ GOALS = [
     PerformanceConstraint(5.0),  # mostly unsatisfiable -> MaxPerformance
     MaxPerformanceUnderPowerCap(3.0),
     MaxPerformanceUnderPowerCap(0.001),  # unsatisfiable -> least power
+    # Deadline settings spanning the feasibility spectrum (kernel
+    # time_refs are drawn from 0.001-0.080 s): infeasible for every
+    # kernel, tight (mixed fallback), two mid settings, and loose.
+    DeadlineGoal(1e-6),   # infeasible everywhere -> MaxPerformance
+    DeadlineGoal(0.003),  # tight: most kernels fall back
+    DeadlineGoal(0.01),
+    DeadlineGoal(0.05),
+    DeadlineGoal(0.5),    # loose: feasible everywhere
 ]
 SELECTORS = ["steepest", "exhaustive"]
 
@@ -116,6 +125,29 @@ class TestSuiteLevelEquivalence:
                 assert (batch_tab.mb, batch_tab.time_ref) == (
                     tab.mb, tab.time_ref,
                 )
+
+    @pytest.mark.parametrize("deadline_s", [1e-6, 0.003, 0.01, 0.05, 0.5])
+    @pytest.mark.parametrize("selector", SELECTORS)
+    def test_deadline_predicted_miss_parity(
+        self, suite, grids, deadline_s, selector
+    ):
+        """Both paths must record the same number of predicted misses
+        (kernels that fell back to max-perf) on fresh goal instances."""
+        kernel_params = random_kernel_params(suite, n_kernels=13, seed=42)
+        conc = per_config_concurrency(suite)
+        batch_goal = DeadlineGoal(deadline_s)
+        resolve_kernels(
+            suite, kernel_params, grids, batch_goal, selector, conc
+        )
+        scalar_goal = DeadlineGoal(deadline_s)
+        for params in kernel_params.values():
+            tables = suite.build_tables(params, grids)
+            scalar_goal.select(tables, selector, concurrency=conc)
+        assert batch_goal.predicted_misses == scalar_goal.predicted_misses
+        if deadline_s == 1e-6:
+            assert batch_goal.predicted_misses == len(kernel_params)
+        if deadline_s == 0.5:
+            assert batch_goal.predicted_misses == 0
 
     def test_single_kernel_matches(self, suite, grids):
         """K=1 is the in-run shape (kernels resolve one at a time)."""

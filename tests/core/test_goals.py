@@ -6,10 +6,16 @@ import numpy as np
 import pytest
 
 from repro.core.goals import (
+    DeadlineGoal,
+    GoalSpec,
     MaxPerformance,
+    MaxPerformanceUnderPowerCap,
     MinCpuEnergy,
     MinTotalEnergy,
     PerformanceConstraint,
+    goal_names,
+    goal_spec,
+    parse_goal,
 )
 from repro.errors import ModelError
 from repro.models.tables import PredictionTable
@@ -114,3 +120,82 @@ class TestPerformanceConstraint:
         assert base.cluster == "cheap"
         r = PerformanceConstraint(2.0).select(tables, "exhaustive")
         assert r.cluster == "mid"
+
+
+class TestDeadlineGoal:
+    def test_picks_least_energy_feasible(self):
+        # Min-energy overall is "cheap" (t=4) but it blows a 2 s
+        # deadline; "mid" (t=1.5) is the cheaper of the feasible pair.
+        kw = dict(mem=0.0, idle_cpu=0.05, idle_mem=0.0)
+        cheap = table("cheap", 1, np.full((2, 2), 4.0), cpu=0.05, **kw)
+        mid = table("mid", 1, np.full((2, 2), 1.5), cpu=1.0, **kw)
+        fast = table("fastest", 1, np.full((2, 2), 1.0), cpu=5.0, **kw)
+        tabs = {("cheap", 1): cheap, ("mid", 1): mid, ("fastest", 1): fast}
+        goal = DeadlineGoal(2.0)
+        r = goal.select(tabs, "exhaustive")
+        assert r.cluster == "mid"
+        assert goal.predicted_misses == 0
+
+    def test_loose_deadline_is_min_energy(self, tables):
+        assert DeadlineGoal(100.0).select(tables, "exhaustive").cluster == "slow"
+
+    def test_infeasible_falls_back_to_fastest(self, tables):
+        goal = DeadlineGoal(1e-9)
+        r = goal.select(tables, "exhaustive")
+        assert r.cluster == "fast"
+        assert goal.predicted_misses == 1
+
+    def test_steepest_variant_works(self, tables):
+        # Feasibility mask (inf walls) must not strand steepest descent.
+        goal = DeadlineGoal(1.5)
+        assert goal.select(tables, "steepest").cluster == "fast"
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            DeadlineGoal(0.0)
+
+    def test_name_uses_general_format(self):
+        assert DeadlineGoal(0.05).name == "deadline-0.05s"
+
+
+class TestGoalRegistry:
+    @pytest.mark.parametrize("name, cls", [
+        ("min-total-energy", MinTotalEnergy),
+        ("min-cpu-energy", MinCpuEnergy),
+        ("maxp", MaxPerformance),
+        ("perf-1.4x", PerformanceConstraint),
+        ("powercap-4W", MaxPerformanceUnderPowerCap),
+        ("deadline-0.05s", DeadlineGoal),
+    ])
+    def test_parse_goal_round_trips(self, name, cls):
+        goal = parse_goal(name)
+        assert isinstance(goal, cls)
+        assert goal.name == name
+        # And the GoalSpec form agrees with the string form.
+        spec = goal_spec(name)
+        assert spec.name == name
+        assert parse_goal(spec).name == name
+
+    def test_parse_goal_passes_instances_through(self):
+        goal = MinTotalEnergy()
+        assert parse_goal(goal) is goal
+
+    def test_unknown_goal_lists_known_names(self):
+        with pytest.raises(ModelError) as exc:
+            parse_goal("fastest-please")
+        assert "min-total-energy" in str(exc.value)
+
+    def test_goal_names_covers_the_registry(self):
+        names = goal_names()
+        assert "min-total-energy" in names and "maxp" in names
+
+    def test_parameter_values_parse(self):
+        assert parse_goal("perf-1.4x").speedup == pytest.approx(1.4)
+        assert parse_goal("powercap-4W").cap_watts == pytest.approx(4.0)
+        assert parse_goal("deadline-0.05s").deadline_s == pytest.approx(0.05)
+
+    def test_goal_spec_validates(self):
+        with pytest.raises(ModelError):
+            GoalSpec("deadline", -1.0)
+        with pytest.raises(ModelError):
+            GoalSpec("maxp", 2.0)  # fixed goals take no parameter

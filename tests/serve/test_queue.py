@@ -164,3 +164,26 @@ def test_pop_on_empty_returns_none():
     assert q.pop().item == "x"
     assert q.pop() is None
     assert len(q) == 0
+
+
+def test_deadline_orders_within_tenant_and_priority():
+    q = FairQueue()
+    q.push("late", tenant="a", deadline=9.0)
+    q.push("none", tenant="a")
+    q.push("soon", tenant="a", deadline=1.0)
+    q.push("mid", tenant="a", deadline=5.0)
+    assert [q.pop().item for _ in range(4)] == ["soon", "mid", "late", "none"]
+
+
+def test_priority_beats_deadline():
+    q = FairQueue()
+    q.push("urgent-deadline", tenant="a", priority=0, deadline=0.001)
+    q.push("high-priority", tenant="a", priority=5)
+    assert q.pop().item == "high-priority"
+
+
+def test_equal_deadlines_fall_back_to_fifo():
+    q = FairQueue()
+    q.push("first", tenant="a", deadline=2.0)
+    q.push("second", tenant="a", deadline=2.0)
+    assert [q.pop().item, q.pop().item] == ["first", "second"]

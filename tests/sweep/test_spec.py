@@ -100,3 +100,18 @@ def test_from_bench_config_matches_runner_settings():
     assert job.seed == 7
     assert spec.repetitions == 3
     assert "1 workloads" in spec.describe()
+
+
+def test_arrivals_participate_in_hash_and_round_trip():
+    base = JobSpec(workload="fb", scheduler="GRWS")
+    storm = JobSpec(
+        workload="fb",
+        scheduler="GRWS",
+        arrivals={"pattern": "bursty", "rate": 60.0, "count": 6, "seed": 2},
+    )
+    assert storm.job_hash != base.job_hash
+    again = JobSpec.from_dict(storm.to_dict())
+    assert again.job_hash == storm.job_hash
+    assert again.arrival_spec() == storm.arrival_spec()
+    assert "+burstyx6" in storm.label()
+    assert base.arrival_spec() is None

@@ -1,0 +1,129 @@
+"""Seeded open-arrival streams: determinism, validation, end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw.platform import jetson_tx2
+from repro.runtime.executor import Executor
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.arrivals import ArrivalSpec
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("pattern", ["poisson", "bursty", "heavy"])
+    def test_same_seed_same_trace(self, pattern):
+        a = ArrivalSpec(pattern=pattern, rate=40, count=12, seed=9).trace()
+        b = ArrivalSpec(pattern=pattern, rate=40, count=12, seed=9).trace()
+        assert a == b
+
+    @pytest.mark.parametrize("pattern", ["poisson", "bursty", "heavy"])
+    def test_different_seed_different_trace(self, pattern):
+        a = ArrivalSpec(pattern=pattern, rate=40, count=12, seed=1).trace()
+        b = ArrivalSpec(pattern=pattern, rate=40, count=12, seed=2).trace()
+        assert [i.time for i in a] != [i.time for i in b]
+
+    def test_releases_sorted_and_nonnegative(self):
+        trace = ArrivalSpec(pattern="bursty", rate=80, count=20, seed=3).trace()
+        releases = [i.time for i in trace]
+        assert releases == sorted(releases)
+        assert all(r >= 0 for r in releases)
+        assert len(trace) == 20
+
+    def test_deadline_is_release_plus_relative(self):
+        plan = ArrivalSpec(rate=50, count=5, deadline=0.02, seed=0).build(
+            "hd-small", scale=0.25
+        )
+        assert len(plan.instances) == 5
+        for inst in plan.instances:
+            assert inst.deadline == pytest.approx(inst.release + 0.02)
+
+    def test_no_deadline_means_none(self):
+        plan = ArrivalSpec(rate=50, count=3, seed=0).build(
+            "hd-small", scale=0.25
+        )
+        assert all(inst.deadline is None for inst in plan.instances)
+
+    def test_workload_mix_is_seeded(self):
+        kw = dict(rate=50, count=30, workloads=("fb", "mc-4096"), seed=4)
+        a = [i.workload for i in ArrivalSpec(**kw).trace()]
+        b = [i.workload for i in ArrivalSpec(**kw).trace()]
+        assert a == b
+        assert set(a) == {"fb", "mc-4096"}
+
+
+class TestSpecForm:
+    def test_round_trips_through_dict(self):
+        spec = ArrivalSpec(pattern="heavy", rate=25, count=7,
+                           deadline=0.1, heavy_shape=2.0, seed=5)
+        again = ArrivalSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_hash_ignores_unknown_keys_on_load(self):
+        spec = ArrivalSpec(rate=30, count=4)
+        data = dict(spec.to_dict(), future_field=1)
+        assert ArrivalSpec.from_dict(data) == spec
+
+    def test_hash_differs_by_field(self):
+        assert (ArrivalSpec(rate=30, count=4).spec_hash
+                != ArrivalSpec(rate=31, count=4).spec_hash)
+
+    @pytest.mark.parametrize("bad", [
+        dict(pattern="uniform"),
+        dict(rate=0),
+        dict(count=0),
+        dict(deadline=0.0),
+        dict(burstiness=0.5),
+        dict(heavy_shape=1.0),
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(WorkloadError):
+            ArrivalSpec(**bad)
+
+
+class TestEndToEnd:
+    def _run(self, sched_name="GRWS", **spec_kw):
+        spec_kw.setdefault("rate", 60)
+        spec_kw.setdefault("count", 5)
+        spec_kw.setdefault("seed", 2)
+        plan = ArrivalSpec(**spec_kw).build("hd-small", scale=0.25)
+        sched = make_scheduler(sched_name, None)
+        return Executor(jetson_tx2(), sched, seed=11, arrivals=plan).run(
+            plan.graph
+        )
+
+    def test_all_instances_complete(self):
+        m = self._run()
+        assert m.dags_arrived == 5
+        assert m.dags_completed == 5
+
+    def test_tight_deadline_records_misses_and_tardiness(self):
+        m = self._run(deadline=1e-4)
+        assert m.deadline_misses == 5
+        assert m.total_tardiness > 0
+        assert 0 < m.max_tardiness <= m.total_tardiness
+
+    def test_loose_deadline_has_no_misses(self):
+        m = self._run(deadline=10.0)
+        assert m.deadline_misses == 0
+        assert m.total_tardiness == 0.0
+
+    def test_runs_are_bit_identical(self):
+        a = self._run(deadline=0.01)
+        b = self._run(deadline=0.01)
+        assert a.to_dict() == b.to_dict()
+
+    def test_edf_scheduler_drains_the_storm(self):
+        m = self._run("EDF", deadline=0.01)
+        assert m.dags_completed == 5
+
+    def test_closed_system_metrics_stay_zero(self):
+        from repro.workloads.registry import build_workload
+
+        sched = make_scheduler("GRWS", None)
+        graph = build_workload("hd-small", scale=0.25, seed=3)
+        m = Executor(jetson_tx2(), sched, seed=11).run(graph)
+        assert m.dags_arrived == 0 and m.dags_completed == 0
+        assert m.deadline_misses == 0 and m.total_tardiness == 0.0

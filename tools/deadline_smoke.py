@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI smoke test for deadline-aware scheduling under open arrivals.
+
+Drives the real CLI (``repro run``) with a bursty arrival storm, an EDF
+baseline, and a ``--goal deadline-…`` JOSS configuration, then audits
+the JSON metrics report — asserting that:
+
+* the arrival stream actually released DAG instances (nonzero);
+* no DAG instance was lost (completed == arrived for every scheduler);
+* the tardiness columns (``deadline_misses``, ``total_tardiness``,
+  ``max_tardiness``) are present in the report for every scheduler;
+* the tardiness accounting is internally consistent (max <= sum, and
+  misses > 0 implies tardiness > 0).
+
+Exit code 0 = all checks passed.
+
+Usage::
+
+    python tools/deadline_smoke.py [--report deadline-metrics.json]
+                                   [--scale 0.5] [--deadline 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+CHECKS: list[str] = []
+
+
+def check(ok: bool, what: str) -> None:
+    CHECKS.append(f"{'ok' if ok else 'FAIL'}: {what}")
+    print(CHECKS[-1], flush=True)
+    if not ok:
+        raise SystemExit(f"deadline smoke failed at: {what}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", default="deadline-metrics.json",
+                    help="where to leave the CLI's JSON metrics report")
+    ap.add_argument("--scale", type=float, default=0.5)
+    ap.add_argument("--deadline", type=float, default=0.05,
+                    help="relative per-instance deadline (seconds)")
+    ap.add_argument("--count", type=int, default=12,
+                    help="number of DAG instances to release")
+    args = ap.parse_args()
+
+    report = Path(args.report)
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    cmd = [
+        sys.executable, "-m", "repro.cli", "run",
+        "hd-small", "edf",
+        "--goal", f"deadline-{args.deadline:g}s",
+        "--scale", str(args.scale),
+        "--repetitions", "1",
+        "--arrivals", "bursty",
+        "--arrival-rate", "60",
+        "--arrival-count", str(args.count),
+        "--arrival-deadline", str(args.deadline),
+        "--arrival-seed", "7",
+        "-o", str(report),
+    ]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, cwd=REPO, env=env)
+    check(proc.returncode == 0, "CLI run exits 0")
+    check(report.is_file(), f"JSON report written to {report}")
+
+    rows = json.loads(report.read_text())
+    check(len(rows) == 2, "report covers both schedulers (EDF + goal)")
+    for row in rows:
+        sched = row.get("scheduler", "?")
+        for col in ("deadline_misses", "total_tardiness", "max_tardiness",
+                    "dags_arrived", "dags_completed"):
+            check(col in row, f"{sched}: column {col!r} present")
+        check(row["dags_arrived"] == args.count,
+              f"{sched}: all {args.count} arrivals released "
+              f"(got {row['dags_arrived']})")
+        check(row["dags_completed"] == row["dags_arrived"],
+              f"{sched}: no DAG instances lost "
+              f"({row['dags_completed']}/{row['dags_arrived']})")
+        check(row["max_tardiness"] <= row["total_tardiness"] + 1e-12,
+              f"{sched}: max tardiness <= total tardiness")
+        if row["deadline_misses"]:
+            check(row["total_tardiness"] > 0,
+                  f"{sched}: misses imply nonzero tardiness")
+        else:
+            check(row["total_tardiness"] == 0,
+                  f"{sched}: no misses imply zero tardiness")
+
+    print(f"\ndeadline smoke: {len(CHECKS)} checks passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
